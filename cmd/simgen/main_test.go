@@ -1,0 +1,56 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"milvideo/internal/videodb"
+)
+
+func TestRunCreatesCatalog(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "db.gob")
+	if err := run("tunnel", 300, 5, "", out); err != nil {
+		t.Fatal(err)
+	}
+	db, err := videodb.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := db.Clip("tunnel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Frames != 300 {
+		t.Fatalf("frames: %d", rec.Frames)
+	}
+	if rec.TSCount() == 0 {
+		t.Fatal("no TSs stored")
+	}
+}
+
+func TestRunExtendsExistingCatalog(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "db.gob")
+	if err := run("tunnel", 300, 5, "a", out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("intersection", 200, 5, "b", out); err != nil {
+		t.Fatal(err)
+	}
+	db, err := videodb.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("clips: %d", db.Len())
+	}
+	// Re-adding the same name fails.
+	if err := run("tunnel", 300, 5, "a", out); err == nil {
+		t.Fatal("duplicate clip accepted")
+	}
+}
+
+func TestRunRejectsUnknownScenario(t *testing.T) {
+	if err := run("freeway", 100, 1, "", filepath.Join(t.TempDir(), "db.gob")); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunTunnel(t *testing.T) {
+	if err := run(io.Discard, "tunnel", 200, 3, -1, 60, true, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSpecificFrameAndDump(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "frames")
+	if err := run(io.Discard, "intersection", 120, 3, 60, 60, false, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 120 PGM frames plus index.txt.
+	if len(entries) != 121 {
+		t.Fatalf("dumped %d entries", len(entries))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(io.Discard, "freeway", 100, 1, -1, 60, false, ""); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if err := run(io.Discard, "tunnel", 100, 1, 500, 60, false, ""); err == nil {
+		t.Fatal("out-of-range frame accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module milvideo
+
+go 1.22

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"milvideo/internal/pca"
+	"milvideo/internal/track"
+)
+
+// TrackShapeFeatures returns the shape features the PCA vehicle
+// classifier consumes (paper §3.1 [13]): mean bounding-box width,
+// height, pixel area and aspect ratio over the track's real (non-
+// predicted) observations. ok is false when the track has no real
+// observations.
+func TrackShapeFeatures(t *track.Track) (feats []float64, ok bool) {
+	var w, h, a float64
+	n := 0
+	for _, o := range t.Observations {
+		if o.Predicted {
+			continue
+		}
+		w += o.MBR.Width()
+		h += o.MBR.Height()
+		a += float64(o.Area)
+		n++
+	}
+	if n == 0 {
+		return nil, false
+	}
+	fn := float64(n)
+	w, h, a = w/fn, h/fn, a/fn
+	if h <= 0 {
+		return nil, false
+	}
+	return []float64{w, h, a, w / h}, true
+}
+
+// TrainVehicleClassifier fits the PCA nearest-centroid classifier on
+// the clip's tracks, labeled by matching each track to its ground-
+// truth vehicle (majority vote within matchRadius) and taking that
+// vehicle's body class. k is the number of principal components.
+func (c *Clip) TrainVehicleClassifier(matchRadius float64, k int) (*pca.Classifier, error) {
+	if c.Scene == nil {
+		return nil, errors.New("core: classifier training needs ground truth")
+	}
+	var samples [][]float64
+	var labels []string
+	for _, t := range c.Tracks {
+		feats, ok := TrackShapeFeatures(t)
+		if !ok {
+			continue
+		}
+		cls, ok := c.trackClass(t, matchRadius)
+		if !ok {
+			continue
+		}
+		samples = append(samples, feats)
+		labels = append(labels, cls)
+	}
+	if len(samples) == 0 {
+		return nil, errors.New("core: no track matched ground truth for training")
+	}
+	clf, err := pca.Train(samples, labels, k)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return clf, nil
+}
+
+// ClassifyTracks predicts a body class for every track with usable
+// shape features, returning trackID → class name.
+func (c *Clip) ClassifyTracks(clf *pca.Classifier) (map[int]string, error) {
+	if clf == nil {
+		return nil, errors.New("core: nil classifier")
+	}
+	out := make(map[int]string)
+	for _, t := range c.Tracks {
+		feats, ok := TrackShapeFeatures(t)
+		if !ok {
+			continue
+		}
+		label, _, err := clf.Predict(feats)
+		if err != nil {
+			return nil, fmt.Errorf("core: track %d: %w", t.ID, err)
+		}
+		out[t.ID] = label
+	}
+	return out, nil
+}
+
+// trackClass matches a track to its ground-truth vehicle by majority
+// vote and returns the vehicle's class name.
+func (c *Clip) trackClass(t *track.Track, matchRadius float64) (string, bool) {
+	votes := make(map[int]int)
+	classes := make(map[int]string)
+	for _, o := range t.Observations {
+		if o.Predicted {
+			continue
+		}
+		if o.Frame < 0 || o.Frame >= len(c.Scene.Frames) {
+			continue
+		}
+		bestID, bestD := -1, matchRadius
+		for _, v := range c.Scene.Frames[o.Frame].Vehicles {
+			if d := o.Centroid.Dist(v.Pos); d <= bestD {
+				bestID, bestD = v.ID, d
+				classes[v.ID] = v.Class.String()
+			}
+		}
+		if bestID >= 0 {
+			votes[bestID]++
+		}
+	}
+	if len(votes) == 0 {
+		return "", false
+	}
+	ids := make([]int, 0, len(votes))
+	for id := range votes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	best, bestVotes := -1, 0
+	for _, id := range ids {
+		if votes[id] > bestVotes {
+			best, bestVotes = id, votes[id]
+		}
+	}
+	return classes[best], true
+}

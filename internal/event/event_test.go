@@ -1,0 +1,231 @@
+package event
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"milvideo/internal/geom"
+	"milvideo/internal/track"
+)
+
+func TestSampleKinematics(t *testing.T) {
+	s := Sample{
+		Motion:     geom.V(10, 0),
+		PrevMotion: geom.V(0, 10),
+		PrevValid:  true,
+		MinDist:    5,
+	}
+	if v := s.Speed(5); v != 2 {
+		t.Fatalf("Speed: %v", v)
+	}
+	if d := s.VDiff(5); d != 0 { // same magnitude, different direction
+		t.Fatalf("VDiff: %v", d)
+	}
+	if th := s.Theta(); math.Abs(th-math.Pi/2) > 1e-12 {
+		t.Fatalf("Theta: %v", th)
+	}
+	if s.Speed(0) != 0 || s.VDiff(0) != 0 {
+		t.Fatal("zero rate must yield zero kinematics")
+	}
+}
+
+func TestAccidentModelVector(t *testing.T) {
+	m := AccidentModel{}
+	s := Sample{
+		Motion:     geom.V(0, 0),
+		PrevMotion: geom.V(20, 0),
+		PrevValid:  true,
+		MinDist:    4,
+	}
+	v := m.Vector(s, 5)
+	if len(v) != m.Dim() || m.Dim() != 3 {
+		t.Fatalf("dim: %v", v)
+	}
+	if v[0] != 0.25 {
+		t.Fatalf("1/mdist: %v", v[0])
+	}
+	if v[1] != 4 { // |0 − 20|/5
+		t.Fatalf("vdiff: %v", v[1])
+	}
+	if v[2] != 0 { // zero current motion: no turn defined
+		t.Fatalf("theta: %v", v[2])
+	}
+	// Lone vehicle: inverse distance contributes 0, not Inf.
+	alone := m.Vector(Sample{MinDist: math.Inf(1)}, 5)
+	if alone[0] != 0 {
+		t.Fatalf("lone vehicle inv dist: %v", alone[0])
+	}
+	// Epsilon clamps near-zero distances.
+	tight := m.Vector(Sample{MinDist: 0.001}, 5)
+	if tight[0] > 1 {
+		t.Fatalf("eps clamp failed: %v", tight[0])
+	}
+	custom := AccidentModel{Eps: 0.5}
+	if v := custom.Vector(Sample{MinDist: 0.001}, 5); v[0] != 2 {
+		t.Fatalf("custom eps: %v", v[0])
+	}
+	if m.Name() != "accident" {
+		t.Fatal("name")
+	}
+}
+
+func TestSpeedingModelVector(t *testing.T) {
+	m := SpeedingModel{RefSpeed: 2}
+	fast := m.Vector(Sample{Motion: geom.V(30, 0)}, 5) // speed 6
+	if len(fast) != m.Dim() {
+		t.Fatal("dim")
+	}
+	if fast[0] != 3 || fast[1] != 4 {
+		t.Fatalf("fast: %v", fast)
+	}
+	slow := m.Vector(Sample{Motion: geom.V(5, 0)}, 5) // speed 1
+	if slow[1] != 0 {
+		t.Fatalf("no excess for slow vehicle: %v", slow)
+	}
+	// Zero RefSpeed falls back to 1.
+	d := SpeedingModel{}
+	if v := d.Vector(Sample{Motion: geom.V(5, 0)}, 5); v[0] != 1 {
+		t.Fatalf("default ref: %v", v)
+	}
+}
+
+func TestUTurnModelVector(t *testing.T) {
+	m := UTurnModel{}
+	s := Sample{Motion: geom.V(-10, 0), PrevMotion: geom.V(10, 0)}
+	v := m.Vector(s, 5)
+	if math.Abs(v[0]-math.Pi) > 1e-12 {
+		t.Fatalf("theta: %v", v[0])
+	}
+	if math.Abs(v[1]-math.Pi*2) > 1e-12 { // θ · speed(=2)
+		t.Fatalf("weighted: %v", v[1])
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	for _, name := range []string{"accident", "speeding", "u-turn"} {
+		m, err := ModelByName(name)
+		if err != nil || m.Name() != name {
+			t.Fatalf("%s: %v %v", name, m, err)
+		}
+	}
+	if _, err := ModelByName("nope"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+// mkTrack builds a track with observations every frame from the given
+// positions starting at frame start.
+func mkTrack(id, start int, pts ...geom.Point) *track.Track {
+	tr := &track.Track{ID: id, Confirmed: true}
+	for i, p := range pts {
+		tr.Observations = append(tr.Observations, track.Observation{Frame: start + i, Centroid: p})
+	}
+	return tr
+}
+
+func TestSampleTracksGridAlignment(t *testing.T) {
+	// Track covering frames 3..27; grid at rate 5 → samples at 5,10,…,25.
+	var pts []geom.Point
+	for i := 0; i <= 24; i++ {
+		pts = append(pts, geom.Pt(float64(10+2*i), 50))
+	}
+	tr := mkTrack(0, 3, pts...)
+	samples, err := SampleTracks([]*track.Track{tr}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := samples[0]
+	if len(ss) != 5 {
+		t.Fatalf("samples: %d", len(ss))
+	}
+	if ss[0].Frame != 5 || ss[4].Frame != 25 {
+		t.Fatalf("grid: %d..%d", ss[0].Frame, ss[4].Frame)
+	}
+	// First sample has zero motion; subsequent motions are 10 px per
+	// 5 frames (2 px/frame × 5).
+	if ss[0].Motion != geom.V(0, 0) {
+		t.Fatalf("first motion: %v", ss[0].Motion)
+	}
+	if ss[1].Motion != geom.V(10, 0) {
+		t.Fatalf("second motion: %v", ss[1].Motion)
+	}
+	if ss[2].PrevMotion != ss[1].Motion {
+		t.Fatal("prev motion chain broken")
+	}
+	// Lone track: MinDist is +Inf everywhere.
+	for _, s := range ss {
+		if !math.IsInf(s.MinDist, 1) {
+			t.Fatalf("lone track mindist: %v", s.MinDist)
+		}
+	}
+}
+
+func TestSampleTracksMinDist(t *testing.T) {
+	a := mkTrack(0, 0,
+		geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0), geom.Pt(3, 0), geom.Pt(4, 0), geom.Pt(5, 0))
+	b := mkTrack(1, 0,
+		geom.Pt(0, 8), geom.Pt(1, 8), geom.Pt(2, 8), geom.Pt(3, 8), geom.Pt(4, 8), geom.Pt(5, 8))
+	samples, err := SampleTracks([]*track.Track{a, b}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := samples[0][0].MinDist; d != 8 {
+		t.Fatalf("mindist: %v", d)
+	}
+	if d := samples[1][0].MinDist; d != 8 {
+		t.Fatalf("symmetric mindist: %v", d)
+	}
+}
+
+func TestSampleTracksErrorsAndEdgeCases(t *testing.T) {
+	if _, err := SampleTracks(nil, 0); !errors.Is(err, ErrBadRate) {
+		t.Fatalf("rate 0: %v", err)
+	}
+	// Track shorter than one grid interval may still produce one
+	// sample if it crosses a grid frame.
+	tr := mkTrack(0, 4, geom.Pt(0, 0), geom.Pt(1, 0), geom.Pt(2, 0))
+	samples, err := SampleTracks([]*track.Track{tr}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples[0]) != 1 || samples[0][0].Frame != 5 {
+		t.Fatalf("short track: %+v", samples[0])
+	}
+	// Track entirely between grid frames yields nothing.
+	tr2 := mkTrack(7, 6, geom.Pt(0, 0), geom.Pt(1, 0))
+	samples, err = SampleTracks([]*track.Track{tr2}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := samples[7]; ok {
+		t.Fatal("off-grid track sampled")
+	}
+}
+
+func TestAccidentSignatureOnSyntheticCrash(t *testing.T) {
+	// A vehicle that moves fast then stops dead shows a large vdiff
+	// spike at the stopping sample.
+	var pts []geom.Point
+	x := 0.0
+	for i := 0; i < 15; i++ { // fast
+		pts = append(pts, geom.Pt(x, 0))
+		x += 4
+	}
+	for i := 0; i < 15; i++ { // stopped
+		pts = append(pts, geom.Pt(x, 0))
+	}
+	tr := mkTrack(0, 0, pts...)
+	samples, _ := SampleTracks([]*track.Track{tr}, 5)
+	m := AccidentModel{}
+	maxV := 0.0
+	for _, s := range samples[0] {
+		v := m.Vector(s, 5)
+		if v[1] > maxV {
+			maxV = v[1]
+		}
+	}
+	if maxV < 3 {
+		t.Fatalf("crash vdiff signature too weak: %v", maxV)
+	}
+}

@@ -1,0 +1,175 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§6) plus the ablations DESIGN.md calls out.
+// Each experiment returns a formatted Table so cmd/experiments, the
+// top-level benchmarks and EXPERIMENTS.md all report identical rows.
+//
+// Processing a paper-scale clip (render, segment, track) costs a few
+// seconds; the package memoizes the two default processed clips so a
+// full experiment sweep pays that cost once per scenario.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"milvideo/internal/core"
+	"milvideo/internal/sim"
+)
+
+// Table is one experiment's result in display form.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for j, h := range t.Header {
+		widths[j] = len(h)
+	}
+	for _, r := range t.Rows {
+		for j, c := range r {
+			if j < len(widths) && len(c) > widths[j] {
+				widths[j] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for j, c := range cells {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[j], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// clipCache memoizes the expensive scene → processed-clip step.
+type clipCache struct {
+	once sync.Once
+	clip *core.Clip
+	err  error
+}
+
+var (
+	tunnelCache       clipCache
+	intersectionCache clipCache
+)
+
+// TunnelClip returns the processed default tunnel clip (the paper's
+// first clip), shared across experiments.
+func TunnelClip() (*core.Clip, error) {
+	tunnelCache.once.Do(func() {
+		scene, err := sim.Tunnel(sim.DefaultTunnel())
+		if err != nil {
+			tunnelCache.err = err
+			return
+		}
+		tunnelCache.clip, tunnelCache.err = core.ProcessScene(scene, core.DefaultConfig())
+	})
+	return tunnelCache.clip, tunnelCache.err
+}
+
+// IntersectionClip returns the processed default intersection clip
+// (the paper's second clip), shared across experiments.
+func IntersectionClip() (*core.Clip, error) {
+	intersectionCache.once.Do(func() {
+		scene, err := sim.Intersection(sim.DefaultIntersection())
+		if err != nil {
+			intersectionCache.err = err
+			return
+		}
+		intersectionCache.clip, intersectionCache.err = core.ProcessScene(scene, core.DefaultConfig())
+	})
+	return intersectionCache.clip, intersectionCache.err
+}
+
+// pct formats an accuracy as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }
+
+// pcts formats a whole accuracy series.
+func pcts(vs []float64) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = pct(v)
+	}
+	return out
+}
+
+// All runs every experiment in report order.
+func All() ([]Table, error) {
+	runs := []struct {
+		name string
+		fn   func() (Table, error)
+	}{
+		{"stats", DatasetStats},
+		{"fig8", Figure8},
+		{"fig9", Figure9},
+		{"fit", CurveFit},
+		{"norm", NormalizationAblation},
+		{"zsweep", ZSweep},
+		{"window", WindowSweep},
+		{"events", EventGenerality},
+		{"selection", InstanceSelectionAblation},
+		{"crosscam", CrossCamera},
+		{"milcompare", MILCompare},
+		{"drift", IlluminationDrift},
+	}
+	var out []Table
+	for _, r := range runs {
+		t, err := r.fn()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", r.name, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// ByName runs one experiment by its CLI name.
+func ByName(name string) (Table, error) {
+	switch name {
+	case "stats":
+		return DatasetStats()
+	case "fig8":
+		return Figure8()
+	case "fig9":
+		return Figure9()
+	case "fit":
+		return CurveFit()
+	case "norm":
+		return NormalizationAblation()
+	case "zsweep":
+		return ZSweep()
+	case "window":
+		return WindowSweep()
+	case "events":
+		return EventGenerality()
+	case "selection":
+		return InstanceSelectionAblation()
+	case "crosscam":
+		return CrossCamera()
+	case "milcompare":
+		return MILCompare()
+	case "drift":
+		return IlluminationDrift()
+	default:
+		return Table{}, fmt.Errorf("experiments: unknown experiment %q (one of: %v)", name, Names())
+	}
+}
+
+// Names lists the experiment identifiers.
+func Names() []string {
+	return []string{"stats", "fig8", "fig9", "fit", "norm", "zsweep", "window", "events", "selection", "crosscam", "milcompare", "drift"}
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableFormat(t *testing.T) {
+	tab := Table{
+		Title:  "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"x", "1"}, {"longer-cell", "2"}},
+	}
+	s := tab.Format()
+	if !strings.Contains(s, "== demo ==") {
+		t.Fatalf("missing title:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("line count: %d", len(lines))
+	}
+	// Columns align: the second column starts at the same offset in
+	// every row.
+	off := strings.Index(lines[1], "long-header")
+	for _, l := range lines[2:] {
+		if len(l) < off {
+			t.Fatalf("row too short: %q", l)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if len(Names()) == 0 {
+		t.Fatal("no experiment names")
+	}
+	for _, n := range Names() {
+		if n == "" {
+			t.Fatal("empty name")
+		}
+	}
+}
+
+func TestValidSeries(t *testing.T) {
+	if !validSeries([]float64{0, 0.5, 1}) {
+		t.Fatal("valid series rejected")
+	}
+	if validSeries([]float64{-0.1}) || validSeries([]float64{1.5}) {
+		t.Fatal("invalid series accepted")
+	}
+}
+
+// TestPaperScaleExperiments runs the two headline figures end to end
+// and asserts the qualitative claims EXPERIMENTS.md records. It is
+// the repository's acceptance test and takes ~30s; skipped in -short.
+func TestPaperScaleExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale experiments in -short mode")
+	}
+	fig8, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig8.Rows) != 2 || len(fig8.Rows[0]) != 6 {
+		t.Fatalf("fig8 shape: %+v", fig8)
+	}
+	// Both methods share the initial round.
+	if fig8.Rows[0][1] != fig8.Rows[1][1] {
+		t.Fatalf("initial rounds differ: %v vs %v", fig8.Rows[0][1], fig8.Rows[1][1])
+	}
+	// The proposed framework ends strictly above the baseline.
+	milFinal := parsePct(t, fig8.Rows[0][5])
+	wrfFinal := parsePct(t, fig8.Rows[1][5])
+	if milFinal <= wrfFinal {
+		t.Fatalf("fig8: MIL (%v) did not beat weighted RF (%v)", milFinal, wrfFinal)
+	}
+	// And it does not degrade from its initial accuracy.
+	if milFinal < parsePct(t, fig8.Rows[0][1]) {
+		t.Fatalf("fig8: MIL degraded: %v", fig8.Rows[0])
+	}
+
+	fig9, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mil9Final := parsePct(t, fig9.Rows[0][5])
+	wrf9Final := parsePct(t, fig9.Rows[1][5])
+	if mil9Final <= wrf9Final {
+		t.Fatalf("fig9: MIL (%v) did not beat weighted RF (%v)", mil9Final, wrf9Final)
+	}
+
+	stats, err := DatasetStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Rows) != 2 {
+		t.Fatalf("stats rows: %d", len(stats.Rows))
+	}
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percentage %q: %v", s, err)
+	}
+	return v
+}

@@ -1,0 +1,239 @@
+// Package frame defines the raster video representation the vision
+// pipeline consumes: 8-bit grayscale frames with the drawing
+// primitives the synthetic renderer needs (filled rectangles, noise)
+// and the pixel arithmetic segmentation needs (absolute difference,
+// thresholding). A video clip is simply a sequence of frames plus a
+// frame rate.
+//
+// Grayscale is sufficient for this reproduction: the paper's
+// segmentation operates on intensity classes (SPCPE) and on
+// background-subtracted foreground masks, neither of which needs
+// color.
+package frame
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrBounds is returned for out-of-range pixel access through the
+// checked accessors.
+var ErrBounds = errors.New("frame: pixel index out of bounds")
+
+// Gray is an 8-bit grayscale frame. Pixels are stored row-major.
+type Gray struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewGray returns a black frame of the given dimensions. It panics on
+// non-positive dimensions, which are always a programming error.
+func NewGray(w, h int) *Gray {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("frame: invalid dimensions %dx%d", w, h))
+	}
+	return &Gray{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// In reports whether (x, y) lies inside the frame.
+func (g *Gray) In(x, y int) bool { return x >= 0 && x < g.W && y >= 0 && y < g.H }
+
+// At returns the pixel at (x, y). Out-of-range coordinates return 0,
+// which lets neighborhood loops run without explicit clamping.
+func (g *Gray) At(x, y int) uint8 {
+	if !g.In(x, y) {
+		return 0
+	}
+	return g.Pix[y*g.W+x]
+}
+
+// Set assigns the pixel at (x, y); out-of-range writes are ignored so
+// that drawing routines can clip naturally at the frame edge.
+func (g *Gray) Set(x, y int, v uint8) {
+	if !g.In(x, y) {
+		return
+	}
+	g.Pix[y*g.W+x] = v
+}
+
+// Clone returns a deep copy of g.
+func (g *Gray) Clone() *Gray {
+	c := NewGray(g.W, g.H)
+	copy(c.Pix, g.Pix)
+	return c
+}
+
+// Fill sets every pixel to v.
+func (g *Gray) Fill(v uint8) {
+	for i := range g.Pix {
+		g.Pix[i] = v
+	}
+}
+
+// FillRect fills the rectangle [x0,x1)×[y0,y1) with v, clipped to the
+// frame.
+func (g *Gray) FillRect(x0, y0, x1, y1 int, v uint8) {
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > g.W {
+		x1 = g.W
+	}
+	if y1 > g.H {
+		y1 = g.H
+	}
+	for y := y0; y < y1; y++ {
+		row := g.Pix[y*g.W : (y+1)*g.W]
+		for x := x0; x < x1; x++ {
+			row[x] = v
+		}
+	}
+}
+
+// AddNoise perturbs every pixel by a uniform value in [-amp, amp],
+// clamping to [0, 255]. The caller supplies the RNG so noise is
+// reproducible per clip.
+func (g *Gray) AddNoise(rng *rand.Rand, amp int) {
+	if amp <= 0 {
+		return
+	}
+	for i, p := range g.Pix {
+		n := int(p) + rng.Intn(2*amp+1) - amp
+		if n < 0 {
+			n = 0
+		} else if n > 255 {
+			n = 255
+		}
+		g.Pix[i] = uint8(n)
+	}
+}
+
+// AbsDiff returns |g − h| pixelwise. The frames must agree in size.
+func AbsDiff(g, h *Gray) (*Gray, error) {
+	if g.W != h.W || g.H != h.H {
+		return nil, fmt.Errorf("frame: size mismatch %dx%d vs %dx%d", g.W, g.H, h.W, h.H)
+	}
+	out := NewGray(g.W, g.H)
+	for i := range g.Pix {
+		d := int(g.Pix[i]) - int(h.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		out.Pix[i] = uint8(d)
+	}
+	return out, nil
+}
+
+// Threshold returns the binary mask of pixels >= t (255 for
+// foreground, 0 for background).
+func (g *Gray) Threshold(t uint8) *Gray {
+	out := NewGray(g.W, g.H)
+	for i, p := range g.Pix {
+		if p >= t {
+			out.Pix[i] = 255
+		}
+	}
+	return out
+}
+
+// CountAbove returns how many pixels are >= t.
+func (g *Gray) CountAbove(t uint8) int {
+	n := 0
+	for _, p := range g.Pix {
+		if p >= t {
+			n++
+		}
+	}
+	return n
+}
+
+// Mean returns the average intensity of the frame.
+func (g *Gray) Mean() float64 {
+	s := 0
+	for _, p := range g.Pix {
+		s += int(p)
+	}
+	return float64(s) / float64(len(g.Pix))
+}
+
+// ASCII renders the frame as a coarse character map for terminal
+// inspection (used by cmd/trackviz). Every cell is the mean of a
+// block; the charset runs dark→bright.
+func (g *Gray) ASCII(cols int) string {
+	if cols <= 0 || cols > g.W {
+		cols = g.W
+	}
+	block := g.W / cols
+	if block < 1 {
+		block = 1
+	}
+	rows := g.H / block
+	charset := []byte(" .:-=+*#%@")
+	out := make([]byte, 0, (cols+1)*rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			sum, n := 0, 0
+			for y := r * block; y < (r+1)*block && y < g.H; y++ {
+				for x := c * block; x < (c+1)*block && x < g.W; x++ {
+					sum += int(g.At(x, y))
+					n++
+				}
+			}
+			idx := 0
+			if n > 0 {
+				idx = sum / n * (len(charset) - 1) / 255
+			}
+			out = append(out, charset[idx])
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+// Video is a sequence of equally sized frames with a nominal frame
+// rate (frames per second). It is the unit of storage the paper calls
+// a "video clip".
+type Video struct {
+	Frames []*Gray
+	FPS    float64
+	// Name identifies the clip in reports (e.g. "tunnel").
+	Name string
+}
+
+// Validate checks structural invariants: at least one frame, uniform
+// dimensions and a positive frame rate.
+func (v *Video) Validate() error {
+	if len(v.Frames) == 0 {
+		return errors.New("frame: video has no frames")
+	}
+	if v.FPS <= 0 {
+		return fmt.Errorf("frame: non-positive FPS %v", v.FPS)
+	}
+	for i, f := range v.Frames {
+		if f == nil {
+			return fmt.Errorf("frame: frame %d is nil", i)
+		}
+	}
+	w, h := v.Frames[0].W, v.Frames[0].H
+	for i, f := range v.Frames {
+		if f.W != w || f.H != h {
+			return fmt.Errorf("frame: frame %d is %dx%d, want %dx%d", i, f.W, f.H, w, h)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of frames.
+func (v *Video) Len() int { return len(v.Frames) }
+
+// Duration returns the clip length in seconds.
+func (v *Video) Duration() float64 {
+	if v.FPS <= 0 {
+		return 0
+	}
+	return float64(len(v.Frames)) / v.FPS
+}

@@ -1,0 +1,171 @@
+package frame
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ErrPGM is returned for malformed PGM input.
+var ErrPGM = errors.New("frame: malformed PGM")
+
+// WritePGM encodes the frame as binary PGM (P5), the simplest
+// interoperable grayscale format — viewable with any image tool and
+// re-readable by ReadPGM.
+func (g *Gray) WritePGM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", g.W, g.H); err != nil {
+		return err
+	}
+	if _, err := bw.Write(g.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadPGM decodes a binary PGM (P5) frame. Comments and arbitrary
+// whitespace in the header are handled; only 8-bit depth (maxval ≤
+// 255) is supported.
+func ReadPGM(r io.Reader) (*Gray, error) {
+	br := bufio.NewReader(r)
+	magic, err := pgmToken(br)
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("%w: magic %q", ErrPGM, magic)
+	}
+	var dims [3]int
+	for i := range dims {
+		tok, err := pgmToken(br)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fmt.Sscan(tok, &dims[i]); err != nil {
+			return nil, fmt.Errorf("%w: bad header token %q", ErrPGM, tok)
+		}
+	}
+	w, h, max := dims[0], dims[1], dims[2]
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("%w: dimensions %dx%d", ErrPGM, w, h)
+	}
+	if max <= 0 || max > 255 {
+		return nil, fmt.Errorf("%w: maxval %d", ErrPGM, max)
+	}
+	g := NewGray(w, h)
+	if _, err := io.ReadFull(br, g.Pix); err != nil {
+		return nil, fmt.Errorf("%w: pixel data: %v", ErrPGM, err)
+	}
+	return g, nil
+}
+
+// pgmToken reads the next whitespace-delimited header token, skipping
+// '#' comments. Exactly one whitespace byte terminates the final
+// header token per the PGM spec.
+func pgmToken(br *bufio.Reader) (string, error) {
+	var sb strings.Builder
+	inComment := false
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && sb.Len() > 0 {
+				return sb.String(), nil
+			}
+			return "", fmt.Errorf("%w: %v", ErrPGM, err)
+		}
+		switch {
+		case inComment:
+			if b == '\n' {
+				inComment = false
+			}
+		case b == '#':
+			inComment = true
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if sb.Len() > 0 {
+				return sb.String(), nil
+			}
+		default:
+			sb.WriteByte(b)
+		}
+	}
+}
+
+// SaveVideoDir writes every frame of v as zero-padded PGM files
+// (frame-000000.pgm, …) in dir, creating it if needed, plus an
+// index.txt recording name and FPS.
+func SaveVideoDir(v *Video, dir string) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, f := range v.Frames {
+		path := filepath.Join(dir, fmt.Sprintf("frame-%06d.pgm", i))
+		file, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := f.WritePGM(file); err != nil {
+			file.Close()
+			return err
+		}
+		if err := file.Close(); err != nil {
+			return err
+		}
+	}
+	meta := fmt.Sprintf("name %s\nfps %g\n", v.Name, v.FPS)
+	return os.WriteFile(filepath.Join(dir, "index.txt"), []byte(meta), 0o644)
+}
+
+// LoadVideoDir reads a clip written by SaveVideoDir.
+func LoadVideoDir(dir string) (*Video, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".pgm") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("frame: no PGM frames in %s", dir)
+	}
+	sort.Strings(names)
+	v := &Video{FPS: 25}
+	for _, n := range names {
+		f, err := os.Open(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		img, err := ReadPGM(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("frame: %s: %w", n, err)
+		}
+		v.Frames = append(v.Frames, img)
+	}
+	if meta, err := os.ReadFile(filepath.Join(dir, "index.txt")); err == nil {
+		for _, line := range strings.Split(string(meta), "\n") {
+			var name string
+			var fps float64
+			if _, err := fmt.Sscanf(line, "name %s", &name); err == nil {
+				v.Name = name
+			}
+			if _, err := fmt.Sscanf(line, "fps %g", &fps); err == nil && fps > 0 {
+				v.FPS = fps
+			}
+		}
+	}
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}

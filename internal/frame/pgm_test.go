@@ -1,0 +1,113 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPGMRoundtrip(t *testing.T) {
+	g := NewGray(17, 9)
+	rng := rand.New(rand.NewSource(1))
+	for i := range g.Pix {
+		g.Pix[i] = uint8(rng.Intn(256))
+	}
+	var buf bytes.Buffer
+	if err := g.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != g.W || got.H != g.H {
+		t.Fatalf("dims: %dx%d", got.W, got.H)
+	}
+	for i := range g.Pix {
+		if got.Pix[i] != g.Pix[i] {
+			t.Fatalf("pixel %d: %d vs %d", i, got.Pix[i], g.Pix[i])
+		}
+	}
+}
+
+func TestReadPGMWithComments(t *testing.T) {
+	data := "P5\n# a comment\n 3 # inline\n2\n255\n" + string([]byte{1, 2, 3, 4, 5, 6})
+	g, err := ReadPGM(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.W != 3 || g.H != 2 || g.At(2, 1) != 6 {
+		t.Fatalf("parsed %dx%d %v", g.W, g.H, g.Pix)
+	}
+}
+
+func TestReadPGMErrors(t *testing.T) {
+	cases := []string{
+		"",                        // empty
+		"P6\n2 2\n255\n....",      // wrong magic
+		"P5\nx 2\n255\n..",        // bad width token
+		"P5\n0 2\n255\n",          // zero width
+		"P5\n2 2\n70000\n....",    // bad maxval
+		"P5\n2 2\n255\n" + "\x01", // truncated pixels
+	}
+	for i, c := range cases {
+		if _, err := ReadPGM(strings.NewReader(c)); !errors.Is(err, ErrPGM) {
+			t.Errorf("case %d: got %v", i, err)
+		}
+	}
+}
+
+func TestSaveLoadVideoDir(t *testing.T) {
+	dir := t.TempDir()
+	v := &Video{FPS: 30, Name: "clipx"}
+	for i := 0; i < 4; i++ {
+		f := NewGray(8, 6)
+		f.Fill(uint8(40 * i))
+		v.Frames = append(v.Frames, f)
+	}
+	sub := filepath.Join(dir, "out")
+	if err := SaveVideoDir(v, sub); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadVideoDir(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 4 || got.Name != "clipx" || got.FPS != 30 {
+		t.Fatalf("meta: %d %q %v", got.Len(), got.Name, got.FPS)
+	}
+	// Frames come back in order.
+	for i, f := range got.Frames {
+		if f.At(0, 0) != uint8(40*i) {
+			t.Fatalf("frame %d out of order: %d", i, f.At(0, 0))
+		}
+	}
+}
+
+func TestSaveVideoDirRejectsInvalid(t *testing.T) {
+	if err := SaveVideoDir(&Video{FPS: 25}, t.TempDir()); err == nil {
+		t.Fatal("invalid video accepted")
+	}
+}
+
+func TestLoadVideoDirErrors(t *testing.T) {
+	if _, err := LoadVideoDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+	empty := t.TempDir()
+	if _, err := LoadVideoDir(empty); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	// A corrupt frame file fails the load.
+	bad := t.TempDir()
+	if err := os.WriteFile(filepath.Join(bad, "frame-000000.pgm"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadVideoDir(bad); err == nil {
+		t.Fatal("corrupt frame accepted")
+	}
+}

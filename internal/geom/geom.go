@@ -1,0 +1,229 @@
+// Package geom provides the small planar-geometry vocabulary used by
+// the tracking, simulation and event-modeling layers: points, vectors,
+// axis-aligned rectangles and angle arithmetic.
+//
+// The video coordinate convention follows raster images: x grows to
+// the right, y grows downward, and the origin is the top-left corner
+// of the frame. All quantities are float64; pixel rounding happens
+// only at the rendering boundary.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the image plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p translated by the vector v.
+func (p Point) Add(v Vec) Point { return Point{p.X + v.X, p.Y + v.Y} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Vec { return Vec{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// DistSq returns the squared Euclidean distance between p and q.
+// It avoids the square root when only comparisons are needed.
+func (p Point) DistSq(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Lerp linearly interpolates between p (t=0) and q (t=1).
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Vec is a displacement in the image plane. A motion vector in the
+// sense of the paper (Fig. 3) is the Vec from a vehicle's centroid at
+// the previous sampling point to its centroid at the current one.
+type Vec struct {
+	X, Y float64
+}
+
+// V is shorthand for Vec{x, y}.
+func V(x, y float64) Vec { return Vec{X: x, Y: y} }
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec { return Vec{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns v scaled by s.
+func (v Vec) Scale(s float64) Vec { return Vec{v.X * s, v.Y * s} }
+
+// Dot returns the dot product v·w.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the z component of the 3-D cross product, i.e. the
+// signed area of the parallelogram spanned by v and w.
+func (v Vec) Cross(w Vec) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Norm returns the Euclidean length of v.
+func (v Vec) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// NormSq returns the squared Euclidean length of v.
+func (v Vec) NormSq() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Unit returns v scaled to unit length. The zero vector is returned
+// unchanged since it has no direction.
+func (v Vec) Unit() Vec {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Angle returns the orientation of v in radians in (-π, π], measured
+// from the +x axis.
+func (v Vec) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// AngleBetween returns the unsigned angle in [0, π] between v and w.
+// This is the θ of the paper's Fig. 3: the absolute difference angle
+// between two consecutive motion vectors. If either vector is zero the
+// angle is defined as 0 (a stationary vehicle has not turned).
+func (v Vec) AngleBetween(w Vec) float64 {
+	nv, nw := v.Norm(), w.Norm()
+	if nv == 0 || nw == 0 {
+		return 0
+	}
+	// atan2 of (cross, dot) is numerically stabler than acos of the
+	// normalized dot product near 0 and π.
+	a := math.Atan2(math.Abs(v.Cross(w)), v.Dot(w))
+	return a
+}
+
+// Rotate returns v rotated counterclockwise (in image coordinates,
+// this appears clockwise on screen because y points down) by rad.
+func (v Vec) Rotate(rad float64) Vec {
+	s, c := math.Sincos(rad)
+	return Vec{v.X*c - v.Y*s, v.X*s + v.Y*c}
+}
+
+// Rect is an axis-aligned rectangle, the Minimal Bounding Rectangle
+// (MBR) of a vehicle segment in the paper's terminology. Min is the
+// top-left corner and Max the bottom-right; a Rect is well formed when
+// Min.X <= Max.X and Min.Y <= Max.Y.
+type Rect struct {
+	Min, Max Point
+}
+
+// RectFromCenter builds the rectangle of the given width and height
+// centered on c.
+func RectFromCenter(c Point, w, h float64) Rect {
+	return Rect{
+		Min: Point{c.X - w/2, c.Y - h/2},
+		Max: Point{c.X + w/2, c.Y + h/2},
+	}
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the area of r; malformed rectangles report 0.
+func (r Rect) Area() float64 {
+	w, h := r.Width(), r.Height()
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// Center returns the centroid of r.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Contains reports whether p lies inside r (inclusive of edges).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Intersect returns the overlap of r and s; the result has zero Area
+// when they do not overlap.
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		Min: Point{math.Max(r.Min.X, s.Min.X), math.Max(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Min(r.Max.X, s.Max.X), math.Min(r.Max.Y, s.Max.Y)},
+	}
+	if out.Min.X > out.Max.X || out.Min.Y > out.Max.Y {
+		return Rect{Min: out.Min, Max: out.Min} // empty at the corner
+	}
+	return out
+}
+
+// Union returns the smallest rectangle covering both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		Min: Point{math.Min(r.Min.X, s.Min.X), math.Min(r.Min.Y, s.Min.Y)},
+		Max: Point{math.Max(r.Max.X, s.Max.X), math.Max(r.Max.Y, s.Max.Y)},
+	}
+}
+
+// Overlaps reports whether r and s share any area. Rectangles that
+// merely touch at an edge do not overlap.
+func (r Rect) Overlaps(s Rect) bool { return r.Intersect(s).Area() > 0 }
+
+// IoU returns the intersection-over-union similarity of r and s in
+// [0, 1]. It is the standard bounding-box agreement measure used by
+// the tracker's evaluation.
+func (r Rect) IoU(s Rect) float64 {
+	inter := r.Intersect(s).Area()
+	if inter == 0 {
+		return 0
+	}
+	union := r.Area() + s.Area() - inter
+	if union <= 0 {
+		return 0
+	}
+	return inter / union
+}
+
+// Expand grows r by m on every side (shrinks for negative m).
+func (r Rect) Expand(m float64) Rect {
+	return Rect{
+		Min: Point{r.Min.X - m, r.Min.Y - m},
+		Max: Point{r.Max.X + m, r.Max.Y + m},
+	}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%s - %s]", r.Min, r.Max)
+}
+
+// NormalizeAngle wraps rad into (-π, π].
+func NormalizeAngle(rad float64) float64 {
+	rad = math.Mod(rad, 2*math.Pi)
+	switch {
+	case rad > math.Pi:
+		rad -= 2 * math.Pi
+	case rad <= -math.Pi:
+		rad += 2 * math.Pi
+	}
+	return rad
+}
+
+// AngleDiff returns the unsigned smallest difference between two
+// orientations, in [0, π].
+func AngleDiff(a, b float64) float64 {
+	return math.Abs(NormalizeAngle(a - b))
+}

@@ -1,0 +1,255 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func approx(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(1, 2)
+	q := p.Add(V(3, -1))
+	if q != Pt(4, 1) {
+		t.Fatalf("Add: got %v", q)
+	}
+	if v := q.Sub(p); v != V(3, -1) {
+		t.Fatalf("Sub: got %v", v)
+	}
+	if d := Pt(0, 0).Dist(Pt(3, 4)); !approx(d, 5) {
+		t.Fatalf("Dist: got %v", d)
+	}
+	if d := Pt(0, 0).DistSq(Pt(3, 4)); !approx(d, 25) {
+		t.Fatalf("DistSq: got %v", d)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p, q := Pt(0, 0), Pt(10, -20)
+	if m := p.Lerp(q, 0.5); m != Pt(5, -10) {
+		t.Fatalf("midpoint: got %v", m)
+	}
+	if s := p.Lerp(q, 0); s != p {
+		t.Fatalf("t=0: got %v", s)
+	}
+	if e := p.Lerp(q, 1); e != q {
+		t.Fatalf("t=1: got %v", e)
+	}
+}
+
+func TestVecBasics(t *testing.T) {
+	v := V(3, 4)
+	if n := v.Norm(); !approx(n, 5) {
+		t.Fatalf("Norm: got %v", n)
+	}
+	if n := v.NormSq(); !approx(n, 25) {
+		t.Fatalf("NormSq: got %v", n)
+	}
+	u := v.Unit()
+	if !approx(u.Norm(), 1) {
+		t.Fatalf("Unit norm: got %v", u.Norm())
+	}
+	if z := V(0, 0).Unit(); z != V(0, 0) {
+		t.Fatalf("zero Unit: got %v", z)
+	}
+	if d := V(1, 2).Dot(V(3, 4)); !approx(d, 11) {
+		t.Fatalf("Dot: got %v", d)
+	}
+	if c := V(1, 0).Cross(V(0, 1)); !approx(c, 1) {
+		t.Fatalf("Cross: got %v", c)
+	}
+}
+
+func TestAngleBetween(t *testing.T) {
+	cases := []struct {
+		v, w Vec
+		want float64
+	}{
+		{V(1, 0), V(1, 0), 0},
+		{V(1, 0), V(0, 1), math.Pi / 2},
+		{V(1, 0), V(-1, 0), math.Pi},
+		{V(1, 0), V(1, 1), math.Pi / 4},
+		{V(0, 0), V(1, 1), 0},         // zero vector: defined as no turn
+		{V(2, 2), V(-3, -3), math.Pi}, // reversal regardless of magnitude
+	}
+	for i, c := range cases {
+		if got := c.v.AngleBetween(c.w); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: AngleBetween(%v, %v) = %v, want %v", i, c.v, c.w, got, c.want)
+		}
+	}
+}
+
+func TestAngleBetweenSymmetricProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		v := V(rng.NormFloat64()*100, rng.NormFloat64()*100)
+		w := V(rng.NormFloat64()*100, rng.NormFloat64()*100)
+		x, y := v.AngleBetween(w), w.AngleBetween(v)
+		if math.Abs(x-y) > 1e-9 || x < 0 || x > math.Pi+1e-12 {
+			t.Fatalf("AngleBetween(%v,%v)=%v, reversed=%v", v, w, x, y)
+		}
+	}
+}
+
+func TestRotate(t *testing.T) {
+	v := V(1, 0).Rotate(math.Pi / 2)
+	if math.Abs(v.X) > eps || math.Abs(v.Y-1) > eps {
+		t.Fatalf("Rotate 90°: got %v", v)
+	}
+	// Rotation preserves length.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		w := V(rng.NormFloat64()*100, rng.NormFloat64()*100)
+		rad := rng.NormFloat64() * 10
+		if math.Abs(w.Rotate(rad).Norm()-w.Norm()) > 1e-6*(1+w.Norm()) {
+			t.Fatalf("rotation changed length: %v by %v", w, rad)
+		}
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{Min: Pt(0, 0), Max: Pt(4, 2)}
+	if !approx(r.Width(), 4) || !approx(r.Height(), 2) || !approx(r.Area(), 8) {
+		t.Fatalf("dims: w=%v h=%v a=%v", r.Width(), r.Height(), r.Area())
+	}
+	if c := r.Center(); c != Pt(2, 1) {
+		t.Fatalf("Center: got %v", c)
+	}
+	if !r.Contains(Pt(4, 2)) || r.Contains(Pt(4.1, 2)) {
+		t.Fatal("Contains edge semantics wrong")
+	}
+}
+
+func TestRectFromCenter(t *testing.T) {
+	r := RectFromCenter(Pt(5, 5), 4, 2)
+	if r.Min != Pt(3, 4) || r.Max != Pt(7, 6) {
+		t.Fatalf("got %v", r)
+	}
+	if r.Center() != Pt(5, 5) {
+		t.Fatalf("center drifted: %v", r.Center())
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	a := Rect{Min: Pt(0, 0), Max: Pt(4, 4)}
+	b := Rect{Min: Pt(2, 2), Max: Pt(6, 6)}
+	i := a.Intersect(b)
+	if i.Min != Pt(2, 2) || i.Max != Pt(4, 4) {
+		t.Fatalf("Intersect: got %v", i)
+	}
+	u := a.Union(b)
+	if u.Min != Pt(0, 0) || u.Max != Pt(6, 6) {
+		t.Fatalf("Union: got %v", u)
+	}
+	// Disjoint rectangles intersect with zero area.
+	c := Rect{Min: Pt(10, 10), Max: Pt(12, 12)}
+	if a.Intersect(c).Area() != 0 {
+		t.Fatal("disjoint intersection should have zero area")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("disjoint rects must not overlap")
+	}
+	// Touching at an edge is not overlapping.
+	d := Rect{Min: Pt(4, 0), Max: Pt(8, 4)}
+	if a.Overlaps(d) {
+		t.Fatal("edge-touching rects must not overlap")
+	}
+}
+
+func TestIoU(t *testing.T) {
+	a := Rect{Min: Pt(0, 0), Max: Pt(2, 2)}
+	if got := a.IoU(a); !approx(got, 1) {
+		t.Fatalf("self IoU: got %v", got)
+	}
+	b := Rect{Min: Pt(1, 0), Max: Pt(3, 2)}
+	// inter = 2, union = 4+4-2 = 6
+	if got := a.IoU(b); math.Abs(got-1.0/3.0) > eps {
+		t.Fatalf("IoU: got %v", got)
+	}
+	c := Rect{Min: Pt(5, 5), Max: Pt(6, 6)}
+	if got := a.IoU(c); got != 0 {
+		t.Fatalf("disjoint IoU: got %v", got)
+	}
+}
+
+func TestIoUProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randRect := func() Rect {
+		x, y := rng.Float64()*10, rng.Float64()*10
+		return Rect{Min: Pt(x, y), Max: Pt(x+rng.Float64()*5, y+rng.Float64()*5)}
+	}
+	for i := 0; i < 500; i++ {
+		a, b := randRect(), randRect()
+		x, y := a.IoU(b), b.IoU(a)
+		if math.Abs(x-y) > eps {
+			t.Fatalf("IoU not symmetric: %v vs %v", x, y)
+		}
+		if x < 0 || x > 1+eps {
+			t.Fatalf("IoU out of range: %v", x)
+		}
+	}
+}
+
+func TestExpand(t *testing.T) {
+	r := Rect{Min: Pt(2, 2), Max: Pt(4, 4)}
+	e := r.Expand(1)
+	if e.Min != Pt(1, 1) || e.Max != Pt(5, 5) {
+		t.Fatalf("Expand: got %v", e)
+	}
+	s := r.Expand(-0.5)
+	if s.Min != Pt(2.5, 2.5) || s.Max != Pt(3.5, 3.5) {
+		t.Fatalf("shrink: got %v", s)
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+		{-math.Pi / 2, -math.Pi / 2},
+	}
+	for i, c := range cases {
+		if got := NormalizeAngle(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: NormalizeAngle(%v) = %v, want %v", i, c.in, got, c.want)
+		}
+	}
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return true
+		}
+		n := NormalizeAngle(a)
+		return n > -math.Pi-1e-9 && n <= math.Pi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAngleDiff(t *testing.T) {
+	if d := AngleDiff(0.1, -0.1); math.Abs(d-0.2) > 1e-12 {
+		t.Fatalf("got %v", d)
+	}
+	// Wrap-around: 350° vs 10° differ by 20°, not 340°.
+	a, b := 350*math.Pi/180, 10*math.Pi/180
+	if d := AngleDiff(a, b); math.Abs(d-20*math.Pi/180) > 1e-9 {
+		t.Fatalf("wraparound: got %v", d)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if s := Pt(1, 2).String(); s == "" {
+		t.Fatal("empty Point string")
+	}
+	if s := (Rect{Min: Pt(0, 0), Max: Pt(1, 1)}).String(); s == "" {
+		t.Fatal("empty Rect string")
+	}
+}

@@ -1,0 +1,249 @@
+// Package homography implements planar projective mappings and the
+// camera normalization the paper's §6.2 names as the prerequisite for
+// mining a multi-camera video database as a whole: "it requires that
+// we normalize all the video clips taken at different locations with
+// different camera parameters".
+//
+// A Homography maps image-plane points to a common road-plane
+// coordinate frame. It is estimated from ≥ 4 point correspondences by
+// the normalized Direct Linear Transform (DLT), with the homogeneous
+// system solved through the eigendecomposition of AᵀA (the smallest
+// eigenvector is the least-squares null vector). Applying per-camera
+// homographies to tracked trajectories puts clips from different
+// cameras into one metric frame, where a single retrieval session can
+// search across cameras (see the cross-camera experiment).
+package homography
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"milvideo/internal/geom"
+	"milvideo/internal/mat"
+)
+
+// Errors returned by the estimator.
+var (
+	ErrTooFewPoints = errors.New("homography: need at least 4 correspondences")
+	ErrDegenerate   = errors.New("homography: degenerate configuration")
+)
+
+// Homography is a 3×3 projective transform acting on the plane.
+type Homography struct {
+	// M is the row-major 3×3 matrix; M[2][2] is normalized to 1
+	// whenever possible.
+	M [3][3]float64
+}
+
+// Identity returns the identity transform.
+func Identity() Homography {
+	return Homography{M: [3][3]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}}
+}
+
+// Apply maps the point p. It returns an error when p lies on the
+// transform's line at infinity (homogeneous w ≈ 0).
+func (h Homography) Apply(p geom.Point) (geom.Point, error) {
+	x := h.M[0][0]*p.X + h.M[0][1]*p.Y + h.M[0][2]
+	y := h.M[1][0]*p.X + h.M[1][1]*p.Y + h.M[1][2]
+	w := h.M[2][0]*p.X + h.M[2][1]*p.Y + h.M[2][2]
+	if math.Abs(w) < 1e-12 {
+		return geom.Point{}, fmt.Errorf("homography: point %v maps to infinity", p)
+	}
+	return geom.Pt(x/w, y/w), nil
+}
+
+// Compose returns the transform that applies g first, then h.
+func (h Homography) Compose(g Homography) Homography {
+	var out Homography
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			s := 0.0
+			for k := 0; k < 3; k++ {
+				s += h.M[i][k] * g.M[k][j]
+			}
+			out.M[i][j] = s
+		}
+	}
+	return out.normalize()
+}
+
+// Inverse returns h⁻¹ (adjugate method), or an error for singular
+// transforms.
+func (h Homography) Inverse() (Homography, error) {
+	m := h.M
+	det := m[0][0]*(m[1][1]*m[2][2]-m[1][2]*m[2][1]) -
+		m[0][1]*(m[1][0]*m[2][2]-m[1][2]*m[2][0]) +
+		m[0][2]*(m[1][0]*m[2][1]-m[1][1]*m[2][0])
+	if math.Abs(det) < 1e-15 {
+		return Homography{}, errors.New("homography: singular transform")
+	}
+	adj := [3][3]float64{
+		{m[1][1]*m[2][2] - m[1][2]*m[2][1], m[0][2]*m[2][1] - m[0][1]*m[2][2], m[0][1]*m[1][2] - m[0][2]*m[1][1]},
+		{m[1][2]*m[2][0] - m[1][0]*m[2][2], m[0][0]*m[2][2] - m[0][2]*m[2][0], m[0][2]*m[1][0] - m[0][0]*m[1][2]},
+		{m[1][0]*m[2][1] - m[1][1]*m[2][0], m[0][1]*m[2][0] - m[0][0]*m[2][1], m[0][0]*m[1][1] - m[0][1]*m[1][0]},
+	}
+	var out Homography
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			out.M[i][j] = adj[i][j] / det
+		}
+	}
+	return out.normalize(), nil
+}
+
+// normalize scales so M[2][2] = 1 when it is safely nonzero.
+func (h Homography) normalize() Homography {
+	w := h.M[2][2]
+	if math.Abs(w) < 1e-12 {
+		return h
+	}
+	var out Homography
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			out.M[i][j] = h.M[i][j] / w
+		}
+	}
+	return out
+}
+
+// Correspondence pairs an image point with its road-plane position.
+type Correspondence struct {
+	Image, World geom.Point
+}
+
+// Estimate fits the homography mapping image → world from ≥ 4
+// correspondences using the normalized DLT. With exactly 4 points the
+// fit is exact; with more it is least-squares in the algebraic error.
+func Estimate(corr []Correspondence) (Homography, error) {
+	if len(corr) < 4 {
+		return Homography{}, fmt.Errorf("%w: got %d", ErrTooFewPoints, len(corr))
+	}
+	// Hartley normalization: translate centroid to origin, scale mean
+	// distance to √2, for both point sets.
+	srcN, tSrc, err := normalizePoints(pointsOf(corr, true))
+	if err != nil {
+		return Homography{}, err
+	}
+	dstN, tDst, err := normalizePoints(pointsOf(corr, false))
+	if err != nil {
+		return Homography{}, err
+	}
+
+	// DLT system: each correspondence yields two rows of A·h = 0.
+	a := mat.New(2*len(corr), 9)
+	for i := range corr {
+		x, y := srcN[i].X, srcN[i].Y
+		u, v := dstN[i].X, dstN[i].Y
+		r1 := []float64{-x, -y, -1, 0, 0, 0, u * x, u * y, u}
+		r2 := []float64{0, 0, 0, -x, -y, -1, v * x, v * y, v}
+		for j := 0; j < 9; j++ {
+			a.Set(2*i, j, r1[j])
+			a.Set(2*i+1, j, r2[j])
+		}
+	}
+	// Null vector of A ≈ eigenvector of AᵀA with smallest eigenvalue.
+	at := a.T()
+	ata, err := at.Mul(a)
+	if err != nil {
+		return Homography{}, err
+	}
+	vals, vecs, err := mat.SymEigen(ata)
+	if err != nil {
+		return Homography{}, fmt.Errorf("homography: %w", err)
+	}
+	hvec := vecs.Col(len(vals) - 1) // smallest eigenvalue is last (sorted desc)
+	norm := 0.0
+	for _, v := range hvec {
+		norm += v * v
+	}
+	if norm < 1e-20 {
+		return Homography{}, ErrDegenerate
+	}
+	var hn Homography
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			hn.M[i][j] = hvec[3*i+j]
+		}
+	}
+	// Denormalize: H = T_dst⁻¹ · Hn · T_src.
+	tDstInv, err := tDst.Inverse()
+	if err != nil {
+		return Homography{}, err
+	}
+	h := tDstInv.Compose(hn.Compose(tSrc))
+
+	// Sanity: the estimated transform must actually map the inputs.
+	for _, c := range corr {
+		got, err := h.Apply(c.Image)
+		if err != nil {
+			return Homography{}, fmt.Errorf("%w: %v", ErrDegenerate, err)
+		}
+		_ = got
+	}
+	return h, nil
+}
+
+func pointsOf(corr []Correspondence, image bool) []geom.Point {
+	out := make([]geom.Point, len(corr))
+	for i, c := range corr {
+		if image {
+			out[i] = c.Image
+		} else {
+			out[i] = c.World
+		}
+	}
+	return out
+}
+
+// normalizePoints applies the Hartley similarity normalization and
+// returns the transformed points together with the transform used.
+func normalizePoints(pts []geom.Point) ([]geom.Point, Homography, error) {
+	var cx, cy float64
+	for _, p := range pts {
+		cx += p.X
+		cy += p.Y
+	}
+	n := float64(len(pts))
+	cx, cy = cx/n, cy/n
+	meanDist := 0.0
+	for _, p := range pts {
+		meanDist += math.Hypot(p.X-cx, p.Y-cy)
+	}
+	meanDist /= n
+	if meanDist < 1e-12 {
+		return nil, Homography{}, fmt.Errorf("%w: coincident points", ErrDegenerate)
+	}
+	s := math.Sqrt2 / meanDist
+	t := Homography{M: [3][3]float64{
+		{s, 0, -s * cx},
+		{0, s, -s * cy},
+		{0, 0, 1},
+	}}
+	out := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		q, err := t.Apply(p)
+		if err != nil {
+			return nil, Homography{}, err
+		}
+		out[i] = q
+	}
+	return out, t, nil
+}
+
+// ReprojectionRMSE measures the fit quality of h over a set of
+// correspondences (world-units RMSE).
+func ReprojectionRMSE(h Homography, corr []Correspondence) (float64, error) {
+	if len(corr) == 0 {
+		return 0, errors.New("homography: no correspondences")
+	}
+	s := 0.0
+	for _, c := range corr {
+		got, err := h.Apply(c.Image)
+		if err != nil {
+			return 0, err
+		}
+		s += got.DistSq(c.World)
+	}
+	return math.Sqrt(s / float64(len(corr))), nil
+}

@@ -1,0 +1,214 @@
+package homography
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"milvideo/internal/geom"
+)
+
+func TestIdentityApply(t *testing.T) {
+	h := Identity()
+	p, err := h.Apply(geom.Pt(3, -7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != geom.Pt(3, -7) {
+		t.Fatalf("identity moved the point: %v", p)
+	}
+}
+
+func TestApplyAffine(t *testing.T) {
+	// Pure translation + scale.
+	h := Homography{M: [3][3]float64{{2, 0, 1}, {0, 3, -2}, {0, 0, 1}}}
+	p, err := h.Apply(geom.Pt(4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != geom.Pt(9, 13) {
+		t.Fatalf("affine: %v", p)
+	}
+}
+
+func TestApplyAtInfinity(t *testing.T) {
+	h := Homography{M: [3][3]float64{{1, 0, 0}, {0, 1, 0}, {1, 0, 0}}}
+	if _, err := h.Apply(geom.Pt(0, 5)); err == nil {
+		t.Fatal("point at infinity accepted")
+	}
+}
+
+func TestComposeAndInverse(t *testing.T) {
+	h := Homography{M: [3][3]float64{{1.2, 0.1, 3}, {-0.05, 0.9, -1}, {0.001, 0.002, 1}}}
+	inv, err := h.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	round := h.Compose(inv) // maps like identity
+	for _, p := range []geom.Point{geom.Pt(0, 0), geom.Pt(100, 50), geom.Pt(-20, 80)} {
+		q, err := round.Apply(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Dist(q) > 1e-9 {
+			t.Fatalf("inverse roundtrip moved %v to %v", p, q)
+		}
+	}
+	// Singular transform has no inverse.
+	sing := Homography{M: [3][3]float64{{1, 2, 3}, {2, 4, 6}, {0, 0, 1}}}
+	if _, err := sing.Inverse(); err == nil {
+		t.Fatal("singular inverse accepted")
+	}
+}
+
+// randomH builds a well-conditioned random projective transform.
+func randomH(rng *rand.Rand) Homography {
+	return Homography{M: [3][3]float64{
+		{1 + rng.Float64()*0.4, rng.Float64() * 0.2, rng.Float64() * 20},
+		{rng.Float64() * 0.2, 1 + rng.Float64()*0.4, rng.Float64() * 20},
+		{rng.Float64() * 1e-3, rng.Float64() * 1e-3, 1},
+	}}
+}
+
+func TestEstimateExactFourPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	truth := randomH(rng)
+	pts := []geom.Point{geom.Pt(10, 10), geom.Pt(300, 20), geom.Pt(290, 220), geom.Pt(15, 230)}
+	var corr []Correspondence
+	for _, p := range pts {
+		w, err := truth.Apply(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corr = append(corr, Correspondence{Image: p, World: w})
+	}
+	h, err := Estimate(corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse, err := ReprojectionRMSE(h, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 1e-6 {
+		t.Fatalf("four-point fit not exact: rmse %v", rmse)
+	}
+	// The recovered transform generalizes to unseen points.
+	probe := geom.Pt(150, 120)
+	want, _ := truth.Apply(probe)
+	got, err := h.Apply(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Dist(got) > 1e-5 {
+		t.Fatalf("generalization: %v vs %v", got, want)
+	}
+}
+
+func TestEstimateOverdeterminedWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	truth := randomH(rng)
+	var corr []Correspondence
+	for i := 0; i < 20; i++ {
+		p := geom.Pt(rng.Float64()*320, rng.Float64()*240)
+		w, err := truth.Apply(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Half-pixel noise on the world points.
+		w = geom.Pt(w.X+rng.NormFloat64()*0.5, w.Y+rng.NormFloat64()*0.5)
+		corr = append(corr, Correspondence{Image: p, World: w})
+	}
+	h, err := Estimate(corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse, err := ReprojectionRMSE(h, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 2 {
+		t.Fatalf("noisy fit rmse %v", rmse)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := Estimate(nil); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("empty: %v", err)
+	}
+	three := []Correspondence{
+		{Image: geom.Pt(0, 0), World: geom.Pt(0, 0)},
+		{Image: geom.Pt(1, 0), World: geom.Pt(1, 0)},
+		{Image: geom.Pt(0, 1), World: geom.Pt(0, 1)},
+	}
+	if _, err := Estimate(three); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("three points: %v", err)
+	}
+	// Coincident points are degenerate.
+	same := []Correspondence{
+		{Image: geom.Pt(5, 5), World: geom.Pt(1, 1)},
+		{Image: geom.Pt(5, 5), World: geom.Pt(2, 2)},
+		{Image: geom.Pt(5, 5), World: geom.Pt(3, 3)},
+		{Image: geom.Pt(5, 5), World: geom.Pt(4, 4)},
+	}
+	if _, err := Estimate(same); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("coincident: %v", err)
+	}
+}
+
+func TestReprojectionRMSEErrors(t *testing.T) {
+	if _, err := ReprojectionRMSE(Identity(), nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestEstimateRecoveryProperty(t *testing.T) {
+	// Property: for random well-conditioned transforms and ≥ 8 random
+	// correspondences, Estimate recovers a transform that reprojects
+	// to near-zero error.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		truth := randomH(rng)
+		var corr []Correspondence
+		for i := 0; i < 8; i++ {
+			p := geom.Pt(rng.Float64()*320, rng.Float64()*240)
+			w, err := truth.Apply(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			corr = append(corr, Correspondence{Image: p, World: w})
+		}
+		h, err := Estimate(corr)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		rmse, err := ReprojectionRMSE(h, corr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rmse > 1e-5 {
+			t.Fatalf("trial %d: rmse %v", trial, rmse)
+		}
+	}
+}
+
+func TestNormalizePointsDegenerate(t *testing.T) {
+	if _, _, err := normalizePoints([]geom.Point{geom.Pt(1, 1), geom.Pt(1, 1)}); err == nil {
+		t.Fatal("coincident points accepted")
+	}
+}
+
+func TestComposeOrder(t *testing.T) {
+	// h.Compose(g) applies g first.
+	g := Homography{M: [3][3]float64{{1, 0, 5}, {0, 1, 0}, {0, 0, 1}}} // translate x+5
+	h := Homography{M: [3][3]float64{{2, 0, 0}, {0, 2, 0}, {0, 0, 1}}} // scale ×2
+	p, err := h.Compose(g).Apply(geom.Pt(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1+5)*2 = 12
+	if math.Abs(p.X-12) > 1e-12 || math.Abs(p.Y-2) > 1e-12 {
+		t.Fatalf("compose order wrong: %v", p)
+	}
+}

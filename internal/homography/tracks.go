@@ -1,0 +1,69 @@
+package homography
+
+import (
+	"fmt"
+
+	"milvideo/internal/geom"
+	"milvideo/internal/track"
+)
+
+// NormalizeTracks maps every track observation through h, producing
+// new tracks in the target (road-plane) frame. Centroids are mapped
+// exactly; bounding boxes are approximated by the axis-aligned hull
+// of their transformed corners. Input tracks are not modified.
+func NormalizeTracks(tracks []*track.Track, h Homography) ([]*track.Track, error) {
+	out := make([]*track.Track, 0, len(tracks))
+	for _, t := range tracks {
+		nt := &track.Track{ID: t.ID, Confirmed: t.Confirmed}
+		for _, o := range t.Observations {
+			c, err := h.Apply(o.Centroid)
+			if err != nil {
+				return nil, fmt.Errorf("homography: track %d frame %d: %w", t.ID, o.Frame, err)
+			}
+			box, err := applyRect(h, o.MBR)
+			if err != nil {
+				return nil, fmt.Errorf("homography: track %d frame %d: %w", t.ID, o.Frame, err)
+			}
+			no := o
+			no.Centroid = c
+			no.MBR = box
+			nt.Observations = append(nt.Observations, no)
+		}
+		out = append(out, nt)
+	}
+	return out, nil
+}
+
+// applyRect maps a rectangle's corners and returns their bounding box.
+func applyRect(h Homography, r geom.Rect) (geom.Rect, error) {
+	corners := []geom.Point{
+		r.Min,
+		geom.Pt(r.Max.X, r.Min.Y),
+		r.Max,
+		geom.Pt(r.Min.X, r.Max.Y),
+	}
+	var out geom.Rect
+	for i, c := range corners {
+		p, err := h.Apply(c)
+		if err != nil {
+			return geom.Rect{}, err
+		}
+		if i == 0 {
+			out = geom.Rect{Min: p, Max: p}
+			continue
+		}
+		if p.X < out.Min.X {
+			out.Min.X = p.X
+		}
+		if p.Y < out.Min.Y {
+			out.Min.Y = p.Y
+		}
+		if p.X > out.Max.X {
+			out.Max.X = p.X
+		}
+		if p.Y > out.Max.Y {
+			out.Max.Y = p.Y
+		}
+	}
+	return out, nil
+}

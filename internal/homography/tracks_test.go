@@ -1,0 +1,92 @@
+package homography
+
+import (
+	"math"
+	"testing"
+
+	"milvideo/internal/geom"
+	"milvideo/internal/track"
+)
+
+func sampleTrack() *track.Track {
+	tr := &track.Track{ID: 3, Confirmed: true}
+	for f := 0; f < 5; f++ {
+		c := geom.Pt(10+4*float64(f), 50)
+		tr.Observations = append(tr.Observations, track.Observation{
+			Frame:    f,
+			Centroid: c,
+			MBR:      geom.RectFromCenter(c, 16, 9),
+			Area:     100,
+		})
+	}
+	return tr
+}
+
+func TestNormalizeTracksAffine(t *testing.T) {
+	h := Homography{M: [3][3]float64{{2, 0, 10}, {0, 2, -5}, {0, 0, 1}}}
+	out, err := NormalizeTracks([]*track.Track{sampleTrack()}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].ID != 3 || !out[0].Confirmed {
+		t.Fatalf("metadata lost: %+v", out[0])
+	}
+	got := out[0].Observations[0]
+	if got.Centroid != geom.Pt(30, 95) {
+		t.Fatalf("centroid: %v", got.Centroid)
+	}
+	// Under a pure scale the MBR doubles.
+	if math.Abs(got.MBR.Width()-32) > 1e-9 || math.Abs(got.MBR.Height()-18) > 1e-9 {
+		t.Fatalf("MBR: %v", got.MBR)
+	}
+	// Frames, areas and flags are preserved.
+	if got.Frame != 0 || got.Area != 100 || got.Predicted {
+		t.Fatalf("observation fields: %+v", got)
+	}
+}
+
+func TestNormalizeTracksDoesNotMutateInput(t *testing.T) {
+	src := sampleTrack()
+	orig := src.Observations[2].Centroid
+	h := Homography{M: [3][3]float64{{1, 0, 100}, {0, 1, 0}, {0, 0, 1}}}
+	if _, err := NormalizeTracks([]*track.Track{src}, h); err != nil {
+		t.Fatal(err)
+	}
+	if src.Observations[2].Centroid != orig {
+		t.Fatal("input track mutated")
+	}
+}
+
+func TestNormalizeTracksRoundtrip(t *testing.T) {
+	h := Homography{M: [3][3]float64{{0.7, 0.1, 12}, {-0.05, 0.8, 3}, {0.0004, 0.0001, 1}}}
+	inv, err := h.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sampleTrack()
+	fwd, err := NormalizeTracks([]*track.Track{src}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := NormalizeTracks(fwd, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range back[0].Observations {
+		if o.Centroid.Dist(src.Observations[i].Centroid) > 1e-6 {
+			t.Fatalf("roundtrip drift at %d: %v vs %v", i, o.Centroid, src.Observations[i].Centroid)
+		}
+	}
+}
+
+func TestNormalizeTracksInfinityError(t *testing.T) {
+	// A transform whose line at infinity crosses the track must error.
+	h := Homography{M: [3][3]float64{{1, 0, 0}, {0, 1, 0}, {-1.0 / 18, 0, 1}}}
+	// Centroid x=18 ⇒ w=0.
+	tr := &track.Track{ID: 1, Observations: []track.Observation{{
+		Frame: 0, Centroid: geom.Pt(18, 5), MBR: geom.RectFromCenter(geom.Pt(18, 5), 4, 4),
+	}}}
+	if _, err := NormalizeTracks([]*track.Track{tr}, h); err == nil {
+		t.Fatal("point at infinity accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package kernel
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRBFBasics(t *testing.T) {
+	k := RBF{Sigma: 1}
+	if v := k.Eval([]float64{1, 2}, []float64{1, 2}); v != 1 {
+		t.Fatalf("self similarity: %v", v)
+	}
+	// K decays with distance and stays in (0, 1].
+	a := []float64{0, 0}
+	v1 := k.Eval(a, []float64{1, 0})
+	v2 := k.Eval(a, []float64{2, 0})
+	if !(1 > v1 && v1 > v2 && v2 > 0) {
+		t.Fatalf("decay: %v %v", v1, v2)
+	}
+	// exp(−d²/2σ²) with d=1, σ=1 → e^{−0.5}.
+	if math.Abs(v1-math.Exp(-0.5)) > 1e-12 {
+		t.Fatalf("value: %v", v1)
+	}
+	// Dimension mismatch → NaN.
+	if !math.IsNaN(k.Eval([]float64{1}, []float64{1, 2})) {
+		t.Fatal("mismatch must yield NaN")
+	}
+	// Non-positive sigma falls back to 1.
+	if v := (RBF{Sigma: 0}).Eval(a, []float64{1, 0}); math.Abs(v-math.Exp(-0.5)) > 1e-12 {
+		t.Fatalf("sigma fallback: %v", v)
+	}
+	if k.Name() == "" {
+		t.Fatal("name")
+	}
+}
+
+func TestLinearAndPoly(t *testing.T) {
+	if v := (Linear{}).Eval([]float64{1, 2}, []float64{3, 4}); v != 11 {
+		t.Fatalf("linear: %v", v)
+	}
+	if !math.IsNaN((Linear{}).Eval([]float64{1}, []float64{1, 2})) {
+		t.Fatal("linear mismatch must yield NaN")
+	}
+	p := Poly{Degree: 2, C: 1}
+	if v := p.Eval([]float64{1, 2}, []float64{3, 4}); v != 144 {
+		t.Fatalf("poly: %v", v)
+	}
+	// Degree < 1 falls back to 2.
+	if v := (Poly{C: 0}).Eval([]float64{2}, []float64{3}); v != 36 {
+		t.Fatalf("poly default degree: %v", v)
+	}
+	if !math.IsNaN(p.Eval([]float64{1}, []float64{1, 2})) {
+		t.Fatal("poly mismatch must yield NaN")
+	}
+	if (Linear{}).Name() == "" || p.Name() == "" {
+		t.Fatal("names")
+	}
+}
+
+func TestMatrixSymmetricPSD(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	X := make([][]float64, 12)
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	g, err := Matrix(RBF{Sigma: 1.3}, X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(g)
+	for i := 0; i < n; i++ {
+		if g[i][i] != 1 {
+			t.Fatalf("diagonal: %v", g[i][i])
+		}
+		for j := 0; j < n; j++ {
+			if g[i][j] != g[j][i] {
+				t.Fatal("asymmetric gram")
+			}
+		}
+	}
+	// PSD check: xᵀGx ≥ 0 for random x.
+	for trial := 0; trial < 50; trial++ {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		q := 0.0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				q += x[i] * g[i][j] * x[j]
+			}
+		}
+		if q < -1e-9 {
+			t.Fatalf("gram not PSD: %v", q)
+		}
+	}
+}
+
+func TestMatrixErrorsAndEmpty(t *testing.T) {
+	if g, err := Matrix(Linear{}, nil); err != nil || g != nil {
+		t.Fatal("empty input should be nil, nil")
+	}
+	if _, err := Matrix(Linear{}, [][]float64{{1, 2}, {3}}); !errors.Is(err, ErrDim) {
+		t.Fatalf("ragged: %v", err)
+	}
+}
+
+func TestMedianHeuristicSigma(t *testing.T) {
+	// Points at mutual distances {1, 1, 2} → median 1.
+	X := [][]float64{{0, 0}, {1, 0}, {2, 0}}
+	if s := MedianHeuristicSigma(X); s != 1 {
+		t.Fatalf("median: %v", s)
+	}
+	// Degenerate inputs return the neutral bandwidth 1.
+	if s := MedianHeuristicSigma(nil); s != 1 {
+		t.Fatalf("empty: %v", s)
+	}
+	if s := MedianHeuristicSigma([][]float64{{5, 5}}); s != 1 {
+		t.Fatalf("single: %v", s)
+	}
+	if s := MedianHeuristicSigma([][]float64{{1, 1}, {1, 1}}); s != 1 {
+		t.Fatalf("identical: %v", s)
+	}
+}

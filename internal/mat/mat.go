@@ -1,0 +1,423 @@
+// Package mat implements the small dense linear algebra kernel the
+// rest of the system builds on: matrix arithmetic, linear solves with
+// partial pivoting, least-squares fitting via Householder QR, and a
+// Jacobi eigendecomposition for symmetric matrices (used by the PCA
+// vehicle classifier).
+//
+// Matrices are row-major and sized at construction. The package is
+// deliberately minimal — it serves trajectory fitting (a handful of
+// unknowns) and PCA over low-dimensional shape features, not large
+// numerics — but every routine is exact in its error handling and
+// tested against analytic cases.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrShape is returned when operand dimensions are incompatible.
+var ErrShape = errors.New("mat: incompatible matrix shapes")
+
+// ErrSingular is returned when a solve encounters a (numerically)
+// singular system.
+var ErrSingular = errors.New("mat: singular matrix")
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a zero rows×cols matrix. It panics if either dimension
+// is not positive, since a sized-at-construction matrix with zero
+// extent is always a programming error.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("%w: empty input", ErrShape)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			return nil, fmt.Errorf("%w: row %d has %d columns, want %d", ErrShape, i, len(r), m.cols)
+		}
+		copy(m.data[i*m.cols:], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Add returns m + n.
+func (m *Matrix) Add(n *Matrix) (*Matrix, error) {
+	if m.rows != n.rows || m.cols != n.cols {
+		return nil, fmt.Errorf("%w: %dx%d + %dx%d", ErrShape, m.rows, m.cols, n.rows, n.cols)
+	}
+	out := New(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = m.data[i] + n.data[i]
+	}
+	return out, nil
+}
+
+// Sub returns m - n.
+func (m *Matrix) Sub(n *Matrix) (*Matrix, error) {
+	if m.rows != n.rows || m.cols != n.cols {
+		return nil, fmt.Errorf("%w: %dx%d - %dx%d", ErrShape, m.rows, m.cols, n.rows, n.cols)
+	}
+	out := New(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = m.data[i] - n.data[i]
+	}
+	return out, nil
+}
+
+// Scale returns m scaled by s as a new matrix.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := New(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = m.data[i] * s
+	}
+	return out
+}
+
+// Mul returns the matrix product m·n.
+func (m *Matrix) Mul(n *Matrix) (*Matrix, error) {
+	if m.cols != n.rows {
+		return nil, fmt.Errorf("%w: %dx%d · %dx%d", ErrShape, m.rows, m.cols, n.rows, n.cols)
+	}
+	out := New(m.rows, n.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < n.cols; j++ {
+				out.data[i*out.cols+j] += a * n.At(k, j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m·x.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if m.cols != len(x) {
+		return nil, fmt.Errorf("%w: %dx%d · vector of length %d", ErrShape, m.rows, m.cols, len(x))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		s := 0.0
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// String renders the matrix for debugging output.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		b.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%9.4f", m.At(i, j))
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+// Solve solves the square system a·x = b by Gaussian elimination with
+// partial pivoting. a and b are not modified.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, fmt.Errorf("%w: Solve needs a square matrix, got %dx%d", ErrShape, a.rows, a.cols)
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrShape, len(b), n)
+	}
+	// Work on copies.
+	aug := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: pick the row with the largest magnitude in
+		// this column at or below the diagonal.
+		piv, best := col, math.Abs(aug.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(aug.At(r, col)); v > best {
+				piv, best = r, v
+			}
+		}
+		if best < 1e-13 {
+			return nil, fmt.Errorf("%w: pivot %d is %g", ErrSingular, col, best)
+		}
+		if piv != col {
+			for j := 0; j < n; j++ {
+				aug.data[col*n+j], aug.data[piv*n+j] = aug.data[piv*n+j], aug.data[col*n+j]
+			}
+			x[col], x[piv] = x[piv], x[col]
+		}
+		inv := 1 / aug.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := aug.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				aug.data[r*n+j] -= f * aug.data[col*n+j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= aug.At(i, j) * x[j]
+		}
+		x[i] = s / aug.At(i, i)
+	}
+	return x, nil
+}
+
+// LeastSquares solves the overdetermined system a·x ≈ b in the
+// least-squares sense using Householder QR. It requires
+// a.Rows() >= a.Cols() and returns ErrSingular when a is
+// rank-deficient. This is the solver behind the paper's Eq. (2)
+// polynomial trajectory fit.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	m, n := a.rows, a.cols
+	if len(b) != m {
+		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrShape, len(b), m)
+	}
+	if m < n {
+		return nil, fmt.Errorf("%w: underdetermined system %dx%d", ErrShape, m, n)
+	}
+	r := a.Clone()
+	y := make([]float64, m)
+	copy(y, b)
+	rdiag := make([]float64, n)
+
+	// Householder QR: for each column k, reflect so entries below the
+	// diagonal vanish, applying the same reflection to y. The reflector
+	// vector is stored in the column itself; the true R diagonal lives
+	// in rdiag (standard JAMA layout, which keeps r[k][k]+1 in [1, 2]
+	// for numerical safety).
+	for k := 0; k < n; k++ {
+		norm := 0.0
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, r.At(i, k))
+		}
+		if norm < 1e-13 {
+			return nil, fmt.Errorf("%w: column %d has zero norm under reflection", ErrSingular, k)
+		}
+		if r.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			r.Set(i, k, r.At(i, k)/norm)
+		}
+		r.Set(k, k, r.At(k, k)+1)
+
+		// Apply the reflector to remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += r.At(i, k) * r.At(i, j)
+			}
+			s = -s / r.At(k, k)
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)+s*r.At(i, k))
+			}
+		}
+		// Apply to rhs.
+		s := 0.0
+		for i := k; i < m; i++ {
+			s += r.At(i, k) * y[i]
+		}
+		s = -s / r.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * r.At(i, k)
+		}
+		rdiag[k] = -norm
+	}
+
+	// Back-substitute R·x = y[:n].
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * x[j]
+		}
+		if math.Abs(rdiag[i]) < 1e-13 {
+			return nil, fmt.Errorf("%w: zero diagonal in R at %d", ErrSingular, i)
+		}
+		x[i] = s / rdiag[i]
+	}
+	return x, nil
+}
+
+// SymEigen computes the eigenvalues and eigenvectors of the symmetric
+// matrix a using the cyclic Jacobi method. Eigenpairs are returned in
+// descending eigenvalue order; column j of the returned matrix is the
+// eigenvector for values[j]. a must be square and is treated as
+// symmetric (only the upper triangle is trusted).
+func SymEigen(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, nil, fmt.Errorf("%w: SymEigen needs a square matrix, got %dx%d", ErrShape, a.rows, a.cols)
+	}
+	// Symmetrize into a working copy to be safe against tiny asymmetries.
+	w := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w.Set(i, j, (a.At(i, j)+a.At(j, i))/2)
+		}
+	}
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-18 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/cols p and q of w.
+				for k := 0; k < n; k++ {
+					wkp, wkq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk, wqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				// Accumulate eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue (stable selection sort:
+	// n is tiny).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if values[order[j]] > values[order[best]] {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	sortedVals := make([]float64, n)
+	sortedVecs := New(n, n)
+	for newJ, oldJ := range order {
+		sortedVals[newJ] = values[oldJ]
+		for i := 0; i < n; i++ {
+			sortedVecs.Set(i, newJ, v.At(i, oldJ))
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}

@@ -1,0 +1,404 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims: %dx%d", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At: got %v", m.At(1, 2))
+	}
+	r := m.Row(1)
+	if len(r) != 3 || r[2] != 7 {
+		t.Fatalf("Row: got %v", r)
+	}
+	c := m.Col(2)
+	if len(c) != 2 || c[1] != 7 {
+		t.Fatalf("Col: got %v", c)
+	}
+	// Row/Col are copies, not views.
+	r[0] = 99
+	if m.At(1, 0) == 99 {
+		t.Fatal("Row must return a copy")
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero dims")
+		}
+	}()
+	New(0, 3)
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatalf("got %v", m.At(1, 0))
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrShape) {
+		t.Fatalf("ragged rows: got %v", err)
+	}
+	if _, err := FromRows(nil); !errors.Is(err, ErrShape) {
+		t.Fatalf("empty: got %v", err)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.At(1, 1) != 12 {
+		t.Fatalf("Add: got %v", sum.At(1, 1))
+	}
+	diff, err := b.Sub(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.At(0, 0) != 4 {
+		t.Fatalf("Sub: got %v", diff.At(0, 0))
+	}
+	if s := a.Scale(2); s.At(1, 0) != 6 {
+		t.Fatalf("Scale: got %v", s.At(1, 0))
+	}
+	c := New(3, 2)
+	if _, err := a.Add(c); !errors.Is(err, ErrShape) {
+		t.Fatalf("shape mismatch Add: got %v", err)
+	}
+	if _, err := a.Sub(c); !errors.Is(err, ErrShape) {
+		t.Fatalf("shape mismatch Sub: got %v", err)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b, _ := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{58, 64}, {139, 154}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if p.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d]: got %v want %v", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := b.Mul(b); !errors.Is(err, ErrShape) {
+		t.Fatalf("bad shapes: got %v", err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	y, err := a.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MulVec: got %v", y)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("bad length: got %v", err)
+	}
+}
+
+func TestTransposeIdentityClone(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.T()
+	if at.Rows() != 3 || at.Cols() != 2 || at.At(2, 1) != 6 {
+		t.Fatalf("T: %v", at)
+	}
+	id := Identity(3)
+	p, err := a.Mul(id.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if p.At(i, j) != a.At(i, j) {
+				t.Fatal("multiplying by identity changed the matrix")
+			}
+		}
+	}
+	c := a.Clone()
+	c.Set(0, 0, 100)
+	if a.At(0, 0) == 100 {
+		t.Fatal("Clone must be deep")
+	}
+}
+
+func TestSolveExact(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := Solve(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almost(x[i], want[i], 1e-10) {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	a, _ := FromRows([][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	x, err := Solve(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(x[0], 3, 1e-12) || !almost(x[1], 2, 1e-12) {
+		t.Fatalf("got %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{1, 2},
+		{2, 4},
+	})
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	a := New(2, 3)
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("non-square: got %v", err)
+	}
+	b := Identity(2)
+	if _, err := Solve(b, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("bad rhs: got %v", err)
+	}
+}
+
+func TestSolveDoesNotMutate(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 1}, {1, 3}})
+	b := []float64{1, 2}
+	orig := a.Clone()
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if a.At(i, j) != orig.At(i, j) {
+				t.Fatal("Solve mutated its input matrix")
+			}
+		}
+	}
+	if b[0] != 1 || b[1] != 2 {
+		t.Fatal("Solve mutated its rhs")
+	}
+}
+
+func TestLeastSquaresExactSquare(t *testing.T) {
+	// On a square nonsingular system least squares equals the solve.
+	a, _ := FromRows([][]float64{{3, 1}, {1, 2}})
+	x, err := LeastSquares(a, []float64{9, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(x[0], 2, 1e-9) || !almost(x[1], 3, 1e-9) {
+		t.Fatalf("got %v", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2x + 1 through noisy-free samples: must recover exactly.
+	xs := []float64{0, 1, 2, 3, 4}
+	a := New(len(xs), 2)
+	b := make([]float64, len(xs))
+	for i, x := range xs {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		b[i] = 2*x + 1
+	}
+	c, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(c[0], 1, 1e-9) || !almost(c[1], 2, 1e-9) {
+		t.Fatalf("got %v", c)
+	}
+}
+
+func TestLeastSquaresResidualOrthogonality(t *testing.T) {
+	// Property: for x* = argmin ‖Ax − b‖, the residual is orthogonal
+	// to the column space: Aᵀ(Ax* − b) = 0.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		m, n := 8, 3
+		a := New(m, n)
+		b := make([]float64, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			b[i] = rng.NormFloat64()
+		}
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ax, _ := a.MulVec(x)
+		res := make([]float64, m)
+		for i := range res {
+			res[i] = ax[i] - b[i]
+		}
+		at := a.T()
+		g, _ := at.MulVec(res)
+		for j := range g {
+			if math.Abs(g[j]) > 1e-8 {
+				t.Fatalf("trial %d: gradient component %d = %v, not orthogonal", trial, j, g[j])
+			}
+		}
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	a := New(2, 3)
+	if _, err := LeastSquares(a, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("underdetermined: got %v", err)
+	}
+	b := New(3, 2)
+	if _, err := LeastSquares(b, []float64{1, 2}); !errors.Is(err, ErrShape) {
+		t.Fatalf("rhs mismatch: got %v", err)
+	}
+	// Rank-deficient: two identical columns.
+	c, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := LeastSquares(c, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("rank-deficient: got %v", err)
+	}
+}
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{3, 0, 0},
+		{0, 1, 0},
+		{0, 0, 2},
+	})
+	vals, vecs, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i := range want {
+		if !almost(vals[i], want[i], 1e-9) {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+	// Eigenvector for eigenvalue 3 is e0 up to sign.
+	if math.Abs(math.Abs(vecs.At(0, 0))-1) > 1e-9 {
+		t.Fatalf("vecs col 0 = %v", vecs.Col(0))
+	}
+}
+
+func TestSymEigen2x2Analytic(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1 with eigenvectors
+	// (1,1)/√2 and (1,-1)/√2.
+	a, _ := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(vals[0], 3, 1e-9) || !almost(vals[1], 1, 1e-9) {
+		t.Fatalf("vals = %v", vals)
+	}
+	v0 := vecs.Col(0)
+	if math.Abs(math.Abs(v0[0])-math.Sqrt(0.5)) > 1e-8 || math.Abs(v0[0]-v0[1]) > 1e-8 {
+		t.Fatalf("v0 = %v", v0)
+	}
+}
+
+func TestSymEigenReconstruction(t *testing.T) {
+	// Property: A = V Λ Vᵀ and VᵀV = I for random symmetric A.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(5)
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs, err := SymEigen(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Eigenvalues sorted descending.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-9 {
+				t.Fatalf("eigenvalues not sorted: %v", vals)
+			}
+		}
+		// Orthonormality.
+		vtv, _ := vecs.T().Mul(vecs)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if !almost(vtv.At(i, j), want, 1e-7) {
+					t.Fatalf("VᵀV[%d][%d] = %v", i, j, vtv.At(i, j))
+				}
+			}
+		}
+		// Reconstruction.
+		lam := New(n, n)
+		for i := 0; i < n; i++ {
+			lam.Set(i, i, vals[i])
+		}
+		vl, _ := vecs.Mul(lam)
+		rec, _ := vl.Mul(vecs.T())
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !almost(rec.At(i, j), a.At(i, j), 1e-7) {
+					t.Fatalf("trial %d: A[%d][%d]: rec %v vs %v", trial, i, j, rec.At(i, j), a.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestSymEigenShapeError(t *testing.T) {
+	if _, _, err := SymEigen(New(2, 3)); !errors.Is(err, ErrShape) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := Identity(2).String(); s == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,275 @@
+package mil
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"milvideo/internal/kernel"
+)
+
+func TestLabelString(t *testing.T) {
+	if Unlabeled.String() != "unlabeled" || Negative.String() != "irrelevant" || Positive.String() != "relevant" {
+		t.Fatal("label strings")
+	}
+}
+
+func TestBagLabelEquations(t *testing.T) {
+	// Eq. (3): one positive instance → positive bag.
+	if !BagLabel([]bool{false, true, false}) {
+		t.Fatal("Eq. (3) violated")
+	}
+	// Eq. (4): all negative → negative bag.
+	if BagLabel([]bool{false, false}) {
+		t.Fatal("Eq. (4) violated")
+	}
+	if BagLabel(nil) {
+		t.Fatal("empty bag must be negative")
+	}
+}
+
+func TestOutlierRatio(t *testing.T) {
+	// h=10 relevant bags, H=20 instances, z=0.05 → δ = 1 − 0.55 = 0.45.
+	d, err := OutlierRatio(10, 20, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.45) > 1e-12 {
+		t.Fatalf("delta: %v", d)
+	}
+	// One instance per bag: δ clamps to the floor, not zero/negative.
+	d, err = OutlierRatio(10, 10, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.009 || d > 0.011 {
+		t.Fatalf("clamped delta: %v", d)
+	}
+	// Errors.
+	if _, err := OutlierRatio(0, 5, 0.05); err == nil {
+		t.Fatal("h=0 accepted")
+	}
+	if _, err := OutlierRatio(5, 0, 0.05); err == nil {
+		t.Fatal("H=0 accepted")
+	}
+	if _, err := OutlierRatio(6, 5, 0.05); err == nil {
+		t.Fatal("h>H accepted")
+	}
+	// Large negative z pushes δ above 1 → clamped to 1.
+	d, err = OutlierRatio(1, 10, -2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Fatalf("upper clamp: %v", d)
+	}
+}
+
+// makeBags builds a MIL problem mirroring the paper's §5.2 structure:
+// positive bags contain one instance from the tight "event" cluster at
+// (5,5) plus noise instances that are each irrelevant in their own way
+// (scattered broadly), so the event cluster is the densest region even
+// though noise instances may outnumber it.
+func makeBags(rng *rand.Rand, nPos, nNeg, instPerBag int) []Bag {
+	var bags []Bag
+	id := 0
+	noise := func() []float64 {
+		return []float64{rng.Float64()*8 - 4, rng.Float64()*8 - 4}
+	}
+	eventPt := func() []float64 {
+		return []float64{5 + rng.NormFloat64()*0.4, 5 + rng.NormFloat64()*0.4}
+	}
+	for i := 0; i < nPos; i++ {
+		b := Bag{ID: id, Label: Positive}
+		id++
+		b.Instances = append(b.Instances, eventPt())
+		for j := 1; j < instPerBag; j++ {
+			b.Instances = append(b.Instances, noise())
+		}
+		bags = append(bags, b)
+	}
+	for i := 0; i < nNeg; i++ {
+		b := Bag{ID: id, Label: Negative}
+		id++
+		for j := 0; j < instPerBag; j++ {
+			b.Instances = append(b.Instances, noise())
+		}
+		bags = append(bags, b)
+	}
+	return bags
+}
+
+func TestTrainComputesDeltaFromEq9(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	bags := makeBags(rng, 8, 8, 3) // h=8, H=24
+	l, err := Train(bags, Options{Z: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.TrainingBags != 8 || l.TrainingInstances != 24 {
+		t.Fatalf("counts: %d %d", l.TrainingBags, l.TrainingInstances)
+	}
+	want := 1 - (8.0/24.0 + 0.05)
+	if math.Abs(l.Delta-want) > 1e-12 {
+		t.Fatalf("delta: %v want %v", l.Delta, want)
+	}
+	if l.Model() == nil {
+		t.Fatal("no model")
+	}
+}
+
+func TestMILSeparatesEventInstances(t *testing.T) {
+	// The defining MIL property: trained only on positive-bag
+	// *mixtures*, the learner must still rank the true event
+	// instances above the noise instances, because the OCSVM's
+	// outlier budget absorbs the noise.
+	rng := rand.New(rand.NewSource(25))
+	bags := makeBags(rng, 10, 10, 3)
+	l, err := Train(bags, Options{Z: 0.05, Kernel: kernel.RBF{Sigma: 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := l.InstanceScore([]float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := l.InstanceScore([]float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev <= ns {
+		t.Fatalf("event instance (%v) not above noise (%v)", ev, ns)
+	}
+}
+
+func TestBagScoreMaxRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	bags := makeBags(rng, 10, 10, 3)
+	l, err := Train(bags, Options{Z: 0.05, Kernel: kernel.RBF{Sigma: 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bag with one event instance must outscore an all-noise bag.
+	posBag := Bag{ID: 100, Instances: [][]float64{{0.1, 0}, {5, 5}, {-0.3, 0.2}}}
+	negBag := Bag{ID: 101, Instances: [][]float64{{0.2, -0.1}, {0, 0.3}, {-0.1, 0}}}
+	ps, ok, err := l.BagScore(posBag)
+	if err != nil || !ok {
+		t.Fatalf("pos: %v %v", ok, err)
+	}
+	nsc, ok, err := l.BagScore(negBag)
+	if err != nil || !ok {
+		t.Fatalf("neg: %v %v", ok, err)
+	}
+	if ps <= nsc {
+		t.Fatalf("bag ranking wrong: %v vs %v", ps, nsc)
+	}
+	// Empty bag: no evidence.
+	if _, ok, err := l.BagScore(Bag{ID: 102}); err != nil || ok {
+		t.Fatalf("empty bag: ok=%v err=%v", ok, err)
+	}
+	// Max rule: adding a noise instance must not lower the score.
+	bigger := Bag{ID: 103, Instances: append(append([][]float64{}, posBag.Instances...), []float64{0, 0})}
+	bs, _, err := l.BagScore(bigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs < ps-1e-12 {
+		t.Fatalf("max rule violated: %v < %v", bs, ps)
+	}
+}
+
+func TestInstanceLabelsRecoverLatentStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	bags := makeBags(rng, 12, 12, 3)
+	l, err := Train(bags, Options{Z: 0.05, Kernel: kernel.RBF{Sigma: 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := Bag{ID: 200, Instances: [][]float64{{5, 5}, {0, 0}}}
+	labels, err := l.InstanceLabels(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !labels[0] {
+		t.Fatal("event instance not labeled relevant")
+	}
+	// Eq. (3): the bag's induced label is positive.
+	if !BagLabel(labels) {
+		t.Fatal("bag label should be positive")
+	}
+}
+
+func TestTrainSkipsNegativeAndEmptyBags(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	bags := makeBags(rng, 4, 4, 2)
+	bags = append(bags, Bag{ID: 999, Label: Positive}) // empty positive bag
+	l, err := Train(bags, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.TrainingBags != 4 || l.TrainingInstances != 8 {
+		t.Fatalf("counts: %d %d", l.TrainingBags, l.TrainingInstances)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, DefaultOptions()); !errors.Is(err, ErrNoPositiveBags) {
+		t.Fatalf("no bags: %v", err)
+	}
+	neg := []Bag{{ID: 0, Label: Negative, Instances: [][]float64{{1, 2}}}}
+	if _, err := Train(neg, DefaultOptions()); !errors.Is(err, ErrNoPositiveBags) {
+		t.Fatalf("only negative: %v", err)
+	}
+	bad := []Bag{
+		{ID: 0, Label: Positive, Instances: [][]float64{{1, 2}}},
+		{ID: 1, Label: Positive, Instances: [][]float64{{1, 2, 3}}},
+	}
+	if _, err := Train(bad, DefaultOptions()); !errors.Is(err, ErrDim) {
+		t.Fatalf("ragged: %v", err)
+	}
+}
+
+func TestNuOverride(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bags := makeBags(rng, 6, 0, 3)
+	l, err := Train(bags, Options{Z: 0.05, NuOverride: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Delta != 0.5 {
+		t.Fatalf("override ignored: %v", l.Delta)
+	}
+	// Out-of-range override is ignored.
+	l2, err := Train(bags, Options{Z: 0.05, NuOverride: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Delta == 1.5 {
+		t.Fatal("invalid override applied")
+	}
+}
+
+func TestValidateBags(t *testing.T) {
+	good := []Bag{
+		{ID: 0, Instances: [][]float64{{1, 2}}, Keys: []int{7}},
+		{ID: 1, Instances: [][]float64{{3, 4}, {5, 6}}},
+	}
+	if err := ValidateBags(good); err != nil {
+		t.Fatal(err)
+	}
+	badKeys := []Bag{{ID: 0, Instances: [][]float64{{1, 2}}, Keys: []int{1, 2}}}
+	if err := ValidateBags(badKeys); err == nil {
+		t.Fatal("bad keys accepted")
+	}
+	badDim := []Bag{
+		{ID: 0, Instances: [][]float64{{1, 2}}},
+		{ID: 1, Instances: [][]float64{{1}}},
+	}
+	if err := ValidateBags(badDim); !errors.Is(err, ErrDim) {
+		t.Fatalf("bad dims: %v", err)
+	}
+	if err := ValidateBags(nil); err != nil {
+		t.Fatal("empty dataset must validate")
+	}
+}

@@ -1,0 +1,108 @@
+package mil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestOutlierRatioRange: δ lies in (0, 1] for every valid (h, H, z).
+func TestOutlierRatioRange(t *testing.T) {
+	f := func(hRaw, hExtra uint8, z float64) bool {
+		h := int(hRaw)%50 + 1
+		H := h + int(hExtra)%100
+		if z < -5 || z > 5 {
+			return true
+		}
+		d, err := OutlierRatio(h, H, z)
+		if err != nil {
+			return false
+		}
+		return d > 0 && d <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOutlierRatioMonotoneInH: more instances per relevant bag means
+// a larger expected outlier fraction (for fixed h and z).
+func TestOutlierRatioMonotoneInH(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 100; trial++ {
+		h := 1 + rng.Intn(20)
+		H1 := h + rng.Intn(20)
+		H2 := H1 + 1 + rng.Intn(20)
+		z := rng.Float64() * 0.1
+		d1, err := OutlierRatio(h, H1, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := OutlierRatio(h, H2, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d2 < d1-1e-12 {
+			t.Fatalf("δ not monotone: h=%d H1=%d→%v H2=%d→%v", h, H1, d1, H2, d2)
+		}
+	}
+}
+
+// TestBagLabelMatchesAny: Eq. (3)-(4) equals the ∃ quantifier.
+func TestBagLabelMatchesAny(t *testing.T) {
+	f := func(labels []bool) bool {
+		want := false
+		for _, l := range labels {
+			want = want || l
+		}
+		return BagLabel(labels) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTrainedScoresAreFinite: bag scores stay finite for arbitrary
+// well-formed inputs.
+func TestTrainedScoresAreFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 10; trial++ {
+		var bags []Bag
+		for i := 0; i < 6+rng.Intn(10); i++ {
+			b := Bag{ID: i}
+			if rng.Float64() < 0.5 {
+				b.Label = Positive
+			} else {
+				b.Label = Negative
+			}
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				b.Instances = append(b.Instances, []float64{
+					rng.NormFloat64() * 3, rng.NormFloat64() * 3, rng.Float64(),
+				})
+			}
+			bags = append(bags, b)
+		}
+		hasPos := false
+		for _, b := range bags {
+			if b.Label == Positive {
+				hasPos = true
+			}
+		}
+		if !hasPos {
+			bags[0].Label = Positive
+		}
+		l, err := Train(bags, DefaultOptions())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, b := range bags {
+			s, ok, err := l.BagScore(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok && (s != s || s > 1e6 || s < -1e6) {
+				t.Fatalf("trial %d: non-finite score %v", trial, s)
+			}
+		}
+	}
+}

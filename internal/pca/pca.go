@@ -1,0 +1,192 @@
+// Package pca implements Principal Component Analysis and the
+// nearest-centroid classifier built on it, reproducing the paper's
+// §3.1 final stage: classifying tracked vehicle segments into body
+// classes (cars, SUVs, pick-up trucks) from their shape features,
+// following the PCA-based framework of the paper's reference [13].
+package pca
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"milvideo/internal/mat"
+)
+
+// ErrNoData is returned when fitting receives no samples.
+var ErrNoData = errors.New("pca: no samples")
+
+// PCA is a fitted principal-component model.
+type PCA struct {
+	mean       []float64
+	components *mat.Matrix // dim × k, columns are principal directions
+	eigvals    []float64   // descending variance along each component
+	dim, k     int
+}
+
+// Fit computes the top-k principal components of the sample rows. All
+// rows must share dimensionality d; k must satisfy 1 ≤ k ≤ d.
+func Fit(rows [][]float64, k int) (*PCA, error) {
+	if len(rows) == 0 {
+		return nil, ErrNoData
+	}
+	d := len(rows[0])
+	if d == 0 {
+		return nil, errors.New("pca: zero-dimensional samples")
+	}
+	for i, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("pca: row %d has dimension %d, want %d", i, len(r), d)
+		}
+	}
+	if k < 1 || k > d {
+		return nil, fmt.Errorf("pca: k=%d out of range [1,%d]", k, d)
+	}
+
+	mean := make([]float64, d)
+	for _, r := range rows {
+		for j, v := range r {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(rows))
+	}
+	// Covariance matrix (population normalization).
+	cov := mat.New(d, d)
+	for _, r := range rows {
+		for a := 0; a < d; a++ {
+			da := r[a] - mean[a]
+			for b := a; b < d; b++ {
+				db := r[b] - mean[b]
+				cov.Set(a, b, cov.At(a, b)+da*db)
+			}
+		}
+	}
+	n := float64(len(rows))
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			v := cov.At(a, b) / n
+			cov.Set(a, b, v)
+			cov.Set(b, a, v)
+		}
+	}
+	vals, vecs, err := mat.SymEigen(cov)
+	if err != nil {
+		return nil, fmt.Errorf("pca: eigendecomposition failed: %w", err)
+	}
+	comp := mat.New(d, k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < d; i++ {
+			comp.Set(i, j, vecs.At(i, j))
+		}
+	}
+	return &PCA{mean: mean, components: comp, eigvals: vals[:k], dim: d, k: k}, nil
+}
+
+// Dim returns the input dimensionality.
+func (p *PCA) Dim() int { return p.dim }
+
+// Components returns the number of retained components.
+func (p *PCA) Components() int { return p.k }
+
+// ExplainedVariance returns the variance captured by each retained
+// component, in descending order.
+func (p *PCA) ExplainedVariance() []float64 {
+	out := make([]float64, len(p.eigvals))
+	copy(out, p.eigvals)
+	return out
+}
+
+// Transform projects x into the principal subspace.
+func (p *PCA) Transform(x []float64) ([]float64, error) {
+	if len(x) != p.dim {
+		return nil, fmt.Errorf("pca: input dimension %d, want %d", len(x), p.dim)
+	}
+	out := make([]float64, p.k)
+	for j := 0; j < p.k; j++ {
+		s := 0.0
+		for i := 0; i < p.dim; i++ {
+			s += (x[i] - p.mean[i]) * p.components.At(i, j)
+		}
+		out[j] = s
+	}
+	return out, nil
+}
+
+// Classifier is a nearest-centroid classifier operating in PCA space.
+type Classifier struct {
+	pca       *PCA
+	centroids map[string][]float64
+}
+
+// Train fits the PCA on all samples and one centroid per label in the
+// projected space. samples[i] belongs to class labels[i].
+func Train(samples [][]float64, labels []string, k int) (*Classifier, error) {
+	if len(samples) != len(labels) {
+		return nil, fmt.Errorf("pca: %d samples vs %d labels", len(samples), len(labels))
+	}
+	p, err := Fit(samples, k)
+	if err != nil {
+		return nil, err
+	}
+	sums := make(map[string][]float64)
+	counts := make(map[string]int)
+	for i, s := range samples {
+		z, err := p.Transform(s)
+		if err != nil {
+			return nil, err
+		}
+		acc, ok := sums[labels[i]]
+		if !ok {
+			acc = make([]float64, k)
+			sums[labels[i]] = acc
+		}
+		for j, v := range z {
+			acc[j] += v
+		}
+		counts[labels[i]]++
+	}
+	cents := make(map[string][]float64, len(sums))
+	for l, acc := range sums {
+		c := make([]float64, k)
+		for j := range acc {
+			c[j] = acc[j] / float64(counts[l])
+		}
+		cents[l] = c
+	}
+	return &Classifier{pca: p, centroids: cents}, nil
+}
+
+// Classes returns the known class labels in sorted order.
+func (c *Classifier) Classes() []string {
+	out := make([]string, 0, len(c.centroids))
+	for l := range c.centroids {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Predict returns the label of the nearest class centroid in PCA
+// space, together with the distance to it.
+func (c *Classifier) Predict(x []float64) (string, float64, error) {
+	z, err := c.pca.Transform(x)
+	if err != nil {
+		return "", 0, err
+	}
+	bestLabel, bestDist := "", math.Inf(1)
+	for _, l := range c.Classes() {
+		cent := c.centroids[l]
+		d := 0.0
+		for j := range cent {
+			diff := z[j] - cent[j]
+			d += diff * diff
+		}
+		if d < bestDist {
+			bestLabel, bestDist = l, d
+		}
+	}
+	return bestLabel, math.Sqrt(bestDist), nil
+}

@@ -1,0 +1,163 @@
+package pca
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitRecoversDominantDirection(t *testing.T) {
+	// Samples spread along (1,1)/√2 with tiny orthogonal noise: the
+	// first component must align with (1,1).
+	rng := rand.New(rand.NewSource(4))
+	var rows [][]float64
+	for i := 0; i < 200; i++ {
+		a := rng.NormFloat64() * 10
+		b := rng.NormFloat64() * 0.1
+		rows = append(rows, []float64{a + b, a - b})
+	}
+	p, err := Fit(rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := p.ExplainedVariance()
+	if ev[0] < 50 || ev[1] > 1 {
+		t.Fatalf("explained variance: %v", ev)
+	}
+	// First component ≈ ±(1,1)/√2: project (1,1) and expect ≈ √2·10σ
+	// scale relationship; simpler: transform of (1,1)-direction vector
+	// has |z₁| large, |z₂| small.
+	z, err := p.Transform([]float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z[0]) < 5 || math.Abs(z[1]) > 0.5 {
+		t.Fatalf("projection: %v", z)
+	}
+	if p.Dim() != 2 || p.Components() != 2 {
+		t.Fatal("dims wrong")
+	}
+}
+
+func TestTransformCentersData(t *testing.T) {
+	rows := [][]float64{{10, 0}, {12, 0}, {14, 0}}
+	p, err := Fit(rows, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := p.Transform([]float64{12, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z[0]) > 1e-9 {
+		t.Fatalf("mean point should project to origin: %v", z)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, 1); !errors.Is(err, ErrNoData) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := Fit([][]float64{{}}, 1); err == nil {
+		t.Fatal("zero-dim accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {1}}, 1); err == nil {
+		t.Fatal("ragged accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}}, 3); err == nil {
+		t.Fatal("k > d accepted")
+	}
+	if _, err := Fit([][]float64{{1, 2}}, 0); err == nil {
+		t.Fatal("k = 0 accepted")
+	}
+	p, err := Fit([][]float64{{1, 2}, {3, 4}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Transform([]float64{1}); err == nil {
+		t.Fatal("bad dimension accepted")
+	}
+}
+
+// vehicleish generates shape features (width, height, area, aspect)
+// for three synthetic body classes.
+func vehicleish(rng *rand.Rand, class string) []float64 {
+	var w, h float64
+	switch class {
+	case "car":
+		w, h = 16, 9
+	case "suv":
+		w, h = 22, 12
+	default: // truck
+		w, h = 30, 13
+	}
+	w += rng.NormFloat64() * 0.8
+	h += rng.NormFloat64() * 0.5
+	return []float64{w, h, w * h, w / h}
+}
+
+func TestClassifierSeparatesVehicleClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	classes := []string{"car", "suv", "truck"}
+	var samples [][]float64
+	var labels []string
+	for i := 0; i < 240; i++ {
+		c := classes[i%3]
+		samples = append(samples, vehicleish(rng, c))
+		labels = append(labels, c)
+	}
+	clf, err := Train(samples, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := clf.Classes(); len(got) != 3 || got[0] != "car" || got[1] != "suv" || got[2] != "truck" {
+		t.Fatalf("classes: %v", got)
+	}
+	correct := 0
+	total := 300
+	for i := 0; i < total; i++ {
+		c := classes[i%3]
+		pred, dist, err := clf.Predict(vehicleish(rng, c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dist < 0 {
+			t.Fatal("negative distance")
+		}
+		if pred == c {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(total); acc < 0.95 {
+		t.Fatalf("classification accuracy %.2f too low", acc)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train([][]float64{{1, 2}}, nil, 1); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, err := Train(nil, nil, 1); !errors.Is(err, ErrNoData) {
+		t.Fatalf("empty: %v", err)
+	}
+	clf, err := Train([][]float64{{1, 2}, {5, 6}}, []string{"a", "b"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := clf.Predict([]float64{1}); err == nil {
+		t.Fatal("bad dimension accepted")
+	}
+}
+
+func TestExplainedVarianceIsCopy(t *testing.T) {
+	p, err := Fit([][]float64{{1, 2}, {2, 4}, {3, 6}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := p.ExplainedVariance()
+	ev[0] = -1
+	if p.ExplainedVariance()[0] == -1 {
+		t.Fatal("ExplainedVariance must return a copy")
+	}
+}

@@ -1,0 +1,382 @@
+// Package query implements the query modalities the paper's §7 lists
+// as future work: query by example (rank the database by similarity
+// to a user-chosen trajectory sequence), query by sketch (the user
+// draws a trajectory; it is resampled onto the sampling grid and
+// converted to event features), and customized combinations of query
+// types (weighted rank fusion). All of them produce retrieval.Engine
+// values, so they compose with the relevance-feedback session exactly
+// like the built-in engines — in particular, WithFeedback switches
+// from the example-based initial query to MIL learning once the user
+// has labeled results.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"milvideo/internal/event"
+	"milvideo/internal/geom"
+	"milvideo/internal/mil"
+	"milvideo/internal/retrieval"
+	"milvideo/internal/window"
+)
+
+// Errors returned by the query builders.
+var (
+	ErrEmptyExample = errors.New("query: empty example")
+	ErrShortSketch  = errors.New("query: sketch needs at least two points")
+)
+
+// Similarity computes the alignment-tolerant similarity between an
+// example's per-point feature vectors and a candidate TS's. Because
+// an event may sit at a different phase of its window than in the
+// example, the example is slid across the candidate (offsets up to
+// ±(len-1)) and the best overlapping score wins. Per-point affinity
+// is Gaussian in the Euclidean distance with bandwidth sigma, and
+// each example point is weighted by its salience (squared feature
+// norm plus a floor) so that matching the distinctive part of the
+// example — the event spike — counts far more than matching its
+// quiet surroundings.
+func Similarity(example, candidate [][]float64, sigma float64) (float64, error) {
+	if len(example) == 0 || len(candidate) == 0 {
+		return 0, ErrEmptyExample
+	}
+	if sigma <= 0 {
+		sigma = 1
+	}
+	dim := len(example[0])
+	for _, v := range append(append([][]float64{}, example...), candidate...) {
+		if len(v) != dim {
+			return 0, fmt.Errorf("query: inconsistent feature dimension %d vs %d", len(v), dim)
+		}
+	}
+	weights := make([]float64, len(example))
+	maxW := 0.0
+	for i, ev := range example {
+		for _, x := range ev {
+			weights[i] += x * x
+		}
+		if weights[i] > maxW {
+			maxW = weights[i]
+		}
+	}
+	floor := 0.05*maxW + 1e-9 // all-quiet examples degrade to equal weights
+	totalW := 0.0
+	for i := range weights {
+		if weights[i] < floor {
+			weights[i] = floor
+		}
+		totalW += weights[i]
+	}
+
+	best := 0.0
+	for off := -(len(example) - 1); off <= len(candidate)-1; off++ {
+		sum := 0.0
+		matched := false
+		for i, ev := range example {
+			j := i + off
+			if j < 0 || j >= len(candidate) {
+				continue
+			}
+			matched = true
+			d := 0.0
+			for c := range ev {
+				diff := ev[c] - candidate[j][c]
+				d += diff * diff
+			}
+			sum += weights[i] * math.Exp(-d/(2*sigma*sigma))
+		}
+		if !matched {
+			continue
+		}
+		// Normalize by the full example weight, not the overlap, so
+		// tiny overlaps cannot beat full matches.
+		if s := sum / totalW; s > best {
+			best = s
+		}
+	}
+	return best, nil
+}
+
+// AutoSigma picks a similarity bandwidth from the example's own
+// scale: half the RMS magnitude of its feature vectors (floored at a
+// small constant so all-zero sketches remain usable).
+func AutoSigma(example [][]float64) float64 {
+	s, n := 0.0, 0
+	for _, v := range example {
+		for _, x := range v {
+			s += x * x
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	sigma := math.Sqrt(s/float64(n)) / 2
+	if sigma < 0.1 {
+		sigma = 0.1
+	}
+	return sigma
+}
+
+// ByExample is a retrieval engine that ranks video sequences by their
+// best TS's similarity to the example.
+type ByExample struct {
+	// Example is the query TS as per-point feature vectors.
+	Example [][]float64
+	// Sigma is the similarity bandwidth; 0 = AutoSigma(Example).
+	Sigma float64
+}
+
+// NewByExample builds an example query from an existing TS — the
+// “this one, find more like it” interaction.
+func NewByExample(ts window.TS) (ByExample, error) {
+	if len(ts.Vectors) == 0 {
+		return ByExample{}, ErrEmptyExample
+	}
+	vecs := make([][]float64, len(ts.Vectors))
+	for i, v := range ts.Vectors {
+		vecs[i] = append([]float64(nil), v...)
+	}
+	return ByExample{Example: vecs}, nil
+}
+
+// Name implements retrieval.Engine.
+func (e ByExample) Name() string { return "query-by-example" }
+
+// Rank implements retrieval.Engine. Labels are ignored: an example
+// query is a stateless initial ranking (combine with WithFeedback for
+// the interactive loop).
+func (e ByExample) Rank(db []window.VS, _ map[int]mil.Label) ([]int, error) {
+	if len(e.Example) == 0 {
+		return nil, ErrEmptyExample
+	}
+	sigma := e.Sigma
+	if sigma <= 0 {
+		sigma = AutoSigma(e.Example)
+	}
+	scores := make([]float64, len(db))
+	for i, vs := range db {
+		best := math.Inf(-1)
+		for _, ts := range vs.TSs {
+			s, err := Similarity(e.Example, ts.Vectors, sigma)
+			if err != nil {
+				return nil, err
+			}
+			if s > best {
+				best = s
+			}
+		}
+		scores[i] = best
+	}
+	idx := make([]int, len(db))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	return idx, nil
+}
+
+// Sketch is a user-drawn trajectory: a polyline in image coordinates
+// with a nominal traversal timing.
+type Sketch struct {
+	// Points is the drawn polyline (≥ 2 points).
+	Points []geom.Point
+	// FramesPerSegment is how many video frames one polyline segment
+	// spans (how fast the sketched vehicle moves); ≤ 0 means 5.
+	FramesPerSegment int
+}
+
+// Samples resamples the sketch onto the sampling grid (rate frames
+// per point) and derives motion vectors, exactly as a tracked
+// trajectory would be sampled. MinDist is unknown for a sketch and
+// reported as +Inf (the accident model maps that to 0 — the sketch
+// expresses kinematics, not proximity).
+func (s Sketch) Samples(rate int) ([]event.Sample, error) {
+	if len(s.Points) < 2 {
+		return nil, ErrShortSketch
+	}
+	if rate <= 0 {
+		return nil, event.ErrBadRate
+	}
+	fps := s.FramesPerSegment
+	if fps <= 0 {
+		fps = 5
+	}
+	totalFrames := fps * (len(s.Points) - 1)
+	// Position at an arbitrary frame by linear interpolation along
+	// the polyline.
+	at := func(f int) geom.Point {
+		seg := f / fps
+		if seg >= len(s.Points)-1 {
+			return s.Points[len(s.Points)-1]
+		}
+		t := float64(f%fps) / float64(fps)
+		return s.Points[seg].Lerp(s.Points[seg+1], t)
+	}
+	var out []event.Sample
+	var prevPos geom.Point
+	var prevMotion geom.Vec
+	first := true
+	for f := 0; f <= totalFrames; f += rate {
+		p := at(f)
+		sample := event.Sample{Frame: f, Pos: p, MinDist: math.Inf(1)}
+		if !first {
+			sample.Motion = p.Sub(prevPos)
+			sample.PrevMotion = prevMotion
+			sample.PrevValid = len(out) >= 2
+		}
+		out = append(out, sample)
+		prevMotion = sample.Motion
+		prevPos = p
+		first = false
+	}
+	return out, nil
+}
+
+// BySketch converts the sketch to an example query under the given
+// event model and window configuration: features are computed at
+// every sketch sample, and the most "eventful" windowSize-long run
+// (largest squared-sum peak) becomes the example.
+func BySketch(s Sketch, model event.Model, cfg window.Config) (ByExample, error) {
+	if model == nil {
+		return ByExample{}, errors.New("query: nil model")
+	}
+	norm, err := cfg.Normalized()
+	if err != nil {
+		return ByExample{}, err
+	}
+	samples, err := s.Samples(norm.SampleRate)
+	if err != nil {
+		return ByExample{}, err
+	}
+	vecs := make([][]float64, len(samples))
+	for i, sm := range samples {
+		vecs[i] = model.Vector(sm, norm.SampleRate)
+	}
+	if len(vecs) < norm.WindowSize {
+		// Short sketch: use everything as a single (shorter) example;
+		// Similarity handles unequal lengths by alignment.
+		return ByExample{Example: vecs}, nil
+	}
+	// Pick the window with the largest peak squared-sum.
+	bestStart, bestScore := 0, math.Inf(-1)
+	for start := 0; start+norm.WindowSize <= len(vecs); start++ {
+		peak := 0.0
+		for _, v := range vecs[start : start+norm.WindowSize] {
+			q := 0.0
+			for _, x := range v {
+				q += x * x
+			}
+			if q > peak {
+				peak = q
+			}
+		}
+		if peak > bestScore {
+			bestStart, bestScore = start, peak
+		}
+	}
+	return ByExample{Example: vecs[bestStart : bestStart+norm.WindowSize]}, nil
+}
+
+// Combined fuses several engines' rankings with weighted Borda
+// counting: each engine contributes weight × (n − position) points
+// per VS, and the fused ranking orders by total points. It realizes
+// the paper's "customized combination of different query types".
+type Combined struct {
+	Engines []retrieval.Engine
+	// Weights must match Engines in length; zero-length means equal
+	// weights.
+	Weights []float64
+}
+
+// Name implements retrieval.Engine.
+func (c Combined) Name() string {
+	names := make([]string, len(c.Engines))
+	for i, e := range c.Engines {
+		names[i] = e.Name()
+	}
+	return "combined(" + joinNames(names) + ")"
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += "+"
+		}
+		out += n
+	}
+	return out
+}
+
+// Rank implements retrieval.Engine.
+func (c Combined) Rank(db []window.VS, labels map[int]mil.Label) ([]int, error) {
+	if len(c.Engines) == 0 {
+		return nil, errors.New("query: combined query needs at least one engine")
+	}
+	weights := c.Weights
+	if len(weights) == 0 {
+		weights = make([]float64, len(c.Engines))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != len(c.Engines) {
+		return nil, fmt.Errorf("query: %d weights for %d engines", len(weights), len(c.Engines))
+	}
+	points := make([]float64, len(db))
+	for ei, e := range c.Engines {
+		rank, err := e.Rank(db, labels)
+		if err != nil {
+			return nil, fmt.Errorf("query: %s: %w", e.Name(), err)
+		}
+		if len(rank) != len(db) {
+			return nil, fmt.Errorf("query: %s returned %d of %d indices", e.Name(), len(rank), len(db))
+		}
+		for pos, idx := range rank {
+			points[idx] += weights[ei] * float64(len(db)-pos)
+		}
+	}
+	idx := make([]int, len(db))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return points[idx[a]] > points[idx[b]] })
+	return idx, nil
+}
+
+// WithFeedback wraps an initial query engine with a learning engine:
+// while no positive feedback exists the initial engine ranks (e.g. a
+// sketch query); once the user has confirmed results, the learner
+// takes over. This is the paper's full interactive story with a
+// custom entry point replacing the built-in heuristic.
+type WithFeedback struct {
+	Initial retrieval.Engine
+	Learner retrieval.Engine
+}
+
+// Name implements retrieval.Engine.
+func (w WithFeedback) Name() string {
+	return w.Initial.Name() + "→" + w.Learner.Name()
+}
+
+// Rank implements retrieval.Engine.
+func (w WithFeedback) Rank(db []window.VS, labels map[int]mil.Label) ([]int, error) {
+	if w.Initial == nil || w.Learner == nil {
+		return nil, errors.New("query: WithFeedback needs both engines")
+	}
+	hasPositive := false
+	for _, l := range labels {
+		if l == mil.Positive {
+			hasPositive = true
+			break
+		}
+	}
+	if !hasPositive {
+		return w.Initial.Rank(db, labels)
+	}
+	return w.Learner.Rank(db, labels)
+}

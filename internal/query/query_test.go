@@ -1,0 +1,306 @@
+package query
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"milvideo/internal/event"
+	"milvideo/internal/geom"
+	"milvideo/internal/mil"
+	"milvideo/internal/retrieval"
+	"milvideo/internal/window"
+)
+
+func TestSimilaritySelfIsMax(t *testing.T) {
+	ex := [][]float64{{0, 1, 0}, {0, 3, 0.5}, {0, 0.2, 0}}
+	s, err := Similarity(ex, ex, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Fatalf("self similarity: %v", s)
+	}
+	// Any other candidate scores at most 1.
+	other := [][]float64{{5, 5, 5}, {0, 0, 0}, {1, 1, 1}}
+	so, err := Similarity(ex, other, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if so >= s {
+		t.Fatalf("non-match %v >= self %v", so, s)
+	}
+}
+
+func TestSimilarityShiftTolerance(t *testing.T) {
+	// The same spike at a different window phase must still score
+	// high thanks to alignment search.
+	spike := []float64{0, 4, 1}
+	quiet := []float64{0, 0.05, 0}
+	ex := [][]float64{quiet, spike, quiet}
+	shifted := [][]float64{spike, quiet, quiet}
+	aligned, err := Similarity(ex, ex, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shiftScore, err := Similarity(ex, shifted, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shifted match keeps ≥ 2/3 of the aligned score (two of three
+	// points coincide under the best offset).
+	if shiftScore < aligned*2/3-1e-9 {
+		t.Fatalf("shift tolerance failed: %v vs %v", shiftScore, aligned)
+	}
+	// A no-spike candidate scores clearly lower.
+	flat := [][]float64{quiet, quiet, quiet}
+	flatScore, _ := Similarity(ex, flat, 1)
+	if flatScore >= shiftScore {
+		t.Fatalf("flat %v >= shifted %v", flatScore, shiftScore)
+	}
+}
+
+func TestSimilarityErrors(t *testing.T) {
+	if _, err := Similarity(nil, [][]float64{{1}}, 1); !errors.Is(err, ErrEmptyExample) {
+		t.Fatalf("empty example: %v", err)
+	}
+	if _, err := Similarity([][]float64{{1}}, nil, 1); !errors.Is(err, ErrEmptyExample) {
+		t.Fatalf("empty candidate: %v", err)
+	}
+	if _, err := Similarity([][]float64{{1, 2}}, [][]float64{{1}}, 1); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestAutoSigma(t *testing.T) {
+	if s := AutoSigma(nil); s != 1 {
+		t.Fatalf("empty: %v", s)
+	}
+	if s := AutoSigma([][]float64{{0, 0}}); s != 0.1 {
+		t.Fatalf("floor: %v", s)
+	}
+	if s := AutoSigma([][]float64{{4, 0}, {0, 4}}); math.Abs(s-math.Sqrt(8)/2) > 1e-12 {
+		t.Fatalf("scale: %v", s)
+	}
+}
+
+// exampleDB builds a db where VS 2 holds a TS matching the example.
+func exampleDB() ([]window.VS, [][]float64) {
+	quiet := func() []float64 { return []float64{0.01, 0.02, 0.01} }
+	spike := []float64{0.3, 3.5, 1.0}
+	mk := func(idx int, tss ...window.TS) window.VS {
+		return window.VS{Index: idx, StartFrame: idx * 15, EndFrame: idx*15 + 10, TSs: tss}
+	}
+	db := []window.VS{
+		mk(0, window.TS{TrackID: 1, Vectors: [][]float64{quiet(), quiet(), quiet()}}),
+		mk(1, window.TS{TrackID: 2, Vectors: [][]float64{quiet(), {0.02, 1.2, 0.1}, quiet()}}),
+		mk(2, window.TS{TrackID: 3, Vectors: [][]float64{quiet(), {0.28, 3.3, 0.9}, {0.25, 0.4, 0.2}}}),
+		mk(3), // empty
+	}
+	example := [][]float64{quiet(), spike, {0.3, 0.5, 0.25}}
+	return db, example
+}
+
+func TestByExampleRanksMatchFirst(t *testing.T) {
+	db, ex := exampleDB()
+	e := ByExample{Example: ex}
+	rank, err := e.Rank(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank[0] != 2 {
+		t.Fatalf("best match not first: %v", rank)
+	}
+	// Empty VS ranks last.
+	if rank[len(rank)-1] != 3 {
+		t.Fatalf("empty VS not last: %v", rank)
+	}
+	if e.Name() == "" {
+		t.Fatal("name")
+	}
+	if _, err := (ByExample{}).Rank(db, nil); !errors.Is(err, ErrEmptyExample) {
+		t.Fatalf("empty example: %v", err)
+	}
+}
+
+func TestNewByExample(t *testing.T) {
+	ts := window.TS{Vectors: [][]float64{{1, 2}, {3, 4}}}
+	e, err := NewByExample(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deep copy: mutating the source must not change the query.
+	ts.Vectors[0][0] = 99
+	if e.Example[0][0] == 99 {
+		t.Fatal("example aliases the source TS")
+	}
+	if _, err := NewByExample(window.TS{}); !errors.Is(err, ErrEmptyExample) {
+		t.Fatalf("empty TS: %v", err)
+	}
+}
+
+func TestSketchSamples(t *testing.T) {
+	s := Sketch{
+		Points:           []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 10)},
+		FramesPerSegment: 5,
+	}
+	samples, err := s.Samples(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frames 0, 5, 10 → three samples at the polyline vertices.
+	if len(samples) != 3 {
+		t.Fatalf("samples: %d", len(samples))
+	}
+	if samples[1].Pos != geom.Pt(10, 0) || samples[2].Pos != geom.Pt(10, 10) {
+		t.Fatalf("positions: %v %v", samples[1].Pos, samples[2].Pos)
+	}
+	// Second sample's motion is the first segment.
+	if samples[1].Motion != geom.V(10, 0) {
+		t.Fatalf("motion: %v", samples[1].Motion)
+	}
+	// Third sample turned 90°.
+	if th := samples[2].Theta(); math.Abs(th-math.Pi/2) > 1e-9 {
+		t.Fatalf("theta: %v", th)
+	}
+	if _, err := (Sketch{Points: []geom.Point{geom.Pt(0, 0)}}).Samples(5); !errors.Is(err, ErrShortSketch) {
+		t.Fatalf("short sketch: %v", err)
+	}
+	if _, err := s.Samples(0); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestBySketchPicksEventfulWindow(t *testing.T) {
+	// A long sketch: straight run, then a sharp turn, then straight.
+	// The extracted example must cover the turn.
+	pts := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(20, 0), geom.Pt(30, 0),
+		geom.Pt(30, 10), // sharp 90° turn
+		geom.Pt(30, 20), geom.Pt(30, 30), geom.Pt(30, 40),
+	}
+	e, err := BySketch(Sketch{Points: pts, FramesPerSegment: 5}, event.UTurnModel{}, window.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Example) != 3 {
+		t.Fatalf("example length: %d", len(e.Example))
+	}
+	// The peak θ (≈ π/2) must be inside the chosen window.
+	peak := 0.0
+	for _, v := range e.Example {
+		if v[0] > peak {
+			peak = v[0]
+		}
+	}
+	if peak < 1.0 {
+		t.Fatalf("turn not captured: peak θ %v", peak)
+	}
+	if _, err := BySketch(Sketch{}, event.UTurnModel{}, window.DefaultConfig()); err == nil {
+		t.Fatal("empty sketch accepted")
+	}
+	if _, err := BySketch(Sketch{Points: pts}, nil, window.DefaultConfig()); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := BySketch(Sketch{Points: pts}, event.UTurnModel{}, window.Config{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	// A sketch shorter than the window still yields a usable example.
+	short, err := BySketch(Sketch{Points: pts[:2], FramesPerSegment: 5}, event.UTurnModel{}, window.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(short.Example) == 0 {
+		t.Fatal("short sketch produced no example")
+	}
+}
+
+func TestSketchQueryRetrievesMatchingMotion(t *testing.T) {
+	// End to end: sketch a hard stop (fast then stationary), query a
+	// database containing one TS with that signature.
+	quiet := []float64{0, 0.02, 0.01}
+	stop := [][]float64{quiet, {0, 3.0, 0.1}, {0, 0.4, 0}}
+	db := []window.VS{
+		{Index: 0, TSs: []window.TS{{TrackID: 1, Vectors: [][]float64{quiet, quiet, quiet}}}},
+		{Index: 1, TSs: []window.TS{{TrackID: 2, Vectors: stop}}},
+	}
+	sketch := Sketch{
+		Points: []geom.Point{
+			geom.Pt(0, 0), geom.Pt(15, 0), geom.Pt(30, 0), // 3 px/frame
+			geom.Pt(30, 0), geom.Pt(30, 0), // dead stop
+		},
+		FramesPerSegment: 5,
+	}
+	eng, err := BySketch(sketch, event.AccidentModel{}, window.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, err := eng.Rank(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank[0] != 1 {
+		t.Fatalf("stop VS not first: %v", rank)
+	}
+}
+
+func TestCombined(t *testing.T) {
+	db, ex := exampleDB()
+	c := Combined{Engines: []retrieval.Engine{
+		ByExample{Example: ex},
+		retrieval.RocchioEngine{}, // heuristic fallback without labels
+	}}
+	rank, err := c.Rank(db, map[int]mil.Label{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rank) != len(db) {
+		t.Fatalf("rank size: %d", len(rank))
+	}
+	// VS 2 wins in both constituent rankings, so it must win fused.
+	if rank[0] != 2 {
+		t.Fatalf("fused ranking: %v", rank)
+	}
+	if c.Name() == "" {
+		t.Fatal("name")
+	}
+	// Weight mismatch and empty engines error.
+	if _, err := (Combined{}).Rank(db, nil); err == nil {
+		t.Fatal("no engines accepted")
+	}
+	bad := Combined{Engines: []retrieval.Engine{ByExample{Example: ex}}, Weights: []float64{1, 2}}
+	if _, err := bad.Rank(db, nil); err == nil {
+		t.Fatal("weight mismatch accepted")
+	}
+}
+
+func TestWithFeedbackSwitches(t *testing.T) {
+	db, ex := exampleDB()
+	w := WithFeedback{
+		Initial: ByExample{Example: ex},
+		Learner: retrieval.MILEngine{Opt: mil.DefaultOptions()},
+	}
+	// No positive labels: the example engine ranks (VS 2 first).
+	rank, err := w.Rank(db, map[int]mil.Label{0: mil.Negative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank[0] != 2 {
+		t.Fatalf("initial phase: %v", rank)
+	}
+	// With a positive label the learner takes over and must keep the
+	// labeled-relevant VS on top (it is the training data).
+	rank, err = w.Rank(db, map[int]mil.Label{2: mil.Positive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank[0] != 2 {
+		t.Fatalf("learning phase: %v", rank)
+	}
+	if w.Name() == "" {
+		t.Fatal("name")
+	}
+	if _, err := (WithFeedback{}).Rank(db, nil); err == nil {
+		t.Fatal("missing engines accepted")
+	}
+}

@@ -1,0 +1,164 @@
+package render
+
+import (
+	"math/rand"
+	"testing"
+
+	"milvideo/internal/frame"
+	"milvideo/internal/sim"
+)
+
+func scene(t *testing.T) *sim.Scene {
+	t.Helper()
+	s, err := sim.Tunnel(sim.TunnelConfig{Frames: 120, Seed: 3, SpawnEvery: 40, WallCrash: 1, FPS: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBackgroundStructure(t *testing.T) {
+	s := scene(t)
+	opt := DefaultOptions()
+	bg := Background(s, opt)
+	if bg.W != s.W || bg.H != s.H {
+		t.Fatalf("size: %dx%d", bg.W, bg.H)
+	}
+	// Wall pixels carry the wall shade.
+	w := s.Walls[0]
+	cx, cy := int((w.Min.X+w.Max.X)/2), int((w.Min.Y+w.Max.Y)/2)
+	if bg.At(cx, cy) != opt.WallShade {
+		t.Fatalf("wall shade: got %d want %d", bg.At(cx, cy), opt.WallShade)
+	}
+	// Road area carries approximately the road shade.
+	road := bg.At(s.W/2, 110)
+	if road < opt.RoadShade-15 || road > opt.RoadShade+15 {
+		t.Fatalf("road shade: got %d", road)
+	}
+}
+
+func TestFrameDrawsVehicles(t *testing.T) {
+	s := scene(t)
+	opt := Options{NoiseAmp: 0, RoadShade: 90, WallShade: 40}
+	bg := Background(s, opt)
+	// Find a frame with at least one fully visible vehicle.
+	idx := -1
+	var vs sim.VehicleState
+	for i, f := range s.Frames {
+		for _, v := range f.Vehicles {
+			if v.Pos.X > 30 && v.Pos.X < float64(s.W)-30 {
+				idx, vs = i, v
+				break
+			}
+		}
+		if idx >= 0 {
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no visible vehicle found")
+	}
+	img, err := Frame(s, bg, idx, rand.New(rand.NewSource(1)), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pixel at the vehicle border (edge ring keeps original shade)
+	// must differ from the background.
+	px := img.At(int(vs.Pos.X), int(vs.MBR().Min.Y)+1)
+	if px == bg.At(int(vs.Pos.X), int(vs.MBR().Min.Y)+1) {
+		t.Fatalf("vehicle not drawn: pixel %d equals background", px)
+	}
+	// Background must be untouched outside the vehicles.
+	if img.At(2, 2) != bg.At(2, 2) {
+		t.Fatal("noise-free frame altered the background")
+	}
+	// bg itself must not have been mutated.
+	fresh := Background(s, opt)
+	for i := range bg.Pix {
+		if bg.Pix[i] != fresh.Pix[i] {
+			t.Fatal("Frame mutated the shared background")
+		}
+	}
+}
+
+func TestFrameIndexErrors(t *testing.T) {
+	s := scene(t)
+	opt := DefaultOptions()
+	bg := Background(s, opt)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Frame(s, bg, -1, rng, opt); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := Frame(s, bg, len(s.Frames), rng, opt); err == nil {
+		t.Fatal("overflow index accepted")
+	}
+}
+
+func TestVideoRendersWholeScene(t *testing.T) {
+	s := scene(t)
+	v, err := Video(s, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != len(s.Frames) {
+		t.Fatalf("length: %d vs %d", v.Len(), len(s.Frames))
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Name != s.Name || v.FPS != s.FPS {
+		t.Fatal("metadata not propagated")
+	}
+}
+
+func TestVideoDeterminism(t *testing.T) {
+	s := scene(t)
+	a, err := Video(s, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Video(s, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Frames {
+		for j := range a.Frames[i].Pix {
+			if a.Frames[i].Pix[j] != b.Frames[i].Pix[j] {
+				t.Fatalf("frame %d differs at pixel %d", i, j)
+			}
+		}
+	}
+}
+
+func TestVideoRejectsInvalidScene(t *testing.T) {
+	s := scene(t)
+	s.FPS = 0
+	if _, err := Video(s, DefaultOptions()); err == nil {
+		t.Fatal("invalid scene accepted")
+	}
+}
+
+func TestNoiseChangesPixelsButNotStructure(t *testing.T) {
+	s := scene(t)
+	clean, err := Video(s, Options{NoiseAmp: 0, Seed: 1, RoadShade: 90, WallShade: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := Video(s, Options{NoiseAmp: 8, Seed: 1, RoadShade: 90, WallShade: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := frame.AbsDiff(clean.Frames[0], noisy.Frames[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.CountAbove(1) == 0 {
+		t.Fatal("noise had no effect")
+	}
+	// Noise is bounded by the amplitude.
+	for _, p := range diff.Pix {
+		if p > 8 {
+			t.Fatalf("noise exceeded amplitude: %d", p)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package retrieval
+
+import (
+	"math/rand"
+	"testing"
+
+	"milvideo/internal/mil"
+	"milvideo/internal/rf"
+	"milvideo/internal/window"
+)
+
+// randomDB builds an arbitrary consistent VS database.
+func randomDB(rng *rand.Rand, n int) []window.VS {
+	db := make([]window.VS, n)
+	for i := range db {
+		vs := window.VS{Index: i, StartFrame: i * 15, EndFrame: i*15 + 10}
+		for k := 0; k < rng.Intn(4); k++ {
+			ts := window.TS{TrackID: i*10 + k}
+			for p := 0; p < 3; p++ {
+				ts.Vectors = append(ts.Vectors, []float64{
+					rng.Float64(), rng.Float64() * 4, rng.Float64() * 1.5,
+				})
+			}
+			vs.TSs = append(vs.TSs, ts)
+		}
+		db[i] = vs
+	}
+	return db
+}
+
+// randomLabels labels a random prefix of the database.
+func randomLabels(rng *rand.Rand, db []window.VS) map[int]mil.Label {
+	labels := make(map[int]mil.Label)
+	for _, vs := range db {
+		if rng.Float64() < 0.25 {
+			if rng.Float64() < 0.4 && len(vs.TSs) > 0 {
+				labels[vs.Index] = mil.Positive
+			} else {
+				labels[vs.Index] = mil.Negative
+			}
+		}
+	}
+	return labels
+}
+
+// TestEnginesReturnPermutations: every engine's ranking is a
+// permutation of the database indices, for arbitrary databases and
+// label sets.
+func TestEnginesReturnPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	engines := []Engine{
+		MILEngine{Opt: mil.DefaultOptions()},
+		MILEngine{Opt: mil.DefaultOptions(), TopTSRatio: -1},
+		WeightedEngine{Norm: rf.NormNone},
+		WeightedEngine{Norm: rf.NormLinear},
+		WeightedEngine{Norm: rf.NormPercentage},
+		RocchioEngine{},
+	}
+	for trial := 0; trial < 12; trial++ {
+		db := randomDB(rng, 5+rng.Intn(40))
+		labels := randomLabels(rng, db)
+		for _, e := range engines {
+			rank, err := e.Rank(db, labels)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, e.Name(), err)
+			}
+			if len(rank) != len(db) {
+				t.Fatalf("trial %d %s: %d of %d indices", trial, e.Name(), len(rank), len(db))
+			}
+			seen := make([]bool, len(db))
+			for _, i := range rank {
+				if i < 0 || i >= len(db) || seen[i] {
+					t.Fatalf("trial %d %s: invalid permutation %v", trial, e.Name(), rank)
+				}
+				seen[i] = true
+			}
+		}
+	}
+}
+
+// TestEnginesAreDeterministic: ranking twice with identical inputs
+// yields identical orders.
+func TestEnginesAreDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	db := randomDB(rng, 30)
+	labels := randomLabels(rng, db)
+	engines := []Engine{
+		MILEngine{Opt: mil.DefaultOptions()},
+		WeightedEngine{Norm: rf.NormPercentage},
+		RocchioEngine{},
+	}
+	for _, e := range engines {
+		a, err := e.Rank(db, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.Rank(db, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: nondeterministic at %d", e.Name(), i)
+			}
+		}
+	}
+}
+
+// TestSessionAccuracyBounds: accuracies stay in [0, 1] and labels only
+// grow across rounds, for arbitrary oracles.
+func TestSessionAccuracyBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 8; trial++ {
+		db := randomDB(rng, 25)
+		relevant := make(map[int]bool)
+		for _, vs := range db {
+			if rng.Float64() < 0.3 {
+				relevant[vs.Index] = true
+			}
+		}
+		s := &Session{
+			DB:     db,
+			Oracle: FuncOracle(func(vs window.VS) bool { return relevant[vs.Index] }),
+			TopK:   7,
+		}
+		res, err := s.Run(MILEngine{Opt: mil.DefaultOptions()}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevLabels := 0
+		for r, round := range res.Rounds {
+			if round.Accuracy < 0 || round.Accuracy > 1 {
+				t.Fatalf("trial %d round %d: accuracy %v", trial, r, round.Accuracy)
+			}
+			if round.NewLabels < 0 || round.NewLabels > s.TopK {
+				t.Fatalf("trial %d round %d: new labels %d", trial, r, round.NewLabels)
+			}
+			prevLabels += round.NewLabels
+		}
+		if len(res.Labels) != prevLabels {
+			t.Fatalf("trial %d: label bookkeeping: %d vs %d", trial, len(res.Labels), prevLabels)
+		}
+	}
+}

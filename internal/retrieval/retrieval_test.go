@@ -1,0 +1,323 @@
+package retrieval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"milvideo/internal/kernel"
+	"milvideo/internal/mil"
+	"milvideo/internal/rf"
+	"milvideo/internal/sim"
+	"milvideo/internal/window"
+)
+
+// synthDB builds a VS database with the paper's feature structure
+// (window of 3 points, 3 features per point). Relevant VSs contain an
+// accident TS: high inverse distance, a large velocity change and a
+// direction change, consistent across accidents. Distractor VSs spike
+// in vdiff alone (hard braking at a light) with magnitudes that
+// overlap the accidents', so the squared-sum heuristic confuses them;
+// the full 9-dim pattern separates them.
+func synthDB(rng *rand.Rand, nRelevant, nDistractor, nNormal int) (db []window.VS, relevant map[int]bool) {
+	relevant = make(map[int]bool)
+	idx := 0
+	n3 := func(scale float64) []float64 {
+		return []float64{
+			math.Abs(rng.NormFloat64()) * 0.03 * scale,
+			math.Abs(rng.NormFloat64()) * 0.1 * scale,
+			math.Abs(rng.NormFloat64()) * 0.05 * scale,
+		}
+	}
+	mkVS := func(tss ...window.TS) window.VS {
+		vs := window.VS{Index: idx, StartFrame: idx * 15, EndFrame: idx*15 + 10, TSs: tss}
+		idx++
+		return vs
+	}
+	normalTS := func(id int) window.TS {
+		// Normal driving varies from vehicle to vehicle (speed
+		// differences, tracking jitter): each normal TS has its own
+		// scale, so the normal population is diverse rather than a
+		// single tight cluster — matching the paper's premise that
+		// "irrelevant TSs deviate from the query target in their own
+		// ways".
+		s := 1 + rng.Float64()*5
+		return window.TS{TrackID: id, Vectors: [][]float64{n3(s), n3(s), n3(s)}}
+	}
+	for i := 0; i < nRelevant; i++ {
+		peak := []float64{0.35 + rng.Float64()*0.1, 2.6 + rng.NormFloat64()*0.5, 1.1 + rng.NormFloat64()*0.2}
+		after := []float64{0.3 + rng.Float64()*0.1, 0.5 + rng.NormFloat64()*0.1, 0.25 + rng.NormFloat64()*0.08}
+		acc := window.TS{TrackID: 100 + i, Vectors: [][]float64{n3(1), peak, after}}
+		vs := mkVS(acc)
+		// Traffic near the accident is sparse (the paper's tunnel
+		// clip): only some relevant windows hold a bystander TS.
+		if i%3 == 0 {
+			vs.TSs = append(vs.TSs, normalTS(200+i))
+		}
+		relevant[vs.Index] = true
+		db = append(db, vs)
+	}
+	for i := 0; i < nDistractor; i++ {
+		spike := []float64{0.02 + rng.Float64()*0.02, 2.3 + rng.NormFloat64()*0.5, 0.05 + math.Abs(rng.NormFloat64())*0.04}
+		dis := window.TS{TrackID: 300 + i, Vectors: [][]float64{n3(1), spike, n3(1)}}
+		db = append(db, mkVS(dis, normalTS(400+i)))
+	}
+	for i := 0; i < nNormal; i++ {
+		db = append(db, mkVS(normalTS(500+i)))
+	}
+	return db, relevant
+}
+
+func oracleFor(relevant map[int]bool) Oracle {
+	return FuncOracle(func(vs window.VS) bool { return relevant[vs.Index] })
+}
+
+func TestHeuristicScore(t *testing.T) {
+	vs := window.VS{TSs: []window.TS{
+		{Vectors: [][]float64{{1, 0, 0}, {2, 0, 0}}},
+		{Vectors: [][]float64{{0, 3, 0}}},
+	}}
+	if s := HeuristicScore(vs); s != 9 {
+		t.Fatalf("score: %v", s)
+	}
+	if s := HeuristicScore(window.VS{}); !math.IsInf(s, -1) {
+		t.Fatalf("empty VS: %v", s)
+	}
+}
+
+func TestInitialRoundIdenticalAcrossEngines(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	db, rel := synthDB(rng, 10, 15, 20)
+	s := &Session{DB: db, Oracle: oracleFor(rel), TopK: 10}
+	engines := []Engine{
+		MILEngine{Opt: mil.DefaultOptions()},
+		WeightedEngine{Norm: rf.NormPercentage},
+		RocchioEngine{},
+	}
+	var first []int
+	for _, e := range engines {
+		res, err := s.Run(e, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		top := res.Rounds[0].TopK
+		if first == nil {
+			first = top
+			continue
+		}
+		for i := range top {
+			if top[i] != first[i] {
+				t.Fatalf("%s initial round differs at %d: %v vs %v", e.Name(), i, top, first)
+			}
+		}
+	}
+}
+
+func TestMILImprovesOverRounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	db, rel := synthDB(rng, 12, 18, 25)
+	s := &Session{DB: db, Oracle: oracleFor(rel), TopK: 10}
+	res, err := s.Run(MILEngine{Opt: mil.Options{Z: 0.05, Kernel: kernel.RBF{Sigma: 1}}}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := res.Accuracies()
+	if len(acc) != 5 {
+		t.Fatalf("rounds: %d", len(acc))
+	}
+	if acc[0] >= 0.99 {
+		t.Fatalf("initial round should be imperfect (distractors overlap): %v", acc)
+	}
+	final := acc[len(acc)-1]
+	if final < acc[0] {
+		t.Fatalf("MIL degraded: %v", acc)
+	}
+	if final < 0.8 {
+		t.Fatalf("MIL final accuracy too low: %v", acc)
+	}
+}
+
+func TestWeightedEngineRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	db, rel := synthDB(rng, 10, 15, 20)
+	s := &Session{DB: db, Oracle: oracleFor(rel), TopK: 10}
+	for _, norm := range []rf.Normalization{rf.NormNone, rf.NormLinear, rf.NormPercentage} {
+		res, err := s.Run(WeightedEngine{Norm: norm}, 4)
+		if err != nil {
+			t.Fatalf("%v: %v", norm, err)
+		}
+		if len(res.Rounds) != 4 {
+			t.Fatalf("%v: rounds %d", norm, len(res.Rounds))
+		}
+		for _, r := range res.Rounds {
+			if r.Accuracy < 0 || r.Accuracy > 1 {
+				t.Fatalf("%v: accuracy %v", norm, r.Accuracy)
+			}
+		}
+	}
+}
+
+func TestRocchioEngineRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	db, rel := synthDB(rng, 8, 10, 15)
+	s := &Session{DB: db, Oracle: oracleFor(rel), TopK: 8}
+	res, err := s.Run(RocchioEngine{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != "Rocchio" {
+		t.Fatalf("name: %s", res.Engine)
+	}
+}
+
+func TestSessionLabelAccumulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	db, rel := synthDB(rng, 5, 5, 10)
+	s := &Session{DB: db, Oracle: oracleFor(rel), TopK: 5}
+	res, err := s.Run(MILEngine{Opt: mil.DefaultOptions()}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labels cover at least TopK VSs and at most rounds × TopK.
+	if len(res.Labels) < 5 || len(res.Labels) > 15 {
+		t.Fatalf("labels: %d", len(res.Labels))
+	}
+	// Labels agree with the oracle.
+	for idx, l := range res.Labels {
+		want := mil.Negative
+		if rel[idx] {
+			want = mil.Positive
+		}
+		if l != want {
+			t.Fatalf("label mismatch at %d: %v", idx, l)
+		}
+	}
+	// Round 0 labels everything new; later rounds can repeat.
+	if res.Rounds[0].NewLabels != 5 {
+		t.Fatalf("round 0 new labels: %d", res.Rounds[0].NewLabels)
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db, rel := synthDB(rng, 3, 3, 3)
+	ok := &Session{DB: db, Oracle: oracleFor(rel), TopK: 5}
+	if _, err := ok.Run(nil, 3); err == nil {
+		t.Fatal("nil engine accepted")
+	}
+	if _, err := (&Session{DB: db, TopK: 5}).Run(RocchioEngine{}, 3); err == nil {
+		t.Fatal("nil oracle accepted")
+	}
+	if _, err := ok.Run(RocchioEngine{}, 0); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+	if _, err := (&Session{DB: db, Oracle: oracleFor(rel), TopK: 0}).Run(RocchioEngine{}, 1); err == nil {
+		t.Fatal("zero TopK accepted")
+	}
+	if _, err := (&Session{DB: nil, Oracle: oracleFor(rel), TopK: 5}).Run(RocchioEngine{}, 1); err == nil {
+		t.Fatal("empty DB accepted")
+	}
+	dup := append([]window.VS{}, db...)
+	dup[1].Index = dup[0].Index
+	if _, err := (&Session{DB: dup, Oracle: oracleFor(rel), TopK: 5}).Run(RocchioEngine{}, 1); err == nil {
+		t.Fatal("duplicate indices accepted")
+	}
+}
+
+func TestTopKClampedToDBSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	db, rel := synthDB(rng, 2, 2, 2)
+	s := &Session{DB: db, Oracle: oracleFor(rel), TopK: 100}
+	res, err := s.Run(MILEngine{Opt: mil.DefaultOptions()}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds[0].TopK) != len(db) {
+		t.Fatalf("clamp: %d", len(res.Rounds[0].TopK))
+	}
+}
+
+func TestCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db, rel := synthDB(rng, 8, 10, 15)
+	s := &Session{DB: db, Oracle: oracleFor(rel), TopK: 8}
+	res, err := s.Compare([]Engine{
+		MILEngine{Opt: mil.DefaultOptions()},
+		WeightedEngine{Norm: rf.NormPercentage},
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results: %d", len(res))
+	}
+	if res["MIL-OCSVM"] == nil || res["Weighted-RF(percentage)"] == nil {
+		t.Fatalf("keys: %v", res)
+	}
+	// Duplicate engine names rejected.
+	if _, err := s.Compare([]Engine{RocchioEngine{}, RocchioEngine{}}, 2); err == nil {
+		t.Fatal("duplicate engines accepted")
+	}
+}
+
+func TestGroundTruthRelevantCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	db, rel := synthDB(rng, 7, 3, 3)
+	s := &Session{DB: db, Oracle: oracleFor(rel), TopK: 5}
+	if n := s.GroundTruthRelevant(); n != 7 {
+		t.Fatalf("count: %d", n)
+	}
+}
+
+func TestEmptyVSsRankLast(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	db, rel := synthDB(rng, 3, 0, 0)
+	// Append empty VSs.
+	for i := 0; i < 3; i++ {
+		db = append(db, window.VS{Index: 1000 + i})
+	}
+	s := &Session{DB: db, Oracle: oracleFor(rel), TopK: 3}
+	res, err := s.Run(MILEngine{Opt: mil.DefaultOptions()}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rounds {
+		for _, i := range r.TopK {
+			if db[i].Index >= 1000 {
+				t.Fatal("empty VS ranked into the top-K above populated ones")
+			}
+		}
+	}
+}
+
+func TestSceneOracle(t *testing.T) {
+	scene := &sim.Scene{
+		Name: "t", W: 320, H: 240, FPS: 25,
+		Frames: make([]sim.FrameState, 200),
+		Incidents: []sim.Incident{
+			{Type: sim.Collision, Start: 15, End: 30, Vehicles: []int{1, 2}},
+			{Type: sim.UTurn, Start: 110, End: 130, Vehicles: []int{3}},
+		},
+	}
+	for i := range scene.Frames {
+		scene.Frames[i].Index = i
+	}
+	o := SceneOracle{Scene: scene}
+	if !o.Relevant(window.VS{StartFrame: 10, EndFrame: 20}) {
+		t.Fatal("overlapping accident not detected")
+	}
+	if o.Relevant(window.VS{StartFrame: 100, EndFrame: 120}) {
+		t.Fatal("default predicate must ignore U-turns")
+	}
+	if o.Relevant(window.VS{StartFrame: 60, EndFrame: 80}) {
+		t.Fatal("non-overlapping window marked relevant")
+	}
+	// Custom predicate: only U-turns.
+	u := SceneOracle{Scene: scene, Pred: func(t0 sim.IncidentType) bool { return t0 == sim.UTurn }}
+	if !u.Relevant(window.VS{StartFrame: 100, EndFrame: 120}) {
+		t.Fatal("u-turn predicate missed its incident")
+	}
+	if u.Relevant(window.VS{StartFrame: 10, EndFrame: 20}) {
+		t.Fatal("u-turn predicate matched an accident")
+	}
+}

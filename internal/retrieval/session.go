@@ -1,0 +1,154 @@
+package retrieval
+
+import (
+	"errors"
+	"fmt"
+
+	"milvideo/internal/mil"
+	"milvideo/internal/window"
+)
+
+// Session drives the interactive retrieval protocol of §6.2: five
+// rounds (Initial plus four feedback iterations), top-20 results per
+// round, the user labeling each returned VS.
+type Session struct {
+	// DB is the video-sequence database (one clip's windows).
+	DB []window.VS
+	// Oracle supplies the user's judgments.
+	Oracle Oracle
+	// TopK is how many VSs are returned per round (paper: 20).
+	TopK int
+}
+
+// Round records one retrieval iteration.
+type Round struct {
+	// Ranking is the full database ordering this round produced.
+	Ranking []int
+	// TopK are the returned VS indices (the first TopK of Ranking).
+	TopK []int
+	// Accuracy is the fraction of relevant VSs among the returned
+	// ones — the paper's §6.2 measure.
+	Accuracy float64
+	// NewLabels is how many previously unseen VSs the user labeled.
+	NewLabels int
+}
+
+// Result is a finished session.
+type Result struct {
+	Engine string
+	Rounds []Round
+	// Labels is the final accumulated feedback (VS index → label).
+	Labels map[int]mil.Label
+}
+
+// Accuracies returns the per-round accuracy series (index 0 =
+// Initial).
+func (r *Result) Accuracies() []float64 {
+	out := make([]float64, len(r.Rounds))
+	for i, rd := range r.Rounds {
+		out[i] = rd.Accuracy
+	}
+	return out
+}
+
+// Run executes rounds retrieval iterations (including the initial
+// one) with the given engine. Labels accumulate across rounds: VSs
+// already judged keep their labels, and re-ranked known VSs count
+// toward accuracy exactly as in the paper's protocol, where the user
+// sees the top 20 of every round.
+func (s *Session) Run(engine Engine, rounds int) (*Result, error) {
+	if engine == nil {
+		return nil, errors.New("retrieval: nil engine")
+	}
+	if s.Oracle == nil {
+		return nil, errors.New("retrieval: nil oracle")
+	}
+	if rounds <= 0 {
+		return nil, fmt.Errorf("retrieval: rounds must be positive, got %d", rounds)
+	}
+	if s.TopK <= 0 {
+		return nil, fmt.Errorf("retrieval: TopK must be positive, got %d", s.TopK)
+	}
+	if len(s.DB) == 0 {
+		return nil, errors.New("retrieval: empty database")
+	}
+	seen := make(map[int]bool) // duplicate-index guard
+	for _, vs := range s.DB {
+		if seen[vs.Index] {
+			return nil, fmt.Errorf("retrieval: duplicate VS index %d", vs.Index)
+		}
+		seen[vs.Index] = true
+	}
+
+	labels := make(map[int]mil.Label)
+	res := &Result{Engine: engine.Name(), Labels: labels}
+	for r := 0; r < rounds; r++ {
+		ranking, err := engine.Rank(s.DB, labels)
+		if err != nil {
+			return nil, fmt.Errorf("retrieval: round %d: %w", r, err)
+		}
+		if len(ranking) != len(s.DB) {
+			return nil, fmt.Errorf("retrieval: round %d: engine returned %d of %d indices", r, len(ranking), len(s.DB))
+		}
+		k := s.TopK
+		if k > len(ranking) {
+			k = len(ranking)
+		}
+		top := ranking[:k]
+		relevant := 0
+		newLabels := 0
+		for _, i := range top {
+			vs := s.DB[i]
+			rel := s.Oracle.Relevant(vs)
+			if rel {
+				relevant++
+			}
+			if _, ok := labels[vs.Index]; !ok {
+				newLabels++
+			}
+			if rel {
+				labels[vs.Index] = mil.Positive
+			} else {
+				labels[vs.Index] = mil.Negative
+			}
+		}
+		res.Rounds = append(res.Rounds, Round{
+			Ranking:   ranking,
+			TopK:      append([]int(nil), top...),
+			Accuracy:  float64(relevant) / float64(k),
+			NewLabels: newLabels,
+		})
+	}
+	return res, nil
+}
+
+// Compare runs the same session protocol for several engines and
+// returns the results keyed by engine name. Each engine starts from
+// scratch (its own label accumulation), mirroring the paper's
+// side-by-side Figure 8/9 comparison.
+func (s *Session) Compare(engines []Engine, rounds int) (map[string]*Result, error) {
+	out := make(map[string]*Result, len(engines))
+	for _, e := range engines {
+		r, err := s.Run(e, rounds)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[r.Engine]; dup {
+			return nil, fmt.Errorf("retrieval: duplicate engine name %q", r.Engine)
+		}
+		out[r.Engine] = r
+	}
+	return out, nil
+}
+
+// GroundTruthRelevant counts the database VSs the oracle deems
+// relevant — context for interpreting top-K accuracy ceilings.
+func (s *Session) GroundTruthRelevant() int {
+	n := 0
+	for _, vs := range s.DB {
+		if s.Oracle.Relevant(vs) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,289 @@
+// Package rf implements the classical relevance-feedback techniques
+// the paper compares against (§2.2, §6.2): the feature re-weighting
+// method — weights are the inverse standard deviation of the relevant
+// examples' features, with the paper's three normalization variants —
+// and Rocchio query-point movement as an additional comparator.
+package rf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"milvideo/internal/stats"
+)
+
+// Normalization selects how the re-weighting baseline normalizes its
+// weights. The paper evaluated all three and found Percentage best.
+type Normalization int
+
+// Normalization schemes.
+const (
+	// NormNone uses the raw inverse standard deviations.
+	NormNone Normalization = iota
+	// NormLinear rescales weights linearly into [0, 1]; the paper
+	// notes its flaw — a zero weight permanently eliminates a feature.
+	NormLinear
+	// NormPercentage divides each weight by the total weight (the
+	// paper's preferred variant).
+	NormPercentage
+)
+
+// String implements fmt.Stringer.
+func (n Normalization) String() string {
+	switch n {
+	case NormLinear:
+		return "linear"
+	case NormPercentage:
+		return "percentage"
+	default:
+		return "none"
+	}
+}
+
+// ErrDim is returned when feature vectors disagree with the weighting
+// dimension.
+var ErrDim = errors.New("rf: feature dimension mismatch")
+
+// Weighted is the re-weighting relevance-feedback baseline. The score
+// of a sample-point feature vector is the weighted squared sum
+// Σⱼ wⱼ·fⱼ²; initial weights are all 1, reproducing the initial-query
+// heuristic exactly (§6.2: "the initial round of retrieval is the
+// same as that of the proposed framework").
+type Weighted struct {
+	weights []float64
+	norm    Normalization
+}
+
+// NewWeighted returns a baseline with unit weights.
+func NewWeighted(dim int, norm Normalization) (*Weighted, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("rf: invalid dimension %d", dim)
+	}
+	w := make([]float64, dim)
+	for i := range w {
+		w[i] = 1
+	}
+	return &Weighted{weights: w, norm: norm}, nil
+}
+
+// Weights returns a copy of the current weights.
+func (w *Weighted) Weights() []float64 {
+	out := make([]float64, len(w.weights))
+	copy(out, w.weights)
+	return out
+}
+
+// Update recomputes the weights from the relevant examples' feature
+// vectors: wⱼ = 1/σⱼ, then normalization. A zero standard deviation
+// (a perfectly consistent feature) receives the largest finite weight
+// observed, following the convention that consistency means
+// importance; if every feature is constant, all weights become equal.
+func (w *Weighted) Update(relevant [][]float64) error {
+	if len(relevant) == 0 {
+		return errors.New("rf: no relevant examples")
+	}
+	for i, r := range relevant {
+		if len(r) != len(w.weights) {
+			return fmt.Errorf("%w: example %d has %d, want %d", ErrDim, i, len(r), len(w.weights))
+		}
+	}
+	_, stds, err := stats.ColumnStats(relevant)
+	if err != nil {
+		return fmt.Errorf("rf: %w", err)
+	}
+	raw := make([]float64, len(stds))
+	maxFinite := 0.0
+	for j, s := range stds {
+		if s > 1e-12 {
+			raw[j] = 1 / s
+			if raw[j] > maxFinite {
+				maxFinite = raw[j]
+			}
+		} else {
+			raw[j] = math.Inf(1) // resolved below
+		}
+	}
+	if maxFinite == 0 {
+		maxFinite = 1
+	}
+	for j := range raw {
+		if math.IsInf(raw[j], 1) {
+			raw[j] = maxFinite
+		}
+	}
+
+	switch w.norm {
+	case NormLinear:
+		min, max := raw[0], raw[0]
+		for _, v := range raw {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if max > min {
+			for j := range raw {
+				raw[j] = (raw[j] - min) / (max - min)
+			}
+		} else {
+			for j := range raw {
+				raw[j] = 1
+			}
+		}
+	case NormPercentage:
+		total := 0.0
+		for _, v := range raw {
+			total += v
+		}
+		if total > 0 {
+			for j := range raw {
+				raw[j] /= total
+			}
+		}
+	}
+	w.weights = raw
+	return nil
+}
+
+// PointScore returns the weighted squared sum Σⱼ wⱼ·fⱼ² of one
+// sample-point feature vector.
+func (w *Weighted) PointScore(f []float64) (float64, error) {
+	if len(f) != len(w.weights) {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrDim, len(f), len(w.weights))
+	}
+	s := 0.0
+	for j, v := range f {
+		s += w.weights[j] * v * v
+	}
+	return s, nil
+}
+
+// SeriesScore scores a per-point feature series by its best point —
+// the S_TS = max(S_α…) rule of §5.3.
+func (w *Weighted) SeriesScore(series [][]float64) (float64, error) {
+	if len(series) == 0 {
+		return 0, errors.New("rf: empty series")
+	}
+	best := math.Inf(-1)
+	for _, f := range series {
+		s, err := w.PointScore(f)
+		if err != nil {
+			return 0, err
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best, nil
+}
+
+// Rocchio implements query-point movement (§2.2, reference [23]): the
+// query estimate moves toward the mean of relevant examples and away
+// from the mean of irrelevant ones; scores are negative distances to
+// the query point.
+type Rocchio struct {
+	// Alpha, Beta, Gamma are the classic Rocchio mixing coefficients.
+	Alpha, Beta, Gamma float64
+
+	query []float64
+}
+
+// NewRocchio returns a Rocchio ranker with the standard coefficients
+// α=1, β=0.75, γ=0.25 and an initial query at the given point (often
+// the highest-scored example of the initial round).
+func NewRocchio(initial []float64) (*Rocchio, error) {
+	if len(initial) == 0 {
+		return nil, errors.New("rf: empty initial query")
+	}
+	q := make([]float64, len(initial))
+	copy(q, initial)
+	return &Rocchio{Alpha: 1, Beta: 0.75, Gamma: 0.25, query: q}, nil
+}
+
+// Query returns a copy of the current query point.
+func (r *Rocchio) Query() []float64 {
+	out := make([]float64, len(r.query))
+	copy(out, r.query)
+	return out
+}
+
+// Update applies one Rocchio step using the relevant and irrelevant
+// example sets (either may be empty, but not both).
+func (r *Rocchio) Update(relevant, irrelevant [][]float64) error {
+	if len(relevant) == 0 && len(irrelevant) == 0 {
+		return errors.New("rf: Rocchio update needs at least one example")
+	}
+	dim := len(r.query)
+	mean := func(rows [][]float64) ([]float64, error) {
+		m := make([]float64, dim)
+		for i, row := range rows {
+			if len(row) != dim {
+				return nil, fmt.Errorf("%w: example %d has %d, want %d", ErrDim, i, len(row), dim)
+			}
+			for j, v := range row {
+				m[j] += v
+			}
+		}
+		if len(rows) > 0 {
+			for j := range m {
+				m[j] /= float64(len(rows))
+			}
+		}
+		return m, nil
+	}
+	mr, err := mean(relevant)
+	if err != nil {
+		return err
+	}
+	mi, err := mean(irrelevant)
+	if err != nil {
+		return err
+	}
+	next := make([]float64, dim)
+	for j := range next {
+		next[j] = r.Alpha * r.query[j]
+		if len(relevant) > 0 {
+			next[j] += r.Beta * mr[j]
+		}
+		if len(irrelevant) > 0 {
+			next[j] -= r.Gamma * mi[j]
+		}
+	}
+	r.query = next
+	return nil
+}
+
+// PointScore returns the negated Euclidean distance from f to the
+// query point, so that larger is more relevant.
+func (r *Rocchio) PointScore(f []float64) (float64, error) {
+	if len(f) != len(r.query) {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrDim, len(f), len(r.query))
+	}
+	d := 0.0
+	for j := range f {
+		diff := f[j] - r.query[j]
+		d += diff * diff
+	}
+	return -math.Sqrt(d), nil
+}
+
+// SeriesScore scores a per-point feature series by its best point.
+func (r *Rocchio) SeriesScore(series [][]float64) (float64, error) {
+	if len(series) == 0 {
+		return 0, errors.New("rf: empty series")
+	}
+	best := math.Inf(-1)
+	for _, f := range series {
+		s, err := r.PointScore(f)
+		if err != nil {
+			return 0, err
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best, nil
+}

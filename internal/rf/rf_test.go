@@ -1,0 +1,240 @@
+package rf
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestNormalizationString(t *testing.T) {
+	if NormNone.String() != "none" || NormLinear.String() != "linear" || NormPercentage.String() != "percentage" {
+		t.Fatal("strings")
+	}
+}
+
+func TestNewWeightedInitialHeuristic(t *testing.T) {
+	w, err := NewWeighted(3, NormPercentage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unit weights: score is the plain squared sum (the paper's
+	// initial heuristic).
+	s, err := w.PointScore([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 14 {
+		t.Fatalf("score: %v", s)
+	}
+	if _, err := NewWeighted(0, NormNone); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	ws := w.Weights()
+	ws[0] = 99
+	if w.Weights()[0] == 99 {
+		t.Fatal("Weights must return a copy")
+	}
+}
+
+func TestUpdateInverseStd(t *testing.T) {
+	w, _ := NewWeighted(2, NormNone)
+	// Feature 0 has std 1, feature 1 has std 2 → weights 1 and 0.5.
+	rel := [][]float64{
+		{0, 0},
+		{2, 4},
+	}
+	if err := w.Update(rel); err != nil {
+		t.Fatal(err)
+	}
+	ws := w.Weights()
+	if math.Abs(ws[0]-1) > 1e-12 || math.Abs(ws[1]-0.5) > 1e-12 {
+		t.Fatalf("weights: %v", ws)
+	}
+}
+
+func TestUpdateZeroStdGetsMaxFiniteWeight(t *testing.T) {
+	w, _ := NewWeighted(2, NormNone)
+	rel := [][]float64{
+		{5, 0},
+		{5, 2},
+	}
+	if err := w.Update(rel); err != nil {
+		t.Fatal(err)
+	}
+	ws := w.Weights()
+	if math.IsInf(ws[0], 1) {
+		t.Fatal("infinite weight leaked")
+	}
+	if ws[0] != ws[1] {
+		// std of feature 1 is 1 → weight 1; zero-std feature gets the
+		// max finite = 1.
+		t.Fatalf("weights: %v", ws)
+	}
+	// All features constant: equal weights.
+	w2, _ := NewWeighted(2, NormNone)
+	if err := w2.Update([][]float64{{3, 4}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	ws2 := w2.Weights()
+	if ws2[0] != ws2[1] || math.IsInf(ws2[0], 0) || ws2[0] <= 0 {
+		t.Fatalf("constant features: %v", ws2)
+	}
+}
+
+func TestPercentageNormalizationSumsToOne(t *testing.T) {
+	w, _ := NewWeighted(3, NormPercentage)
+	rel := [][]float64{
+		{0, 0, 0},
+		{1, 2, 4},
+		{2, 4, 8},
+	}
+	if err := w.Update(rel); err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, v := range w.Weights() {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("sum: %v", total)
+	}
+}
+
+func TestLinearNormalizationZeroesLeastImportant(t *testing.T) {
+	w, _ := NewWeighted(2, NormLinear)
+	rel := [][]float64{
+		{0, 0},
+		{1, 10},
+	}
+	if err := w.Update(rel); err != nil {
+		t.Fatal(err)
+	}
+	ws := w.Weights()
+	// Highest weight normalizes to 1, lowest to 0 — the paper's noted
+	// flaw of the linear scheme.
+	if ws[0] != 1 || ws[1] != 0 {
+		t.Fatalf("weights: %v", ws)
+	}
+	// Degenerate: both weights equal → all ones.
+	w2, _ := NewWeighted(2, NormLinear)
+	if err := w2.Update([][]float64{{0, 0}, {2, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if ws := w2.Weights(); ws[0] != 1 || ws[1] != 1 {
+		t.Fatalf("equal weights: %v", ws)
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	w, _ := NewWeighted(2, NormNone)
+	if err := w.Update(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if err := w.Update([][]float64{{1}}); !errors.Is(err, ErrDim) {
+		t.Fatalf("dim: %v", err)
+	}
+}
+
+func TestSeriesScoreMaxRule(t *testing.T) {
+	w, _ := NewWeighted(2, NormNone)
+	s, err := w.SeriesScore([][]float64{{1, 0}, {3, 0}, {2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 9 {
+		t.Fatalf("max rule: %v", s)
+	}
+	if _, err := w.SeriesScore(nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if _, err := w.SeriesScore([][]float64{{1}}); !errors.Is(err, ErrDim) {
+		t.Fatalf("dim: %v", err)
+	}
+}
+
+func TestWeightingImprovesDiscrimination(t *testing.T) {
+	// Relevant examples agree on feature 0 (≈3) and scatter on
+	// feature 1. After the update, a probe matching feature 0 should
+	// outscore one matching feature 1 even when raw magnitudes would
+	// say otherwise.
+	w, _ := NewWeighted(2, NormPercentage)
+	rel := [][]float64{
+		{3.0, 0}, {3.1, 5}, {2.9, -4}, {3.0, 9}, {3.05, -7},
+	}
+	if err := w.Update(rel); err != nil {
+		t.Fatal(err)
+	}
+	onSignal, _ := w.PointScore([]float64{3, 0})
+	onNoise, _ := w.PointScore([]float64{0, 3})
+	if onSignal <= onNoise {
+		t.Fatalf("weighting failed: %v vs %v", onSignal, onNoise)
+	}
+}
+
+func TestRocchioMovesTowardRelevant(t *testing.T) {
+	r, err := NewRocchio([]float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := [][]float64{{4, 0}, {6, 0}}
+	irr := [][]float64{{0, 10}}
+	if err := r.Update(rel, irr); err != nil {
+		t.Fatal(err)
+	}
+	q := r.Query()
+	// q = 1·(0,0) + 0.75·(5,0) − 0.25·(0,10) = (3.75, −2.5)
+	if math.Abs(q[0]-3.75) > 1e-12 || math.Abs(q[1]+2.5) > 1e-12 {
+		t.Fatalf("query: %v", q)
+	}
+	// Scores decrease with distance from the query point.
+	near, _ := r.PointScore([]float64{3.75, -2.5})
+	far, _ := r.PointScore([]float64{-10, 10})
+	if near != 0 || far >= near {
+		t.Fatalf("scores: %v %v", near, far)
+	}
+}
+
+func TestRocchioPartialUpdates(t *testing.T) {
+	r, _ := NewRocchio([]float64{1, 1})
+	// Only relevant examples.
+	if err := r.Update([][]float64{{3, 3}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	q := r.Query()
+	if math.Abs(q[0]-3.25) > 1e-12 {
+		t.Fatalf("query: %v", q)
+	}
+	// Neither set: error.
+	if err := r.Update(nil, nil); err == nil {
+		t.Fatal("empty update accepted")
+	}
+	// Dimension mismatch.
+	if err := r.Update([][]float64{{1}}, nil); !errors.Is(err, ErrDim) {
+		t.Fatalf("dim: %v", err)
+	}
+}
+
+func TestRocchioSeriesAndErrors(t *testing.T) {
+	if _, err := NewRocchio(nil); err == nil {
+		t.Fatal("empty initial accepted")
+	}
+	r, _ := NewRocchio([]float64{0, 0})
+	s, err := r.SeriesScore([][]float64{{3, 4}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != -1 { // best point is (1,0) at distance 1
+		t.Fatalf("series: %v", s)
+	}
+	if _, err := r.SeriesScore(nil); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if _, err := r.PointScore([]float64{1}); !errors.Is(err, ErrDim) {
+		t.Fatalf("dim: %v", err)
+	}
+	q := r.Query()
+	q[0] = 99
+	if r.Query()[0] == 99 {
+		t.Fatal("Query must return a copy")
+	}
+}

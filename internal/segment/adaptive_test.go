@@ -1,0 +1,102 @@
+package segment
+
+import (
+	"testing"
+
+	"milvideo/internal/frame"
+)
+
+// driftClip renders a moving square whose whole scene brightens
+// linearly over time — the illumination-drift condition a static
+// background model cannot follow.
+func driftClip(nFrames int, drift float64) *frame.Video {
+	v := &frame.Video{FPS: 25, Name: "drift"}
+	for i := 0; i < nFrames; i++ {
+		f := frame.NewGray(64, 48)
+		base := 80 + int(drift*float64(i)/float64(nFrames))
+		f.Fill(uint8(base))
+		x := 4 + i%40
+		f.FillRect(x, 20, x+10, 28, uint8(base+100))
+		v.Frames = append(v.Frames, f)
+	}
+	return v
+}
+
+func TestStaticBackgroundFailsUnderDrift(t *testing.T) {
+	v := driftClip(200, 90)
+	ex, err := NewExtractor(v, Options{
+		DiffThreshold: 30, MinArea: 10, Morphology: true, BackgroundSample: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Late in the clip the global brightness has drifted past the
+	// threshold relative to the (median) background: the whole frame
+	// floods foreground.
+	segs, err := ex.Segments(v.Frames[195])
+	if err != nil {
+		t.Fatal(err)
+	}
+	flooded := false
+	for _, s := range segs {
+		if s.Area > 1500 { // far larger than the 80-px square
+			flooded = true
+		}
+	}
+	if !flooded {
+		t.Fatal("expected the static model to flood under drift (test premise broken)")
+	}
+}
+
+func TestAdaptiveBackgroundFollowsDrift(t *testing.T) {
+	v := driftClip(200, 90)
+	ex, err := NewExtractor(v, Options{
+		DiffThreshold: 30, MinArea: 10, Morphology: true, BackgroundSample: 1,
+		Adaptive: true, AdaptRate: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Adaptive() {
+		t.Fatal("Adaptive() false")
+	}
+	// Process the clip in order; by the end the model must still
+	// isolate exactly the moving square.
+	var last []Segment
+	for i, f := range v.Frames {
+		segs, err := ex.Segments(f)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		last = segs
+	}
+	if len(last) != 1 {
+		t.Fatalf("final frame: %d segments", len(last))
+	}
+	if last[0].Area < 40 || last[0].Area > 200 {
+		t.Fatalf("segment area %d, want ≈ 80", last[0].Area)
+	}
+}
+
+func TestAdaptiveDefaultsAndSeeding(t *testing.T) {
+	v := driftClip(120, 0)
+	// AdaptRate out of range falls back to the default.
+	ex, err := NewExtractor(v, Options{
+		DiffThreshold: 30, MinArea: 10, BackgroundSample: 1,
+		Adaptive: true, AdaptRate: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.opt.AdaptRate != 0.02 {
+		t.Fatalf("rate: %v", ex.opt.AdaptRate)
+	}
+	// Non-adaptive extractors report stateless.
+	ex2, err := NewExtractor(v, Options{DiffThreshold: 30, MinArea: 10, BackgroundSample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex2.Adaptive() {
+		t.Fatal("static extractor claims adaptive")
+	}
+}

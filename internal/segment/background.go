@@ -1,0 +1,126 @@
+// Package segment implements the vehicle segmentation stage of the
+// pipeline (paper §3.1): background learning and subtraction, binary
+// morphology, connected-component extraction (yielding the MBR and
+// centroid of each vehicle segment), and the SPCPE algorithm —
+// Simultaneous Partition and Class Parameter Estimation — used to
+// refine candidate regions, following the approach of the paper's
+// reference [20].
+package segment
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"milvideo/internal/frame"
+)
+
+// ErrNoFrames is returned when background learning receives no input.
+var ErrNoFrames = errors.New("segment: no frames to learn background from")
+
+// LearnBackground estimates the static background as the per-pixel
+// temporal median over a sample of the provided frames. sample gives
+// the stride between inspected frames (1 = every frame); the median is
+// robust against vehicles passing through a pixel in a minority of
+// samples.
+func LearnBackground(frames []*frame.Gray, sample int) (*frame.Gray, error) {
+	if len(frames) == 0 {
+		return nil, ErrNoFrames
+	}
+	if sample < 1 {
+		sample = 1
+	}
+	var picked []*frame.Gray
+	for i := 0; i < len(frames); i += sample {
+		picked = append(picked, frames[i])
+	}
+	w, h := picked[0].W, picked[0].H
+	for i, f := range picked {
+		if f.W != w || f.H != h {
+			return nil, fmt.Errorf("segment: frame %d size %dx%d, want %dx%d", i*sample, f.W, f.H, w, h)
+		}
+	}
+	bg := frame.NewGray(w, h)
+	vals := make([]uint8, len(picked))
+	for p := 0; p < w*h; p++ {
+		for i, f := range picked {
+			vals[i] = f.Pix[p]
+		}
+		bg.Pix[p] = median(vals)
+	}
+	return bg, nil
+}
+
+// median returns the middle order statistic of vals (upper middle for
+// even counts). vals is modified.
+func median(vals []uint8) uint8 {
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals[len(vals)/2]
+}
+
+// Subtract produces the binary foreground mask of img against the
+// background: pixels whose absolute difference meets thresh become
+// foreground (255).
+func Subtract(img, bg *frame.Gray, thresh uint8) (*frame.Gray, error) {
+	d, err := frame.AbsDiff(img, bg)
+	if err != nil {
+		return nil, err
+	}
+	return d.Threshold(thresh), nil
+}
+
+// Erode applies one pass of 3×3 binary erosion: a pixel survives only
+// if its entire 8-neighborhood (and itself) is foreground. Frame
+// borders count as background.
+func Erode(mask *frame.Gray) *frame.Gray {
+	out := frame.NewGray(mask.W, mask.H)
+	for y := 0; y < mask.H; y++ {
+		for x := 0; x < mask.W; x++ {
+			keep := true
+			for dy := -1; dy <= 1 && keep; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if mask.At(x+dx, y+dy) == 0 {
+						keep = false
+						break
+					}
+				}
+			}
+			if keep {
+				out.Set(x, y, 255)
+			}
+		}
+	}
+	return out
+}
+
+// Dilate applies one pass of 3×3 binary dilation: a pixel becomes
+// foreground if any pixel in its 8-neighborhood (or itself) is.
+func Dilate(mask *frame.Gray) *frame.Gray {
+	out := frame.NewGray(mask.W, mask.H)
+	for y := 0; y < mask.H; y++ {
+		for x := 0; x < mask.W; x++ {
+			hit := false
+			for dy := -1; dy <= 1 && !hit; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if mask.At(x+dx, y+dy) != 0 {
+						hit = true
+						break
+					}
+				}
+			}
+			if hit {
+				out.Set(x, y, 255)
+			}
+		}
+	}
+	return out
+}
+
+// Open performs erosion followed by dilation, removing speckle noise
+// smaller than the structuring element while approximately preserving
+// larger regions.
+func Open(mask *frame.Gray) *frame.Gray { return Dilate(Erode(mask)) }
+
+// Close performs dilation followed by erosion, filling pinholes and
+// joining fragments separated by a single-pixel gap.
+func Close(mask *frame.Gray) *frame.Gray { return Erode(Dilate(mask)) }

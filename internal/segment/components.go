@@ -1,0 +1,102 @@
+package segment
+
+import (
+	"milvideo/internal/frame"
+	"milvideo/internal/geom"
+)
+
+// Segment is one extracted vehicle candidate: its connected-component
+// label, minimal bounding rectangle, centroid (the red dot of the
+// paper's Fig. 1), pixel area and mean source intensity.
+type Segment struct {
+	Label     int
+	MBR       geom.Rect
+	Centroid  geom.Point
+	Area      int
+	MeanShade float64
+}
+
+// ConnectedComponents labels the 8-connected foreground regions of
+// mask and returns one Segment per region with at least minArea
+// pixels, ordered by label (scan order). src, when non-nil, supplies
+// the intensities for MeanShade; otherwise MeanShade is 255 (the mask
+// value).
+func ConnectedComponents(mask *frame.Gray, src *frame.Gray, minArea int) []Segment {
+	w, h := mask.W, mask.H
+	labels := make([]int32, w*h)
+	var segs []Segment
+	next := int32(1)
+
+	// Iterative flood fill with an explicit stack to bound recursion.
+	stack := make([][2]int, 0, 256)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if mask.Pix[y*w+x] == 0 || labels[y*w+x] != 0 {
+				continue
+			}
+			label := next
+			next++
+			stack = append(stack[:0], [2]int{x, y})
+			labels[y*w+x] = label
+
+			area := 0
+			sumX, sumY, sumShade := 0.0, 0.0, 0.0
+			minX, minY, maxX, maxY := x, y, x, y
+			for len(stack) > 0 {
+				p := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				px, py := p[0], p[1]
+				area++
+				sumX += float64(px)
+				sumY += float64(py)
+				if src != nil {
+					sumShade += float64(src.Pix[py*w+px])
+				} else {
+					sumShade += 255
+				}
+				if px < minX {
+					minX = px
+				}
+				if px > maxX {
+					maxX = px
+				}
+				if py < minY {
+					minY = py
+				}
+				if py > maxY {
+					maxY = py
+				}
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						if dx == 0 && dy == 0 {
+							continue
+						}
+						nx, ny := px+dx, py+dy
+						if nx < 0 || nx >= w || ny < 0 || ny >= h {
+							continue
+						}
+						idx := ny*w + nx
+						if mask.Pix[idx] != 0 && labels[idx] == 0 {
+							labels[idx] = label
+							stack = append(stack, [2]int{nx, ny})
+						}
+					}
+				}
+			}
+			if area < minArea {
+				continue
+			}
+			segs = append(segs, Segment{
+				Label: int(label),
+				MBR: geom.Rect{
+					Min: geom.Pt(float64(minX), float64(minY)),
+					Max: geom.Pt(float64(maxX+1), float64(maxY+1)),
+				},
+				Centroid:  geom.Pt(sumX/float64(area), sumY/float64(area)),
+				Area:      area,
+				MeanShade: sumShade / float64(area),
+			})
+		}
+	}
+	return segs
+}

@@ -1,0 +1,386 @@
+package segment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"milvideo/internal/frame"
+)
+
+func TestLearnBackgroundMedian(t *testing.T) {
+	// Background is 100 everywhere; a "vehicle" (200) covers a pixel
+	// in a minority of frames — the median must ignore it.
+	var frames []*frame.Gray
+	for i := 0; i < 9; i++ {
+		f := frame.NewGray(4, 4)
+		f.Fill(100)
+		if i < 3 {
+			f.Set(1, 1, 200)
+		}
+		frames = append(frames, f)
+	}
+	bg, err := LearnBackground(frames, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bg.At(1, 1) != 100 {
+		t.Fatalf("median failed: %d", bg.At(1, 1))
+	}
+	if bg.At(0, 0) != 100 {
+		t.Fatalf("background wrong: %d", bg.At(0, 0))
+	}
+}
+
+func TestLearnBackgroundSampling(t *testing.T) {
+	var frames []*frame.Gray
+	for i := 0; i < 10; i++ {
+		f := frame.NewGray(2, 2)
+		f.Fill(uint8(i * 10))
+		frames = append(frames, f)
+	}
+	// Stride 3 inspects frames 0,3,6,9 → values 0,30,60,90 → median
+	// (upper middle) 60.
+	bg, err := LearnBackground(frames, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bg.At(0, 0) != 60 {
+		t.Fatalf("sampled median: %d", bg.At(0, 0))
+	}
+	// Stride < 1 behaves like 1.
+	if _, err := LearnBackground(frames, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLearnBackgroundErrors(t *testing.T) {
+	if _, err := LearnBackground(nil, 1); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	frames := []*frame.Gray{frame.NewGray(2, 2), frame.NewGray(3, 2)}
+	if _, err := LearnBackground(frames, 1); err == nil {
+		t.Fatal("mixed sizes accepted")
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	bg := frame.NewGray(4, 4)
+	bg.Fill(100)
+	img := bg.Clone()
+	img.FillRect(1, 1, 3, 3, 180)
+	mask, err := Subtract(img, bg, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask.At(1, 1) != 255 || mask.At(0, 0) != 0 {
+		t.Fatal("mask wrong")
+	}
+	if _, err := Subtract(img, frame.NewGray(2, 2), 30); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestErodeDilate(t *testing.T) {
+	m := frame.NewGray(7, 7)
+	m.FillRect(2, 2, 5, 5, 255) // 3x3 block
+	e := Erode(m)
+	// Only the center survives.
+	if e.At(3, 3) != 255 {
+		t.Fatal("center eroded away")
+	}
+	count := 0
+	for _, p := range e.Pix {
+		if p != 0 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("erosion kept %d pixels, want 1", count)
+	}
+	d := Dilate(e)
+	// Dilation restores the 3x3 block.
+	for y := 2; y < 5; y++ {
+		for x := 2; x < 5; x++ {
+			if d.At(x, y) != 255 {
+				t.Fatalf("dilation missed (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestOpenRemovesSpeckle(t *testing.T) {
+	m := frame.NewGray(10, 10)
+	m.Set(1, 1, 255)            // lone speckle
+	m.FillRect(4, 4, 9, 9, 255) // solid 5x5 block
+	o := Open(m)
+	if o.At(1, 1) != 0 {
+		t.Fatal("speckle survived opening")
+	}
+	if o.At(6, 6) != 255 {
+		t.Fatal("block center lost")
+	}
+}
+
+func TestCloseFillsPinhole(t *testing.T) {
+	m := frame.NewGray(10, 10)
+	m.FillRect(2, 2, 8, 8, 255)
+	m.Set(5, 5, 0) // pinhole
+	c := Close(m)
+	if c.At(5, 5) != 255 {
+		t.Fatal("pinhole survived closing")
+	}
+}
+
+func TestConnectedComponentsTwoBlobs(t *testing.T) {
+	m := frame.NewGray(20, 10)
+	m.FillRect(1, 1, 5, 5, 255)   // 4x4 = 16 px
+	m.FillRect(10, 2, 16, 8, 255) // 6x6 = 36 px
+	src := frame.NewGray(20, 10)
+	src.Fill(50)
+	segs := ConnectedComponents(m, src, 1)
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments", len(segs))
+	}
+	if segs[0].Area != 16 || segs[1].Area != 36 {
+		t.Fatalf("areas: %d %d", segs[0].Area, segs[1].Area)
+	}
+	// Centroid of the first blob is at (2.5, 2.5).
+	if math.Abs(segs[0].Centroid.X-2.5) > 1e-9 || math.Abs(segs[0].Centroid.Y-2.5) > 1e-9 {
+		t.Fatalf("centroid: %v", segs[0].Centroid)
+	}
+	// MBR is [1,5)x[1,5).
+	if segs[0].MBR.Min.X != 1 || segs[0].MBR.Max.X != 5 {
+		t.Fatalf("MBR: %v", segs[0].MBR)
+	}
+	if segs[0].MeanShade != 50 {
+		t.Fatalf("shade: %v", segs[0].MeanShade)
+	}
+}
+
+func TestConnectedComponentsMinAreaAnd8Connectivity(t *testing.T) {
+	m := frame.NewGray(10, 10)
+	// Diagonal pair: 8-connectivity joins them into one component.
+	m.Set(1, 1, 255)
+	m.Set(2, 2, 255)
+	segs := ConnectedComponents(m, nil, 1)
+	if len(segs) != 1 || segs[0].Area != 2 {
+		t.Fatalf("8-connectivity: %+v", segs)
+	}
+	// minArea filters it out.
+	if segs := ConnectedComponents(m, nil, 3); len(segs) != 0 {
+		t.Fatalf("minArea ignored: %+v", segs)
+	}
+	// nil src gives MeanShade 255.
+	if ConnectedComponents(m, nil, 1)[0].MeanShade != 255 {
+		t.Fatal("nil src shade wrong")
+	}
+}
+
+func TestConnectedComponentsEmptyMask(t *testing.T) {
+	if segs := ConnectedComponents(frame.NewGray(5, 5), nil, 1); len(segs) != 0 {
+		t.Fatalf("empty mask produced %d segments", len(segs))
+	}
+}
+
+func TestSPCPETwoRegions(t *testing.T) {
+	// Left half dark (intensity 40+x gradient), right half bright.
+	img := frame.NewGray(20, 10)
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 20; x++ {
+			if x < 10 {
+				img.Set(x, y, uint8(40+x))
+			} else {
+				img.Set(x, y, uint8(180+y))
+			}
+		}
+	}
+	res, err := SPCPE(img, 0, 0, 20, 10, SPCPEOptions{Classes: 2, MaxIters: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W != 20 || res.H != 10 {
+		t.Fatalf("window: %dx%d", res.W, res.H)
+	}
+	// The two halves must land in different classes; check a sample.
+	left := res.Labels[5*20+3]
+	right := res.Labels[5*20+15]
+	if left == right {
+		t.Fatal("SPCPE failed to separate the halves")
+	}
+	// Partition is exhaustive and consistent along each half.
+	for y := 0; y < 10; y++ {
+		for x := 0; x < 20; x++ {
+			l := res.Labels[y*20+x]
+			if x < 9 && l != left {
+				t.Fatalf("left pixel (%d,%d) in class %d", x, y, l)
+			}
+			if x > 10 && l != right {
+				t.Fatalf("right pixel (%d,%d) in class %d", x, y, l)
+			}
+		}
+	}
+	if res.ClassPixelCount(0)+res.ClassPixelCount(1) != 200 {
+		t.Fatal("classes do not partition the window")
+	}
+	if res.Iterations < 1 {
+		t.Fatal("no iterations recorded")
+	}
+}
+
+func TestSPCPERecoversPlanarModels(t *testing.T) {
+	// One class is a pure plane 20 + 2x, the other 200 - y. After
+	// convergence the fitted models should be close to these.
+	img := frame.NewGray(16, 16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			if y < 8 {
+				img.Set(x, y, uint8(20+2*x))
+			} else {
+				img.Set(x, y, uint8(200-y))
+			}
+		}
+	}
+	res, err := SPCPE(img, 0, 0, 16, 16, SPCPEOptions{Classes: 2, MaxIters: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identify the bright class by its constant term.
+	bright := 0
+	if res.Models[1].A > res.Models[0].A {
+		bright = 1
+	}
+	bm := res.Models[bright]
+	if math.Abs(bm.A-200) > 6 || math.Abs(bm.C-(-1)) > 0.4 {
+		t.Fatalf("bright model %+v not close to 200 - y", bm)
+	}
+	dm := res.Models[1-bright]
+	if math.Abs(dm.B-2) > 0.4 {
+		t.Fatalf("dark model %+v not close to 20 + 2x", dm)
+	}
+}
+
+func TestSPCPEFlatWindow(t *testing.T) {
+	img := frame.NewGray(8, 8)
+	img.Fill(77)
+	res, err := SPCPE(img, 0, 0, 8, 8, DefaultSPCPEOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All pixels in one class; the model is the constant 77.
+	if res.ClassPixelCount(0) != 64 {
+		t.Fatalf("flat window split: %d in class 0", res.ClassPixelCount(0))
+	}
+	if math.Abs(res.Models[0].Eval(4, 4)-77) > 1 {
+		t.Fatalf("flat model: %+v", res.Models[0])
+	}
+}
+
+func TestSPCPEErrors(t *testing.T) {
+	img := frame.NewGray(8, 8)
+	if _, err := SPCPE(img, 0, 0, 8, 8, SPCPEOptions{Classes: 1, MaxIters: 5}); err == nil {
+		t.Fatal("1 class accepted")
+	}
+	if _, err := SPCPE(img, 5, 5, 5, 5, DefaultSPCPEOptions()); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	if _, err := SPCPE(img, 0, 0, 2, 1, SPCPEOptions{Classes: 2, MaxIters: 5}); err == nil {
+		t.Fatal("tiny window accepted")
+	}
+	// Window clamping: out-of-range bounds are clipped, not fatal.
+	if _, err := SPCPE(img, -5, -5, 100, 100, DefaultSPCPEOptions()); err != nil {
+		t.Fatalf("clamped window failed: %v", err)
+	}
+}
+
+// syntheticClip renders a minimal moving-square clip without using the
+// render package (keeping this package's tests self-contained).
+func syntheticClip(nFrames int) *frame.Video {
+	v := &frame.Video{FPS: 25, Name: "synthetic"}
+	for i := 0; i < nFrames; i++ {
+		f := frame.NewGray(64, 48)
+		f.Fill(100)
+		x := 4 + i*2
+		f.FillRect(x, 20, x+10, 28, 200)
+		v.Frames = append(v.Frames, f)
+	}
+	return v
+}
+
+func TestExtractorFindsMovingSquare(t *testing.T) {
+	v := syntheticClip(20)
+	ex, err := NewExtractor(v, Options{DiffThreshold: 30, MinArea: 10, Morphology: true, RefineSPCPE: false, BackgroundSample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := ex.Segments(v.Frames[10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("got %d segments", len(segs))
+	}
+	wantX := float64(4+10*2) + 5 - 0.5 // center of the 10-wide square
+	if math.Abs(segs[0].Centroid.X-wantX) > 2 {
+		t.Fatalf("centroid.X = %v, want ≈ %v", segs[0].Centroid.X, wantX)
+	}
+	if math.Abs(segs[0].Centroid.Y-23.5) > 2 {
+		t.Fatalf("centroid.Y = %v", segs[0].Centroid.Y)
+	}
+}
+
+func TestExtractorSPCPERefinementStable(t *testing.T) {
+	v := syntheticClip(20)
+	ex, err := NewExtractor(v, Options{DiffThreshold: 30, MinArea: 10, Morphology: true, RefineSPCPE: true, BackgroundSample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := ex.Segments(v.Frames[10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("got %d segments", len(segs))
+	}
+	// Refinement must stay on the square.
+	if math.Abs(segs[0].Centroid.X-(4+10*2+4.5)) > 3 {
+		t.Fatalf("refined centroid drifted: %v", segs[0].Centroid)
+	}
+}
+
+func TestExtractorRobustToNoise(t *testing.T) {
+	v := syntheticClip(20)
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range v.Frames {
+		f.AddNoise(rng, 6)
+	}
+	ex, err := NewExtractor(v, Options{DiffThreshold: 30, MinArea: 10, Morphology: true, RefineSPCPE: false, BackgroundSample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := ex.Segments(v.Frames[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("noise broke extraction: %d segments", len(segs))
+	}
+}
+
+func TestExtractorDefaultsAndErrors(t *testing.T) {
+	if _, err := NewExtractor(&frame.Video{FPS: 25}, DefaultOptions()); err == nil {
+		t.Fatal("invalid video accepted")
+	}
+	v := syntheticClip(5)
+	// Zero-valued options fall back to defaults.
+	ex, err := NewExtractor(v, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Background() == nil {
+		t.Fatal("no background")
+	}
+	if _, err := ex.Segments(frame.NewGray(10, 10)); err == nil {
+		t.Fatal("mismatched frame accepted")
+	}
+}

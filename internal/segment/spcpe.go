@@ -1,0 +1,195 @@
+package segment
+
+import (
+	"errors"
+	"fmt"
+
+	"milvideo/internal/frame"
+	"milvideo/internal/mat"
+)
+
+// PlaneModel is a planar intensity model I(x, y) = A + B·x + C·y, the
+// class-parameter form used by the SPCPE algorithm: each partition
+// class is assumed to have smoothly (linearly) varying intensity.
+type PlaneModel struct {
+	A, B, C float64
+}
+
+// Eval returns the modeled intensity at (x, y).
+func (p PlaneModel) Eval(x, y float64) float64 { return p.A + p.B*x + p.C*y }
+
+// SPCPEResult carries the output of one SPCPE run: the per-pixel class
+// labels over the analysed window (row-major, width×height of the
+// window), the per-class plane models, and the number of iterations
+// until convergence.
+type SPCPEResult struct {
+	Labels     []int
+	Models     []PlaneModel
+	Iterations int
+	W, H       int
+}
+
+// SPCPEOptions controls the partition estimation.
+type SPCPEOptions struct {
+	Classes  int // number of partition classes (≥2)
+	MaxIters int // iteration cap; convergence usually arrives earlier
+}
+
+// DefaultSPCPEOptions returns the two-class configuration used for
+// vehicle/background refinement.
+func DefaultSPCPEOptions() SPCPEOptions { return SPCPEOptions{Classes: 2, MaxIters: 20} }
+
+// SPCPE runs Simultaneous Partition and Class Parameter Estimation on
+// the rectangular window [x0,x1)×[y0,y1) of img. Starting from an
+// intensity-quantile initial partition, it alternates between
+// estimating each class's planar intensity model by least squares and
+// reassigning every pixel to the class whose model predicts it best,
+// until the partition is stable or MaxIters is reached.
+func SPCPE(img *frame.Gray, x0, y0, x1, y1 int, opt SPCPEOptions) (*SPCPEResult, error) {
+	if opt.Classes < 2 {
+		return nil, errors.New("segment: SPCPE needs at least 2 classes")
+	}
+	if opt.MaxIters < 1 {
+		opt.MaxIters = 1
+	}
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > img.W {
+		x1 = img.W
+	}
+	if y1 > img.H {
+		y1 = img.H
+	}
+	w, h := x1-x0, y1-y0
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("segment: empty SPCPE window [%d,%d)x[%d,%d)", x0, x1, y0, y1)
+	}
+	n := w * h
+	if n < 3*opt.Classes {
+		return nil, fmt.Errorf("segment: window of %d pixels too small for %d classes", n, opt.Classes)
+	}
+
+	// Initial partition: split by intensity quantiles so class 0 holds
+	// the darkest pixels and class C-1 the brightest.
+	intens := make([]float64, n)
+	for yy := 0; yy < h; yy++ {
+		for xx := 0; xx < w; xx++ {
+			intens[yy*w+xx] = float64(img.At(x0+xx, y0+yy))
+		}
+	}
+	min, max := intens[0], intens[0]
+	for _, v := range intens {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	labels := make([]int, n)
+	span := max - min
+	if span == 0 {
+		span = 1 // flat window: everything lands in class 0
+	}
+	for i, v := range intens {
+		c := int(float64(opt.Classes) * (v - min) / span)
+		if c >= opt.Classes {
+			c = opt.Classes - 1
+		}
+		labels[i] = c
+	}
+
+	models := make([]PlaneModel, opt.Classes)
+	iters := 0
+	for ; iters < opt.MaxIters; iters++ {
+		// Class-parameter estimation: least-squares plane per class.
+		for c := 0; c < opt.Classes; c++ {
+			model, ok := fitPlane(intens, labels, c, w)
+			if ok {
+				models[c] = model
+			}
+			// Classes that lost all pixels keep their previous model;
+			// they may win pixels back in the assignment step.
+		}
+		// Partition: reassign each pixel to the best-fitting class.
+		changed := 0
+		for yy := 0; yy < h; yy++ {
+			for xx := 0; xx < w; xx++ {
+				i := yy*w + xx
+				best, bestErr := labels[i], residual(models[labels[i]], xx, yy, intens[i])
+				for c := 0; c < opt.Classes; c++ {
+					if c == labels[i] {
+						continue
+					}
+					if e := residual(models[c], xx, yy, intens[i]); e < bestErr {
+						best, bestErr = c, e
+					}
+				}
+				if best != labels[i] {
+					labels[i] = best
+					changed++
+				}
+			}
+		}
+		if changed == 0 {
+			iters++
+			break
+		}
+	}
+	return &SPCPEResult{Labels: labels, Models: models, Iterations: iters, W: w, H: h}, nil
+}
+
+func residual(m PlaneModel, x, y int, v float64) float64 {
+	d := v - m.Eval(float64(x), float64(y))
+	return d * d
+}
+
+// fitPlane estimates the least-squares plane for the pixels of class c.
+// ok is false when the class has too few pixels or a degenerate
+// configuration for a stable fit.
+func fitPlane(intens []float64, labels []int, c, w int) (PlaneModel, bool) {
+	var xs, ys, vs []float64
+	for i, l := range labels {
+		if l != c {
+			continue
+		}
+		xs = append(xs, float64(i%w))
+		ys = append(ys, float64(i/w))
+		vs = append(vs, intens[i])
+	}
+	if len(vs) < 3 {
+		return PlaneModel{}, false
+	}
+	a := mat.New(len(vs), 3)
+	for i := range vs {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, xs[i])
+		a.Set(i, 2, ys[i])
+	}
+	coef, err := mat.LeastSquares(a, vs)
+	if err != nil {
+		// Degenerate geometry (e.g. all pixels in one column): fall
+		// back to the constant model at the class mean.
+		mean := 0.0
+		for _, v := range vs {
+			mean += v
+		}
+		return PlaneModel{A: mean / float64(len(vs))}, true
+	}
+	return PlaneModel{A: coef[0], B: coef[1], C: coef[2]}, true
+}
+
+// ClassPixelCount returns how many window pixels carry class c.
+func (r *SPCPEResult) ClassPixelCount(c int) int {
+	n := 0
+	for _, l := range r.Labels {
+		if l == c {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"milvideo/internal/geom"
+)
+
+// actor is a scripted vehicle inside a running simulation. Behaviours
+// are closures that mutate the actor once per frame; incident
+// maneuvers are expressed as phase machines inside those closures.
+type actor struct {
+	id     int
+	class  Class
+	pos    geom.Point
+	vel    geom.Vec
+	shade  uint8
+	done   bool // removed from the world at the end of the frame
+	update func(a *actor, w *world)
+}
+
+// dims returns the rendered extent of the actor given its heading:
+// vehicles are longer along their direction of travel.
+func (a *actor) dims() (w, h float64) {
+	lw, lh := a.class.Dims()
+	if math.Abs(a.vel.Y) > math.Abs(a.vel.X) {
+		return lh, lw // traveling vertically: swap
+	}
+	return lw, lh
+}
+
+// state snapshots the actor for the ground-truth record.
+func (a *actor) state() VehicleState {
+	w, h := a.dims()
+	return VehicleState{
+		ID:    a.id,
+		Class: a.class,
+		Pos:   a.pos,
+		Vel:   a.vel,
+		W:     w,
+		H:     h,
+		Shade: a.shade,
+	}
+}
+
+// world advances a population of actors and records ground truth.
+type world struct {
+	frame     int
+	actors    []*actor
+	rng       *rand.Rand
+	nextID    int
+	incidents []Incident
+	w, h      int
+}
+
+func newWorld(w, h int, seed int64) *world {
+	return &world{rng: rand.New(rand.NewSource(seed)), w: w, h: h}
+}
+
+// spawn adds an actor and assigns it a fresh ID.
+func (w *world) spawn(a *actor) *actor {
+	a.id = w.nextID
+	w.nextID++
+	w.actors = append(w.actors, a)
+	return a
+}
+
+// leaderAhead returns the nearest actor in front of a (along a's
+// heading, within a lateral corridor) and the gap to it. It implements
+// the sensing for the car-following behaviour. ok is false when the
+// lane ahead is clear.
+func (w *world) leaderAhead(a *actor, corridor float64) (lead *actor, gap float64, ok bool) {
+	dir := a.vel.Unit()
+	if dir.Norm() == 0 {
+		return nil, 0, false
+	}
+	best := math.Inf(1)
+	for _, b := range w.actors {
+		if b == a || b.done {
+			continue
+		}
+		d := b.pos.Sub(a.pos)
+		forward := d.Dot(dir)
+		if forward <= 0 {
+			continue
+		}
+		lateral := math.Abs(d.Cross(dir))
+		if lateral > corridor {
+			continue
+		}
+		if forward < best {
+			best = forward
+			lead = b
+		}
+	}
+	if lead == nil {
+		return nil, 0, false
+	}
+	return lead, best, true
+}
+
+// step advances the world one frame and returns the frame's state.
+func (w *world) step() FrameState {
+	// Update in spawn order for determinism.
+	for _, a := range w.actors {
+		if !a.done && a.update != nil {
+			a.update(a, w)
+		}
+	}
+	fs := FrameState{Index: w.frame}
+	kept := w.actors[:0]
+	for _, a := range w.actors {
+		if a.done {
+			continue
+		}
+		fs.Vehicles = append(fs.Vehicles, a.state())
+		kept = append(kept, a)
+	}
+	w.actors = kept
+	w.frame++
+	return fs
+}
+
+// record appends a ground-truth incident.
+func (w *world) record(t IncidentType, start, end int, vehicles ...int) {
+	w.incidents = append(w.incidents, Incident{Type: t, Start: start, End: end, Vehicles: vehicles})
+}
+
+// clampIncidents trims incident intervals to the final clip length so
+// Scene.Validate holds even when a maneuver was scheduled near the
+// end of the clip.
+func (w *world) clampIncidents(frames int) []Incident {
+	out := make([]Incident, 0, len(w.incidents))
+	for _, inc := range w.incidents {
+		if inc.Start >= frames {
+			continue
+		}
+		if inc.End >= frames {
+			inc.End = frames - 1
+		}
+		out = append(out, inc)
+	}
+	return out
+}
+
+// cruise is the normal driving behaviour: hold a target speed along a
+// fixed heading, easing off when a leader is too close. desired is the
+// cruising speed in px/frame; offRange despawns the actor once its
+// position leaves the rectangle.
+func cruise(desired float64, heading geom.Vec, offRange geom.Rect) func(*actor, *world) {
+	dir := heading.Unit()
+	return func(a *actor, w *world) {
+		target := desired
+		if _, gap, ok := w.leaderAhead(a, 8); ok && gap < 45 {
+			// Proportional slow-down; never reverse.
+			target = desired * (gap / 45)
+			if target < 0.2 {
+				target = 0.2
+			}
+		}
+		speed := a.vel.Norm()
+		// First-order approach to the target speed.
+		speed += (target - speed) * 0.3
+		a.vel = dir.Scale(speed)
+		a.pos = a.pos.Add(a.vel)
+		if !offRange.Contains(a.pos) {
+			a.done = true
+		}
+	}
+}
+
+// pickClass draws a vehicle class with car-heavy weighting.
+func pickClass(rng *rand.Rand) Class {
+	switch r := rng.Float64(); {
+	case r < 0.6:
+		return Car
+	case r < 0.85:
+		return SUV
+	default:
+		return Truck
+	}
+}
+
+// pickShade draws a rendering intensity distinct from road (~90) and
+// walls (~40): vehicles are either bright (150..230) or very dark
+// (10..30), mirroring real paint variety while staying segmentable.
+func pickShade(rng *rand.Rand) uint8 {
+	if rng.Float64() < 0.8 {
+		return uint8(150 + rng.Intn(80))
+	}
+	return uint8(10 + rng.Intn(20))
+}

@@ -1,0 +1,617 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"milvideo/internal/geom"
+)
+
+// Default scene dimensions; chosen so that vehicle extents and speeds
+// resemble a roadside surveillance camera at moderate resolution.
+const (
+	SceneW = 320
+	SceneH = 240
+)
+
+// TunnelConfig parameterizes the tunnel scenario (the paper's first
+// clip: 2504 frames, accidents are mostly single-vehicle wall
+// crashes by speeding vehicles).
+type TunnelConfig struct {
+	Frames     int   // clip length; the paper's clip has 2504
+	Seed       int64 // RNG seed; all randomness derives from it
+	SpawnEvery int   // mean frames between vehicle spawns
+	WallCrash  int   // number of wall-crash incidents
+	SuddenStop int   // number of sudden-stop incidents
+	Speeding   int   // number of speeding (non-accident) distractors
+	// HardBrake is the number of phantom emergency stops — the hard
+	// negatives that give the initial heuristic its realistic error
+	// rate (a single-point velocity spike without an accident).
+	HardBrake int
+	FPS       float64
+}
+
+// DefaultTunnel returns the configuration used by the paper-scale
+// experiments: the paper's clip length, with an incident mix rich
+// enough (accidents plus phantom-brake hard negatives) for the
+// five-round feedback protocol to show learning dynamics. See
+// EXPERIMENTS.md for how the resulting dataset compares to the
+// paper's (109 TSs).
+func DefaultTunnel() TunnelConfig {
+	return TunnelConfig{
+		Frames:     2504,
+		Seed:       1,
+		SpawnEvery: 140,
+		WallCrash:  12,
+		SuddenStop: 4,
+		Speeding:   2,
+		HardBrake:  12,
+		FPS:        25,
+	}
+}
+
+// Tunnel generates the tunnel scene.
+func Tunnel(cfg TunnelConfig) (*Scene, error) {
+	if cfg.Frames <= 0 {
+		return nil, errors.New("sim: Tunnel requires a positive frame count")
+	}
+	if cfg.SpawnEvery <= 0 {
+		return nil, errors.New("sim: Tunnel requires a positive spawn interval")
+	}
+	if cfg.FPS <= 0 {
+		cfg.FPS = 25
+	}
+
+	const (
+		laneTop    = 105.0
+		laneBottom = 135.0
+		wallTopY   = 78.0  // inner edge of the upper wall
+		wallBotY   = 162.0 // inner edge of the lower wall
+	)
+	w := newWorld(SceneW, SceneH, cfg.Seed)
+	off := geom.Rect{Min: geom.Pt(-40, -40), Max: geom.Pt(SceneW+40, SceneH+40)}
+	east := geom.V(1, 0)
+
+	// Schedule: normal spawns at jittered intervals, incident vehicles
+	// at evenly spread trigger frames.
+	type spawnEvent struct {
+		frame int
+		kind  string // "normal", "wallcrash", "suddenstop", "speeding"
+	}
+	var schedule []spawnEvent
+	for f := 5; f < cfg.Frames; {
+		schedule = append(schedule, spawnEvent{frame: f, kind: "normal"})
+		f += cfg.SpawnEvery/2 + w.rng.Intn(cfg.SpawnEvery)
+	}
+	spread := func(n int, kind string, phase float64) {
+		for i := 0; i < n; i++ {
+			// Spread across the clip, offset by phase so different
+			// incident kinds do not collide on the same frame.
+			f := int((float64(i) + phase) / float64(n) * float64(cfg.Frames) * 0.85)
+			if f < 10 {
+				f = 10
+			}
+			schedule = append(schedule, spawnEvent{frame: f, kind: kind})
+		}
+	}
+	spread(cfg.WallCrash, "wallcrash", 0.35)
+	spread(cfg.SuddenStop, "suddenstop", 0.65)
+	spread(cfg.Speeding, "speeding", 0.85)
+	spread(cfg.HardBrake, "hardbrake", 0.15)
+
+	lane := func() float64 {
+		if w.rng.Float64() < 0.5 {
+			return laneTop
+		}
+		return laneBottom
+	}
+
+	frames := make([]FrameState, 0, cfg.Frames)
+	for f := 0; f < cfg.Frames; f++ {
+		for _, ev := range schedule {
+			if ev.frame != f {
+				continue
+			}
+			switch ev.kind {
+			case "normal":
+				speed := 2.0 + w.rng.Float64()*1.0
+				w.spawn(&actor{
+					class:  pickClass(w.rng),
+					pos:    geom.Pt(-15, lane()+w.rng.Float64()*4-2),
+					vel:    east.Scale(speed),
+					shade:  pickShade(w.rng),
+					update: cruise(speed, east, off),
+				})
+			case "speeding":
+				speed := 4.8 + w.rng.Float64()*0.8
+				w.spawn(&actor{
+					class:  Car,
+					pos:    geom.Pt(-15, lane()),
+					vel:    east.Scale(speed),
+					shade:  pickShade(w.rng),
+					update: cruise(speed, east, off),
+				})
+				// Speeding is abnormal for the whole transit.
+				transit := int(float64(SceneW+30) / speed)
+				w.record(Speeding, f, f+transit, w.nextID-1)
+			case "wallcrash":
+				spawnWallCrash(w, off, wallTopY, wallBotY, lane())
+			case "suddenstop":
+				spawnSuddenStop(w, off, lane())
+			case "hardbrake":
+				spawnHardBrake(w, off, lane())
+			}
+		}
+		frames = append(frames, w.step())
+	}
+
+	s := &Scene{
+		Name: "tunnel",
+		W:    SceneW, H: SceneH,
+		FPS:       cfg.FPS,
+		Frames:    frames,
+		Incidents: w.clampIncidents(cfg.Frames),
+		Walls: []geom.Rect{
+			{Min: geom.Pt(0, 58), Max: geom.Pt(SceneW, wallTopY)},
+			{Min: geom.Pt(0, wallBotY), Max: geom.Pt(SceneW, 182)},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: generated tunnel scene invalid: %w", err)
+	}
+	return s, nil
+}
+
+// spawnWallCrash creates a speeding vehicle that veers into the
+// nearest tunnel wall and stops abruptly on impact — the paper's
+// "speeding vehicles lost control and hit on the sidewalls" scenario.
+func spawnWallCrash(w *world, off geom.Rect, wallTopY, wallBotY, laneY float64) {
+	speed := 4.2 + w.rng.Float64()*0.8
+	crashX := 90 + w.rng.Float64()*140 // where the veer begins
+	// Veer toward the closer wall.
+	wallY := wallTopY
+	if laneY > 120 {
+		wallY = wallBotY
+	}
+	phase := 0 // 0 approach, 1 veer, 2 stopped
+	rest := 0
+	var incStart int
+	a := w.spawn(&actor{
+		class: Car,
+		pos:   geom.Pt(-15, laneY),
+		vel:   geom.V(speed, 0),
+		shade: pickShade(w.rng),
+	})
+	id := a.id
+	a.update = func(a *actor, wd *world) {
+		switch phase {
+		case 0:
+			a.pos = a.pos.Add(a.vel)
+			if a.pos.X >= crashX {
+				phase = 1
+				incStart = wd.frame
+				// Abrupt steering input toward the wall.
+				sign := 1.0
+				if wallY < a.pos.Y {
+					sign = -1
+				}
+				a.vel = geom.V(a.vel.X*0.9, sign*2.2)
+			}
+		case 1:
+			a.pos = a.pos.Add(a.vel)
+			_, halfH := a.class.Dims()
+			if math.Abs(a.pos.Y-wallY) <= halfH/2+1 {
+				// Impact: velocity collapses within a frame.
+				a.vel = geom.V(0, 0)
+				phase = 2
+				wd.record(WallCrash, incStart, wd.frame+12, id)
+			}
+		case 2:
+			rest++
+			if rest > 55 {
+				a.done = true // towed away
+			}
+		}
+		if !off.Contains(a.pos) {
+			a.done = true
+		}
+	}
+}
+
+// spawnSuddenStop creates a vehicle that brakes to a standstill within
+// a few frames, waits, then drives on — a single-vehicle accident per
+// the paper's §4.
+func spawnSuddenStop(w *world, off geom.Rect, laneY float64) {
+	speed := 2.6 + w.rng.Float64()*0.6
+	stopX := 120 + w.rng.Float64()*80
+	phase := 0
+	wait := 0
+	a := w.spawn(&actor{
+		class: pickClass(w.rng),
+		pos:   geom.Pt(-15, laneY),
+		vel:   geom.V(speed, 0),
+		shade: pickShade(w.rng),
+	})
+	id := a.id
+	a.update = func(a *actor, wd *world) {
+		switch phase {
+		case 0:
+			a.pos = a.pos.Add(a.vel)
+			if a.pos.X >= stopX {
+				phase = 1
+				wd.record(SuddenStop, wd.frame, wd.frame+14, id)
+			}
+		case 1:
+			// Hard braking: halve speed each frame.
+			a.vel = a.vel.Scale(0.35)
+			a.pos = a.pos.Add(a.vel)
+			if a.vel.Norm() < 0.05 {
+				a.vel = geom.V(0, 0)
+				phase = 2
+			}
+		case 2:
+			wait++
+			if wait > 45 {
+				phase = 3
+			}
+		case 3:
+			// Pull away again.
+			v := a.vel.Norm()
+			v += (speed - v) * 0.15
+			a.vel = geom.V(v, 0)
+			a.pos = a.pos.Add(a.vel)
+		}
+		if !off.Contains(a.pos) {
+			a.done = true
+		}
+	}
+}
+
+// spawnHardBrake creates a vehicle that slams the brakes to a full
+// stop but recovers within a couple of seconds — not an accident, yet
+// its velocity-change spike matches one at a single sampling point.
+// These phantom stops are the tunnel's hard negatives.
+func spawnHardBrake(w *world, off geom.Rect, laneY float64) {
+	// Same speed band as the crash vehicles, so the braking spike is
+	// indistinguishable from an impact at a single sampling point.
+	speed := 4.2 + w.rng.Float64()*0.8
+	stopX := 90 + w.rng.Float64()*140
+	phase := 0
+	wait := 0
+	a := w.spawn(&actor{
+		class: pickClass(w.rng),
+		pos:   geom.Pt(-15, laneY),
+		vel:   geom.V(speed, 0),
+		shade: pickShade(w.rng),
+	})
+	id := a.id
+	a.update = func(a *actor, wd *world) {
+		switch phase {
+		case 0:
+			a.pos = a.pos.Add(a.vel)
+			if a.pos.X >= stopX {
+				phase = 1
+				wd.record(HardBrake, wd.frame, wd.frame+12, id)
+			}
+		case 1:
+			a.vel = a.vel.Scale(0.3)
+			a.pos = a.pos.Add(a.vel)
+			if a.vel.Norm() < 0.05 {
+				a.vel = geom.V(0, 0)
+				phase = 2
+			}
+		case 2:
+			wait++
+			if wait > 7 { // drives on almost immediately
+				phase = 3
+			}
+		case 3:
+			v := a.vel.Norm()
+			v += (speed - v) * 0.25
+			a.vel = geom.V(v, 0)
+			a.pos = a.pos.Add(a.vel)
+		}
+		if !off.Contains(a.pos) {
+			a.done = true
+		}
+	}
+}
+
+// IntersectionConfig parameterizes the intersection scenario (the
+// paper's second clip: 592 frames, accidents involve two or more
+// vehicles at a crossing).
+type IntersectionConfig struct {
+	Frames     int
+	Seed       int64
+	SpawnEvery int // mean frames between spawns per approach
+	Collisions int // number of two-vehicle collision incidents
+	UTurns     int // number of U-turn (non-accident) events
+	Speeding   int // number of speeding (non-accident) distractors
+	FPS        float64
+}
+
+// DefaultIntersection returns the paper-scale configuration: the
+// paper's 592-frame length with traffic dense enough to reproduce its
+// key dataset property — far more TSs per window than the tunnel
+// (the paper extracted 168 TSs from this short clip).
+func DefaultIntersection() IntersectionConfig {
+	return IntersectionConfig{
+		Frames:     592,
+		Seed:       2,
+		SpawnEvery: 95,
+		Collisions: 8,
+		UTurns:     2,
+		Speeding:   2,
+		FPS:        25,
+	}
+}
+
+// Intersection generates the crossing scene.
+func Intersection(cfg IntersectionConfig) (*Scene, error) {
+	if cfg.Frames <= 0 {
+		return nil, errors.New("sim: Intersection requires a positive frame count")
+	}
+	if cfg.SpawnEvery <= 0 {
+		return nil, errors.New("sim: Intersection requires a positive spawn interval")
+	}
+	if cfg.FPS <= 0 {
+		cfg.FPS = 25
+	}
+
+	// Road geometry: horizontal band and vertical band crossing at the
+	// center box.
+	const (
+		eastY  = 108.0 // eastbound lane center
+		westY  = 132.0 // westbound lane center
+		southX = 148.0 // southbound lane center
+		northX = 172.0 // northbound lane center
+		boxX0  = 136.0
+		boxX1  = 184.0
+		boxY0  = 96.0
+		boxY1  = 144.0
+	)
+	w := newWorld(SceneW, SceneH, cfg.Seed)
+	off := geom.Rect{Min: geom.Pt(-40, -40), Max: geom.Pt(SceneW+40, SceneH+40)}
+
+	// Fixed signal cycle: horizontal green for half the cycle.
+	const cycle = 160
+	hGreen := func(f int) bool { return f%cycle < cycle/2 }
+	vGreen := func(f int) bool { return !hGreen(f) }
+
+	type approach struct {
+		start   geom.Point
+		heading geom.Vec
+		// stop returns how far the actor is from its stop line
+		// (positive before the line).
+		stop  func(p geom.Point) float64
+		green func(int) bool
+	}
+	approaches := []approach{
+		{geom.Pt(-15, eastY), geom.V(1, 0), func(p geom.Point) float64 { return boxX0 - 6 - p.X }, hGreen},
+		{geom.Pt(SceneW+15, westY), geom.V(-1, 0), func(p geom.Point) float64 { return p.X - (boxX1 + 6) }, hGreen},
+		{geom.Pt(southX, -15), geom.V(0, 1), func(p geom.Point) float64 { return boxY0 - 6 - p.Y }, vGreen},
+		{geom.Pt(northX, SceneH+15), geom.V(0, -1), func(p geom.Point) float64 { return p.Y - (boxY1 + 6) }, vGreen},
+	}
+
+	type spawnEvent struct {
+		frame    int
+		kind     string
+		approach int
+	}
+	var schedule []spawnEvent
+	for ai := range approaches {
+		for f := 3 + w.rng.Intn(cfg.SpawnEvery); f < cfg.Frames; {
+			schedule = append(schedule, spawnEvent{frame: f, kind: "normal", approach: ai})
+			f += cfg.SpawnEvery/2 + w.rng.Intn(cfg.SpawnEvery)
+		}
+	}
+	for i := 0; i < cfg.Collisions; i++ {
+		f := int(float64(i+1) / float64(cfg.Collisions+1) * float64(cfg.Frames) * 0.9)
+		schedule = append(schedule, spawnEvent{frame: f, kind: "collision"})
+	}
+	for i := 0; i < cfg.UTurns; i++ {
+		f := int((float64(i) + 0.4) / float64(cfg.UTurns) * float64(cfg.Frames) * 0.8)
+		schedule = append(schedule, spawnEvent{frame: f, kind: "uturn"})
+	}
+	for i := 0; i < cfg.Speeding; i++ {
+		f := int((float64(i) + 0.7) / float64(cfg.Speeding) * float64(cfg.Frames) * 0.8)
+		schedule = append(schedule, spawnEvent{frame: f, kind: "speeding"})
+	}
+
+	frames := make([]FrameState, 0, cfg.Frames)
+	for f := 0; f < cfg.Frames; f++ {
+		for _, ev := range schedule {
+			if ev.frame != f {
+				continue
+			}
+			switch ev.kind {
+			case "normal":
+				ap := approaches[ev.approach]
+				speed := 2.0 + w.rng.Float64()*0.8
+				w.spawn(&actor{
+					class:  pickClass(w.rng),
+					pos:    ap.start,
+					vel:    ap.heading.Scale(speed),
+					shade:  pickShade(w.rng),
+					update: signalCruise(speed, ap.heading, off, ap.stop, ap.green),
+				})
+			case "collision":
+				spawnCollision(w, off, eastY, southX, geom.Pt((boxX0+boxX1)/2, (boxY0+boxY1)/2))
+			case "uturn":
+				spawnUTurn(w, off, eastY)
+			case "speeding":
+				ap := approaches[0]
+				speed := 5.0 + w.rng.Float64()*0.8
+				w.spawn(&actor{
+					class:  Car,
+					pos:    ap.start,
+					vel:    ap.heading.Scale(speed),
+					shade:  pickShade(w.rng),
+					update: cruise(speed, ap.heading, off), // ignores the light
+				})
+				transit := int(float64(SceneW+30) / speed)
+				w.record(Speeding, f, f+transit, w.nextID-1)
+			}
+		}
+		frames = append(frames, w.step())
+	}
+
+	s := &Scene{
+		Name: "intersection",
+		W:    SceneW, H: SceneH,
+		FPS:       cfg.FPS,
+		Frames:    frames,
+		Incidents: w.clampIncidents(cfg.Frames),
+		Walls: []geom.Rect{
+			// Corner blocks framing the crossing roads.
+			{Min: geom.Pt(0, 0), Max: geom.Pt(boxX0-16, boxY0-16)},
+			{Min: geom.Pt(boxX1+16, 0), Max: geom.Pt(SceneW, boxY0-16)},
+			{Min: geom.Pt(0, boxY1+16), Max: geom.Pt(boxX0-16, SceneH)},
+			{Min: geom.Pt(boxX1+16, boxY1+16), Max: geom.Pt(SceneW, SceneH)},
+		},
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: generated intersection scene invalid: %w", err)
+	}
+	return s, nil
+}
+
+// signalCruise extends cruise with a stop line controlled by a traffic
+// signal: on red, the vehicle brakes to a stop just before the line.
+func signalCruise(desired float64, heading geom.Vec, off geom.Rect, stopDist func(geom.Point) float64, green func(int) bool) func(*actor, *world) {
+	dir := heading.Unit()
+	return func(a *actor, w *world) {
+		target := desired
+		if _, gap, ok := w.leaderAhead(a, 8); ok && gap < 40 {
+			target = desired * (gap - 14) / 26
+			if target < 0 {
+				target = 0
+			}
+		}
+		if d := stopDist(a.pos); !green(w.frame) && d > 0 && d < 34 {
+			// Approaching a red light: ramp target speed down to zero
+			// at the line.
+			t := desired * (d - 4) / 30
+			if t < 0 {
+				t = 0
+			}
+			if t < target {
+				target = t
+			}
+		}
+		speed := a.vel.Norm()
+		speed += (target - speed) * 0.4
+		if speed < 0.02 {
+			speed = 0
+		}
+		a.vel = dir.Scale(speed)
+		a.pos = a.pos.Add(a.vel)
+		if !off.Contains(a.pos) {
+			a.done = true
+		}
+	}
+}
+
+// spawnCollision creates two vehicles — one eastbound, one southbound,
+// the latter running the red light — timed to meet at the center of
+// the intersection, where they collide and stop.
+func spawnCollision(w *world, off geom.Rect, eastY, southX float64, meet geom.Point) {
+	vE := 2.4
+	vS := 2.6
+	// Arrange arrival at the same frame: spawn the eastbound now at a
+	// distance so both reach the meeting point together.
+	framesS := (meet.Y + 15) / vS
+	startXE := meet.X - vE*framesS
+
+	var east, south *actor
+	collided := false
+	rest := 0
+	var ids [2]int
+
+	collide := func(wd *world) {
+		if collided {
+			return
+		}
+		collided = true
+		east.vel = geom.V(0, 0)
+		south.vel = geom.V(0, 0)
+		wd.record(Collision, wd.frame-1, wd.frame+14, ids[0], ids[1])
+	}
+	update := func(self *actor) func(*actor, *world) {
+		return func(a *actor, wd *world) {
+			if collided {
+				rest++
+				if rest > 110 { // both tick; ~55 frames of wreck on scene
+					east.done = true
+					south.done = true
+				}
+				return
+			}
+			a.pos = a.pos.Add(a.vel)
+			if east.pos.Dist(south.pos) < 14 {
+				collide(wd)
+			}
+			if !off.Contains(a.pos) {
+				a.done = true
+			}
+		}
+	}
+	east = w.spawn(&actor{
+		class: Car,
+		pos:   geom.Pt(startXE, eastY),
+		vel:   geom.V(vE, 0),
+		shade: pickShade(w.rng),
+	})
+	south = w.spawn(&actor{
+		class: pickClass(w.rng),
+		pos:   geom.Pt(southX, -15),
+		vel:   geom.V(0, vS),
+		shade: pickShade(w.rng),
+	})
+	ids = [2]int{east.id, south.id}
+	east.update = update(east)
+	south.update = update(south)
+}
+
+// spawnUTurn creates an eastbound vehicle that performs a U-turn just
+// before the crossing and leaves westbound on the other lane.
+func spawnUTurn(w *world, off geom.Rect, eastY float64) {
+	speed := 2.2
+	turnX := 100.0 + w.rng.Float64()*20
+	phase := 0
+	turned := 0.0
+	const turnFrames = 16
+	a := w.spawn(&actor{
+		class: Car,
+		pos:   geom.Pt(-15, eastY),
+		vel:   geom.V(speed, 0),
+		shade: pickShade(w.rng),
+	})
+	id := a.id
+	a.update = func(a *actor, wd *world) {
+		switch phase {
+		case 0:
+			a.pos = a.pos.Add(a.vel)
+			if a.pos.X >= turnX {
+				phase = 1
+				wd.record(UTurn, wd.frame, wd.frame+turnFrames+2, id)
+			}
+		case 1:
+			// Rotate the velocity by π over turnFrames frames (turning
+			// downward through the median).
+			a.vel = a.vel.Rotate(math.Pi / turnFrames)
+			turned += math.Pi / turnFrames
+			a.pos = a.pos.Add(a.vel)
+			if turned >= math.Pi-1e-9 {
+				a.vel = geom.V(-speed, 0)
+				phase = 2
+			}
+		case 2:
+			a.pos = a.pos.Add(a.vel)
+		}
+		if !off.Contains(a.pos) {
+			a.done = true
+		}
+	}
+}

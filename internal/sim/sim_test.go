@@ -1,0 +1,447 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"milvideo/internal/geom"
+)
+
+func TestClassDimsAndString(t *testing.T) {
+	for _, c := range []Class{Car, SUV, Truck} {
+		w, h := c.Dims()
+		if w <= 0 || h <= 0 || w <= h {
+			t.Fatalf("%v dims %vx%v look wrong", c, w, h)
+		}
+		if c.String() == "" {
+			t.Fatalf("%d has empty String", c)
+		}
+	}
+	if Class(99).String() == "" {
+		t.Fatal("unknown class String empty")
+	}
+}
+
+func TestIncidentTypeClassification(t *testing.T) {
+	accidents := []IncidentType{WallCrash, Collision, SuddenStop}
+	for _, a := range accidents {
+		if !a.IsAccident() {
+			t.Fatalf("%v should be an accident", a)
+		}
+	}
+	for _, n := range []IncidentType{UTurn, Speeding} {
+		if n.IsAccident() {
+			t.Fatalf("%v should not be an accident", n)
+		}
+		if n.String() == "" {
+			t.Fatal("empty String")
+		}
+	}
+	if IncidentType(42).String() == "" {
+		t.Fatal("unknown type String empty")
+	}
+}
+
+func TestIncidentOverlaps(t *testing.T) {
+	inc := Incident{Type: Collision, Start: 10, End: 20, Vehicles: []int{1}}
+	cases := []struct {
+		lo, hi int
+		want   bool
+	}{
+		{0, 5, false},
+		{0, 10, true},
+		{15, 16, true},
+		{20, 30, true},
+		{21, 30, false},
+	}
+	for i, c := range cases {
+		if got := inc.Overlaps(c.lo, c.hi); got != c.want {
+			t.Errorf("case %d: Overlaps(%d,%d) = %v", i, c.lo, c.hi, got)
+		}
+	}
+	if inc.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func smallTunnel(t *testing.T) *Scene {
+	t.Helper()
+	cfg := TunnelConfig{Frames: 600, Seed: 7, SpawnEvery: 90, WallCrash: 2, SuddenStop: 1, Speeding: 1, FPS: 25}
+	s, err := Tunnel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func smallIntersection(t *testing.T) *Scene {
+	t.Helper()
+	cfg := IntersectionConfig{Frames: 400, Seed: 9, SpawnEvery: 45, Collisions: 2, UTurns: 1, Speeding: 1, FPS: 25}
+	s, err := Intersection(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTunnelBasics(t *testing.T) {
+	s := smallTunnel(t)
+	if s.Name != "tunnel" {
+		t.Fatalf("name: %q", s.Name)
+	}
+	if len(s.Frames) != 600 {
+		t.Fatalf("frames: %d", len(s.Frames))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.VehicleCount() == 0 {
+		t.Fatal("no vehicles generated")
+	}
+	if s.MaxConcurrent() == 0 {
+		t.Fatal("no concurrency")
+	}
+	// The configured incidents are present.
+	counts := map[IncidentType]int{}
+	for _, inc := range s.Incidents {
+		counts[inc.Type]++
+	}
+	if counts[WallCrash] != 2 || counts[SuddenStop] != 1 || counts[Speeding] != 1 {
+		t.Fatalf("incident mix: %v", counts)
+	}
+}
+
+func TestTunnelDeterminism(t *testing.T) {
+	a := smallTunnel(t)
+	b := smallTunnel(t)
+	if len(a.Frames) != len(b.Frames) || len(a.Incidents) != len(b.Incidents) {
+		t.Fatal("structure differs across runs")
+	}
+	for i := range a.Frames {
+		av, bv := a.Frames[i].Vehicles, b.Frames[i].Vehicles
+		if len(av) != len(bv) {
+			t.Fatalf("frame %d: vehicle count differs", i)
+		}
+		for j := range av {
+			if av[j] != bv[j] {
+				t.Fatalf("frame %d vehicle %d differs: %+v vs %+v", i, j, av[j], bv[j])
+			}
+		}
+	}
+}
+
+func TestTunnelSeedChangesScene(t *testing.T) {
+	cfg := TunnelConfig{Frames: 300, Seed: 1, SpawnEvery: 80, WallCrash: 1, FPS: 25}
+	a, err := Tunnel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 2
+	b, err := Tunnel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Frames {
+		if len(a.Frames[i].Vehicles) != len(b.Frames[i].Vehicles) {
+			same = false
+			break
+		}
+		for j := range a.Frames[i].Vehicles {
+			if a.Frames[i].Vehicles[j] != b.Frames[i].Vehicles[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical scenes")
+	}
+}
+
+func TestWallCrashKinematics(t *testing.T) {
+	s := smallTunnel(t)
+	var crash *Incident
+	for i := range s.Incidents {
+		if s.Incidents[i].Type == WallCrash {
+			crash = &s.Incidents[i]
+			break
+		}
+	}
+	if crash == nil {
+		t.Fatal("no wall crash recorded")
+	}
+	id := crash.Vehicles[0]
+	// During the incident interval the vehicle's speed must collapse
+	// to (near) zero — the defining accident signature.
+	minSpeed := math.Inf(1)
+	sawVehicle := false
+	for f := crash.Start; f <= crash.End && f < len(s.Frames); f++ {
+		for _, v := range s.Frames[f].Vehicles {
+			if v.ID == id {
+				sawVehicle = true
+				if sp := v.Vel.Norm(); sp < minSpeed {
+					minSpeed = sp
+				}
+			}
+		}
+	}
+	if !sawVehicle {
+		t.Fatal("crash vehicle absent during its incident")
+	}
+	if minSpeed > 0.01 {
+		t.Fatalf("crash vehicle never stopped: min speed %v", minSpeed)
+	}
+	// Before the incident it was fast (speeding).
+	var pre float64
+	for _, v := range s.Frames[crash.Start-1].Vehicles {
+		if v.ID == id {
+			pre = v.Vel.Norm()
+		}
+	}
+	if pre < 3.5 {
+		t.Fatalf("crash vehicle pre-incident speed %v, expected speeding", pre)
+	}
+}
+
+func TestSuddenStopResumes(t *testing.T) {
+	s := smallTunnel(t)
+	var stop *Incident
+	for i := range s.Incidents {
+		if s.Incidents[i].Type == SuddenStop {
+			stop = &s.Incidents[i]
+			break
+		}
+	}
+	if stop == nil {
+		t.Fatal("no sudden stop recorded")
+	}
+	id := stop.Vehicles[0]
+	// The vehicle should be moving again some frames after the end.
+	resumed := false
+	for f := stop.End + 1; f < len(s.Frames); f++ {
+		for _, v := range s.Frames[f].Vehicles {
+			if v.ID == id && v.Vel.Norm() > 1.0 {
+				resumed = true
+			}
+		}
+	}
+	if !resumed {
+		t.Fatal("sudden-stop vehicle never resumed")
+	}
+}
+
+func TestIntersectionBasics(t *testing.T) {
+	s := smallIntersection(t)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[IncidentType]int{}
+	for _, inc := range s.Incidents {
+		counts[inc.Type]++
+	}
+	if counts[Collision] != 2 || counts[UTurn] != 1 || counts[Speeding] != 1 {
+		t.Fatalf("incident mix: %v", counts)
+	}
+	// Collisions involve at least two vehicles.
+	for _, inc := range s.Incidents {
+		if inc.Type == Collision && len(inc.Vehicles) < 2 {
+			t.Fatalf("collision with %d vehicles", len(inc.Vehicles))
+		}
+	}
+}
+
+func TestCollisionBringsVehiclesTogether(t *testing.T) {
+	s := smallIntersection(t)
+	for _, inc := range s.Incidents {
+		if inc.Type != Collision {
+			continue
+		}
+		// At some frame in the interval, the two vehicles are close
+		// and essentially stationary.
+		closest := math.Inf(1)
+		for f := inc.Start; f <= inc.End && f < len(s.Frames); f++ {
+			var a, b *VehicleState
+			for i := range s.Frames[f].Vehicles {
+				v := &s.Frames[f].Vehicles[i]
+				if v.ID == inc.Vehicles[0] {
+					a = v
+				}
+				if v.ID == inc.Vehicles[1] {
+					b = v
+				}
+			}
+			if a == nil || b == nil {
+				continue
+			}
+			if d := a.Pos.Dist(b.Pos); d < closest {
+				closest = d
+			}
+		}
+		if closest > 20 {
+			t.Fatalf("collision vehicles never met: closest %v", closest)
+		}
+	}
+}
+
+func TestUTurnReversesHeading(t *testing.T) {
+	s := smallIntersection(t)
+	for _, inc := range s.Incidents {
+		if inc.Type != UTurn {
+			continue
+		}
+		id := inc.Vehicles[0]
+		var before, after geom.Vec
+		if inc.Start > 0 {
+			for _, v := range s.Frames[inc.Start-1].Vehicles {
+				if v.ID == id {
+					before = v.Vel
+				}
+			}
+		}
+		f := inc.End + 3
+		if f >= len(s.Frames) {
+			f = len(s.Frames) - 1
+		}
+		for _, v := range s.Frames[f].Vehicles {
+			if v.ID == id {
+				after = v.Vel
+			}
+		}
+		if before.Norm() == 0 || after.Norm() == 0 {
+			t.Fatal("u-turn vehicle missing before/after")
+		}
+		if before.Dot(after) >= 0 {
+			t.Fatalf("heading did not reverse: %v → %v", before, after)
+		}
+	}
+}
+
+func TestAccidentFramesAndVehicleQueries(t *testing.T) {
+	s := smallIntersection(t)
+	af := s.AccidentFrames()
+	if len(af) == 0 {
+		t.Fatal("no accident frames")
+	}
+	// Accident frames come only from accident incidents.
+	for _, inc := range s.Incidents {
+		if inc.Type == UTurn {
+			mid := (inc.Start + inc.End) / 2
+			// A U-turn frame may coincide with an accident elsewhere;
+			// check via IncidentFramesOf on the U-turn type directly.
+			uf := s.IncidentFramesOf(func(t IncidentType) bool { return t == UTurn })
+			if !uf[mid] {
+				t.Fatal("IncidentFramesOf missed a U-turn frame")
+			}
+		}
+	}
+	// Vehicle query inside a collision interval returns both IDs.
+	for _, inc := range s.Incidents {
+		if inc.Type == Collision {
+			got := s.IncidentVehiclesIn(inc.Start, inc.End, func(t IncidentType) bool { return t == Collision })
+			for _, id := range inc.Vehicles {
+				if !got[id] {
+					t.Fatalf("vehicle %d missing from %v", id, got)
+				}
+			}
+		}
+	}
+}
+
+func TestSceneValidateRejections(t *testing.T) {
+	ok := smallTunnel(t)
+	bad := *ok
+	bad.W = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	bad = *ok
+	bad.FPS = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero FPS accepted")
+	}
+	bad = *ok
+	bad.Frames = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("no frames accepted")
+	}
+	bad = *ok
+	bad.Incidents = []Incident{{Type: Collision, Start: 5, End: 4, Vehicles: []int{1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("inverted interval accepted")
+	}
+	bad = *ok
+	bad.Incidents = []Incident{{Type: Collision, Start: 0, End: len(ok.Frames) + 5, Vehicles: []int{1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range interval accepted")
+	}
+	bad = *ok
+	bad.Incidents = []Incident{{Type: Collision, Start: 0, End: 1}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("vehicle-less incident accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Tunnel(TunnelConfig{Frames: 0, SpawnEvery: 10}); err == nil {
+		t.Fatal("zero frames accepted")
+	}
+	if _, err := Tunnel(TunnelConfig{Frames: 10, SpawnEvery: 0}); err == nil {
+		t.Fatal("zero spawn interval accepted")
+	}
+	if _, err := Intersection(IntersectionConfig{Frames: 0, SpawnEvery: 10}); err == nil {
+		t.Fatal("zero frames accepted")
+	}
+	if _, err := Intersection(IntersectionConfig{Frames: 10, SpawnEvery: 0}); err == nil {
+		t.Fatal("zero spawn interval accepted")
+	}
+}
+
+func TestDefaultConfigsGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale scenes in -short mode")
+	}
+	s, err := Tunnel(DefaultTunnel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Frames) != 2504 {
+		t.Fatalf("tunnel frames: %d", len(s.Frames))
+	}
+	i, err := Intersection(DefaultIntersection())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(i.Frames) != 592 {
+		t.Fatalf("intersection frames: %d", len(i.Frames))
+	}
+	// The paper's qualitative claim: the intersection clip is denser.
+	if i.MaxConcurrent() <= s.MaxConcurrent() {
+		t.Fatalf("intersection (%d) should be denser than tunnel (%d)",
+			i.MaxConcurrent(), s.MaxConcurrent())
+	}
+}
+
+func TestVehiclesStayRenderable(t *testing.T) {
+	// All vehicle states must have positive extent and finite values.
+	for _, s := range []*Scene{smallTunnel(t), smallIntersection(t)} {
+		for _, f := range s.Frames {
+			for _, v := range f.Vehicles {
+				if v.W <= 0 || v.H <= 0 {
+					t.Fatalf("degenerate vehicle %d at frame %d", v.ID, f.Index)
+				}
+				if math.IsNaN(v.Pos.X) || math.IsNaN(v.Pos.Y) || math.IsNaN(v.Vel.X) || math.IsNaN(v.Vel.Y) {
+					t.Fatalf("NaN state for vehicle %d at frame %d", v.ID, f.Index)
+				}
+			}
+		}
+	}
+}
+
+func TestMBR(t *testing.T) {
+	v := VehicleState{Pos: geom.Pt(10, 20), W: 4, H: 2}
+	r := v.MBR()
+	if r.Center() != geom.Pt(10, 20) || r.Width() != 4 || r.Height() != 2 {
+		t.Fatalf("MBR: %v", r)
+	}
+}

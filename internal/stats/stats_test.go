@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 2.5 {
+		t.Fatalf("got %v", m)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty: got %v", err)
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	v, err := Variance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 4 {
+		t.Fatalf("variance: got %v", v)
+	}
+	sd, _ := StdDev(xs)
+	if sd != 2 {
+		t.Fatalf("stddev: got %v", sd)
+	}
+	// Single sample: population variance is defined and zero.
+	v1, err := Variance([]float64{5})
+	if err != nil || v1 != 0 {
+		t.Fatalf("single: %v %v", v1, err)
+	}
+	if _, err := StdDev(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty: got %v", err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -1, 7, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min != -1 || max != 7 {
+		t.Fatalf("got %v %v", min, max)
+	}
+	if _, _, err := MinMax(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty: got %v", err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	med, err := Quantile(xs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != 3 {
+		t.Fatalf("median: got %v", med)
+	}
+	q0, _ := Quantile(xs, 0)
+	q1, _ := Quantile(xs, 1)
+	if q0 != 1 || q1 != 5 {
+		t.Fatalf("extremes: %v %v", q0, q1)
+	}
+	// Interpolation: median of {1,2,3,4} is 2.5.
+	m, _ := Quantile([]float64{4, 3, 2, 1}, 0.5)
+	if m != 2.5 {
+		t.Fatalf("interp: got %v", m)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Fatal("out-of-range q must error")
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty: got %v", err)
+	}
+	one, _ := Quantile([]float64{42}, 0.9)
+	if one != 42 {
+		t.Fatalf("singleton: got %v", one)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile sorted its input in place")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.Median != 2 {
+		t.Fatalf("got %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty: got %v", err)
+	}
+}
+
+func TestColumnStats(t *testing.T) {
+	rows := [][]float64{
+		{1, 10},
+		{3, 10},
+	}
+	means, stds, err := ColumnStats(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if means[0] != 2 || means[1] != 10 {
+		t.Fatalf("means: %v", means)
+	}
+	if stds[0] != 1 || stds[1] != 0 {
+		t.Fatalf("stds: %v", stds)
+	}
+	if _, _, err := ColumnStats(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty: got %v", err)
+	}
+	if _, _, err := ColumnStats([][]float64{{1}, {1, 2}}); err == nil {
+		t.Fatal("ragged rows must error")
+	}
+	if _, _, err := ColumnStats([][]float64{{}}); err == nil {
+		t.Fatal("zero-dim rows must error")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	a, err := Accuracy([]bool{true, false, true, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 0.75 {
+		t.Fatalf("got %v", a)
+	}
+	if _, err := Accuracy(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty: got %v", err)
+	}
+}
+
+func TestMeanShiftProperty(t *testing.T) {
+	// Mean is translation-equivariant, variance translation-invariant.
+	f := func(seed int64, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 1e6 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+			ys[i] = xs[i] + shift
+		}
+		mx, _ := Mean(xs)
+		my, _ := Mean(ys)
+		vx, _ := Variance(xs)
+		vy, _ := Variance(ys)
+		return math.Abs(my-(mx+shift)) < 1e-6 && math.Abs(vy-vx) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v, err := Quantile(xs, q)
+			if err != nil || v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"milvideo/internal/kernel"
+)
+
+// TestTranslationEquivariance: with an RBF kernel, translating the
+// training set and the probe by the same offset leaves the decision
+// value unchanged (the kernel depends only on differences).
+func TestTranslationEquivariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.Intn(20)
+		base := make([][]float64, n)
+		shifted := make([][]float64, n)
+		off := []float64{rng.NormFloat64() * 5, rng.NormFloat64() * 5}
+		for i := range base {
+			x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+			base[i] = x
+			shifted[i] = []float64{x[0] + off[0], x[1] + off[1]}
+		}
+		opt := Options{Nu: 0.2, Kernel: kernel.RBF{Sigma: 1.1}}
+		m1, err := TrainOneClass(base, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2, err := TrainOneClass(shifted, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		d1, err := m1.Decision(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := m2.Decision([]float64{probe[0] + off[0], probe[1] + off[1]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(d1-d2) > 1e-6 {
+			t.Fatalf("trial %d: translation changed decision: %v vs %v", trial, d1, d2)
+		}
+	}
+}
+
+// TestPredictMatchesDecisionSign: Predict must be exactly the sign of
+// Decision for arbitrary probes.
+func TestPredictMatchesDecisionSign(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	train := make([][]float64, 40)
+	for i := range train {
+		train[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	m, err := TrainOneClass(train, Options{Nu: 0.3, Kernel: kernel.RBF{Sigma: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		probe := []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+		d, err := m.Decision(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := m.Predict(probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in != (d >= 0) {
+			t.Fatalf("Predict inconsistent with Decision: %v vs %v", in, d)
+		}
+	}
+}
+
+// TestSupportVectorBoundsAcrossNu: Schölkopf's ν-property holds over
+// randomized datasets and ν values.
+func TestSupportVectorBoundsAcrossNu(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 15; trial++ {
+		n := 30 + rng.Intn(50)
+		train := make([][]float64, n)
+		for i := range train {
+			train[i] = []float64{rng.NormFloat64() * 2, rng.NormFloat64() * 2, rng.NormFloat64()}
+		}
+		nu := 0.05 + rng.Float64()*0.6
+		m, err := TrainOneClass(train, Options{Nu: nu, Kernel: kernel.RBF{Sigma: 1.5}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Bounded SVs (outlier budget) ≤ ν·n + 1 and SVs ≥ ν·n − 1.
+		if float64(m.NBounded()) > nu*float64(n)+1+1e-9 {
+			t.Fatalf("trial %d: bounded %d exceeds ν·n = %v", trial, m.NBounded(), nu*float64(n))
+		}
+		if float64(m.NSupport()) < nu*float64(n)-1-1e-9 {
+			t.Fatalf("trial %d: support %d below ν·n = %v", trial, m.NSupport(), nu*float64(n))
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package track
+
+import (
+	"fmt"
+	"sort"
+
+	"milvideo/internal/sim"
+)
+
+// Quality summarizes how well a set of tracks reproduces the
+// simulator's ground-truth vehicles. It is not part of the paper's
+// evaluation (the paper assumes tracking from its earlier system [20])
+// but validates that our vision substrate is sound enough to feed the
+// learning stages.
+type Quality struct {
+	// GroundTruthVehicles is the number of distinct simulated vehicles.
+	GroundTruthVehicles int
+	// Tracks is the number of confirmed tracks produced.
+	Tracks int
+	// MeanPositionError is the average distance (px) between matched
+	// track observations and the true vehicle centroid.
+	MeanPositionError float64
+	// Coverage is the fraction of ground-truth (vehicle, frame) pairs
+	// (with the vehicle fully inside the frame bounds) covered by a
+	// matching track observation.
+	Coverage float64
+	// Purity is the fraction of track observations that lie within
+	// the match radius of their assigned vehicle.
+	Purity float64
+}
+
+// String implements fmt.Stringer.
+func (q Quality) String() string {
+	return fmt.Sprintf("gt=%d tracks=%d posErr=%.2fpx coverage=%.2f purity=%.2f",
+		q.GroundTruthVehicles, q.Tracks, q.MeanPositionError, q.Coverage, q.Purity)
+}
+
+// Evaluate matches each track to the ground-truth vehicle that it
+// follows most often (majority vote over frames, within matchRadius
+// pixels) and computes the quality statistics.
+func Evaluate(tracks []*Track, scene *sim.Scene, matchRadius float64) Quality {
+	// Index ground truth: frame → vehicle states.
+	type key struct{ frame, id int }
+	gtPos := make(map[key]sim.VehicleState)
+	gtVehicles := make(map[int]bool)
+	visiblePairs := 0
+	for _, fs := range scene.Frames {
+		for _, v := range fs.Vehicles {
+			gtPos[key{fs.Index, v.ID}] = v
+			gtVehicles[v.ID] = true
+			r := v.MBR()
+			if r.Min.X >= 0 && r.Min.Y >= 0 && r.Max.X <= float64(scene.W) && r.Max.Y <= float64(scene.H) {
+				visiblePairs++
+			}
+		}
+	}
+
+	covered := make(map[key]bool)
+	totalObs, pureObs := 0, 0
+	sumErr, nErr := 0.0, 0
+
+	for _, t := range tracks {
+		// Majority vote: which vehicle does this track follow?
+		votes := make(map[int]int)
+		for _, o := range t.Observations {
+			if o.Predicted {
+				continue
+			}
+			bestID, bestD := -1, matchRadius
+			for _, v := range scene.Frames[o.Frame].Vehicles {
+				if d := o.Centroid.Dist(v.Pos); d <= bestD {
+					bestID, bestD = v.ID, d
+				}
+			}
+			if bestID >= 0 {
+				votes[bestID]++
+			}
+		}
+		ids := make([]int, 0, len(votes))
+		for id := range votes {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		match, best := -1, 0
+		for _, id := range ids {
+			if votes[id] > best {
+				match, best = id, votes[id]
+			}
+		}
+		for _, o := range t.Observations {
+			if o.Predicted {
+				continue
+			}
+			totalObs++
+			if match < 0 {
+				continue
+			}
+			if v, ok := gtPos[key{o.Frame, match}]; ok {
+				d := o.Centroid.Dist(v.Pos)
+				if d <= matchRadius {
+					pureObs++
+					covered[key{o.Frame, match}] = true
+					sumErr += d
+					nErr++
+				}
+			}
+		}
+	}
+
+	q := Quality{
+		GroundTruthVehicles: len(gtVehicles),
+		Tracks:              len(tracks),
+	}
+	if nErr > 0 {
+		q.MeanPositionError = sumErr / float64(nErr)
+	}
+	if visiblePairs > 0 {
+		// Count covered pairs among fully visible ones.
+		n := 0
+		for k := range covered {
+			v := gtPos[k]
+			r := v.MBR()
+			if r.Min.X >= 0 && r.Min.Y >= 0 && r.Max.X <= float64(scene.W) && r.Max.Y <= float64(scene.H) {
+				n++
+			}
+		}
+		q.Coverage = float64(n) / float64(visiblePairs)
+	}
+	if totalObs > 0 {
+		q.Purity = float64(pureObs) / float64(totalObs)
+	}
+	return q
+}

@@ -1,0 +1,112 @@
+package track
+
+import (
+	"milvideo/internal/geom"
+)
+
+// Kalman is a constant-velocity Kalman filter over the state
+// [x, y, vx, vy], the standard motion model for vehicle tracking. The
+// tracker can use it in place of the two-point velocity estimate
+// (Options.UseKalman): the filter smooths measurement noise from the
+// segmentation stage and yields calibrated predictions through
+// occlusions.
+//
+// The implementation exploits the block structure of the
+// constant-velocity model: the x and y axes evolve independently, so
+// the 4×4 filter decomposes into two identical 2×2 filters
+// (position, velocity per axis), which keeps the arithmetic explicit
+// and allocation-free.
+type Kalman struct {
+	// State per axis: position and velocity.
+	x, y axisState
+	// Process and measurement noise parameters.
+	procNoise, measNoise float64
+	initialized          bool
+}
+
+// axisState is a 1-D position/velocity filter with covariance
+// [[p11, p12], [p12, p22]].
+type axisState struct {
+	pos, vel      float64
+	p11, p12, p22 float64
+}
+
+// NewKalman returns a filter with the given noise magnitudes.
+// procNoise is the standard deviation of the per-frame random
+// acceleration (px/frame²); measNoise the standard deviation of the
+// centroid measurement (px). Non-positive values take the defaults
+// tuned for the segmentation stage (0.5, 1.5).
+func NewKalman(procNoise, measNoise float64) *Kalman {
+	if procNoise <= 0 {
+		procNoise = 0.5
+	}
+	if measNoise <= 0 {
+		measNoise = 1.5
+	}
+	return &Kalman{procNoise: procNoise, measNoise: measNoise}
+}
+
+// Init seeds the filter at a first measurement with zero velocity and
+// wide velocity uncertainty.
+func (k *Kalman) Init(p geom.Point) {
+	r := k.measNoise * k.measNoise
+	k.x = axisState{pos: p.X, p11: r, p22: 25}
+	k.y = axisState{pos: p.Y, p11: r, p22: 25}
+	k.initialized = true
+}
+
+// Initialized reports whether the filter has been seeded.
+func (k *Kalman) Initialized() bool { return k.initialized }
+
+// Predict advances the state one frame and returns the predicted
+// position.
+func (k *Kalman) Predict() geom.Point {
+	k.x.predict(k.procNoise)
+	k.y.predict(k.procNoise)
+	return geom.Pt(k.x.pos, k.y.pos)
+}
+
+// Peek returns the position the filter would predict one frame ahead
+// without mutating the state.
+func (k *Kalman) Peek() geom.Point {
+	return geom.Pt(k.x.pos+k.x.vel, k.y.pos+k.y.vel)
+}
+
+// Update fuses a measurement into the current (predicted) state.
+func (k *Kalman) Update(p geom.Point) {
+	r := k.measNoise * k.measNoise
+	k.x.update(p.X, r)
+	k.y.update(p.Y, r)
+}
+
+// Position returns the current state estimate.
+func (k *Kalman) Position() geom.Point { return geom.Pt(k.x.pos, k.y.pos) }
+
+// Velocity returns the current velocity estimate (px/frame).
+func (k *Kalman) Velocity() geom.Vec { return geom.V(k.x.vel, k.y.vel) }
+
+// predict: x ← F x, P ← F P Fᵀ + Q with F = [[1,1],[0,1]] and the
+// white-acceleration Q = q²·[[¼,½],[½,1]].
+func (a *axisState) predict(q float64) {
+	a.pos += a.vel
+	q2 := q * q
+	p11 := a.p11 + 2*a.p12 + a.p22 + q2/4
+	p12 := a.p12 + a.p22 + q2/2
+	p22 := a.p22 + q2
+	a.p11, a.p12, a.p22 = p11, p12, p22
+}
+
+// update: standard scalar-measurement Kalman update with H = [1, 0].
+func (a *axisState) update(z, r float64) {
+	s := a.p11 + r
+	k1 := a.p11 / s
+	k2 := a.p12 / s
+	innov := z - a.pos
+	a.pos += k1 * innov
+	a.vel += k2 * innov
+	// Joseph-free simple form: P ← (I − K H) P.
+	p11 := (1 - k1) * a.p11
+	p12 := (1 - k1) * a.p12
+	p22 := a.p22 - k2*a.p12
+	a.p11, a.p12, a.p22 = p11, p12, p22
+}

@@ -1,0 +1,139 @@
+package track
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"milvideo/internal/geom"
+	"milvideo/internal/segment"
+)
+
+func TestKalmanConvergesOnConstantVelocity(t *testing.T) {
+	kf := NewKalman(0.3, 1)
+	kf.Init(geom.Pt(0, 0))
+	// Feed noiseless constant-velocity measurements; the velocity
+	// estimate must converge to the truth.
+	for f := 1; f <= 30; f++ {
+		kf.Predict()
+		kf.Update(geom.Pt(3*float64(f), -1*float64(f)))
+	}
+	v := kf.Velocity()
+	if math.Abs(v.X-3) > 0.05 || math.Abs(v.Y+1) > 0.05 {
+		t.Fatalf("velocity: %v", v)
+	}
+	p := kf.Peek()
+	if math.Abs(p.X-93) > 0.5 || math.Abs(p.Y+31) > 0.5 {
+		t.Fatalf("peek: %v", p)
+	}
+	if !kf.Initialized() {
+		t.Fatal("not initialized")
+	}
+}
+
+func TestKalmanSmoothsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	kf := NewKalman(0.2, 2)
+	kf.Init(geom.Pt(0, 0))
+	// Noisy measurements of x(t) = 2t; after convergence the state
+	// error must be smaller than the raw measurement error on
+	// average.
+	sumKF, sumRaw := 0.0, 0.0
+	n := 0
+	for f := 1; f <= 200; f++ {
+		truth := geom.Pt(2*float64(f), 0)
+		z := geom.Pt(truth.X+rng.NormFloat64()*2, truth.Y+rng.NormFloat64()*2)
+		kf.Predict()
+		kf.Update(z)
+		if f > 20 {
+			sumKF += kf.Position().Dist(truth)
+			sumRaw += z.Dist(truth)
+			n++
+		}
+	}
+	if sumKF >= sumRaw {
+		t.Fatalf("filter no better than raw: %v vs %v", sumKF/float64(n), sumRaw/float64(n))
+	}
+}
+
+func TestKalmanCoastsThroughGap(t *testing.T) {
+	kf := NewKalman(0.3, 1)
+	kf.Init(geom.Pt(0, 0))
+	for f := 1; f <= 20; f++ {
+		kf.Predict()
+		kf.Update(geom.Pt(4*float64(f), 0))
+	}
+	// Five frames without measurements: prediction keeps moving at
+	// the learned velocity.
+	for f := 21; f <= 25; f++ {
+		kf.Predict()
+	}
+	p := kf.Position()
+	if math.Abs(p.X-100) > 2 {
+		t.Fatalf("coasted position: %v", p)
+	}
+}
+
+func TestKalmanDefaults(t *testing.T) {
+	kf := NewKalman(0, 0)
+	if kf.procNoise <= 0 || kf.measNoise <= 0 {
+		t.Fatal("defaults not applied")
+	}
+	if kf.Initialized() {
+		t.Fatal("fresh filter claims initialization")
+	}
+}
+
+func TestTrackerWithKalmanTracksThroughNoise(t *testing.T) {
+	// Noisy detections of two targets; the Kalman tracker must keep
+	// both identities and its smoothed predictions must not break
+	// gating.
+	rng := rand.New(rand.NewSource(7))
+	tr := NewTracker(Options{MaxDist: 12, MaxMissed: 3, MinHits: 2, UseKalman: true})
+	for f := 0; f < 40; f++ {
+		segs := []segment.Segment{
+			det(10+3*float64(f)+rng.NormFloat64(), 20+rng.NormFloat64()),
+			det(150-3*float64(f)+rng.NormFloat64(), 40+rng.NormFloat64()),
+		}
+		if err := tr.Update(f, segs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tracks := tr.Flush()
+	if len(tracks) != 2 {
+		t.Fatalf("got %d tracks", len(tracks))
+	}
+	for _, tk := range tracks {
+		if tk.Len() != 40 {
+			t.Fatalf("track %d length %d", tk.ID, tk.Len())
+		}
+	}
+}
+
+func TestTrackerKalmanOcclusionGap(t *testing.T) {
+	tr := NewTracker(Options{MaxDist: 14, MaxMissed: 5, MinHits: 2, UseKalman: true})
+	for f := 0; f < 8; f++ {
+		if err := tr.Update(f, []segment.Segment{det(10+4*float64(f), 20)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for f := 8; f < 12; f++ {
+		if err := tr.Update(f, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for f := 12; f < 20; f++ {
+		if err := tr.Update(f, []segment.Segment{det(10+4*float64(f), 20)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tracks := tr.Flush()
+	if len(tracks) != 1 {
+		t.Fatalf("occlusion split the Kalman track: %d", len(tracks))
+	}
+	if tracks[0].Len() != 20 {
+		t.Fatalf("length: %d", tracks[0].Len())
+	}
+}
+
+// det is declared in track_test.go.

@@ -1,0 +1,209 @@
+// Package trajectory implements the paper's §3.2 trajectory modeling:
+// a tracked vehicle's series of centroids is approximated by
+// least-squares polynomial curve fitting (Eq. (1)–(2)), giving a
+// compact parametric description whose first derivative yields the
+// vehicle's velocity profile.
+//
+// Trajectories are fitted parametrically over the frame index: both
+// x(t) and y(t) are polynomials in t. This extends the paper's y(x)
+// formulation to trajectories that are not functions of x (U-turns,
+// vertical motion at an intersection) while reducing to the same
+// model for the paper's mostly-horizontal tunnel traffic.
+package trajectory
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"milvideo/internal/geom"
+	"milvideo/internal/mat"
+)
+
+// ErrTooFewPoints is returned when a fit has fewer points than
+// coefficients.
+var ErrTooFewPoints = errors.New("trajectory: too few points for the requested degree")
+
+// Polynomial is a univariate polynomial c[0] + c[1]·t + … + c[k]·t^k.
+type Polynomial []float64
+
+// Eval evaluates the polynomial at t using Horner's rule.
+func (p Polynomial) Eval(t float64) float64 {
+	v := 0.0
+	for i := len(p) - 1; i >= 0; i-- {
+		v = v*t + p[i]
+	}
+	return v
+}
+
+// Derivative returns the polynomial's first derivative.
+func (p Polynomial) Derivative() Polynomial {
+	if len(p) <= 1 {
+		return Polynomial{0}
+	}
+	d := make(Polynomial, len(p)-1)
+	for i := 1; i < len(p); i++ {
+		d[i-1] = float64(i) * p[i]
+	}
+	return d
+}
+
+// Degree returns the polynomial degree (len-1; 0 for the zero-length
+// polynomial).
+func (p Polynomial) Degree() int {
+	if len(p) == 0 {
+		return 0
+	}
+	return len(p) - 1
+}
+
+// FitPoly fits a degree-k polynomial through the samples (ts[i],
+// vs[i]) by least squares — exactly the Vandermonde system of the
+// paper's Eq. (2). It requires len(ts) ≥ k+1.
+func FitPoly(ts, vs []float64, k int) (Polynomial, error) {
+	if len(ts) != len(vs) {
+		return nil, fmt.Errorf("trajectory: %d abscissae vs %d ordinates", len(ts), len(vs))
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("trajectory: negative degree %d", k)
+	}
+	if len(ts) < k+1 {
+		return nil, fmt.Errorf("%w: %d points for degree %d", ErrTooFewPoints, len(ts), k)
+	}
+	// Normalize t to [0, 1] for conditioning, then expand back.
+	t0, t1 := ts[0], ts[0]
+	for _, t := range ts {
+		if t < t0 {
+			t0 = t
+		}
+		if t > t1 {
+			t1 = t
+		}
+	}
+	span := t1 - t0
+	if span == 0 {
+		// All samples at one abscissa: only a constant is determined.
+		if k > 0 {
+			return nil, fmt.Errorf("%w: zero abscissa span for degree %d", ErrTooFewPoints, k)
+		}
+		mean := 0.0
+		for _, v := range vs {
+			mean += v
+		}
+		return Polynomial{mean / float64(len(vs))}, nil
+	}
+
+	a := mat.New(len(ts), k+1)
+	for i, t := range ts {
+		u := (t - t0) / span
+		pw := 1.0
+		for j := 0; j <= k; j++ {
+			a.Set(i, j, pw)
+			pw *= u
+		}
+	}
+	cNorm, err := mat.LeastSquares(a, vs)
+	if err != nil {
+		return nil, fmt.Errorf("trajectory: fit failed: %w", err)
+	}
+	// Convert coefficients from the normalized variable u = (t-t0)/s
+	// back to t by binomial expansion.
+	return denormalize(cNorm, t0, span), nil
+}
+
+// denormalize rewrites p(u), u = (t − t0)/s, as a polynomial in t.
+func denormalize(c []float64, t0, s float64) Polynomial {
+	k := len(c) - 1
+	out := make(Polynomial, k+1)
+	// p(t) = Σ_j c_j ((t−t0)/s)^j. Expand each ((t−t0)/s)^j with the
+	// binomial theorem.
+	binom := func(n, r int) float64 {
+		v := 1.0
+		for i := 0; i < r; i++ {
+			v = v * float64(n-i) / float64(i+1)
+		}
+		return v
+	}
+	for j := 0; j <= k; j++ {
+		if c[j] == 0 {
+			continue
+		}
+		sj := 1.0
+		for i := 0; i < j; i++ {
+			sj *= s
+		}
+		// (t − t0)^j = Σ_r binom(j,r) t^r (−t0)^(j−r)
+		for r := 0; r <= j; r++ {
+			pw := 1.0
+			for i := 0; i < j-r; i++ {
+				pw *= -t0
+			}
+			out[r] += c[j] / sj * binom(j, r) * pw
+		}
+	}
+	return out
+}
+
+// Curve is a fitted 2-D trajectory: x(t) and y(t) with the fitted
+// frame-index interval.
+type Curve struct {
+	X, Y   Polynomial
+	T0, T1 float64 // fitted parameter interval (frame indices)
+}
+
+// Fit fits degree-k polynomials to a centroid series sampled at the
+// given frame indices.
+func Fit(frames []int, pts []geom.Point, k int) (*Curve, error) {
+	if len(frames) != len(pts) {
+		return nil, fmt.Errorf("trajectory: %d frames vs %d points", len(frames), len(pts))
+	}
+	if len(pts) == 0 {
+		return nil, ErrTooFewPoints
+	}
+	ts := make([]float64, len(frames))
+	xs := make([]float64, len(frames))
+	ys := make([]float64, len(frames))
+	for i, f := range frames {
+		ts[i] = float64(f)
+		xs[i] = pts[i].X
+		ys[i] = pts[i].Y
+	}
+	px, err := FitPoly(ts, xs, k)
+	if err != nil {
+		return nil, err
+	}
+	py, err := FitPoly(ts, ys, k)
+	if err != nil {
+		return nil, err
+	}
+	return &Curve{X: px, Y: py, T0: ts[0], T1: ts[len(ts)-1]}, nil
+}
+
+// At returns the curve position at parameter t.
+func (c *Curve) At(t float64) geom.Point {
+	return geom.Pt(c.X.Eval(t), c.Y.Eval(t))
+}
+
+// Velocity returns the tangent vector (dx/dt, dy/dt) at parameter t —
+// the paper's "first derivative of a polynomial curve is a tangent
+// vector, which represents the velocities of that vehicle".
+func (c *Curve) Velocity(t float64) geom.Vec {
+	return geom.V(c.X.Derivative().Eval(t), c.Y.Derivative().Eval(t))
+}
+
+// RMSE returns the root-mean-square residual of the curve against a
+// sample series.
+func (c *Curve) RMSE(frames []int, pts []geom.Point) (float64, error) {
+	if len(frames) != len(pts) {
+		return 0, fmt.Errorf("trajectory: %d frames vs %d points", len(frames), len(pts))
+	}
+	if len(pts) == 0 {
+		return 0, ErrTooFewPoints
+	}
+	s := 0.0
+	for i, f := range frames {
+		d := c.At(float64(f)).Sub(pts[i])
+		s += d.NormSq()
+	}
+	return math.Sqrt(s / float64(len(pts))), nil
+}

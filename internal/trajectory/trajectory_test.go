@@ -1,0 +1,229 @@
+package trajectory
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"milvideo/internal/geom"
+)
+
+func TestPolynomialEval(t *testing.T) {
+	p := Polynomial{1, 2, 3} // 1 + 2t + 3t²
+	if v := p.Eval(0); v != 1 {
+		t.Fatalf("Eval(0) = %v", v)
+	}
+	if v := p.Eval(2); v != 1+4+12 {
+		t.Fatalf("Eval(2) = %v", v)
+	}
+	if v := (Polynomial{}).Eval(5); v != 0 {
+		t.Fatalf("empty Eval = %v", v)
+	}
+}
+
+func TestPolynomialDerivative(t *testing.T) {
+	p := Polynomial{1, 2, 3} // derivative 2 + 6t
+	d := p.Derivative()
+	if len(d) != 2 || d[0] != 2 || d[1] != 6 {
+		t.Fatalf("derivative: %v", d)
+	}
+	c := Polynomial{7}
+	if dc := c.Derivative(); len(dc) != 1 || dc[0] != 0 {
+		t.Fatalf("constant derivative: %v", dc)
+	}
+	if (Polynomial{1, 2}).Degree() != 1 || (Polynomial{}).Degree() != 0 {
+		t.Fatal("Degree wrong")
+	}
+}
+
+func TestFitPolyExactRecovery(t *testing.T) {
+	// Samples from 2 − 3t + 0.5t³ must be recovered exactly by a
+	// cubic fit.
+	truth := Polynomial{2, -3, 0, 0.5}
+	var ts, vs []float64
+	for i := 0; i <= 10; i++ {
+		tt := float64(i)
+		ts = append(ts, tt)
+		vs = append(vs, truth.Eval(tt))
+	}
+	p, err := FitPoly(ts, vs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if math.Abs(p[i]-truth[i]) > 1e-6 {
+			t.Fatalf("coef %d: %v vs %v (%v)", i, p[i], truth[i], p)
+		}
+	}
+}
+
+func TestFitPolyFourthDegreePaperExample(t *testing.T) {
+	// The paper's Fig. 2 uses a 4th-degree fit; verify residuals are
+	// small for a smooth noisy curve.
+	rng := rand.New(rand.NewSource(8))
+	var ts, vs []float64
+	for i := 0; i <= 40; i++ {
+		tt := float64(i)
+		ts = append(ts, tt)
+		vs = append(vs, 100+2*tt-0.05*tt*tt+0.0008*tt*tt*tt+rng.NormFloat64()*0.5)
+	}
+	p, err := FitPoly(ts, vs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RMS residual should be close to the noise level.
+	s := 0.0
+	for i := range ts {
+		d := p.Eval(ts[i]) - vs[i]
+		s += d * d
+	}
+	rms := math.Sqrt(s / float64(len(ts)))
+	if rms > 1.0 {
+		t.Fatalf("rms %v too high", rms)
+	}
+}
+
+func TestFitPolyConditioningLargeAbscissae(t *testing.T) {
+	// Frame indices in the thousands (paper clip 1 has 2504 frames)
+	// must not destroy the fit: normalization handles conditioning.
+	truth := Polynomial{5, 0.01}
+	var ts, vs []float64
+	for i := 2400; i <= 2500; i += 5 {
+		tt := float64(i)
+		ts = append(ts, tt)
+		vs = append(vs, truth.Eval(tt))
+	}
+	p, err := FitPoly(ts, vs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range ts {
+		if math.Abs(p.Eval(tt)-truth.Eval(tt)) > 1e-6 {
+			t.Fatalf("poor conditioning at t=%v: %v vs %v", tt, p.Eval(tt), truth.Eval(tt))
+		}
+	}
+}
+
+func TestFitPolyErrors(t *testing.T) {
+	if _, err := FitPoly([]float64{1, 2}, []float64{1}, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FitPoly([]float64{1, 2}, []float64{1, 2}, -1); err == nil {
+		t.Fatal("negative degree accepted")
+	}
+	if _, err := FitPoly([]float64{1, 2}, []float64{1, 2}, 2); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("too few points: %v", err)
+	}
+	// Degenerate abscissae: constant fit works, higher degree errors.
+	if p, err := FitPoly([]float64{3, 3, 3}, []float64{1, 2, 3}, 0); err != nil || math.Abs(p[0]-2) > 1e-12 {
+		t.Fatalf("constant fit on single abscissa: %v %v", p, err)
+	}
+	if _, err := FitPoly([]float64{3, 3, 3}, []float64{1, 2, 3}, 1); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("degenerate span: %v", err)
+	}
+}
+
+func TestCurveFitAndVelocity(t *testing.T) {
+	// Straight-line motion: x = 10 + 3t, y = 20 − t.
+	var frames []int
+	var pts []geom.Point
+	for f := 0; f <= 10; f++ {
+		frames = append(frames, f)
+		pts = append(pts, geom.Pt(10+3*float64(f), 20-float64(f)))
+	}
+	c, err := Fit(frames, pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.T0 != 0 || c.T1 != 10 {
+		t.Fatalf("interval: %v-%v", c.T0, c.T1)
+	}
+	p := c.At(5)
+	if math.Abs(p.X-25) > 1e-6 || math.Abs(p.Y-15) > 1e-6 {
+		t.Fatalf("At(5): %v", p)
+	}
+	v := c.Velocity(5)
+	if math.Abs(v.X-3) > 1e-6 || math.Abs(v.Y+1) > 1e-6 {
+		t.Fatalf("Velocity(5): %v", v)
+	}
+	rmse, err := c.RMSE(frames, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse > 1e-6 {
+		t.Fatalf("rmse: %v", rmse)
+	}
+}
+
+func TestCurveFitUTurnShape(t *testing.T) {
+	// A U-turn trajectory is not a function y(x); the parametric fit
+	// must still follow it. x goes out and comes back; y advances.
+	var frames []int
+	var pts []geom.Point
+	for f := 0; f <= 20; f++ {
+		tt := float64(f) / 20 * math.Pi
+		frames = append(frames, f)
+		pts = append(pts, geom.Pt(50+30*math.Sin(tt), 40+20*(1-math.Cos(tt))))
+	}
+	c, err := Fit(frames, pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse, _ := c.RMSE(frames, pts)
+	if rmse > 1.0 {
+		t.Fatalf("u-turn rmse: %v", rmse)
+	}
+	// Velocity direction reverses in x between the start and the end.
+	v0, v1 := c.Velocity(1), c.Velocity(19)
+	if v0.X <= 0 || v1.X >= 0 {
+		t.Fatalf("x-velocity did not reverse: %v → %v", v0, v1)
+	}
+}
+
+func TestCurveFitErrors(t *testing.T) {
+	if _, err := Fit([]int{1}, nil, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Fit(nil, nil, 1); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := Fit([]int{0, 1}, []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1)}, 3); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("too few: %v", err)
+	}
+	c, err := Fit([]int{0, 1, 2}, []geom.Point{geom.Pt(0, 0), geom.Pt(1, 1), geom.Pt(2, 2)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RMSE([]int{0}, nil); err == nil {
+		t.Fatal("RMSE length mismatch accepted")
+	}
+	if _, err := c.RMSE(nil, nil); !errors.Is(err, ErrTooFewPoints) {
+		t.Fatalf("RMSE empty: %v", err)
+	}
+}
+
+func TestFitPropertyInterpolatesWithEnoughDegrees(t *testing.T) {
+	// Property: with n points and degree n−1 the fit interpolates
+	// (small n to stay well conditioned).
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(4)
+		ts := make([]float64, n)
+		vs := make([]float64, n)
+		for i := range ts {
+			ts[i] = float64(i) + rng.Float64()*0.5
+			vs[i] = rng.NormFloat64() * 10
+		}
+		p, err := FitPoly(ts, vs, n-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ts {
+			if math.Abs(p.Eval(ts[i])-vs[i]) > 1e-5 {
+				t.Fatalf("trial %d: interpolation failed at %v: %v vs %v",
+					trial, ts[i], p.Eval(ts[i]), vs[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package videodb is the storage layer of the transportation
+// surveillance video database: processed clips — their extracted
+// video sequences (VSs), trajectory features, windowing parameters
+// and (for synthetic clips) ground-truth incident logs — are kept in
+// an in-memory catalog that persists to disk via encoding/gob.
+//
+// The paper's system stores trajectories and event features "in the
+// database" after offline video analysis (Fig. 6); this package plays
+// that role so retrieval sessions, tools and benchmarks can share
+// preprocessed datasets instead of re-running the vision pipeline.
+package videodb
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"milvideo/internal/sim"
+	"milvideo/internal/window"
+)
+
+// Errors returned by the catalog.
+var (
+	ErrNotFound  = errors.New("videodb: clip not found")
+	ErrDuplicate = errors.New("videodb: clip already stored")
+)
+
+// ClipRecord is one processed clip.
+type ClipRecord struct {
+	// Name uniquely identifies the clip within the database.
+	Name string
+	// Frames is the clip length; FPS its frame rate.
+	Frames int
+	FPS    float64
+	// ModelName names the event model whose features the VSs carry
+	// (resolvable via event.ModelByName).
+	ModelName string
+	// Window records the extraction parameters.
+	Window window.Config
+	// VSs is the extracted video-sequence database.
+	VSs []window.VS
+	// Incidents is the ground-truth incident log for synthetic clips
+	// (empty for real footage).
+	Incidents []sim.Incident
+	// Meta carries free-form annotations (location, camera, date — the
+	// metadata the paper says clips are organized by).
+	Meta map[string]string
+}
+
+// Validate checks the record's structural invariants.
+func (c *ClipRecord) Validate() error {
+	if c.Name == "" {
+		return errors.New("videodb: clip has no name")
+	}
+	if c.Frames <= 0 {
+		return fmt.Errorf("videodb: clip %q has %d frames", c.Name, c.Frames)
+	}
+	if c.FPS <= 0 {
+		return fmt.Errorf("videodb: clip %q has FPS %v", c.Name, c.FPS)
+	}
+	if c.ModelName == "" {
+		return fmt.Errorf("videodb: clip %q has no event model", c.Name)
+	}
+	if len(c.VSs) == 0 {
+		return fmt.Errorf("videodb: clip %q has no video sequences", c.Name)
+	}
+	seen := make(map[int]bool, len(c.VSs))
+	for _, vs := range c.VSs {
+		if seen[vs.Index] {
+			return fmt.Errorf("videodb: clip %q has duplicate VS index %d", c.Name, vs.Index)
+		}
+		seen[vs.Index] = true
+		if vs.StartFrame < 0 || vs.EndFrame >= c.Frames || vs.StartFrame > vs.EndFrame {
+			return fmt.Errorf("videodb: clip %q VS %d has bad frame interval [%d,%d]",
+				c.Name, vs.Index, vs.StartFrame, vs.EndFrame)
+		}
+	}
+	return nil
+}
+
+// TSCount returns the clip's total trajectory-sequence count — the
+// figure the paper reports per clip (109 and 168).
+func (c *ClipRecord) TSCount() int { return window.CountTS(c.VSs) }
+
+// Stats summarizes a clip for reports.
+type Stats struct {
+	Name       string
+	Frames     int
+	VSCount    int
+	NonEmptyVS int
+	TSCount    int
+	Incidents  int
+	SampleRate int
+	WindowSize int
+	WindowStep int
+	EventModel string
+}
+
+// Stats computes the clip's summary.
+func (c *ClipRecord) Stats() Stats {
+	step := c.Window.Step
+	if step == 0 {
+		step = c.Window.WindowSize
+	}
+	return Stats{
+		Name:       c.Name,
+		Frames:     c.Frames,
+		VSCount:    len(c.VSs),
+		NonEmptyVS: len(window.NonEmpty(c.VSs)),
+		TSCount:    c.TSCount(),
+		Incidents:  len(c.Incidents),
+		SampleRate: c.Window.SampleRate,
+		WindowSize: c.Window.WindowSize,
+		WindowStep: step,
+		EventModel: c.ModelName,
+	}
+}
+
+// DB is the clip catalog. It is safe for concurrent use.
+type DB struct {
+	mu    sync.RWMutex
+	clips map[string]*ClipRecord
+}
+
+// New returns an empty database.
+func New() *DB { return &DB{clips: make(map[string]*ClipRecord)} }
+
+// Add stores a clip; the name must be unused.
+func (db *DB) Add(c *ClipRecord) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.clips[c.Name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicate, c.Name)
+	}
+	db.clips[c.Name] = c
+	return nil
+}
+
+// Clip fetches a stored clip by name.
+func (db *DB) Clip(name string) (*ClipRecord, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	c, ok := db.clips[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return c, nil
+}
+
+// Remove deletes a clip; removing an absent clip is an error.
+func (db *DB) Remove(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.clips[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(db.clips, name)
+	return nil
+}
+
+// Names lists the stored clips in sorted order.
+func (db *DB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.clips))
+	for n := range db.clips {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of stored clips.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.clips)
+}
+
+// snapshot is the gob wire format: a versioned, sorted clip list.
+type snapshot struct {
+	Version int
+	Clips   []*ClipRecord
+}
+
+// formatVersion guards against reading incompatible files.
+const formatVersion = 1
+
+// Save writes the whole catalog to w.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	snap := snapshot{Version: formatVersion}
+	for _, n := range db.namesLocked() {
+		snap.Clips = append(snap.Clips, db.clips[n])
+	}
+	db.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("videodb: encode: %w", err)
+	}
+	return nil
+}
+
+// namesLocked lists names without locking (callers hold the lock).
+func (db *DB) namesLocked() []string {
+	out := make([]string, 0, len(db.clips))
+	for n := range db.clips {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Load replaces the catalog contents with the snapshot read from r.
+func (db *DB) Load(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("videodb: decode: %w", err)
+	}
+	if snap.Version != formatVersion {
+		return fmt.Errorf("videodb: unsupported format version %d (want %d)", snap.Version, formatVersion)
+	}
+	clips := make(map[string]*ClipRecord, len(snap.Clips))
+	for _, c := range snap.Clips {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("videodb: load: %w", err)
+		}
+		if _, dup := clips[c.Name]; dup {
+			return fmt.Errorf("%w: %q in snapshot", ErrDuplicate, c.Name)
+		}
+		clips[c.Name] = c
+	}
+	db.mu.Lock()
+	db.clips = clips
+	db.mu.Unlock()
+	return nil
+}
+
+// SaveFile persists the catalog to path (atomically via a temp file in
+// the same directory).
+func (db *DB) SaveFile(path string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".videodb-*")
+	if err != nil {
+		return fmt.Errorf("videodb: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := db.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("videodb: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("videodb: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a catalog previously written by SaveFile.
+func LoadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("videodb: %w", err)
+	}
+	defer f.Close()
+	db := New()
+	if err := db.Load(f); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// dirOf returns the directory part of path ("." for bare names).
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

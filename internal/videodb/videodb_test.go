@@ -1,0 +1,252 @@
+package videodb
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"milvideo/internal/event"
+	"milvideo/internal/sim"
+	"milvideo/internal/window"
+)
+
+func clip(name string) *ClipRecord {
+	return &ClipRecord{
+		Name:      name,
+		Frames:    100,
+		FPS:       25,
+		ModelName: "accident",
+		Window:    window.Config{SampleRate: 5, WindowSize: 3},
+		VSs: []window.VS{
+			{Index: 0, StartFrame: 0, EndFrame: 10, TSs: []window.TS{
+				{TrackID: 1, Vectors: [][]float64{{0.1, 0.2, 0.3}, {0, 0, 0}, {1, 2, 3}}},
+			}},
+			{Index: 1, StartFrame: 15, EndFrame: 25},
+		},
+		Incidents: []sim.Incident{{Type: sim.WallCrash, Start: 3, End: 9, Vehicles: []int{1}}},
+		Meta:      map[string]string{"location": "tunnel-A"},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := clip("a")
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := clip("")
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	bad = clip("a")
+	bad.Frames = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero frames accepted")
+	}
+	bad = clip("a")
+	bad.FPS = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero fps accepted")
+	}
+	bad = clip("a")
+	bad.ModelName = ""
+	if err := bad.Validate(); err == nil {
+		t.Fatal("no model accepted")
+	}
+	bad = clip("a")
+	bad.VSs = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("no VSs accepted")
+	}
+	bad = clip("a")
+	bad.VSs[1].Index = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("duplicate VS index accepted")
+	}
+	bad = clip("a")
+	bad.VSs[1].EndFrame = 200
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range VS accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := clip("a").Stats()
+	if s.Name != "a" || s.VSCount != 2 || s.NonEmptyVS != 1 || s.TSCount != 1 || s.Incidents != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.WindowStep != 3 { // default step = window size
+		t.Fatalf("step: %d", s.WindowStep)
+	}
+}
+
+func TestAddClipRemove(t *testing.T) {
+	db := New()
+	if err := db.Add(clip("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(clip("a")); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("dup: %v", err)
+	}
+	if err := db.Add(clip("b")); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("names: %v", got)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("len: %d", db.Len())
+	}
+	c, err := db.Clip("a")
+	if err != nil || c.Name != "a" {
+		t.Fatalf("clip: %v %v", c, err)
+	}
+	if _, err := db.Clip("zzz"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing: %v", err)
+	}
+	if err := db.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Remove("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double remove: %v", err)
+	}
+	if err := db.Add(&ClipRecord{Name: "bad"}); err == nil {
+		t.Fatal("invalid clip accepted")
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	db := New()
+	if err := db.Add(clip("tunnel")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Add(clip("intersection")); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := New()
+	if err := db2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != 2 {
+		t.Fatalf("len after load: %d", db2.Len())
+	}
+	c, err := db2.Clip("tunnel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Meta["location"] != "tunnel-A" {
+		t.Fatalf("meta lost: %v", c.Meta)
+	}
+	if len(c.VSs) != 2 || c.VSs[0].TSs[0].Vectors[2][2] != 3 {
+		t.Fatal("VS payload corrupted")
+	}
+	if c.Incidents[0].Type != sim.WallCrash {
+		t.Fatal("incidents lost")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	db := New()
+	if err := db.Load(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSaveLoadPreservesInfinity(t *testing.T) {
+	// MinDist of a lone vehicle is +Inf; gob must round-trip it.
+	c := clip("inf")
+	c.VSs[0].TSs[0].Samples = []event.Sample{{Frame: 5, MinDist: math.Inf(1)}}
+	db := New()
+	if err := db.Add(c); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := New()
+	if err := db2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db2.Clip("inf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got.VSs[0].TSs[0].Samples[0].MinDist, 1) {
+		t.Fatal("infinity not preserved")
+	}
+}
+
+func TestSaveFileLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.gob")
+	db := New()
+	if err := db.Add(clip("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Len() != 1 {
+		t.Fatalf("len: %d", db2.Len())
+	}
+	// No stray temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("stray files: %v", entries)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.gob")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// Bare filename path (dirOf "." branch) also works.
+	wd, _ := os.Getwd()
+	defer os.Chdir(wd)
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveFile("bare.gob"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile("bare.gob"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			if err := db.Add(clip(name)); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := db.Clip(name); err != nil {
+				t.Error(err)
+			}
+			db.Names()
+			db.Len()
+		}(i)
+	}
+	wg.Wait()
+	if db.Len() != 8 {
+		t.Fatalf("len: %d", db.Len())
+	}
+}

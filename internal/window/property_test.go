@@ -1,0 +1,129 @@
+package window
+
+import (
+	"math/rand"
+	"testing"
+
+	"milvideo/internal/event"
+	"milvideo/internal/geom"
+	"milvideo/internal/track"
+)
+
+// randomTracks builds arbitrary well-formed tracks.
+func randomTracks(rng *rand.Rand, n, maxFrames int) []*track.Track {
+	tracks := make([]*track.Track, n)
+	for i := range tracks {
+		start := rng.Intn(maxFrames / 2)
+		length := 2 + rng.Intn(maxFrames-start-1)
+		tr := &track.Track{ID: i, Confirmed: true}
+		x, y := rng.Float64()*300, rng.Float64()*200
+		vx, vy := rng.NormFloat64()*3, rng.NormFloat64()
+		for f := 0; f < length; f++ {
+			tr.Observations = append(tr.Observations, track.Observation{
+				Frame:    start + f,
+				Centroid: geom.Pt(x+vx*float64(f), y+vy*float64(f)),
+			})
+		}
+		tracks[i] = tr
+	}
+	return tracks
+}
+
+// TestExtractStructuralInvariants checks, across random inputs:
+// window frame ranges lie inside the clip, every TS has exactly
+// WindowSize samples and vectors, indices are sequential, and TSs
+// within a VS are sorted by track ID.
+func TestExtractStructuralInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 25; trial++ {
+		frames := 40 + rng.Intn(300)
+		tracks := randomTracks(rng, rng.Intn(8), frames)
+		cfg := Config{
+			SampleRate: 1 + rng.Intn(7),
+			WindowSize: 1 + rng.Intn(5),
+			Step:       rng.Intn(4), // 0 → WindowSize
+		}
+		vss, err := Extract(tracks, event.AccidentModel{}, frames, cfg)
+		if err != nil {
+			// Clips shorter than one window are a legitimate error.
+			continue
+		}
+		norm, err := cfg.Normalized()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, vs := range vss {
+			if vs.Index != i {
+				t.Fatalf("trial %d: index %d at position %d", trial, vs.Index, i)
+			}
+			if vs.StartFrame < 0 || vs.EndFrame >= frames || vs.StartFrame > vs.EndFrame {
+				t.Fatalf("trial %d: frame range [%d,%d] outside clip of %d", trial, vs.StartFrame, vs.EndFrame, frames)
+			}
+			if (vs.EndFrame-vs.StartFrame)/norm.SampleRate != norm.WindowSize-1 {
+				t.Fatalf("trial %d: window span %d-%d at rate %d size %d", trial, vs.StartFrame, vs.EndFrame, norm.SampleRate, norm.WindowSize)
+			}
+			prevID := -1
+			for _, ts := range vs.TSs {
+				if len(ts.Samples) != norm.WindowSize || len(ts.Vectors) != norm.WindowSize {
+					t.Fatalf("trial %d: TS shape %d/%d, want %d", trial, len(ts.Samples), len(ts.Vectors), norm.WindowSize)
+				}
+				if ts.TrackID <= prevID {
+					t.Fatalf("trial %d: TSs not sorted by track ID", trial)
+				}
+				prevID = ts.TrackID
+				if len(ts.Flat()) != norm.WindowSize*3 {
+					t.Fatalf("trial %d: flat dim %d", trial, len(ts.Flat()))
+				}
+			}
+		}
+	}
+}
+
+// TestExtractCountMonotoneInTracks: adding a track never decreases
+// the total TS count.
+func TestExtractCountMonotoneInTracks(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	frames := 200
+	tracks := randomTracks(rng, 6, frames)
+	cfg := DefaultConfig()
+	prev := -1
+	for n := 0; n <= len(tracks); n++ {
+		vss, err := Extract(tracks[:n], event.AccidentModel{}, frames, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c := CountTS(vss); c < prev {
+			t.Fatalf("TS count decreased: %d → %d at n=%d", prev, c, n)
+		} else {
+			prev = c
+		}
+	}
+}
+
+// TestOverlapContainsNonOverlapWindows: with Step 1 every
+// non-overlapping window's frame range also appears.
+func TestOverlapContainsNonOverlapWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	frames := 150
+	tracks := randomTracks(rng, 4, frames)
+	nonOverlap, err := Extract(tracks, event.AccidentModel{}, frames, Config{SampleRate: 5, WindowSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap, err := Extract(tracks, event.AccidentModel{}, frames, Config{SampleRate: 5, WindowSize: 3, Step: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := make(map[[2]int]bool)
+	for _, vs := range overlap {
+		ranges[[2]int{vs.StartFrame, vs.EndFrame}] = true
+	}
+	for _, vs := range nonOverlap {
+		if !ranges[[2]int{vs.StartFrame, vs.EndFrame}] {
+			t.Fatalf("window [%d,%d] missing from overlapped extraction", vs.StartFrame, vs.EndFrame)
+		}
+	}
+	if len(overlap) < len(nonOverlap) {
+		t.Fatal("overlapped extraction produced fewer windows")
+	}
+}

@@ -1,0 +1,187 @@
+// Package window implements the paper's §5.1 sliding-window
+// extraction of Video Sequences (VSs) from a clip. The clip's frames
+// are sampled on a fixed grid (the paper uses 5 frames per sampling
+// point); a window of a fixed number of sampling points slides along
+// the grid, and each window becomes one VS. Every trajectory that is
+// present at all sampling points of a window contributes one
+// Trajectory Sequence (TS) — the MIL instance — whose feature matrix
+// is the per-point event-model vector α = [α₁, …, α_n].
+package window
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"milvideo/internal/event"
+	"milvideo/internal/track"
+)
+
+// Config controls the extraction.
+type Config struct {
+	// SampleRate is the sampling interval in frames per point (paper:
+	// 5).
+	SampleRate int
+	// WindowSize is the number of sampling points per VS (paper: 3,
+	// covering a ~15-frame car-crash event).
+	WindowSize int
+	// Step is the window stride in sampling points. The paper's
+	// Fig. 4 slides one step a time; its reported TS counts are
+	// consistent with non-overlapping windows, so the default (0)
+	// means Step = WindowSize. Set 1 for fully overlapped windows.
+	Step int
+}
+
+// DefaultConfig returns the paper's parameters: rate 5, window 3,
+// non-overlapping stride.
+func DefaultConfig() Config { return Config{SampleRate: 5, WindowSize: 3} }
+
+// Normalized validates the configuration and fills in defaults (Step =
+// WindowSize when zero). It is what Extract applies internally.
+func (c Config) Normalized() (Config, error) {
+	if c.SampleRate <= 0 {
+		return c, errors.New("window: SampleRate must be positive")
+	}
+	if c.WindowSize <= 0 {
+		return c, errors.New("window: WindowSize must be positive")
+	}
+	if c.Step == 0 {
+		c.Step = c.WindowSize
+	}
+	if c.Step < 0 {
+		return c, errors.New("window: Step must be non-negative")
+	}
+	return c, nil
+}
+
+// TS is a Trajectory Sequence: one vehicle's samples across one
+// window — a MIL instance.
+type TS struct {
+	// TrackID identifies the source trajectory.
+	TrackID int
+	// Samples are the raw per-point samples, length == WindowSize.
+	Samples []event.Sample
+	// Vectors are the per-point event feature vectors, length ==
+	// WindowSize, each of the model's dimension.
+	Vectors [][]float64
+}
+
+// Flat returns the TS's flattened instance vector (the concatenation
+// of the per-point vectors), the representation fed to the One-class
+// SVM — "the One-class SVM learns from the entire trajectory sequence
+// within the window" (§5.3).
+func (ts TS) Flat() []float64 {
+	var out []float64
+	for _, v := range ts.Vectors {
+		out = append(out, v...)
+	}
+	return out
+}
+
+// VS is a Video Sequence: one sliding window over the clip — a MIL
+// bag containing the TSs of every vehicle present throughout it.
+type VS struct {
+	// Index is the window's ordinal position.
+	Index int
+	// StartFrame and EndFrame delimit the covered frame interval
+	// (inclusive ends at the last sampling point).
+	StartFrame, EndFrame int
+	// TSs are the contained trajectory sequences.
+	TSs []TS
+}
+
+// Extract builds the VSs of a clip from its tracked trajectories
+// under the given event model. totalFrames bounds the sampling grid
+// (windows never extend past the clip). VSs with no TSs are still
+// returned — an empty road window is a legitimate (irrelevant)
+// retrieval result — so callers see the same database size regardless
+// of traffic density; use NonEmpty to filter when needed.
+func Extract(tracks []*track.Track, model event.Model, totalFrames int, cfg Config) ([]VS, error) {
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	if model == nil {
+		return nil, errors.New("window: nil model")
+	}
+	if totalFrames <= 0 {
+		return nil, errors.New("window: totalFrames must be positive")
+	}
+	samples, err := event.SampleTracks(tracks, cfg.SampleRate)
+	if err != nil {
+		return nil, err
+	}
+	// Index samples per track by grid position for O(1) window tests.
+	type gridSeries struct {
+		id    int
+		byPos map[int]event.Sample // grid position (frame / rate) → sample
+	}
+	var series []gridSeries
+	ids := make([]int, 0, len(samples))
+	for id := range samples {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		byPos := make(map[int]event.Sample, len(samples[id]))
+		for _, s := range samples[id] {
+			byPos[s.Frame/cfg.SampleRate] = s
+		}
+		series = append(series, gridSeries{id: id, byPos: byPos})
+	}
+
+	lastGrid := (totalFrames - 1) / cfg.SampleRate // last grid position in the clip
+	var out []VS
+	idx := 0
+	for p0 := 0; p0+cfg.WindowSize-1 <= lastGrid; p0 += cfg.Step {
+		vs := VS{
+			Index:      idx,
+			StartFrame: p0 * cfg.SampleRate,
+			EndFrame:   (p0 + cfg.WindowSize - 1) * cfg.SampleRate,
+		}
+		for _, gs := range series {
+			ts := TS{TrackID: gs.id}
+			ok := true
+			for k := 0; k < cfg.WindowSize; k++ {
+				s, present := gs.byPos[p0+k]
+				if !present {
+					ok = false
+					break
+				}
+				ts.Samples = append(ts.Samples, s)
+				ts.Vectors = append(ts.Vectors, model.Vector(s, cfg.SampleRate))
+			}
+			if ok {
+				vs.TSs = append(vs.TSs, ts)
+			}
+		}
+		out = append(out, vs)
+		idx++
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("window: clip of %d frames too short for window of %d points at rate %d",
+			totalFrames, cfg.WindowSize, cfg.SampleRate)
+	}
+	return out, nil
+}
+
+// NonEmpty filters to the VSs that contain at least one TS.
+func NonEmpty(vss []VS) []VS {
+	out := make([]VS, 0, len(vss))
+	for _, vs := range vss {
+		if len(vs.TSs) > 0 {
+			out = append(out, vs)
+		}
+	}
+	return out
+}
+
+// CountTS returns the total number of TSs across the VSs — the
+// statistic the paper reports per clip (109 and 168).
+func CountTS(vss []VS) int {
+	n := 0
+	for _, vs := range vss {
+		n += len(vs.TSs)
+	}
+	return n
+}

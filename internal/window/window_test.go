@@ -1,0 +1,179 @@
+package window
+
+import (
+	"testing"
+
+	"milvideo/internal/event"
+	"milvideo/internal/geom"
+	"milvideo/internal/track"
+)
+
+// line builds a track moving at constant velocity from frame start for
+// n frames.
+func line(id, start, n int, x0, vx float64) *track.Track {
+	tr := &track.Track{ID: id, Confirmed: true}
+	for i := 0; i < n; i++ {
+		tr.Observations = append(tr.Observations, track.Observation{
+			Frame:    start + i,
+			Centroid: geom.Pt(x0+vx*float64(i), 50),
+		})
+	}
+	return tr
+}
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig()
+	if c.SampleRate != 5 || c.WindowSize != 3 || c.Step != 0 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	n, err := c.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Step != 3 {
+		t.Fatalf("normalized step: %d", n.Step)
+	}
+}
+
+func TestExtractBasicWindows(t *testing.T) {
+	// 60 frames, rate 5 → grid positions 0..11; window 3 step 3 →
+	// windows at 0,3,6,9 → 4 VSs.
+	tr := line(0, 0, 60, 10, 2)
+	vss, err := Extract([]*track.Track{tr}, event.AccidentModel{}, 60, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vss) != 4 {
+		t.Fatalf("got %d VSs", len(vss))
+	}
+	if vss[0].StartFrame != 0 || vss[0].EndFrame != 10 {
+		t.Fatalf("window 0 frames: %d-%d", vss[0].StartFrame, vss[0].EndFrame)
+	}
+	if vss[1].StartFrame != 15 || vss[1].EndFrame != 25 {
+		t.Fatalf("window 1 frames: %d-%d", vss[1].StartFrame, vss[1].EndFrame)
+	}
+	// Track covers 0..59, so all windows contain its TS.
+	for i, vs := range vss {
+		if len(vs.TSs) != 1 {
+			t.Fatalf("window %d has %d TSs", i, len(vs.TSs))
+		}
+		ts := vs.TSs[0]
+		if len(ts.Samples) != 3 || len(ts.Vectors) != 3 {
+			t.Fatalf("TS shape: %d samples %d vectors", len(ts.Samples), len(ts.Vectors))
+		}
+		if got := len(ts.Flat()); got != 9 {
+			t.Fatalf("flat dim: %d", got)
+		}
+		if vs.Index != i {
+			t.Fatalf("index: %d", vs.Index)
+		}
+	}
+}
+
+func TestExtractOverlappingWindows(t *testing.T) {
+	tr := line(0, 0, 60, 10, 2)
+	cfg := Config{SampleRate: 5, WindowSize: 3, Step: 1}
+	vss, err := Extract([]*track.Track{tr}, event.AccidentModel{}, 60, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid 0..11, windows starting 0..9 → 10 VSs.
+	if len(vss) != 10 {
+		t.Fatalf("got %d VSs", len(vss))
+	}
+	if vss[1].StartFrame != 5 {
+		t.Fatalf("overlap start: %d", vss[1].StartFrame)
+	}
+}
+
+func TestExtractPartialTrackExcluded(t *testing.T) {
+	// Track present only for the first 12 frames: it covers grid
+	// positions 0,1,2 (frames 0,5,10) but not window 2's positions.
+	short := line(0, 0, 12, 10, 2)
+	long := line(1, 0, 60, 10, 1)
+	vss, err := Extract([]*track.Track{short, long}, event.AccidentModel{}, 60, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vss[0].TSs) != 2 {
+		t.Fatalf("window 0: %d TSs", len(vss[0].TSs))
+	}
+	if len(vss[1].TSs) != 1 || vss[1].TSs[0].TrackID != 1 {
+		t.Fatalf("window 1 should only keep the long track: %+v", vss[1].TSs)
+	}
+	if CountTS(vss) != 2+1+1+1 {
+		t.Fatalf("CountTS: %d", CountTS(vss))
+	}
+}
+
+func TestExtractEmptyWindowsKept(t *testing.T) {
+	// No tracks at all: windows still exist, all empty.
+	vss, err := Extract(nil, event.AccidentModel{}, 60, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vss) != 4 {
+		t.Fatalf("got %d VSs", len(vss))
+	}
+	for _, vs := range vss {
+		if len(vs.TSs) != 0 {
+			t.Fatal("phantom TS")
+		}
+	}
+	if got := NonEmpty(vss); len(got) != 0 {
+		t.Fatalf("NonEmpty: %d", len(got))
+	}
+}
+
+func TestExtractDeterministicTSOrder(t *testing.T) {
+	a := line(3, 0, 60, 10, 2)
+	b := line(1, 0, 60, 30, 2)
+	vss, err := Extract([]*track.Track{a, b}, event.AccidentModel{}, 60, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vss[0].TSs[0].TrackID != 1 || vss[0].TSs[1].TrackID != 3 {
+		t.Fatalf("TS order not by track ID: %d, %d", vss[0].TSs[0].TrackID, vss[0].TSs[1].TrackID)
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	tr := line(0, 0, 60, 10, 2)
+	if _, err := Extract([]*track.Track{tr}, event.AccidentModel{}, 60, Config{SampleRate: 0, WindowSize: 3}); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := Extract([]*track.Track{tr}, event.AccidentModel{}, 60, Config{SampleRate: 5, WindowSize: 0}); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	if _, err := Extract([]*track.Track{tr}, event.AccidentModel{}, 60, Config{SampleRate: 5, WindowSize: 3, Step: -1}); err == nil {
+		t.Fatal("negative step accepted")
+	}
+	if _, err := Extract([]*track.Track{tr}, nil, 60, DefaultConfig()); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if _, err := Extract([]*track.Track{tr}, event.AccidentModel{}, 0, DefaultConfig()); err == nil {
+		t.Fatal("zero frames accepted")
+	}
+	// Clip shorter than one window.
+	if _, err := Extract([]*track.Track{tr}, event.AccidentModel{}, 8, DefaultConfig()); err == nil {
+		t.Fatal("too-short clip accepted")
+	}
+}
+
+func TestFlatMatchesModelDim(t *testing.T) {
+	tr := line(0, 0, 60, 10, 2)
+	for _, m := range []event.Model{event.AccidentModel{}, event.SpeedingModel{RefSpeed: 2}, event.UTurnModel{}} {
+		vss, err := Extract([]*track.Track{tr}, m, 60, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 3 * m.Dim()
+		for _, vs := range vss {
+			for _, ts := range vs.TSs {
+				if len(ts.Flat()) != want {
+					t.Fatalf("%s: flat dim %d, want %d", m.Name(), len(ts.Flat()), want)
+				}
+			}
+		}
+	}
+}
