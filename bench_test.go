@@ -19,6 +19,7 @@ import (
 	"milvideo/internal/experiments"
 	"milvideo/internal/kernel"
 	"milvideo/internal/mil"
+	"milvideo/internal/render"
 	"milvideo/internal/retrieval"
 	"milvideo/internal/rf"
 	"milvideo/internal/segment"
@@ -270,6 +271,61 @@ func BenchmarkSegmentationPerFrame(b *testing.B) {
 	}
 }
 
+// BenchmarkBackgroundModel measures the histogram temporal-median
+// background learner over every frame of the 300-frame bench clip
+// (the large-sample regime the histogram path exists for).
+func BenchmarkBackgroundModel(b *testing.B) {
+	scene := benchScene(b)
+	clip, err := render.Video(scene, render.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := segment.LearnBackground(clip.Frames, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBackgroundModelRef measures the sort-per-pixel reference
+// implementation on the same input — the baseline the histogram path
+// is measured against (see DESIGN.md's Performance section).
+func BenchmarkBackgroundModelRef(b *testing.B) {
+	scene := benchScene(b)
+	clip, err := render.Video(scene, render.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := segment.LearnBackgroundRef(clip.Frames, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelGram measures the symmetric parallel Gram matrix at
+// retrieval-database scale (200 instances of dimension 9).
+func BenchmarkKernelGram(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	X := make([][]float64, 200)
+	for i := range X {
+		row := make([]float64, 9)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		X[i] = row
+	}
+	k := kernel.RBF{Sigma: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kernel.Matrix(k, X); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkOneClassSVMTrain measures OCSVM training at the size the
 // retrieval loop uses (tens of 9-dim instances).
 func BenchmarkOneClassSVMTrain(b *testing.B) {
@@ -316,6 +372,41 @@ func BenchmarkMILRank(b *testing.B) {
 		}
 	}
 	engine := retrieval.MILEngine{Opt: mil.DefaultOptions()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Rank(db, labels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMILRankCached is BenchmarkMILRank with the cross-round
+// kernel cache attached: iterations after the first rank from warm
+// distances, modeling rounds 2+ of a feedback session.
+func BenchmarkMILRankCached(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	var db []window.VS
+	labels := map[int]mil.Label{}
+	for i := 0; i < 200; i++ {
+		vs := window.VS{Index: i, StartFrame: i * 15, EndFrame: i*15 + 10}
+		nts := 1 + rng.Intn(3)
+		for k := 0; k < nts; k++ {
+			ts := window.TS{TrackID: i*10 + k}
+			for p := 0; p < 3; p++ {
+				ts.Vectors = append(ts.Vectors, []float64{rng.Float64(), rng.Float64() * 3, rng.Float64()})
+			}
+			vs.TSs = append(vs.TSs, ts)
+		}
+		db = append(db, vs)
+		if i < 20 {
+			if i%2 == 0 {
+				labels[i] = mil.Positive
+			} else {
+				labels[i] = mil.Negative
+			}
+		}
+	}
+	engine := retrieval.MILEngine{Opt: mil.DefaultOptions(), Cache: retrieval.NewMILCache()}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := engine.Rank(db, labels); err != nil {

@@ -1,0 +1,250 @@
+// Command bench runs the pipeline-stage benchmarks programmatically
+// and writes a machine-readable snapshot (BENCH_<n>.json in the repo
+// root by default, picking the next free number) so performance can be
+// tracked across commits without parsing `go test -bench` text output.
+//
+// Usage:
+//
+//	go run ./cmd/bench            # writes BENCH_<n>.json
+//	go run ./cmd/bench -o out.json
+//	go run ./cmd/bench -stage background_histogram -o -   # one stage to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"milvideo/internal/experiments"
+	"milvideo/internal/kernel"
+	"milvideo/internal/mil"
+	"milvideo/internal/render"
+	"milvideo/internal/retrieval"
+	"milvideo/internal/segment"
+	"milvideo/internal/sim"
+	"milvideo/internal/svm"
+	"milvideo/internal/window"
+)
+
+// Result is one stage's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Snapshot is the file format.
+type Snapshot struct {
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Stages     []Result `json:"stages"`
+}
+
+type stage struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default BENCH_<n>.json; '-' for stdout)")
+	only := flag.String("stage", "", "run a single stage by name")
+	flag.Parse()
+
+	stages, err := buildStages(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+
+	snap := Snapshot{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, s := range stages {
+		if *only != "" && s.name != *only {
+			continue
+		}
+		r := testing.Benchmark(s.fn)
+		snap.Stages = append(snap.Stages, Result{
+			Name:        s.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+		fmt.Fprintf(os.Stderr, "%-24s %14.0f ns/op %10d allocs/op\n",
+			s.name, snap.Stages[len(snap.Stages)-1].NsPerOp, r.AllocsPerOp())
+	}
+	if len(snap.Stages) == 0 {
+		fmt.Fprintf(os.Stderr, "bench: no stage matches %q\n", *only)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	path := *out
+	if path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if path == "" {
+		path = nextBenchPath()
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(path)
+}
+
+// nextBenchPath returns BENCH_<n>.json for the smallest unused n ≥ 1.
+func nextBenchPath() string {
+	for n := 1; ; n++ {
+		path := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+	}
+}
+
+// buildStages prepares shared fixtures and the stage list. Stage
+// fixtures mirror the top-level go-test benchmarks (bench_test.go) so
+// the two report comparable numbers. only narrows the run to one
+// stage ("" runs all) so fixture warm-up can be skipped when unused.
+func buildStages(only string) ([]stage, error) {
+	scene, err := sim.Tunnel(sim.TunnelConfig{
+		Frames: 300, Seed: 9, SpawnEvery: 80, WallCrash: 1, FPS: 25,
+	})
+	if err != nil {
+		return nil, err
+	}
+	clip, err := render.Video(scene, render.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	ex, err := segment.NewExtractor(clip, segment.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	midFrame := clip.Frames[len(clip.Frames)/2]
+
+	svmX := gaussians(1, 60, 9)
+	gramX := gaussians(4, 200, 9)
+	db, labels := synthDB(2)
+
+	// Warm the process-wide clip cache so the figure stages measure
+	// steady-state experiment cost, not the one-time clip construction
+	// (render + segment + track dominates a cold run by ~4 orders of
+	// magnitude). Skipped when -stage selects a non-figure stage.
+	if only == "" || only == "figure8_warm" {
+		if _, err := experiments.Figure8(); err != nil {
+			return nil, err
+		}
+	}
+	if only == "" || only == "figure9_warm" {
+		if _, err := experiments.Figure9(); err != nil {
+			return nil, err
+		}
+	}
+
+	return []stage{
+		{"background_histogram", func(b *testing.B) {
+			benchErr(b, func() error { _, err := segment.LearnBackground(clip.Frames, 1); return err })
+		}},
+		{"background_sort_ref", func(b *testing.B) {
+			benchErr(b, func() error { _, err := segment.LearnBackgroundRef(clip.Frames, 1); return err })
+		}},
+		{"segmentation_per_frame", func(b *testing.B) {
+			benchErr(b, func() error { _, err := ex.Segments(midFrame); return err })
+		}},
+		{"kernel_gram_200x9", func(b *testing.B) {
+			k := kernel.RBF{Sigma: 1}
+			benchErr(b, func() error { _, err := kernel.Matrix(k, gramX); return err })
+		}},
+		{"ocsvm_train_60x9", func(b *testing.B) {
+			benchErr(b, func() error {
+				_, err := svm.TrainOneClass(svmX, svm.Options{Nu: 0.2, Kernel: kernel.RBF{Sigma: 1}})
+				return err
+			})
+		}},
+		{"mil_rank_200bags", func(b *testing.B) {
+			engine := retrieval.MILEngine{Opt: mil.DefaultOptions()}
+			benchErr(b, func() error { _, err := engine.Rank(db, labels); return err })
+		}},
+		{"mil_rank_200bags_cached", func(b *testing.B) {
+			engine := retrieval.MILEngine{Opt: mil.DefaultOptions(), Cache: retrieval.NewMILCache()}
+			benchErr(b, func() error { _, err := engine.Rank(db, labels); return err })
+		}},
+		{"figure8_warm", func(b *testing.B) {
+			benchErr(b, func() error { _, err := experiments.Figure8(); return err })
+		}},
+		{"figure9_warm", func(b *testing.B) {
+			benchErr(b, func() error { _, err := experiments.Figure9(); return err })
+		}},
+	}, nil
+}
+
+// benchErr runs fn b.N times, reporting allocations and failing on
+// error.
+func benchErr(b *testing.B, fn func() error) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := fn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// gaussians draws n seeded standard-normal vectors of dimension d.
+func gaussians(seed int64, n, d int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		X[i] = row
+	}
+	return X
+}
+
+// synthDB mirrors bench_test.go's 200-bag ranking fixture.
+func synthDB(seed int64) ([]window.VS, map[int]mil.Label) {
+	rng := rand.New(rand.NewSource(seed))
+	var db []window.VS
+	labels := map[int]mil.Label{}
+	for i := 0; i < 200; i++ {
+		vs := window.VS{Index: i, StartFrame: i * 15, EndFrame: i*15 + 10}
+		nts := 1 + rng.Intn(3)
+		for k := 0; k < nts; k++ {
+			ts := window.TS{TrackID: i*10 + k}
+			for p := 0; p < 3; p++ {
+				ts.Vectors = append(ts.Vectors, []float64{rng.Float64(), rng.Float64() * 3, rng.Float64()})
+			}
+			vs.TSs = append(vs.TSs, ts)
+		}
+		db = append(db, vs)
+		if i < 20 {
+			if i%2 == 0 {
+				labels[i] = mil.Positive
+			} else {
+				labels[i] = mil.Negative
+			}
+		}
+	}
+	return db, labels
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"milvideo/internal/core"
+	"milvideo/internal/frame"
+)
+
+// TestRunConcurrentDeterminism: per-slot results are identical for any
+// worker count, and the lowest-index error wins.
+func TestRunConcurrentDeterminism(t *testing.T) {
+	const n = 57
+	serial := make([]int, n)
+	restore := SetSweepWorkers(1)
+	if err := runConcurrent(n, func(i int) error {
+		serial[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	restore()
+	for _, workers := range []int{2, 4, 9} {
+		got := make([]int, n)
+		restore := SetSweepWorkers(workers)
+		err := runConcurrent(n, func(i int) error {
+			got[i] = i * i
+			return nil
+		})
+		restore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestRunConcurrentFirstError(t *testing.T) {
+	errAt := func(workers int) error {
+		restore := SetSweepWorkers(workers)
+		defer restore()
+		return runConcurrent(10, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+	}
+	for _, workers := range []int{1, 4} {
+		err := errAt(workers)
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("workers=%d: got %v, want the lowest-index error", workers, err)
+		}
+	}
+}
+
+// TestCachedClipMemoizes: one build per key, shared result pointer,
+// and errors are memoized too.
+func TestCachedClipMemoizes(t *testing.T) {
+	builds := 0
+	build := func() (*core.Clip, error) {
+		builds++
+		return &core.Clip{Video: &frame.Video{}}, nil
+	}
+	a, err := cachedClip("test/memo", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cachedClip("test/memo", build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds != 1 {
+		t.Fatalf("build ran %d times", builds)
+	}
+	if a != b {
+		t.Fatal("cached clip not shared")
+	}
+
+	wantErr := errors.New("boom")
+	fails := 0
+	for i := 0; i < 2; i++ {
+		if _, err := cachedClip("test/err", func() (*core.Clip, error) {
+			fails++
+			return nil, wantErr
+		}); !errors.Is(err, wantErr) {
+			t.Fatalf("got %v, want %v", err, wantErr)
+		}
+	}
+	if fails != 1 {
+		t.Fatalf("failing build ran %d times", fails)
+	}
+}

@@ -35,20 +35,24 @@ func CrossCamera() (Table, error) {
 	cfgB := cfgA
 	cfgB.Seed = 77
 
-	sceneA, err := sim.Tunnel(cfgA)
-	if err != nil {
-		return Table{}, err
-	}
-	sceneB, err := sim.Tunnel(cfgB)
-	if err != nil {
-		return Table{}, err
-	}
 	pipeline := core.DefaultConfig()
-	clipA, err := core.ProcessScene(sceneA, pipeline)
+	clipA, err := cachedClip("crosscam/a", func() (*core.Clip, error) {
+		scene, err := sim.Tunnel(cfgA)
+		if err != nil {
+			return nil, err
+		}
+		return core.ProcessScene(scene, pipeline)
+	})
 	if err != nil {
 		return Table{}, err
 	}
-	clipB, err := core.ProcessScene(sceneB, pipeline)
+	clipB, err := cachedClip("crosscam/b", func() (*core.Clip, error) {
+		scene, err := sim.Tunnel(cfgB)
+		if err != nil {
+			return nil, err
+		}
+		return core.ProcessScene(scene, pipeline)
+	})
 	if err != nil {
 		return Table{}, err
 	}
@@ -97,7 +101,7 @@ func CrossCamera() (Table, error) {
 	oracleA := retrieval.SceneOracle{Scene: clipA.Scene, MinOverlap: pipeline.Window.SampleRate}
 	oracleB := retrieval.SceneOracle{Scene: clipB.Scene, MinOverlap: pipeline.Window.SampleRate}
 	sessA := &retrieval.Session{DB: clipA.VSs, Oracle: oracleA, TopK: TopK}
-	resA, err := sessA.Run(retrieval.MILEngine{Opt: mil.DefaultOptions()}, 3)
+	resA, err := sessA.Run(retrieval.MILEngine{Opt: mil.DefaultOptions(), Cache: retrieval.NewMILCache()}, 3)
 	if err != nil {
 		return Table{}, err
 	}
@@ -121,7 +125,9 @@ func CrossCamera() (Table, error) {
 			}
 			return oracleA.Relevant(vs)
 		}
-		engine := retrieval.MILEngine{Opt: mil.DefaultOptions()}
+		// Per-evaluate cache: the normalized and raw variants put
+		// different vectors behind the same camera-B identities.
+		engine := retrieval.MILEngine{Opt: mil.DefaultOptions(), Cache: retrieval.NewMILCache()}
 
 		// Merged initial query: the heuristic over both cameras at
 		// once (no feedback). Feature scales must be commensurable

@@ -18,29 +18,32 @@ import (
 // quality against ground truth and the final-round MIL retrieval
 // accuracy built on top of each.
 func IlluminationDrift() (Table, error) {
-	cfg := sim.DefaultTunnel()
-	cfg.Frames = 1500
-	cfg.WallCrash, cfg.SuddenStop, cfg.HardBrake, cfg.Speeding = 7, 2, 7, 1
-	scene, err := sim.Tunnel(cfg)
-	if err != nil {
-		return Table{}, err
-	}
-
 	table := Table{
 		Title:  "Illumination-drift robustness (tunnel, ±35 gray levels, MIL-OCSVM)",
 		Header: []string{"background model", "tracks", "purity", "coverage", "final accuracy"},
 	}
 	for _, variant := range []struct {
 		name     string
+		key      string
 		adaptive bool
 	}{
-		{"static median", false},
-		{"adaptive (selective running average)", true},
+		{"static median", "drift/static", false},
+		{"adaptive (selective running average)", "drift/adaptive", true},
 	} {
-		pcfg := core.DefaultConfig()
-		pcfg.Render.LightDrift = 35
-		pcfg.Segment.Adaptive = variant.adaptive
-		clip, err := core.ProcessScene(scene, pcfg)
+		adaptive := variant.adaptive
+		clip, err := cachedClip(variant.key, func() (*core.Clip, error) {
+			cfg := sim.DefaultTunnel()
+			cfg.Frames = 1500
+			cfg.WallCrash, cfg.SuddenStop, cfg.HardBrake, cfg.Speeding = 7, 2, 7, 1
+			scene, err := sim.Tunnel(cfg)
+			if err != nil {
+				return nil, err
+			}
+			pcfg := core.DefaultConfig()
+			pcfg.Render.LightDrift = 35
+			pcfg.Segment.Adaptive = adaptive
+			return core.ProcessScene(scene, pcfg)
+		})
 		if err != nil {
 			return Table{}, err
 		}
@@ -53,7 +56,7 @@ func IlluminationDrift() (Table, error) {
 			return Table{}, err
 		}
 		sess := clip.Session(oracle, TopK)
-		res, err := sess.Run(retrieval.MILEngine{Opt: mil.DefaultOptions()}, Rounds)
+		res, err := sess.Run(retrieval.MILEngine{Opt: mil.DefaultOptions(), Cache: retrieval.NewMILCache()}, Rounds)
 		if err != nil {
 			return Table{}, err
 		}

@@ -10,8 +10,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"milvideo/internal/core"
 	"milvideo/internal/sim"
@@ -55,44 +57,108 @@ func (t Table) Format() string {
 	return b.String()
 }
 
-// clipCache memoizes the expensive scene → processed-clip step.
-type clipCache struct {
+// clipEntry memoizes one scene → processed-clip build.
+type clipEntry struct {
 	once sync.Once
 	clip *core.Clip
 	err  error
 }
 
 var (
-	tunnelCache       clipCache
-	intersectionCache clipCache
+	clipMu    sync.Mutex
+	clipCache = map[string]*clipEntry{}
 )
+
+// cachedClip returns the processed clip registered under key, building
+// it at most once per process (E1–E11, the sweeps and the benchmarks
+// all share one build per scenario). Builders must be deterministic:
+// the key stands for the exact clip the build produces. Safe for
+// concurrent use; concurrent callers of the same key block on the one
+// build.
+func cachedClip(key string, build func() (*core.Clip, error)) (*core.Clip, error) {
+	clipMu.Lock()
+	e, ok := clipCache[key]
+	if !ok {
+		e = &clipEntry{}
+		clipCache[key] = e
+	}
+	clipMu.Unlock()
+	e.once.Do(func() { e.clip, e.err = build() })
+	return e.clip, e.err
+}
 
 // TunnelClip returns the processed default tunnel clip (the paper's
 // first clip), shared across experiments.
 func TunnelClip() (*core.Clip, error) {
-	tunnelCache.once.Do(func() {
+	return cachedClip("tunnel", func() (*core.Clip, error) {
 		scene, err := sim.Tunnel(sim.DefaultTunnel())
 		if err != nil {
-			tunnelCache.err = err
-			return
+			return nil, err
 		}
-		tunnelCache.clip, tunnelCache.err = core.ProcessScene(scene, core.DefaultConfig())
+		return core.ProcessScene(scene, core.DefaultConfig())
 	})
-	return tunnelCache.clip, tunnelCache.err
 }
 
 // IntersectionClip returns the processed default intersection clip
 // (the paper's second clip), shared across experiments.
 func IntersectionClip() (*core.Clip, error) {
-	intersectionCache.once.Do(func() {
+	return cachedClip("intersection", func() (*core.Clip, error) {
 		scene, err := sim.Intersection(sim.DefaultIntersection())
 		if err != nil {
-			intersectionCache.err = err
-			return
+			return nil, err
 		}
-		intersectionCache.clip, intersectionCache.err = core.ProcessScene(scene, core.DefaultConfig())
+		return core.ProcessScene(scene, core.DefaultConfig())
 	})
-	return intersectionCache.clip, intersectionCache.err
+}
+
+// sweepWorkers bounds runConcurrent's pool; 0 sizes it by GOMAXPROCS.
+// Determinism tests pin it to compare pool sizes.
+var sweepWorkers = 0
+
+// runConcurrent runs jobs 0…n−1 on a bounded worker pool and returns
+// the lowest-index error. Jobs must write results only into their own
+// preassigned slots, which keeps the output identical for any worker
+// count — the sweep experiments run their independent configurations
+// through this.
+func runConcurrent(n int, job func(int) error) error {
+	workers := sweepWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // pct formats an accuracy as a percentage.

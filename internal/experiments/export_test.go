@@ -1,0 +1,9 @@
+package experiments
+
+// SetSweepWorkers pins the sweep worker-pool size for determinism
+// tests and returns a restore function.
+func SetSweepWorkers(n int) (restore func()) {
+	old := sweepWorkers
+	sweepWorkers = n
+	return func() { sweepWorkers = old }
+}

@@ -36,7 +36,7 @@ func compareOnClip(c *core.Clip) (milAcc, wrfAcc []float64, err error) {
 	}
 	sess := c.Session(oracle, TopK)
 	res, err := sess.Compare([]retrieval.Engine{
-		retrieval.MILEngine{Opt: mil.DefaultOptions()},
+		retrieval.MILEngine{Opt: mil.DefaultOptions(), Cache: retrieval.NewMILCache()},
 		retrieval.WeightedEngine{Norm: rf.NormPercentage},
 	}, Rounds)
 	if err != nil {
@@ -188,13 +188,16 @@ func NormalizationAblation() (Table, error) {
 		Title:  "§6.2 weight-normalization comparison (Weighted-RF, final-round accuracy)",
 		Header: []string{"clip", "none", "linear", "percentage"},
 	}
-	for _, src := range []struct {
+	sources := []struct {
 		name string
 		fn   func() (*core.Clip, error)
 	}{
 		{"tunnel", TunnelClip},
 		{"intersection", IntersectionClip},
-	} {
+	}
+	norms := []rf.Normalization{rf.NormNone, rf.NormLinear, rf.NormPercentage}
+	sessions := make([]*retrieval.Session, len(sources))
+	for i, src := range sources {
 		c, err := src.fn()
 		if err != nil {
 			return Table{}, err
@@ -203,17 +206,25 @@ func NormalizationAblation() (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		sess := c.Session(oracle, TopK)
-		row := []string{src.name}
-		for _, norm := range []rf.Normalization{rf.NormNone, rf.NormLinear, rf.NormPercentage} {
-			res, err := sess.Run(retrieval.WeightedEngine{Norm: norm}, Rounds)
-			if err != nil {
-				return Table{}, err
-			}
-			acc := res.Accuracies()
-			row = append(row, pct(acc[len(acc)-1]))
+		sessions[i] = c.Session(oracle, TopK)
+	}
+	// The clip×normalization grid is independent work; each job fills
+	// its own cell.
+	cells := make([]string, len(sources)*len(norms))
+	err := runConcurrent(len(cells), func(i int) error {
+		res, err := sessions[i/len(norms)].Run(retrieval.WeightedEngine{Norm: norms[i%len(norms)]}, Rounds)
+		if err != nil {
+			return err
 		}
-		table.Rows = append(table.Rows, row)
+		acc := res.Accuracies()
+		cells[i] = pct(acc[len(acc)-1])
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for i, src := range sources {
+		table.Rows = append(table.Rows, append([]string{src.name}, cells[i*len(norms):(i+1)*len(norms)]...))
 	}
 	return table, nil
 }
@@ -231,13 +242,30 @@ func ZSweep() (Table, error) {
 		header = append(header, fmt.Sprintf("z=%.2f", z))
 	}
 	table := Table{Title: "Eq. (9) z sweep (MIL-OCSVM, final-round accuracy)", Header: header}
-	for _, src := range []struct {
+	sources := []struct {
 		name string
 		fn   func() (*core.Clip, error)
 	}{
 		{"tunnel", TunnelClip},
 		{"intersection", IntersectionClip},
-	} {
+	}
+	variants := []struct {
+		label string
+		ratio float64
+	}{
+		{"selected", 0.5},
+		{"all-TSs", -1},
+	}
+	// One session and one kernel cache per clip: every variant and
+	// every z ranks the same instance vectors, so squared distances
+	// recur across the whole grid (the cache is concurrency-safe and
+	// its values are order-independent).
+	type clipCtx struct {
+		sess  *retrieval.Session
+		cache *retrieval.MILCache
+	}
+	ctxs := make([]clipCtx, len(sources))
+	for i, src := range sources {
 		c, err := src.fn()
 		if err != nil {
 			return Table{}, err
@@ -246,24 +274,33 @@ func ZSweep() (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		sess := c.Session(oracle, TopK)
-		for _, variant := range []struct {
-			label string
-			ratio float64
-		}{
-			{"selected", 0.5},
-			{"all-TSs", -1},
-		} {
-			row := []string{src.name + " / " + variant.label}
-			for _, z := range zs {
-				res, err := sess.Run(retrieval.MILEngine{Opt: mil.Options{Z: z}, TopTSRatio: variant.ratio}, Rounds)
-				if err != nil {
-					return Table{}, err
-				}
-				acc := res.Accuracies()
-				row = append(row, pct(acc[len(acc)-1]))
-			}
-			table.Rows = append(table.Rows, row)
+		ctxs[i] = clipCtx{sess: c.Session(oracle, TopK), cache: retrieval.NewMILCache()}
+	}
+	nv, nz := len(variants), len(zs)
+	cells := make([]string, len(sources)*nv*nz)
+	err := runConcurrent(len(cells), func(i int) error {
+		ctx := ctxs[i/(nv*nz)]
+		variant := variants[(i/nz)%nv]
+		res, err := ctx.sess.Run(retrieval.MILEngine{
+			Opt:        mil.Options{Z: zs[i%nz]},
+			TopTSRatio: variant.ratio,
+			Cache:      ctx.cache,
+		}, Rounds)
+		if err != nil {
+			return err
+		}
+		acc := res.Accuracies()
+		cells[i] = pct(acc[len(acc)-1])
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for si, src := range sources {
+		for vi, variant := range variants {
+			base := (si*nv + vi) * nz
+			table.Rows = append(table.Rows,
+				append([]string{src.name + " / " + variant.label}, cells[base:base+nz]...))
 		}
 	}
 	return table, nil
@@ -281,27 +318,37 @@ func WindowSweep() (Table, error) {
 		Title:  "§5.1 window-size sweep (MIL-OCSVM, tunnel, final-round accuracy)",
 		Header: []string{"window (points)", "VSs", "TSs", "relevant", "accuracy"},
 	}
-	for _, size := range []int{2, 3, 4, 6} {
+	sizes := []int{2, 3, 4, 6}
+	rows := make([][]string, len(sizes))
+	err = runConcurrent(len(sizes), func(i int) error {
+		size := sizes[i]
 		cfg := window.Config{SampleRate: 5, WindowSize: size}
 		vss, err := window.Extract(c.Tracks, c.Config.Model, c.Video.Len(), cfg)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		oracle := retrieval.SceneOracle{Scene: c.Scene, MinOverlap: cfg.SampleRate}
 		sess := &retrieval.Session{DB: vss, Oracle: oracle, TopK: TopK}
-		res, err := sess.Run(retrieval.MILEngine{Opt: mil.DefaultOptions()}, Rounds)
+		// The kernel cache is per window size: each size yields
+		// different instance vectors behind coinciding identities.
+		res, err := sess.Run(retrieval.MILEngine{Opt: mil.DefaultOptions(), Cache: retrieval.NewMILCache()}, Rounds)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		acc := res.Accuracies()
-		table.Rows = append(table.Rows, []string{
+		rows[i] = []string{
 			fmt.Sprintf("%d", size),
 			fmt.Sprintf("%d", len(vss)),
 			fmt.Sprintf("%d", window.CountTS(vss)),
 			fmt.Sprintf("%d", sess.GroundTruthRelevant()),
 			pct(acc[len(acc)-1]),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	table.Rows = rows
 	return table, nil
 }
 
@@ -326,25 +373,34 @@ func EventGenerality() (Table, error) {
 		{"u-turn", event.UTurnModel{}, func(t sim.IncidentType) bool { return t == sim.UTurn }},
 		{"speeding", event.SpeedingModel{RefSpeed: 2.5}, func(t sim.IncidentType) bool { return t == sim.Speeding }},
 	}
-	for _, cse := range cases {
+	rows := make([][]string, len(cases))
+	err = runConcurrent(len(cases), func(i int) error {
+		cse := cases[i]
 		vss, err := window.Extract(c.Tracks, cse.model, c.Video.Len(), window.DefaultConfig())
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		oracle := retrieval.SceneOracle{Scene: c.Scene, Pred: cse.pred, MinOverlap: 5}
 		sess := &retrieval.Session{DB: vss, Oracle: oracle, TopK: 10}
-		res, err := sess.Run(retrieval.MILEngine{Opt: mil.DefaultOptions()}, Rounds)
+		// Per-case kernel cache: each event model computes different
+		// feature vectors for the same tracks.
+		res, err := sess.Run(retrieval.MILEngine{Opt: mil.DefaultOptions(), Cache: retrieval.NewMILCache()}, Rounds)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
 		acc := res.Accuracies()
-		table.Rows = append(table.Rows, []string{
+		rows[i] = []string{
 			cse.name,
 			fmt.Sprintf("%d", sess.GroundTruthRelevant()),
 			pct(acc[0]),
 			pct(acc[len(acc)-1]),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
+	table.Rows = rows
 	return table, nil
 }
 
@@ -366,6 +422,7 @@ func InstanceSelectionAblation() (Table, error) {
 		return Table{}, err
 	}
 	sess := c.Session(oracle, TopK)
+	cache := retrieval.NewMILCache() // both variants rank the same vectors
 	for _, cse := range []struct {
 		name  string
 		ratio float64
@@ -373,7 +430,7 @@ func InstanceSelectionAblation() (Table, error) {
 		{"highest-scored TSs (paper)", 0.5},
 		{"all TSs of relevant VSs", -1},
 	} {
-		res, err := sess.Run(retrieval.MILEngine{Opt: mil.DefaultOptions(), TopTSRatio: cse.ratio}, Rounds)
+		res, err := sess.Run(retrieval.MILEngine{Opt: mil.DefaultOptions(), TopTSRatio: cse.ratio, Cache: cache}, Rounds)
 		if err != nil {
 			return Table{}, err
 		}

@@ -1,0 +1,58 @@
+package kernel
+
+import "sync"
+
+// DistCache memoizes squared Euclidean distances between vectors that
+// carry caller-assigned stable identities. The interactive retrieval
+// loop retrains its One-class SVM every feedback round on a training
+// set that mostly overlaps the previous round's; keying distances by
+// instance identity lets every round after the first reuse the
+// already-computed pairs — for any bandwidth, since the RBF kernel is
+// a pure function of the squared distance (see RBF.FromSquaredDist).
+//
+// Identities must be unique per vector within one cache: reusing a
+// cache across databases (or across feature extractions that change
+// the vectors behind the same identities) silently corrupts results.
+// The cache is safe for concurrent use.
+type DistCache struct {
+	mu sync.Mutex
+	m  map[distKey]float64
+}
+
+type distKey struct{ a, b int64 }
+
+// NewDistCache returns an empty cache.
+func NewDistCache() *DistCache {
+	return &DistCache{m: make(map[distKey]float64)}
+}
+
+// SquaredDist returns ‖u−v‖², where ku and kv are the stable
+// identities of u and v. The distance is computed at most once per
+// identity pair (the key is order-normalized: squared distances are
+// exactly symmetric in IEEE arithmetic).
+func (c *DistCache) SquaredDist(ku, kv int64, u, v []float64) float64 {
+	if ku > kv {
+		ku, kv = kv, ku
+	}
+	key := distKey{ku, kv}
+	c.mu.Lock()
+	d, ok := c.m[key]
+	c.mu.Unlock()
+	if ok {
+		return d
+	}
+	// Computed outside the lock: concurrent misses on the same pair
+	// duplicate work but store the identical deterministic value.
+	d = SquaredDistance(u, v)
+	c.mu.Lock()
+	c.m[key] = d
+	c.mu.Unlock()
+	return d
+}
+
+// Len returns the number of cached pairs.
+func (c *DistCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -12,6 +12,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // ErrDim is returned when kernel operands differ in dimension.
@@ -38,16 +41,33 @@ func (k RBF) Eval(u, v []float64) float64 {
 	if len(u) != len(v) {
 		return math.NaN()
 	}
+	return k.FromSquaredDist(SquaredDistance(u, v))
+}
+
+// FromSquaredDist evaluates the kernel from a precomputed squared
+// Euclidean distance ‖u−v‖². Computing the distance with
+// SquaredDistance and finishing with this method is bitwise identical
+// to Eval — callers that memoize distances (the retrieval engine's
+// cross-round Gram reuse) rely on that.
+func (k RBF) FromSquaredDist(d2 float64) float64 {
 	s := k.Sigma
 	if s <= 0 {
 		s = 1
 	}
+	return math.Exp(-d2 / (2 * s * s))
+}
+
+// SquaredDistance returns ‖u−v‖², accumulating component differences
+// in index order (the summation order every kernel and bandwidth
+// heuristic in this package uses, so cached values interchange
+// bitwise). Both operands must have the same length.
+func SquaredDistance(u, v []float64) float64 {
 	d := 0.0
 	for i := range u {
 		diff := u[i] - v[i]
 		d += diff * diff
 	}
-	return math.Exp(-d / (2 * s * s))
+	return d
 }
 
 // Name implements Kernel.
@@ -95,7 +115,20 @@ func (k Poly) Name() string { return fmt.Sprintf("poly(d=%d,c=%g)", k.Degree, k.
 
 // Matrix computes the Gram matrix K[i][j] = k(X[i], X[j]). It errors
 // on ragged input rather than silently producing NaNs.
+//
+// Only the upper triangle is evaluated (k must be symmetric, which
+// every Mercer kernel is) and rows are distributed over a worker pool
+// sized by GOMAXPROCS. Each cell is written exactly once, so the
+// result is identical to the serial computation.
 func Matrix(k Kernel, X [][]float64) ([][]float64, error) {
+	return matrixWorkers(k, X, runtime.GOMAXPROCS(0))
+}
+
+// matrixParallelMin is the matrix order below which the worker pool
+// costs more than it saves.
+const matrixParallelMin = 32
+
+func matrixWorkers(k Kernel, X [][]float64, workers int) ([][]float64, error) {
 	if len(X) == 0 {
 		return nil, nil
 	}
@@ -105,18 +138,52 @@ func Matrix(k Kernel, X [][]float64) ([][]float64, error) {
 			return nil, fmt.Errorf("%w: row %d has %d, want %d", ErrDim, i, len(x), d)
 		}
 	}
-	g := make([][]float64, len(X))
+	n := len(X)
+	back := make([]float64, n*n)
+	g := make([][]float64, n)
 	for i := range g {
-		g[i] = make([]float64, len(X))
+		g[i] = back[i*n : (i+1)*n : (i+1)*n]
 	}
-	for i := range X {
-		for j := i; j < len(X); j++ {
-			v := k.Eval(X[i], X[j])
-			g[i][j] = v
-			g[j][i] = v
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < matrixParallelMin {
+		for i := range X {
+			fillGramRow(k, X, g, i)
 		}
+		return g, nil
 	}
+	// Dynamic row assignment (upper-triangle rows shrink with i, so a
+	// static split would load-balance poorly). Workers write disjoint
+	// cells: row i's worker owns g[i][i:] and the mirror column
+	// g[i:][i].
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fillGramRow(k, X, g, i)
+			}
+		}()
+	}
+	wg.Wait()
 	return g, nil
+}
+
+// fillGramRow computes the upper-triangle cells of row i and mirrors
+// them into column i.
+func fillGramRow(k Kernel, X [][]float64, g [][]float64, i int) {
+	for j := i; j < len(X); j++ {
+		v := k.Eval(X[i], X[j])
+		g[i][j] = v
+		g[j][i] = v
+	}
 }
 
 // NearestNeighborSigma returns the median nearest-neighbor distance
@@ -133,12 +200,7 @@ func NearestNeighborSigma(X [][]float64) float64 {
 			if i == j || len(X[i]) != len(X[j]) {
 				continue
 			}
-			d := 0.0
-			for c := range X[i] {
-				diff := X[i][c] - X[j][c]
-				d += diff * diff
-			}
-			if d > 0 && d < best {
+			if d := SquaredDistance(X[i], X[j]); d > 0 && d < best {
 				best = d
 			}
 		}
@@ -146,15 +208,46 @@ func NearestNeighborSigma(X [][]float64) float64 {
 			nn = append(nn, math.Sqrt(best))
 		}
 	}
-	if len(nn) == 0 {
-		return 1
-	}
-	for i := 1; i < len(nn); i++ {
-		for j := i; j > 0 && nn[j] < nn[j-1]; j-- {
-			nn[j], nn[j-1] = nn[j-1], nn[j]
+	return medianOrOne(nn)
+}
+
+// NearestNeighborSigmaFromSquared is NearestNeighborSigma computed
+// from a precomputed squared-distance matrix d2 (d2[i][j] = ‖xᵢ−xⱼ‖²,
+// as produced by SquaredDistance). Bitwise identical to the slice
+// form for same-dimension sample sets — the retrieval engine's
+// cross-round distance cache depends on that equivalence.
+func NearestNeighborSigmaFromSquared(d2 [][]float64) float64 {
+	var nn []float64
+	for i := range d2 {
+		best := math.Inf(1)
+		for j := range d2[i] {
+			if i == j {
+				continue
+			}
+			if d := d2[i][j]; d > 0 && d < best {
+				best = d
+			}
+		}
+		if !math.IsInf(best, 1) {
+			nn = append(nn, math.Sqrt(best))
 		}
 	}
-	return nn[len(nn)/2]
+	return medianOrOne(nn)
+}
+
+// medianOrOne returns the median of vs (upper middle, matching the
+// bandwidth heuristics' historical insertion-sort selection) or 1 for
+// an empty slice. vs is modified.
+func medianOrOne(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 1
+	}
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+	return vs[len(vs)/2]
 }
 
 // MedianHeuristicSigma returns the median pairwise distance of the
@@ -168,24 +261,10 @@ func MedianHeuristicSigma(X [][]float64) float64 {
 			if len(X[i]) != len(X[j]) {
 				continue
 			}
-			d := 0.0
-			for c := range X[i] {
-				diff := X[i][c] - X[j][c]
-				d += diff * diff
-			}
-			if d > 0 {
+			if d := SquaredDistance(X[i], X[j]); d > 0 {
 				dists = append(dists, math.Sqrt(d))
 			}
 		}
 	}
-	if len(dists) == 0 {
-		return 1
-	}
-	// nth-element by full sort: sample counts here are small.
-	for i := 1; i < len(dists); i++ {
-		for j := i; j > 0 && dists[j] < dists[j-1]; j-- {
-			dists[j], dists[j-1] = dists[j-1], dists[j]
-		}
-	}
-	return dists[len(dists)/2]
+	return medianOrOne(dists)
 }

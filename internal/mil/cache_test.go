@@ -1,0 +1,153 @@
+package mil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"milvideo/internal/kernel"
+)
+
+// cachedBags builds a labeled bag set with unique instance keys.
+func cachedBags(rng *rand.Rand) []Bag {
+	mk := func(id int, label Label, n int, cx float64) Bag {
+		b := Bag{ID: id, Label: label}
+		for i := 0; i < n; i++ {
+			b.Instances = append(b.Instances, []float64{
+				cx + rng.NormFloat64()*0.2,
+				cx + rng.NormFloat64()*0.2,
+				rng.NormFloat64() * 0.1,
+			})
+			b.Keys = append(b.Keys, i)
+		}
+		return b
+	}
+	var bags []Bag
+	for i := 0; i < 4; i++ {
+		bags = append(bags, mk(i, Positive, 3, 3))
+	}
+	for i := 4; i < 10; i++ {
+		bags = append(bags, mk(i, Unlabeled, 4, rng.Float64()*2))
+	}
+	return bags
+}
+
+// TestDistCachePathBitwiseIdentical: training and scoring through the
+// distance cache must reproduce the uncached path exactly, and later
+// retrains must reuse the cache.
+func TestDistCachePathBitwiseIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	bags := cachedBags(rng)
+	opt := DefaultOptions()
+
+	plain, err := Train(bags, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := kernel.NewDistCache()
+	copt := opt
+	copt.DistCache = cache
+	cached, err := Train(bags, copt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.cache == nil {
+		t.Fatal("cached path did not engage")
+	}
+	if cache.Len() == 0 {
+		t.Fatal("distance cache is empty after training")
+	}
+	if math.Float64bits(plain.Delta) != math.Float64bits(cached.Delta) {
+		t.Fatalf("delta %v != %v", plain.Delta, cached.Delta)
+	}
+	if math.Float64bits(plain.model.Rho()) != math.Float64bits(cached.model.Rho()) {
+		t.Fatalf("rho %v != %v", plain.model.Rho(), cached.model.Rho())
+	}
+	for _, b := range bags {
+		sp, okP, err := plain.BagScore(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, okC, err := cached.BagScore(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if okP != okC || math.Float64bits(sp) != math.Float64bits(sc) {
+			t.Fatalf("bag %d: cached score %v/%v != plain %v/%v", b.ID, sc, okC, sp, okP)
+		}
+	}
+
+	// A retrain on a grown training set reuses the cached pairs.
+	grown := append([]Bag{}, bags...)
+	grown[4].Label = Positive
+	before := cache.Len()
+	regrown, err := Train(grown, copt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regrown.cache == nil {
+		t.Fatal("retrain left the cached path")
+	}
+	if cache.Len() <= before {
+		t.Fatalf("retrain added no pairs: %d -> %d", before, cache.Len())
+	}
+	plainRegrown, err := Train(grown, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range grown {
+		sp, _, err := plainRegrown.BagScore(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, _, err := regrown.BagScore(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(sp) != math.Float64bits(sc) {
+			t.Fatalf("retrained bag %d: %v != %v", b.ID, sc, sp)
+		}
+	}
+}
+
+// TestDistCacheFallsBack: missing keys, duplicate keys or an explicit
+// kernel must bypass the cache (and still train correctly).
+func TestDistCacheFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	cache := kernel.NewDistCache()
+	opt := DefaultOptions()
+	opt.DistCache = cache
+
+	noKeys := cachedBags(rng)
+	for i := range noKeys {
+		noKeys[i].Keys = nil
+	}
+	l, err := Train(noKeys, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.cache != nil {
+		t.Fatal("cached path engaged without keys")
+	}
+
+	dup := cachedBags(rng)
+	dup[0].Keys[1] = dup[0].Keys[0] // ambiguous identity inside one bag
+	l, err = Train(dup, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.cache != nil {
+		t.Fatal("cached path engaged with duplicate keys")
+	}
+
+	withKernel := cachedBags(rng)
+	kopt := opt
+	kopt.Kernel = kernel.Linear{}
+	l, err = Train(withKernel, kopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.cache != nil {
+		t.Fatal("cached path engaged with an explicit kernel")
+	}
+}

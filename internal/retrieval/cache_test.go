@@ -1,0 +1,52 @@
+package retrieval
+
+import (
+	"math/rand"
+	"testing"
+
+	"milvideo/internal/mil"
+)
+
+// TestMILCacheRankingsIdentical: a session run with cross-round kernel
+// caching must produce exactly the rankings of an uncached run, round
+// by round.
+func TestMILCacheRankingsIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	db, relevant := synthDB(rng, 6, 8, 40)
+	sess := &Session{DB: db, Oracle: oracleFor(relevant), TopK: 10}
+
+	plain, err := sess.Run(MILEngine{Opt: mil.DefaultOptions()}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := sess.Run(MILEngine{Opt: mil.DefaultOptions(), Cache: NewMILCache()}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Rounds[len(cached.Rounds)-1].NewLabels < 0 {
+		t.Fatal("impossible")
+	}
+	for r := range plain.Rounds {
+		p, c := plain.Rounds[r].Ranking, cached.Rounds[r].Ranking
+		if len(p) != len(c) {
+			t.Fatalf("round %d: ranking lengths %d vs %d", r, len(p), len(c))
+		}
+		for i := range p {
+			if p[i] != c[i] {
+				t.Fatalf("round %d: rankings diverge at position %d: %d vs %d", r, i, p[i], c[i])
+			}
+		}
+		if plain.Rounds[r].Accuracy != cached.Rounds[r].Accuracy {
+			t.Fatalf("round %d: accuracy %v vs %v", r, plain.Rounds[r].Accuracy, cached.Rounds[r].Accuracy)
+		}
+	}
+
+	// The cache actually filled.
+	eng := MILEngine{Opt: mil.DefaultOptions(), Cache: NewMILCache()}
+	if _, err := sess.Run(eng, 2); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Cache.dist.Len() == 0 {
+		t.Fatal("MILCache stayed empty across a session")
+	}
+}

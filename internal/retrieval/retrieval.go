@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 
+	"milvideo/internal/kernel"
 	"milvideo/internal/mil"
 	"milvideo/internal/rf"
 	"milvideo/internal/sim"
@@ -121,6 +122,20 @@ func heuristicRank(db []window.VS) []int {
 	return rankByScore(scores)
 }
 
+// MILCache carries kernel state a MILEngine reuses across the
+// feedback rounds of one retrieval session: the training sets of
+// consecutive rounds mostly overlap (feedback adds a handful of bags),
+// so their pairwise squared distances — and the instance↔SV distances
+// scoring needs — recur round after round. One cache is valid for
+// exactly one VS database: the instance identities it keys by
+// (VS index, track ID) must always name the same vectors.
+type MILCache struct {
+	dist *kernel.DistCache
+}
+
+// NewMILCache returns an empty cache for one database.
+func NewMILCache() *MILCache { return &MILCache{dist: kernel.NewDistCache()} }
+
 // MILEngine is the paper's proposed framework: bags from labeled VSs,
 // a One-class SVM trained with ν = δ from Eq. (9) on the training set
 // assembled per §5.3 — "the highest scored TSs in the relevant VSs" —
@@ -138,6 +153,9 @@ type MILEngine struct {
 	// (the ablation in the package benches: the unselected variant
 	// collapses onto the dense normal-driving cluster).
 	TopTSRatio float64
+	// Cache, when non-nil, enables cross-round kernel reuse (see
+	// MILCache). Results are bitwise identical with or without it.
+	Cache *MILCache
 }
 
 // Name implements Engine.
@@ -151,7 +169,11 @@ func (e MILEngine) Rank(db []window.VS, labels map[int]mil.Label) ([]int, error)
 	}
 	scoring := toBags(db, labels, 0) // full bags for scoring
 	training := toBags(db, labels, ratio)
-	learner, err := mil.Train(training, e.Opt)
+	opt := e.Opt
+	if e.Cache != nil && opt.DistCache == nil {
+		opt.DistCache = e.Cache.dist
+	}
+	learner, err := mil.Train(training, opt)
 	if errors.Is(err, mil.ErrNoPositiveBags) {
 		return heuristicRank(db), nil
 	}

@@ -3,9 +3,9 @@ package segment
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"milvideo/internal/frame"
-	"milvideo/internal/mat"
 )
 
 // PlaneModel is a planar intensity model I(x, y) = A + B·x + C·y, the
@@ -103,12 +103,28 @@ func SPCPE(img *frame.Gray, x0, y0, x1, y1 int, opt SPCPEOptions) (*SPCPEResult,
 		labels[i] = c
 	}
 
+	// Per-iteration state is hoisted out of the loop: the class
+	// accumulators are the only working storage the estimation step
+	// needs, so iterations allocate nothing.
 	models := make([]PlaneModel, opt.Classes)
+	accs := make([]planeAcc, opt.Classes)
 	iters := 0
 	for ; iters < opt.MaxIters; iters++ {
-		// Class-parameter estimation: least-squares plane per class.
+		// Class-parameter estimation: least-squares plane per class,
+		// via incremental normal-equation accumulators filled in one
+		// pass over the window.
+		for c := range accs {
+			accs[c] = planeAcc{}
+		}
+		for yy := 0; yy < h; yy++ {
+			fy := float64(yy)
+			row := labels[yy*w : (yy+1)*w]
+			for xx, l := range row {
+				accs[l].add(float64(xx), fy, intens[yy*w+xx])
+			}
+		}
 		for c := 0; c < opt.Classes; c++ {
-			model, ok := fitPlane(intens, labels, c, w)
+			model, ok := accs[c].fit()
 			if ok {
 				models[c] = model
 			}
@@ -148,39 +164,106 @@ func residual(m PlaneModel, x, y int, v float64) float64 {
 	return d * d
 }
 
-// fitPlane estimates the least-squares plane for the pixels of class c.
-// ok is false when the class has too few pixels or a degenerate
-// configuration for a stable fit.
-func fitPlane(intens []float64, labels []int, c, w int) (PlaneModel, bool) {
-	var xs, ys, vs []float64
-	for i, l := range labels {
-		if l != c {
-			continue
-		}
-		xs = append(xs, float64(i%w))
-		ys = append(ys, float64(i/w))
-		vs = append(vs, intens[i])
-	}
-	if len(vs) < 3 {
+// planeAcc accumulates the normal equations of the least-squares plane
+// fit v ≈ A + B·x + C·y: the symmetric 3×3 moment matrix and the
+// right-hand side, built incrementally so the fit needs no per-pixel
+// storage.
+type planeAcc struct {
+	n             float64
+	sx, sy        float64
+	sxx, sxy, syy float64
+	sv, sxv, syv  float64
+}
+
+// add accumulates one pixel.
+func (a *planeAcc) add(x, y, v float64) {
+	a.n++
+	a.sx += x
+	a.sy += y
+	a.sxx += x * x
+	a.sxy += x * y
+	a.syy += y * y
+	a.sv += v
+	a.sxv += x * v
+	a.syv += y * v
+}
+
+// fit solves the accumulated normal equations. ok is false when the
+// class has too few pixels for any fit; degenerate geometry (e.g. all
+// pixels in one column) falls back to the constant model at the class
+// mean, matching the reference least-squares implementation.
+func (a *planeAcc) fit() (PlaneModel, bool) {
+	if a.n < 3 {
 		return PlaneModel{}, false
 	}
-	a := mat.New(len(vs), 3)
-	for i := range vs {
-		a.Set(i, 0, 1)
-		a.Set(i, 1, xs[i])
-		a.Set(i, 2, ys[i])
-	}
-	coef, err := mat.LeastSquares(a, vs)
-	if err != nil {
-		// Degenerate geometry (e.g. all pixels in one column): fall
-		// back to the constant model at the class mean.
-		mean := 0.0
-		for _, v := range vs {
-			mean += v
-		}
-		return PlaneModel{A: mean / float64(len(vs))}, true
+	coef, ok := solve3(
+		[3][3]float64{
+			{a.n, a.sx, a.sy},
+			{a.sx, a.sxx, a.sxy},
+			{a.sy, a.sxy, a.syy},
+		},
+		[3]float64{a.sv, a.sxv, a.syv},
+	)
+	if !ok {
+		return PlaneModel{A: a.sv / a.n}, true
 	}
 	return PlaneModel{A: coef[0], B: coef[1], C: coef[2]}, true
+}
+
+// solve3 solves the 3×3 system m·x = b by Gaussian elimination with
+// partial pivoting, entirely on the stack. ok is false for
+// (numerically) singular systems.
+func solve3(m [3][3]float64, b [3]float64) ([3]float64, bool) {
+	// Scale-aware singularity threshold: the moment matrix entries grow
+	// with the pixel count and window extent, so an absolute epsilon
+	// would misclassify large windows.
+	maxAbs := 0.0
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if v := math.Abs(m[i][j]); v > maxAbs {
+				maxAbs = v
+			}
+		}
+	}
+	if maxAbs == 0 {
+		return [3]float64{}, false
+	}
+	tol := 1e-10 * maxAbs
+	for col := 0; col < 3; col++ {
+		piv, best := col, math.Abs(m[col][col])
+		for r := col + 1; r < 3; r++ {
+			if v := math.Abs(m[r][col]); v > best {
+				piv, best = r, v
+			}
+		}
+		if best < tol {
+			return [3]float64{}, false
+		}
+		if piv != col {
+			m[col], m[piv] = m[piv], m[col]
+			b[col], b[piv] = b[piv], b[col]
+		}
+		inv := 1 / m[col][col]
+		for r := col + 1; r < 3; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < 3; j++ {
+				m[r][j] -= f * m[col][j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	var x [3]float64
+	for i := 2; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < 3; j++ {
+			s -= m[i][j] * x[j]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, true
 }
 
 // ClassPixelCount returns how many window pixels carry class c.

@@ -24,6 +24,12 @@ type BinaryOptions struct {
 	Tol float64
 	// MaxIter caps SMO iterations (default 200·n, floor 20000).
 	MaxIter int
+	// CacheRows bounds the kernel-row cache exactly as
+	// Options.CacheRows does for the one-class trainer.
+	CacheRows int
+	// Gram, when non-nil, is the precomputed training-set Gram matrix
+	// K[i][j] = Kernel(X[i], X[j]); see Options.Gram.
+	Gram [][]float64
 }
 
 // Binary is a trained two-class kernel SVM, the building block of the
@@ -86,7 +92,11 @@ func TrainBinary(X [][]float64, y []bool, opt BinaryOptions) (*Binary, error) {
 		}
 	}
 
-	gram, err := kernel.Matrix(opt.Kernel, X)
+	rows, err := solverRows(opt.Kernel, X, opt.Gram, opt.CacheRows)
+	if err != nil {
+		return nil, err
+	}
+	diag, err := rows.diag()
 	if err != nil {
 		return nil, err
 	}
@@ -126,9 +136,17 @@ func TrainBinary(X [][]float64, y []bool, opt BinaryOptions) (*Binary, error) {
 		if i < 0 || j < 0 || gmax-gmin <= opt.Tol {
 			break
 		}
+		rowI, err := rows.row(i)
+		if err != nil {
+			return nil, err
+		}
+		rowJ, err := rows.row(j)
+		if err != nil {
+			return nil, err
+		}
 		// Two-variable analytic step along the feasible direction.
-		qii, qjj := gram[i][i], gram[j][j]
-		qij := ys[i] * ys[j] * gram[i][j]
+		qii, qjj := diag[i], diag[j]
+		qij := ys[i] * ys[j] * rowI[j]
 		eta := qii + qjj - 2*qij
 		if eta <= 1e-15 {
 			eta = 1e-12
@@ -163,9 +181,11 @@ func TrainBinary(X [][]float64, y []bool, opt BinaryOptions) (*Binary, error) {
 			break
 		}
 		alpha[i], alpha[j] = ai, aj
+		// rowI[k] == gram[k][i] by kernel symmetry (bitwise: the eager
+		// matrix mirrored the same value into both cells).
 		for k := 0; k < n; k++ {
-			grad[k] += ys[k] * ys[i] * gram[k][i] * dAi
-			grad[k] += ys[k] * ys[j] * gram[k][j] * dAj
+			grad[k] += ys[k] * ys[i] * rowI[k] * dAi
+			grad[k] += ys[k] * ys[j] * rowJ[k] * dAj
 		}
 	}
 

@@ -39,6 +39,17 @@ type Options struct {
 	// MaxIter caps SMO iterations (default 100·n², generous for the
 	// problem sizes here).
 	MaxIter int
+	// CacheRows bounds the kernel-row cache: at most this many Gram
+	// rows are kept resident (LRU), evicted rows being recomputed on
+	// demand. 0 caches every touched row. The cached and uncached
+	// paths produce bitwise-identical models.
+	CacheRows int
+	// Gram, when non-nil, is the precomputed training-set Gram matrix
+	// K[i][j] = Kernel(X[i], X[j]); the solver then evaluates no
+	// kernels during training (Kernel is still required for Decision).
+	// Callers reusing distance caches across retrains (internal/mil)
+	// build Gram themselves.
+	Gram [][]float64
 }
 
 // OneClass is a trained one-class model.
@@ -46,6 +57,7 @@ type OneClass struct {
 	kernel  kernel.Kernel
 	sv      [][]float64 // support vectors (αᵢ > 0)
 	alpha   []float64   // their coefficients
+	svIdx   []int       // training-set index of each support vector
 	rho     float64
 	dim     int
 	nTrain  int
@@ -90,16 +102,13 @@ func TrainOneClass(X [][]float64, opt Options) (*OneClass, error) {
 		}
 	}
 
-	gram, err := kernel.Matrix(opt.Kernel, X)
+	rows, err := solverRows(opt.Kernel, X, opt.Gram, opt.CacheRows)
 	if err != nil {
 		return nil, err
 	}
-	for i := range gram {
-		for j := range gram[i] {
-			if math.IsNaN(gram[i][j]) {
-				return nil, fmt.Errorf("svm: kernel produced NaN at (%d,%d)", i, j)
-			}
-		}
+	diag, err := rows.diag()
+	if err != nil {
+		return nil, err
 	}
 
 	c := 1 / (opt.Nu * float64(n)) // upper box bound
@@ -113,16 +122,22 @@ func TrainOneClass(X [][]float64, opt Options) (*OneClass, error) {
 		remaining -= a
 	}
 
-	// Gradient gᵢ = (Kα)ᵢ.
+	// Gradient gᵢ = (Kα)ᵢ, accumulated row by row over the nonzero
+	// coefficients (row j supplies column j by kernel symmetry), so
+	// only the ⌊νn⌋+1 initialized rows are ever evaluated.
 	g := make([]float64, n)
-	for i := 0; i < n; i++ {
-		s := 0.0
-		for j := 0; j < n; j++ {
-			if alpha[j] != 0 {
-				s += gram[i][j] * alpha[j]
-			}
+	for j := 0; j < n; j++ {
+		if alpha[j] == 0 {
+			continue
 		}
-		g[i] = s
+		rowJ, err := rows.row(j)
+		if err != nil {
+			return nil, err
+		}
+		aj := alpha[j]
+		for i := 0; i < n; i++ {
+			g[i] += rowJ[i] * aj
+		}
 	}
 
 	iters := 0
@@ -143,9 +158,17 @@ func TrainOneClass(X [][]float64, opt Options) (*OneClass, error) {
 		if i < 0 || j < 0 || i == j || gj-gi <= opt.Tol {
 			break
 		}
+		rowI, err := rows.row(i)
+		if err != nil {
+			return nil, err
+		}
+		rowJ, err := rows.row(j)
+		if err != nil {
+			return nil, err
+		}
 		// Optimize along e_i − e_j: Δobj(t) = ½ηt² + (gᵢ−gⱼ)t with
 		// η = Kᵢᵢ + Kⱼⱼ − 2Kᵢⱼ ≥ 0.
-		eta := gram[i][i] + gram[j][j] - 2*gram[i][j]
+		eta := diag[i] + diag[j] - 2*rowI[j]
 		var t float64
 		if eta > 1e-15 {
 			t = (gj - gi) / eta
@@ -164,7 +187,7 @@ func TrainOneClass(X [][]float64, opt Options) (*OneClass, error) {
 		alpha[i] += t
 		alpha[j] -= t
 		for k := 0; k < n; k++ {
-			g[k] += t * (gram[k][i] - gram[k][j])
+			g[k] += t * (rowI[k] - rowJ[k])
 		}
 	}
 
@@ -218,6 +241,7 @@ func TrainOneClass(X [][]float64, opt Options) (*OneClass, error) {
 			copy(v, X[k])
 			m.sv = append(m.sv, v)
 			m.alpha = append(m.alpha, alpha[k])
+			m.svIdx = append(m.svIdx, k)
 		}
 	}
 	return m, nil
@@ -242,6 +266,31 @@ func (m *OneClass) Predict(x []float64) (bool, error) {
 	d, err := m.Decision(x)
 	return d >= 0, err
 }
+
+// DecisionFromKernel returns f(x) = Σᵢ αᵢ·kvals[i] − ρ, where kvals[i]
+// is the caller-evaluated K(svᵢ, x) for the i-th support vector (order
+// of SupportIndices). Bitwise identical to Decision when the kvals
+// match the model kernel's evaluations — callers that memoize squared
+// distances (internal/mil) use it to score without re-deriving the
+// distances.
+func (m *OneClass) DecisionFromKernel(kvals []float64) (float64, error) {
+	if len(kvals) != len(m.sv) {
+		return 0, fmt.Errorf("svm: %d kernel values for %d support vectors", len(kvals), len(m.sv))
+	}
+	s := 0.0
+	for i, a := range m.alpha {
+		s += a * kvals[i]
+	}
+	return s - m.rho, nil
+}
+
+// SupportIndices returns the training-set index of each support
+// vector, in support-vector order. The slice is read-only.
+func (m *OneClass) SupportIndices() []int { return m.svIdx }
+
+// SupportVector returns the i-th support vector. The slice is
+// read-only.
+func (m *OneClass) SupportVector(i int) []float64 { return m.sv[i] }
 
 // NSupport returns the number of support vectors.
 func (m *OneClass) NSupport() int { return len(m.sv) }

@@ -114,6 +114,11 @@ type Options struct {
 	// KalmanProcessNoise and KalmanMeasurementNoise tune the filter;
 	// zero values take the defaults (0.5 px/frame², 1.5 px).
 	KalmanProcessNoise, KalmanMeasurementNoise float64
+	// Workers bounds the per-frame segmentation pool in Video; 0 sizes
+	// it by GOMAXPROCS. The frame results are consumed in frame order
+	// regardless, so the worker count never changes the output
+	// (determinism tests pin it to compare pool sizes).
+	Workers int
 }
 
 // DefaultOptions returns the association parameters used by the
@@ -306,9 +311,9 @@ var ErrEmptyVideo = errors.New("track: empty video")
 
 // Video runs segmentation and tracking over an entire clip and
 // returns the confirmed tracks. Per-frame segmentation is independent
-// work and runs on a bounded worker pool (one worker per CPU);
-// association is inherently sequential and consumes the results in
-// frame order.
+// work and runs on a bounded worker pool (sized by Options.Workers,
+// default GOMAXPROCS, capped at the frame count); association is
+// inherently sequential and consumes the results in frame order.
 func Video(ex *segment.Extractor, v *frame.Video, opt Options) ([]*Track, error) {
 	if v == nil || len(v.Frames) == 0 {
 		return nil, ErrEmptyVideo
@@ -318,7 +323,10 @@ func Video(ex *segment.Extractor, v *frame.Video, opt Options) ([]*Track, error)
 		err  error
 	}
 	results := make([]result, len(v.Frames))
-	workers := runtime.NumCPU()
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(v.Frames) {
 		workers = len(v.Frames)
 	}

@@ -1,0 +1,60 @@
+package track
+
+import (
+	"testing"
+
+	"milvideo/internal/render"
+	"milvideo/internal/segment"
+	"milvideo/internal/sim"
+)
+
+// TestVideoWorkersDeterminism: the per-frame segmentation pool must
+// produce identical tracks for any worker count (association consumes
+// results in frame order regardless of completion order).
+func TestVideoWorkersDeterminism(t *testing.T) {
+	scene, err := sim.Tunnel(sim.TunnelConfig{Frames: 120, Seed: 11, SpawnEvery: 50, WallCrash: 1, FPS: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip, err := render.Video(scene, render.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) []*Track {
+		t.Helper()
+		ex, err := segment.NewExtractor(clip, segment.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := DefaultOptions()
+		opt.Workers = workers
+		tracks, err := Video(ex, clip, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tracks
+	}
+	serial := run(1)
+	if len(serial) == 0 {
+		t.Fatal("no tracks from the test clip")
+	}
+	for _, w := range []int{2, 4} {
+		par := run(w)
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d tracks vs %d", w, len(par), len(serial))
+		}
+		for i := range serial {
+			a, b := serial[i], par[i]
+			if a.ID != b.ID || a.Len() != b.Len() || a.Start() != b.Start() || a.End() != b.End() {
+				t.Fatalf("workers=%d: track %d differs: %d/%d obs, span %d-%d vs %d-%d",
+					w, i, a.Len(), b.Len(), a.Start(), a.End(), b.Start(), b.End())
+			}
+			for j := range a.Observations {
+				oa, ob := a.Observations[j], b.Observations[j]
+				if oa.Frame != ob.Frame || oa.Centroid != ob.Centroid || oa.Predicted != ob.Predicted {
+					t.Fatalf("workers=%d: track %d obs %d differs: %+v vs %+v", w, i, j, oa, ob)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI gate: formatting, vet, the tier-1 build/test pair, and a
+# race-detector pass over the internal packages (the concurrent paths:
+# segment background strips, kernel Gram workers, track frame pool,
+# experiment sweeps, and the kernel distance cache).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== build =="
+go build ./...
+
+echo "== test =="
+go test ./...
+
+echo "== race (internal) =="
+go test -race ./internal/...
+
+echo "CI OK"
