@@ -26,6 +26,7 @@ import (
 	"milvideo/internal/sim"
 	"milvideo/internal/svm"
 	"milvideo/internal/trajectory"
+	"milvideo/internal/videodb"
 	"milvideo/internal/window"
 
 	"math/rand"
@@ -438,6 +439,65 @@ func BenchmarkWeightedRFRank(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := engine.Rank(db, labels); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestSequentialClip measures the stage-by-stage reference
+// pipeline (segment all frames, then track, then window) on a
+// pre-rendered 300-frame clip — the baseline for the streaming path.
+func BenchmarkIngestSequentialClip(b *testing.B) {
+	scene := benchScene(b)
+	clip, err := render.Video(scene, render.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ProcessVideoSequential(clip, core.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestStreamClip measures the streaming pipeline
+// (segmentation workers overlapped with tracking, pooled buffers) on
+// the same pre-rendered clip.
+func BenchmarkIngestStreamClip(b *testing.B) {
+	scene := benchScene(b)
+	clip, err := render.Video(scene, render.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ProcessVideoStream(clip, core.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIngestBatchScenes measures concurrent multi-clip ingest:
+// four short distinct-seed clips rendered, processed and stored into a
+// fresh catalog per op.
+func BenchmarkIngestBatchScenes(b *testing.B) {
+	jobs := make([]core.IngestJob, 4)
+	for i := range jobs {
+		s, err := sim.Tunnel(sim.TunnelConfig{
+			Frames: 100, Seed: int64(i + 1), SpawnEvery: 80, WallCrash: 1, FPS: 25,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs[i] = core.IngestJob{Name: s.Name + "-" + strconv.Itoa(i+1), Scene: s}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := core.IngestScenes(videodb.New(), jobs, core.IngestOptions{Config: core.DefaultConfig()})
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
 		}
 	}
 }

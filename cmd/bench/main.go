@@ -3,6 +3,13 @@
 // root by default, picking the next free number) so performance can be
 // tracked across commits without parsing `go test -bench` text output.
 //
+// Every stage is measured twice: serial (GOMAXPROCS=1) and parallel
+// (GOMAXPROCS=max(2, NumCPU)), so snapshots record both the
+// single-core cost and whatever overlap the host can actually deliver.
+// On a single-core host the parallel numbers show the scheduling
+// overhead of the concurrent paths, not a speedup — compare
+// snapshot.num_cpu before reading them as scaling results.
+//
 // Usage:
 //
 //	go run ./cmd/bench            # writes BENCH_<n>.json
@@ -20,6 +27,7 @@ import (
 	"testing"
 	"time"
 
+	"milvideo/internal/core"
 	"milvideo/internal/experiments"
 	"milvideo/internal/kernel"
 	"milvideo/internal/mil"
@@ -28,24 +36,33 @@ import (
 	"milvideo/internal/segment"
 	"milvideo/internal/sim"
 	"milvideo/internal/svm"
+	"milvideo/internal/videodb"
 	"milvideo/internal/window"
 )
 
-// Result is one stage's measurement.
-type Result struct {
-	Name        string  `json:"name"`
+// Measurement is one benchmark run of a stage at a fixed GOMAXPROCS.
+type Measurement struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	Iterations  int     `json:"iterations"`
 }
 
+// Result is one stage's serial and parallel measurements.
+type Result struct {
+	Name     string      `json:"name"`
+	Serial   Measurement `json:"serial"`
+	Parallel Measurement `json:"parallel"`
+}
+
 // Snapshot is the file format.
 type Snapshot struct {
-	Generated  string   `json:"generated"`
-	GoVersion  string   `json:"go_version"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Stages     []Result `json:"stages"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// ParallelProcs is the GOMAXPROCS the parallel measurements ran at.
+	ParallelProcs int      `json:"parallel_procs"`
+	Stages        []Result `json:"stages"`
 }
 
 type stage struct {
@@ -64,26 +81,31 @@ func main() {
 		os.Exit(1)
 	}
 
-	snap := Snapshot{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	parallelProcs := runtime.NumCPU()
+	if parallelProcs < 2 {
+		parallelProcs = 2
 	}
+	snap := Snapshot{
+		Generated:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		ParallelProcs: parallelProcs,
+	}
+	prev := runtime.GOMAXPROCS(0)
 	for _, s := range stages {
 		if *only != "" && s.name != *only {
 			continue
 		}
-		r := testing.Benchmark(s.fn)
-		snap.Stages = append(snap.Stages, Result{
-			Name:        s.name,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			Iterations:  r.N,
-		})
-		fmt.Fprintf(os.Stderr, "%-24s %14.0f ns/op %10d allocs/op\n",
-			s.name, snap.Stages[len(snap.Stages)-1].NsPerOp, r.AllocsPerOp())
+		r := Result{
+			Name:     s.name,
+			Serial:   measure(s.fn, 1),
+			Parallel: measure(s.fn, parallelProcs),
+		}
+		snap.Stages = append(snap.Stages, r)
+		fmt.Fprintf(os.Stderr, "%-28s serial %14.0f ns/op %10d allocs/op | parallel %14.0f ns/op\n",
+			s.name, r.Serial.NsPerOp, r.Serial.AllocsPerOp, r.Parallel.NsPerOp)
 	}
+	runtime.GOMAXPROCS(prev)
 	if len(snap.Stages) == 0 {
 		fmt.Fprintf(os.Stderr, "bench: no stage matches %q\n", *only)
 		os.Exit(1)
@@ -108,6 +130,20 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(path)
+}
+
+// measure runs one stage under testing.Benchmark at the given
+// GOMAXPROCS.
+func measure(fn func(b *testing.B), procs int) Measurement {
+	prev := runtime.GOMAXPROCS(procs)
+	r := testing.Benchmark(fn)
+	runtime.GOMAXPROCS(prev)
+	return Measurement{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
 }
 
 // nextBenchPath returns BENCH_<n>.json for the smallest unused n ≥ 1.
@@ -140,6 +176,20 @@ func buildStages(only string) ([]stage, error) {
 		return nil, err
 	}
 	midFrame := clip.Frames[len(clip.Frames)/2]
+	cfg := core.DefaultConfig()
+
+	// The batch-ingest fixture: eight short tunnel clips with distinct
+	// seeds, ingested into a fresh catalog each op.
+	batchJobs := make([]core.IngestJob, 8)
+	for i := range batchJobs {
+		s, err := sim.Tunnel(sim.TunnelConfig{
+			Frames: 100, Seed: int64(i + 1), SpawnEvery: 80, WallCrash: 1, FPS: 25,
+		})
+		if err != nil {
+			return nil, err
+		}
+		batchJobs[i] = core.IngestJob{Name: fmt.Sprintf("tunnel-%d", i+1), Scene: s}
+	}
 
 	svmX := gaussians(1, 60, 9)
 	gramX := gaussians(4, 200, 9)
@@ -149,13 +199,8 @@ func buildStages(only string) ([]stage, error) {
 	// steady-state experiment cost, not the one-time clip construction
 	// (render + segment + track dominates a cold run by ~4 orders of
 	// magnitude). Skipped when -stage selects a non-figure stage.
-	if only == "" || only == "figure8_warm" {
-		if _, err := experiments.Figure8(); err != nil {
-			return nil, err
-		}
-	}
-	if only == "" || only == "figure9_warm" {
-		if _, err := experiments.Figure9(); err != nil {
+	if only == "" || only == "figure8_warm" || only == "figure9_warm" {
+		if err := experiments.WarmClips(); err != nil {
 			return nil, err
 		}
 	}
@@ -169,6 +214,23 @@ func buildStages(only string) ([]stage, error) {
 		}},
 		{"segmentation_per_frame", func(b *testing.B) {
 			benchErr(b, func() error { _, err := ex.Segments(midFrame); return err })
+		}},
+		{"ingest_sequential_clip", func(b *testing.B) {
+			benchErr(b, func() error { _, err := core.ProcessVideoSequential(clip, cfg); return err })
+		}},
+		{"ingest_stream_clip", func(b *testing.B) {
+			benchErr(b, func() error { _, err := core.ProcessVideoStream(clip, cfg); return err })
+		}},
+		{"ingest_batch_8clips", func(b *testing.B) {
+			benchErr(b, func() error {
+				results := core.IngestScenes(videodb.New(), batchJobs, core.IngestOptions{Config: cfg})
+				for _, r := range results {
+					if r.Err != nil {
+						return r.Err
+					}
+				}
+				return nil
+			})
 		}},
 		{"kernel_gram_200x9", func(b *testing.B) {
 			k := kernel.RBF{Sigma: 1}
@@ -184,8 +246,23 @@ func buildStages(only string) ([]stage, error) {
 			engine := retrieval.MILEngine{Opt: mil.DefaultOptions()}
 			benchErr(b, func() error { _, err := engine.Rank(db, labels); return err })
 		}},
-		{"mil_rank_200bags_cached", func(b *testing.B) {
+		{"mil_rank_200bags_cache_cold", func(b *testing.B) {
+			// A fresh cache every op: first-feedback-round cost, where
+			// every pair is a miss that must also be stored.
+			benchErr(b, func() error {
+				engine := retrieval.MILEngine{Opt: mil.DefaultOptions(), Cache: retrieval.NewMILCache()}
+				_, err := engine.Rank(db, labels)
+				return err
+			})
+		}},
+		{"mil_rank_200bags_cache_warm", func(b *testing.B) {
+			// One shared cache, prewarmed before timing: the steady-state
+			// cost of every feedback round after the first.
 			engine := retrieval.MILEngine{Opt: mil.DefaultOptions(), Cache: retrieval.NewMILCache()}
+			if _, err := engine.Rank(db, labels); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
 			benchErr(b, func() error { _, err := engine.Rank(db, labels); return err })
 		}},
 		{"figure8_warm", func(b *testing.B) {

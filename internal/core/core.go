@@ -33,6 +33,10 @@ type Config struct {
 	Segment segment.Options
 	Track   track.Options
 	Window  window.Config
+	// Stream tunes the streaming ingestion pipeline (channel depth,
+	// batch size, segmentation workers); zero values take defaults.
+	// Stream settings never change the output, only the schedule.
+	Stream StreamConfig
 	// Model is the event model; nil means the paper's accident model.
 	Model event.Model
 }
@@ -68,26 +72,27 @@ type Clip struct {
 // ProcessScene renders the scene and runs the vision pipeline on the
 // rendered pixels. The scene itself is only retained as ground truth
 // for the feedback oracle and tracking evaluation — the learning
-// stages never see it.
+// stages never see it. Since PR 2 this is the streaming pipeline
+// (ProcessSceneStream); the output is byte-identical to the
+// sequential path.
 func ProcessScene(scene *sim.Scene, cfg Config) (*Clip, error) {
-	if scene == nil {
-		return nil, errors.New("core: nil scene")
-	}
-	v, err := render.Video(scene, cfg.Render)
-	if err != nil {
-		return nil, fmt.Errorf("core: render: %w", err)
-	}
-	c, err := ProcessVideo(v, cfg)
-	if err != nil {
-		return nil, err
-	}
-	c.Scene = scene
-	return c, nil
+	return ProcessSceneStream(scene, cfg)
 }
 
 // ProcessVideo runs segmentation, tracking, trajectory sampling and
-// window extraction over an arbitrary clip.
+// window extraction over an arbitrary clip. Since PR 2 this is the
+// streaming pipeline (ProcessVideoStream); the output is
+// byte-identical to ProcessVideoSequential.
 func ProcessVideo(v *frame.Video, cfg Config) (*Clip, error) {
+	return ProcessVideoStream(v, cfg)
+}
+
+// ProcessVideoSequential is the original stage-by-stage pipeline:
+// segmentation over the whole clip (track.Video's worker pool), then
+// tracking, then windowing, with no inter-stage overlap. It is kept as
+// the reference implementation the streaming path is verified against,
+// and as the baseline for the ingest benchmarks.
+func ProcessVideoSequential(v *frame.Video, cfg Config) (*Clip, error) {
 	if v == nil {
 		return nil, errors.New("core: nil video")
 	}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"milvideo/internal/sim"
+	"milvideo/internal/videodb"
+)
+
+// IngestJob names one scene to ingest. An empty Name falls back to the
+// scene's own name.
+type IngestJob struct {
+	Name  string
+	Scene *sim.Scene
+}
+
+// IngestResult reports one job's outcome. Exactly one of Record and
+// Err is nil: a failed clip carries its error and never reaches the
+// database, without affecting the other jobs in the batch.
+type IngestResult struct {
+	Name   string
+	Record *videodb.ClipRecord
+	// Clip holds the full processed clip only when
+	// IngestOptions.KeepClips is set; by default the pixel frames are
+	// recycled to the frame pool once the record is built.
+	Clip *Clip
+	Err  error
+}
+
+// IngestOptions configures a batch ingest.
+type IngestOptions struct {
+	// Config is the per-clip pipeline configuration.
+	Config Config
+	// Workers bounds the clip-level worker pool; 0 sizes it by
+	// GOMAXPROCS (capped at the job count). Each worker runs the full
+	// streaming pipeline for one clip at a time.
+	Workers int
+	// KeepClips retains each processed Clip (pixels, tracks, VSs) in
+	// its result. Off by default: ingestion's product is the database
+	// record, and recycling the rendered frames keeps the peak memory
+	// of a large batch near one clip's worth per worker.
+	KeepClips bool
+}
+
+// IngestScenes processes a batch of scenes concurrently on a bounded
+// worker pool and stores each successful clip's record in db (which
+// may be receiving clips from other goroutines at the same time; pass
+// nil to skip storage). Jobs are isolated: a clip that fails to
+// render, process, or store reports its error in its own result slot
+// and the rest of the batch proceeds. Results are returned in job
+// order.
+func IngestScenes(db *videodb.DB, jobs []IngestJob, opt IngestOptions) []IngestResult {
+	results := make([]IngestResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = ingestOne(db, jobs[i], opt)
+			}
+		}()
+	}
+	for i := range jobs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return results
+}
+
+// ingestOne runs one job end to end: process, record, store, recycle.
+func ingestOne(db *videodb.DB, job IngestJob, opt IngestOptions) IngestResult {
+	name := job.Name
+	if name == "" && job.Scene != nil {
+		name = job.Scene.Name
+	}
+	res := IngestResult{Name: name}
+	fail := func(err error) IngestResult {
+		res.Err = fmt.Errorf("core: ingest %q: %w", name, err)
+		return res
+	}
+	clip, err := ProcessSceneStream(job.Scene, opt.Config)
+	if err != nil {
+		return fail(err)
+	}
+	rec, err := clip.Record(name)
+	if err != nil {
+		return fail(err)
+	}
+	if db != nil {
+		if err := db.Add(rec); err != nil {
+			return fail(err)
+		}
+	}
+	res.Record = rec
+	if opt.KeepClips {
+		res.Clip = clip
+	} else {
+		clip.Video.Recycle()
+	}
+	return res
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"milvideo/internal/sim"
+	"milvideo/internal/videodb"
+)
+
+// ingestJobs builds n short distinct-seed tunnel jobs.
+func ingestJobs(t *testing.T, n int) []IngestJob {
+	t.Helper()
+	jobs := make([]IngestJob, n)
+	for i := range jobs {
+		s, err := sim.Tunnel(sim.TunnelConfig{
+			Frames: 80, Seed: int64(i + 1), SpawnEvery: 40, WallCrash: 1, FPS: 25,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = IngestJob{Name: "clip-" + string(rune('a'+i)), Scene: s}
+	}
+	return jobs
+}
+
+// TestIngestScenes exercises the batch path end to end: every clip
+// lands in the database with a valid record, results arrive in job
+// order, and the rendered frames are recycled by default.
+func TestIngestScenes(t *testing.T) {
+	db := videodb.New()
+	jobs := ingestJobs(t, 3)
+	results := IngestScenes(db, jobs, IngestOptions{Config: DefaultConfig(), Workers: 2})
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(results), len(jobs))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.Name != jobs[i].Name {
+			t.Fatalf("result %d is %q, want %q (order)", i, r.Name, jobs[i].Name)
+		}
+		if r.Record == nil || r.Record.Frames != 80 {
+			t.Fatalf("job %d: bad record %+v", i, r.Record)
+		}
+		if r.Clip != nil {
+			t.Fatalf("job %d: clip retained without KeepClips", i)
+		}
+		if _, err := db.Clip(r.Name); err != nil {
+			t.Fatalf("job %d not stored: %v", i, err)
+		}
+	}
+	if db.Len() != len(jobs) {
+		t.Fatalf("db has %d clips, want %d", db.Len(), len(jobs))
+	}
+}
+
+// TestIngestScenesIsolatesFailures injects a failing job (nil scene)
+// and a duplicate name into a batch: each failure stays in its own
+// result slot and the healthy clips still land in the database.
+func TestIngestScenesIsolatesFailures(t *testing.T) {
+	db := videodb.New()
+	jobs := ingestJobs(t, 3)
+	jobs[1] = IngestJob{Name: "broken", Scene: nil}
+	jobs = append(jobs, IngestJob{Name: jobs[0].Name, Scene: jobs[2].Scene}) // duplicate name
+
+	results := IngestScenes(db, jobs, IngestOptions{Config: DefaultConfig(), Workers: 1})
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy jobs failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), `"broken"`) {
+		t.Fatalf("nil-scene job error = %v, want named error", results[1].Err)
+	}
+	if results[3].Err == nil || !errors.Is(results[3].Err, videodb.ErrDuplicate) {
+		t.Fatalf("duplicate job error = %v, want ErrDuplicate", results[3].Err)
+	}
+	if db.Len() != 2 {
+		t.Fatalf("db has %d clips, want the 2 healthy ones", db.Len())
+	}
+}
+
+// TestIngestScenesKeepClips retains full clips on request and falls
+// back to the scene name when the job has none.
+func TestIngestScenesKeepClips(t *testing.T) {
+	jobs := ingestJobs(t, 1)
+	jobs[0].Name = "" // fall back to scene name
+	results := IngestScenes(nil, jobs, IngestOptions{Config: DefaultConfig(), KeepClips: true})
+	r := results[0]
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Name != jobs[0].Scene.Name {
+		t.Fatalf("name %q, want scene name %q", r.Name, jobs[0].Scene.Name)
+	}
+	if r.Clip == nil || r.Clip.Video.Len() != 80 {
+		t.Fatal("KeepClips did not retain the processed clip")
+	}
+}
+
+// TestIngestScenesConcurrentDB runs two batches into one catalog
+// concurrently while a reader drains names — the shared-DB ingest
+// scenario the locking must survive (run with -race).
+func TestIngestScenesConcurrentDB(t *testing.T) {
+	db := videodb.New()
+	a := ingestJobs(t, 2)
+	b := ingestJobs(t, 2)
+	b[0].Name, b[1].Name = "other-a", "other-b"
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	errs := make([][]IngestResult, 2)
+	go func() { defer wg.Done(); errs[0] = IngestScenes(db, a, IngestOptions{Config: DefaultConfig()}) }()
+	go func() { defer wg.Done(); errs[1] = IngestScenes(db, b, IngestOptions{Config: DefaultConfig()}) }()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			db.Names()
+			db.Len()
+		}
+	}()
+	wg.Wait()
+	for _, batch := range errs {
+		for _, r := range batch {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+		}
+	}
+	if db.Len() != 4 {
+		t.Fatalf("db has %d clips, want 4", db.Len())
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package core
+
+// raceDetectorOn mirrors race_on_test.go; see there.
+const raceDetectorOn = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceDetectorOn trims the streaming identity sweeps under the race
+// detector (10–20× slower per pipeline run): the race run keeps one
+// scene and the interesting concurrency shapes, while the regular run
+// stays exhaustive.
+const raceDetectorOn = true

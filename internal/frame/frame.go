@@ -114,30 +114,52 @@ func (g *Gray) AddNoise(rng *rand.Rand, amp int) {
 
 // AbsDiff returns |g − h| pixelwise. The frames must agree in size.
 func AbsDiff(g, h *Gray) (*Gray, error) {
-	if g.W != h.W || g.H != h.H {
-		return nil, fmt.Errorf("frame: size mismatch %dx%d vs %dx%d", g.W, g.H, h.W, h.H)
-	}
 	out := NewGray(g.W, g.H)
+	if err := AbsDiffInto(out, g, h); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AbsDiffInto writes |g − h| pixelwise into dst, which must already
+// hold a pixel buffer of the right length (every pixel is overwritten,
+// so a recycled dirty buffer is fine). The frames must agree in size.
+func AbsDiffInto(dst, g, h *Gray) error {
+	if g.W != h.W || g.H != h.H {
+		return fmt.Errorf("frame: size mismatch %dx%d vs %dx%d", g.W, g.H, h.W, h.H)
+	}
+	if dst.W != g.W || dst.H != g.H {
+		return fmt.Errorf("frame: size mismatch %dx%d vs %dx%d", dst.W, dst.H, g.W, g.H)
+	}
 	for i := range g.Pix {
 		d := int(g.Pix[i]) - int(h.Pix[i])
 		if d < 0 {
 			d = -d
 		}
-		out.Pix[i] = uint8(d)
+		dst.Pix[i] = uint8(d)
 	}
-	return out, nil
+	return nil
 }
 
 // Threshold returns the binary mask of pixels >= t (255 for
 // foreground, 0 for background).
 func (g *Gray) Threshold(t uint8) *Gray {
 	out := NewGray(g.W, g.H)
+	g.ThresholdInto(out, t)
+	return out
+}
+
+// ThresholdInto writes the binary mask of pixels >= t into dst (255
+// for foreground, 0 for background). dst must match g in size; every
+// pixel is overwritten.
+func (g *Gray) ThresholdInto(dst *Gray, t uint8) {
 	for i, p := range g.Pix {
 		if p >= t {
-			out.Pix[i] = 255
+			dst.Pix[i] = 255
+		} else {
+			dst.Pix[i] = 0
 		}
 	}
-	return out
 }
 
 // CountAbove returns how many pixels are >= t.

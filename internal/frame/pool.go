@@ -1,0 +1,62 @@
+package frame
+
+import (
+	"fmt"
+	"sync"
+)
+
+// grayPool recycles frame-sized pixel buffers. Steady-state video
+// ingestion allocates one frame per rendered image plus several
+// working masks per segmented frame; recycling them through a pool
+// drops the per-frame allocation rate (and the GC pressure it causes)
+// to near zero. Buffers of any size share one pool: a pooled frame
+// whose capacity cannot hold the requested size is simply dropped and
+// a fresh one allocated.
+var grayPool sync.Pool
+
+// GetGray returns a zeroed w×h frame, reusing a pooled pixel buffer
+// when one of sufficient capacity is available. Like NewGray it panics
+// on non-positive dimensions. The caller owns the frame until it hands
+// it back via PutGray (which is optional — frames that outlive their
+// producer, e.g. a clip kept for later inspection, can simply be
+// retained).
+func GetGray(w, h int) *Gray {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("frame: invalid dimensions %dx%d", w, h))
+	}
+	n := w * h
+	if g, _ := grayPool.Get().(*Gray); g != nil && cap(g.Pix) >= n {
+		g.W, g.H = w, h
+		g.Pix = g.Pix[:n]
+		clear(g.Pix)
+		return g
+	}
+	return NewGray(w, h)
+}
+
+// PutGray hands a frame back to the pool. The caller must not touch g
+// (or retain aliases of g.Pix) afterwards: the buffer will be handed
+// out again by a future GetGray. Putting nil is a no-op.
+func PutGray(g *Gray) {
+	if g == nil || g.Pix == nil {
+		return
+	}
+	grayPool.Put(g)
+}
+
+// Recycle returns every frame of the clip to the pool and empties the
+// frame list. It is the bulk-ingestion hand-back: once a clip's
+// extracted products (tracks, VSs) are stored, its pixel data is dead
+// weight, and recycling lets the next clip's renderer and segmenter
+// reuse the buffers. The caller must hold the only references to the
+// frames.
+func (v *Video) Recycle() {
+	if v == nil {
+		return
+	}
+	for i, f := range v.Frames {
+		PutGray(f)
+		v.Frames[i] = nil
+	}
+	v.Frames = v.Frames[:0]
+}

@@ -1,0 +1,84 @@
+package frame
+
+import "testing"
+
+// TestGetGrayZeroesDirtyBuffers is the pool's safety contract: a
+// recycled frame full of stale pixels must come back zeroed, exactly
+// like a fresh NewGray allocation.
+func TestGetGrayZeroesDirtyBuffers(t *testing.T) {
+	g := GetGray(16, 8)
+	for i := range g.Pix {
+		g.Pix[i] = 0xCD // dirty it
+	}
+	PutGray(g)
+	// The pool is per-P so the very next Get on this goroutine sees the
+	// recycled buffer; even if it doesn't, the zeroing claim must hold.
+	h := GetGray(16, 8)
+	if h.W != 16 || h.H != 8 || len(h.Pix) != 16*8 {
+		t.Fatalf("got %dx%d len %d", h.W, h.H, len(h.Pix))
+	}
+	for i, p := range h.Pix {
+		if p != 0 {
+			t.Fatalf("pixel %d = %d, want 0 (dirty pooled buffer leaked)", i, p)
+		}
+	}
+	PutGray(h)
+}
+
+// TestGetGrayResize covers shrink (reslice) and grow (reallocate)
+// across pool round-trips.
+func TestGetGrayResize(t *testing.T) {
+	big := GetGray(32, 32)
+	for i := range big.Pix {
+		big.Pix[i] = 7
+	}
+	PutGray(big)
+	small := GetGray(4, 4)
+	for i, p := range small.Pix {
+		if p != 0 {
+			t.Fatalf("shrunk pixel %d = %d, want 0", i, p)
+		}
+	}
+	PutGray(small)
+	huge := GetGray(64, 64)
+	for i, p := range huge.Pix {
+		if p != 0 {
+			t.Fatalf("grown pixel %d = %d, want 0", i, p)
+		}
+	}
+	PutGray(huge)
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GetGray(0, 5) did not panic")
+		}
+	}()
+	GetGray(0, 5)
+}
+
+// TestPutGrayNil confirms the nil no-op.
+func TestPutGrayNil(t *testing.T) {
+	PutGray(nil) // must not panic
+}
+
+// TestVideoRecycle returns a clip's frames to the pool and empties it.
+func TestVideoRecycle(t *testing.T) {
+	v := &Video{FPS: 25}
+	for i := 0; i < 3; i++ {
+		v.Frames = append(v.Frames, GetGray(8, 8))
+	}
+	v.Recycle()
+	if len(v.Frames) != 0 {
+		t.Fatalf("recycled video still holds %d frames", len(v.Frames))
+	}
+	v.Recycle() // idempotent
+	var nilVideo *Video
+	nilVideo.Recycle() // nil no-op
+	g := GetGray(8, 8)
+	for i, p := range g.Pix {
+		if p != 0 {
+			t.Fatalf("pixel %d = %d after recycle, want 0", i, p)
+		}
+	}
+	PutGray(g)
+}

@@ -13,13 +13,25 @@ import "sync"
 // Identities must be unique per vector within one cache: reusing a
 // cache across databases (or across feature extractions that change
 // the vectors behind the same identities) silently corrupts results.
-// The cache is safe for concurrent use.
+// The cache is safe for concurrent use; hot paths should prefer
+// FillSquaredDists, which amortizes the lock over a whole row of
+// lookups (a per-pair mutex round-trip costs more than recomputing a
+// low-dimensional distance).
 type DistCache struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	m  map[distKey]float64
 }
 
 type distKey struct{ a, b int64 }
+
+// normKey order-normalizes an identity pair: squared distances are
+// exactly symmetric in IEEE arithmetic.
+func normKey(ku, kv int64) distKey {
+	if ku > kv {
+		ku, kv = kv, ku
+	}
+	return distKey{ku, kv}
+}
 
 // NewDistCache returns an empty cache.
 func NewDistCache() *DistCache {
@@ -28,16 +40,12 @@ func NewDistCache() *DistCache {
 
 // SquaredDist returns ‖u−v‖², where ku and kv are the stable
 // identities of u and v. The distance is computed at most once per
-// identity pair (the key is order-normalized: squared distances are
-// exactly symmetric in IEEE arithmetic).
+// identity pair.
 func (c *DistCache) SquaredDist(ku, kv int64, u, v []float64) float64 {
-	if ku > kv {
-		ku, kv = kv, ku
-	}
-	key := distKey{ku, kv}
-	c.mu.Lock()
+	key := normKey(ku, kv)
+	c.mu.RLock()
 	d, ok := c.m[key]
-	c.mu.Unlock()
+	c.mu.RUnlock()
 	if ok {
 		return d
 	}
@@ -50,9 +58,39 @@ func (c *DistCache) SquaredDist(ku, kv int64, u, v []float64) float64 {
 	return d
 }
 
+// FillSquaredDists sets out[i] = ‖us[i]−v‖² for every i, reading the
+// whole row under one read-lock acquisition and computing (then
+// storing, under one write acquisition) only the missing pairs.
+// kus[i] and kv are the identities of us[i] and v; kus, us and out
+// must have equal length. Results are bitwise identical to per-pair
+// SquaredDist calls.
+func (c *DistCache) FillSquaredDists(kus []int64, kv int64, us [][]float64, v []float64, out []float64) {
+	var missed []int
+	c.mu.RLock()
+	for i, ku := range kus {
+		if d, ok := c.m[normKey(ku, kv)]; ok {
+			out[i] = d
+		} else {
+			missed = append(missed, i)
+		}
+	}
+	c.mu.RUnlock()
+	if len(missed) == 0 {
+		return
+	}
+	for _, i := range missed {
+		out[i] = SquaredDistance(us[i], v)
+	}
+	c.mu.Lock()
+	for _, i := range missed {
+		c.m[normKey(kus[i], kv)] = out[i]
+	}
+	c.mu.Unlock()
+}
+
 // Len returns the number of cached pairs.
 func (c *DistCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return len(c.m)
 }

@@ -1,0 +1,106 @@
+package kernel
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randVecs draws n seeded d-dim vectors.
+func randVecs(seed int64, n, d int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = make([]float64, d)
+		for j := range X[i] {
+			X[i][j] = rng.NormFloat64()
+		}
+	}
+	return X
+}
+
+// TestFillSquaredDists checks the batch path against direct
+// computation and per-pair SquaredDist, across cold, mixed and fully
+// warm cache states.
+func TestFillSquaredDists(t *testing.T) {
+	X := randVecs(1, 10, 9)
+	v := X[0]
+	us := X[1:]
+	kus := make([]int64, len(us))
+	for i := range kus {
+		kus[i] = int64(i + 1)
+	}
+	c := NewDistCache()
+
+	// Prewarm a few pairs through the per-pair path (mixed state).
+	for _, i := range []int{0, 3, 7} {
+		c.SquaredDist(kus[i], 0, us[i], v)
+	}
+	out := make([]float64, len(us))
+	c.FillSquaredDists(kus, 0, us, v, out)
+	for i := range us {
+		if want := SquaredDistance(us[i], v); out[i] != want {
+			t.Fatalf("pair %d: got %v, want %v", i, out[i], want)
+		}
+	}
+	if c.Len() != len(us) {
+		t.Fatalf("cache holds %d pairs, want %d", c.Len(), len(us))
+	}
+	// Fully warm rerun must reproduce the same values bitwise.
+	warm := make([]float64, len(us))
+	c.FillSquaredDists(kus, 0, us, v, warm)
+	for i := range warm {
+		if warm[i] != out[i] {
+			t.Fatalf("pair %d: warm %v != cold %v", i, warm[i], out[i])
+		}
+	}
+	// Swapped identity order hits the same entries (key normalization):
+	// feed wrong vectors; hits must still return the cached values.
+	zero := make([]float64, 9)
+	zeros := make([][]float64, len(us))
+	for i := range zeros {
+		zeros[i] = zero
+	}
+	c.FillSquaredDists(kus, 0, zeros, zero, warm)
+	for i := range warm {
+		if warm[i] != out[i] {
+			t.Fatalf("pair %d: cache miss despite warm entry", i)
+		}
+	}
+}
+
+// TestFillSquaredDistsConcurrent races batch fills and per-pair reads
+// over one cache (run with -race); every result must equal the direct
+// computation.
+func TestFillSquaredDistsConcurrent(t *testing.T) {
+	X := randVecs(2, 32, 9)
+	kus := make([]int64, len(X))
+	for i := range kus {
+		kus[i] = int64(i)
+	}
+	c := NewDistCache()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]float64, len(X))
+			for rep := 0; rep < 20; rep++ {
+				v := X[(w+rep)%len(X)]
+				kv := kus[(w+rep)%len(X)]
+				c.FillSquaredDists(kus, kv, X, v, out)
+				for i := range X {
+					if want := SquaredDistance(X[i], v); out[i] != want {
+						t.Errorf("pair (%d,%d): got %v, want %v", i, kv, out[i], want)
+						return
+					}
+				}
+				if got, want := c.SquaredDist(kus[0], kv, X[0], v), SquaredDistance(X[0], v); got != want {
+					t.Errorf("SquaredDist got %v, want %v", got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

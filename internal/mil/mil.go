@@ -132,11 +132,14 @@ type Learner struct {
 	Delta                           float64
 
 	// Distance-cached scoring state (set only when Train took the
-	// cached path): the cache, the trained RBF, and the identity of
-	// each support vector's training instance.
+	// cached path): the cache, the trained RBF, the identity of each
+	// support vector's training instance, and the support vectors
+	// themselves (pre-gathered so scoring can batch whole rows of
+	// cache lookups).
 	cache  *kernel.DistCache
 	rbf    kernel.RBF
 	svKeys []int64
+	svX    [][]float64
 }
 
 // instKey folds a bag ID and an instance key into the stable identity
@@ -235,10 +238,13 @@ func trainCached(X [][]float64, keys []int64, h int, delta float64, cache *kerne
 		d2[i] = d2back[i*n : (i+1)*n : (i+1)*n]
 	}
 	for i := 0; i < n; i++ {
+		// One batched cache access per row instead of one lock
+		// round-trip per pair; squared distances are bitwise symmetric,
+		// so filling row i from column vector X[i] matches the per-pair
+		// path exactly.
+		cache.FillSquaredDists(keys[i+1:], keys[i], X[i+1:], X[i], d2[i][i+1:])
 		for j := i + 1; j < n; j++ {
-			d := cache.SquaredDist(keys[i], keys[j], X[i], X[j])
-			d2[i][j] = d
-			d2[j][i] = d
+			d2[j][i] = d2[i][j]
 		}
 	}
 	rbf := kernel.RBF{Sigma: kernel.NearestNeighborSigmaFromSquared(d2) / 3}
@@ -255,12 +261,14 @@ func trainCached(X [][]float64, keys []int64, h int, delta float64, cache *kerne
 		return nil, fmt.Errorf("mil: training failed: %w", err)
 	}
 	svKeys := make([]int64, 0, m.NSupport())
-	for _, ti := range m.SupportIndices() {
+	svX := make([][]float64, 0, m.NSupport())
+	for si, ti := range m.SupportIndices() {
 		svKeys = append(svKeys, keys[ti])
+		svX = append(svX, m.SupportVector(si))
 	}
 	return &Learner{
 		model: m, TrainingBags: h, TrainingInstances: n, Delta: delta,
-		cache: cache, rbf: rbf, svKeys: svKeys,
+		cache: cache, rbf: rbf, svKeys: svKeys, svX: svX,
 	}, nil
 }
 
@@ -307,9 +315,11 @@ func (l *Learner) bagScoreCached(b Bag) (score float64, ok bool, err error) {
 			return 0, false, fmt.Errorf("mil: bag %d instance %d: %w", b.ID, i, derr)
 		}
 		ik := instKey(b.ID, b.Keys[i])
-		for si, sk := range l.svKeys {
-			d2 := l.cache.SquaredDist(sk, ik, l.model.SupportVector(si), inst)
-			kvals[si] = l.rbf.FromSquaredDist(d2)
+		// One batched cache access for the whole SV row, then the RBF
+		// transform in place.
+		l.cache.FillSquaredDists(l.svKeys, ik, l.svX, inst, kvals)
+		for si := range kvals {
+			kvals[si] = l.rbf.FromSquaredDist(kvals[si])
 		}
 		d, err := l.model.DecisionFromKernel(kvals)
 		if err != nil {

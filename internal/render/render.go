@@ -81,7 +81,11 @@ func Frame(s *sim.Scene, bg *frame.Gray, i int, rng *rand.Rand, opt Options) (*f
 	if i < 0 || i >= len(s.Frames) {
 		return nil, fmt.Errorf("render: frame index %d out of range [0,%d)", i, len(s.Frames))
 	}
-	img := bg.Clone()
+	// Pool-backed clone of the background: rendering overwrites the
+	// whole frame, and batch ingestion recycles clip frames, so the
+	// steady state re-draws into the same buffers.
+	img := frame.GetGray(bg.W, bg.H)
+	copy(img.Pix, bg.Pix)
 	for _, v := range s.Frames[i].Vehicles {
 		r := v.MBR()
 		img.FillRect(int(r.Min.X), int(r.Min.Y), int(r.Max.X), int(r.Max.Y), v.Shade)
@@ -112,20 +116,43 @@ func Frame(s *sim.Scene, bg *frame.Gray, i int, rng *rand.Rand, opt Options) (*f
 	return img, nil
 }
 
-// Video renders the whole scene into a frame.Video clip.
-func Video(s *sim.Scene, opt Options) (*frame.Video, error) {
+// Stream renders the scene frame by frame in display order, invoking
+// emit with each finished frame as soon as it exists — the renderer
+// stage of a streaming ingestion pipeline, where a downstream consumer
+// can segment frame i while frame i+1 is still being drawn. Ownership
+// of each frame passes to emit; frames are pool-backed
+// (frame.GetGray), so a consumer that discards them may hand them to
+// frame.PutGray. Rendering is sequential by construction (the noise
+// RNG advances per frame), so the emitted pixels are identical to
+// Video's for the same options. An error from emit aborts the render
+// and is returned verbatim.
+func Stream(s *sim.Scene, opt Options, emit func(i int, f *frame.Gray) error) error {
 	if err := s.Validate(); err != nil {
-		return nil, fmt.Errorf("render: invalid scene: %w", err)
+		return fmt.Errorf("render: invalid scene: %w", err)
 	}
 	bg := Background(s, opt)
 	rng := rand.New(rand.NewSource(opt.Seed))
-	v := &frame.Video{FPS: s.FPS, Name: s.Name, Frames: make([]*frame.Gray, 0, len(s.Frames))}
 	for i := range s.Frames {
 		f, err := Frame(s, bg, i, rng, opt)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		if err := emit(i, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Video renders the whole scene into a frame.Video clip.
+func Video(s *sim.Scene, opt Options) (*frame.Video, error) {
+	v := &frame.Video{FPS: s.FPS, Name: s.Name, Frames: make([]*frame.Gray, 0, len(s.Frames))}
+	err := Stream(s, opt, func(i int, f *frame.Gray) error {
 		v.Frames = append(v.Frames, f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if err := v.Validate(); err != nil {
 		return nil, fmt.Errorf("render: produced invalid video: %w", err)

@@ -229,6 +229,14 @@ func Subtract(img, bg *frame.Gray, thresh uint8) (*frame.Gray, error) {
 // borders count as background.
 func Erode(mask *frame.Gray) *frame.Gray {
 	out := frame.NewGray(mask.W, mask.H)
+	ErodeInto(out, mask)
+	return out
+}
+
+// ErodeInto writes one 3×3 erosion pass of mask into dst. dst must
+// match mask in size and must not alias it; every pixel is written, so
+// a recycled dirty buffer is fine.
+func ErodeInto(dst, mask *frame.Gray) {
 	for y := 0; y < mask.H; y++ {
 		for x := 0; x < mask.W; x++ {
 			keep := true
@@ -241,17 +249,26 @@ func Erode(mask *frame.Gray) *frame.Gray {
 				}
 			}
 			if keep {
-				out.Set(x, y, 255)
+				dst.Pix[y*dst.W+x] = 255
+			} else {
+				dst.Pix[y*dst.W+x] = 0
 			}
 		}
 	}
-	return out
 }
 
 // Dilate applies one pass of 3×3 binary dilation: a pixel becomes
 // foreground if any pixel in its 8-neighborhood (or itself) is.
 func Dilate(mask *frame.Gray) *frame.Gray {
 	out := frame.NewGray(mask.W, mask.H)
+	DilateInto(out, mask)
+	return out
+}
+
+// DilateInto writes one 3×3 dilation pass of mask into dst. dst must
+// match mask in size and must not alias it; every pixel is written, so
+// a recycled dirty buffer is fine.
+func DilateInto(dst, mask *frame.Gray) {
 	for y := 0; y < mask.H; y++ {
 		for x := 0; x < mask.W; x++ {
 			hit := false
@@ -264,11 +281,12 @@ func Dilate(mask *frame.Gray) *frame.Gray {
 				}
 			}
 			if hit {
-				out.Set(x, y, 255)
+				dst.Pix[y*dst.W+x] = 255
+			} else {
+				dst.Pix[y*dst.W+x] = 0
 			}
 		}
 	}
-	return out
 }
 
 // Open performs erosion followed by dilation, removing speckle noise

@@ -16,19 +16,49 @@ type Segment struct {
 	MeanShade float64
 }
 
+// ccScratch holds the reusable working buffers of one
+// ConnectedComponents pass: the per-pixel label map and the flood-fill
+// stack. ensure resizes (and re-zeroes the labels of) the scratch for
+// a mask of n pixels, so a pooled dirty scratch behaves exactly like
+// fresh allocations.
+type ccScratch struct {
+	labels []int32
+	stack  [][2]int
+}
+
+func (s *ccScratch) ensure(n int) {
+	if cap(s.labels) < n {
+		s.labels = make([]int32, n)
+	} else {
+		s.labels = s.labels[:n]
+		clear(s.labels)
+	}
+	if s.stack == nil {
+		s.stack = make([][2]int, 0, 256)
+	}
+}
+
 // ConnectedComponents labels the 8-connected foreground regions of
 // mask and returns one Segment per region with at least minArea
 // pixels, ordered by label (scan order). src, when non-nil, supplies
 // the intensities for MeanShade; otherwise MeanShade is 255 (the mask
 // value).
 func ConnectedComponents(mask *frame.Gray, src *frame.Gray, minArea int) []Segment {
+	var sc ccScratch
+	return connectedComponentsScratch(mask, src, minArea, &sc)
+}
+
+// connectedComponentsScratch is ConnectedComponents over caller-owned
+// scratch buffers (the per-frame extraction hot path pools them).
+func connectedComponentsScratch(mask *frame.Gray, src *frame.Gray, minArea int, sc *ccScratch) []Segment {
 	w, h := mask.W, mask.H
-	labels := make([]int32, w*h)
+	sc.ensure(w * h)
+	labels := sc.labels
 	var segs []Segment
 	next := int32(1)
 
 	// Iterative flood fill with an explicit stack to bound recursion.
-	stack := make([][2]int, 0, 256)
+	stack := sc.stack
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			if mask.Pix[y*w+x] == 0 || labels[y*w+x] != 0 {
@@ -98,5 +128,6 @@ func ConnectedComponents(mask *frame.Gray, src *frame.Gray, minArea int) []Segme
 			})
 		}
 	}
+	sc.stack = stack // keep any growth for the next pass
 	return segs
 }

@@ -2,10 +2,37 @@ package segment
 
 import (
 	"fmt"
+	"sync"
 
 	"milvideo/internal/frame"
 	"milvideo/internal/geom"
 )
+
+// segScratch bundles every working buffer one Segments call needs:
+// two ping-pong mask frames (subtraction, threshold and the four
+// morphology passes), the connected-components labeling scratch and
+// the SPCPE refinement scratch. Pooling the bundle makes steady-state
+// per-frame extraction allocate only the returned segment slice.
+type segScratch struct {
+	maskA, maskB *frame.Gray
+	cc           ccScratch
+	sp           spcpeScratch
+}
+
+var segScratchPool = sync.Pool{New: func() any { return &segScratch{} }}
+
+// ensure sizes the mask buffers for a w×h frame. Mask contents are
+// never read before being fully overwritten, so no zeroing is needed.
+func (s *segScratch) ensure(w, h int) {
+	n := w * h
+	if s.maskA == nil || cap(s.maskA.Pix) < n || cap(s.maskB.Pix) < n {
+		s.maskA = frame.NewGray(w, h)
+		s.maskB = frame.NewGray(w, h)
+		return
+	}
+	s.maskA.W, s.maskA.H, s.maskA.Pix = w, h, s.maskA.Pix[:n]
+	s.maskB.W, s.maskB.H, s.maskB.Pix = w, h, s.maskB.Pix[:n]
+}
 
 // Options configures the per-frame vehicle extraction pipeline.
 type Options struct {
@@ -110,19 +137,35 @@ func (e *Extractor) Background() *frame.Gray { return e.bg }
 
 // Segments extracts the vehicle segments of one frame. With Adaptive
 // enabled, the background is updated from the frame's non-foreground
-// pixels afterwards, so calls must arrive in display order.
+// pixels afterwards, so calls must arrive in display order. The
+// working buffers (masks, component labels, SPCPE windows) come from a
+// shared pool, so steady-state calls allocate only the returned slice;
+// the method remains safe for concurrent use on a non-adaptive
+// extractor.
 func (e *Extractor) Segments(img *frame.Gray) ([]Segment, error) {
-	mask, err := Subtract(img, e.bg, e.opt.DiffThreshold)
-	if err != nil {
+	sc := segScratchPool.Get().(*segScratch)
+	defer segScratchPool.Put(sc)
+	sc.ensure(img.W, img.H)
+
+	// Subtract: |img − bg| thresholded into the first mask buffer.
+	if err := frame.AbsDiffInto(sc.maskB, img, e.bg); err != nil {
 		return nil, err
 	}
+	sc.maskB.ThresholdInto(sc.maskA, e.opt.DiffThreshold)
+	mask := sc.maskA
 	if e.opt.Morphology {
-		mask = Close(Open(mask))
+		// Close(Open(mask)): erode, dilate, dilate, erode, ping-ponging
+		// between the two buffers; the result lands back in maskA.
+		ErodeInto(sc.maskB, sc.maskA)
+		DilateInto(sc.maskA, sc.maskB)
+		DilateInto(sc.maskB, sc.maskA)
+		ErodeInto(sc.maskA, sc.maskB)
+		mask = sc.maskA
 	}
-	segs := ConnectedComponents(mask, img, e.opt.MinArea)
+	segs := connectedComponentsScratch(mask, img, e.opt.MinArea, &sc.cc)
 	if e.opt.RefineSPCPE {
 		for i := range segs {
-			segs[i] = e.refine(img, segs[i])
+			segs[i] = e.refine(img, segs[i], &sc.sp)
 		}
 	}
 	if e.opt.Adaptive {
@@ -155,11 +198,11 @@ func (e *Extractor) adapt(img, mask *frame.Gray) {
 // from the local background is taken as the vehicle body and supplies
 // the refreshed centroid and MBR. On any degeneracy the original
 // segment is returned unchanged.
-func (e *Extractor) refine(img *frame.Gray, s Segment) Segment {
+func (e *Extractor) refine(img *frame.Gray, s Segment, sp *spcpeScratch) Segment {
 	box := s.MBR.Expand(3)
 	x0, y0 := int(box.Min.X), int(box.Min.Y)
 	x1, y1 := int(box.Max.X), int(box.Max.Y)
-	res, err := SPCPE(img, x0, y0, x1, y1, DefaultSPCPEOptions())
+	res, err := spcpe(img, x0, y0, x1, y1, DefaultSPCPEOptions(), sp)
 	if err != nil {
 		return s
 	}

@@ -1,0 +1,170 @@
+package segment
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"milvideo/internal/frame"
+)
+
+// noisyFrame builds a deterministic pseudo-random frame.
+func noisyFrame(w, h int, seed int64) *frame.Gray {
+	rng := rand.New(rand.NewSource(seed))
+	g := frame.NewGray(w, h)
+	for i := range g.Pix {
+		g.Pix[i] = uint8(rng.Intn(256))
+	}
+	return g
+}
+
+// blobMask builds a mask with a few rectangular blobs.
+func blobMask(w, h int) *frame.Gray {
+	m := frame.NewGray(w, h)
+	set := func(x0, y0, x1, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				m.Pix[y*w+x] = 255
+			}
+		}
+	}
+	set(2, 2, 10, 9)
+	set(20, 5, 33, 17)
+	set(12, 20, 14, 22) // small blob, below typical minArea
+	return m
+}
+
+// TestMorphologyIntoMatchesAllocating checks ErodeInto/DilateInto
+// against the allocating versions on a dirty destination buffer: every
+// pixel must be written.
+func TestMorphologyIntoMatchesAllocating(t *testing.T) {
+	mask := blobMask(40, 30)
+	dirty := frame.NewGray(40, 30)
+	for i := range dirty.Pix {
+		dirty.Pix[i] = 0xAA
+	}
+	ErodeInto(dirty, mask)
+	if !bytes.Equal(dirty.Pix, Erode(mask).Pix) {
+		t.Fatal("ErodeInto on a dirty buffer differs from Erode")
+	}
+	for i := range dirty.Pix {
+		dirty.Pix[i] = 0x55
+	}
+	DilateInto(dirty, mask)
+	if !bytes.Equal(dirty.Pix, Dilate(mask).Pix) {
+		t.Fatal("DilateInto on a dirty buffer differs from Dilate")
+	}
+}
+
+// TestConnectedComponentsScratchReuse runs the labeler through one
+// scratch over different masks and sizes; results must match fresh
+// runs every time.
+func TestConnectedComponentsScratchReuse(t *testing.T) {
+	var sc ccScratch
+	masks := []*frame.Gray{blobMask(40, 30), blobMask(25, 50), blobMask(40, 30)}
+	for i, m := range masks {
+		src := noisyFrame(m.W, m.H, int64(i))
+		got := connectedComponentsScratch(m, src, 4, &sc)
+		want := ConnectedComponents(m, src, 4)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("mask %d: scratch reuse changed the segments", i)
+		}
+	}
+}
+
+// TestSPCPEScratchReuse runs SPCPE through one scratch across windows
+// of different sizes and checks each result against the fresh-scratch
+// public entry point (stale models or labels would change the
+// partition).
+func TestSPCPEScratchReuse(t *testing.T) {
+	img := noisyFrame(64, 48, 7)
+	sc := &spcpeScratch{}
+	windows := [][4]int{{0, 0, 20, 20}, {5, 5, 60, 40}, {30, 10, 44, 30}, {0, 0, 20, 20}}
+	for i, w := range windows {
+		got, err := spcpe(img, w[0], w[1], w[2], w[3], DefaultSPCPEOptions(), sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := SPCPE(img, w[0], w[1], w[2], w[3], DefaultSPCPEOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Labels, want.Labels) || !reflect.DeepEqual(got.Models, want.Models) ||
+			got.Iterations != want.Iterations {
+			t.Fatalf("window %d: scratch reuse changed the result", i)
+		}
+	}
+}
+
+// TestSegmentsPooledMatchesRepeated re-runs extraction on the same
+// frames many times (cycling pooled scratch through different frames)
+// and concurrently; every run must produce identical segments.
+func TestSegmentsPooledMatchesRepeated(t *testing.T) {
+	// A background plus frames with moving bright blocks.
+	mkFrames := func() []*frame.Gray {
+		var fs []*frame.Gray
+		for i := 0; i < 8; i++ {
+			f := frame.NewGray(80, 60)
+			for p := range f.Pix {
+				f.Pix[p] = 40
+			}
+			// one moving vehicle-like block
+			x0 := 5 + i*6
+			for y := 20; y < 32; y++ {
+				for x := x0; x < x0+14 && x < 80; x++ {
+					f.Pix[y*80+x] = 200
+				}
+			}
+			fs = append(fs, f)
+		}
+		return fs
+	}
+	frames := mkFrames()
+	v := &frame.Video{Frames: frames, FPS: 25}
+	ex, err := NewExtractor(v, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]Segment, len(frames))
+	for i, f := range frames {
+		segs, err := ex.Segments(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = segs
+	}
+	// Repeated sequential runs (pool reuse across frame shapes).
+	for round := 0; round < 3; round++ {
+		for i, f := range frames {
+			segs, err := ex.Segments(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(segs, want[i]) {
+				t.Fatalf("round %d frame %d: pooled rerun changed segments", round, i)
+			}
+		}
+	}
+	// Concurrent runs on the (stateless) extractor — run with -race.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, f := range frames {
+				segs, err := ex.Segments(f)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(segs, want[i]) {
+					t.Errorf("concurrent frame %d: segments differ", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -39,6 +39,44 @@ type SPCPEOptions struct {
 // vehicle/background refinement.
 func DefaultSPCPEOptions() SPCPEOptions { return SPCPEOptions{Classes: 2, MaxIters: 20} }
 
+// spcpeScratch reuses SPCPE's per-window working buffers across calls.
+// A result produced through a scratch aliases its buffers and is valid
+// only until the scratch's next use; the public SPCPE therefore runs
+// on a fresh scratch, while the pooled per-frame extraction path
+// recycles one per segment refinement.
+type spcpeScratch struct {
+	intens []float64
+	labels []int
+	models []PlaneModel
+	accs   []planeAcc
+}
+
+// ensure sizes the buffers for an n-pixel window and c classes,
+// resetting the model state a dirty scratch may carry (the estimation
+// step treats a zero PlaneModel as "no model yet").
+func (s *spcpeScratch) ensure(n, c int) {
+	if cap(s.intens) < n {
+		s.intens = make([]float64, n)
+	} else {
+		s.intens = s.intens[:n]
+	}
+	if cap(s.labels) < n {
+		s.labels = make([]int, n)
+	} else {
+		s.labels = s.labels[:n]
+	}
+	if cap(s.models) < c {
+		s.models = make([]PlaneModel, c)
+		s.accs = make([]planeAcc, c)
+	} else {
+		s.models = s.models[:c]
+		s.accs = s.accs[:c]
+		for i := range s.models {
+			s.models[i] = PlaneModel{}
+		}
+	}
+}
+
 // SPCPE runs Simultaneous Partition and Class Parameter Estimation on
 // the rectangular window [x0,x1)×[y0,y1) of img. Starting from an
 // intensity-quantile initial partition, it alternates between
@@ -46,6 +84,11 @@ func DefaultSPCPEOptions() SPCPEOptions { return SPCPEOptions{Classes: 2, MaxIte
 // reassigning every pixel to the class whose model predicts it best,
 // until the partition is stable or MaxIters is reached.
 func SPCPE(img *frame.Gray, x0, y0, x1, y1 int, opt SPCPEOptions) (*SPCPEResult, error) {
+	return spcpe(img, x0, y0, x1, y1, opt, &spcpeScratch{})
+}
+
+// spcpe is SPCPE over caller-owned scratch buffers.
+func spcpe(img *frame.Gray, x0, y0, x1, y1 int, opt SPCPEOptions, sc *spcpeScratch) (*SPCPEResult, error) {
 	if opt.Classes < 2 {
 		return nil, errors.New("segment: SPCPE needs at least 2 classes")
 	}
@@ -73,9 +116,11 @@ func SPCPE(img *frame.Gray, x0, y0, x1, y1 int, opt SPCPEOptions) (*SPCPEResult,
 		return nil, fmt.Errorf("segment: window of %d pixels too small for %d classes", n, opt.Classes)
 	}
 
+	sc.ensure(n, opt.Classes)
+
 	// Initial partition: split by intensity quantiles so class 0 holds
 	// the darkest pixels and class C-1 the brightest.
-	intens := make([]float64, n)
+	intens := sc.intens
 	for yy := 0; yy < h; yy++ {
 		for xx := 0; xx < w; xx++ {
 			intens[yy*w+xx] = float64(img.At(x0+xx, y0+yy))
@@ -90,7 +135,7 @@ func SPCPE(img *frame.Gray, x0, y0, x1, y1 int, opt SPCPEOptions) (*SPCPEResult,
 			max = v
 		}
 	}
-	labels := make([]int, n)
+	labels := sc.labels
 	span := max - min
 	if span == 0 {
 		span = 1 // flat window: everything lands in class 0
@@ -106,8 +151,8 @@ func SPCPE(img *frame.Gray, x0, y0, x1, y1 int, opt SPCPEOptions) (*SPCPEResult,
 	// Per-iteration state is hoisted out of the loop: the class
 	// accumulators are the only working storage the estimation step
 	// needs, so iterations allocate nothing.
-	models := make([]PlaneModel, opt.Classes)
-	accs := make([]planeAcc, opt.Classes)
+	models := sc.models
+	accs := sc.accs
 	iters := 0
 	for ; iters < opt.MaxIters; iters++ {
 		// Class-parameter estimation: least-squares plane per class,

@@ -1,0 +1,177 @@
+package videodb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"milvideo/internal/window"
+)
+
+// rec builds a minimal valid record.
+func rec(name string) *ClipRecord {
+	return &ClipRecord{
+		Name:      name,
+		Frames:    100,
+		FPS:       25,
+		ModelName: "accident",
+		Window:    window.DefaultConfig(),
+		VSs:       []window.VS{{Index: 0, StartFrame: 0, EndFrame: 99}},
+		Meta:      map[string]string{},
+	}
+}
+
+// TestAddBatch covers the bulk path: atomic success, and atomic
+// rejection on invalid records, in-batch duplicates, and collisions
+// with the existing catalog — each error naming index and clip.
+func TestAddBatch(t *testing.T) {
+	db := New()
+	if err := db.AddBatch([]*ClipRecord{rec("a"), rec("b"), rec("c")}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 3 {
+		t.Fatalf("len %d, want 3", db.Len())
+	}
+
+	bad := rec("d")
+	bad.Frames = 0
+	err := db.AddBatch([]*ClipRecord{rec("e"), bad})
+	if err == nil || !strings.Contains(err.Error(), "batch record 1") {
+		t.Fatalf("invalid-record error = %v, want index context", err)
+	}
+	if db.Len() != 3 {
+		t.Fatalf("rejected batch mutated the catalog: len %d", db.Len())
+	}
+
+	err = db.AddBatch([]*ClipRecord{rec("x"), rec("x")})
+	if !errors.Is(err, ErrDuplicate) || !strings.Contains(err.Error(), "batch record 1") {
+		t.Fatalf("in-batch duplicate error = %v", err)
+	}
+	err = db.AddBatch([]*ClipRecord{rec("y"), rec("a")})
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("catalog duplicate error = %v", err)
+	}
+	if _, err := db.Clip("y"); err == nil {
+		t.Fatal("partial batch insert leaked record y")
+	}
+	err = db.AddBatch([]*ClipRecord{rec("z"), nil})
+	if err == nil || !strings.Contains(err.Error(), "record 1 is nil") {
+		t.Fatalf("nil-record error = %v", err)
+	}
+}
+
+// TestValidateNamesClip checks that validation errors identify the
+// offending clip, including the nameless-record case via its source
+// annotation.
+func TestValidateNamesClip(t *testing.T) {
+	r := rec("")
+	r.Meta["source"] = "simulated:tunnel"
+	err := r.Validate()
+	if err == nil || !strings.Contains(err.Error(), "simulated:tunnel") {
+		t.Fatalf("nameless error = %v, want source annotation", err)
+	}
+	r.Meta = nil
+	if err := r.Validate(); err == nil {
+		t.Fatal("nameless record validated")
+	}
+	r2 := rec("busy-junction")
+	r2.FPS = -1
+	if err := r2.Validate(); err == nil || !strings.Contains(err.Error(), "busy-junction") {
+		t.Fatalf("error %v does not name the clip", err)
+	}
+}
+
+// TestLoadErrorsCarryRecordIndex corrupts one record of a snapshot and
+// checks the load error points at it.
+func TestLoadErrorsCarryRecordIndex(t *testing.T) {
+	db := New()
+	broken := rec("b")
+	broken.VSs = nil // invalid: no video sequences
+	db.clips["a"], db.clips["b"] = rec("a"), broken
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	err := New().Load(&buf)
+	if err == nil || !strings.Contains(err.Error(), "record 1") || !strings.Contains(err.Error(), `"b"`) {
+		t.Fatalf("load error = %v, want record index and clip name", err)
+	}
+}
+
+// TestConcurrentAddClipSave hammers one catalog with concurrent
+// writers, readers and Save calls (run with -race). Every snapshot a
+// Save produces must itself load cleanly — the consistency the
+// under-lock encode guarantees.
+func TestConcurrentAddClipSave(t *testing.T) {
+	db := New()
+	const writers, clipsPer = 4, 8
+	var wg sync.WaitGroup
+	snaps := make([][]byte, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < clipsPer; i++ {
+				name := fmt.Sprintf("w%d-c%d", w, i)
+				if err := db.Add(rec(name)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := db.Clip(name); err != nil {
+					t.Error(err)
+					return
+				}
+				var buf bytes.Buffer
+				if err := db.Save(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+				snaps[w] = buf.Bytes()
+				db.Names()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if db.Len() != writers*clipsPer {
+		t.Fatalf("len %d, want %d", db.Len(), writers*clipsPer)
+	}
+	for w, snap := range snaps {
+		if err := New().Load(bytes.NewReader(snap)); err != nil {
+			t.Fatalf("writer %d's snapshot does not load: %v", w, err)
+		}
+	}
+}
+
+// TestConcurrentAddBatch races batches against each other and a saver;
+// batches share no names, so all must succeed.
+func TestConcurrentAddBatch(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			batch := []*ClipRecord{
+				rec(fmt.Sprintf("b%d-0", w)),
+				rec(fmt.Sprintf("b%d-1", w)),
+			}
+			if err := db.AddBatch(batch); err != nil {
+				t.Error(err)
+			}
+			var buf bytes.Buffer
+			if err := db.Save(&buf); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if db.Len() != 8 {
+		t.Fatalf("len %d, want 8", db.Len())
+	}
+}

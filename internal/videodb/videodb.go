@@ -51,9 +51,14 @@ type ClipRecord struct {
 	Meta map[string]string
 }
 
-// Validate checks the record's structural invariants.
+// Validate checks the record's structural invariants. Errors name the
+// offending clip; a nameless record is identified by its source
+// annotation when it carries one.
 func (c *ClipRecord) Validate() error {
 	if c.Name == "" {
+		if src := c.Meta["source"]; src != "" {
+			return fmt.Errorf("videodb: clip from source %q has no name", src)
+		}
 		return errors.New("videodb: clip has no name")
 	}
 	if c.Frames <= 0 {
@@ -143,6 +148,33 @@ func (db *DB) Add(c *ClipRecord) error {
 	return nil
 }
 
+// AddBatch stores a set of clips atomically: every record is validated
+// and checked for duplicates — against the catalog and within the
+// batch — before any is inserted, so a rejected batch leaves the
+// catalog untouched. Errors carry the batch index and clip name of the
+// offending record.
+func (db *DB) AddBatch(recs []*ClipRecord) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	seen := make(map[string]bool, len(recs))
+	for i, c := range recs {
+		if c == nil {
+			return fmt.Errorf("videodb: batch record %d is nil", i)
+		}
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("videodb: batch record %d: %w", i, err)
+		}
+		if _, ok := db.clips[c.Name]; ok || seen[c.Name] {
+			return fmt.Errorf("%w: %q (batch record %d)", ErrDuplicate, c.Name, i)
+		}
+		seen[c.Name] = true
+	}
+	for _, c := range recs {
+		db.clips[c.Name] = c
+	}
+	return nil
+}
+
 // Clip fetches a stored clip by name.
 func (db *DB) Clip(name string) (*ClipRecord, error) {
 	db.mu.RLock()
@@ -193,14 +225,16 @@ type snapshot struct {
 // formatVersion guards against reading incompatible files.
 const formatVersion = 1
 
-// Save writes the whole catalog to w.
+// Save writes the whole catalog to w. The read lock is held across
+// the encode, so the snapshot is point-in-time consistent even while
+// other goroutines add or remove clips concurrently.
 func (db *DB) Save(w io.Writer) error {
 	db.mu.RLock()
+	defer db.mu.RUnlock()
 	snap := snapshot{Version: formatVersion}
 	for _, n := range db.namesLocked() {
 		snap.Clips = append(snap.Clips, db.clips[n])
 	}
-	db.mu.RUnlock()
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("videodb: encode: %w", err)
 	}
@@ -227,12 +261,12 @@ func (db *DB) Load(r io.Reader) error {
 		return fmt.Errorf("videodb: unsupported format version %d (want %d)", snap.Version, formatVersion)
 	}
 	clips := make(map[string]*ClipRecord, len(snap.Clips))
-	for _, c := range snap.Clips {
+	for i, c := range snap.Clips {
 		if err := c.Validate(); err != nil {
-			return fmt.Errorf("videodb: load: %w", err)
+			return fmt.Errorf("videodb: load: record %d: %w", i, err)
 		}
 		if _, dup := clips[c.Name]; dup {
-			return fmt.Errorf("%w: %q in snapshot", ErrDuplicate, c.Name)
+			return fmt.Errorf("%w: %q (snapshot record %d)", ErrDuplicate, c.Name, i)
 		}
 		clips[c.Name] = c
 	}

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# CI gate: formatting, vet, the tier-1 build/test pair, and a
+# CI gate: formatting, vet, the tier-1 build/test pair, a
 # race-detector pass over the internal packages (the concurrent paths:
-# segment background strips, kernel Gram workers, track frame pool,
-# experiment sweeps, and the kernel distance cache).
+# streaming ingestion and batch ingest, videodb under concurrent
+# mutation, pooled segmentation scratch, segment background strips,
+# kernel Gram workers and distance cache, track frame pool, experiment
+# sweeps), and a one-iteration smoke of the ingest benchmarks so the
+# benchmarked entry points cannot rot.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,7 +26,10 @@ go build ./...
 echo "== test =="
 go test ./...
 
-echo "== race (internal) =="
+echo "== race (internal: streaming/ingest, videodb, pools, sweeps) =="
 go test -race ./internal/...
+
+echo "== bench smoke (ingest) =="
+go test -run xxx -bench Ingest -benchtime 1x .
 
 echo "CI OK"
