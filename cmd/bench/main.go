@@ -18,10 +18,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
@@ -34,6 +36,7 @@ import (
 	"milvideo/internal/render"
 	"milvideo/internal/retrieval"
 	"milvideo/internal/segment"
+	"milvideo/internal/server"
 	"milvideo/internal/sim"
 	"milvideo/internal/svm"
 	"milvideo/internal/videodb"
@@ -195,6 +198,28 @@ func buildStages(only string) ([]stage, error) {
 	gramX := gaussians(4, 200, 9)
 	db, labels := synthDB(2)
 
+	// The query-service fixture: an in-process HTTP server over the
+	// demo catalog, driven through a real TCP loopback client so the
+	// stage measures the full network path (JSON, session store,
+	// worker pool, SVM re-rank).
+	demoDB, err := server.DemoDB(1)
+	if err != nil {
+		return nil, err
+	}
+	qsrv, err := server.New(server.Config{DB: demoDB})
+	if err != nil {
+		return nil, err
+	}
+	qclient := &server.Client{BaseURL: httptest.NewServer(qsrv.Handler()).URL}
+	demoRec, err := demoDB.Clip(server.DemoClip)
+	if err != nil {
+		return nil, err
+	}
+	judge, err := server.JudgeFromRecord(demoRec, nil)
+	if err != nil {
+		return nil, err
+	}
+
 	// Warm the process-wide clip cache so the figure stages measure
 	// steady-state experiment cost, not the one-time clip construction
 	// (render + segment + track dominates a cold run by ~4 orders of
@@ -264,6 +289,27 @@ func buildStages(only string) ([]stage, error) {
 			}
 			b.ResetTimer()
 			benchErr(b, func() error { _, err := engine.Rank(db, labels); return err })
+		}},
+		{"server_session_5rounds", func(b *testing.B) {
+			// One full interactive session over HTTP per op: query,
+			// four judged feedback re-ranks, delete.
+			benchErr(b, func() error {
+				ctx := context.Background()
+				resp, err := qclient.Query(ctx, server.QueryRequest{Clip: server.DemoClip, TopK: 8})
+				if err != nil {
+					return err
+				}
+				for r := 1; r < 5; r++ {
+					fb := make([]server.FeedbackLabel, len(resp.TopK))
+					for i, e := range resp.TopK {
+						fb[i] = server.FeedbackLabel{VS: e.VS, Relevant: judge(e)}
+					}
+					if resp, err = qclient.Feedback(ctx, resp.Session, fb); err != nil {
+						return err
+					}
+				}
+				return qclient.Delete(ctx, resp.Session)
+			})
 		}},
 		{"figure8_warm", func(b *testing.B) {
 			benchErr(b, func() error { _, err := experiments.Figure8(); return err })

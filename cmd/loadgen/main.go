@@ -1,0 +1,149 @@
+// Command loadgen drives a running query service (cmd/serve) with
+// closed-loop synthetic oracle sessions: each concurrent client seeds
+// a query, judges the returned top-k against the clip's incident
+// ground truth, posts feedback, and repeats — the paper's user study
+// as a load test. The run's throughput and client-side latency
+// percentiles are written as JSON (BENCH_3.json by convention).
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8080 -demo
+//	loadgen -url http://127.0.0.1:8080 -db db.gob -clip tunnel -sessions 32 -o BENCH_3.json
+//
+// The ground truth must describe the same clip the server ranks: pass
+// the catalog via -db, or -demo (with the matching -demo-seed) when
+// the server runs in demo mode. Exits nonzero when any round is
+// dropped or comes back empty, so CI can assert on the exit code.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"milvideo/internal/server"
+	"milvideo/internal/videodb"
+)
+
+// output is the BENCH_3.json shape: run metadata around the
+// generator's report.
+type output struct {
+	Generated string         `json:"generated"`
+	GoVersion string         `json:"go_version"`
+	NumCPU    int            `json:"num_cpu"`
+	URL       string         `json:"url"`
+	Clip      string         `json:"clip"`
+	Engine    string         `json:"engine"`
+	TopK      int            `json:"topk"`
+	Report    *server.Report `json:"report"`
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "query service base URL")
+	dbPath := flag.String("db", "", "catalog file supplying the ground truth oracle")
+	demo := flag.Bool("demo", false, "judge against the built-in demo catalog (server runs -demo)")
+	demoSeed := flag.Int64("demo-seed", 1, "seed for the demo catalog (must match the server's)")
+	clip := flag.String("clip", server.DemoClip, "clip to query")
+	engine := flag.String("engine", "", "ranking engine (empty = server default)")
+	sessions := flag.Int("sessions", 32, "concurrent sessions")
+	rounds := flag.Int("rounds", 5, "rounds per session including the initial one")
+	topK := flag.Int("topk", 8, "results per round (0 = server default)")
+	out := flag.String("o", "BENCH_3.json", "output path ('-' for stdout)")
+	flag.Parse()
+
+	if err := run(*url, *dbPath, *demo, *demoSeed, *clip, *engine, *sessions, *rounds, *topK, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(url, dbPath string, demo bool, demoSeed int64, clip, engine string, sessions, rounds, topK int, out string) error {
+	var rec *videodb.ClipRecord
+	var err error
+	switch {
+	case demo && dbPath != "":
+		return errors.New("-db and -demo are mutually exclusive")
+	case demo:
+		db, err := server.DemoDB(demoSeed)
+		if err != nil {
+			return err
+		}
+		if rec, err = db.Clip(clip); err != nil {
+			return err
+		}
+	case dbPath != "":
+		db, err := videodb.LoadFile(dbPath)
+		if err != nil {
+			return err
+		}
+		if rec, err = db.Clip(clip); err != nil {
+			return err
+		}
+	default:
+		return errors.New("need -db <catalog> or -demo for the ground truth")
+	}
+	judge, err := server.JudgeFromRecord(rec, nil)
+	if err != nil {
+		return err
+	}
+
+	lg := &server.LoadGen{
+		Client:   &server.Client{BaseURL: url},
+		Clip:     clip,
+		Engine:   engine,
+		Sessions: sessions,
+		Rounds:   rounds,
+		TopK:     topK,
+		Judge:    judge,
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d sessions × %d rounds against %s (clip %q)\n",
+		sessions, rounds, url, clip)
+	rep, err := lg.Run(context.Background())
+	if err != nil {
+		return err
+	}
+
+	res := output{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		URL:       url,
+		Clip:      clip,
+		Engine:    engine,
+		TopK:      topK,
+		Report:    rep,
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "-" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	} else {
+		fmt.Println(out)
+	}
+
+	fmt.Fprintf(os.Stderr, "loadgen: %d/%d rounds served in %.2fs (%.1f rounds/s), final accuracy %.1f%%\n",
+		rep.RoundsServed, sessions*rounds, rep.DurationSec, rep.RoundsPerSec, rep.FinalAccuracyMean*100)
+	for _, op := range []string{"query", "feedback", "ranking"} {
+		if st, ok := rep.Latency[op]; ok {
+			fmt.Fprintf(os.Stderr, "loadgen:   %-8s p50 %6.2fms  p90 %6.2fms  p99 %6.2fms  max %6.2fms  (n=%d)\n",
+				op, st.P50Ms, st.P90Ms, st.P99Ms, st.MaxMs, st.Count)
+		}
+	}
+	if rep.DroppedRounds > 0 {
+		return fmt.Errorf("%d rounds dropped (first errors: %v)", rep.DroppedRounds, rep.Errors)
+	}
+	if rep.EmptyRankings > 0 {
+		return fmt.Errorf("%d rounds returned empty rankings", rep.EmptyRankings)
+	}
+	return nil
+}

@@ -21,11 +21,7 @@ import (
 	"strings"
 
 	"milvideo/internal/core"
-	"milvideo/internal/dd"
-	"milvideo/internal/mil"
-	"milvideo/internal/misvm"
 	"milvideo/internal/retrieval"
-	"milvideo/internal/rf"
 	"milvideo/internal/videodb"
 	"milvideo/internal/window"
 )
@@ -33,7 +29,8 @@ import (
 func main() {
 	dbPath := flag.String("db", "videodb.gob", "videodb catalog file")
 	clip := flag.String("clip", "", "clip name (empty lists clips)")
-	engineName := flag.String("engine", "mil", "engine: mil, weighted, rocchio, emdd, misvm")
+	engineName := flag.String("engine", core.DefaultEngine,
+		fmt.Sprintf("engine: %s", strings.Join(core.EngineNames(), ", ")))
 	rounds := flag.Int("rounds", 5, "feedback rounds including the initial one")
 	topK := flag.Int("topk", 20, "results per round")
 	interactive := flag.Bool("interactive", false, "ask a human instead of the ground-truth oracle")
@@ -68,20 +65,12 @@ func run(dbPath, clip, engineName string, rounds, topK int, interactive bool, in
 		return err
 	}
 
-	var engine retrieval.Engine
-	switch engineName {
-	case "mil":
-		engine = retrieval.MILEngine{Opt: mil.DefaultOptions()}
-	case "weighted":
-		engine = retrieval.WeightedEngine{Norm: rf.NormPercentage}
-	case "rocchio":
-		engine = retrieval.RocchioEngine{}
-	case "emdd":
-		engine = dd.Engine{}
-	case "misvm":
-		engine = misvm.Engine{Opt: misvm.Options{C: 2}}
-	default:
-		return fmt.Errorf("unknown engine %q (mil, weighted, rocchio, emdd, misvm)", engineName)
+	// The shared registry resolves the engine, with a per-session
+	// kernel cache so Gram rows are reused across feedback rounds —
+	// the identical code path the HTTP query service drives.
+	engine, err := core.EngineByName(engineName, retrieval.NewMILCache())
+	if err != nil {
+		return err
 	}
 
 	var sess *retrieval.Session

@@ -1,0 +1,117 @@
+// Command serve runs the interactive retrieval query service: the
+// paper's relevance-feedback loop (query → top-k → feedback →
+// One-class SVM re-rank) exposed as a concurrent, stateful JSON API
+// over a videodb catalog.
+//
+// Usage:
+//
+//	serve -db db.gob                       # serve a stored catalog
+//	serve -demo                            # built-in synthetic catalog
+//	serve -db db.gob -addr 127.0.0.1:0     # ephemeral port (printed)
+//
+// The process drains in-flight re-ranks and exits cleanly on SIGINT /
+// SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"milvideo/internal/server"
+	"milvideo/internal/videodb"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
+	dbPath := flag.String("db", "", "videodb catalog file to serve")
+	demo := flag.Bool("demo", false, "serve the built-in synthetic demo catalog instead of -db")
+	demoSeed := flag.Int64("demo-seed", 1, "seed for the demo catalog")
+	maxSessions := flag.Int("max-sessions", 256, "live-session cap (LRU eviction beyond it)")
+	ttl := flag.Duration("ttl", 15*time.Minute, "idle-session expiry")
+	workers := flag.Int("workers", 0, "concurrent re-rank bound (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request ranking timeout")
+	topK := flag.Int("topk", 20, "default results per round")
+	flag.Parse()
+
+	if err := run(*addr, *dbPath, *demo, *demoSeed, *maxSessions, *ttl, *workers, *timeout, *topK); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dbPath string, demo bool, demoSeed int64, maxSessions int, ttl time.Duration, workers int, timeout time.Duration, topK int) error {
+	var db *videodb.DB
+	var err error
+	switch {
+	case demo && dbPath != "":
+		return errors.New("-db and -demo are mutually exclusive")
+	case demo:
+		if db, err = server.DemoDB(demoSeed); err != nil {
+			return err
+		}
+	case dbPath != "":
+		if db, err = videodb.LoadFile(dbPath); err != nil {
+			return err
+		}
+	default:
+		return errors.New("need -db <catalog> or -demo")
+	}
+
+	srv, err := server.New(server.Config{
+		DB:             db,
+		MaxSessions:    maxSessions,
+		SessionTTL:     ttl,
+		RerankWorkers:  workers,
+		RequestTimeout: timeout,
+		DefaultTopK:    topK,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serve: listening on http://%s (%d clips)\n", ln.Addr(), db.Len())
+	for _, n := range db.Names() {
+		rec, err := db.Clip(n)
+		if err != nil {
+			return err
+		}
+		s := rec.Stats()
+		fmt.Printf("serve:   clip %-16s %5d frames  %3d VSs  %3d TSs\n", n, s.Frames, s.VSCount, s.TSCount)
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		return err
+	case s := <-sig:
+		fmt.Printf("serve: %v — shutting down\n", s)
+	}
+
+	// Stop accepting, finish in-flight HTTP, then drain the re-rank
+	// pool so no SVM training is cut off mid-round.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return err
+	}
+	srv.Close()
+	fmt.Println("serve: drained, bye")
+	return nil
+}

@@ -165,38 +165,10 @@ func (c *Clip) Record(name string) (*videodb.ClipRecord, error) {
 // clip record, using its stored incident log as the oracle. pred nil
 // selects accidents.
 func SessionFromRecord(rec *videodb.ClipRecord, pred func(sim.IncidentType) bool, topK int) (*retrieval.Session, error) {
-	if rec == nil {
-		return nil, errors.New("core: nil record")
+	oracle, err := OracleFromRecord(rec, pred)
+	if err != nil {
+		return nil, err
 	}
-	if len(rec.Incidents) == 0 {
-		return nil, fmt.Errorf("core: clip %q has no incident ground truth", rec.Name)
-	}
-	if pred == nil {
-		pred = func(t sim.IncidentType) bool { return t.IsAccident() }
-	}
-	incidents := rec.Incidents
-	need := rec.Window.SampleRate
-	if need < 1 {
-		need = 1
-	}
-	oracle := retrieval.FuncOracle(func(vs window.VS) bool {
-		for _, inc := range incidents {
-			if !pred(inc.Type) {
-				continue
-			}
-			lo, hi := inc.Start, inc.End
-			if vs.StartFrame > lo {
-				lo = vs.StartFrame
-			}
-			if vs.EndFrame < hi {
-				hi = vs.EndFrame
-			}
-			if hi-lo+1 >= need {
-				return true
-			}
-		}
-		return false
-	})
 	return &retrieval.Session{DB: rec.VSs, Oracle: oracle, TopK: topK}, nil
 }
 

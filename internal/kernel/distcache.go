@@ -1,6 +1,9 @@
 package kernel
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // DistCache memoizes squared Euclidean distances between vectors that
 // carry caller-assigned stable identities. The interactive retrieval
@@ -20,6 +23,11 @@ import "sync"
 type DistCache struct {
 	mu sync.RWMutex
 	m  map[distKey]float64
+	// hits and misses count lookups (atomically, so Stats never
+	// contends with the distance path's locks). A miss is a lookup
+	// that had to compute; concurrent misses on the same pair each
+	// count once, matching the work actually done.
+	hits, misses atomic.Uint64
 }
 
 type distKey struct{ a, b int64 }
@@ -47,8 +55,10 @@ func (c *DistCache) SquaredDist(ku, kv int64, u, v []float64) float64 {
 	d, ok := c.m[key]
 	c.mu.RUnlock()
 	if ok {
+		c.hits.Add(1)
 		return d
 	}
+	c.misses.Add(1)
 	// Computed outside the lock: concurrent misses on the same pair
 	// duplicate work but store the identical deterministic value.
 	d = SquaredDistance(u, v)
@@ -75,6 +85,8 @@ func (c *DistCache) FillSquaredDists(kus []int64, kv int64, us [][]float64, v []
 		}
 	}
 	c.mu.RUnlock()
+	c.hits.Add(uint64(len(kus) - len(missed)))
+	c.misses.Add(uint64(len(missed)))
 	if len(missed) == 0 {
 		return
 	}
@@ -93,4 +105,12 @@ func (c *DistCache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.m)
+}
+
+// Stats reports the lookup counters: hits served from the cache and
+// misses that had to compute a distance. The interactive feedback
+// loop's hit ratio — hits/(hits+misses) — is the figure the query
+// service exports per session.
+func (c *DistCache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
 }

@@ -69,6 +69,33 @@ func TestFillSquaredDists(t *testing.T) {
 	}
 }
 
+// TestDistCacheStats checks the hit/miss accounting across the
+// per-pair and batch paths.
+func TestDistCacheStats(t *testing.T) {
+	X := randVecs(3, 5, 4)
+	c := NewDistCache()
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("fresh cache reports %d hits, %d misses", h, m)
+	}
+	c.SquaredDist(0, 1, X[0], X[1])
+	c.SquaredDist(0, 1, X[0], X[1])
+	if h, m := c.Stats(); h != 1 || m != 1 {
+		t.Fatalf("after repeat pair: %d hits, %d misses, want 1/1", h, m)
+	}
+	kus := []int64{0, 1, 2, 3}
+	out := make([]float64, 4)
+	// Row vs X[4]: all four pairs are new.
+	c.FillSquaredDists(kus, 4, X[:4], X[4], out)
+	if h, m := c.Stats(); h != 1 || m != 5 {
+		t.Fatalf("after cold row: %d hits, %d misses, want 1/5", h, m)
+	}
+	// Warm rerun: all four are hits.
+	c.FillSquaredDists(kus, 4, X[:4], X[4], out)
+	if h, m := c.Stats(); h != 5 || m != 5 {
+		t.Fatalf("after warm row: %d hits, %d misses, want 5/5", h, m)
+	}
+}
+
 // TestFillSquaredDistsConcurrent races batch fills and per-pair reads
 // over one cache (run with -race); every result must equal the direct
 // computation.

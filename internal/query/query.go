@@ -27,6 +27,9 @@ import (
 var (
 	ErrEmptyExample = errors.New("query: empty example")
 	ErrShortSketch  = errors.New("query: sketch needs at least two points")
+	// ErrNoTS is returned when a query VS carries zero trajectory
+	// sequences — an empty road window has nothing to query by.
+	ErrNoTS = errors.New("query: example VS has no trajectory sequences")
 )
 
 // Similarity computes the alignment-tolerant similarity between an
@@ -141,6 +144,35 @@ func NewByExample(ts window.TS) (ByExample, error) {
 		vecs[i] = append([]float64(nil), v...)
 	}
 	return ByExample{Example: vecs}, nil
+}
+
+// ExampleFromVS builds an example query from a whole video sequence:
+// the VS's most eventful TS (largest squared-sum peak over its
+// feature vectors) becomes the example — the "find more like this
+// result" interaction of the paper's Fig. 7 interface, which is how
+// the query service seeds a session from a VS index. A VS with zero
+// TSs yields ErrNoTS; a TS with no vectors yields ErrEmptyExample.
+func ExampleFromVS(vs window.VS) (ByExample, error) {
+	if len(vs.TSs) == 0 {
+		return ByExample{}, fmt.Errorf("%w (VS %d)", ErrNoTS, vs.Index)
+	}
+	best, bestScore := 0, math.Inf(-1)
+	for i, ts := range vs.TSs {
+		peak := math.Inf(-1)
+		for _, v := range ts.Vectors {
+			s := 0.0
+			for _, x := range v {
+				s += x * x
+			}
+			if s > peak {
+				peak = s
+			}
+		}
+		if peak > bestScore {
+			best, bestScore = i, peak
+		}
+	}
+	return NewByExample(vs.TSs[best])
 }
 
 // Name implements retrieval.Engine.

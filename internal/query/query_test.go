@@ -304,3 +304,24 @@ func TestWithFeedbackSwitches(t *testing.T) {
 		t.Fatal("missing engines accepted")
 	}
 }
+
+// TestExampleFromVS: the VS's most eventful TS becomes the example,
+// and degenerate VSs come back as typed errors.
+func TestExampleFromVS(t *testing.T) {
+	quiet := window.TS{TrackID: 1, Vectors: [][]float64{{0.1, 0, 0}, {0.1, 0, 0}}}
+	loud := window.TS{TrackID: 2, Vectors: [][]float64{{0.1, 0, 0}, {3, 2, 1}}}
+	ex, err := ExampleFromVS(window.VS{Index: 4, TSs: []window.TS{quiet, loud}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Example) != 2 || ex.Example[1][0] != 3 {
+		t.Fatalf("picked the wrong TS: %v", ex.Example)
+	}
+
+	if _, err := ExampleFromVS(window.VS{Index: 7}); !errors.Is(err, ErrNoTS) {
+		t.Fatalf("zero-TS VS: %v", err)
+	}
+	if _, err := ExampleFromVS(window.VS{TSs: []window.TS{{TrackID: 3}}}); !errors.Is(err, ErrEmptyExample) {
+		t.Fatalf("vectorless TS: %v", err)
+	}
+}

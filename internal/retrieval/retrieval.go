@@ -18,6 +18,76 @@ import (
 	"milvideo/internal/window"
 )
 
+// Typed errors for the degenerate inputs a network entry point can
+// deliver. Callers match with errors.Is; wrapped variants carry the
+// offending values.
+var (
+	// ErrNilEngine is returned when no ranking engine was supplied.
+	ErrNilEngine = errors.New("retrieval: nil engine")
+	// ErrNilOracle is returned when a session has no feedback source.
+	ErrNilOracle = errors.New("retrieval: nil oracle")
+	// ErrEmptyDB is returned when the VS database has no entries.
+	ErrEmptyDB = errors.New("retrieval: empty database")
+	// ErrBadTopK is returned for non-positive result counts.
+	ErrBadTopK = errors.New("retrieval: TopK must be positive")
+	// ErrBadRounds is returned for non-positive round counts.
+	ErrBadRounds = errors.New("retrieval: rounds must be positive")
+	// ErrDuplicateIndex is returned when two database VSs share an
+	// index (labels and rankings would silently alias).
+	ErrDuplicateIndex = errors.New("retrieval: duplicate VS index")
+	// ErrBadRanking is returned when an engine produces a ranking
+	// that is not a permutation of the database indices.
+	ErrBadRanking = errors.New("retrieval: engine returned malformed ranking")
+)
+
+// ValidateDB checks the invariants every ranking entry point relies
+// on: a non-empty database with unique VS indices. It is the shared
+// gate for offline sessions and the query service.
+func ValidateDB(db []window.VS) error {
+	if len(db) == 0 {
+		return ErrEmptyDB
+	}
+	seen := make(map[int]bool, len(db))
+	for _, vs := range db {
+		if seen[vs.Index] {
+			return fmt.Errorf("%w: %d", ErrDuplicateIndex, vs.Index)
+		}
+		seen[vs.Index] = true
+	}
+	return nil
+}
+
+// RankRound executes one retrieval round: the engine orders the
+// database under the labels accumulated so far, and the first
+// min(topK, len(db)) indices are the round's returned results. It is
+// the single ranking entry point shared by the offline Session, the
+// milquery tool and the HTTP query service — identical inputs yield
+// identical rankings everywhere.
+func RankRound(engine Engine, db []window.VS, labels map[int]mil.Label, topK int) (ranking, top []int, err error) {
+	if engine == nil {
+		return nil, nil, ErrNilEngine
+	}
+	if topK <= 0 {
+		return nil, nil, fmt.Errorf("%w, got %d", ErrBadTopK, topK)
+	}
+	if err := ValidateDB(db); err != nil {
+		return nil, nil, err
+	}
+	ranking, err = engine.Rank(db, labels)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(ranking) != len(db) {
+		return nil, nil, fmt.Errorf("%w: %s returned %d of %d indices",
+			ErrBadRanking, engine.Name(), len(ranking), len(db))
+	}
+	k := topK
+	if k > len(ranking) {
+		k = len(ranking)
+	}
+	return ranking, append([]int(nil), ranking[:k]...), nil
+}
+
 // Oracle supplies relevance judgments — the role of the human user in
 // the paper's Fig. 7 interface.
 type Oracle interface {
@@ -135,6 +205,13 @@ type MILCache struct {
 
 // NewMILCache returns an empty cache for one database.
 func NewMILCache() *MILCache { return &MILCache{dist: kernel.NewDistCache()} }
+
+// Stats reports the cache's distance-lookup counters: hits served
+// without recomputation and misses that computed a pair. After any
+// multi-round session the hit count is nonzero — consecutive rounds'
+// training sets overlap — which is what the query service's
+// /v1/stats surfaces as the kernel-cache hit ratio.
+func (c *MILCache) Stats() (hits, misses uint64) { return c.dist.Stats() }
 
 // MILEngine is the paper's proposed framework: bags from labeled VSs,
 // a One-class SVM trained with ν = δ from Eq. (9) on the training set

@@ -1,7 +1,6 @@
 package retrieval
 
 import (
-	"errors"
 	"fmt"
 
 	"milvideo/internal/mil"
@@ -58,43 +57,29 @@ func (r *Result) Accuracies() []float64 {
 // sees the top 20 of every round.
 func (s *Session) Run(engine Engine, rounds int) (*Result, error) {
 	if engine == nil {
-		return nil, errors.New("retrieval: nil engine")
+		return nil, ErrNilEngine
 	}
 	if s.Oracle == nil {
-		return nil, errors.New("retrieval: nil oracle")
+		return nil, ErrNilOracle
 	}
 	if rounds <= 0 {
-		return nil, fmt.Errorf("retrieval: rounds must be positive, got %d", rounds)
+		return nil, fmt.Errorf("%w, got %d", ErrBadRounds, rounds)
 	}
 	if s.TopK <= 0 {
-		return nil, fmt.Errorf("retrieval: TopK must be positive, got %d", s.TopK)
+		return nil, fmt.Errorf("%w, got %d", ErrBadTopK, s.TopK)
 	}
-	if len(s.DB) == 0 {
-		return nil, errors.New("retrieval: empty database")
-	}
-	seen := make(map[int]bool) // duplicate-index guard
-	for _, vs := range s.DB {
-		if seen[vs.Index] {
-			return nil, fmt.Errorf("retrieval: duplicate VS index %d", vs.Index)
-		}
-		seen[vs.Index] = true
+	if err := ValidateDB(s.DB); err != nil {
+		return nil, err
 	}
 
 	labels := make(map[int]mil.Label)
 	res := &Result{Engine: engine.Name(), Labels: labels}
 	for r := 0; r < rounds; r++ {
-		ranking, err := engine.Rank(s.DB, labels)
+		ranking, top, err := RankRound(engine, s.DB, labels, s.TopK)
 		if err != nil {
 			return nil, fmt.Errorf("retrieval: round %d: %w", r, err)
 		}
-		if len(ranking) != len(s.DB) {
-			return nil, fmt.Errorf("retrieval: round %d: engine returned %d of %d indices", r, len(ranking), len(s.DB))
-		}
-		k := s.TopK
-		if k > len(ranking) {
-			k = len(ranking)
-		}
-		top := ranking[:k]
+		k := len(top)
 		relevant := 0
 		newLabels := 0
 		for _, i := range top {
@@ -114,7 +99,7 @@ func (s *Session) Run(engine Engine, rounds int) (*Result, error) {
 		}
 		res.Rounds = append(res.Rounds, Round{
 			Ranking:   ranking,
-			TopK:      append([]int(nil), top...),
+			TopK:      top,
 			Accuracy:  float64(relevant) / float64(k),
 			NewLabels: newLabels,
 		})

@@ -1,0 +1,262 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"milvideo/internal/core"
+	"milvideo/internal/sim"
+	"milvideo/internal/videodb"
+)
+
+// Judge is the load generator's stand-in for the paper's human user:
+// it judges a returned result from what the wire carries — the VS
+// index and its frame span.
+type Judge func(e RankingEntry) bool
+
+// JudgeFromRecord builds a ground-truth Judge from a stored clip's
+// incident log (nil pred selects accidents) — the same relevance test
+// the offline oracle applies, lifted onto wire entries.
+func JudgeFromRecord(rec *videodb.ClipRecord, pred func(sim.IncidentType) bool) (Judge, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("server: nil record")
+	}
+	if len(rec.Incidents) == 0 {
+		return nil, fmt.Errorf("server: clip %q has no incident ground truth", rec.Name)
+	}
+	if pred == nil {
+		pred = func(t sim.IncidentType) bool { return t.IsAccident() }
+	}
+	incidents := rec.Incidents
+	need := rec.Window.SampleRate
+	if need < 1 {
+		need = 1
+	}
+	return func(e RankingEntry) bool {
+		return core.IncidentOverlap(incidents, pred, e.StartFrame, e.EndFrame, need)
+	}, nil
+}
+
+// LoadGen is a closed-loop load generator: Sessions concurrent
+// clients each run a full relevance-feedback session (query, Rounds−1
+// feedback rounds judged by Judge, a ranking read, then delete),
+// immediately issuing the next request when the previous one
+// completes.
+type LoadGen struct {
+	Client *Client
+	Clip   string
+	// Engine forwards to QueryRequest.Engine ("" = mil).
+	Engine string
+	// Sessions is the concurrent session count (≤ 0 means 1).
+	Sessions int
+	// Rounds is the total rounds per session including the initial
+	// one (≤ 0 means 5, the paper's protocol).
+	Rounds int
+	// TopK is the per-round result count (0 = server default).
+	TopK int
+	// Judge labels returned results; required.
+	Judge Judge
+}
+
+// OpStats are exact latency percentiles for one operation type.
+type OpStats struct {
+	Count int     `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// Report is a finished load run.
+type Report struct {
+	Sessions      int     `json:"sessions"`
+	RoundsPerSess int     `json:"rounds_per_session"`
+	RoundsServed  int     `json:"rounds_served"`
+	DroppedRounds int     `json:"dropped_rounds"`
+	EmptyRankings int     `json:"empty_rankings"`
+	DurationSec   float64 `json:"duration_sec"`
+	RoundsPerSec  float64 `json:"rounds_per_sec"`
+	// FinalAccuracyMean averages the last round's top-k precision
+	// across sessions — sanity that the loop actually learns.
+	FinalAccuracyMean float64 `json:"final_accuracy_mean"`
+	// Latency holds exact client-side percentiles per operation
+	// ("query", "feedback", "ranking").
+	Latency map[string]OpStats `json:"latency"`
+	// ServerStats snapshots /v1/stats after the run.
+	ServerStats *StatsResponse `json:"server_stats,omitempty"`
+	// Errors samples failures (capped at 8).
+	Errors []string `json:"errors,omitempty"`
+}
+
+// lat collects per-op latencies under a mutex (exact percentiles beat
+// streaming sketches at load-test sample counts).
+type lat struct {
+	mu sync.Mutex
+	m  map[string][]time.Duration
+}
+
+func (l *lat) add(op string, d time.Duration) {
+	l.mu.Lock()
+	l.m[op] = append(l.m[op], d)
+	l.mu.Unlock()
+}
+
+func (l *lat) stats() map[string]OpStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[string]OpStats, len(l.m))
+	for op, ds := range l.m {
+		sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+		q := func(p float64) float64 {
+			if len(ds) == 0 {
+				return 0
+			}
+			i := int(p * float64(len(ds)-1))
+			return ms(ds[i])
+		}
+		out[op] = OpStats{
+			Count: len(ds),
+			P50Ms: q(0.50),
+			P90Ms: q(0.90),
+			P99Ms: q(0.99),
+			MaxMs: ms(ds[len(ds)-1]),
+		}
+	}
+	return out
+}
+
+// Run executes the load: all sessions run concurrently to completion
+// (or ctx cancellation). The returned Report is always non-nil; a
+// non-nil error means the run itself could not execute (e.g. nil
+// Judge), not that individual rounds failed — those are counted in
+// DroppedRounds and sampled in Errors.
+func (lg *LoadGen) Run(ctx context.Context) (*Report, error) {
+	if lg.Client == nil {
+		return nil, fmt.Errorf("server: loadgen needs a client")
+	}
+	if lg.Judge == nil {
+		return nil, fmt.Errorf("server: loadgen needs a judge")
+	}
+	sessions := lg.Sessions
+	if sessions <= 0 {
+		sessions = 1
+	}
+	rounds := lg.Rounds
+	if rounds <= 0 {
+		rounds = 5
+	}
+
+	var (
+		mu       sync.Mutex
+		served   int
+		dropped  int
+		empty    int
+		accSum   float64
+		accCount int
+		errs     []string
+	)
+	fail := func(err error) {
+		mu.Lock()
+		dropped++
+		if len(errs) < 8 {
+			errs = append(errs, err.Error())
+		}
+		mu.Unlock()
+	}
+	ok := func(resp *RoundResponse) {
+		mu.Lock()
+		served++
+		if len(resp.TopK) == 0 {
+			empty++
+		}
+		mu.Unlock()
+	}
+
+	latencies := &lat{m: make(map[string][]time.Duration)}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < sessions; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := lg.Client.Query(ctx, QueryRequest{
+				Clip: lg.Clip, Engine: lg.Engine, TopK: lg.TopK,
+			})
+			latencies.add("query", time.Since(t0))
+			if err != nil {
+				fail(fmt.Errorf("query: %w", err))
+				return
+			}
+			ok(resp)
+			id := resp.Session
+			for r := 1; r < rounds; r++ {
+				labels := make([]FeedbackLabel, len(resp.TopK))
+				for i, e := range resp.TopK {
+					labels[i] = FeedbackLabel{VS: e.VS, Relevant: lg.Judge(e)}
+				}
+				t0 = time.Now()
+				resp, err = lg.Client.Feedback(ctx, id, labels)
+				latencies.add("feedback", time.Since(t0))
+				if err != nil {
+					fail(fmt.Errorf("feedback round %d: %w", r, err))
+					return
+				}
+				if resp.Round != r {
+					fail(fmt.Errorf("feedback round %d came back as round %d", r, resp.Round))
+					return
+				}
+				ok(resp)
+			}
+			// Final accuracy of the last round, judged client-side.
+			if len(resp.TopK) > 0 {
+				rel := 0
+				for _, e := range resp.TopK {
+					if lg.Judge(e) {
+						rel++
+					}
+				}
+				mu.Lock()
+				accSum += float64(rel) / float64(len(resp.TopK))
+				accCount++
+				mu.Unlock()
+			}
+			t0 = time.Now()
+			if _, err := lg.Client.Ranking(ctx, id, 0); err != nil {
+				latencies.add("ranking", time.Since(t0))
+				fail(fmt.Errorf("ranking: %w", err))
+				return
+			}
+			latencies.add("ranking", time.Since(t0))
+			if err := lg.Client.Delete(ctx, id); err != nil {
+				fail(fmt.Errorf("delete: %w", err))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Sessions:      sessions,
+		RoundsPerSess: rounds,
+		RoundsServed:  served,
+		DroppedRounds: dropped,
+		EmptyRankings: empty,
+		DurationSec:   elapsed.Seconds(),
+		Latency:       latencies.stats(),
+		Errors:        errs,
+	}
+	if elapsed > 0 {
+		rep.RoundsPerSec = float64(served) / elapsed.Seconds()
+	}
+	if accCount > 0 {
+		rep.FinalAccuracyMean = accSum / float64(accCount)
+	}
+	if stats, err := lg.Client.Stats(ctx); err == nil {
+		rep.ServerStats = stats
+	}
+	return rep, nil
+}

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"context"
+	"testing"
+)
+
+// TestLoadGen32Sessions is the acceptance gate: 32 concurrent
+// closed-loop sessions against one server (run under -race), zero
+// dropped rounds, zero empty rankings, and a learning loop that
+// actually reuses kernel rows across rounds.
+func TestLoadGen32Sessions(t *testing.T) {
+	const sessions, rounds = 32, 3
+	rec := synthRecord(t, 21, 4, 4, 16)
+	judge, err := JudgeFromRecord(rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, client := newTestServer(t, Config{DB: testCatalog(t, rec), MaxSessions: sessions})
+	lg := &LoadGen{
+		Client:   client,
+		Clip:     rec.Name,
+		Sessions: sessions,
+		Rounds:   rounds,
+		TopK:     4,
+		Judge:    judge,
+	}
+	rep, err := lg.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DroppedRounds != 0 {
+		t.Fatalf("%d dropped rounds (errors: %v)", rep.DroppedRounds, rep.Errors)
+	}
+	if want := sessions * rounds; rep.RoundsServed != want {
+		t.Fatalf("served %d rounds, want %d", rep.RoundsServed, want)
+	}
+	if rep.EmptyRankings != 0 {
+		t.Fatalf("%d empty rankings", rep.EmptyRankings)
+	}
+	if rep.ServerStats == nil {
+		t.Fatal("report lost the server stats snapshot")
+	}
+	if rep.ServerStats.SessionsCreated != sessions {
+		t.Fatalf("server saw %d sessions, want %d", rep.ServerStats.SessionsCreated, sessions)
+	}
+	if rep.ServerStats.RoundsServed != int64(sessions*rounds) {
+		t.Fatalf("server served %d rounds, want %d", rep.ServerStats.RoundsServed, sessions*rounds)
+	}
+	if rep.ServerStats.KernelCache.HitRatio <= 0 {
+		t.Fatalf("no kernel-cache reuse across rounds: %+v", rep.ServerStats.KernelCache)
+	}
+	// Every session deleted itself: the store must be empty again.
+	if rep.ServerStats.SessionsLive != 0 {
+		t.Fatalf("%d sessions leaked", rep.ServerStats.SessionsLive)
+	}
+	for _, op := range []string{"query", "feedback", "ranking"} {
+		if rep.Latency[op].Count == 0 {
+			t.Fatalf("no latency samples for %q", op)
+		}
+	}
+}
+
+// TestLoadGenValidation: the generator refuses to run without its
+// client or judge.
+func TestLoadGenValidation(t *testing.T) {
+	if _, err := (&LoadGen{}).Run(context.Background()); err == nil {
+		t.Fatal("nil client accepted")
+	}
+	if _, err := (&LoadGen{Client: &Client{}}).Run(context.Background()); err == nil {
+		t.Fatal("nil judge accepted")
+	}
+}

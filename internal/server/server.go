@@ -1,0 +1,617 @@
+// Package server exposes the paper's interactive retrieval loop as a
+// concurrent, stateful HTTP query service: a user seeds a session
+// from a stored clip (optionally via a query-by-example VS or a
+// sketched trajectory), inspects the top-k ranked video sequences,
+// posts relevance feedback, and the One-class SVM re-ranks — the
+// §5.3/§6.2 protocol, multi-round and multi-user.
+//
+// API (JSON over HTTP):
+//
+//	POST   /v1/query                  seed a session, returns round 0
+//	GET    /v1/session/{id}/ranking   latest round's ranking
+//	POST   /v1/session/{id}/feedback  user labels → SVM re-rank
+//	DELETE /v1/session/{id}           end the session
+//	GET    /v1/stats                  expvar-backed service metrics
+//
+// Concurrency model: each session owns a retrieval.MILCache, so Gram
+// rows are reused across that session's feedback rounds exactly as in
+// the offline path; per-session rounds are serialized while re-ranks
+// of different sessions run concurrently under a bounded worker pool.
+// Queries rank against a read-mostly videodb.Snapshot, so serving
+// never blocks ingestion. The store applies TTL expiry and LRU
+// eviction; Close drains in-flight re-ranks for graceful shutdown.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"milvideo/internal/core"
+	"milvideo/internal/event"
+	"milvideo/internal/geom"
+	"milvideo/internal/mil"
+	"milvideo/internal/query"
+	"milvideo/internal/retrieval"
+	"milvideo/internal/videodb"
+	"milvideo/internal/window"
+)
+
+// Config tunes the service. Zero values take the documented defaults.
+type Config struct {
+	// DB is the clip catalog to serve (required). The server reads
+	// through point-in-time snapshots, so concurrent ingestion into
+	// the same DB is safe and never blocks queries.
+	DB *videodb.DB
+	// MaxSessions caps live sessions; the least recently used session
+	// is evicted beyond it. Default 256.
+	MaxSessions int
+	// SessionTTL expires sessions idle longer than this. Default 15m.
+	SessionTTL time.Duration
+	// RerankWorkers bounds concurrently executing re-ranks across all
+	// sessions. Default GOMAXPROCS.
+	RerankWorkers int
+	// RequestTimeout bounds each ranking request, including the wait
+	// for a worker slot. Default 30s.
+	RequestTimeout time.Duration
+	// DefaultTopK is the per-round result count when a query names
+	// none. Default 20 (the paper's protocol).
+	DefaultTopK int
+	// Clock overrides time.Now for TTL tests.
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
+	if c.RerankWorkers <= 0 {
+		c.RerankWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.DefaultTopK <= 0 {
+		c.DefaultTopK = 20
+	}
+	return c
+}
+
+// Server is the query service. Create with New, mount via Handler,
+// stop with Close.
+type Server struct {
+	cfg     Config
+	store   *sessionStore
+	metrics *Metrics
+	sem     chan struct{}
+	mux     *http.ServeMux
+
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+// New builds a Server over the catalog in cfg.DB.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		store:   newSessionStore(cfg.MaxSessions, cfg.SessionTTL, cfg.Clock),
+		metrics: &Metrics{},
+		sem:     make(chan struct{}, cfg.RerankWorkers),
+		mux:     http.NewServeMux(),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	s.metrics.publish()
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/session/{id}/ranking", s.handleRanking)
+	s.mux.HandleFunc("POST /v1/session/{id}/feedback", s.handleFeedback)
+	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	go s.janitor()
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the TTL janitor and drains in-flight re-ranks: it
+// acquires every worker slot, so it returns only after the last
+// running re-rank finished. Requests arriving after Close began are
+// rejected by the slot wait's context as usual.
+func (s *Server) Close() {
+	close(s.stop)
+	<-s.stopped
+	for i := 0; i < cap(s.sem); i++ {
+		s.sem <- struct{}{}
+	}
+	for i := 0; i < cap(s.sem); i++ {
+		<-s.sem
+	}
+}
+
+// janitor sweeps expired sessions until Close.
+func (s *Server) janitor() {
+	defer close(s.stopped)
+	period := s.cfg.SessionTTL / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			for _, victim := range s.store.sweep() {
+				s.retire(victim)
+				s.metrics.SessionsExpired.Add(1)
+				s.metrics.SessionsLive.Add(-1)
+			}
+		}
+	}
+}
+
+// retire folds a departing session's cache counters into the totals.
+func (s *Server) retire(sess *session) {
+	h, m := sess.cacheStats()
+	s.metrics.retire(h, m)
+}
+
+// ---- wire types ----
+
+// QueryRequest seeds a session over one stored clip.
+type QueryRequest struct {
+	// Clip names the catalog clip to query.
+	Clip string `json:"clip"`
+	// Engine selects the learner (core.EngineNames; empty = "mil").
+	Engine string `json:"engine,omitempty"`
+	// TopK is the per-round result count (default: server's
+	// DefaultTopK).
+	TopK int `json:"topk,omitempty"`
+	// ExampleVS, when set, seeds the initial ranking by example: the
+	// named VS's most eventful trajectory becomes the query, and the
+	// learner takes over once positive feedback exists.
+	ExampleVS *int `json:"example_vs,omitempty"`
+	// Sketch, when set, seeds the initial ranking from a drawn
+	// trajectory (mutually exclusive with ExampleVS).
+	Sketch *SketchQuery `json:"sketch,omitempty"`
+}
+
+// SketchQuery is a sketched trajectory: a polyline in image
+// coordinates.
+type SketchQuery struct {
+	// Points are [x, y] pairs (≥ 2).
+	Points [][2]float64 `json:"points"`
+	// FramesPerSegment is how fast the sketched vehicle moves (≤ 0
+	// means 5 frames per polyline segment).
+	FramesPerSegment int `json:"frames_per_segment,omitempty"`
+}
+
+// RankingEntry is one returned video sequence with its clip-relative
+// frame span, enough for a client to cue playback.
+type RankingEntry struct {
+	VS         int `json:"vs"`
+	StartFrame int `json:"start_frame"`
+	EndFrame   int `json:"end_frame"`
+	TSCount    int `json:"ts_count"`
+}
+
+// RoundResponse reports one retrieval round.
+type RoundResponse struct {
+	Session string `json:"session"`
+	Clip    string `json:"clip"`
+	Engine  string `json:"engine"`
+	// Round is 0 for the initial query, incrementing per feedback.
+	Round  int `json:"round"`
+	DBSize int `json:"db_size"`
+	// TopK are the returned results in rank order.
+	TopK []RankingEntry `json:"topk"`
+	// Ranking is the full database ordering (VS indices, best first).
+	Ranking []int `json:"ranking"`
+}
+
+// FeedbackLabel is one user judgment.
+type FeedbackLabel struct {
+	VS       int  `json:"vs"`
+	Relevant bool `json:"relevant"`
+}
+
+// FeedbackRequest posts a round of user labels.
+type FeedbackRequest struct {
+	Labels []FeedbackLabel `json:"labels"`
+}
+
+// KernelCacheStats aggregates per-session Gram reuse.
+type KernelCacheStats struct {
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// StatsResponse is /v1/stats.
+type StatsResponse struct {
+	SessionsLive     int64            `json:"sessions_live"`
+	SessionsCreated  int64            `json:"sessions_created"`
+	SessionsEvicted  int64            `json:"sessions_evicted"`
+	SessionsExpired  int64            `json:"sessions_expired"`
+	SessionsDeleted  int64            `json:"sessions_deleted"`
+	RoundsServed     int64            `json:"rounds_served"`
+	RequestsRejected int64            `json:"requests_rejected"`
+	KernelCache      KernelCacheStats `json:"kernel_cache"`
+	RerankLatency    LatencySummary   `json:"rerank_latency"`
+}
+
+// ErrorResponse is the JSON error envelope.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Clip == "" {
+		writeError(w, http.StatusBadRequest, errors.New("query needs a clip name"))
+		return
+	}
+	if req.ExampleVS != nil && req.Sketch != nil {
+		writeError(w, http.StatusBadRequest, errors.New("example_vs and sketch are mutually exclusive"))
+		return
+	}
+	snap := s.cfg.DB.Snapshot()
+	rec, err := snap.Clip(req.Clip)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if err := retrieval.ValidateDB(rec.VSs); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	topK := req.TopK
+	if topK == 0 {
+		topK = s.cfg.DefaultTopK
+	}
+	if topK < 0 {
+		writeError(w, http.StatusBadRequest, retrieval.ErrBadTopK)
+		return
+	}
+
+	cache := retrieval.NewMILCache()
+	engine, err := core.EngineByName(req.Engine, cache)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, isMIL := engine.(retrieval.MILEngine); !isMIL {
+		cache = nil // no kernel reuse for this engine; don't report one
+	}
+	if initial, err := initialEngine(req, rec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	} else if initial != nil {
+		engine = query.WithFeedback{Initial: initial, Learner: engine}
+	}
+
+	id, err := newSessionID()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	sess := &session{
+		id:         id,
+		clip:       rec.Name,
+		engineName: engine.Name(),
+		engine:     engine,
+		cache:      cache,
+		db:         rec.VSs,
+		topK:       topK,
+		labels:     make(map[int]mil.Label),
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	resp, err := s.runRound(ctx, sess, nil)
+	if err != nil {
+		s.writeRoundError(w, err)
+		return
+	}
+	for _, victim := range s.store.put(sess) {
+		s.retire(victim)
+		s.metrics.SessionsEvicted.Add(1)
+		s.metrics.SessionsLive.Add(-1)
+	}
+	s.metrics.SessionsCreated.Add(1)
+	s.metrics.SessionsLive.Add(1)
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+// named overrides an engine's reported name: a sketch seed is a
+// ByExample under the hood, but the session should say so.
+type named struct {
+	retrieval.Engine
+	name string
+}
+
+// Name implements retrieval.Engine.
+func (n named) Name() string { return n.name }
+
+// initialEngine builds the optional example/sketch initial ranking
+// engine from the request.
+func initialEngine(req QueryRequest, rec *videodb.ClipRecord) (retrieval.Engine, error) {
+	switch {
+	case req.ExampleVS != nil:
+		for _, vs := range rec.VSs {
+			if vs.Index == *req.ExampleVS {
+				ex, err := query.ExampleFromVS(vs)
+				if err != nil {
+					return nil, err
+				}
+				return ex, nil
+			}
+		}
+		return nil, fmt.Errorf("clip %q has no VS %d", rec.Name, *req.ExampleVS)
+	case req.Sketch != nil:
+		model, err := event.ModelByName(rec.ModelName)
+		if err != nil {
+			return nil, err
+		}
+		pts := make([]geom.Point, len(req.Sketch.Points))
+		for i, p := range req.Sketch.Points {
+			pts[i] = geom.Point{X: p[0], Y: p[1]}
+		}
+		ex, err := query.BySketch(query.Sketch{
+			Points:           pts,
+			FramesPerSegment: req.Sketch.FramesPerSegment,
+		}, model, rec.Window)
+		if err != nil {
+			return nil, err
+		}
+		return named{Engine: ex, name: "query-by-sketch"}, nil
+	default:
+		return nil, nil
+	}
+}
+
+func (s *Server) handleRanking(w http.ResponseWriter, r *http.Request) {
+	sess, _, err := s.sessionFor(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	k := 0
+	if q := r.URL.Query().Get("k"); q != "" {
+		k, err = strconv.Atoi(q)
+		if err != nil || k <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad k %q", q))
+			return
+		}
+	}
+	sess.mu.Lock()
+	resp := *sess.last
+	sess.mu.Unlock()
+	if k > 0 {
+		resp.TopK = topEntries(sess.db, resp.Ranking, k)
+	}
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	sess, _, err := s.sessionFor(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	var req FeedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Labels) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("feedback needs at least one label"))
+		return
+	}
+	known := make(map[int]bool, len(sess.db))
+	for _, vs := range sess.db {
+		known[vs.Index] = true
+	}
+	for _, l := range req.Labels {
+		if !known[l.VS] {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("label for unknown VS %d", l.VS))
+			return
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	resp, err := s.runRound(ctx, sess, req.Labels)
+	if err != nil {
+		s.writeRoundError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sess, ok := s.store.remove(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrSessionNotFound, id))
+		return
+	}
+	s.retire(sess)
+	s.metrics.SessionsDeleted.Add(1)
+	s.metrics.SessionsLive.Add(-1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats assembles the service metrics, aggregating kernel-cache
+// counters over live and retired sessions.
+func (s *Server) Stats() *StatsResponse {
+	resp := &StatsResponse{
+		SessionsLive:     s.metrics.SessionsLive.Value(),
+		SessionsCreated:  s.metrics.SessionsCreated.Value(),
+		SessionsEvicted:  s.metrics.SessionsEvicted.Value(),
+		SessionsExpired:  s.metrics.SessionsExpired.Value(),
+		SessionsDeleted:  s.metrics.SessionsDeleted.Value(),
+		RoundsServed:     s.metrics.RoundsServed.Value(),
+		RequestsRejected: s.metrics.RequestsRejected.Value(),
+		RerankLatency:    s.metrics.Rerank.Summary(),
+	}
+	hits := uint64(s.metrics.retiredHits.Value())
+	misses := uint64(s.metrics.retiredMisses.Value())
+	s.store.forEach(func(sess *session) {
+		h, m := sess.cacheStats()
+		hits += h
+		misses += m
+	})
+	resp.KernelCache = KernelCacheStats{Hits: hits, Misses: misses}
+	if total := hits + misses; total > 0 {
+		resp.KernelCache.HitRatio = float64(hits) / float64(total)
+	}
+	return resp
+}
+
+// sessionFor resolves the request's session, updating expiry metrics
+// when the lookup lazily expired one.
+func (s *Server) sessionFor(r *http.Request) (*session, bool, error) {
+	sess, expired, err := s.store.get(r.PathValue("id"))
+	if expired {
+		s.retire(sess)
+		s.metrics.SessionsExpired.Add(1)
+		s.metrics.SessionsLive.Add(-1)
+	}
+	if err != nil {
+		return nil, expired, err
+	}
+	return sess, false, nil
+}
+
+// runRound executes one retrieval round for the session: apply the
+// new labels, rank under a worker slot, record the round. Per-session
+// rounds serialize on sess.mu; the semaphore bounds cross-session
+// concurrency. The slot is acquired before the session lock so a
+// session queued behind a slow sibling round doesn't pin a worker.
+func (s *Server) runRound(ctx context.Context, sess *session, labels []FeedbackLabel) (*RoundResponse, error) {
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		s.metrics.RequestsRejected.Add(1)
+		return nil, fmt.Errorf("server: re-rank queue: %w", ctx.Err())
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		s.metrics.RequestsRejected.Add(1)
+		return nil, fmt.Errorf("server: re-rank queue: %w", err)
+	}
+	for _, l := range labels {
+		if l.Relevant {
+			sess.labels[l.VS] = mil.Positive
+		} else {
+			sess.labels[l.VS] = mil.Negative
+		}
+	}
+	start := time.Now()
+	ranking, top, err := retrieval.RankRound(sess.engine, sess.db, sess.labels, sess.topK)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.Rerank.Observe(time.Since(start))
+	s.metrics.RoundsServed.Add(1)
+
+	entries := make([]RankingEntry, len(top))
+	for i, dbPos := range top {
+		vs := sess.db[dbPos]
+		entries[i] = RankingEntry{
+			VS:         vs.Index,
+			StartFrame: vs.StartFrame,
+			EndFrame:   vs.EndFrame,
+			TSCount:    len(vs.TSs),
+		}
+	}
+	indices := make([]int, len(ranking))
+	for i, dbPos := range ranking {
+		indices[i] = sess.db[dbPos].Index
+	}
+	resp := &RoundResponse{
+		Session: sess.id,
+		Clip:    sess.clip,
+		Engine:  sess.engineName,
+		Round:   sess.round,
+		DBSize:  len(sess.db),
+		TopK:    entries,
+		Ranking: indices,
+	}
+	sess.round++
+	sess.last = resp
+	return resp, nil
+}
+
+// topEntries rebuilds the first k ranking entries from a stored
+// ranking (VS indices).
+func topEntries(db []window.VS, ranking []int, k int) []RankingEntry {
+	if k > len(ranking) {
+		k = len(ranking)
+	}
+	byIndex := make(map[int]window.VS, len(db))
+	for _, vs := range db {
+		byIndex[vs.Index] = vs
+	}
+	out := make([]RankingEntry, 0, k)
+	for _, idx := range ranking[:k] {
+		vs := byIndex[idx]
+		out = append(out, RankingEntry{
+			VS:         vs.Index,
+			StartFrame: vs.StartFrame,
+			EndFrame:   vs.EndFrame,
+			TSCount:    len(vs.TSs),
+		})
+	}
+	return out
+}
+
+// writeRoundError maps round-execution failures onto HTTP statuses.
+func (s *Server) writeRoundError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, retrieval.ErrEmptyDB),
+		errors.Is(err, retrieval.ErrBadTopK),
+		errors.Is(err, retrieval.ErrDuplicateIndex):
+		writeError(w, http.StatusUnprocessableEntity, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}

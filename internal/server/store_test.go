@@ -1,0 +1,222 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a goroutine-safe manual clock for TTL tests (the
+// janitor reads it concurrently with the test advancing it).
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestStoreTTLExpiry covers the unit-level store: idle sessions
+// expire on lookup and on sweep, and a touch resets the clock.
+func TestStoreTTLExpiry(t *testing.T) {
+	clock := newFakeClock()
+	st := newSessionStore(8, time.Minute, clock.now)
+
+	st.put(&session{id: "a"})
+	st.put(&session{id: "b"})
+	clock.advance(40 * time.Second)
+	if _, _, err := st.get("a"); err != nil { // touch a at t+40s
+		t.Fatal(err)
+	}
+	clock.advance(40 * time.Second) // t+80s: b idle 80s, a idle 40s
+
+	if _, expired, err := st.get("b"); err == nil || !expired {
+		t.Fatalf("idle session b survived TTL: expired=%v err=%v", expired, err)
+	}
+	if _, _, err := st.get("a"); err != nil {
+		t.Fatalf("touched session a expired early: %v", err)
+	}
+	if st.len() != 1 {
+		t.Fatalf("store holds %d sessions, want 1", st.len())
+	}
+
+	clock.advance(2 * time.Minute)
+	swept := st.sweep()
+	if len(swept) != 1 || swept[0].id != "a" {
+		t.Fatalf("sweep returned %v, want [a]", swept)
+	}
+	if st.len() != 0 {
+		t.Fatalf("store holds %d sessions after sweep, want 0", st.len())
+	}
+}
+
+// TestStoreLRUEviction covers capacity-based eviction: the least
+// recently used session goes first, and touches reorder the queue.
+func TestStoreLRUEviction(t *testing.T) {
+	clock := newFakeClock()
+	st := newSessionStore(2, time.Hour, clock.now)
+
+	if ev := st.put(&session{id: "a"}); len(ev) != 0 {
+		t.Fatalf("unexpected eviction %v", ev)
+	}
+	st.put(&session{id: "b"})
+	if _, _, err := st.get("a"); err != nil { // a is now most recent
+		t.Fatal(err)
+	}
+	ev := st.put(&session{id: "c"})
+	if len(ev) != 1 || ev[0].id != "b" {
+		t.Fatalf("evicted %v, want [b]", ev)
+	}
+	if _, _, err := st.get("b"); err == nil {
+		t.Fatal("evicted session b still resolvable")
+	}
+	for _, id := range []string{"a", "c"} {
+		if _, _, err := st.get(id); err != nil {
+			t.Fatalf("session %s lost: %v", id, err)
+		}
+	}
+}
+
+// TestServerEvictionAndExpiry drives TTL and LRU through the HTTP
+// surface: feedback to an evicted or expired session is a 404-style
+// error, and the stats counters record the lifecycle.
+func TestServerEvictionAndExpiry(t *testing.T) {
+	rec := synthRecord(t, 5, 3, 3, 10)
+	clock := newFakeClock()
+	_, client := newTestServer(t, Config{
+		DB:          testCatalog(t, rec),
+		MaxSessions: 2,
+		SessionTTL:  time.Minute,
+		Clock:       clock.now,
+	})
+	ctx := context.Background()
+
+	first, err := client.Query(ctx, QueryRequest{Clip: rec.Name, TopK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivors := make([]string, 2)
+	for i := range survivors { // push the cap: first is LRU and falls out
+		resp, err := client.Query(ctx, QueryRequest{Clip: rec.Name, TopK: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		survivors[i] = resp.Session
+	}
+	_, err = client.Feedback(ctx, first.Session, []FeedbackLabel{{VS: first.TopK[0].VS, Relevant: true}})
+	wantStatus(t, err, http.StatusNotFound)
+
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SessionsEvicted != 1 || stats.SessionsLive != 2 {
+		t.Fatalf("after eviction: %+v", stats)
+	}
+
+	clock.advance(2 * time.Minute) // both survivors idle past TTL
+	for _, id := range survivors {
+		_, err := client.Ranking(ctx, id, 0) // lazy expiry on lookup
+		wantStatus(t, err, http.StatusNotFound)
+	}
+	stats, err = client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SessionsExpired != 2 || stats.SessionsLive != 0 {
+		t.Fatalf("after expiry: %+v", stats)
+	}
+
+	// The service keeps serving fresh sessions after the churn.
+	second, err := client.Query(ctx, QueryRequest{Clip: rec.Name, TopK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Ranking(ctx, second.Session, 0); err != nil {
+		t.Fatalf("fresh session must resolve: %v", err)
+	}
+}
+
+// TestSessionHammer floods one session from many goroutines (run
+// under -race): rounds must stay serialized — every successful
+// feedback gets a distinct, consecutive round number — and concurrent
+// ranking reads never observe torn state.
+func TestSessionHammer(t *testing.T) {
+	rec := synthRecord(t, 13, 4, 4, 12)
+	_, client := newTestServer(t, Config{DB: testCatalog(t, rec), RerankWorkers: 4})
+	ctx := context.Background()
+
+	seed, err := client.Query(ctx, QueryRequest{Clip: rec.Name, TopK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 8, 4
+	rounds := make(chan int, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				vs := seed.TopK[(w+i)%len(seed.TopK)].VS
+				resp, err := client.Feedback(ctx, seed.Session, []FeedbackLabel{{VS: vs, Relevant: w%2 == 0}})
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				rounds <- resp.Round
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { // concurrent readers against the same session
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			resp, err := client.Ranking(ctx, seed.Session, 3)
+			if err != nil {
+				t.Errorf("ranking: %v", err)
+				return
+			}
+			if len(resp.TopK) != 3 || len(resp.Ranking) != len(rec.VSs) {
+				t.Errorf("torn ranking: %d topk, %d ranking", len(resp.TopK), len(resp.Ranking))
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	close(rounds)
+
+	seen := make(map[int]bool)
+	for r := range rounds {
+		if seen[r] {
+			t.Fatalf("round %d served twice: serialization broken", r)
+		}
+		seen[r] = true
+	}
+	for r := 1; r <= workers*perWorker; r++ {
+		if !seen[r] {
+			t.Fatalf("round %d missing from %d feedbacks", r, workers*perWorker)
+		}
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(workers*perWorker + 1); stats.RoundsServed != want {
+		t.Fatalf("rounds served %d, want %d", stats.RoundsServed, want)
+	}
+}

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"milvideo/internal/sim"
+	"milvideo/internal/videodb"
+	"milvideo/internal/window"
+)
+
+// DemoClip is the clip name SynthRecord stores, shared by
+// `serve -demo` and `loadgen -demo` so the two binaries agree without
+// a catalog file.
+const DemoClip = "synth"
+
+// SynthRecord builds a synthetic clip record directly at the feature
+// level — no rendering, segmentation, or tracking — whose incident
+// log marks the accident windows, so ground-truth judges on both
+// sides of the wire (core.OracleFromRecord offline, JudgeFromRecord
+// on the client) agree exactly. Each VS occupies its own 15-frame
+// stripe; relevant VSs carry one accident-spike trajectory and a
+// wall-crash incident spanning the window, distractors a
+// deceleration-only spike, the rest smooth traffic. It backs the demo
+// catalog of cmd/serve, the load generator's synthetic oracle
+// sessions, and the server test fixtures.
+func SynthRecord(seed int64, nRelevant, nDistractor, nNormal int) (*videodb.ClipRecord, error) {
+	rng := rand.New(rand.NewSource(seed))
+	n3 := func(scale float64) []float64 {
+		return []float64{
+			math.Abs(rng.NormFloat64()) * 0.03 * scale,
+			math.Abs(rng.NormFloat64()) * 0.1 * scale,
+			math.Abs(rng.NormFloat64()) * 0.05 * scale,
+		}
+	}
+	var vss []window.VS
+	var incidents []sim.Incident
+	idx := 0
+	mkVS := func(tss ...window.TS) window.VS {
+		vs := window.VS{Index: idx, StartFrame: idx * 15, EndFrame: idx*15 + 10, TSs: tss}
+		idx++
+		return vs
+	}
+	normalTS := func(id int) window.TS {
+		s := 1 + rng.Float64()*5
+		return window.TS{TrackID: id, Vectors: [][]float64{n3(s), n3(s), n3(s)}}
+	}
+	for i := 0; i < nRelevant; i++ {
+		peak := []float64{0.35 + rng.Float64()*0.1, 2.6 + rng.NormFloat64()*0.5, 1.1 + rng.NormFloat64()*0.2}
+		after := []float64{0.3 + rng.Float64()*0.1, 0.5 + rng.NormFloat64()*0.1, 0.25 + rng.NormFloat64()*0.08}
+		acc := window.TS{TrackID: 100 + i, Vectors: [][]float64{n3(1), peak, after}}
+		vs := mkVS(acc)
+		if i%3 == 0 {
+			vs.TSs = append(vs.TSs, normalTS(200+i))
+		}
+		incidents = append(incidents, sim.Incident{
+			Type: sim.WallCrash, Start: vs.StartFrame, End: vs.EndFrame, Vehicles: []int{100 + i},
+		})
+		vss = append(vss, vs)
+	}
+	for i := 0; i < nDistractor; i++ {
+		spike := []float64{0.02 + rng.Float64()*0.02, 2.3 + rng.NormFloat64()*0.5, 0.05 + math.Abs(rng.NormFloat64())*0.04}
+		dis := window.TS{TrackID: 300 + i, Vectors: [][]float64{n3(1), spike, n3(1)}}
+		vss = append(vss, mkVS(dis))
+	}
+	for i := 0; i < nNormal; i++ {
+		vs := mkVS(normalTS(400 + i))
+		if i%2 == 0 {
+			vs.TSs = append(vs.TSs, normalTS(500+i))
+		}
+		vss = append(vss, vs)
+	}
+	rec := &videodb.ClipRecord{
+		Name:      DemoClip,
+		Frames:    idx * 15,
+		FPS:       25,
+		ModelName: "accident",
+		Window:    window.Config{SampleRate: 5, WindowSize: 3},
+		VSs:       vss,
+		Incidents: incidents,
+		Meta:      map[string]string{"source": "synthetic"},
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, fmt.Errorf("server: synthetic record invalid: %w", err)
+	}
+	return rec, nil
+}
+
+// DemoDB wraps the default demo record in a single-clip catalog — the
+// database cmd/serve runs in -demo mode and the one the CI smoke test
+// loads against.
+func DemoDB(seed int64) (*videodb.DB, error) {
+	rec, err := SynthRecord(seed, 6, 6, 36)
+	if err != nil {
+		return nil, err
+	}
+	db := videodb.New()
+	if err := db.Add(rec); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

@@ -1,0 +1,115 @@
+package videodb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotIsolation: a snapshot keeps serving its point-in-time
+// view while the catalog changes underneath it.
+func TestSnapshotIsolation(t *testing.T) {
+	db := New()
+	if err := db.Add(rec("a")); err != nil {
+		t.Fatal(err)
+	}
+	snap := db.Snapshot()
+	if err := db.Add(rec("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+
+	if snap.Len() != 1 {
+		t.Fatalf("snapshot len %d, want 1", snap.Len())
+	}
+	if got := snap.Names(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("snapshot names %v, want [a]", got)
+	}
+	if _, err := snap.Clip("a"); err != nil {
+		t.Fatalf("snapshot lost clip a: %v", err)
+	}
+	if _, err := snap.Clip("b"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("snapshot sees later insert: %v", err)
+	}
+	// The live catalog reflects the mutations.
+	if _, err := db.Clip("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("removal did not reach the catalog")
+	}
+	if _, err := db.Clip("b"); err != nil {
+		t.Fatal("insert did not reach the catalog")
+	}
+	// Callers cannot corrupt the snapshot's name list.
+	snap.Names()[0] = "mutated"
+	if got := snap.Names(); got[0] != "a" {
+		t.Fatalf("Names exposed internal slice: %v", got)
+	}
+}
+
+// TestSnapshotConcurrentWithIngest races Snapshot readers against
+// AddBatch writers and Save encoders over one catalog (run with
+// -race). Every snapshot must hold a consistent batch boundary: batches
+// are atomic, so a snapshot that sees one member of a batch must see
+// all of it.
+func TestSnapshotConcurrentWithIngest(t *testing.T) {
+	db := New()
+	const batches = 20
+	const perBatch = 3
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for b := 0; b < batches; b++ {
+			recs := make([]*ClipRecord, perBatch)
+			for i := range recs {
+				recs[i] = rec(fmt.Sprintf("clip-%02d-%d", b, i))
+			}
+			if err := db.AddBatch(recs); err != nil {
+				t.Errorf("AddBatch: %v", err)
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				snap := db.Snapshot()
+				names := snap.Names()
+				if len(names)%perBatch != 0 {
+					t.Errorf("snapshot caught a torn batch: %d clips", len(names))
+					return
+				}
+				for _, n := range names {
+					if _, err := snap.Clip(n); err != nil {
+						t.Errorf("snapshot names %q but cannot fetch it: %v", n, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			var buf bytes.Buffer
+			if err := db.Save(&buf); err != nil {
+				t.Errorf("Save: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	if db.Len() != batches*perBatch {
+		t.Fatalf("final len %d, want %d", db.Len(), batches*perBatch)
+	}
+}

@@ -216,6 +216,45 @@ func (db *DB) Len() int {
 	return len(db.clips)
 }
 
+// Snapshot is a point-in-time, read-only view of the catalog. It is
+// built by copying only the clip map (record pointers are shared), so
+// taking one costs O(clips), not O(data) — records are treated as
+// immutable once stored, the contract every reader already relies on.
+// A server holds a Snapshot per request (or per session) and serves
+// rankings from it while AddBatch ingests new clips concurrently: the
+// snapshot never observes a half-inserted batch and never blocks the
+// writers after the constructor returns.
+type Snapshot struct {
+	clips map[string]*ClipRecord
+	names []string
+}
+
+// Snapshot captures the current catalog contents.
+func (db *DB) Snapshot() Snapshot {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	clips := make(map[string]*ClipRecord, len(db.clips))
+	for n, c := range db.clips {
+		clips[n] = c
+	}
+	return Snapshot{clips: clips, names: db.namesLocked()}
+}
+
+// Clip fetches a clip from the snapshot.
+func (s Snapshot) Clip(name string) (*ClipRecord, error) {
+	c, ok := s.clips[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return c, nil
+}
+
+// Names lists the snapshot's clips in sorted order.
+func (s Snapshot) Names() []string { return append([]string(nil), s.names...) }
+
+// Len returns the snapshot's clip count.
+func (s Snapshot) Len() int { return len(s.clips) }
+
 // snapshot is the gob wire format: a versioned, sorted clip list.
 type snapshot struct {
 	Version int

@@ -2,10 +2,12 @@
 # CI gate: formatting, vet, the tier-1 build/test pair, a
 # race-detector pass over the internal packages (the concurrent paths:
 # streaming ingestion and batch ingest, videodb under concurrent
-# mutation, pooled segmentation scratch, segment background strips,
-# kernel Gram workers and distance cache, track frame pool, experiment
-# sweeps), and a one-iteration smoke of the ingest benchmarks so the
-# benchmarked entry points cannot rot.
+# mutation and snapshots, pooled segmentation scratch, kernel Gram
+# workers and distance cache, the query-service session store and
+# load generator), a one-iteration smoke of the ingest benchmarks,
+# and a live server smoke: cmd/serve on an ephemeral port driven by
+# one cmd/loadgen session, asserting non-empty rankings and a clean
+# drain.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,10 +28,33 @@ go build ./...
 echo "== test =="
 go test ./...
 
-echo "== race (internal: streaming/ingest, videodb, pools, sweeps) =="
+echo "== race (internal: server, streaming/ingest, videodb, pools, sweeps) =="
 go test -race ./internal/...
 
 echo "== bench smoke (ingest) =="
 go test -run xxx -bench Ingest -benchtime 1x .
+
+echo "== server smoke (serve + loadgen) =="
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+go build -o "$smokedir/serve" ./cmd/serve
+go build -o "$smokedir/loadgen" ./cmd/loadgen
+"$smokedir/serve" -demo -addr 127.0.0.1:0 >"$smokedir/serve.log" 2>&1 &
+serve_pid=$!
+url=""
+for _ in $(seq 1 50); do
+    url=$(sed -n 's/^serve: listening on \(http:\/\/[^ ]*\).*/\1/p' "$smokedir/serve.log")
+    [ -n "$url" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$smokedir/serve.log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$url" ] || { echo "serve never reported its address" >&2; cat "$smokedir/serve.log" >&2; exit 1; }
+# loadgen exits nonzero on any dropped round or empty ranking.
+"$smokedir/loadgen" -url "$url" -demo -sessions 4 -rounds 3 -o "$smokedir/smoke.json"
+kill -INT "$serve_pid"
+wait "$serve_pid"
+serve_pid=""
+grep -q "drained, bye" "$smokedir/serve.log" || { echo "serve did not drain cleanly" >&2; cat "$smokedir/serve.log" >&2; exit 1; }
+grep -q '"rounds_served": 12' "$smokedir/smoke.json" || { echo "smoke run served fewer rounds than expected" >&2; cat "$smokedir/smoke.json" >&2; exit 1; }
 
 echo "CI OK"
