@@ -31,6 +31,7 @@ import (
 
 	"milvideo/internal/core"
 	"milvideo/internal/experiments"
+	"milvideo/internal/index"
 	"milvideo/internal/kernel"
 	"milvideo/internal/mil"
 	"milvideo/internal/render"
@@ -66,6 +67,31 @@ type Snapshot struct {
 	// ParallelProcs is the GOMAXPROCS the parallel measurements ran at.
 	ParallelProcs int      `json:"parallel_procs"`
 	Stages        []Result `json:"stages"`
+	// CandidateCurves sweep recall@10 against session latency for the
+	// candidate index at several pruning levels (skipped under -stage).
+	CandidateCurves []CandidateCurve `json:"candidate_curves,omitempty"`
+}
+
+// CandidatePoint is one pruning level on a candidate curve: a full
+// 5-round oracle session routed through the index with candidate-set
+// size C, with recall@10 measured per round against the exact engine
+// run on the same accumulated labels.
+type CandidatePoint struct {
+	C          int     `json:"c"`
+	RecallMean float64 `json:"recall_at_10_mean"`
+	RecallMin  float64 `json:"recall_at_10_min"`
+	SessionSec float64 `json:"session_sec"`
+	Speedup    float64 `json:"speedup_vs_exact"`
+}
+
+// CandidateCurve is one (catalog scale, index kind) sweep.
+type CandidateCurve struct {
+	Scale    int              `json:"scale"`
+	Bags     int              `json:"bags"`
+	Kind     string           `json:"kind"`
+	BuildSec float64          `json:"index_build_sec"`
+	ExactSec float64          `json:"exact_session_sec"`
+	Points   []CandidatePoint `json:"points"`
 }
 
 type stage struct {
@@ -112,6 +138,14 @@ func main() {
 	if len(snap.Stages) == 0 {
 		fmt.Fprintf(os.Stderr, "bench: no stage matches %q\n", *only)
 		os.Exit(1)
+	}
+	if *only == "" {
+		curves, err := candidateCurves()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		snap.CandidateCurves = curves
 	}
 
 	data, err := json.MarshalIndent(snap, "", "  ")
@@ -220,6 +254,38 @@ func buildStages(only string) ([]stage, error) {
 		return nil, err
 	}
 
+	// The candidate-index fixture: the demo catalog at 10× (480 VSs),
+	// its flattened instance set, prebuilt structures for the probe
+	// stages, and a ground-truth oracle for the offline session stages.
+	idxRec, err := server.ScaledDemoRecord(1, 10)
+	if err != nil {
+		return nil, err
+	}
+	idxDB := idxRec.VSs
+	var idxPts [][]float64
+	for _, vs := range idxDB {
+		for _, ts := range vs.TSs {
+			idxPts = append(idxPts, ts.Flat())
+		}
+	}
+	vpt, err := index.BuildVPTree(idxPts, index.VPOptions{})
+	if err != nil {
+		return nil, err
+	}
+	ivf, err := index.BuildIVF(idxPts, index.IVFOptions{})
+	if err != nil {
+		return nil, err
+	}
+	idxQuery := idxDB[0].TSs[0].Flat() // an accident-spike instance
+	idxBag, err := index.Build(idxDB, index.KindVPTree, index.Options{})
+	if err != nil {
+		return nil, err
+	}
+	idxOracle, err := core.OracleFromRecord(idxRec, nil)
+	if err != nil {
+		return nil, err
+	}
+
 	// Warm the process-wide clip cache so the figure stages measure
 	// steady-state experiment cost, not the one-time clip construction
 	// (render + segment + track dominates a cold run by ~4 orders of
@@ -311,6 +377,48 @@ func buildStages(only string) ([]stage, error) {
 				return qclient.Delete(ctx, resp.Session)
 			})
 		}},
+		{"index_build_vptree", func(b *testing.B) {
+			benchErr(b, func() error { _, err := index.BuildVPTree(idxPts, index.VPOptions{}); return err })
+		}},
+		{"index_build_ivf", func(b *testing.B) {
+			benchErr(b, func() error { _, err := index.BuildIVF(idxPts, index.IVFOptions{}); return err })
+		}},
+		{"vptree_knn", func(b *testing.B) {
+			benchErr(b, func() error {
+				if nn, _ := vpt.KNN(idxQuery, 16); len(nn) == 0 {
+					return fmt.Errorf("empty knn result")
+				}
+				return nil
+			})
+		}},
+		{"ivf_probe", func(b *testing.B) {
+			nprobe := ivf.Clusters() / 4
+			if nprobe < 2 {
+				nprobe = 2
+			}
+			benchErr(b, func() error {
+				if nn, _ := ivf.Search(idxQuery, 16, nprobe); len(nn) == 0 {
+					return fmt.Errorf("empty probe result")
+				}
+				return nil
+			})
+		}},
+		{"candidate_session_5rounds", func(b *testing.B) {
+			// A full offline oracle session through the candidate index
+			// (VP-tree, C = N/8) per op — the pruned interactive path.
+			benchErr(b, func() error {
+				_, _, err := runOracleSession(idxDB, idxOracle, idxBag, len(idxDB)/8, false)
+				return err
+			})
+		}},
+		{"exact_session_5rounds", func(b *testing.B) {
+			// The same session with no index: the exact baseline the
+			// candidate path is measured against.
+			benchErr(b, func() error {
+				_, _, err := runOracleSession(idxDB, idxOracle, nil, 0, false)
+				return err
+			})
+		}},
 		{"figure8_warm", func(b *testing.B) {
 			benchErr(b, func() error { _, err := experiments.Figure8(); return err })
 		}},
@@ -318,6 +426,132 @@ func buildStages(only string) ([]stage, error) {
 			benchErr(b, func() error { _, err := experiments.Figure9(); return err })
 		}},
 	}, nil
+}
+
+// runOracleSession executes the paper's 5-round × top-20 feedback
+// protocol offline, timing only the ranking calls. With bi == nil the
+// session runs exact; otherwise it is routed through the candidate
+// index with candidate-set size c. withRecall additionally runs the
+// exact engine on the same accumulated labels every round (outside
+// the timed path) and returns the per-round recall@10 against it.
+func runOracleSession(db []window.VS, oracle retrieval.Oracle, bi *index.BagIndex, c int, withRecall bool) (time.Duration, []float64, error) {
+	const rounds, topK = 5, 20
+	var engine retrieval.Engine = retrieval.MILEngine{Opt: mil.DefaultOptions(), Cache: retrieval.NewMILCache()}
+	var ref retrieval.Engine
+	if bi != nil {
+		engine = retrieval.CandidateEngine{Inner: engine, Index: bi, C: c}
+		if withRecall {
+			ref = retrieval.MILEngine{Opt: mil.DefaultOptions(), Cache: retrieval.NewMILCache()}
+		}
+	}
+	labels := make(map[int]mil.Label)
+	var elapsed time.Duration
+	var recalls []float64
+	for r := 0; r < rounds; r++ {
+		t0 := time.Now()
+		ranking, top, err := retrieval.RankRound(engine, db, labels, topK)
+		elapsed += time.Since(t0)
+		if err != nil {
+			return 0, nil, fmt.Errorf("round %d: %w", r, err)
+		}
+		if ref != nil {
+			want, _, err := retrieval.RankRound(ref, db, labels, topK)
+			if err != nil {
+				return 0, nil, fmt.Errorf("round %d (exact ref): %w", r, err)
+			}
+			recalls = append(recalls, recallAt10(ranking, want))
+		}
+		for _, pos := range top {
+			if oracle.Relevant(db[pos]) {
+				labels[db[pos].Index] = mil.Positive
+			} else {
+				labels[db[pos].Index] = mil.Negative
+			}
+		}
+	}
+	return elapsed, recalls, nil
+}
+
+// recallAt10 measures the overlap of the first 10 ranked positions.
+func recallAt10(got, want []int) float64 {
+	k := 10
+	if len(want) < k {
+		k = len(want)
+	}
+	set := make(map[int]bool, k)
+	for _, p := range want[:k] {
+		set[p] = true
+	}
+	hit := 0
+	for _, p := range got[:k] {
+		if set[p] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(k)
+}
+
+// candidateCurves sweeps the candidate index across catalog scales,
+// index kinds, and pruning levels: the BENCH_4 acceptance evidence
+// that indexed sessions trade bounded recall loss for multiples of
+// session throughput.
+func candidateCurves() ([]CandidateCurve, error) {
+	var curves []CandidateCurve
+	for _, scale := range []int{10, 100} {
+		rec, err := server.ScaledDemoRecord(1, scale)
+		if err != nil {
+			return nil, err
+		}
+		oracle, err := core.OracleFromRecord(rec, nil)
+		if err != nil {
+			return nil, err
+		}
+		db := rec.VSs
+		n := len(db)
+		exactDur, _, err := runOracleSession(db, oracle, nil, 0, false)
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range index.Kinds() {
+			t0 := time.Now()
+			bi, err := index.Build(db, kind, index.Options{})
+			if err != nil {
+				return nil, err
+			}
+			curve := CandidateCurve{
+				Scale: scale, Bags: n, Kind: string(kind),
+				BuildSec: time.Since(t0).Seconds(),
+				ExactSec: exactDur.Seconds(),
+			}
+			for _, c := range []int{n / 32, n / 16, n / 8, n / 4} {
+				if c < 1 {
+					continue
+				}
+				dur, recalls, err := runOracleSession(db, oracle, bi, c, true)
+				if err != nil {
+					return nil, err
+				}
+				pt := CandidatePoint{C: c, SessionSec: dur.Seconds(), RecallMin: 1}
+				for _, r := range recalls {
+					pt.RecallMean += r
+					if r < pt.RecallMin {
+						pt.RecallMin = r
+					}
+				}
+				if len(recalls) > 0 {
+					pt.RecallMean /= float64(len(recalls))
+				}
+				if dur > 0 {
+					pt.Speedup = exactDur.Seconds() / dur.Seconds()
+				}
+				curve.Points = append(curve.Points, pt)
+				fmt.Fprintf(os.Stderr, "candidate %3dx %-6s C=%-5d recall@10 %.2f (min %.2f)  session %7.1fms  speedup %5.2fx\n",
+					scale, kind, c, pt.RecallMean, pt.RecallMin, pt.SessionSec*1e3, pt.Speedup)
+			}
+			curves = append(curves, curve)
+		}
+	}
+	return curves, nil
 }
 
 // benchErr runs fn b.N times, reporting allocations and failing on

@@ -33,14 +33,16 @@ import (
 // output is the BENCH_3.json shape: run metadata around the
 // generator's report.
 type output struct {
-	Generated string         `json:"generated"`
-	GoVersion string         `json:"go_version"`
-	NumCPU    int            `json:"num_cpu"`
-	URL       string         `json:"url"`
-	Clip      string         `json:"clip"`
-	Engine    string         `json:"engine"`
-	TopK      int            `json:"topk"`
-	Report    *server.Report `json:"report"`
+	Generated  string         `json:"generated"`
+	GoVersion  string         `json:"go_version"`
+	NumCPU     int            `json:"num_cpu"`
+	URL        string         `json:"url"`
+	Clip       string         `json:"clip"`
+	Engine     string         `json:"engine"`
+	TopK       int            `json:"topk"`
+	Index      string         `json:"index,omitempty"`
+	Candidates int            `json:"candidates,omitempty"`
+	Report     *server.Report `json:"report"`
 }
 
 func main() {
@@ -48,33 +50,35 @@ func main() {
 	dbPath := flag.String("db", "", "catalog file supplying the ground truth oracle")
 	demo := flag.Bool("demo", false, "judge against the built-in demo catalog (server runs -demo)")
 	demoSeed := flag.Int64("demo-seed", 1, "seed for the demo catalog (must match the server's)")
+	demoScale := flag.Int("demo-scale", 1, "demo catalog size multiplier (must match the server's)")
 	clip := flag.String("clip", server.DemoClip, "clip to query")
 	engine := flag.String("engine", "", "ranking engine (empty = server default)")
+	indexKind := flag.String("index", "", `candidate index sessions request ("vptree", "ivf", "exact", empty = server default)`)
+	candidates := flag.Int("candidates", 0, "candidate-set size C for indexed sessions (0 = server default)")
 	sessions := flag.Int("sessions", 32, "concurrent sessions")
 	rounds := flag.Int("rounds", 5, "rounds per session including the initial one")
 	topK := flag.Int("topk", 8, "results per round (0 = server default)")
 	out := flag.String("o", "BENCH_3.json", "output path ('-' for stdout)")
 	flag.Parse()
 
-	if err := run(*url, *dbPath, *demo, *demoSeed, *clip, *engine, *sessions, *rounds, *topK, *out); err != nil {
+	if err := run(*url, *dbPath, *demo, *demoSeed, *demoScale, *clip, *engine, *indexKind, *candidates, *sessions, *rounds, *topK, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(url, dbPath string, demo bool, demoSeed int64, clip, engine string, sessions, rounds, topK int, out string) error {
+func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, engine, indexKind string, candidates, sessions, rounds, topK int, out string) error {
 	var rec *videodb.ClipRecord
 	var err error
 	switch {
 	case demo && dbPath != "":
 		return errors.New("-db and -demo are mutually exclusive")
 	case demo:
-		db, err := server.DemoDB(demoSeed)
-		if err != nil {
+		if rec, err = server.ScaledDemoRecord(demoSeed, demoScale); err != nil {
 			return err
 		}
-		if rec, err = db.Clip(clip); err != nil {
-			return err
+		if rec.Name != clip {
+			return fmt.Errorf("demo catalog has clip %q, not %q", rec.Name, clip)
 		}
 	case dbPath != "":
 		db, err := videodb.LoadFile(dbPath)
@@ -93,13 +97,15 @@ func run(url, dbPath string, demo bool, demoSeed int64, clip, engine string, ses
 	}
 
 	lg := &server.LoadGen{
-		Client:   &server.Client{BaseURL: url},
-		Clip:     clip,
-		Engine:   engine,
-		Sessions: sessions,
-		Rounds:   rounds,
-		TopK:     topK,
-		Judge:    judge,
+		Client:     &server.Client{BaseURL: url},
+		Clip:       clip,
+		Engine:     engine,
+		Sessions:   sessions,
+		Rounds:     rounds,
+		TopK:       topK,
+		Index:      indexKind,
+		Candidates: candidates,
+		Judge:      judge,
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: %d sessions × %d rounds against %s (clip %q)\n",
 		sessions, rounds, url, clip)
@@ -109,14 +115,16 @@ func run(url, dbPath string, demo bool, demoSeed int64, clip, engine string, ses
 	}
 
 	res := output{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		URL:       url,
-		Clip:      clip,
-		Engine:    engine,
-		TopK:      topK,
-		Report:    rep,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		URL:        url,
+		Clip:       clip,
+		Engine:     engine,
+		TopK:       topK,
+		Index:      indexKind,
+		Candidates: candidates,
+		Report:     rep,
 	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

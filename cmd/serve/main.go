@@ -8,6 +8,8 @@
 //	serve -db db.gob                       # serve a stored catalog
 //	serve -demo                            # built-in synthetic catalog
 //	serve -db db.gob -addr 127.0.0.1:0     # ephemeral port (printed)
+//	serve -demo -index ivf -candidates 64  # route sessions through the
+//	                                       # candidate index by default
 //
 // The process drains in-flight re-ranks and exits cleanly on SIGINT /
 // SIGTERM.
@@ -29,36 +31,58 @@ import (
 	"milvideo/internal/videodb"
 )
 
+// options collects the flag values run needs.
+type options struct {
+	addr, dbPath  string
+	demo          bool
+	demoSeed      int64
+	demoScale     int
+	maxSessions   int
+	ttl, timeout  time.Duration
+	workers, topK int
+	indexKind     string
+	candidates    int
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
-	dbPath := flag.String("db", "", "videodb catalog file to serve")
-	demo := flag.Bool("demo", false, "serve the built-in synthetic demo catalog instead of -db")
-	demoSeed := flag.Int64("demo-seed", 1, "seed for the demo catalog")
-	maxSessions := flag.Int("max-sessions", 256, "live-session cap (LRU eviction beyond it)")
-	ttl := flag.Duration("ttl", 15*time.Minute, "idle-session expiry")
-	workers := flag.Int("workers", 0, "concurrent re-rank bound (0 = GOMAXPROCS)")
-	timeout := flag.Duration("timeout", 30*time.Second, "per-request ranking timeout")
-	topK := flag.Int("topk", 20, "default results per round")
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
+	flag.StringVar(&o.dbPath, "db", "", "videodb catalog file to serve")
+	flag.BoolVar(&o.demo, "demo", false, "serve the built-in synthetic demo catalog instead of -db")
+	flag.Int64Var(&o.demoSeed, "demo-seed", 1, "seed for the demo catalog")
+	flag.IntVar(&o.demoScale, "demo-scale", 1, "demo catalog size multiplier (1 = 48 VSs)")
+	flag.IntVar(&o.maxSessions, "max-sessions", 256, "live-session cap (LRU eviction beyond it)")
+	flag.DurationVar(&o.ttl, "ttl", 15*time.Minute, "idle-session expiry")
+	flag.IntVar(&o.workers, "workers", 0, "concurrent re-rank bound (0 = GOMAXPROCS)")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request ranking timeout")
+	flag.IntVar(&o.topK, "topk", 20, "default results per round")
+	flag.StringVar(&o.indexKind, "index", "", `default candidate index for sessions ("vptree", "ivf", or empty for exact)`)
+	flag.IntVar(&o.candidates, "candidates", 64, "default candidate-set size C for indexed sessions")
 	flag.Parse()
 
-	if err := run(*addr, *dbPath, *demo, *demoSeed, *maxSessions, *ttl, *workers, *timeout, *topK); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dbPath string, demo bool, demoSeed int64, maxSessions int, ttl time.Duration, workers int, timeout time.Duration, topK int) error {
+func run(o options) error {
 	var db *videodb.DB
 	var err error
 	switch {
-	case demo && dbPath != "":
+	case o.demo && o.dbPath != "":
 		return errors.New("-db and -demo are mutually exclusive")
-	case demo:
-		if db, err = server.DemoDB(demoSeed); err != nil {
+	case o.demo:
+		rec, err := server.ScaledDemoRecord(o.demoSeed, o.demoScale)
+		if err != nil {
 			return err
 		}
-	case dbPath != "":
-		if db, err = videodb.LoadFile(dbPath); err != nil {
+		db = videodb.New()
+		if err := db.Add(rec); err != nil {
+			return err
+		}
+	case o.dbPath != "":
+		if db, err = videodb.LoadFile(o.dbPath); err != nil {
 			return err
 		}
 	default:
@@ -66,18 +90,20 @@ func run(addr, dbPath string, demo bool, demoSeed int64, maxSessions int, ttl ti
 	}
 
 	srv, err := server.New(server.Config{
-		DB:             db,
-		MaxSessions:    maxSessions,
-		SessionTTL:     ttl,
-		RerankWorkers:  workers,
-		RequestTimeout: timeout,
-		DefaultTopK:    topK,
+		DB:                db,
+		MaxSessions:       o.maxSessions,
+		SessionTTL:        o.ttl,
+		RerankWorkers:     o.workers,
+		RequestTimeout:    o.timeout,
+		DefaultTopK:       o.topK,
+		DefaultIndex:      o.indexKind,
+		DefaultCandidates: o.candidates,
 	})
 	if err != nil {
 		return err
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}

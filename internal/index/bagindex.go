@@ -1,0 +1,192 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"milvideo/internal/window"
+)
+
+// Kind names a candidate-index structure.
+type Kind string
+
+// The supported index kinds.
+const (
+	KindVPTree Kind = "vptree"
+	KindIVF    Kind = "ivf"
+)
+
+// Kinds lists the supported kinds in a stable order (for usage
+// strings and API errors).
+func Kinds() []Kind { return []Kind{KindIVF, KindVPTree} }
+
+// ParseKind validates an index name from a flag or query parameter.
+func ParseKind(s string) (Kind, error) {
+	switch Kind(s) {
+	case KindVPTree, KindIVF:
+		return Kind(s), nil
+	}
+	return "", fmt.Errorf("index: unknown kind %q (have %v)", s, Kinds())
+}
+
+// Options tunes a BagIndex build and its probes. The zero value is a
+// sensible default for every field.
+type Options struct {
+	// Seed drives vantage selection / k-means++ (default 1).
+	Seed int64
+	// LeafSize forwards to VPOptions.LeafSize.
+	LeafSize int
+	// MaxEvals bounds each VP-tree probe's distance evaluations
+	// (0 = exact search).
+	MaxEvals int
+	// Clusters and Iters forward to IVFOptions.
+	Clusters int
+	Iters    int
+	// NProbe is the IVF search breadth (default max(2, Clusters/4)).
+	NProbe int
+	// PerProbeK is the per-probe instance k-NN depth (default
+	// min(instances, 2·C + 8) at probe time). Deeper probes improve
+	// bag recall when bags hold many instances.
+	PerProbeK int
+}
+
+// ProbeStats accounts one Candidates call (or an accumulation of
+// them): probes issued and distance evaluations spent across them.
+type ProbeStats struct {
+	Probes    int
+	DistEvals int
+}
+
+// BagIndex is a candidate index over a VS database: every TS instance
+// vector of every bag is indexed (by the configured Kind), and probe
+// hits aggregate back to the owning bag by max-instance similarity —
+// a bag's score is its closest instance's distance to any probe, the
+// same "most eventful instance speaks for the bag" rule the MIL
+// ranking itself applies (BagScore maximizes the decision value over
+// instances).
+type BagIndex struct {
+	kind  Kind
+	opt   Options
+	bags  int
+	dim   int
+	pts   [][]float64
+	owner []int // pts[i] belongs to db[owner[i]]
+	vp    *VPTree
+	ivf   *IVF
+}
+
+// Build indexes the instance vectors of db. Empty VSs contribute no
+// instances (they can never be index candidates; the retrieval
+// wrapper ranks them by its fallback ordering). A database with no
+// instances at all yields a valid index whose probes return nothing.
+func Build(db []window.VS, kind Kind, opt Options) (*BagIndex, error) {
+	if _, err := ParseKind(string(kind)); err != nil {
+		return nil, err
+	}
+	bi := &BagIndex{kind: kind, opt: opt, bags: len(db), dim: -1}
+	for pos, vs := range db {
+		for _, ts := range vs.TSs {
+			flat := ts.Flat()
+			if bi.dim == -1 {
+				bi.dim = len(flat)
+			} else if len(flat) != bi.dim {
+				return nil, fmt.Errorf("%w: VS %d instance has dim %d, want %d",
+					ErrDim, vs.Index, len(flat), bi.dim)
+			}
+			bi.pts = append(bi.pts, flat)
+			bi.owner = append(bi.owner, pos)
+		}
+	}
+	if len(bi.pts) == 0 {
+		return bi, nil
+	}
+	var err error
+	switch kind {
+	case KindVPTree:
+		bi.vp, err = BuildVPTree(bi.pts, VPOptions{LeafSize: opt.LeafSize, Seed: opt.Seed})
+	case KindIVF:
+		bi.ivf, err = BuildIVF(bi.pts, IVFOptions{Clusters: opt.Clusters, Iters: opt.Iters, Seed: opt.Seed})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return bi, nil
+}
+
+// Kind reports the underlying structure.
+func (bi *BagIndex) Kind() Kind { return bi.kind }
+
+// Bags reports the database size the index was built over.
+func (bi *BagIndex) Bags() int { return bi.bags }
+
+// Instances reports the indexed instance count.
+func (bi *BagIndex) Instances() int { return len(bi.pts) }
+
+// Candidates probes the index with each query vector and returns up
+// to c candidate bag positions, best first: bags are scored by the
+// minimum distance from any probe to any of their instances
+// (max-instance aggregation), ties broken by ascending position.
+// Probes whose dimension does not match the index are skipped.
+func (bi *BagIndex) Candidates(probes [][]float64, c int) ([]int, ProbeStats) {
+	var stats ProbeStats
+	if c <= 0 || len(bi.pts) == 0 {
+		return nil, stats
+	}
+	k := bi.opt.PerProbeK
+	if k <= 0 {
+		// Each probe need not cover the candidate set alone — the union
+		// over probes does — so per-probe depth well under c keeps
+		// probes cheap without starving the aggregation.
+		k = c + 16
+	}
+	if k > len(bi.pts) {
+		k = len(bi.pts)
+	}
+	best := make(map[int]float64, 2*c)
+	for _, q := range probes {
+		if len(q) != bi.dim {
+			continue
+		}
+		stats.Probes++
+		var hits []Neighbor
+		var evals int
+		switch bi.kind {
+		case KindVPTree:
+			hits, evals = bi.vp.KNNBounded(q, k, bi.opt.MaxEvals)
+		case KindIVF:
+			nprobe := bi.opt.NProbe
+			if nprobe <= 0 {
+				// clusters/8 scans ~⅛ of the instances per probe; the
+				// union over probes restores coverage (the CI recall
+				// gate holds both kinds to ≥ 0.9 at C = N/4).
+				nprobe = bi.ivf.Clusters() / 8
+				if nprobe < 2 {
+					nprobe = 2
+				}
+			}
+			hits, evals = bi.ivf.Search(q, k, nprobe)
+		}
+		stats.DistEvals += evals
+		for _, h := range hits {
+			bag := bi.owner[h.Idx]
+			if d, ok := best[bag]; !ok || h.Dist < d {
+				best[bag] = h.Dist
+			}
+		}
+	}
+	order := make([]int, 0, len(best))
+	for bag := range best {
+		order = append(order, bag)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := best[order[a]], best[order[b]]
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
+	if c < len(order) {
+		order = order[:c]
+	}
+	return order, stats
+}

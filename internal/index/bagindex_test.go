@@ -1,0 +1,96 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"milvideo/internal/window"
+)
+
+// synthVSs builds n bags of 1–3 TSs with 3-point, 3-dim vectors
+// (flattened instance dim 9), mirroring the retrieval fixtures.
+func synthVSs(seed int64, n int) []window.VS {
+	rng := rand.New(rand.NewSource(seed))
+	db := make([]window.VS, n)
+	for i := range db {
+		vs := window.VS{Index: i, StartFrame: i * 15, EndFrame: i*15 + 10}
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			ts := window.TS{TrackID: i*10 + k}
+			for p := 0; p < 3; p++ {
+				ts.Vectors = append(ts.Vectors, []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()})
+			}
+			vs.TSs = append(vs.TSs, ts)
+		}
+		db[i] = vs
+	}
+	return db
+}
+
+// TestBagIndexCandidates: for both kinds, probing with a bag's own
+// instance puts that bag first; results stay within bounds and are
+// deterministic.
+func TestBagIndexCandidates(t *testing.T) {
+	db := synthVSs(5, 60)
+	for _, kind := range Kinds() {
+		bi, err := Build(db, kind, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if bi.Bags() != 60 {
+			t.Fatalf("%s: bags %d, want 60", kind, bi.Bags())
+		}
+		if bi.Instances() == 0 {
+			t.Fatalf("%s: no instances indexed", kind)
+		}
+		probe := db[17].TSs[0].Flat()
+		cands, stats := bi.Candidates([][]float64{probe}, 8)
+		if len(cands) == 0 || len(cands) > 8 {
+			t.Fatalf("%s: %d candidates for c=8", kind, len(cands))
+		}
+		if cands[0] != 17 {
+			t.Fatalf("%s: self-probe ranked bag %d first, want 17", kind, cands[0])
+		}
+		if stats.Probes != 1 || stats.DistEvals == 0 {
+			t.Fatalf("%s: odd stats %+v", kind, stats)
+		}
+		again, _ := bi.Candidates([][]float64{probe}, 8)
+		for i := range cands {
+			if cands[i] != again[i] {
+				t.Fatalf("%s: candidates nondeterministic at %d", kind, i)
+			}
+		}
+	}
+}
+
+// TestBagIndexEmptyAndMismatch: empty databases and empty VSs are
+// tolerated; dim-mismatched probes are skipped; ragged instance dims
+// fail the build.
+func TestBagIndexEmptyAndMismatch(t *testing.T) {
+	empty := []window.VS{{Index: 0}, {Index: 1}}
+	bi, err := Build(empty, KindVPTree, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands, _ := bi.Candidates([][]float64{{1, 2, 3}}, 4); cands != nil {
+		t.Fatalf("instanceless index returned candidates %v", cands)
+	}
+
+	db := synthVSs(6, 10)
+	bi, err = Build(db, KindIVF, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands, stats := bi.Candidates([][]float64{{1, 2}}, 4); len(cands) != 0 || stats.Probes != 0 {
+		t.Fatalf("mismatched probe returned candidates %v (stats %+v)", cands, stats)
+	}
+
+	bad := synthVSs(7, 4)
+	bad[2].TSs[0].Vectors = bad[2].TSs[0].Vectors[:2] // shorter flat vector
+	if _, err := Build(bad, KindVPTree, Options{}); err == nil {
+		t.Fatal("ragged instance dims built successfully")
+	}
+
+	if _, err := Build(db, Kind("lsh"), Options{}); err == nil {
+		t.Fatal("unknown kind built successfully")
+	}
+}

@@ -1,0 +1,240 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"milvideo/internal/kernel"
+)
+
+// IVF is a coarse-quantizer inverted file: k-means centroids partition
+// the point set into lists, and a query scans only the nprobe lists
+// whose centroids are nearest — the classic two-level ANN layout
+// (Sivic/Zisserman's visual vocabularies, FAISS's IVFFlat). Probe
+// cost is O(clusters) centroid distances plus the scanned lists'
+// points; with clusters ≈ √n and nprobe ≪ clusters that is sublinear
+// in n.
+type IVF struct {
+	pts       [][]float64
+	dim       int
+	centroids [][]float64
+	lists     [][]int // point indices per centroid, ascending
+}
+
+// IVFOptions tunes construction.
+type IVFOptions struct {
+	// Clusters is the coarse codebook size (default round(√n),
+	// clamped to [1, n]).
+	Clusters int
+	// Iters bounds the Lloyd iterations (default 20; iteration stops
+	// early when assignments stabilize).
+	Iters int
+	// Seed drives the k-means++ initialization (default 1). Identical
+	// seeds yield identical indexes.
+	Seed int64
+}
+
+func (o IVFOptions) withDefaults(n int) IVFOptions {
+	if o.Clusters <= 0 {
+		o.Clusters = int(math.Round(math.Sqrt(float64(n))))
+	}
+	if o.Clusters < 1 {
+		o.Clusters = 1
+	}
+	if o.Clusters > n {
+		o.Clusters = n
+	}
+	if o.Iters <= 0 {
+		o.Iters = 20
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// BuildIVF constructs the index over pts. The slice is retained (not
+// copied); callers must not mutate the vectors afterwards.
+func BuildIVF(pts [][]float64, opt IVFOptions) (*IVF, error) {
+	if len(pts) == 0 {
+		return nil, ErrNoPoints
+	}
+	dim := len(pts[0])
+	for i, p := range pts {
+		if len(p) != dim {
+			return nil, fmt.Errorf("%w: point %d has dim %d, want %d", ErrDim, i, len(p), dim)
+		}
+	}
+	opt = opt.withDefaults(len(pts))
+	centroids := kmeansPP(pts, opt.Clusters, opt.Iters, opt.Seed)
+	f := &IVF{pts: pts, dim: dim, centroids: centroids, lists: make([][]int, len(centroids))}
+	for i := range pts {
+		c := nearestCentroid(centroids, pts[i])
+		f.lists[c] = append(f.lists[c], i)
+	}
+	return f, nil
+}
+
+// kmeansPP runs seeded k-means++ initialization followed by Lloyd
+// iterations. Deterministic: the rng is seeded, assignment ties break
+// toward the lowest centroid index, and an emptied cluster is
+// reseeded to the point farthest from its assigned centroid (lowest
+// index on ties).
+func kmeansPP(pts [][]float64, k, iters int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	dim := len(pts[0])
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, clone(pts[rng.Intn(len(pts))]))
+	// D² sampling: each next seed is drawn proportionally to the
+	// squared distance to the nearest chosen centroid.
+	d2 := make([]float64, len(pts))
+	for i, p := range pts {
+		d2[i] = kernel.SquaredDistance(p, centroids[0])
+	}
+	for len(centroids) < k {
+		total := 0.0
+		for _, d := range d2 {
+			total += d
+		}
+		var next int
+		if total <= 0 {
+			// All points coincide with a centroid; any point works.
+			next = rng.Intn(len(pts))
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			next = len(pts) - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= r {
+					next = i
+					break
+				}
+			}
+		}
+		c := clone(pts[next])
+		centroids = append(centroids, c)
+		for i, p := range pts {
+			if d := kernel.SquaredDistance(p, c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, len(pts))
+	for i := range assign {
+		assign[i] = -1
+	}
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, p := range pts {
+			c := nearestCentroid(centroids, p)
+			if c != assign[i] {
+				assign[i] = c
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		counts := make([]int, len(centroids))
+		sums := make([][]float64, len(centroids))
+		for c := range sums {
+			sums[c] = make([]float64, dim)
+		}
+		for i, p := range pts {
+			c := assign[i]
+			counts[c]++
+			for j, v := range p {
+				sums[c][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Reseed an emptied cluster to the farthest point.
+				far, farD := 0, -1.0
+				for i, p := range pts {
+					if d := kernel.SquaredDistance(p, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				centroids[c] = clone(pts[far])
+				continue
+			}
+			for j := range sums[c] {
+				sums[c][j] /= float64(counts[c])
+			}
+			centroids[c] = sums[c]
+		}
+	}
+	return centroids
+}
+
+func clone(v []float64) []float64 { return append([]float64(nil), v...) }
+
+// nearestCentroid returns the index of the closest centroid (lowest
+// index on exact ties).
+func nearestCentroid(centroids [][]float64, p []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cen := range centroids {
+		if d := kernel.SquaredDistance(p, cen); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Len reports the indexed point count.
+func (f *IVF) Len() int { return len(f.pts) }
+
+// Clusters reports the coarse codebook size.
+func (f *IVF) Clusters() int { return len(f.centroids) }
+
+// Search returns the k nearest neighbors of q found in the nprobe
+// lists whose centroids are closest, in ascending distance (ties by
+// ascending index), plus the number of distance evaluations spent
+// (centroids + scanned points). nprobe is clamped to [1, Clusters];
+// nprobe == Clusters makes the search exact.
+func (f *IVF) Search(q []float64, k, nprobe int) ([]Neighbor, int) {
+	if k <= 0 || len(q) != f.dim {
+		return nil, 0
+	}
+	if nprobe < 1 {
+		nprobe = 1
+	}
+	if nprobe > len(f.centroids) {
+		nprobe = len(f.centroids)
+	}
+	evals := 0
+	order := make([]Neighbor, len(f.centroids))
+	for c, cen := range f.centroids {
+		evals++
+		order[c] = Neighbor{Idx: c, Dist: kernel.SquaredDistance(q, cen)}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].Dist != order[b].Dist {
+			return order[a].Dist < order[b].Dist
+		}
+		return order[a].Idx < order[b].Idx
+	})
+	var res []Neighbor
+	for _, cn := range order[:nprobe] {
+		for _, idx := range f.lists[cn.Idx] {
+			evals++
+			d := math.Sqrt(kernel.SquaredDistance(q, f.pts[idx]))
+			res = append(res, Neighbor{Idx: idx, Dist: d})
+		}
+	}
+	sort.Slice(res, func(a, b int) bool {
+		if res[a].Dist != res[b].Dist {
+			return res[a].Dist < res[b].Dist
+		}
+		return res[a].Idx < res[b].Idx
+	})
+	if k < len(res) {
+		res = res[:k]
+	}
+	return res, evals
+}

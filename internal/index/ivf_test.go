@@ -1,0 +1,97 @@
+package index
+
+import (
+	"testing"
+)
+
+// TestIVFExactWhenFullProbe: probing every list is a full scan, so
+// the result must equal the brute-force oracle.
+func TestIVFExactWhenFullProbe(t *testing.T) {
+	pts := randPts(11, 150, 9)
+	f, err := BuildIVF(pts, IVFOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Len(); got != 150 {
+		t.Fatalf("Len %d, want 150", got)
+	}
+	// Every point lands in exactly one list.
+	total := 0
+	for _, l := range f.lists {
+		total += len(l)
+	}
+	if total != 150 {
+		t.Fatalf("lists hold %d points, want 150", total)
+	}
+	for qi, q := range randPts(12, 8, 9) {
+		got, _ := f.Search(q, 10, f.Clusters())
+		want := bruteKNN(pts, q, 10)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %d result %d = %+v, want %+v", qi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestIVFDeterministicAndSublinear: same seed → identical index and
+// search; narrow probes scan fewer points than a full scan.
+func TestIVFDeterministicAndSublinear(t *testing.T) {
+	pts := randPts(21, 400, 9)
+	a, err := BuildIVF(pts, IVFOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildIVF(pts, IVFOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Clusters() != b.Clusters() {
+		t.Fatalf("cluster counts differ: %d vs %d", a.Clusters(), b.Clusters())
+	}
+	q := randPts(22, 1, 9)[0]
+	ra, ea := a.Search(q, 5, 2)
+	rb, eb := b.Search(q, 5, 2)
+	if ea != eb || len(ra) != len(rb) {
+		t.Fatalf("same-seed searches differ: %d/%d evals, %d/%d results", ea, eb, len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("same-seed search result %d differs", i)
+		}
+	}
+	// nprobe=2 of ~20 clusters must touch well under the full set.
+	if ea >= 400 {
+		t.Fatalf("narrow probe spent %d evals — not sublinear", ea)
+	}
+	// The true nearest neighbor of an indexed point is itself; a
+	// 1-probe search must find it (it lives in its own cell).
+	for _, pi := range []int{0, 123, 399} {
+		res, _ := a.Search(pts[pi], 1, 1)
+		if len(res) != 1 || res[0].Idx != pi || res[0].Dist != 0 {
+			t.Fatalf("self-query %d returned %+v", pi, res)
+		}
+	}
+}
+
+// TestIVFSmall: cluster count clamps to n; tiny sets still work.
+func TestIVFSmall(t *testing.T) {
+	if _, err := BuildIVF(nil, IVFOptions{}); err == nil {
+		t.Fatal("empty build succeeded")
+	}
+	pts := randPts(31, 3, 4)
+	f, err := BuildIVF(pts, IVFOptions{Clusters: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Clusters() > 3 {
+		t.Fatalf("clusters %d exceed point count", f.Clusters())
+	}
+	got, _ := f.Search(pts[1], 3, f.Clusters())
+	want := bruteKNN(pts, pts[1], 3)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package index provides metric-space candidate indexes over instance
+// (trajectory-sequence) feature vectors: a vantage-point tree with
+// exact and visit-bounded approximate k-NN, a coarse k-means
+// inverted-file (IVF) index with deterministic seeded k-means++
+// initialization, and a BagIndex that maps instance hits back to
+// their owning video sequence. The retrieval layer uses them to prune
+// the database to a small candidate set before exact MIL re-ranking,
+// turning per-round query cost from linear in the catalog into the
+// index's sublinear probe cost plus a constant-size re-rank.
+//
+// Both structures measure in the Euclidean metric underlying
+// kernel.SquaredDistance — the same metric the RBF kernel is a pure
+// function of — so "near in the index" and "high kernel similarity"
+// agree exactly. All construction and search paths are deterministic
+// given the build seed, with ties broken by ascending point index.
+package index
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"milvideo/internal/kernel"
+)
+
+// Errors returned by the builders.
+var (
+	// ErrNoPoints is returned when an index is built over zero vectors.
+	ErrNoPoints = errors.New("index: no points")
+	// ErrDim is returned when points (or a query) differ in dimension.
+	ErrDim = errors.New("index: dimension mismatch")
+)
+
+// Neighbor is one k-NN result: the point's index in the build slice
+// and its Euclidean distance to the query.
+type Neighbor struct {
+	Idx  int
+	Dist float64
+}
+
+// VPTree is a vantage-point tree over a fixed point set: a binary
+// metric tree where each node splits its subset by the median
+// distance to a vantage point, enabling triangle-inequality pruning.
+// Build is O(n log n) distance evaluations; an exact k-NN visits a
+// small fraction of the points when the intrinsic dimension is
+// moderate (the 9–27-dim TS feature vectors here).
+type VPTree struct {
+	pts   [][]float64
+	dim   int
+	nodes []vpNode
+	root  int32
+}
+
+// vpNode is one tree node. Leaves hold their points inline; inner
+// nodes hold the vantage point and the median-radius split.
+type vpNode struct {
+	vantage int     // point index (inner nodes)
+	radius  float64 // median distance from vantage to the subset
+	inner   int32   // child holding points with d <= radius (−1 = none)
+	outer   int32   // child holding points with d > radius (−1 = none)
+	leaf    []int   // leaf point indices (nil for inner nodes)
+}
+
+// VPOptions tunes construction.
+type VPOptions struct {
+	// LeafSize is the subset size below which a node becomes a leaf
+	// (default 8). Larger leaves trade pruning for fewer recursions.
+	LeafSize int
+	// Seed drives vantage-point selection (default 1). Any seed yields
+	// a correct tree; the seed only shapes balance.
+	Seed int64
+}
+
+func (o VPOptions) withDefaults() VPOptions {
+	if o.LeafSize <= 0 {
+		o.LeafSize = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// BuildVPTree constructs the tree over pts. The slice is retained
+// (not copied); callers must not mutate the vectors afterwards.
+func BuildVPTree(pts [][]float64, opt VPOptions) (*VPTree, error) {
+	if len(pts) == 0 {
+		return nil, ErrNoPoints
+	}
+	dim := len(pts[0])
+	for i, p := range pts {
+		if len(p) != dim {
+			return nil, fmt.Errorf("%w: point %d has dim %d, want %d", ErrDim, i, len(p), dim)
+		}
+	}
+	opt = opt.withDefaults()
+	t := &VPTree{pts: pts, dim: dim}
+	ids := make([]int, len(pts))
+	for i := range ids {
+		ids[i] = i
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	t.root = t.build(ids, opt.LeafSize, rng)
+	return t, nil
+}
+
+// build recursively constructs the subtree over ids (which it may
+// reorder) and returns its node index.
+func (t *VPTree) build(ids []int, leafSize int, rng *rand.Rand) int32 {
+	if len(ids) == 0 {
+		return -1
+	}
+	if len(ids) <= leafSize {
+		leaf := append([]int(nil), ids...)
+		sort.Ints(leaf) // deterministic scan order
+		t.nodes = append(t.nodes, vpNode{leaf: leaf})
+		return int32(len(t.nodes) - 1)
+	}
+	// Random vantage point: swap it to the front, split the rest by
+	// the median distance to it.
+	vi := rng.Intn(len(ids))
+	ids[0], ids[vi] = ids[vi], ids[0]
+	vantage := ids[0]
+	rest := ids[1:]
+	dists := make([]float64, len(rest))
+	for i, id := range rest {
+		dists[i] = math.Sqrt(kernel.SquaredDistance(t.pts[vantage], t.pts[id]))
+	}
+	order := make([]int, len(rest))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return dists[order[a]] < dists[order[b]] })
+	mid := len(order) / 2
+	radius := dists[order[mid]]
+	innerIDs := make([]int, 0, mid+1)
+	outerIDs := make([]int, 0, len(order)-mid)
+	for _, oi := range order {
+		if dists[oi] <= radius {
+			innerIDs = append(innerIDs, rest[oi])
+		} else {
+			outerIDs = append(outerIDs, rest[oi])
+		}
+	}
+	node := vpNode{vantage: vantage, radius: radius}
+	t.nodes = append(t.nodes, node)
+	self := int32(len(t.nodes) - 1)
+	inner := t.build(innerIDs, leafSize, rng)
+	outer := t.build(outerIDs, leafSize, rng)
+	t.nodes[self].inner = inner
+	t.nodes[self].outer = outer
+	return self
+}
+
+// Len reports the indexed point count.
+func (t *VPTree) Len() int { return len(t.pts) }
+
+// KNN returns the exact k nearest neighbors of q in ascending
+// distance (ties broken by ascending index) and the number of
+// distance evaluations spent. k is clamped to the point count.
+func (t *VPTree) KNN(q []float64, k int) ([]Neighbor, int) {
+	return t.knn(q, k, 0)
+}
+
+// KNNBounded is the approximate search: it follows the same
+// best-prune order as KNN but stops after maxEvals distance
+// evaluations, returning the best k found so far. maxEvals <= 0 means
+// exact. Results are deterministic for a fixed tree.
+func (t *VPTree) KNNBounded(q []float64, k, maxEvals int) ([]Neighbor, int) {
+	return t.knn(q, k, maxEvals)
+}
+
+func (t *VPTree) knn(q []float64, k, maxEvals int) ([]Neighbor, int) {
+	if k <= 0 || len(q) != t.dim || len(t.pts) == 0 {
+		return nil, 0
+	}
+	if k > len(t.pts) {
+		k = len(t.pts)
+	}
+	s := &vpSearch{t: t, q: q, k: k, maxEvals: maxEvals, tau: math.Inf(1)}
+	s.visit(t.root)
+	sort.Slice(s.best, func(a, b int) bool {
+		if s.best[a].Dist != s.best[b].Dist {
+			return s.best[a].Dist < s.best[b].Dist
+		}
+		return s.best[a].Idx < s.best[b].Idx
+	})
+	return s.best, s.evals
+}
+
+// vpSearch carries one query's state: a bounded worst-first result
+// set (tau = current kth distance) and the evaluation budget.
+type vpSearch struct {
+	t        *VPTree
+	q        []float64
+	k        int
+	maxEvals int
+	evals    int
+	tau      float64
+	best     []Neighbor // max-heap by (Dist, Idx)
+}
+
+// spent reports whether the evaluation budget is exhausted.
+func (s *vpSearch) spent() bool { return s.maxEvals > 0 && s.evals >= s.maxEvals }
+
+// offer records a candidate point, maintaining the k best.
+func (s *vpSearch) offer(idx int, d float64) {
+	if len(s.best) < s.k {
+		s.best = append(s.best, Neighbor{Idx: idx, Dist: d})
+		s.up(len(s.best) - 1)
+	} else if worse(Neighbor{Idx: idx, Dist: d}, s.best[0]) {
+		return
+	} else {
+		s.best[0] = Neighbor{Idx: idx, Dist: d}
+		s.down(0)
+	}
+	if len(s.best) == s.k {
+		s.tau = s.best[0].Dist
+	}
+}
+
+// worse orders neighbors by (Dist, Idx) descending-priority for the
+// max-heap: a is worse than b when it should sit closer to the root.
+func worse(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.Idx > b.Idx
+}
+
+func (s *vpSearch) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !worse(s.best[i], s.best[p]) {
+			break
+		}
+		s.best[i], s.best[p] = s.best[p], s.best[i]
+		i = p
+	}
+}
+
+func (s *vpSearch) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(s.best) && worse(s.best[l], s.best[m]) {
+			m = l
+		}
+		if r < len(s.best) && worse(s.best[r], s.best[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		s.best[i], s.best[m] = s.best[m], s.best[i]
+		i = m
+	}
+}
+
+func (s *vpSearch) dist(idx int) float64 {
+	s.evals++
+	return math.Sqrt(kernel.SquaredDistance(s.q, s.t.pts[idx]))
+}
+
+func (s *vpSearch) visit(ni int32) {
+	if ni < 0 || s.spent() {
+		return
+	}
+	n := &s.t.nodes[ni]
+	if n.leaf != nil {
+		for _, idx := range n.leaf {
+			if s.spent() {
+				return
+			}
+			s.offer(idx, s.dist(idx))
+		}
+		return
+	}
+	d := s.dist(n.vantage)
+	s.offer(n.vantage, d)
+	// Descend the side containing q first; the far side is visited
+	// only when the current kth distance still reaches across the
+	// median shell (boundary-inclusive, so exact ties never prune).
+	if d <= n.radius {
+		s.visit(n.inner)
+		if d+s.tau >= n.radius {
+			s.visit(n.outer)
+		}
+	} else {
+		s.visit(n.outer)
+		if d-s.tau <= n.radius {
+			s.visit(n.inner)
+		}
+	}
+}

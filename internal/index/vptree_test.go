@@ -1,0 +1,144 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"milvideo/internal/kernel"
+)
+
+// randPts draws n seeded d-dim standard-normal vectors.
+func randPts(seed int64, n, d int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, d)
+		for j := range pts[i] {
+			pts[i][j] = rng.NormFloat64()
+		}
+	}
+	return pts
+}
+
+// bruteKNN is the oracle: full scan sorted by (distance, index).
+func bruteKNN(pts [][]float64, q []float64, k int) []Neighbor {
+	res := make([]Neighbor, len(pts))
+	for i, p := range pts {
+		res[i] = Neighbor{Idx: i, Dist: math.Sqrt(kernel.SquaredDistance(q, p))}
+	}
+	sort.Slice(res, func(a, b int) bool {
+		if res[a].Dist != res[b].Dist {
+			return res[a].Dist < res[b].Dist
+		}
+		return res[a].Idx < res[b].Idx
+	})
+	if k > len(res) {
+		k = len(res)
+	}
+	return res[:k]
+}
+
+// TestVPTreeExactMatchesBruteForce: exact k-NN equals the full-scan
+// oracle across sizes, leaf sizes, ks, and in-set/out-of-set queries.
+func TestVPTreeExactMatchesBruteForce(t *testing.T) {
+	for _, n := range []int{1, 5, 33, 200} {
+		for _, leaf := range []int{1, 4, 16} {
+			pts := randPts(int64(n), n, 9)
+			tree, err := BuildVPTree(pts, VPOptions{LeafSize: leaf, Seed: 7})
+			if err != nil {
+				t.Fatalf("n=%d leaf=%d: %v", n, leaf, err)
+			}
+			queries := randPts(99, 10, 9)
+			queries = append(queries, pts[0], pts[n/2]) // exact members too
+			for qi, q := range queries {
+				for _, k := range []int{1, 3, n} {
+					got, evals := tree.KNN(q, k)
+					want := bruteKNN(pts, q, k)
+					if len(got) != len(want) {
+						t.Fatalf("n=%d leaf=%d q=%d k=%d: got %d results, want %d",
+							n, leaf, qi, k, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("n=%d leaf=%d q=%d k=%d: result %d = %+v, want %+v",
+								n, leaf, qi, k, i, got[i], want[i])
+						}
+					}
+					if evals > len(pts)+len(tree.nodes) {
+						t.Fatalf("n=%d: %d evals for %d points", n, evals, len(pts))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVPTreeBounded: the bounded search respects its budget, returns
+// a subset of the point set, and converges to exact as the budget
+// covers the tree.
+func TestVPTreeBounded(t *testing.T) {
+	pts := randPts(3, 300, 9)
+	tree, err := BuildVPTree(pts, VPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := randPts(4, 1, 9)[0]
+	exact, exactEvals := tree.KNN(q, 10)
+
+	got, evals := tree.KNNBounded(q, 10, 40)
+	if evals > 40 {
+		t.Fatalf("bounded search spent %d evals, budget 40", evals)
+	}
+	if len(got) == 0 {
+		t.Fatal("bounded search found nothing")
+	}
+	// A generous budget reproduces the exact answer.
+	full, _ := tree.KNNBounded(q, 10, exactEvals+len(pts))
+	for i := range exact {
+		if full[i] != exact[i] {
+			t.Fatalf("bounded(full budget) diverged at %d: %+v vs %+v", i, full[i], exact[i])
+		}
+	}
+	// Determinism.
+	again, evals2 := tree.KNNBounded(q, 10, 40)
+	if evals2 != evals || len(again) != len(got) {
+		t.Fatalf("bounded search nondeterministic: %d/%d evals, %d/%d results",
+			evals, evals2, len(got), len(again))
+	}
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("bounded search result %d differs across runs", i)
+		}
+	}
+}
+
+// TestVPTreeDegenerate: duplicate points and dimension mismatches.
+func TestVPTreeDegenerate(t *testing.T) {
+	if _, err := BuildVPTree(nil, VPOptions{}); err == nil {
+		t.Fatal("empty build succeeded")
+	}
+	if _, err := BuildVPTree([][]float64{{1, 2}, {1}}, VPOptions{}); err == nil {
+		t.Fatal("ragged build succeeded")
+	}
+	// All-identical points: every distance ties; k-NN returns the k
+	// lowest indices at distance 0.
+	pts := make([][]float64, 20)
+	for i := range pts {
+		pts[i] = []float64{1, 2, 3}
+	}
+	tree, err := BuildVPTree(pts, VPOptions{LeafSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tree.KNN([]float64{1, 2, 3}, 5)
+	for i, nb := range got {
+		if nb.Idx != i || nb.Dist != 0 {
+			t.Fatalf("duplicate-point kNN[%d] = %+v, want {%d 0}", i, nb, i)
+		}
+	}
+	if res, _ := tree.KNN([]float64{1, 2}, 3); res != nil {
+		t.Fatal("dim-mismatched query returned results")
+	}
+}

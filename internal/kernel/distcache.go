@@ -114,3 +114,15 @@ func (c *DistCache) Len() int {
 func (c *DistCache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
 }
+
+// ResetStats zeroes the lookup counters without touching the cached
+// distances. The counters are otherwise grow-only, so a caller that
+// wants per-interval ratios — the query service reports each
+// session's hit ratio since its last feedback round, not since
+// process start — reads Stats and resets between intervals. Resets
+// racing concurrent lookups may lose a handful of in-flight counts;
+// the cached pairs themselves are never affected.
+func (c *DistCache) ResetStats() {
+	c.hits.Store(0)
+	c.misses.Store(0)
+}

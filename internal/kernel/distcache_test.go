@@ -131,3 +131,27 @@ func TestFillSquaredDistsConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestResetStats: counters zero out while cached pairs survive, so a
+// post-reset lookup of a cached pair is a hit with no recompute.
+func TestResetStats(t *testing.T) {
+	X := randVecs(2, 4, 9)
+	c := NewDistCache()
+	c.SquaredDist(0, 1, X[0], X[1])
+	c.SquaredDist(0, 1, X[0], X[1])
+	if h, m := c.Stats(); h != 1 || m != 1 {
+		t.Fatalf("pre-reset stats (%d,%d), want (1,1)", h, m)
+	}
+	c.ResetStats()
+	if h, m := c.Stats(); h != 0 || m != 0 {
+		t.Fatalf("post-reset stats (%d,%d), want (0,0)", h, m)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("reset dropped cached pairs: len %d, want 1", c.Len())
+	}
+	// The cached distance is still served: hit, not miss.
+	c.SquaredDist(1, 0, X[1], X[0])
+	if h, m := c.Stats(); h != 1 || m != 0 {
+		t.Fatalf("post-reset lookup stats (%d,%d), want (1,0)", h, m)
+	}
+}

@@ -1,0 +1,162 @@
+package retrieval
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"milvideo/internal/index"
+	"milvideo/internal/mil"
+	"milvideo/internal/window"
+)
+
+// CandidateStats accumulates a CandidateEngine's work across rounds
+// (atomically, so one instance can be shared by every session of a
+// server and read while rounds run).
+type CandidateStats struct {
+	// PrunedRounds counts rounds ranked through the candidate set;
+	// FullRounds counts rounds that fell back to the wrapped engine
+	// (no positive probes yet, or C covers the database).
+	PrunedRounds atomic.Int64
+	FullRounds   atomic.Int64
+	// Probes and DistEvals total the index work of pruned rounds.
+	Probes    atomic.Int64
+	DistEvals atomic.Int64
+	// CandidatesRanked totals the bags the wrapped engine re-ranked
+	// in pruned rounds (candidate set plus labeled bags).
+	CandidatesRanked atomic.Int64
+}
+
+// CandidateEngine makes any Engine sublinear in the database size: a
+// metric candidate index prunes the database to the C bags nearest
+// the accumulated positive feedback, the wrapped engine re-ranks
+// exactly that set (plus every labeled bag, which is always
+// included), and the pruned remainder keeps the cheap §5.3 heuristic
+// ordering. With C ≥ len(db) — or before any positive feedback
+// exists, when there are no probes to prune by — it delegates to the
+// wrapped engine unchanged, so C=N reproduces the unwrapped ranking
+// exactly.
+type CandidateEngine struct {
+	// Inner is the exact ranker (MIL-OCSVM, Weighted-RF, Rocchio, …).
+	Inner Engine
+	// Index must be built over the same database Rank receives (same
+	// length, same order).
+	Index *index.BagIndex
+	// C caps the candidate set handed to Inner. C <= 0 or C >= len(db)
+	// disables pruning.
+	C int
+	// Stats, when non-nil, accumulates probe counters.
+	Stats *CandidateStats
+}
+
+// Name implements Engine.
+func (e CandidateEngine) Name() string {
+	inner := "?"
+	if e.Inner != nil {
+		inner = e.Inner.Name()
+	}
+	kind := index.Kind("none")
+	if e.Index != nil {
+		kind = e.Index.Kind()
+	}
+	return fmt.Sprintf("candidate(%s,C=%d)/%s", kind, e.C, inner)
+}
+
+// Rank implements Engine.
+func (e CandidateEngine) Rank(db []window.VS, labels map[int]mil.Label) ([]int, error) {
+	if e.Inner == nil {
+		return nil, ErrNilEngine
+	}
+	if e.Index == nil {
+		return e.full(db, labels)
+	}
+	if e.Index.Bags() != len(db) {
+		return nil, fmt.Errorf("retrieval: candidate index covers %d bags, database has %d (stale index?)",
+			e.Index.Bags(), len(db))
+	}
+	if e.C <= 0 || e.C >= len(db) {
+		return e.full(db, labels)
+	}
+	// Positive-labeled instances are the probes: the accumulated
+	// relevant feedback is exactly what the MIL learner trains on, so
+	// bags near it are the ones whose exact scores can matter.
+	var probes [][]float64
+	for _, vs := range db {
+		if labels[vs.Index] != mil.Positive {
+			continue
+		}
+		for _, ts := range vs.TSs {
+			probes = append(probes, ts.Flat())
+		}
+	}
+	if len(probes) == 0 {
+		return e.full(db, labels)
+	}
+
+	cands, stats := e.Index.Candidates(probes, e.C)
+	if e.Stats != nil {
+		e.Stats.PrunedRounds.Add(1)
+		e.Stats.Probes.Add(int64(stats.Probes))
+		e.Stats.DistEvals.Add(int64(stats.DistEvals))
+	}
+	in := make([]bool, len(db))
+	for _, pos := range cands {
+		in[pos] = true
+	}
+	// Labeled bags always survive pruning: the engine must see its own
+	// training set, and the user's judged results must stay exactly
+	// ranked.
+	for pos, vs := range db {
+		if _, ok := labels[vs.Index]; ok {
+			in[pos] = true
+		}
+	}
+	sub := make([]window.VS, 0, len(cands)+4)
+	subPos := make([]int, 0, len(cands)+4)
+	for pos := range db {
+		if in[pos] {
+			sub = append(sub, db[pos])
+			subPos = append(subPos, pos)
+		}
+	}
+	if e.Stats != nil {
+		e.Stats.CandidatesRanked.Add(int64(len(sub)))
+	}
+	subRank, err := e.Inner.Rank(sub, labels)
+	if err != nil {
+		return nil, err
+	}
+	if len(subRank) != len(sub) {
+		return nil, fmt.Errorf("%w: %s returned %d of %d candidate indices",
+			ErrBadRanking, e.Inner.Name(), len(subRank), len(sub))
+	}
+	out := make([]int, 0, len(db))
+	for _, r := range subRank {
+		if r < 0 || r >= len(subPos) {
+			return nil, fmt.Errorf("%w: %s returned out-of-range candidate index %d",
+				ErrBadRanking, e.Inner.Name(), r)
+		}
+		out = append(out, subPos[r])
+	}
+	// The pruned remainder keeps the §5.3 heuristic ordering — the
+	// same ordering every engine falls back to before feedback exists.
+	rest := make([]int, 0, len(db)-len(sub))
+	scores := make([]float64, 0, len(db)-len(sub))
+	for pos := range db {
+		if !in[pos] {
+			rest = append(rest, pos)
+			scores = append(scores, HeuristicScore(db[pos]))
+		}
+	}
+	for _, ri := range rankByScore(scores) {
+		out = append(out, rest[ri])
+	}
+	return out, nil
+}
+
+// full delegates to the wrapped engine, counting the round.
+func (e CandidateEngine) full(db []window.VS, labels map[int]mil.Label) ([]int, error) {
+	if e.Stats != nil {
+		e.Stats.FullRounds.Add(1)
+	}
+	return e.Inner.Rank(db, labels)
+}

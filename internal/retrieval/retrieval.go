@@ -213,6 +213,12 @@ func NewMILCache() *MILCache { return &MILCache{dist: kernel.NewDistCache()} }
 // /v1/stats surfaces as the kernel-cache hit ratio.
 func (c *MILCache) Stats() (hits, misses uint64) { return c.dist.Stats() }
 
+// ResetStats zeroes the lookup counters, keeping every cached
+// distance. The query service calls it after each feedback round so
+// the next round's Stats read is that round's hit ratio alone, not
+// the session-lifetime aggregate.
+func (c *MILCache) ResetStats() { c.dist.ResetStats() }
+
 // MILEngine is the paper's proposed framework: bags from labeled VSs,
 // a One-class SVM trained with ν = δ from Eq. (9) on the training set
 // assembled per §5.3 — "the highest scored TSs in the relevant VSs" —

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"milvideo/internal/core"
+	"milvideo/internal/index"
+	"milvideo/internal/mil"
+	"milvideo/internal/retrieval"
+)
+
+// recallAt10 measures the overlap of the first 10 ranked positions.
+func recallAt10(got, want []int) float64 {
+	k := 10
+	if len(want) < k {
+		k = len(want)
+	}
+	set := make(map[int]bool, k)
+	for _, p := range want[:k] {
+		set[p] = true
+	}
+	hit := 0
+	for _, p := range got[:k] {
+		if set[p] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(k)
+}
+
+// TestIndexSmokeRecall is the CI smoke gate for the candidate index:
+// on the demo catalog, a 5-round feedback session routed through
+// either index kind must keep recall@10 against the exact ranking at
+// 1.0 with C = N (identity by construction) and at ≥ 0.9 with C = N/4.
+// Recall is judged per round against the exact engine run on the very
+// same accumulated labels, so it isolates pruning error from feedback
+// drift.
+func TestIndexSmokeRecall(t *testing.T) {
+	rec := synthRecord(t, 1, 6, 6, 36) // the demo catalog mix
+	oracle, err := core.OracleFromRecord(rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := rec.VSs
+	n := len(db)
+	for _, kind := range index.Kinds() {
+		bi, err := index.Build(db, kind, index.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range []struct {
+			c     int
+			floor float64
+		}{
+			{n, 1.0},
+			{n / 4, 0.9},
+		} {
+			exact := retrieval.MILEngine{Opt: mil.DefaultOptions(), Cache: retrieval.NewMILCache()}
+			indexed := retrieval.CandidateEngine{
+				Inner: retrieval.MILEngine{Opt: mil.DefaultOptions(), Cache: retrieval.NewMILCache()},
+				Index: bi, C: tc.c,
+			}
+			labels := make(map[int]mil.Label)
+			for round := 0; round < 5; round++ {
+				gotRank, gotTop, err := retrieval.RankRound(indexed, db, labels, 20)
+				if err != nil {
+					t.Fatalf("%s C=%d round %d: %v", kind, tc.c, round, err)
+				}
+				wantRank, _, err := retrieval.RankRound(exact, db, labels, 20)
+				if err != nil {
+					t.Fatalf("%s C=%d round %d (exact): %v", kind, tc.c, round, err)
+				}
+				if r := recallAt10(gotRank, wantRank); r < tc.floor {
+					t.Fatalf("%s C=%d round %d: recall@10 %.2f below %.2f",
+						kind, tc.c, round, r, tc.floor)
+				}
+				for _, pos := range gotTop {
+					if oracle.Relevant(db[pos]) {
+						labels[db[pos].Index] = mil.Positive
+					} else {
+						labels[db[pos].Index] = mil.Negative
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQueryIndexAPI covers the wire surface of the candidate index:
+// body fields, URL overrides, stats accounting, cache reuse, and
+// invalidation on ingest.
+func TestQueryIndexAPI(t *testing.T) {
+	rec := synthRecord(t, 9, 5, 5, 20)
+	judge, err := JudgeFromRecord(rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := testCatalog(t, rec)
+	srv, client := newTestServer(t, Config{DB: catalog})
+	ctx := context.Background()
+
+	resp, err := client.Query(ctx, QueryRequest{Clip: rec.Name, TopK: 8, Index: "vptree", Candidates: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Engine, "candidate(vptree,C=10)") {
+		t.Fatalf("indexed session reports engine %q", resp.Engine)
+	}
+	labels := make([]FeedbackLabel, len(resp.TopK))
+	for i, e := range resp.TopK {
+		labels[i] = FeedbackLabel{VS: e.VS, Relevant: judge(e)}
+	}
+	if _, err := client.Feedback(ctx, resp.Session, labels); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Index.Builds != 1 || stats.Index.CacheHits != 0 {
+		t.Fatalf("after one indexed session: builds=%d hits=%d", stats.Index.Builds, stats.Index.CacheHits)
+	}
+	if stats.Index.FullRounds < 1 {
+		t.Fatalf("round 0 should count as a full round: %+v", stats.Index)
+	}
+	if stats.Index.PrunedRounds != 1 || stats.Index.Probes == 0 {
+		t.Fatalf("feedback round should prune through the index: %+v", stats.Index)
+	}
+	if stats.Index.BuildLatency.Count != 1 {
+		t.Fatalf("build latency saw %d builds, want 1", stats.Index.BuildLatency.Count)
+	}
+	if lr := stats.KernelCacheLastRound; lr.Hits+lr.Misses == 0 {
+		t.Fatalf("last-round kernel cache counters empty: %+v", lr)
+	}
+
+	// A second session over the same catalog generation reuses the
+	// built index.
+	if _, err := client.Query(ctx, QueryRequest{Clip: rec.Name, TopK: 8, Index: "vptree", Candidates: 10}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Index.Builds != 1 || stats.Index.CacheHits != 1 {
+		t.Fatalf("second session should hit the cache: builds=%d hits=%d", stats.Index.Builds, stats.Index.CacheHits)
+	}
+	if srv.indexes.len() != 1 {
+		t.Fatalf("index cache holds %d entries, want 1", srv.indexes.len())
+	}
+
+	// URL parameters override the body.
+	httpResp, err := http.Post(client.BaseURL+"/v1/query?index=ivf&candidates=5",
+		"application/json", strings.NewReader(`{"clip":"`+rec.Name+`","top_k":4,"index":"vptree","candidates":9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round RoundResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&round); err != nil {
+		t.Fatal(err)
+	}
+	httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusCreated {
+		t.Fatalf("URL-overridden query got HTTP %d", httpResp.StatusCode)
+	}
+	if !strings.Contains(round.Engine, "candidate(ivf,C=5)") {
+		t.Fatalf("URL override produced engine %q", round.Engine)
+	}
+
+	// Malformed overrides fail loudly.
+	for _, q := range []string{"?index=bogus", "?index=vptree&candidates=-1", "?index=vptree&candidates=x"} {
+		bad, err := http.Post(client.BaseURL+"/v1/query"+q,
+			"application/json", strings.NewReader(`{"clip":"`+rec.Name+`"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bad.Body.Close()
+		if bad.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s got HTTP %d, want 400", q, bad.StatusCode)
+		}
+	}
+
+	// Ingest bumps the catalog generation: the next indexed session
+	// rebuilds rather than serving the superseded index.
+	rec2 := synthRecord(t, 10, 3, 3, 8)
+	rec2.Name = "other"
+	if err := catalog.Add(rec2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Query(ctx, QueryRequest{Clip: rec.Name, TopK: 8, Index: "vptree", Candidates: 10}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Index.Builds != 3 {
+		t.Fatalf("post-ingest session should rebuild: builds=%d, want 3", stats.Index.Builds)
+	}
+}
+
+// TestQueryIndexDefaults: a server started with a default index routes
+// plain queries through it, and "exact" opts a session out.
+func TestQueryIndexDefaults(t *testing.T) {
+	rec := synthRecord(t, 12, 4, 4, 12)
+	_, client := newTestServer(t, Config{DB: testCatalog(t, rec), DefaultIndex: "vptree", DefaultCandidates: 7})
+	ctx := context.Background()
+
+	resp, err := client.Query(ctx, QueryRequest{Clip: rec.Name, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Engine, "candidate(vptree,C=7)") {
+		t.Fatalf("default-index session reports engine %q", resp.Engine)
+	}
+	resp, err = client.Query(ctx, QueryRequest{Clip: rec.Name, TopK: 5, Index: "exact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(resp.Engine, "candidate") {
+		t.Fatalf("exact override still indexed: %q", resp.Engine)
+	}
+}

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"milvideo/internal/index"
+	"milvideo/internal/videodb"
+)
+
+// indexCacheKey identifies one built candidate index: a clip at a
+// catalog generation, under one index structure. Ingest bumps the
+// generation, so indexes built over a superseded catalog state are
+// never served to new sessions.
+type indexCacheKey struct {
+	clip string
+	kind index.Kind
+	gen  uint64
+}
+
+// indexCache builds candidate indexes lazily and shares them across
+// sessions. Entries are keyed to the snapshot generation they were
+// built from; when a newer generation of the same (clip, kind)
+// arrives, the stale entry is dropped (sessions already holding it
+// keep ranking their own snapshot's data — a BagIndex is immutable —
+// but no new session sees it).
+type indexCache struct {
+	mu      sync.Mutex
+	entries map[indexCacheKey]*index.BagIndex
+	opt     index.Options
+}
+
+func newIndexCache(opt index.Options) *indexCache {
+	return &indexCache{entries: make(map[indexCacheKey]*index.BagIndex), opt: opt}
+}
+
+// get returns the index for (clip, kind) at the snapshot's
+// generation, building it on first use. built reports whether this
+// call constructed it (with the build duration), so the caller can
+// record build metrics exactly once per construction.
+func (c *indexCache) get(rec *videodb.ClipRecord, kind index.Kind, gen uint64) (bi *index.BagIndex, built bool, buildTime time.Duration, err error) {
+	key := indexCacheKey{clip: rec.Name, kind: kind, gen: gen}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if bi, ok := c.entries[key]; ok {
+		return bi, false, 0, nil
+	}
+	start := time.Now()
+	bi, err = index.Build(rec.VSs, kind, c.opt)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	buildTime = time.Since(start)
+	// Invalidate superseded generations of the same clip+kind before
+	// inserting, so the cache never grows with catalog churn.
+	for k := range c.entries {
+		if k.clip == key.clip && k.kind == key.kind && k.gen != key.gen {
+			delete(c.entries, k)
+		}
+	}
+	c.entries[key] = bi
+	return bi, true, buildTime, nil
+}
+
+// len reports the cached index count (for tests).
+func (c *indexCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

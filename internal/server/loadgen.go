@@ -57,6 +57,12 @@ type LoadGen struct {
 	Rounds int
 	// TopK is the per-round result count (0 = server default).
 	TopK int
+	// Index forwards to QueryRequest.Index: the candidate index every
+	// session requests ("" = server default, "exact" forces exact).
+	Index string
+	// Candidates forwards to QueryRequest.Candidates (0 = server
+	// default C).
+	Candidates int
 	// Judge labels returned results; required.
 	Judge Judge
 }
@@ -185,6 +191,7 @@ func (lg *LoadGen) Run(ctx context.Context) (*Report, error) {
 			t0 := time.Now()
 			resp, err := lg.Client.Query(ctx, QueryRequest{
 				Clip: lg.Clip, Engine: lg.Engine, TopK: lg.TopK,
+				Index: lg.Index, Candidates: lg.Candidates,
 			})
 			latencies.add("query", time.Since(t0))
 			if err != nil {

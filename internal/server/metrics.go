@@ -28,6 +28,12 @@ type Metrics struct {
 	retiredHits   expvar.Int
 	retiredMisses expvar.Int
 
+	// Candidate-index lifecycle: builds actually performed, cache hits
+	// that reused one, and the build latency distribution.
+	IndexBuilds    expvar.Int
+	IndexCacheHits expvar.Int
+	IndexBuild     LatencyHistogram
+
 	Rerank LatencyHistogram
 }
 
@@ -46,6 +52,9 @@ func (m *Metrics) publish() {
 		top.Set("rounds_served", &m.RoundsServed)
 		top.Set("requests_rejected", &m.RequestsRejected)
 		top.Set("rerank_latency", &m.Rerank)
+		top.Set("index_builds", &m.IndexBuilds)
+		top.Set("index_cache_hits", &m.IndexCacheHits)
+		top.Set("index_build_latency", &m.IndexBuild)
 		expvar.Publish("milserver", top)
 	})
 }

@@ -35,6 +35,7 @@ import (
 	"milvideo/internal/core"
 	"milvideo/internal/event"
 	"milvideo/internal/geom"
+	"milvideo/internal/index"
 	"milvideo/internal/mil"
 	"milvideo/internal/query"
 	"milvideo/internal/retrieval"
@@ -62,6 +63,16 @@ type Config struct {
 	// DefaultTopK is the per-round result count when a query names
 	// none. Default 20 (the paper's protocol).
 	DefaultTopK int
+	// DefaultIndex, when set ("vptree" or "ivf"), routes sessions that
+	// don't specify an index through that candidate index by default.
+	// Empty means exact ranking unless a query asks for an index.
+	DefaultIndex string
+	// DefaultCandidates is the candidate-set size C applied when a
+	// session uses an index without naming C. Default 64.
+	DefaultCandidates int
+	// IndexOptions tunes candidate-index construction and probes
+	// (zero values take the index package defaults).
+	IndexOptions index.Options
 	// Clock overrides time.Now for TTL tests.
 	Clock func() time.Time
 }
@@ -82,6 +93,9 @@ func (c Config) withDefaults() Config {
 	if c.DefaultTopK <= 0 {
 		c.DefaultTopK = 20
 	}
+	if c.DefaultCandidates <= 0 {
+		c.DefaultCandidates = 64
+	}
 	return c
 }
 
@@ -91,8 +105,12 @@ type Server struct {
 	cfg     Config
 	store   *sessionStore
 	metrics *Metrics
-	sem     chan struct{}
-	mux     *http.ServeMux
+	// indexes caches built candidate indexes per (clip, kind,
+	// generation); candStats accumulates every session's probe work.
+	indexes   *indexCache
+	candStats *retrieval.CandidateStats
+	sem       chan struct{}
+	mux       *http.ServeMux
 
 	stop    chan struct{}
 	stopped chan struct{}
@@ -104,14 +122,21 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("server: Config.DB is required")
 	}
 	cfg = cfg.withDefaults()
+	if cfg.DefaultIndex != "" {
+		if _, err := index.ParseKind(cfg.DefaultIndex); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
-		cfg:     cfg,
-		store:   newSessionStore(cfg.MaxSessions, cfg.SessionTTL, cfg.Clock),
-		metrics: &Metrics{},
-		sem:     make(chan struct{}, cfg.RerankWorkers),
-		mux:     http.NewServeMux(),
-		stop:    make(chan struct{}),
-		stopped: make(chan struct{}),
+		cfg:       cfg,
+		store:     newSessionStore(cfg.MaxSessions, cfg.SessionTTL, cfg.Clock),
+		metrics:   &Metrics{},
+		indexes:   newIndexCache(cfg.IndexOptions),
+		candStats: &retrieval.CandidateStats{},
+		sem:       make(chan struct{}, cfg.RerankWorkers),
+		mux:       http.NewServeMux(),
+		stop:      make(chan struct{}),
+		stopped:   make(chan struct{}),
 	}
 	s.metrics.publish()
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
@@ -188,6 +213,15 @@ type QueryRequest struct {
 	// Sketch, when set, seeds the initial ranking from a drawn
 	// trajectory (mutually exclusive with ExampleVS).
 	Sketch *SketchQuery `json:"sketch,omitempty"`
+	// Index selects a candidate index for this session ("vptree" or
+	// "ivf"; "exact" or "none" force exact ranking even when the
+	// server has a default index). The URL query parameter ?index=
+	// overrides this field.
+	Index string `json:"index,omitempty"`
+	// Candidates is the candidate-set size C the exact engine
+	// re-ranks per round (0 = server default; ignored without an
+	// index). The URL query parameter ?candidates= overrides it.
+	Candidates int `json:"candidates,omitempty"`
 }
 
 // SketchQuery is a sketched trajectory: a polyline in image
@@ -241,6 +275,25 @@ type KernelCacheStats struct {
 	HitRatio float64 `json:"hit_ratio"`
 }
 
+// IndexStats reports the candidate-index subsystem: build/reuse
+// lifecycle and the probe work of pruned rounds.
+type IndexStats struct {
+	// Builds counts indexes actually constructed; CacheHits counts
+	// sessions that reused a cached one.
+	Builds    int64 `json:"builds"`
+	CacheHits int64 `json:"cache_hits"`
+	// PrunedRounds ranked through a candidate set; FullRounds fell
+	// back to exact ranking (no feedback yet, or C ≥ N).
+	PrunedRounds int64 `json:"pruned_rounds"`
+	FullRounds   int64 `json:"full_rounds"`
+	// Probes and DistEvals total the index probe work;
+	// CandidatesRanked totals the bags exact-re-ranked.
+	Probes           int64          `json:"probes"`
+	DistEvals        int64          `json:"dist_evals"`
+	CandidatesRanked int64          `json:"candidates_ranked"`
+	BuildLatency     LatencySummary `json:"build_latency"`
+}
+
 // StatsResponse is /v1/stats.
 type StatsResponse struct {
 	SessionsLive     int64            `json:"sessions_live"`
@@ -251,7 +304,13 @@ type StatsResponse struct {
 	RoundsServed     int64            `json:"rounds_served"`
 	RequestsRejected int64            `json:"requests_rejected"`
 	KernelCache      KernelCacheStats `json:"kernel_cache"`
-	RerankLatency    LatencySummary   `json:"rerank_latency"`
+	// KernelCacheLastRound aggregates, over live sessions, the
+	// counters of each session's most recent feedback round — the
+	// steady-state reuse rate, unpolluted by the all-miss first
+	// rounds that dominate the lifetime totals.
+	KernelCacheLastRound KernelCacheStats `json:"kernel_cache_last_round"`
+	Index                IndexStats       `json:"index"`
+	RerankLatency        LatencySummary   `json:"rerank_latency"`
 }
 
 // ErrorResponse is the JSON error envelope.
@@ -309,6 +368,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	} else if initial != nil {
 		engine = query.WithFeedback{Initial: initial, Learner: engine}
 	}
+	kind, cand, err := s.resolveIndex(r, &req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if kind != "" {
+		bi, built, buildTime, err := s.indexes.get(rec, kind, snap.Generation())
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		if built {
+			s.metrics.IndexBuilds.Add(1)
+			s.metrics.IndexBuild.Observe(buildTime)
+		} else {
+			s.metrics.IndexCacheHits.Add(1)
+		}
+		engine = retrieval.CandidateEngine{Inner: engine, Index: bi, C: cand, Stats: s.candStats}
+	}
 
 	id, err := newSessionID()
 	if err != nil {
@@ -341,6 +419,41 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.metrics.SessionsCreated.Add(1)
 	s.metrics.SessionsLive.Add(1)
 	writeJSON(w, http.StatusCreated, resp)
+}
+
+// resolveIndex determines a session's candidate-index settings. URL
+// query parameters (?index=…&candidates=…) take precedence over the
+// JSON body, which takes precedence over the server defaults; "exact"
+// or "none" force exact ranking even when the server has a default
+// index. The returned kind is empty for exact ranking.
+func (s *Server) resolveIndex(r *http.Request, req *QueryRequest) (index.Kind, int, error) {
+	name := req.Index
+	if q := r.URL.Query().Get("index"); q != "" {
+		name = q
+	}
+	if name == "" {
+		name = s.cfg.DefaultIndex
+	}
+	switch name {
+	case "", "exact", "none":
+		return "", 0, nil
+	}
+	kind, err := index.ParseKind(name)
+	if err != nil {
+		return "", 0, err
+	}
+	cand := req.Candidates
+	if q := r.URL.Query().Get("candidates"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			return "", 0, fmt.Errorf("bad candidates %q", q)
+		}
+		cand = v
+	}
+	if cand <= 0 {
+		cand = s.cfg.DefaultCandidates
+	}
+	return kind, cand, nil
 }
 
 // named overrides an engine's reported name: a sketch seed is a
@@ -477,17 +590,35 @@ func (s *Server) Stats() *StatsResponse {
 		RoundsServed:     s.metrics.RoundsServed.Value(),
 		RequestsRejected: s.metrics.RequestsRejected.Value(),
 		RerankLatency:    s.metrics.Rerank.Summary(),
+		Index: IndexStats{
+			Builds:           s.metrics.IndexBuilds.Value(),
+			CacheHits:        s.metrics.IndexCacheHits.Value(),
+			PrunedRounds:     s.candStats.PrunedRounds.Load(),
+			FullRounds:       s.candStats.FullRounds.Load(),
+			Probes:           s.candStats.Probes.Load(),
+			DistEvals:        s.candStats.DistEvals.Load(),
+			CandidatesRanked: s.candStats.CandidatesRanked.Load(),
+			BuildLatency:     s.metrics.IndexBuild.Summary(),
+		},
 	}
 	hits := uint64(s.metrics.retiredHits.Value())
 	misses := uint64(s.metrics.retiredMisses.Value())
+	var lastHits, lastMisses uint64
 	s.store.forEach(func(sess *session) {
 		h, m := sess.cacheStats()
 		hits += h
 		misses += m
+		h, m = sess.lastRoundCacheStats()
+		lastHits += h
+		lastMisses += m
 	})
 	resp.KernelCache = KernelCacheStats{Hits: hits, Misses: misses}
 	if total := hits + misses; total > 0 {
 		resp.KernelCache.HitRatio = float64(hits) / float64(total)
+	}
+	resp.KernelCacheLastRound = KernelCacheStats{Hits: lastHits, Misses: lastMisses}
+	if total := lastHits + lastMisses; total > 0 {
+		resp.KernelCacheLastRound.HitRatio = float64(lastHits) / float64(total)
 	}
 	return resp
 }
@@ -540,6 +671,7 @@ func (s *Server) runRound(ctx context.Context, sess *session, labels []FeedbackL
 	}
 	s.metrics.Rerank.Observe(time.Since(start))
 	s.metrics.RoundsServed.Add(1)
+	sess.noteRoundCacheStats()
 
 	entries := make([]RankingEntry, len(top))
 	for i, dbPos := range top {

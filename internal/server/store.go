@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"milvideo/internal/mil"
@@ -42,18 +43,44 @@ type session struct {
 	round  int // completed rounds (0 after the initial ranking ran... see server.go)
 	last   *RoundResponse
 
+	// Kernel-cache accounting: the underlying DistCache counters are
+	// reset after every round (see runRound), so cumHits/cumMisses
+	// carry the session lifetime totals while roundHits/roundMisses
+	// hold exactly the most recent round's counters. Atomics, because
+	// /v1/stats reads them while rounds run.
+	cumHits, cumMisses     atomic.Uint64
+	roundHits, roundMisses atomic.Uint64
+
 	// lastUsed and elem are guarded by the store's mutex.
 	lastUsed time.Time
 	elem     *list.Element
 }
 
-// cacheStats reports the session's kernel-cache counters (zero when
-// the engine has no cache).
+// cacheStats reports the session's lifetime kernel-cache counters
+// (zero when the engine has no cache).
 func (s *session) cacheStats() (hits, misses uint64) {
+	return s.cumHits.Load(), s.cumMisses.Load()
+}
+
+// lastRoundCacheStats reports the counters of the session's most
+// recent round alone.
+func (s *session) lastRoundCacheStats() (hits, misses uint64) {
+	return s.roundHits.Load(), s.roundMisses.Load()
+}
+
+// noteRoundCacheStats folds one finished round's counters in: the
+// session cache was reset after the previous round, so its current
+// counters are this round's counters.
+func (s *session) noteRoundCacheStats() {
 	if s.cache == nil {
-		return 0, 0
+		return
 	}
-	return s.cache.Stats()
+	h, m := s.cache.Stats()
+	s.cache.ResetStats()
+	s.roundHits.Store(h)
+	s.roundMisses.Store(m)
+	s.cumHits.Add(h)
+	s.cumMisses.Add(m)
 }
 
 // newSessionID draws a 128-bit random id.

@@ -87,11 +87,22 @@ func SynthRecord(seed int64, nRelevant, nDistractor, nNormal int) (*videodb.Clip
 	return rec, nil
 }
 
+// ScaledDemoRecord builds the demo catalog at an integer multiple of
+// its base mix (6 relevant, 6 distractor, 36 normal VSs per unit) —
+// the 10× and 100× catalogs the index benchmarks and load generator
+// exercise. Scale 1 is exactly the demo record.
+func ScaledDemoRecord(seed int64, scale int) (*videodb.ClipRecord, error) {
+	if scale < 1 {
+		scale = 1
+	}
+	return SynthRecord(seed, 6*scale, 6*scale, 36*scale)
+}
+
 // DemoDB wraps the default demo record in a single-clip catalog — the
 // database cmd/serve runs in -demo mode and the one the CI smoke test
 // loads against.
 func DemoDB(seed int64) (*videodb.DB, error) {
-	rec, err := SynthRecord(seed, 6, 6, 36)
+	rec, err := ScaledDemoRecord(seed, 1)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,88 @@
+package videodb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotMetaIsolated: annotation edits made after a snapshot was
+// taken must not be visible through it — the snapshot deep-copies Meta.
+func TestSnapshotMetaIsolated(t *testing.T) {
+	db := New()
+	r := rec("a")
+	r.Meta = map[string]string{"camera": "north"}
+	if err := db.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	snap := db.Snapshot()
+	if err := db.Annotate("a", "camera", "south"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Annotate("a", "reviewed", "yes"); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := snap.Clip("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta["camera"] != "north" {
+		t.Fatalf("snapshot Meta mutated by later Annotate: camera=%q", got.Meta["camera"])
+	}
+	if _, leaked := got.Meta["reviewed"]; leaked {
+		t.Fatal("snapshot Meta gained a key annotated after the snapshot")
+	}
+	live, err := db.Clip("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Meta["camera"] != "south" || live.Meta["reviewed"] != "yes" {
+		t.Fatalf("live record missing annotations: %v", live.Meta)
+	}
+}
+
+// TestSnapshotMetaRace races Annotate writers against snapshot takers
+// and snapshot Meta readers (run with -race): a post-snapshot
+// annotation edit must never race a serving session reading clip
+// metadata from its snapshot.
+func TestSnapshotMetaRace(t *testing.T) {
+	db := New()
+	r := rec("a")
+	r.Meta = map[string]string{"camera": "north"}
+	if err := db.Add(r); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if err := db.Annotate("a", "note", fmt.Sprintf("edit-%d", i)); err != nil {
+				t.Errorf("Annotate: %v", err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				snap := db.Snapshot()
+				c, err := snap.Clip("a")
+				if err != nil {
+					t.Errorf("snapshot clip: %v", err)
+					return
+				}
+				// Reading every key of the snapshot's Meta while the
+				// writer keeps annotating must be race-free.
+				for k, v := range c.Meta {
+					_, _ = k, v
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

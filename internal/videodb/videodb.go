@@ -126,9 +126,21 @@ func (c *ClipRecord) Stats() Stats {
 }
 
 // DB is the clip catalog. It is safe for concurrent use.
+//
+// Record immutability: once a *ClipRecord is stored, its feature
+// content (VSs, Incidents, Window, counts) must never be mutated —
+// snapshots and candidate indexes share that data by reference. The
+// one mutable field is Meta, and only through Annotate, which takes
+// the catalog lock; mutating a record's Meta map directly after Add
+// races with Snapshot and Save.
 type DB struct {
 	mu    sync.RWMutex
 	clips map[string]*ClipRecord
+	// gen counts catalog mutations that can change feature content
+	// (Add, AddBatch, Remove, Load). Candidate indexes are keyed to it
+	// so an ingest invalidates them; Annotate does not bump it because
+	// metadata edits cannot change index contents.
+	gen uint64
 }
 
 // New returns an empty database.
@@ -145,6 +157,34 @@ func (db *DB) Add(c *ClipRecord) error {
 		return fmt.Errorf("%w: %q", ErrDuplicate, c.Name)
 	}
 	db.clips[c.Name] = c
+	db.gen++
+	return nil
+}
+
+// Generation reports the catalog's mutation counter: it advances on
+// every successful Add, AddBatch, Remove and Load. Derived structures
+// (candidate indexes) key their cache entries to it.
+func (db *DB) Generation() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.gen
+}
+
+// Annotate sets one Meta key on a stored clip. It is the only
+// supported way to edit annotations after Add: it holds the catalog
+// write lock, so concurrent Snapshot and Save calls observe either
+// the old or the new value, never a torn map.
+func (db *DB) Annotate(name, key, value string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, ok := db.clips[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if c.Meta == nil {
+		c.Meta = make(map[string]string)
+	}
+	c.Meta[key] = value
 	return nil
 }
 
@@ -172,6 +212,9 @@ func (db *DB) AddBatch(recs []*ClipRecord) error {
 	for _, c := range recs {
 		db.clips[c.Name] = c
 	}
+	if len(recs) > 0 {
+		db.gen++
+	}
 	return nil
 }
 
@@ -194,6 +237,7 @@ func (db *DB) Remove(name string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	delete(db.clips, name)
+	db.gen++
 	return nil
 }
 
@@ -217,16 +261,19 @@ func (db *DB) Len() int {
 }
 
 // Snapshot is a point-in-time, read-only view of the catalog. It is
-// built by copying only the clip map (record pointers are shared), so
-// taking one costs O(clips), not O(data) — records are treated as
-// immutable once stored, the contract every reader already relies on.
-// A server holds a Snapshot per request (or per session) and serves
-// rankings from it while AddBatch ingests new clips concurrently: the
-// snapshot never observes a half-inserted batch and never blocks the
-// writers after the constructor returns.
+// built by shallow-copying each record header and deep-copying its
+// Meta map, so taking one costs O(clips + annotations), not O(data) —
+// feature content (VSs, Incidents) is shared by reference under the
+// record-immutability contract documented on DB, while a
+// post-snapshot Annotate can never race a serving session reading the
+// snapshot's Meta. A server holds a Snapshot per request (or per
+// session) and serves rankings from it while AddBatch ingests new
+// clips concurrently: the snapshot never observes a half-inserted
+// batch and never blocks the writers after the constructor returns.
 type Snapshot struct {
 	clips map[string]*ClipRecord
 	names []string
+	gen   uint64
 }
 
 // Snapshot captures the current catalog contents.
@@ -235,10 +282,23 @@ func (db *DB) Snapshot() Snapshot {
 	defer db.mu.RUnlock()
 	clips := make(map[string]*ClipRecord, len(db.clips))
 	for n, c := range db.clips {
-		clips[n] = c
+		cp := *c
+		if c.Meta != nil {
+			cp.Meta = make(map[string]string, len(c.Meta))
+			for k, v := range c.Meta {
+				cp.Meta[k] = v
+			}
+		}
+		clips[n] = &cp
 	}
-	return Snapshot{clips: clips, names: db.namesLocked()}
+	return Snapshot{clips: clips, names: db.namesLocked(), gen: db.gen}
 }
+
+// Generation reports the catalog generation the snapshot was taken
+// at. Two snapshots with equal generations hold identical feature
+// content, so generation-keyed caches (candidate indexes) can be
+// shared across them.
+func (s Snapshot) Generation() uint64 { return s.gen }
 
 // Clip fetches a clip from the snapshot.
 func (s Snapshot) Clip(name string) (*ClipRecord, error) {
@@ -311,6 +371,7 @@ func (db *DB) Load(r io.Reader) error {
 	}
 	db.mu.Lock()
 	db.clips = clips
+	db.gen++
 	db.mu.Unlock()
 	return nil
 }

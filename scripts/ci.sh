@@ -4,10 +4,13 @@
 # streaming ingestion and batch ingest, videodb under concurrent
 # mutation and snapshots, pooled segmentation scratch, kernel Gram
 # workers and distance cache, the query-service session store and
-# load generator), a one-iteration smoke of the ingest benchmarks,
-# and a live server smoke: cmd/serve on an ephemeral port driven by
-# one cmd/loadgen session, asserting non-empty rankings and a clean
-# drain.
+# load generator, the candidate-index build/probe paths), an explicit
+# candidate-index recall gate (both index kinds on the demo catalog:
+# recall@10 must be 1.0 at C=N and ≥ 0.9 at C=N/4), a one-iteration
+# smoke of the ingest benchmarks, and a live server smoke: cmd/serve
+# on an ephemeral port driven by cmd/loadgen sessions — exact and
+# routed through the IVF candidate index — asserting non-empty
+# rankings and a clean drain.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +34,10 @@ go test ./...
 echo "== race (internal: server, streaming/ingest, videodb, pools, sweeps) =="
 go test -race ./internal/...
 
+echo "== index smoke (recall gates: C=N identity, C=N/4 >= 0.9) =="
+go test -race -count=1 -run 'TestIndexSmokeRecall|TestQueryIndex|TestCandidate|TestVPTree|TestIVF|TestBagIndex' \
+    ./internal/server/ ./internal/retrieval/ ./internal/index/
+
 echo "== bench smoke (ingest) =="
 go test -run xxx -bench Ingest -benchtime 1x .
 
@@ -49,8 +56,10 @@ for _ in $(seq 1 50); do
     sleep 0.1
 done
 [ -n "$url" ] || { echo "serve never reported its address" >&2; cat "$smokedir/serve.log" >&2; exit 1; }
-# loadgen exits nonzero on any dropped round or empty ranking.
+# loadgen exits nonzero on any dropped round or empty ranking; the
+# second run routes every session through the IVF candidate index.
 "$smokedir/loadgen" -url "$url" -demo -sessions 4 -rounds 3 -o "$smokedir/smoke.json"
+"$smokedir/loadgen" -url "$url" -demo -sessions 4 -rounds 3 -index ivf -candidates 16 -o "$smokedir/smoke-ivf.json"
 kill -INT "$serve_pid"
 wait "$serve_pid"
 serve_pid=""
