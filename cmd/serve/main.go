@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"milvideo/internal/faults"
 	"milvideo/internal/server"
 	"milvideo/internal/videodb"
 )
@@ -42,6 +43,16 @@ type options struct {
 	workers, topK int
 	indexKind     string
 	candidates    int
+	maxBody       int64
+	recover       bool
+
+	// Chaos flags: deterministic fault injection for resilience
+	// drills. All rates zero (the default) leaves the server provably
+	// untouched.
+	faultSeed     int64
+	faultSlowRate float64
+	faultSlowDur  time.Duration
+	faultFailRate float64
 }
 
 func main() {
@@ -58,6 +69,12 @@ func main() {
 	flag.IntVar(&o.topK, "topk", 20, "default results per round")
 	flag.StringVar(&o.indexKind, "index", "", `default candidate index for sessions ("vptree", "ivf", or empty for exact)`)
 	flag.IntVar(&o.candidates, "candidates", 64, "default candidate-set size C for indexed sessions")
+	flag.Int64Var(&o.maxBody, "max-body", 1<<20, "request-body size cap in bytes (413 beyond it)")
+	flag.BoolVar(&o.recover, "recover", false, "load -db in recovery mode, skipping corrupt records")
+	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "chaos: fault-schedule seed")
+	flag.Float64Var(&o.faultSlowRate, "fault-slow", 0, "chaos: injected slow re-rank rate [0,1]")
+	flag.DurationVar(&o.faultSlowDur, "fault-slow-dur", 50*time.Millisecond, "chaos: injected stall duration")
+	flag.Float64Var(&o.faultFailRate, "fault-fail", 0, "chaos: injected failed re-rank rate [0,1]")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -81,12 +98,35 @@ func run(o options) error {
 		if err := db.Add(rec); err != nil {
 			return err
 		}
+	case o.dbPath != "" && o.recover:
+		var rep videodb.RecoveryReport
+		if db, rep, err = videodb.LoadFileRecovering(o.dbPath); err != nil {
+			return err
+		}
+		if !rep.Clean() {
+			fmt.Printf("serve: recovered catalog: %v\n", rep)
+			for _, sk := range rep.Skipped {
+				fmt.Printf("serve:   skipped record %d (%s): %v\n", sk.Index, sk.Name, sk.Err)
+			}
+		}
 	case o.dbPath != "":
 		if db, err = videodb.LoadFile(o.dbPath); err != nil {
 			return err
 		}
 	default:
 		return errors.New("need -db <catalog> or -demo")
+	}
+
+	var inj *faults.Injector
+	if o.faultSlowRate > 0 || o.faultFailRate > 0 {
+		inj = faults.New(faults.Config{
+			Seed:          o.faultSeed,
+			SlowRerank:    o.faultSlowRate,
+			SlowRerankDur: o.faultSlowDur,
+			FailRerank:    o.faultFailRate,
+		})
+		fmt.Printf("serve: chaos injector armed (seed %d, slow %g, fail %g)\n",
+			o.faultSeed, o.faultSlowRate, o.faultFailRate)
 	}
 
 	srv, err := server.New(server.Config{
@@ -98,6 +138,8 @@ func run(o options) error {
 		DefaultTopK:       o.topK,
 		DefaultIndex:      o.indexKind,
 		DefaultCandidates: o.candidates,
+		MaxBodyBytes:      o.maxBody,
+		Faults:            inj,
 	})
 	if err != nil {
 		return err

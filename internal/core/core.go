@@ -15,8 +15,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"milvideo/internal/event"
+	"milvideo/internal/faults"
 	"milvideo/internal/frame"
 	"milvideo/internal/render"
 	"milvideo/internal/retrieval"
@@ -37,6 +39,19 @@ type Config struct {
 	// batch size, segmentation workers); zero values take defaults.
 	// Stream settings never change the output, only the schedule.
 	Stream StreamConfig
+	// Faults, when non-nil and enabled, injects deterministic ingest
+	// faults (frame drops, pixel corruption, latency spikes, transient
+	// stage errors) into the streaming pipeline; the clip then reports
+	// what it absorbed in Clip.Degraded instead of failing. nil — the
+	// default — and a zero-rate injector are both provably inert: the
+	// output is byte-identical to the fault-free pipeline. The
+	// sequential reference path never injects faults.
+	Faults *faults.Injector
+	// StageRetries bounds the retry attempts after a transient stage
+	// failure (0 means 2); RetryBackoff is the base delay between
+	// retries, doubling per attempt (0 means 1ms).
+	StageRetries int
+	RetryBackoff time.Duration
 	// Model is the event model; nil means the paper's accident model.
 	Model event.Model
 }
@@ -65,6 +80,10 @@ type Clip struct {
 	Tracks []*track.Track
 	// VSs is the extracted video-sequence database.
 	VSs []window.VS
+	// Degraded reports the faults the streaming pipeline absorbed
+	// while producing this clip (all-zero without an enabled
+	// Config.Faults injector).
+	Degraded Degradation
 	// Config echoes the parameters that produced the clip.
 	Config Config
 }

@@ -26,7 +26,13 @@ type IngestResult struct {
 	// IngestOptions.KeepClips is set; by default the pixel frames are
 	// recycled to the frame pool once the record is built.
 	Clip *Clip
-	Err  error
+	// Degraded reports the faults this clip absorbed during streaming
+	// ingest (frame drops, corruption, retried transient errors).
+	// Under an enabled Config.Faults injector a clip degrades — its
+	// record still reaches the database with this report attached —
+	// instead of failing the batch; Err stays nil.
+	Degraded Degradation
+	Err      error
 }
 
 // IngestOptions configures a batch ingest.
@@ -97,6 +103,7 @@ func ingestOne(db *videodb.DB, job IngestJob, opt IngestOptions) IngestResult {
 	if err != nil {
 		return fail(err)
 	}
+	res.Degraded = clip.Degraded
 	rec, err := clip.Record(name)
 	if err != nil {
 		return fail(err)

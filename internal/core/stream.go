@@ -73,7 +73,8 @@ func ProcessVideoStream(v *frame.Video, cfg Config) (*Clip, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: segmentation: %w", err)
 	}
-	tracks, err := streamTracks(ex, v.Frames, cfg)
+	deg := &degCounters{}
+	tracks, err := streamTracks(ex, v.Frames, cfg, deg)
 	if err != nil {
 		return nil, fmt.Errorf("core: tracking: %w", err)
 	}
@@ -81,7 +82,7 @@ func ProcessVideoStream(v *frame.Video, cfg Config) (*Clip, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: windowing: %w", err)
 	}
-	return &Clip{Video: v, Tracks: tracks, VSs: vss, Config: cfg}, nil
+	return &Clip{Video: v, Tracks: tracks, VSs: vss, Degraded: deg.snapshot(), Config: cfg}, nil
 }
 
 // segBatch is one batch of per-frame segmentation results, sequence-
@@ -100,7 +101,9 @@ type segBatch struct {
 // backpressure stops anyone from running further ahead) restores frame
 // order, which tracking — a stateful, order-dependent stage — needs.
 // Every batch is drained even after an error, so no goroutine leaks.
-func streamTracks(ex *segment.Extractor, frames []*frame.Gray, cfg Config) ([]*track.Track, error) {
+// Fault injection (cfg.Faults) is applied per frame inside the worker
+// pool via segmentUnderFaults, accumulating into deg.
+func streamTracks(ex *segment.Extractor, frames []*frame.Gray, cfg Config, deg *degCounters) ([]*track.Track, error) {
 	sc := cfg.Stream.withDefaults(ex.Adaptive())
 	n := len(frames)
 	if n == 0 {
@@ -121,7 +124,7 @@ func streamTracks(ex *segment.Extractor, frames []*frame.Gray, cfg Config) ([]*t
 				hi := min(lo+sc.Batch, n)
 				sb := segBatch{seq: seq, segs: make([][]segment.Segment, hi-lo)}
 				for i := lo; i < hi; i++ {
-					segs, err := ex.Segments(frames[i])
+					segs, err := segmentUnderFaults(ex, cfg, deg, i, frames[i])
 					if err != nil {
 						sb.err, sb.errFrame = err, i
 						break
@@ -251,6 +254,7 @@ func processSceneAdaptiveStream(scene *sim.Scene, cfg Config) (*Clip, error) {
 	var stopOnce sync.Once
 	halt := func() { stopOnce.Do(func() { close(stop) }) }
 	defer halt()
+	deg := &degCounters{}
 
 	rendered := make(chan renderedFrame, sc.Depth*sc.Batch)
 	segmented := make(chan segmentedFrame, sc.Depth*sc.Batch)
@@ -281,7 +285,7 @@ func processSceneAdaptiveStream(scene *sim.Scene, cfg Config) (*Clip, error) {
 		var ex *segment.Extractor
 		var held []renderedFrame
 		process := func(rf renderedFrame) bool {
-			segs, err := ex.Segments(rf.f)
+			segs, err := segmentUnderFaults(ex, cfg, deg, rf.i, rf.f)
 			if err != nil {
 				err = fmt.Errorf("core: tracking: track: frame %d: %w", rf.i, err)
 			}
@@ -350,5 +354,5 @@ func processSceneAdaptiveStream(scene *sim.Scene, cfg Config) (*Clip, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: windowing: %w", err)
 	}
-	return &Clip{Video: v, Tracks: tracks, VSs: vss, Config: cfg}, nil
+	return &Clip{Video: v, Tracks: tracks, VSs: vss, Degraded: deg.snapshot(), Config: cfg}, nil
 }

@@ -199,7 +199,7 @@ func TestStreamErrorPaths(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := streamTracks(ex, bad.Frames, cfg); err == nil {
+		if _, err := streamTracks(ex, bad.Frames, cfg, &degCounters{}); err == nil {
 			t.Fatalf("stream %+v: size mismatch accepted", sc)
 		}
 	}

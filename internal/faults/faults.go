@@ -1,0 +1,275 @@
+// Package faults is the deterministic chaos layer: a seeded,
+// rate-configured fault injector that the ingest pipeline, the
+// persistence layer and the query service consult at well-defined
+// fault points. Real surveillance deployments drop frames, corrupt
+// sensors and lose disks; the injector reproduces those failures on
+// demand — and reproducibly, so a failing chaos run can be replayed
+// from its seed alone.
+//
+// Determinism: every decision is a pure function of (seed, fault
+// point, index, attempt) through a splitmix64-style hash, never of
+// goroutine schedule or wall clock. Two runs with the same seed and
+// the same per-frame indices see the identical fault schedule no
+// matter how the pipeline's stages interleave.
+//
+// Inertness: a nil *Injector is a valid no-op injector (every method
+// is nil-safe), and an injector whose rates are all zero takes the
+// same early returns — no hashing, no allocation, no clock reads —
+// so the zero-rate pipeline is byte-identical to one with no injector
+// at all. The conformance suite pins that identity.
+package faults
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrTransient marks an injected transient stage failure. Pipeline
+// stages that receive it may retry: the injector decides per (frame,
+// attempt) whether the retry succeeds, so bounded
+// retry-with-backoff is testable deterministically.
+var ErrTransient = errors.New("faults: injected transient failure")
+
+// ErrInjectedIO is the error a TornWriter returns once its byte
+// budget is spent, simulating a disk that died mid-write.
+var ErrInjectedIO = errors.New("faults: injected I/O failure")
+
+// Config sets the injector's seed and per-fault-point rates. All
+// rates are probabilities in [0, 1]; a zero rate disables its fault
+// point entirely. The zero value is fully inert.
+type Config struct {
+	// Seed drives every decision. Two injectors with equal configs
+	// produce the identical fault schedule.
+	Seed int64
+
+	// --- ingest (per frame) ---
+
+	// FrameDrop is the probability a frame is dropped before
+	// segmentation: the tracker sees no detections for it and coasts.
+	FrameDrop float64
+	// SaltPepper is the probability a frame's analysis pixels are hit
+	// by salt-and-pepper noise (a corrupted sensor readout).
+	SaltPepper float64
+	// SaltPepperDensity is the fraction of pixels flipped when
+	// SaltPepper fires; 0 means 0.02.
+	SaltPepperDensity float64
+	// Blackout is the probability a frame's analysis pixels are
+	// replaced by black (a sensor blanking out for one frame).
+	Blackout float64
+	// SegTransient is the per-attempt probability that a frame's
+	// segmentation call fails with ErrTransient. Retries re-roll with
+	// the attempt number, so persistent and transient outages are both
+	// expressible.
+	SegTransient float64
+	// StageDelay is the probability a frame's segmentation stalls for
+	// StageDelayDur (a latency spike, e.g. a slow NFS read).
+	StageDelay float64
+	// StageDelayDur is the injected stall length; 0 means 2ms.
+	StageDelayDur time.Duration
+
+	// --- server (per round) ---
+
+	// SlowRerank is the probability a retrieval round stalls for
+	// SlowRerankDur before ranking.
+	SlowRerank float64
+	// SlowRerankDur is the injected re-rank stall; 0 means 50ms.
+	SlowRerankDur time.Duration
+	// FailRerank is the probability a retrieval round fails outright
+	// (the service degrades to a typed 503 with Retry-After).
+	FailRerank float64
+}
+
+// enabled reports whether any rate is non-zero.
+func (c Config) enabled() bool {
+	return c.FrameDrop > 0 || c.SaltPepper > 0 || c.Blackout > 0 ||
+		c.SegTransient > 0 || c.StageDelay > 0 ||
+		c.SlowRerank > 0 || c.FailRerank > 0
+}
+
+// Injector makes fault decisions. The zero value and the nil pointer
+// are inert; construct with New. Injector is safe for concurrent use:
+// it is immutable after construction.
+type Injector struct {
+	cfg Config
+}
+
+// New returns an injector for cfg. A nil *Injector behaves exactly
+// like New(Config{}) — callers thread an optional injector as a plain
+// nil-able field.
+func New(cfg Config) *Injector {
+	if cfg.SaltPepperDensity <= 0 {
+		cfg.SaltPepperDensity = 0.02
+	}
+	if cfg.StageDelayDur <= 0 {
+		cfg.StageDelayDur = 2 * time.Millisecond
+	}
+	if cfg.SlowRerankDur <= 0 {
+		cfg.SlowRerankDur = 50 * time.Millisecond
+	}
+	return &Injector{cfg: cfg}
+}
+
+// Config returns the injector's resolved configuration (zero for nil).
+func (in *Injector) Config() Config {
+	if in == nil {
+		return Config{}
+	}
+	return in.cfg
+}
+
+// Enabled reports whether the injector can ever fire. Pipelines guard
+// their fault points behind it so the inert path stays allocation-
+// and branch-cheap.
+func (in *Injector) Enabled() bool {
+	return in != nil && in.cfg.enabled()
+}
+
+// Fault-point labels. Each point hashes independently so raising one
+// rate never shifts another point's schedule.
+const (
+	pointFrameDrop    = 0x01
+	pointSaltPepper   = 0x02
+	pointBlackout     = 0x03
+	pointSegTransient = 0x04
+	pointStageDelay   = 0x05
+	pointSlowRerank   = 0x06
+	pointFailRerank   = 0x07
+	pointPixel        = 0x08
+	pointByte         = 0x09
+)
+
+// splitmix64 is the finalizer of the splitmix64 generator: a cheap,
+// high-quality 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// roll maps (seed, point, index, attempt) to a uniform float64 in
+// [0, 1).
+func (in *Injector) roll(point uint64, idx, attempt uint64) float64 {
+	h := splitmix64(uint64(in.cfg.Seed) ^ point<<56)
+	h = splitmix64(h ^ idx)
+	h = splitmix64(h ^ attempt)
+	return float64(h>>11) / (1 << 53)
+}
+
+// fires decides one fault point at one index/attempt.
+func (in *Injector) fires(rate float64, point uint64, idx, attempt uint64) bool {
+	if in == nil || rate <= 0 {
+		return false
+	}
+	return in.roll(point, idx, attempt) < rate
+}
+
+// FrameFault enumerates what happened to one ingested frame.
+type FrameFault int
+
+// Frame fault kinds, in decision priority order: a dropped frame is
+// never also corrupted.
+const (
+	FrameOK FrameFault = iota
+	FrameDropped
+	FrameBlackout
+	FrameSaltPepper
+)
+
+// String implements fmt.Stringer.
+func (ff FrameFault) String() string {
+	switch ff {
+	case FrameOK:
+		return "ok"
+	case FrameDropped:
+		return "dropped"
+	case FrameBlackout:
+		return "blackout"
+	case FrameSaltPepper:
+		return "salt-pepper"
+	default:
+		return "frame-fault"
+	}
+}
+
+// FrameFaultAt decides the fate of frame i on the analysis path.
+func (in *Injector) FrameFaultAt(i int) FrameFault {
+	switch {
+	case in.fires(in.Config().FrameDrop, pointFrameDrop, uint64(i), 0):
+		return FrameDropped
+	case in.fires(in.Config().Blackout, pointBlackout, uint64(i), 0):
+		return FrameBlackout
+	case in.fires(in.Config().SaltPepper, pointSaltPepper, uint64(i), 0):
+		return FrameSaltPepper
+	default:
+		return FrameOK
+	}
+}
+
+// ApplyPixelFault mutates pix in place according to the fault kind:
+// blackout zeroes every pixel; salt-and-pepper flips a deterministic
+// SaltPepperDensity fraction to 0 or 255. Callers pass a private copy
+// — the injector never sees the original frame.
+func (in *Injector) ApplyPixelFault(kind FrameFault, i int, pix []uint8) {
+	if in == nil {
+		return
+	}
+	switch kind {
+	case FrameBlackout:
+		for j := range pix {
+			pix[j] = 0
+		}
+	case FrameSaltPepper:
+		density := in.cfg.SaltPepperDensity
+		if density <= 0 {
+			density = 0.02
+		}
+		// Deterministic per (seed, frame, pixel): the same frame is
+		// corrupted identically on every run.
+		h := splitmix64(uint64(in.cfg.Seed) ^ pointPixel<<56)
+		h = splitmix64(h ^ uint64(i))
+		threshold := uint64(density * (1 << 32))
+		for j := range pix {
+			h = splitmix64(h)
+			if h&0xffffffff < threshold {
+				if h>>32&1 == 0 {
+					pix[j] = 0
+				} else {
+					pix[j] = 255
+				}
+			}
+		}
+	}
+}
+
+// SegTransientErr reports whether segmentation of frame i fails
+// transiently on the given attempt (0 = first try). A non-nil result
+// wraps ErrTransient.
+func (in *Injector) SegTransientErr(i, attempt int) error {
+	if in.fires(in.Config().SegTransient, pointSegTransient, uint64(i), uint64(attempt)) {
+		return ErrTransient
+	}
+	return nil
+}
+
+// StageDelayAt returns the latency spike injected into frame i's
+// segmentation (0 for none).
+func (in *Injector) StageDelayAt(i int) time.Duration {
+	if in.fires(in.Config().StageDelay, pointStageDelay, uint64(i), 0) {
+		return in.cfg.StageDelayDur
+	}
+	return 0
+}
+
+// RerankFault decides round seq's fate at the query service: a stall
+// duration (0 for none) and an injected failure (nil for none, else
+// wrapping ErrTransient).
+func (in *Injector) RerankFault(seq uint64) (stall time.Duration, err error) {
+	if in.fires(in.Config().SlowRerank, pointSlowRerank, seq, 0) {
+		stall = in.cfg.SlowRerankDur
+	}
+	if in.fires(in.Config().FailRerank, pointFailRerank, seq, 0) {
+		err = ErrTransient
+	}
+	return stall, err
+}

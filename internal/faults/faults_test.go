@@ -1,0 +1,325 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorIsInert: every method of a nil injector is a no-op.
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Fatal("nil injector claims Enabled")
+	}
+	if ff := in.FrameFaultAt(7); ff != FrameOK {
+		t.Fatalf("nil injector faulted frame: %v", ff)
+	}
+	pix := []uint8{1, 2, 3}
+	in.ApplyPixelFault(FrameBlackout, 0, pix)
+	if !bytes.Equal(pix, []uint8{1, 2, 3}) {
+		t.Fatal("nil injector mutated pixels")
+	}
+	if err := in.SegTransientErr(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := in.StageDelayAt(3); d != 0 {
+		t.Fatalf("nil injector delayed: %v", d)
+	}
+	if stall, err := in.RerankFault(1); stall != 0 || err != nil {
+		t.Fatalf("nil injector rerank fault: %v %v", stall, err)
+	}
+	if in.Config() != (Config{}) {
+		t.Fatal("nil injector has non-zero config")
+	}
+}
+
+// TestZeroRatesNeverFire: rates of zero never fire regardless of
+// seed or index.
+func TestZeroRatesNeverFire(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, -9} {
+		in := New(Config{Seed: seed})
+		if in.Enabled() {
+			t.Fatal("zero-rate injector claims Enabled")
+		}
+		for i := 0; i < 500; i++ {
+			if ff := in.FrameFaultAt(i); ff != FrameOK {
+				t.Fatalf("seed %d frame %d: %v", seed, i, ff)
+			}
+			if err := in.SegTransientErr(i, 0); err != nil {
+				t.Fatal(err)
+			}
+			if d := in.StageDelayAt(i); d != 0 {
+				t.Fatal("delay fired at rate 0")
+			}
+			if stall, err := in.RerankFault(uint64(i)); stall != 0 || err != nil {
+				t.Fatal("rerank fault fired at rate 0")
+			}
+		}
+	}
+}
+
+// TestRateOneAlwaysFires: a rate of 1 fires at every index.
+func TestRateOneAlwaysFires(t *testing.T) {
+	in := New(Config{Seed: 5, FrameDrop: 1})
+	for i := 0; i < 100; i++ {
+		if in.FrameFaultAt(i) != FrameDropped {
+			t.Fatalf("frame %d not dropped at rate 1", i)
+		}
+	}
+	in = New(Config{Seed: 5, SegTransient: 1})
+	for i := 0; i < 20; i++ {
+		if err := in.SegTransientErr(i, 3); !errors.Is(err, ErrTransient) {
+			t.Fatalf("frame %d attempt 3: %v", i, err)
+		}
+	}
+}
+
+// TestDeterminism: two injectors with the same config agree on every
+// decision; a different seed disagrees somewhere.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 11, FrameDrop: 0.1, SaltPepper: 0.2, Blackout: 0.05,
+		SegTransient: 0.15, StageDelay: 0.1, SlowRerank: 0.3, FailRerank: 0.2}
+	a, b := New(cfg), New(cfg)
+	other := cfg
+	other.Seed = 12
+	c := New(other)
+	differs := false
+	for i := 0; i < 2000; i++ {
+		if a.FrameFaultAt(i) != b.FrameFaultAt(i) {
+			t.Fatalf("same seed disagrees at frame %d", i)
+		}
+		ea, eb := a.SegTransientErr(i, i%4), b.SegTransientErr(i, i%4)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("same seed disagrees on transient at frame %d", i)
+		}
+		sa, fa := a.RerankFault(uint64(i))
+		sb, fb := b.RerankFault(uint64(i))
+		if sa != sb || (fa == nil) != (fb == nil) {
+			t.Fatalf("same seed disagrees on rerank at %d", i)
+		}
+		if a.FrameFaultAt(i) != c.FrameFaultAt(i) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced the identical frame schedule")
+	}
+}
+
+// TestRatesApproximate: observed fire frequency tracks the configured
+// rate within a loose tolerance.
+func TestRatesApproximate(t *testing.T) {
+	const n = 20000
+	for _, rate := range []float64{0.05, 0.3, 0.7} {
+		in := New(Config{Seed: 77, FrameDrop: rate})
+		fired := 0
+		for i := 0; i < n; i++ {
+			if in.FrameFaultAt(i) == FrameDropped {
+				fired++
+			}
+		}
+		got := float64(fired) / n
+		if math.Abs(got-rate) > 0.02 {
+			t.Fatalf("rate %v observed %v", rate, got)
+		}
+	}
+}
+
+// TestIndependentPoints: raising one point's rate does not change
+// another point's schedule.
+func TestIndependentPoints(t *testing.T) {
+	a := New(Config{Seed: 3, SaltPepper: 0.25})
+	b := New(Config{Seed: 3, SaltPepper: 0.25, StageDelay: 0.9})
+	for i := 0; i < 1000; i++ {
+		fa := a.fires(a.cfg.SaltPepper, pointSaltPepper, uint64(i), 0)
+		fb := b.fires(b.cfg.SaltPepper, pointSaltPepper, uint64(i), 0)
+		if fa != fb {
+			t.Fatalf("salt-pepper schedule shifted at frame %d", i)
+		}
+	}
+}
+
+// TestApplyPixelFault: blackout zeroes, salt-and-pepper flips roughly
+// the configured density to extremes, deterministically per frame.
+func TestApplyPixelFault(t *testing.T) {
+	in := New(Config{Seed: 9, SaltPepper: 1, SaltPepperDensity: 0.1})
+	pix := make([]uint8, 10000)
+	for i := range pix {
+		pix[i] = 100
+	}
+	in.ApplyPixelFault(FrameBlackout, 0, append([]uint8(nil), pix...))
+
+	black := append([]uint8(nil), pix...)
+	in.ApplyPixelFault(FrameBlackout, 0, black)
+	for i, p := range black {
+		if p != 0 {
+			t.Fatalf("blackout left pixel %d = %d", i, p)
+		}
+	}
+
+	sp1 := append([]uint8(nil), pix...)
+	sp2 := append([]uint8(nil), pix...)
+	in.ApplyPixelFault(FrameSaltPepper, 4, sp1)
+	in.ApplyPixelFault(FrameSaltPepper, 4, sp2)
+	if !bytes.Equal(sp1, sp2) {
+		t.Fatal("salt-pepper is not deterministic per frame")
+	}
+	flipped := 0
+	for i, p := range sp1 {
+		if p != 100 {
+			if p != 0 && p != 255 {
+				t.Fatalf("pixel %d flipped to non-extreme %d", i, p)
+			}
+			flipped++
+		}
+	}
+	got := float64(flipped) / float64(len(sp1))
+	if got < 0.05 || got > 0.15 {
+		t.Fatalf("density 0.1 flipped %v of pixels", got)
+	}
+
+	spOther := append([]uint8(nil), pix...)
+	in.ApplyPixelFault(FrameSaltPepper, 5, spOther)
+	if bytes.Equal(sp1, spOther) {
+		t.Fatal("different frames corrupted identically")
+	}
+
+	// FrameOK and FrameDropped leave pixels alone.
+	ok := append([]uint8(nil), pix...)
+	in.ApplyPixelFault(FrameOK, 0, ok)
+	in.ApplyPixelFault(FrameDropped, 0, ok)
+	if !bytes.Equal(ok, pix) {
+		t.Fatal("non-corrupting kinds mutated pixels")
+	}
+}
+
+// TestFrameFaultString covers the labels.
+func TestFrameFaultString(t *testing.T) {
+	for _, ff := range []FrameFault{FrameOK, FrameDropped, FrameBlackout, FrameSaltPepper, FrameFault(99)} {
+		if ff.String() == "" {
+			t.Fatalf("%d has empty String", ff)
+		}
+	}
+}
+
+// TestTransientClearsOnRetry: with a mid rate, some frames fail on
+// attempt 0 but succeed on a later attempt — the retry loop's reason
+// to exist.
+func TestTransientClearsOnRetry(t *testing.T) {
+	in := New(Config{Seed: 21, SegTransient: 0.5})
+	recovered := false
+	for i := 0; i < 200; i++ {
+		if in.SegTransientErr(i, 0) != nil && in.SegTransientErr(i, 1) == nil {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatal("no frame recovered on retry at rate 0.5")
+	}
+}
+
+// TestConfigDefaults: durations and density resolve on New.
+func TestConfigDefaults(t *testing.T) {
+	in := New(Config{Seed: 1, StageDelay: 1, SlowRerank: 1, SaltPepper: 1})
+	cfg := in.Config()
+	if cfg.StageDelayDur != 2*time.Millisecond {
+		t.Fatalf("StageDelayDur default %v", cfg.StageDelayDur)
+	}
+	if cfg.SlowRerankDur != 50*time.Millisecond {
+		t.Fatalf("SlowRerankDur default %v", cfg.SlowRerankDur)
+	}
+	if cfg.SaltPepperDensity != 0.02 {
+		t.Fatalf("SaltPepperDensity default %v", cfg.SaltPepperDensity)
+	}
+	if d := in.StageDelayAt(0); d != 2*time.Millisecond {
+		t.Fatalf("delay %v", d)
+	}
+	if stall, _ := in.RerankFault(0); stall != 50*time.Millisecond {
+		t.Fatalf("stall %v", stall)
+	}
+}
+
+// TestTornWriter: forwards Limit bytes then fails, splitting the
+// straddling write.
+func TestTornWriter(t *testing.T) {
+	var buf bytes.Buffer
+	tw := &TornWriter{W: &buf, Limit: 5}
+	n, err := tw.Write([]byte("abc"))
+	if n != 3 || err != nil {
+		t.Fatalf("first write: %d %v", n, err)
+	}
+	n, err = tw.Write([]byte("defg"))
+	if n != 2 || !errors.Is(err, ErrInjectedIO) {
+		t.Fatalf("straddling write: %d %v", n, err)
+	}
+	n, err = tw.Write([]byte("h"))
+	if n != 0 || !errors.Is(err, ErrInjectedIO) {
+		t.Fatalf("post-limit write: %d %v", n, err)
+	}
+	if got := buf.String(); got != "abcde" {
+		t.Fatalf("wrote %q", got)
+	}
+}
+
+// TestTruncate: strictly inside the buffer, deterministic, varies by
+// sequence.
+func TestTruncate(t *testing.T) {
+	data := bytes.Repeat([]byte{7}, 100)
+	a := Truncate(1, 0, data)
+	b := Truncate(1, 0, data)
+	if !bytes.Equal(a, b) {
+		t.Fatal("truncate is not deterministic")
+	}
+	if len(a) == 0 || len(a) >= len(data) {
+		t.Fatalf("cut at %d of %d", len(a), len(data))
+	}
+	varied := false
+	for seq := uint64(0); seq < 16; seq++ {
+		if len(Truncate(1, seq, data)) != len(a) {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("cut point never varies with sequence")
+	}
+	short := []byte{1}
+	if got := Truncate(1, 0, short); len(got) != 1 {
+		t.Fatal("short data should pass through")
+	}
+}
+
+// TestFlipBits: deterministic, copies rather than mutates, flips
+// exactly within hamming distance n.
+func TestFlipBits(t *testing.T) {
+	data := bytes.Repeat([]byte{0}, 64)
+	a := FlipBits(3, 1, data, 4)
+	b := FlipBits(3, 1, data, 4)
+	if !bytes.Equal(a, b) {
+		t.Fatal("flip is not deterministic")
+	}
+	for _, d := range data {
+		if d != 0 {
+			t.Fatal("FlipBits mutated its input")
+		}
+	}
+	ones := 0
+	for _, x := range a {
+		for ; x > 0; x &= x - 1 {
+			ones++
+		}
+	}
+	if ones == 0 || ones > 4 {
+		t.Fatalf("flipped %d bits, want 1..4", ones)
+	}
+	if got := FlipBits(3, 1, nil, 1); len(got) != 0 {
+		t.Fatal("nil data should pass through")
+	}
+	one := FlipBits(3, 1, []byte{0}, 0) // n<=0 means one flip
+	if one[0] == 0 {
+		t.Fatal("n=0 should still flip one bit")
+	}
+}

@@ -1,0 +1,69 @@
+package faults
+
+import "io"
+
+// TornWriter simulates a disk that dies mid-write: it forwards the
+// first Limit bytes to W, then fails every subsequent Write with
+// ErrInjectedIO. A write that straddles the limit is partially
+// applied — exactly the torn tail a crashed process leaves behind.
+type TornWriter struct {
+	W     io.Writer
+	Limit int
+
+	written int
+}
+
+// Write implements io.Writer.
+func (tw *TornWriter) Write(p []byte) (int, error) {
+	if tw.written >= tw.Limit {
+		return 0, ErrInjectedIO
+	}
+	if rem := tw.Limit - tw.written; len(p) > rem {
+		n, err := tw.W.Write(p[:rem])
+		tw.written += n
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjectedIO
+	}
+	n, err := tw.W.Write(p)
+	tw.written += n
+	return n, err
+}
+
+// Truncate returns a deterministic torn prefix of data: the cut point
+// is drawn from (seed, seq) and always lands strictly inside the
+// buffer (so the result is genuinely damaged, never empty and never
+// whole). Data shorter than two bytes is returned unchanged.
+func Truncate(seed int64, seq uint64, data []byte) []byte {
+	if len(data) < 2 {
+		return data
+	}
+	h := splitmix64(uint64(seed) ^ pointByte<<56)
+	h = splitmix64(h ^ seq)
+	cut := 1 + int(h%uint64(len(data)-1))
+	return data[:cut:cut]
+}
+
+// FlipBits returns a copy of data with n deterministic single-bit
+// flips (drawn from seed and seq). n ≤ 0 flips one bit. Empty data is
+// returned as-is.
+func FlipBits(seed int64, seq uint64, data []byte, n int) []byte {
+	if len(data) == 0 {
+		return data
+	}
+	if n <= 0 {
+		n = 1
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	h := splitmix64(uint64(seed) ^ pointByte<<56 ^ 0xb17f)
+	h = splitmix64(h ^ seq)
+	for k := 0; k < n; k++ {
+		h = splitmix64(h)
+		pos := int(h % uint64(len(out)))
+		bit := uint((h >> 32) % 8)
+		out[pos] ^= 1 << bit
+	}
+	return out
+}

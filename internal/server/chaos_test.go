@@ -1,0 +1,234 @@
+package server
+
+// Fault-injection tests for the query service: injected slow and
+// failed re-ranks, oversized and malformed bodies, and the zero-rate
+// inertness guarantee.
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"milvideo/internal/faults"
+)
+
+// TestZeroRateInjectorServerIdentity: a server configured with a
+// zero-rate injector must serve rankings identical to an unconfigured
+// server, round by round, with every degradation counter at zero.
+func TestZeroRateInjectorServerIdentity(t *testing.T) {
+	ctx := context.Background()
+	run := func(inj *faults.Injector) [][]int {
+		rec := synthRecord(t, 42, 5, 5, 20)
+		_, cl := newTestServer(t, Config{DB: testCatalog(t, rec), Faults: inj})
+		round, err := cl.Query(ctx, QueryRequest{Clip: rec.Name, TopK: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rankings := [][]int{round.Ranking}
+		for i := 0; i < 3; i++ {
+			round, err = cl.Feedback(ctx, round.Session, []FeedbackLabel{
+				{VS: round.TopK[0].VS, Relevant: true},
+				{VS: round.TopK[len(round.TopK)-1].VS, Relevant: false},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rankings = append(rankings, round.Ranking)
+		}
+		st, err := cl.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Degraded != (DegradationStats{}) {
+			t.Fatalf("degradation counters nonzero: %+v", st.Degraded)
+		}
+		return rankings
+	}
+	clean := run(nil)
+	zero := run(faults.New(faults.Config{Seed: 1234}))
+	if len(clean) != len(zero) {
+		t.Fatalf("round counts differ: %d vs %d", len(clean), len(zero))
+	}
+	for r := range clean {
+		if len(clean[r]) != len(zero[r]) {
+			t.Fatalf("round %d: ranking lengths differ", r)
+		}
+		for i := range clean[r] {
+			if clean[r][i] != zero[r][i] {
+				t.Fatalf("round %d pos %d: %d vs %d — zero-rate injector changed the ranking",
+					r, i, clean[r][i], zero[r][i])
+			}
+		}
+	}
+}
+
+// TestInjectedFailedRerank: with FailRerank at rate 1 every round is
+// refused with 503 + Retry-After, the failure is counted, and no
+// session leaks into the store.
+func TestInjectedFailedRerank(t *testing.T) {
+	rec := synthRecord(t, 7, 3, 3, 10)
+	srv, err := New(Config{
+		DB:     testCatalog(t, rec),
+		Faults: faults.New(faults.Config{Seed: 2, FailRerank: 1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+		strings.NewReader(`{"clip":"synth"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("got %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	st := srv.Stats()
+	if st.Degraded.InjectedFailures == 0 {
+		t.Fatalf("injected failure not counted: %+v", st.Degraded)
+	}
+	if st.SessionsLive != 0 || st.SessionsCreated != 0 {
+		t.Fatalf("failed query leaked a session: %+v", st)
+	}
+}
+
+// TestInjectedSlowRerank: a survivable stall slows the round but
+// still serves it; a stall longer than the request timeout degrades
+// to a deadline 503 and is counted as a timed-out round.
+func TestInjectedSlowRerank(t *testing.T) {
+	ctx := context.Background()
+	rec := synthRecord(t, 7, 3, 3, 10)
+	_, cl := newTestServer(t, Config{
+		DB: testCatalog(t, rec),
+		Faults: faults.New(faults.Config{
+			Seed: 3, SlowRerank: 1, SlowRerankDur: 5 * time.Millisecond,
+		}),
+	})
+	round, err := cl.Query(ctx, QueryRequest{Clip: rec.Name})
+	if err != nil {
+		t.Fatalf("survivable stall failed the round: %v", err)
+	}
+	if len(round.Ranking) == 0 {
+		t.Fatal("stalled round returned no ranking")
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Degraded.InjectedSlow == 0 {
+		t.Fatalf("injected stall not counted: %+v", st.Degraded)
+	}
+
+	srvSlow, clSlow := newTestServer(t, Config{
+		DB:             testCatalog(t, rec),
+		RequestTimeout: 20 * time.Millisecond,
+		Faults: faults.New(faults.Config{
+			Seed: 3, SlowRerank: 1, SlowRerankDur: 5 * time.Second,
+		}),
+	})
+	_, err = clSlow.Query(ctx, QueryRequest{Clip: rec.Name})
+	wantStatus(t, err, http.StatusServiceUnavailable)
+	if n := srvSlow.Stats().Degraded.RoundsTimedOut; n == 0 {
+		t.Fatal("deadline-hit stall not counted as timed-out round")
+	}
+}
+
+// TestOversizedBodyRejected: bodies beyond MaxBodyBytes get 413
+// before parsing, the rejection is counted, and the server keeps
+// serving normal requests afterward.
+func TestOversizedBodyRejected(t *testing.T) {
+	ctx := context.Background()
+	rec := synthRecord(t, 7, 3, 3, 10)
+	srv, cl := newTestServer(t, Config{DB: testCatalog(t, rec), MaxBodyBytes: 256})
+
+	big := `{"clip":"synth","pad":"` + strings.Repeat("x", 1024) + `"}`
+	resp, err := http.Post(cl.BaseURL+"/v1/query", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("got %d, want 413", resp.StatusCode)
+	}
+	if n := srv.Stats().Degraded.BodiesRejected; n != 1 {
+		t.Fatalf("bodies_rejected = %d, want 1", n)
+	}
+	if _, err := cl.Query(ctx, QueryRequest{Clip: rec.Name}); err != nil {
+		t.Fatalf("server wedged after oversized body: %v", err)
+	}
+
+	// The cap also guards feedback.
+	round, err := cl.Query(ctx, QueryRequest{Clip: rec.Name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(cl.BaseURL+"/v1/session/"+round.Session+"/feedback",
+		"application/json", bytes.NewReader([]byte(big)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("feedback: got %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestMalformedBodyRejected: syntactically broken JSON is a 400, not
+// a 500 or a hang.
+func TestMalformedBodyRejected(t *testing.T) {
+	rec := synthRecord(t, 7, 3, 3, 10)
+	_, cl := newTestServer(t, Config{DB: testCatalog(t, rec)})
+	for _, body := range []string{"", "{", `{"clip":3}`, "\x00\xff", `[1,2,3]`} {
+		resp, err := http.Post(cl.BaseURL+"/v1/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: got %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestInjectedFaultScheduleDeterministic: at a partial failure rate
+// the set of refused rounds is a function of (seed, arrival order) —
+// two servers given the same request sequence refuse the same rounds.
+func TestInjectedFaultScheduleDeterministic(t *testing.T) {
+	ctx := context.Background()
+	run := func() []bool {
+		rec := synthRecord(t, 42, 3, 3, 10)
+		_, cl := newTestServer(t, Config{
+			DB:     testCatalog(t, rec),
+			Faults: faults.New(faults.Config{Seed: 11, FailRerank: 0.5}),
+		})
+		var failed []bool
+		var sessions []string
+		for i := 0; i < 8; i++ {
+			round, err := cl.Query(ctx, QueryRequest{Clip: rec.Name})
+			failed = append(failed, err != nil)
+			if err == nil {
+				sessions = append(sessions, round.Session)
+			}
+		}
+		if len(sessions) == 0 || len(sessions) == 8 {
+			t.Fatalf("rate 0.5 produced %d/8 successes — schedule not mixing", len(sessions))
+		}
+		return failed
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("round %d: fault schedule not deterministic (%v vs %v)", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"milvideo/internal/videodb"
+)
+
+// FuzzQueryRequest throws arbitrary bytes at the two JSON-parsing
+// endpoints (POST /v1/query and POST /v1/session/{id}/feedback) and
+// pins the service's robustness contract: no panic, no hang, every
+// response is a sane status with a JSON body, and every successful
+// query round returns a ranking that is a permutation of the clip's
+// VS indices.
+func FuzzQueryRequest(f *testing.F) {
+	rec, err := SynthRecord(5, 2, 2, 6)
+	if err != nil {
+		f.Fatal(err)
+	}
+	db := videodb.New()
+	if err := db.Add(rec); err != nil {
+		f.Fatal(err)
+	}
+	srv, err := New(Config{DB: db, MaxSessions: 4, MaxBodyBytes: 1 << 16})
+	if err != nil {
+		f.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	f.Cleanup(func() { ts.Close(); srv.Close() })
+
+	// One pinned session so feedback fuzzing exercises the labeled
+	// path, not just 404s.
+	cl := &Client{BaseURL: ts.URL}
+	seedRound, err := cl.Query(context.Background(), QueryRequest{Clip: rec.Name})
+	if err != nil {
+		f.Fatal(err)
+	}
+	feedbackPath := "/v1/session/" + seedRound.Session + "/feedback"
+
+	wantVS := make(map[int]bool, len(rec.VSs))
+	for _, vs := range rec.VSs {
+		wantVS[vs.Index] = true
+	}
+
+	f.Add([]byte(`{"clip":"synth"}`))
+	f.Add([]byte(`{"clip":"synth","topk":3,"example_vs":0}`))
+	f.Add([]byte(`{"clip":"synth","sketch":{"points":[[0,0],[50,50]]}}`))
+	f.Add([]byte(`{"clip":"nope"}`))
+	f.Add([]byte(`{"labels":[{"vs":0,"relevant":true}]}`))
+	f.Add([]byte(`{"labels":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"clip":"synth","index":"vptree","candidates":-1}`))
+
+	post := func(t *testing.T, path string, body []byte) (*http.Response, []byte) {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("transport error (handler crashed?): %v", err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, data
+	}
+
+	okStatus := map[int]bool{
+		http.StatusOK: true, http.StatusCreated: true,
+		http.StatusBadRequest: true, http.StatusNotFound: true,
+		http.StatusRequestEntityTooLarge: true,
+		http.StatusUnprocessableEntity:   true,
+		http.StatusServiceUnavailable:    true,
+	}
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		resp, data := post(t, "/v1/query", body)
+		if !okStatus[resp.StatusCode] {
+			t.Fatalf("query: unexpected status %d for %q", resp.StatusCode, body)
+		}
+		if resp.StatusCode == http.StatusCreated {
+			var round RoundResponse
+			if err := json.Unmarshal(data, &round); err != nil {
+				t.Fatalf("query: 201 with undecodable body: %v", err)
+			}
+			if len(round.Ranking) != len(rec.VSs) {
+				t.Fatalf("query: ranking has %d entries, want %d", len(round.Ranking), len(rec.VSs))
+			}
+			seen := make(map[int]bool, len(round.Ranking))
+			for _, vs := range round.Ranking {
+				if !wantVS[vs] || seen[vs] {
+					t.Fatalf("query: ranking %v is not a permutation of the VS indices", round.Ranking)
+				}
+				seen[vs] = true
+			}
+		} else {
+			var e ErrorResponse
+			if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+				t.Fatalf("query: status %d without JSON error envelope (%q)", resp.StatusCode, data)
+			}
+		}
+
+		resp, data = post(t, feedbackPath, body)
+		if !okStatus[resp.StatusCode] {
+			t.Fatalf("feedback: unexpected status %d for %q", resp.StatusCode, body)
+		}
+		if resp.StatusCode == http.StatusOK {
+			var round RoundResponse
+			if err := json.Unmarshal(data, &round); err != nil {
+				t.Fatalf("feedback: 200 with undecodable body: %v", err)
+			}
+		}
+	})
+}

@@ -22,6 +22,14 @@ type Metrics struct {
 	RoundsServed     expvar.Int
 	RequestsRejected expvar.Int
 
+	// Degradation counters: rounds that hit their deadline mid-stall,
+	// injected slow and failed re-ranks, and oversized request bodies
+	// rejected before parsing.
+	RoundsTimedOut expvar.Int
+	InjectedSlow   expvar.Int
+	InjectedFail   expvar.Int
+	BodiesRejected expvar.Int
+
 	// retiredHits/retiredMisses accumulate kernel-cache counters from
 	// sessions that left the store, so the global hit ratio survives
 	// eviction.
@@ -51,6 +59,10 @@ func (m *Metrics) publish() {
 		top.Set("sessions_deleted", &m.SessionsDeleted)
 		top.Set("rounds_served", &m.RoundsServed)
 		top.Set("requests_rejected", &m.RequestsRejected)
+		top.Set("rounds_timed_out", &m.RoundsTimedOut)
+		top.Set("injected_slow_reranks", &m.InjectedSlow)
+		top.Set("injected_failed_reranks", &m.InjectedFail)
+		top.Set("bodies_rejected", &m.BodiesRejected)
 		top.Set("rerank_latency", &m.Rerank)
 		top.Set("index_builds", &m.IndexBuilds)
 		top.Set("index_cache_hits", &m.IndexCacheHits)

@@ -30,10 +30,12 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"milvideo/internal/core"
 	"milvideo/internal/event"
+	"milvideo/internal/faults"
 	"milvideo/internal/geom"
 	"milvideo/internal/index"
 	"milvideo/internal/mil"
@@ -73,6 +75,16 @@ type Config struct {
 	// IndexOptions tunes candidate-index construction and probes
 	// (zero values take the index package defaults).
 	IndexOptions index.Options
+	// MaxBodyBytes caps request-body size; oversized bodies are
+	// rejected with 413 before any parsing. Default 1 MiB.
+	MaxBodyBytes int64
+	// Faults injects per-round re-rank failures and latency (chaos
+	// testing). A nil or zero-rate injector is fully inert: rankings
+	// and statuses are identical to an unconfigured server. Injected
+	// failures surface as 503 with Retry-After, never as corrupt
+	// rankings; both outcomes are counted in /v1/stats under
+	// "degraded".
+	Faults *faults.Injector
 	// Clock overrides time.Now for TTL tests.
 	Clock func() time.Time
 }
@@ -96,6 +108,9 @@ func (c Config) withDefaults() Config {
 	if c.DefaultCandidates <= 0 {
 		c.DefaultCandidates = 64
 	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
 	return c
 }
 
@@ -111,6 +126,10 @@ type Server struct {
 	candStats *retrieval.CandidateStats
 	sem       chan struct{}
 	mux       *http.ServeMux
+	// roundSeq numbers every round attempt across all sessions; the
+	// fault injector keys its per-round decisions to it, so a fault
+	// schedule is a deterministic function of (seed, arrival order).
+	roundSeq atomic.Uint64
 
 	stop    chan struct{}
 	stopped chan struct{}
@@ -294,6 +313,17 @@ type IndexStats struct {
 	BuildLatency     LatencySummary `json:"build_latency"`
 }
 
+// DegradationStats reports how often the service degraded instead of
+// serving a round normally: deadline-hit rounds, injected slow and
+// failed re-ranks (chaos testing), and oversized bodies rejected at
+// the door. All zero on a healthy, fault-free server.
+type DegradationStats struct {
+	RoundsTimedOut   int64 `json:"rounds_timed_out"`
+	InjectedSlow     int64 `json:"injected_slow_reranks"`
+	InjectedFailures int64 `json:"injected_failed_reranks"`
+	BodiesRejected   int64 `json:"bodies_rejected"`
+}
+
 // StatsResponse is /v1/stats.
 type StatsResponse struct {
 	SessionsLive     int64            `json:"sessions_live"`
@@ -303,6 +333,7 @@ type StatsResponse struct {
 	SessionsDeleted  int64            `json:"sessions_deleted"`
 	RoundsServed     int64            `json:"rounds_served"`
 	RequestsRejected int64            `json:"requests_rejected"`
+	Degraded         DegradationStats `json:"degraded"`
 	KernelCache      KernelCacheStats `json:"kernel_cache"`
 	// KernelCacheLastRound aggregates, over live sessions, the
 	// counters of each session's most recent feedback round — the
@@ -320,10 +351,28 @@ type ErrorResponse struct {
 
 // ---- handlers ----
 
+// decodeBody parses a JSON request body under the configured size
+// cap, writing the appropriate error response itself (413 for an
+// oversized body, 400 for malformed JSON) when it returns false.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.metrics.BodiesRejected.Add(1)
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Clip == "" {
@@ -533,8 +582,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req FeedbackRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Labels) == 0 {
@@ -589,7 +637,13 @@ func (s *Server) Stats() *StatsResponse {
 		SessionsDeleted:  s.metrics.SessionsDeleted.Value(),
 		RoundsServed:     s.metrics.RoundsServed.Value(),
 		RequestsRejected: s.metrics.RequestsRejected.Value(),
-		RerankLatency:    s.metrics.Rerank.Summary(),
+		Degraded: DegradationStats{
+			RoundsTimedOut:   s.metrics.RoundsTimedOut.Value(),
+			InjectedSlow:     s.metrics.InjectedSlow.Value(),
+			InjectedFailures: s.metrics.InjectedFail.Value(),
+			BodiesRejected:   s.metrics.BodiesRejected.Value(),
+		},
+		RerankLatency: s.metrics.Rerank.Summary(),
 		Index: IndexStats{
 			Builds:           s.metrics.IndexBuilds.Value(),
 			CacheHits:        s.metrics.IndexCacheHits.Value(),
@@ -656,6 +710,9 @@ func (s *Server) runRound(ctx context.Context, sess *session, labels []FeedbackL
 	if err := ctx.Err(); err != nil {
 		s.metrics.RequestsRejected.Add(1)
 		return nil, fmt.Errorf("server: re-rank queue: %w", err)
+	}
+	if err := s.injectRoundFault(ctx); err != nil {
+		return nil, err
 	}
 	for _, l := range labels {
 		if l.Relevant {
@@ -724,10 +781,46 @@ func topEntries(db []window.VS, ranking []int, k int) []RankingEntry {
 	return out
 }
 
+// injectRoundFault applies the configured chaos injector to one round
+// attempt: an injected stall sleeps under the round's deadline (a
+// stall that outlives it degrades to the usual deadline 503), and an
+// injected failure aborts the round with an ErrTransient-wrapping
+// error that writeRoundError maps to 503 + Retry-After. With a nil or
+// zero-rate injector this is a no-op.
+func (s *Server) injectRoundFault(ctx context.Context) error {
+	inj := s.cfg.Faults
+	if !inj.Enabled() {
+		return nil
+	}
+	seq := s.roundSeq.Add(1) - 1
+	stall, err := inj.RerankFault(seq)
+	if stall > 0 {
+		s.metrics.InjectedSlow.Add(1)
+		t := time.NewTimer(stall)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			s.metrics.RoundsTimedOut.Add(1)
+			return fmt.Errorf("server: re-rank stalled past deadline: %w", ctx.Err())
+		}
+	}
+	if err != nil {
+		s.metrics.InjectedFail.Add(1)
+		return fmt.Errorf("server: re-rank failed: %w", err)
+	}
+	return nil
+}
+
 // writeRoundError maps round-execution failures onto HTTP statuses.
+// Overload-shaped failures — deadline hits, shutdown cancels and
+// injected re-rank faults — are 503 with a Retry-After hint, telling
+// clients the service degraded rather than broke.
 func (s *Server) writeRoundError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled),
+		errors.Is(err, faults.ErrTransient):
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, retrieval.ErrEmptyDB),
 		errors.Is(err, retrieval.ErrBadTopK),

@@ -1,0 +1,117 @@
+package sim
+
+// White-box tests for the actor/world machinery: leader sensing,
+// heading-dependent extents, done-actor reaping and incident
+// clamping.
+
+import (
+	"testing"
+
+	"milvideo/internal/geom"
+)
+
+func TestClampIncidents(t *testing.T) {
+	w := newWorld(100, 100, 1)
+	w.record(WallCrash, 5, 20, 1)     // fully inside: kept as-is
+	w.record(Speeding, 90, 140, 2)    // overruns the clip: end trimmed
+	w.record(SuddenStop, 120, 130, 3) // starts past the clip: dropped
+	out := w.clampIncidents(100)
+	if len(out) != 2 {
+		t.Fatalf("kept %d incidents, want 2: %v", len(out), out)
+	}
+	if out[0].Start != 5 || out[0].End != 20 {
+		t.Fatalf("in-range incident altered: %v", out[0])
+	}
+	if out[1].Start != 90 || out[1].End != 99 {
+		t.Fatalf("overrunning incident not trimmed to 99: %v", out[1])
+	}
+}
+
+func TestLeaderAhead(t *testing.T) {
+	w := newWorld(320, 240, 1)
+	me := w.spawn(&actor{class: Car, pos: geom.Pt(50, 100), vel: geom.V(2, 0)})
+	far := w.spawn(&actor{class: Car, pos: geom.Pt(150, 101)})
+	near := w.spawn(&actor{class: Car, pos: geom.Pt(90, 99)})
+	w.spawn(&actor{class: Car, pos: geom.Pt(20, 100)}) // behind: ignored
+	w.spawn(&actor{class: Car, pos: geom.Pt(80, 150)}) // outside corridor
+	lead, gap, ok := w.leaderAhead(me, 8)
+	if !ok || lead != near {
+		t.Fatalf("leader = %+v ok=%v, want the nearest in-corridor actor", lead, ok)
+	}
+	if gap <= 0 || gap >= 50 {
+		t.Fatalf("gap %v, want ~40", gap)
+	}
+
+	// Removing the near leader promotes the far one.
+	near.done = true
+	lead, _, ok = w.leaderAhead(me, 8)
+	if !ok || lead != far {
+		t.Fatalf("leader after reap = %+v, want the far actor", lead)
+	}
+
+	// A stationary observer has no heading, hence no leader.
+	stopped := w.spawn(&actor{class: Car, pos: geom.Pt(10, 100), vel: geom.V(0, 0)})
+	if _, _, ok := w.leaderAhead(stopped, 8); ok {
+		t.Fatal("stationary actor reported a leader")
+	}
+}
+
+func TestActorDimsSwapWhenVertical(t *testing.T) {
+	horiz := &actor{class: Truck, vel: geom.V(3, 0)}
+	vert := &actor{class: Truck, vel: geom.V(0, 3)}
+	hw, hh := horiz.dims()
+	vw, vh := vert.dims()
+	if hw <= hh {
+		t.Fatalf("horizontal truck %vx%v should be wider than tall", hw, hh)
+	}
+	if vw != hh || vh != hw {
+		t.Fatalf("vertical dims %vx%v, want swapped %vx%v", vw, vh, hh, hw)
+	}
+	st := vert.state()
+	if st.W != vw || st.H != vh {
+		t.Fatalf("state extent %vx%v disagrees with dims %vx%v", st.W, st.H, vw, vh)
+	}
+}
+
+func TestWorldStepReapsDoneActors(t *testing.T) {
+	w := newWorld(320, 240, 1)
+	stay := w.spawn(&actor{class: Car, pos: geom.Pt(10, 10)})
+	leave := w.spawn(&actor{class: Car, pos: geom.Pt(20, 20),
+		update: func(a *actor, _ *world) { a.done = true }})
+	fs := w.step()
+	if fs.Index != 0 || w.frame != 1 {
+		t.Fatalf("frame counter: state %d, world %d", fs.Index, w.frame)
+	}
+	if len(fs.Vehicles) != 1 || fs.Vehicles[0].ID != stay.id {
+		t.Fatalf("frame state %v, want only the surviving actor", fs.Vehicles)
+	}
+	if len(w.actors) != 1 {
+		t.Fatalf("%d actors survive the reap, want 1", len(w.actors))
+	}
+	_ = leave
+}
+
+func TestValidateFrameAndVehicleInvariants(t *testing.T) {
+	base := func() *Scene {
+		return &Scene{
+			Name: "t", W: 10, H: 10, FPS: 25,
+			Frames: []FrameState{
+				{Index: 0},
+				{Index: 1, Vehicles: []VehicleState{{ID: 1, W: 4, H: 3}}},
+			},
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("legal scene rejected: %v", err)
+	}
+	s := base()
+	s.Frames[1].Index = 7
+	if err := s.Validate(); err == nil {
+		t.Fatal("misnumbered frame accepted")
+	}
+	s = base()
+	s.Frames[1].Vehicles[0].W = 0
+	if err := s.Validate(); err == nil {
+		t.Fatal("degenerate vehicle accepted")
+	}
+}

@@ -82,7 +82,13 @@ func Tunnel(cfg TunnelConfig) (*Scene, error) {
 	var schedule []spawnEvent
 	for f := 5; f < cfg.Frames; {
 		schedule = append(schedule, spawnEvent{frame: f, kind: "normal"})
-		f += cfg.SpawnEvery/2 + w.rng.Intn(cfg.SpawnEvery)
+		// Always advance at least one frame: SpawnEvery 1 would
+		// otherwise jitter to a zero step and loop forever.
+		step := cfg.SpawnEvery/2 + w.rng.Intn(cfg.SpawnEvery)
+		if step < 1 {
+			step = 1
+		}
+		f += step
 	}
 	spread := func(n int, kind string, phase float64) {
 		for i := 0; i < n; i++ {
@@ -403,7 +409,12 @@ func Intersection(cfg IntersectionConfig) (*Scene, error) {
 	for ai := range approaches {
 		for f := 3 + w.rng.Intn(cfg.SpawnEvery); f < cfg.Frames; {
 			schedule = append(schedule, spawnEvent{frame: f, kind: "normal", approach: ai})
-			f += cfg.SpawnEvery/2 + w.rng.Intn(cfg.SpawnEvery)
+			// Always advance at least one frame (see Tunnel).
+			step := cfg.SpawnEvery/2 + w.rng.Intn(cfg.SpawnEvery)
+			if step < 1 {
+				step = 1
+			}
+			f += step
 		}
 	}
 	for i := 0; i < cfg.Collisions; i++ {

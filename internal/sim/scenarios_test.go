@@ -1,0 +1,213 @@
+package sim
+
+// Scenario-generator edge cases: determinism of the intersection
+// generator, FPS defaulting, degenerate configurations (zero-vehicle
+// worlds, single frames, maximum density) and incident-interval
+// clamping at the clip boundary.
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestIntersectionDeterminism mirrors TestTunnelDeterminism for the
+// second generator: the same configuration must reproduce the scene
+// frame-for-frame and incident-for-incident.
+func TestIntersectionDeterminism(t *testing.T) {
+	cfg := IntersectionConfig{
+		Frames: 220, Seed: 77, SpawnEvery: 40,
+		Collisions: 1, UTurns: 1, Speeding: 1, FPS: 25,
+	}
+	a, err := Intersection(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Intersection(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Frames, b.Frames) {
+		t.Fatal("same seed generated different frame traces")
+	}
+	if !reflect.DeepEqual(a.Incidents, b.Incidents) {
+		t.Fatal("same seed generated different incident logs")
+	}
+	if !reflect.DeepEqual(a.Walls, b.Walls) {
+		t.Fatal("same seed generated different walls")
+	}
+}
+
+// TestScenarioFPSDefaults: a zero FPS falls back to the paper's 25.
+func TestScenarioFPSDefaults(t *testing.T) {
+	s, err := Tunnel(TunnelConfig{Frames: 40, Seed: 1, SpawnEvery: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FPS != 25 {
+		t.Fatalf("tunnel FPS defaulted to %v, want 25", s.FPS)
+	}
+	i, err := Intersection(IntersectionConfig{Frames: 40, Seed: 1, SpawnEvery: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.FPS != 25 {
+		t.Fatalf("intersection FPS defaulted to %v, want 25", i.FPS)
+	}
+}
+
+// TestZeroVehicleScenes: clips too short for the first spawn are
+// legitimate — every frame is empty road and the incident log is
+// empty, yet the scene validates.
+func TestZeroVehicleScenes(t *testing.T) {
+	// Tunnel normal spawns start at frame 5; a 4-frame clip with no
+	// incidents stays empty.
+	s, err := Tunnel(TunnelConfig{Frames: 4, Seed: 3, SpawnEvery: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intersection approach spawns start at frame ≥ 3; a 3-frame clip
+	// stays empty.
+	i, err := Intersection(IntersectionConfig{Frames: 3, Seed: 3, SpawnEvery: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range []*Scene{s, i} {
+		if len(sc.Incidents) != 0 {
+			t.Fatalf("%s: zero-incident config recorded %v", sc.Name, sc.Incidents)
+		}
+		for _, f := range sc.Frames {
+			if len(f.Vehicles) != 0 {
+				t.Fatalf("%s frame %d: %d vehicles in a zero-vehicle world", sc.Name, f.Index, len(f.Vehicles))
+			}
+		}
+		if sc.MaxConcurrent() != 0 {
+			t.Fatalf("%s: MaxConcurrent %d for empty scene", sc.Name, sc.MaxConcurrent())
+		}
+	}
+}
+
+// TestSingleFrameScene: the smallest legal clip. Scheduled incidents
+// clamp to frame 10, past the clip end, so none ever spawn or record.
+func TestSingleFrameScene(t *testing.T) {
+	s, err := Tunnel(TunnelConfig{Frames: 1, Seed: 1, SpawnEvery: 10, WallCrash: 1, Speeding: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Frames) != 1 || s.Frames[0].Index != 0 {
+		t.Fatalf("single-frame scene has %d frames", len(s.Frames))
+	}
+	if len(s.Incidents) != 0 {
+		t.Fatalf("incidents recorded in a one-frame clip: %v", s.Incidents)
+	}
+}
+
+// TestMaxDensityTunnel floods the tunnel with a spawn every frame:
+// the car-following behaviour must keep the world stable — dense but
+// with bounded speeds and renderable states (Validate has already run
+// inside the generator).
+func TestMaxDensityTunnel(t *testing.T) {
+	s, err := Tunnel(TunnelConfig{Frames: 150, Seed: 5, SpawnEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaxConcurrent(); got < 8 {
+		t.Fatalf("max-density tunnel peaked at %d concurrent vehicles", got)
+	}
+	for _, f := range s.Frames {
+		for _, v := range f.Vehicles {
+			if sp := v.Vel.Norm(); sp < 0 || sp > 8 {
+				t.Fatalf("frame %d vehicle %d: speed %v out of band", f.Index, v.ID, sp)
+			}
+		}
+	}
+}
+
+// TestMaxDensityIntersection floods all four approaches with a spawn
+// every frame; the signal and car-following logic must keep the
+// crossing stable.
+func TestMaxDensityIntersection(t *testing.T) {
+	s, err := Intersection(IntersectionConfig{Frames: 120, Seed: 5, SpawnEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaxConcurrent(); got < 8 {
+		t.Fatalf("max-density intersection peaked at %d concurrent vehicles", got)
+	}
+	for _, f := range s.Frames {
+		for _, v := range f.Vehicles {
+			if sp := v.Vel.Norm(); sp < 0 || sp > 8 {
+				t.Fatalf("frame %d vehicle %d: speed %v out of band", f.Index, v.ID, sp)
+			}
+		}
+	}
+}
+
+// TestIncidentClampedToClipEnd: a speeding incident scheduled late in
+// the clip spans past the last frame before clamping; the recorded
+// interval must end exactly at the final frame. (The transit time of
+// a ~5 px/frame speeder across the 320 px scene is ~62 frames, so a
+// 100-frame clip with the speeder spawned at frame 72 always
+// overruns.)
+func TestIncidentClampedToClipEnd(t *testing.T) {
+	s, err := Tunnel(TunnelConfig{Frames: 100, Seed: 9, SpawnEvery: 50, Speeding: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, inc := range s.Incidents {
+		if inc.Type != Speeding {
+			continue
+		}
+		found = true
+		if inc.End != len(s.Frames)-1 {
+			t.Fatalf("speeding interval %v not clamped to final frame %d", inc, len(s.Frames)-1)
+		}
+	}
+	if !found {
+		t.Fatal("no speeding incident recorded")
+	}
+}
+
+// TestCollisionWreckCleared: long after a collision the wreck is
+// towed — neither involved vehicle remains in the final frames.
+func TestCollisionWreckCleared(t *testing.T) {
+	s, err := Intersection(IntersectionConfig{Frames: 400, Seed: 4, SpawnEvery: 100000, Collisions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var coll *Incident
+	for i := range s.Incidents {
+		if s.Incidents[i].Type == Collision {
+			coll = &s.Incidents[i]
+		}
+	}
+	if coll == nil {
+		t.Fatal("no collision recorded")
+	}
+	last := s.Frames[len(s.Frames)-1]
+	for _, v := range last.Vehicles {
+		for _, id := range coll.Vehicles {
+			if v.ID == id {
+				t.Fatalf("collision vehicle %d still present in final frame", id)
+			}
+		}
+	}
+}
+
+// TestIncidentTypeStringsExact pins every String value (the renderer
+// and the experiment reports key on them).
+func TestIncidentTypeStringsExact(t *testing.T) {
+	want := map[IncidentType]string{
+		WallCrash:  "wall-crash",
+		Collision:  "collision",
+		SuddenStop: "sudden-stop",
+		UTurn:      "u-turn",
+		Speeding:   "speeding",
+		HardBrake:  "hard-brake",
+	}
+	for it, s := range want {
+		if got := it.String(); got != s {
+			t.Errorf("%d.String() = %q, want %q", int(it), got, s)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package testkit_test
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"milvideo/internal/server"
+)
+
+// serverClient mounts the server behind an httptest listener and
+// returns a client against it.
+func serverClient(t *testing.T, srv *server.Server) *server.Client {
+	t.Helper()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return &server.Client{BaseURL: ts.URL}
+}
+
+// asAPIError unwraps err into a *server.APIError.
+func asAPIError(err error, target **server.APIError) bool {
+	return errors.As(err, target)
+}

@@ -1,0 +1,119 @@
+package testkit
+
+// Negative tests: each invariant checker must actually reject the
+// violation it exists to catch (a checker that never fails proves
+// nothing).
+
+import (
+	"strings"
+	"testing"
+
+	"milvideo/internal/track"
+	"milvideo/internal/videodb"
+	"milvideo/internal/window"
+)
+
+func legalTrack() *track.Track {
+	return &track.Track{
+		ID:        1,
+		Confirmed: true,
+		Observations: []track.Observation{
+			{Frame: 2}, {Frame: 3}, {Frame: 4, Predicted: true}, {Frame: 5},
+		},
+	}
+}
+
+func TestCheckTrackLifecycle(t *testing.T) {
+	opt := track.Options{MinHits: 3, MaxMissed: 2}
+	if err := CheckTrackLifecycle([]*track.Track{legalTrack()}, 10, opt); err != nil {
+		t.Fatalf("legal track rejected: %v", err)
+	}
+	if err := CheckTrackLifecycle(nil, 10, opt); err != nil {
+		t.Fatalf("empty track set rejected: %v", err)
+	}
+	cases := map[string]func(*track.Track){
+		"unconfirmed":     func(tr *track.Track) { tr.Confirmed = false },
+		"gap":             func(tr *track.Track) { tr.Observations[2].Frame = 9 },
+		"out of range":    func(tr *track.Track) { tr.Observations[3].Frame = 99 },
+		"predicted tail":  func(tr *track.Track) { tr.Observations[3].Predicted = true },
+		"predicted head":  func(tr *track.Track) { tr.Observations[0].Predicted = true },
+		"too few hits":    func(tr *track.Track) { tr.Observations[1].Predicted = true },
+		"no observations": func(tr *track.Track) { tr.Observations = nil },
+	}
+	for name, breakIt := range cases {
+		tr := legalTrack()
+		breakIt(tr)
+		if err := CheckTrackLifecycle([]*track.Track{tr}, 10, opt); err == nil {
+			t.Errorf("%s: violation accepted", name)
+		}
+	}
+	long := legalTrack()
+	long.Observations = []track.Observation{
+		{Frame: 0}, {Frame: 1}, {Frame: 2},
+		{Frame: 3, Predicted: true}, {Frame: 4, Predicted: true}, {Frame: 5, Predicted: true},
+		{Frame: 6},
+	}
+	if err := CheckTrackLifecycle([]*track.Track{long}, 10, opt); err == nil {
+		t.Error("over-long coast accepted")
+	} else if !strings.Contains(err.Error(), "coasted") {
+		t.Errorf("wrong coast error: %v", err)
+	}
+}
+
+func TestCheckRankingPermutation(t *testing.T) {
+	vss := []window.VS{{Index: 0}, {Index: 1}, {Index: 2}}
+	if err := CheckRankingPermutation([]int{2, 0, 1}, vss); err != nil {
+		t.Fatalf("legal permutation rejected: %v", err)
+	}
+	for name, ranking := range map[string][]int{
+		"short":     {2, 0},
+		"duplicate": {2, 0, 0},
+		"unknown":   {2, 0, 7},
+	} {
+		if err := CheckRankingPermutation(ranking, vss); err == nil {
+			t.Errorf("%s ranking accepted", name)
+		}
+	}
+}
+
+func TestCheckBagConsistency(t *testing.T) {
+	cfg := window.Config{SampleRate: 5, WindowSize: 2}
+	legal := func() []window.VS {
+		return []window.VS{
+			{Index: 0, StartFrame: 0, EndFrame: 9, TSs: []window.TS{
+				{TrackID: 1, Vectors: [][]float64{{1, 2}, {3, 4}}},
+			}},
+			{Index: 1, StartFrame: 10, EndFrame: 19},
+		}
+	}
+	if err := CheckBagConsistency(legal(), 20, cfg); err != nil {
+		t.Fatalf("legal bags rejected: %v", err)
+	}
+	cases := map[string]func([]window.VS) []window.VS{
+		"dup index":    func(v []window.VS) []window.VS { v[1].Index = 0; return v },
+		"bad interval": func(v []window.VS) []window.VS { v[0].StartFrame = 5; v[0].EndFrame = 3; return v },
+		"past end":     func(v []window.VS) []window.VS { v[1].EndFrame = 99; return v },
+		"short TS":     func(v []window.VS) []window.VS { v[0].TSs[0].Vectors = [][]float64{{1, 2}}; return v },
+		"empty vector": func(v []window.VS) []window.VS { v[0].TSs[0].Vectors[1] = nil; return v },
+		"ragged dims":  func(v []window.VS) []window.VS { v[0].TSs[0].Vectors[1] = []float64{1}; return v },
+	}
+	for name, breakIt := range cases {
+		if err := CheckBagConsistency(breakIt(legal()), 20, cfg); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestCheckDBRoundTrip(t *testing.T) {
+	db := videodb.New()
+	if err := db.Add(&videodb.ClipRecord{
+		Name: "a", Frames: 30, FPS: 25, ModelName: "accident",
+		Window: window.Config{SampleRate: 5, WindowSize: 3},
+		VSs:    []window.VS{{Index: 0, StartFrame: 0, EndFrame: 10}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckDBRoundTrip(db); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package testkit_test
+
+// raceDetectorOn shrinks the chaos suite's clips under the race
+// detector, where each pipeline run is 10–20× slower.
+const raceDetectorOn = true

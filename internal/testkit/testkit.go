@@ -1,0 +1,70 @@
+// Package testkit provides the shared scaffolding of the chaos and
+// conformance test suites: deterministic scenario builders (small,
+// fast synthetic scenes keyed only by an explicit seed) and invariant
+// checkers that express the system's structural guarantees — track
+// lifecycle legality, ranking-is-a-permutation, bag/instance
+// consistency, and database round-trip identity — as plain functions
+// returning errors, so unit tests, fuzz targets and the end-to-end
+// chaos suite can all assert them.
+package testkit
+
+import (
+	"fmt"
+	"time"
+
+	"milvideo/internal/core"
+	"milvideo/internal/faults"
+	"milvideo/internal/sim"
+)
+
+// TunnelScene builds a small deterministic tunnel scene: one wall
+// crash, sparse traffic, `frames` frames at 25 FPS. The same seed
+// always yields the identical scene.
+func TunnelScene(seed int64, frames int) (*sim.Scene, error) {
+	s, err := sim.Tunnel(sim.TunnelConfig{
+		Frames: frames, Seed: seed, SpawnEvery: 50, WallCrash: 1, FPS: 25,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("testkit: tunnel scene: %w", err)
+	}
+	return s, nil
+}
+
+// IntersectionScene builds a small deterministic intersection scene
+// with one collision.
+func IntersectionScene(seed int64, frames int) (*sim.Scene, error) {
+	s, err := sim.Intersection(sim.IntersectionConfig{
+		Frames: frames, Seed: seed, SpawnEvery: 40, Collisions: 1, FPS: 25,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("testkit: intersection scene: %w", err)
+	}
+	return s, nil
+}
+
+// PipelineConfig returns the default processing configuration with a
+// near-zero retry backoff (so exhausted-retry chaos runs stay fast)
+// and the given injector attached. Pass nil for a clean pipeline.
+func PipelineConfig(inj *faults.Injector) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Faults = inj
+	cfg.RetryBackoff = 10 * time.Microsecond
+	return cfg
+}
+
+// FaultSchedule is the chaos suite's canonical moderate-rate fault
+// configuration: every ingest fault class enabled at a rate that
+// degrades a ~100-frame clip without destroying it. Determinism note:
+// the schedule is entirely a function of the seed, so replaying it
+// reproduces the identical degradation.
+func FaultSchedule(seed int64) faults.Config {
+	return faults.Config{
+		Seed:          seed,
+		FrameDrop:     0.06,
+		SaltPepper:    0.08,
+		Blackout:      0.02,
+		SegTransient:  0.1,
+		StageDelay:    0.03,
+		StageDelayDur: 50 * time.Microsecond,
+	}
+}

@@ -1,0 +1,244 @@
+package videodb
+
+// White-box persistence fault tests: torn writes, truncation and bit
+// flips against the checksummed wire format, plus v1 backward
+// compatibility and the recovery loader.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"milvideo/internal/faults"
+)
+
+// saved returns a three-clip catalog and its serialized bytes.
+func saved(t *testing.T) (*DB, []byte) {
+	t.Helper()
+	db := New()
+	for _, n := range []string{"alpha", "beta", "gamma"} {
+		if err := db.Add(clip(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return db, buf.Bytes()
+}
+
+// sameClips asserts both catalogs hold identical record sets.
+func sameClips(t *testing.T, want, got *DB) {
+	t.Helper()
+	wn, gn := want.Names(), got.Names()
+	if len(wn) != len(gn) {
+		t.Fatalf("clip sets differ: %v vs %v", wn, gn)
+	}
+	for i := range wn {
+		if wn[i] != gn[i] {
+			t.Fatalf("clip sets differ: %v vs %v", wn, gn)
+		}
+	}
+}
+
+func TestTornWriteFailsCleanly(t *testing.T) {
+	db, data := saved(t)
+	for _, limit := range []int{0, 1, len(data) / 2, len(data) - 1} {
+		tw := &faults.TornWriter{W: &bytes.Buffer{}, Limit: limit}
+		if err := db.Save(tw); err == nil {
+			t.Fatalf("limit %d: torn save reported success", limit)
+		}
+	}
+}
+
+func TestLoadTruncatedSnapshot(t *testing.T) {
+	_, data := saved(t)
+	for seq := uint64(0); seq < 8; seq++ {
+		cut := faults.Truncate(41, seq, data)
+		if err := New().Load(bytes.NewReader(cut)); err == nil {
+			t.Fatalf("seq %d: truncated snapshot (%d of %d bytes) loaded without error", seq, len(cut), len(data))
+		}
+	}
+}
+
+// TestLoadDetectsRecordBitFlip corrupts one record's blob inside an
+// otherwise intact container: strict Load must fail with ErrChecksum,
+// and LoadRecovering must salvage the other records.
+func TestLoadDetectsRecordBitFlip(t *testing.T) {
+	db, data := saved(t)
+	snap, err := readSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const victim = 1
+	snap.Records[victim] = faults.FlipBits(7, 0, snap.Records[victim], 3)
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := New().Load(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("strict load of bit-flipped record: got %v, want ErrChecksum", err)
+	}
+
+	rec := New()
+	rep, err := rec.LoadRecovering(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("recovery failed outright: %v", err)
+	}
+	if rep.Loaded != 2 || len(rep.Skipped) != 1 {
+		t.Fatalf("recovery report %v, want loaded=2 skipped=1", rep)
+	}
+	sk := rep.Skipped[0]
+	if sk.Index != victim || !errors.Is(sk.Err, ErrChecksum) {
+		t.Fatalf("skipped %+v, want index %d with ErrChecksum", sk, victim)
+	}
+	want := New()
+	for _, n := range []string{"alpha", "gamma"} { // beta was record 1
+		if err := want.Add(clip(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sameClips(t, want, rec)
+	_ = db
+}
+
+// TestRecoveringSkipsUndecodableAndInvalid exercises the non-checksum
+// skip paths: a blob whose checksum matches garbage bytes, and a
+// record that decodes but fails validation.
+func TestRecoveringSkipsUndecodableAndInvalid(t *testing.T) {
+	_, data := saved(t)
+	snap, err := readSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record 0: garbage bytes with a self-consistent checksum — decode
+	// failure, not checksum failure.
+	garbage := []byte("not a gob stream at all")
+	snap.Records[0] = garbage
+	snap.Sums[0] = checksumOf(garbage)
+	// Record 2: structurally invalid clip (no VSs), correctly encoded.
+	bad := clip("gamma")
+	bad.VSs = nil
+	blob, sum, err := encodeRecord(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Records[2], snap.Sums[2] = blob, sum
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := New()
+	rep, err := rec.LoadRecovering(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Loaded != 1 || len(rep.Skipped) != 2 || rep.Clean() {
+		t.Fatalf("report %v, want loaded=1 skipped=2", rep)
+	}
+	if !errors.Is(rep.Skipped[0].Err, ErrDecode) {
+		t.Fatalf("record 0 skip reason %v, want ErrDecode", rep.Skipped[0].Err)
+	}
+	if rep.Skipped[1].Index != 2 || rep.Skipped[1].Name != "gamma" {
+		t.Fatalf("record 2 skip %+v, want named validation skip", rep.Skipped[1])
+	}
+	if _, err := rec.Clip("beta"); err != nil {
+		t.Fatalf("surviving record lost: %v", err)
+	}
+}
+
+// TestRecoveringReportsDuplicates: two intact records with the same
+// name — the second is skipped with ErrDuplicate.
+func TestRecoveringSkipsDuplicates(t *testing.T) {
+	_, data := saved(t)
+	snap, err := readSnapshot(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Records[2], snap.Sums[2] = snap.Records[0], snap.Sums[0]
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := New().LoadRecovering(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Loaded != 2 || len(rep.Skipped) != 1 || !errors.Is(rep.Skipped[0].Err, ErrDuplicate) {
+		t.Fatalf("report %v (skips %+v), want one ErrDuplicate skip", rep, rep.Skipped)
+	}
+}
+
+// TestLoadV1Compat: a version-1 snapshot (inline records, no
+// checksums) still loads, strictly and recovering.
+func TestLoadV1Compat(t *testing.T) {
+	want, _ := saved(t)
+	v1 := snapshot{Version: formatVersionV1, Clips: []*ClipRecord{clip("alpha"), clip("beta"), clip("gamma")}}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v1); err != nil {
+		t.Fatal(err)
+	}
+	strict := New()
+	if err := strict.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("v1 strict load: %v", err)
+	}
+	sameClips(t, want, strict)
+	rec := New()
+	rep, err := rec.LoadRecovering(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("v1 recovering load: %v", err)
+	}
+	if !rep.Clean() || rep.Loaded != 3 {
+		t.Fatalf("v1 recovery report %v, want clean loaded=3", rep)
+	}
+	sameClips(t, want, rec)
+}
+
+// TestLoadRejectsBadContainers covers the container-level ErrDecode
+// paths: version skew and cross-format field mixing.
+func TestLoadRejectsBadContainers(t *testing.T) {
+	cases := []snapshot{
+		{Version: 3},
+		{Version: 0},
+		{Version: formatVersion, Records: [][]byte{{1}}, Sums: nil},
+		{Version: formatVersion, Clips: []*ClipRecord{clip("x")}},
+		{Version: formatVersionV1, Records: [][]byte{{1}}, Sums: []uint32{0}},
+	}
+	for i, snap := range cases {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+			t.Fatal(err)
+		}
+		if err := New().Load(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrDecode) {
+			t.Fatalf("case %d: got %v, want ErrDecode", i, err)
+		}
+		if _, err := New().LoadRecovering(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrDecode) {
+			t.Fatalf("case %d recovering: got %v, want ErrDecode", i, err)
+		}
+	}
+}
+
+// TestRoundTripIdentity: save → load → save must reproduce the exact
+// same bytes (record blobs are deterministic: sorted names, gob).
+func TestRoundTripIdentity(t *testing.T) {
+	_, data := saved(t)
+	db := New()
+	if err := db.Load(bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, buf.Bytes()) {
+		t.Fatalf("round trip changed the encoding: %d vs %d bytes", len(data), buf.Len())
+	}
+}
+
+// checksumOf mirrors encodeRecord's checksum for hand-built blobs.
+func checksumOf(b []byte) uint32 { return crc32.ChecksumIEEE(b) }

@@ -1,0 +1,77 @@
+package videodb
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"testing"
+
+	"milvideo/internal/faults"
+)
+
+// FuzzDBDecode pins the loader's robustness contract: for arbitrary
+// input bytes, Load and LoadRecovering never panic — every failure is
+// an error wrapping one of the package's named sentinels or a
+// validation error — and on success the loaded catalog re-saves
+// cleanly. The seed corpus (testdata/fuzz/FuzzDBDecode plus the
+// programmatic seeds below) covers valid v1 and v2 snapshots,
+// truncations, bit flips and plain garbage.
+func FuzzDBDecode(f *testing.F) {
+	db := New()
+	for _, n := range []string{"alpha", "beta"} {
+		if err := db.Add(clip(n)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	var valid bytes.Buffer
+	if err := db.Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(faults.Truncate(1, 0, valid.Bytes()))
+	f.Add(faults.FlipBits(1, 0, valid.Bytes(), 4))
+
+	var v1 bytes.Buffer
+	if err := gob.NewEncoder(&v1).Encode(snapshot{
+		Version: formatVersionV1, Clips: []*ClipRecord{clip("alpha")},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("not a gob stream"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		strict := New()
+		if err := strict.Load(bytes.NewReader(data)); err == nil {
+			// A successful strict load must yield a saveable catalog.
+			if err := strict.Save(&bytes.Buffer{}); err != nil {
+				t.Fatalf("loaded catalog does not re-save: %v", err)
+			}
+		} else if errors.Is(err, ErrNotFound) {
+			t.Fatalf("Load returned the wrong sentinel: %v", err)
+		}
+
+		rec := New()
+		rep, err := rec.LoadRecovering(bytes.NewReader(data))
+		if err != nil {
+			return // container-level damage: catalog untouched by contract
+		}
+		if rep.Loaded != rec.Len() {
+			t.Fatalf("recovery loaded %d but catalog holds %d", rep.Loaded, rec.Len())
+		}
+		// Whatever survived recovery must be valid and saveable.
+		for _, n := range rec.Names() {
+			c, err := rec.Clip(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatalf("recovered record %q invalid: %v", n, err)
+			}
+		}
+		if err := rec.Save(&bytes.Buffer{}); err != nil {
+			t.Fatalf("recovered catalog does not re-save: %v", err)
+		}
+	})
+}

@@ -1,0 +1,327 @@
+package videodb
+
+// Persistence for the clip catalog.
+//
+// Wire format (version 2): a gob-encoded container holding one
+// standalone gob blob per clip plus a CRC-32 checksum for each. Every
+// record carries its own gob type information, so any record can be
+// decoded — or found corrupt — independently of the others; a bit
+// flip or torn write inside one record's bytes is detected by its
+// checksum and never silently alters a loaded clip. Version-1 files
+// (a bare []*ClipRecord with no checksums) still load.
+//
+// Decode robustness: Load and LoadRecovering never panic on arbitrary
+// input — every failure surfaces as an error wrapping ErrDecode,
+// ErrChecksum or ErrDuplicate (the FuzzDBDecode target pins this).
+// Both leave the catalog untouched unless they succeed.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// snapshot is the gob wire format. A version-1 file populates Clips;
+// a version-2 file populates Records and Sums (gob omits absent
+// fields, which is what makes reading both shapes with one struct
+// work).
+type snapshot struct {
+	Version int
+	// Clips is the format-1 payload: records encoded inline with the
+	// container.
+	Clips []*ClipRecord
+	// Records and Sums are the format-2 payload: Records[i] is a
+	// standalone gob encoding of one ClipRecord and Sums[i] its CRC-32
+	// (IEEE) checksum.
+	Records [][]byte
+	Sums    []uint32
+}
+
+// Format versions this package can read; Save always writes the
+// current one.
+const (
+	formatVersionV1 = 1
+	formatVersion   = 2
+)
+
+// encodeRecord gob-encodes one record standalone and checksums the
+// bytes.
+func encodeRecord(c *ClipRecord) ([]byte, uint32, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		return nil, 0, fmt.Errorf("videodb: encode %q: %w", c.Name, err)
+	}
+	blob := buf.Bytes()
+	return blob, crc32.ChecksumIEEE(blob), nil
+}
+
+// decodeRecord verifies a blob's checksum and decodes it.
+func decodeRecord(i int, blob []byte, sum uint32) (*ClipRecord, error) {
+	if got := crc32.ChecksumIEEE(blob); got != sum {
+		return nil, fmt.Errorf("%w: record %d (crc %08x, want %08x)", ErrChecksum, i, got, sum)
+	}
+	var c *ClipRecord
+	if err := safeGobDecode(func() error {
+		return gob.NewDecoder(bytes.NewReader(blob)).Decode(&c)
+	}); err != nil {
+		return nil, fmt.Errorf("record %d: %w", i, err)
+	}
+	if c == nil {
+		return nil, fmt.Errorf("%w: record %d decoded to nil", ErrDecode, i)
+	}
+	return c, nil
+}
+
+// safeGobDecode runs a gob decode and converts both its error and any
+// panic into an ErrDecode-wrapping error, so arbitrary input can
+// never crash a loader.
+func safeGobDecode(dec func() error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w: decode panic: %v", ErrDecode, p)
+		}
+	}()
+	if derr := dec(); derr != nil {
+		return fmt.Errorf("%w: %v", ErrDecode, derr)
+	}
+	return nil
+}
+
+// Save writes the whole catalog to w in the current (checksummed)
+// format. The read lock is held across the encode, so the snapshot is
+// point-in-time consistent even while other goroutines add or remove
+// clips concurrently.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	snap := snapshot{Version: formatVersion}
+	for _, n := range db.namesLocked() {
+		blob, sum, err := encodeRecord(db.clips[n])
+		if err != nil {
+			return err
+		}
+		snap.Records = append(snap.Records, blob)
+		snap.Sums = append(snap.Sums, sum)
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("videodb: encode: %w", err)
+	}
+	return nil
+}
+
+// readSnapshot decodes and structurally validates the container.
+func readSnapshot(r io.Reader) (snapshot, error) {
+	var snap snapshot
+	if err := safeGobDecode(func() error {
+		return gob.NewDecoder(r).Decode(&snap)
+	}); err != nil {
+		return snapshot{}, err
+	}
+	switch snap.Version {
+	case formatVersionV1:
+		if len(snap.Records) != 0 || len(snap.Sums) != 0 {
+			return snapshot{}, fmt.Errorf("%w: version 1 file carries checksummed records", ErrDecode)
+		}
+	case formatVersion:
+		if len(snap.Records) != len(snap.Sums) {
+			return snapshot{}, fmt.Errorf("%w: %d records but %d checksums",
+				ErrDecode, len(snap.Records), len(snap.Sums))
+		}
+		if len(snap.Clips) != 0 {
+			return snapshot{}, fmt.Errorf("%w: version 2 file carries inline records", ErrDecode)
+		}
+	default:
+		return snapshot{}, fmt.Errorf("%w: unsupported format version %d (want 1 or %d)",
+			ErrDecode, snap.Version, formatVersion)
+	}
+	return snap, nil
+}
+
+// recordCount is the number of records a snapshot claims, across
+// either format.
+func (s snapshot) recordCount() int {
+	if s.Version == formatVersionV1 {
+		return len(s.Clips)
+	}
+	return len(s.Records)
+}
+
+// record materializes record i: for a v2 snapshot that means checksum
+// verification and a standalone decode; for v1 the record is already
+// inline.
+func (s snapshot) record(i int) (*ClipRecord, error) {
+	if s.Version == formatVersionV1 {
+		c := s.Clips[i]
+		if c == nil {
+			return nil, fmt.Errorf("%w: record %d is nil", ErrDecode, i)
+		}
+		return c, nil
+	}
+	return decodeRecord(i, s.Records[i], s.Sums[i])
+}
+
+// Load replaces the catalog contents with the snapshot read from r.
+// It is strict: any corrupt, invalid or duplicate record fails the
+// whole load and leaves the catalog untouched. Use LoadRecovering to
+// salvage the intact records from a damaged file.
+func (db *DB) Load(r io.Reader) error {
+	snap, err := readSnapshot(r)
+	if err != nil {
+		return err
+	}
+	clips := make(map[string]*ClipRecord, snap.recordCount())
+	for i := 0; i < snap.recordCount(); i++ {
+		c, err := snap.record(i)
+		if err != nil {
+			return err
+		}
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("videodb: load: record %d: %w", i, err)
+		}
+		if _, dup := clips[c.Name]; dup {
+			return fmt.Errorf("%w: %q (snapshot record %d)", ErrDuplicate, c.Name, i)
+		}
+		clips[c.Name] = c
+	}
+	db.mu.Lock()
+	db.clips = clips
+	db.gen++
+	db.mu.Unlock()
+	return nil
+}
+
+// SkippedRecord names one record LoadRecovering could not salvage.
+type SkippedRecord struct {
+	// Index is the record's position in the snapshot; Name is its clip
+	// name when the record decoded far enough to have one ("" for a
+	// checksum or decode failure).
+	Index int
+	Name  string
+	// Err classifies the damage; it wraps ErrChecksum, ErrDecode,
+	// ErrDuplicate or a validation error.
+	Err error
+}
+
+// RecoveryReport summarizes a LoadRecovering pass.
+type RecoveryReport struct {
+	Loaded  int
+	Skipped []SkippedRecord
+}
+
+// Clean reports whether every record survived.
+func (r RecoveryReport) Clean() bool { return len(r.Skipped) == 0 }
+
+// String implements fmt.Stringer.
+func (r RecoveryReport) String() string {
+	return fmt.Sprintf("loaded=%d skipped=%d", r.Loaded, len(r.Skipped))
+}
+
+// LoadRecovering replaces the catalog contents with every record of
+// the snapshot that decodes, checksums and validates cleanly,
+// skipping — and reporting — the rest. Only container-level damage
+// (an unreadable or version-incompatible snapshot) is fatal; a fatal
+// load leaves the catalog untouched and returns an empty report.
+func (db *DB) LoadRecovering(r io.Reader) (RecoveryReport, error) {
+	snap, err := readSnapshot(r)
+	if err != nil {
+		return RecoveryReport{}, err
+	}
+	var rep RecoveryReport
+	clips := make(map[string]*ClipRecord, snap.recordCount())
+	skip := func(i int, name string, err error) {
+		rep.Skipped = append(rep.Skipped, SkippedRecord{Index: i, Name: name, Err: err})
+	}
+	for i := 0; i < snap.recordCount(); i++ {
+		c, err := snap.record(i)
+		if err != nil {
+			skip(i, "", err)
+			continue
+		}
+		if err := c.Validate(); err != nil {
+			skip(i, c.Name, err)
+			continue
+		}
+		if _, dup := clips[c.Name]; dup {
+			skip(i, c.Name, fmt.Errorf("%w: %q", ErrDuplicate, c.Name))
+			continue
+		}
+		clips[c.Name] = c
+		rep.Loaded++
+	}
+	db.mu.Lock()
+	db.clips = clips
+	db.gen++
+	db.mu.Unlock()
+	return rep, nil
+}
+
+// SaveFile persists the catalog to path atomically: the snapshot is
+// written to a temp file in the same directory, fsynced, and renamed
+// into place, so a crash or injected failure mid-write can never
+// leave a half-written catalog at path — readers see either the old
+// file or the complete new one.
+func (db *DB) SaveFile(path string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".videodb-*")
+	if err != nil {
+		return fmt.Errorf("videodb: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := db.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("videodb: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("videodb: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("videodb: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a catalog previously written by SaveFile.
+func LoadFile(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("videodb: %w", err)
+	}
+	defer f.Close()
+	db := New()
+	if err := db.Load(f); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// LoadFileRecovering reads a possibly damaged catalog file, salvaging
+// what it can.
+func LoadFileRecovering(path string) (*DB, RecoveryReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, RecoveryReport{}, fmt.Errorf("videodb: %w", err)
+	}
+	defer f.Close()
+	db := New()
+	rep, err := db.LoadRecovering(f)
+	if err != nil {
+		return nil, rep, err
+	}
+	return db, rep, nil
+}
+
+// dirOf returns the directory part of path ("." for bare names).
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

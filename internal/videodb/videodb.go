@@ -11,11 +11,8 @@
 package videodb
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
-	"io"
-	"os"
 	"sort"
 	"sync"
 
@@ -23,10 +20,15 @@ import (
 	"milvideo/internal/window"
 )
 
-// Errors returned by the catalog.
+// Errors returned by the catalog. ErrDecode and ErrChecksum are the
+// named persistence failures: Load wraps every container- or
+// record-level fault in one of them (never a panic), and
+// LoadRecovering uses them to classify which records it skipped.
 var (
 	ErrNotFound  = errors.New("videodb: clip not found")
 	ErrDuplicate = errors.New("videodb: clip already stored")
+	ErrDecode    = errors.New("videodb: malformed snapshot")
+	ErrChecksum  = errors.New("videodb: record checksum mismatch")
 )
 
 // ClipRecord is one processed clip.
@@ -315,31 +317,6 @@ func (s Snapshot) Names() []string { return append([]string(nil), s.names...) }
 // Len returns the snapshot's clip count.
 func (s Snapshot) Len() int { return len(s.clips) }
 
-// snapshot is the gob wire format: a versioned, sorted clip list.
-type snapshot struct {
-	Version int
-	Clips   []*ClipRecord
-}
-
-// formatVersion guards against reading incompatible files.
-const formatVersion = 1
-
-// Save writes the whole catalog to w. The read lock is held across
-// the encode, so the snapshot is point-in-time consistent even while
-// other goroutines add or remove clips concurrently.
-func (db *DB) Save(w io.Writer) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	snap := snapshot{Version: formatVersion}
-	for _, n := range db.namesLocked() {
-		snap.Clips = append(snap.Clips, db.clips[n])
-	}
-	if err := gob.NewEncoder(w).Encode(snap); err != nil {
-		return fmt.Errorf("videodb: encode: %w", err)
-	}
-	return nil
-}
-
 // namesLocked lists names without locking (callers hold the lock).
 func (db *DB) namesLocked() []string {
 	out := make([]string, 0, len(db.clips))
@@ -348,75 +325,4 @@ func (db *DB) namesLocked() []string {
 	}
 	sort.Strings(out)
 	return out
-}
-
-// Load replaces the catalog contents with the snapshot read from r.
-func (db *DB) Load(r io.Reader) error {
-	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return fmt.Errorf("videodb: decode: %w", err)
-	}
-	if snap.Version != formatVersion {
-		return fmt.Errorf("videodb: unsupported format version %d (want %d)", snap.Version, formatVersion)
-	}
-	clips := make(map[string]*ClipRecord, len(snap.Clips))
-	for i, c := range snap.Clips {
-		if err := c.Validate(); err != nil {
-			return fmt.Errorf("videodb: load: record %d: %w", i, err)
-		}
-		if _, dup := clips[c.Name]; dup {
-			return fmt.Errorf("%w: %q (snapshot record %d)", ErrDuplicate, c.Name, i)
-		}
-		clips[c.Name] = c
-	}
-	db.mu.Lock()
-	db.clips = clips
-	db.gen++
-	db.mu.Unlock()
-	return nil
-}
-
-// SaveFile persists the catalog to path (atomically via a temp file in
-// the same directory).
-func (db *DB) SaveFile(path string) error {
-	tmp, err := os.CreateTemp(dirOf(path), ".videodb-*")
-	if err != nil {
-		return fmt.Errorf("videodb: %w", err)
-	}
-	defer os.Remove(tmp.Name())
-	if err := db.Save(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("videodb: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("videodb: %w", err)
-	}
-	return nil
-}
-
-// LoadFile reads a catalog previously written by SaveFile.
-func LoadFile(path string) (*DB, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("videodb: %w", err)
-	}
-	defer f.Close()
-	db := New()
-	if err := db.Load(f); err != nil {
-		return nil, err
-	}
-	return db, nil
-}
-
-// dirOf returns the directory part of path ("." for bare names).
-func dirOf(path string) string {
-	for i := len(path) - 1; i >= 0; i-- {
-		if path[i] == '/' {
-			return path[:i]
-		}
-	}
-	return "."
 }

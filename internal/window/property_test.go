@@ -2,7 +2,9 @@ package window
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
+	"testing/quick"
 
 	"milvideo/internal/event"
 	"milvideo/internal/geom"
@@ -76,6 +78,128 @@ func TestExtractStructuralInvariants(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// extractCase is a quick.Generator producing a random clip length,
+// extraction config and well-formed track set. Clips are kept long
+// enough (≥ 30 frames at rate ≤ 6, window ≤ 4) that at least one
+// window always fits, so Extract never legitimately errors.
+type extractCase struct {
+	frames          int
+	rate, win, step int
+	tracks          []*track.Track
+}
+
+func (extractCase) Generate(r *rand.Rand, _ int) reflect.Value {
+	ec := extractCase{
+		frames: 30 + r.Intn(200),
+		rate:   1 + r.Intn(6),
+		win:    1 + r.Intn(4),
+		step:   r.Intn(4), // 0 → WindowSize (non-overlapping)
+	}
+	ec.tracks = randomTracks(r, r.Intn(6), ec.frames)
+	return reflect.ValueOf(ec)
+}
+
+// TestQuickExtractCoversSegmentsExactly is the bag-construction
+// correctness property, checked against a from-scratch model of the
+// paper's §5.1 semantics: windows start at every multiple of Step
+// that fits on the grid; a trajectory contributes a TS to a window
+// iff the window's grid span lies inside the track's sampled grid
+// interval [⌈start/rate⌉, ⌊end/rate⌋]; each TS samples exactly the
+// window's grid frames; and every (track, grid position) segment is
+// covered exactly as often as eligible windows overlap it — exactly
+// once under the default non-overlapping stride.
+func TestQuickExtractCoversSegmentsExactly(t *testing.T) {
+	prop := func(ec extractCase) bool {
+		cfg := Config{SampleRate: ec.rate, WindowSize: ec.win, Step: ec.step}
+		vss, err := Extract(ec.tracks, event.AccidentModel{}, ec.frames, cfg)
+		if err != nil {
+			t.Logf("extract failed: %v", err)
+			return false
+		}
+		norm, err := cfg.Normalized()
+		if err != nil {
+			t.Logf("normalize failed: %v", err)
+			return false
+		}
+		lastGrid := (ec.frames - 1) / norm.SampleRate
+		var starts []int
+		for p0 := 0; p0+norm.WindowSize-1 <= lastGrid; p0 += norm.Step {
+			starts = append(starts, p0)
+		}
+		if len(vss) != len(starts) {
+			t.Logf("%d windows, want %d", len(vss), len(starts))
+			return false
+		}
+		// A track's samples land on the grid positions of the interval
+		// [⌈start/rate⌉, ⌊end/rate⌋] (tracks are frame-contiguous).
+		span := make(map[int][2]int, len(ec.tracks))
+		for _, tr := range ec.tracks {
+			lo := (tr.Start() + norm.SampleRate - 1) / norm.SampleRate
+			hi := tr.End() / norm.SampleRate
+			if lo <= hi {
+				span[tr.ID] = [2]int{lo, hi}
+			}
+		}
+		coverage := make(map[[2]int]int) // (trackID, grid position) → TS samples
+		for i, vs := range vss {
+			p0 := starts[i]
+			if vs.StartFrame != p0*norm.SampleRate || vs.EndFrame != (p0+norm.WindowSize-1)*norm.SampleRate {
+				t.Logf("window %d: frames [%d,%d], want [%d,%d]", i,
+					vs.StartFrame, vs.EndFrame, p0*norm.SampleRate, (p0+norm.WindowSize-1)*norm.SampleRate)
+				return false
+			}
+			got := make(map[int]bool, len(vs.TSs))
+			for _, ts := range vs.TSs {
+				got[ts.TrackID] = true
+				if _, known := span[ts.TrackID]; !known {
+					t.Logf("window %d: TS for track %d which has no grid samples", i, ts.TrackID)
+					return false
+				}
+				for k, s := range ts.Samples {
+					if s.Frame != (p0+k)*norm.SampleRate {
+						t.Logf("window %d track %d sample %d: frame %d, want %d",
+							i, ts.TrackID, k, s.Frame, (p0+k)*norm.SampleRate)
+						return false
+					}
+					coverage[[2]int{ts.TrackID, p0 + k}]++
+				}
+			}
+			for id, sp := range span {
+				want := p0 >= sp[0] && p0+norm.WindowSize-1 <= sp[1]
+				if got[id] != want {
+					t.Logf("window %d (grid [%d,%d]): track %d span [%d,%d] membership %v, want %v",
+						i, p0, p0+norm.WindowSize-1, id, sp[0], sp[1], got[id], want)
+					return false
+				}
+			}
+		}
+		// Segment coverage: each sampled grid position of each track is
+		// hit once per eligible window overlapping it — never more.
+		for id, sp := range span {
+			for p := sp[0]; p <= sp[1]; p++ {
+				want := 0
+				for _, p0 := range starts {
+					if p0 <= p && p <= p0+norm.WindowSize-1 && p0 >= sp[0] && p0+norm.WindowSize-1 <= sp[1] {
+						want++
+					}
+				}
+				if coverage[[2]int{id, p}] != want {
+					t.Logf("track %d grid pos %d covered %d times, want %d", id, p, coverage[[2]int{id, p}], want)
+					return false
+				}
+				if norm.Step >= norm.WindowSize && want > 1 {
+					t.Logf("non-overlapping stride covered track %d pos %d %d times", id, p, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -6,13 +6,23 @@
 # workers and distance cache, the query-service session store and
 # load generator, the candidate-index build/probe paths), an explicit
 # candidate-index recall gate (both index kinds on the demo catalog:
-# recall@10 must be 1.0 at C=N and ≥ 0.9 at C=N/4), a one-iteration
-# smoke of the ingest benchmarks, and a live server smoke: cmd/serve
-# on an ephemeral port driven by cmd/loadgen sessions — exact and
-# routed through the IVF candidate index — asserting non-empty
-# rankings and a clean drain.
+# recall@10 must be 1.0 at C=N and ≥ 0.9 at C=N/4), the chaos
+# conformance suite under -race (seeded fault schedules across
+# ingest, persistence and the query service), fuzz smoke legs for the
+# snapshot decoder and the HTTP API, a statement-coverage floor over
+# the internal packages, a one-iteration smoke of the ingest
+# benchmarks, and a live server smoke: cmd/serve on an ephemeral port
+# driven by cmd/loadgen sessions — exact and routed through the IVF
+# candidate index — asserting zero dropped rounds, non-empty rankings
+# and a clean drain.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Statement-coverage floor over ./internal/... . Measured 88.8% when
+# the gate was introduced; the floor leaves half a point of slack so
+# innocuous refactors don't flake, while a test-free subsystem cannot
+# land unnoticed.
+COVERAGE_FLOOR=88.3
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
@@ -37,6 +47,24 @@ go test -race ./internal/...
 echo "== index smoke (recall gates: C=N identity, C=N/4 >= 0.9) =="
 go test -race -count=1 -run 'TestIndexSmokeRecall|TestQueryIndex|TestCandidate|TestVPTree|TestIVF|TestBagIndex' \
     ./internal/server/ ./internal/retrieval/ ./internal/index/
+
+echo "== chaos conformance (seeded fault schedules, -race) =="
+go test -race -count=1 -run 'TestChaos' ./internal/testkit/
+
+echo "== fuzz smoke (snapshot decoder, HTTP API; 5s each) =="
+go test -run xxx -fuzz FuzzDBDecode -fuzztime 5s ./internal/videodb/
+go test -run xxx -fuzz FuzzQueryRequest -fuzztime 5s ./internal/server/
+
+echo "== coverage floor (internal packages, >= ${COVERAGE_FLOOR}%) =="
+covdir=$(mktemp -d)
+go test -count=1 -coverprofile="$covdir/cover.out" ./internal/... >/dev/null
+total=$(go tool cover -func="$covdir/cover.out" | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')
+rm -rf "$covdir"
+echo "total statement coverage: ${total}%"
+awk -v got="$total" -v floor="$COVERAGE_FLOOR" 'BEGIN { exit !(got+0 >= floor+0) }' || {
+    echo "coverage ${total}% fell below the ${COVERAGE_FLOOR}% floor" >&2
+    exit 1
+}
 
 echo "== bench smoke (ingest) =="
 go test -run xxx -bench Ingest -benchtime 1x .
@@ -65,5 +93,16 @@ wait "$serve_pid"
 serve_pid=""
 grep -q "drained, bye" "$smokedir/serve.log" || { echo "serve did not drain cleanly" >&2; cat "$smokedir/serve.log" >&2; exit 1; }
 grep -q '"rounds_served": 12' "$smokedir/smoke.json" || { echo "smoke run served fewer rounds than expected" >&2; cat "$smokedir/smoke.json" >&2; exit 1; }
+# Both loadgen reports must show a loss-free run; on a drop, surface
+# the server log alongside the report so the failure is diagnosable.
+for report in "$smokedir/smoke.json" "$smokedir/smoke-ivf.json"; do
+    grep -q '"dropped_rounds": 0' "$report" || {
+        echo "smoke run dropped rounds in $report" >&2
+        cat "$report" >&2
+        echo "--- serve log ---" >&2
+        cat "$smokedir/serve.log" >&2
+        exit 1
+    }
+done
 
 echo "CI OK"
