@@ -68,8 +68,12 @@ type Snapshot struct {
 	ParallelProcs int      `json:"parallel_procs"`
 	Stages        []Result `json:"stages"`
 	// CandidateCurves sweep recall@10 against session latency for the
-	// candidate index at several pruning levels (skipped under -stage).
+	// candidate index at several pruning levels, catalog scales and
+	// quantization modes (skipped under -stage).
 	CandidateCurves []CandidateCurve `json:"candidate_curves,omitempty"`
+	// Maintenance measures incremental index maintenance: the per-op
+	// cost of absorbing a small catalog delta versus rebuilding.
+	Maintenance []MaintenanceResult `json:"maintenance,omitempty"`
 }
 
 // CandidatePoint is one pruning level on a candidate curve: a full
@@ -84,14 +88,58 @@ type CandidatePoint struct {
 	Speedup    float64 `json:"speedup_vs_exact"`
 }
 
-// CandidateCurve is one (catalog scale, index kind) sweep.
+// MemoryReport accounts the probe structures' storage: the bytes the
+// index actually holds per point (quantized codes or float64 rows)
+// against the float64 baseline, normalized per VS so catalog scales
+// compare directly.
+type MemoryReport struct {
+	Instances     int `json:"instances"`
+	PointBytes    int `json:"point_bytes"`
+	CodebookBytes int `json:"codebook_bytes"`
+	FloatBytes    int `json:"float_bytes"`
+	// BytesPerVS is (PointBytes + CodebookBytes) / bags;
+	// FloatBytesPerVS is FloatBytes / bags.
+	BytesPerVS      float64 `json:"bytes_per_vs"`
+	FloatBytesPerVS float64 `json:"float_bytes_per_vs"`
+	// Compression is FloatBytes / (PointBytes + CodebookBytes).
+	Compression float64 `json:"compression_vs_float"`
+}
+
+// CandidateCurve is one (catalog scale, index kind, quantization)
+// sweep.
 type CandidateCurve struct {
-	Scale    int              `json:"scale"`
-	Bags     int              `json:"bags"`
-	Kind     string           `json:"kind"`
-	BuildSec float64          `json:"index_build_sec"`
-	ExactSec float64          `json:"exact_session_sec"`
-	Points   []CandidatePoint `json:"points"`
+	Scale int    `json:"scale"`
+	Bags  int    `json:"bags"`
+	Kind  string `json:"kind"`
+	// Quant names the instance quantizer ("" = exact float probing).
+	Quant         string           `json:"quant,omitempty"`
+	BuildSec      float64          `json:"index_build_sec"`
+	QuantTrainSec float64          `json:"quantizer_train_sec,omitempty"`
+	ExactSec      float64          `json:"exact_session_sec"`
+	Memory        MemoryReport     `json:"memory"`
+	Points        []CandidatePoint `json:"points"`
+}
+
+// MaintenanceResult is one incremental-maintenance measurement: a
+// built index absorbs small whole-bag deltas via Update and the mean
+// delta cost is compared against a from-scratch rebuild.
+type MaintenanceResult struct {
+	Scale int    `json:"scale"`
+	Bags  int    `json:"bags"`
+	Kind  string `json:"kind"`
+	// FullBuildSec is a fresh Build over the starting catalog;
+	// DeltaApplyMeanSec is the mean Update cost across DeltaOps ops,
+	// each removing one bag and adding one unseen bag.
+	FullBuildSec      float64 `json:"full_build_sec"`
+	DeltaApplyMeanSec float64 `json:"delta_apply_mean_sec"`
+	DeltaOps          int     `json:"delta_ops"`
+	// Applies and Rebuilds are the index's own maintenance counters
+	// after the run: every delta must have applied incrementally.
+	Applies    uint64 `json:"applies"`
+	Rebuilds   uint64 `json:"rebuilds"`
+	Tombstones int    `json:"tombstones"`
+	// SpeedupVsRebuild is FullBuildSec / DeltaApplyMeanSec.
+	SpeedupVsRebuild float64 `json:"speedup_vs_rebuild"`
 }
 
 type stage struct {
@@ -102,7 +150,23 @@ type stage struct {
 func main() {
 	out := flag.String("o", "", "output path (default BENCH_<n>.json; '-' for stdout)")
 	only := flag.String("stage", "", "run a single stage by name")
+	maintOnly := flag.Bool("maint", false, "run only the incremental-maintenance benchmark (fast; used by the CI smoke)")
 	flag.Parse()
+
+	if *maintOnly {
+		maint, err := maintenanceBench(10)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		writeSnapshot(Snapshot{
+			Generated:   time.Now().UTC().Format(time.RFC3339),
+			GoVersion:   runtime.Version(),
+			NumCPU:      runtime.NumCPU(),
+			Maintenance: maint,
+		}, *out)
+		return
+	}
 
 	stages, err := buildStages(*only)
 	if err != nil {
@@ -146,15 +210,25 @@ func main() {
 			os.Exit(1)
 		}
 		snap.CandidateCurves = curves
+		maint, err := maintenanceBench(10)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		snap.Maintenance = maint
 	}
+	writeSnapshot(snap, *out)
+}
 
+// writeSnapshot marshals the snapshot to path ('-' = stdout, "" =
+// next free BENCH_<n>.json).
+func writeSnapshot(snap Snapshot, path string) {
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	path := *out
 	if path == "-" {
 		os.Stdout.Write(data)
 		return
@@ -491,13 +565,15 @@ func recallAt10(got, want []int) float64 {
 	return float64(hit) / float64(k)
 }
 
-// candidateCurves sweeps the candidate index across catalog scales,
-// index kinds, and pruning levels: the BENCH_4 acceptance evidence
-// that indexed sessions trade bounded recall loss for multiples of
-// session throughput.
+// candidateCurves sweeps the candidate index across catalog scales
+// (10×, 100×, 1000× the 48-VS demo catalog), index kinds,
+// quantization modes and pruning levels: the BENCH_5 acceptance
+// evidence that quantized probing with exact re-rank keeps recall@10
+// ≥ 0.9 while running sessions multiples faster than exact ranking,
+// in a fraction of the float64 probe storage.
 func candidateCurves() ([]CandidateCurve, error) {
 	var curves []CandidateCurve
-	for _, scale := range []int{10, 100} {
+	for _, scale := range []int{10, 100, 1000} {
 		rec, err := server.ScaledDemoRecord(1, scale)
 		if err != nil {
 			return nil, err
@@ -512,46 +588,135 @@ func candidateCurves() ([]CandidateCurve, error) {
 		if err != nil {
 			return nil, err
 		}
+		fmt.Fprintf(os.Stderr, "candidate %4dx (%d bags) exact session %7.1fms\n",
+			scale, n, exactDur.Seconds()*1e3)
+		quants := []index.QuantKind{index.QuantNone, index.QuantPQ}
 		for _, kind := range index.Kinds() {
-			t0 := time.Now()
-			bi, err := index.Build(db, kind, index.Options{})
-			if err != nil {
-				return nil, err
-			}
-			curve := CandidateCurve{
-				Scale: scale, Bags: n, Kind: string(kind),
-				BuildSec: time.Since(t0).Seconds(),
-				ExactSec: exactDur.Seconds(),
-			}
-			for _, c := range []int{n / 32, n / 16, n / 8, n / 4} {
-				if c < 1 {
-					continue
-				}
-				dur, recalls, err := runOracleSession(db, oracle, bi, c, true)
+			for _, quant := range quants {
+				t0 := time.Now()
+				bi, err := index.Build(db, kind, index.Options{Quant: quant})
 				if err != nil {
 					return nil, err
 				}
-				pt := CandidatePoint{C: c, SessionSec: dur.Seconds(), RecallMin: 1}
-				for _, r := range recalls {
-					pt.RecallMean += r
-					if r < pt.RecallMin {
-						pt.RecallMin = r
+				mem := bi.Memory()
+				curve := CandidateCurve{
+					Scale: scale, Bags: n, Kind: string(kind), Quant: string(quant),
+					BuildSec:      time.Since(t0).Seconds(),
+					QuantTrainSec: bi.TrainTime().Seconds(),
+					ExactSec:      exactDur.Seconds(),
+					Memory: MemoryReport{
+						Instances:       mem.Instances,
+						PointBytes:      mem.PointBytes,
+						CodebookBytes:   mem.CodebookBytes,
+						FloatBytes:      mem.FloatBytes,
+						BytesPerVS:      float64(mem.PointBytes+mem.CodebookBytes) / float64(n),
+						FloatBytesPerVS: float64(mem.FloatBytes) / float64(n),
+					},
+				}
+				if total := mem.PointBytes + mem.CodebookBytes; total > 0 {
+					curve.Memory.Compression = float64(mem.FloatBytes) / float64(total)
+				}
+				for _, c := range []int{n / 32, n / 8, n / 4} {
+					if c < 1 {
+						continue
 					}
+					dur, recalls, err := runOracleSession(db, oracle, bi, c, true)
+					if err != nil {
+						return nil, err
+					}
+					pt := CandidatePoint{C: c, SessionSec: dur.Seconds(), RecallMin: 1}
+					for _, r := range recalls {
+						pt.RecallMean += r
+						if r < pt.RecallMin {
+							pt.RecallMin = r
+						}
+					}
+					if len(recalls) > 0 {
+						pt.RecallMean /= float64(len(recalls))
+					}
+					if dur > 0 {
+						pt.Speedup = exactDur.Seconds() / dur.Seconds()
+					}
+					curve.Points = append(curve.Points, pt)
+					qname := string(quant)
+					if qname == "" {
+						qname = "float"
+					}
+					fmt.Fprintf(os.Stderr, "candidate %4dx %-6s %-6s C=%-5d recall@10 %.2f (min %.2f)  session %7.1fms  speedup %5.2fx\n",
+						scale, kind, qname, c, pt.RecallMean, pt.RecallMin, pt.SessionSec*1e3, pt.Speedup)
 				}
-				if len(recalls) > 0 {
-					pt.RecallMean /= float64(len(recalls))
-				}
-				if dur > 0 {
-					pt.Speedup = exactDur.Seconds() / dur.Seconds()
-				}
-				curve.Points = append(curve.Points, pt)
-				fmt.Fprintf(os.Stderr, "candidate %3dx %-6s C=%-5d recall@10 %.2f (min %.2f)  session %7.1fms  speedup %5.2fx\n",
-					scale, kind, c, pt.RecallMean, pt.RecallMin, pt.SessionSec*1e3, pt.Speedup)
+				curves = append(curves, curve)
 			}
-			curves = append(curves, curve)
 		}
 	}
 	return curves, nil
+}
+
+// maintenanceBench measures incremental index maintenance at the
+// given catalog scale: a built index absorbs 20 one-bag-out,
+// one-bag-in deltas through Update, and the mean delta cost is set
+// against a from-scratch rebuild. Every delta must take the
+// incremental path (Applies == DeltaOps, Rebuilds == 0) — the CI
+// smoke asserts exactly that on this output.
+func maintenanceBench(scale int) ([]MaintenanceResult, error) {
+	const deltaOps = 20
+	rec, err := server.ScaledDemoRecord(1, scale)
+	if err != nil {
+		return nil, err
+	}
+	// Unseen bags to insert, with indices clear of the catalog's.
+	extraRec, err := server.ScaledDemoRecord(2, 1)
+	if err != nil {
+		return nil, err
+	}
+	extra := extraRec.VSs
+	for i := range extra {
+		extra[i].Index = 1_000_000 + i
+	}
+	if len(extra) < deltaOps {
+		return nil, fmt.Errorf("maintenance bench needs %d spare bags, have %d", deltaOps, len(extra))
+	}
+
+	var out []MaintenanceResult
+	for _, kind := range index.Kinds() {
+		t0 := time.Now()
+		bi, err := index.Build(rec.VSs, kind, index.Options{})
+		if err != nil {
+			return nil, err
+		}
+		buildSec := time.Since(t0).Seconds()
+		db := append([]window.VS(nil), rec.VSs...)
+		var applyTotal time.Duration
+		for op := 0; op < deltaOps; op++ {
+			db = append(db[1:], extra[op])
+			t0 := time.Now()
+			res, err := bi.Update(db)
+			if err != nil {
+				return nil, err
+			}
+			applyTotal += time.Since(t0)
+			if res.Rebuilt {
+				return nil, fmt.Errorf("%s delta op %d fell back to a rebuild", kind, op)
+			}
+		}
+		m := bi.Maintenance()
+		r := MaintenanceResult{
+			Scale: scale, Bags: len(rec.VSs), Kind: string(kind),
+			FullBuildSec:      buildSec,
+			DeltaApplyMeanSec: applyTotal.Seconds() / deltaOps,
+			DeltaOps:          deltaOps,
+			Applies:           m.Applies,
+			Rebuilds:          m.Rebuilds,
+			Tombstones:        m.Tombstones,
+		}
+		if r.DeltaApplyMeanSec > 0 {
+			r.SpeedupVsRebuild = r.FullBuildSec / r.DeltaApplyMeanSec
+		}
+		fmt.Fprintf(os.Stderr, "maintenance %3dx %-6s build %6.1fms  delta apply %8.3fms (%d ops, %d tombstones)  %6.1fx vs rebuild\n",
+			scale, kind, r.FullBuildSec*1e3, r.DeltaApplyMeanSec*1e3, deltaOps, r.Tombstones, r.SpeedupVsRebuild)
+		out = append(out, r)
+	}
+	return out, nil
 }
 
 // benchErr runs fn b.N times, reporting allocations and failing on

@@ -42,6 +42,7 @@ type output struct {
 	TopK       int            `json:"topk"`
 	Index      string         `json:"index,omitempty"`
 	Candidates int            `json:"candidates,omitempty"`
+	Churn      bool           `json:"churn,omitempty"`
 	Report     *server.Report `json:"report"`
 }
 
@@ -58,16 +59,17 @@ func main() {
 	sessions := flag.Int("sessions", 32, "concurrent sessions")
 	rounds := flag.Int("rounds", 5, "rounds per session including the initial one")
 	topK := flag.Int("topk", 8, "results per round (0 = server default)")
+	churn := flag.Bool("churn", false, "interleave catalog ingests/removals with the query load (exercises incremental index maintenance)")
 	out := flag.String("o", "BENCH_3.json", "output path ('-' for stdout)")
 	flag.Parse()
 
-	if err := run(*url, *dbPath, *demo, *demoSeed, *demoScale, *clip, *engine, *indexKind, *candidates, *sessions, *rounds, *topK, *out); err != nil {
+	if err := run(*url, *dbPath, *demo, *demoSeed, *demoScale, *clip, *engine, *indexKind, *candidates, *sessions, *rounds, *topK, *churn, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, engine, indexKind string, candidates, sessions, rounds, topK int, out string) error {
+func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, engine, indexKind string, candidates, sessions, rounds, topK int, churn bool, out string) error {
 	var rec *videodb.ClipRecord
 	var err error
 	switch {
@@ -106,6 +108,7 @@ func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, eng
 		Index:      indexKind,
 		Candidates: candidates,
 		Judge:      judge,
+		Churn:      churn,
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: %d sessions × %d rounds against %s (clip %q)\n",
 		sessions, rounds, url, clip)
@@ -124,6 +127,7 @@ func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, eng
 		TopK:       topK,
 		Index:      indexKind,
 		Candidates: candidates,
+		Churn:      churn,
 		Report:     rep,
 	}
 	data, err := json.MarshalIndent(res, "", "  ")
@@ -146,6 +150,9 @@ func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, eng
 			fmt.Fprintf(os.Stderr, "loadgen:   %-8s p50 %6.2fms  p90 %6.2fms  p99 %6.2fms  max %6.2fms  (n=%d)\n",
 				op, st.P50Ms, st.P90Ms, st.P99Ms, st.MaxMs, st.Count)
 		}
+	}
+	if churn {
+		fmt.Fprintf(os.Stderr, "loadgen: churn applied %d catalog mutations during the run\n", rep.MutationsApplied)
 	}
 	if rep.DroppedRounds > 0 {
 		return fmt.Errorf("%d rounds dropped (first errors: %v)", rep.DroppedRounds, rep.Errors)

@@ -10,6 +10,8 @@
 //	serve -db db.gob -addr 127.0.0.1:0     # ephemeral port (printed)
 //	serve -demo -index ivf -candidates 64  # route sessions through the
 //	                                       # candidate index by default
+//	serve -demo -index vptree -quant pq    # quantize the index's probe
+//	                                       # structures (exact re-rank)
 //
 // The process drains in-flight re-ranks and exits cleanly on SIGINT /
 // SIGTERM.
@@ -42,6 +44,7 @@ type options struct {
 	ttl, timeout  time.Duration
 	workers, topK int
 	indexKind     string
+	quant         string
 	candidates    int
 	maxBody       int64
 	recover       bool
@@ -68,6 +71,7 @@ func main() {
 	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request ranking timeout")
 	flag.IntVar(&o.topK, "topk", 20, "default results per round")
 	flag.StringVar(&o.indexKind, "index", "", `default candidate index for sessions ("vptree", "ivf", or empty for exact)`)
+	flag.StringVar(&o.quant, "quant", "", `instance-feature quantization for candidate indexes ("scalar", "pq", or empty/"none" for exact float probing)`)
 	flag.IntVar(&o.candidates, "candidates", 64, "default candidate-set size C for indexed sessions")
 	flag.Int64Var(&o.maxBody, "max-body", 1<<20, "request-body size cap in bytes (413 beyond it)")
 	flag.BoolVar(&o.recover, "recover", false, "load -db in recovery mode, skipping corrupt records")
@@ -138,6 +142,7 @@ func run(o options) error {
 		DefaultTopK:       o.topK,
 		DefaultIndex:      o.indexKind,
 		DefaultCandidates: o.candidates,
+		Quant:             o.quant,
 		MaxBodyBytes:      o.maxBody,
 		Faults:            inj,
 	})

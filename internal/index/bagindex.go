@@ -3,7 +3,10 @@ package index
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
+	"milvideo/internal/kernel"
 	"milvideo/internal/window"
 )
 
@@ -48,6 +51,28 @@ type Options struct {
 	// min(instances, 2·C + 8) at probe time). Deeper probes improve
 	// bag recall when bags hold many instances.
 	PerProbeK int
+	// Quant selects a quantizer family for the instance store
+	// (default none: full float64 rows). Quantized probing is lossy
+	// only in the probe stage; the retrieval layer's exact re-rank
+	// rescores every candidate from uncompressed features.
+	Quant QuantKind
+	// Quantizer, when set, is adopted instead of training one (and
+	// Quant is ignored). Pre-training pins the reconstruction lattice,
+	// making separately built indexes directly comparable — the
+	// incremental equivalence tests share one quantizer across builds.
+	Quantizer Quantizer
+	// RebuildFraction is the churn ratio — instances inserted plus
+	// deleted since the last build, over the instance count at that
+	// build — beyond which Update rebuilds instead of applying another
+	// delta (default 0.25). Rebuilds compact tombstones and restore
+	// structure balance; the trained quantizer is reused, never
+	// retrained.
+	RebuildFraction float64
+	// TrainSamples forwards to IVFOptions.TrainSamples.
+	TrainSamples int
+	// Centroids forwards to IVFOptions.Centroids (pins the coarse
+	// partition across builds; primarily for equivalence tests).
+	Centroids [][]float64
 }
 
 // ProbeStats accounts one Candidates call (or an accumulation of
@@ -57,6 +82,51 @@ type ProbeStats struct {
 	DistEvals int
 }
 
+// MaintStats accounts a BagIndex's incremental-maintenance history.
+type MaintStats struct {
+	// Inserted and Deleted count instances applied as deltas (not
+	// counting instances placed by builds).
+	Inserted uint64
+	// Deleted counts tombstoned instances.
+	Deleted uint64
+	// Applies counts Update calls that applied a delta (including
+	// verified-unchanged no-ops); Rebuilds counts Update calls that
+	// crossed the churn threshold and rebuilt instead.
+	Applies  uint64
+	Rebuilds uint64
+	// Tombstones is the current deleted-but-resident instance count
+	// (compacted to zero by the next rebuild).
+	Tombstones int
+}
+
+// MemoryStats accounts the index's resident instance storage.
+type MemoryStats struct {
+	// Instances is the stored instance count (tombstones included —
+	// they stay resident until a rebuild compacts them).
+	Instances int
+	// PointBytes is the resident instance store: packed codes when
+	// quantized, the float block otherwise.
+	PointBytes int
+	// CodebookBytes is the trained quantizer's resident size (zero
+	// unquantized).
+	CodebookBytes int
+	// FloatBytes is what a float64 store of the same instances would
+	// hold (8·dim·Instances) — the baseline the compression ratio is
+	// measured against.
+	FloatBytes int
+}
+
+// UpdateResult reports what one Update call did.
+type UpdateResult struct {
+	// Inserted and Deleted count the instances applied as a delta
+	// (both zero for a verified-unchanged database).
+	Inserted int
+	Deleted  int
+	// Rebuilt reports that churn crossed the rebuild threshold and
+	// the structures were rebuilt instead of amended.
+	Rebuilt bool
+}
+
 // BagIndex is a candidate index over a VS database: every TS instance
 // vector of every bag is indexed (by the configured Kind), and probe
 // hits aggregate back to the owning bag by max-instance similarity —
@@ -64,15 +134,40 @@ type ProbeStats struct {
 // same "most eventful instance speaks for the bag" rule the MIL
 // ranking itself applies (BagScore maximizes the decision value over
 // instances).
+//
+// A BagIndex is mutable through Update and safe for concurrent use:
+// probes share a read lock while Update holds the write lock. The
+// database passed to Update is diffed against the indexed one by
+// VS.Index under the videodb record-immutability contract — a VS
+// keeps its feature content for as long as it keeps its index.
 type BagIndex struct {
-	kind  Kind
-	opt   Options
-	bags  int
-	dim   int
-	pts   [][]float64
-	owner []int // pts[i] belongs to db[owner[i]]
-	vp    *VPTree
-	ivf   *IVF
+	mu   sync.RWMutex
+	kind Kind
+	opt  Options
+	qz   Quantizer
+	// trainTime is the quantizer training cost (zero when adopted
+	// pre-trained or unquantized). Set once: rebuilds reuse the
+	// trained quantizer.
+	trainTime time.Duration
+	bags      int
+	dim       int
+	vp        *VPTree
+	ivf       *IVF
+	// owner maps instance id → bag position in the current database
+	// (stale entries for tombstoned ids are never read: searches skip
+	// dead points). byVS maps VS.Index → its live instance ids.
+	owner []int
+	byVS  map[int][]int
+	// Churn accounting: deltas since the last build, the instance
+	// count at that build (the rebuild threshold's denominator), and
+	// the lifetime counters MaintStats reports.
+	churn     int
+	baseline  int
+	inserted  uint64
+	deleted   uint64
+	applies   uint64
+	rebuilds  uint64
+	scratches sync.Pool
 }
 
 // Build indexes the instance vectors of db. Empty VSs contribute no
@@ -83,44 +178,289 @@ func Build(db []window.VS, kind Kind, opt Options) (*BagIndex, error) {
 	if _, err := ParseKind(string(kind)); err != nil {
 		return nil, err
 	}
-	bi := &BagIndex{kind: kind, opt: opt, bags: len(db), dim: -1}
-	for pos, vs := range db {
-		for _, ts := range vs.TSs {
-			flat := ts.Flat()
-			if bi.dim == -1 {
-				bi.dim = len(flat)
-			} else if len(flat) != bi.dim {
-				return nil, fmt.Errorf("%w: VS %d instance has dim %d, want %d",
-					ErrDim, vs.Index, len(flat), bi.dim)
-			}
-			bi.pts = append(bi.pts, flat)
-			bi.owner = append(bi.owner, pos)
-		}
+	if _, err := ParseQuantKind(string(opt.Quant)); err != nil {
+		return nil, err
 	}
-	if len(bi.pts) == 0 {
-		return bi, nil
+	if opt.RebuildFraction <= 0 {
+		opt.RebuildFraction = 0.25
 	}
-	var err error
-	switch kind {
-	case KindVPTree:
-		bi.vp, err = BuildVPTree(bi.pts, VPOptions{LeafSize: opt.LeafSize, Seed: opt.Seed})
-	case KindIVF:
-		bi.ivf, err = BuildIVF(bi.pts, IVFOptions{Clusters: opt.Clusters, Iters: opt.Iters, Seed: opt.Seed})
-	}
-	if err != nil {
+	bi := &BagIndex{kind: kind, opt: opt, qz: opt.Quantizer, dim: -1}
+	bi.scratches.New = func() any { return NewScratch() }
+	if err := bi.rebuildLocked(db); err != nil {
 		return nil, err
 	}
 	return bi, nil
 }
 
+// flatten extracts db's instance vectors, owners and VS mapping,
+// validating dimensions against dim (-1 adopts the first instance's).
+func flatten(db []window.VS, dim int) (pts [][]float64, owner []int, byVS map[int][]int, outDim int, err error) {
+	byVS = make(map[int][]int, len(db))
+	for pos, vs := range db {
+		for _, ts := range vs.TSs {
+			flat := ts.Flat()
+			if dim == -1 {
+				dim = len(flat)
+			} else if len(flat) != dim {
+				return nil, nil, nil, dim, fmt.Errorf("%w: VS %d instance has dim %d, want %d",
+					ErrDim, vs.Index, len(flat), dim)
+			}
+			byVS[vs.Index] = append(byVS[vs.Index], len(pts))
+			pts = append(pts, flat)
+			owner = append(owner, pos)
+		}
+	}
+	return pts, owner, byVS, dim, nil
+}
+
+// rebuildLocked (re)constructs the structures from db. Callers hold
+// the write lock (or own the index exclusively, as Build does). The
+// quantizer is trained on the first build that has instances and
+// reused ever after, so rebuilds never shift the reconstruction
+// lattice under live sessions.
+func (bi *BagIndex) rebuildLocked(db []window.VS) error {
+	pts, owner, byVS, dim, err := flatten(db, -1)
+	if err != nil {
+		return err
+	}
+	if bi.dim != -1 && dim != -1 && dim != bi.dim {
+		return fmt.Errorf("%w: database dim %d, index dim %d", ErrDim, dim, bi.dim)
+	}
+	if dim == -1 {
+		dim = bi.dim
+	}
+	if bi.qz == nil && bi.opt.Quant != QuantNone && len(pts) > 0 {
+		blk, err := kernel.FeatureBlockFromRows(pts)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		bi.qz, err = TrainQuantizer(bi.opt.Quant, blk, bi.opt.Seed)
+		if err != nil {
+			return err
+		}
+		bi.trainTime = time.Since(start)
+	}
+	if bi.qz != nil && dim != -1 && bi.qz.Dim() != dim {
+		return fmt.Errorf("%w: quantizer dim %d, database dim %d", ErrDim, bi.qz.Dim(), dim)
+	}
+	var vp *VPTree
+	var ivf *IVF
+	if len(pts) > 0 {
+		switch bi.kind {
+		case KindVPTree:
+			vp, err = BuildVPTree(pts, VPOptions{
+				LeafSize: bi.opt.LeafSize, Seed: bi.opt.Seed, Quantizer: bi.qz,
+			})
+		case KindIVF:
+			ivf, err = BuildIVF(pts, IVFOptions{
+				Clusters: bi.opt.Clusters, Iters: bi.opt.Iters, Seed: bi.opt.Seed,
+				TrainSamples: bi.opt.TrainSamples, Centroids: bi.opt.Centroids,
+				Quantizer: bi.qz,
+			})
+		}
+		if err != nil {
+			return err
+		}
+	}
+	bi.vp, bi.ivf = vp, ivf
+	bi.bags, bi.dim = len(db), dim
+	bi.owner, bi.byVS = owner, byVS
+	bi.churn, bi.baseline = 0, len(pts)
+	return nil
+}
+
 // Kind reports the underlying structure.
 func (bi *BagIndex) Kind() Kind { return bi.kind }
 
-// Bags reports the database size the index was built over.
-func (bi *BagIndex) Bags() int { return bi.bags }
+// QuantName reports the trained quantizer ("" when unquantized).
+func (bi *BagIndex) QuantName() string {
+	if bi.qz == nil {
+		return ""
+	}
+	return bi.qz.Name()
+}
 
-// Instances reports the indexed instance count.
-func (bi *BagIndex) Instances() int { return len(bi.pts) }
+// TrainTime reports the quantizer training cost (zero when adopted
+// pre-trained or unquantized).
+func (bi *BagIndex) TrainTime() time.Duration { return bi.trainTime }
+
+// Bags reports the database size the index currently covers.
+func (bi *BagIndex) Bags() int {
+	bi.mu.RLock()
+	defer bi.mu.RUnlock()
+	return bi.bags
+}
+
+// Instances reports the live indexed instance count.
+func (bi *BagIndex) Instances() int {
+	bi.mu.RLock()
+	defer bi.mu.RUnlock()
+	return bi.liveLocked()
+}
+
+func (bi *BagIndex) liveLocked() int {
+	switch {
+	case bi.vp != nil:
+		return bi.vp.Live()
+	case bi.ivf != nil:
+		return bi.ivf.Live()
+	}
+	return 0
+}
+
+func (bi *BagIndex) storedLocked() int {
+	switch {
+	case bi.vp != nil:
+		return bi.vp.Len()
+	case bi.ivf != nil:
+		return bi.ivf.Len()
+	}
+	return 0
+}
+
+// Maintenance reports the incremental-maintenance counters.
+func (bi *BagIndex) Maintenance() MaintStats {
+	bi.mu.RLock()
+	defer bi.mu.RUnlock()
+	m := MaintStats{
+		Inserted: bi.inserted, Deleted: bi.deleted,
+		Applies: bi.applies, Rebuilds: bi.rebuilds,
+	}
+	switch {
+	case bi.vp != nil:
+		m.Tombstones = bi.vp.Tombstones()
+	case bi.ivf != nil:
+		m.Tombstones = bi.ivf.Tombstones()
+	}
+	return m
+}
+
+// Memory reports the resident instance storage (see MemoryStats).
+func (bi *BagIndex) Memory() MemoryStats {
+	bi.mu.RLock()
+	defer bi.mu.RUnlock()
+	m := MemoryStats{Instances: bi.storedLocked()}
+	switch {
+	case bi.vp != nil:
+		m.PointBytes = bi.vp.PointBytes()
+	case bi.ivf != nil:
+		m.PointBytes = bi.ivf.PointBytes()
+	}
+	if bi.qz != nil {
+		m.CodebookBytes = bi.qz.Bytes()
+	}
+	if bi.dim > 0 {
+		m.FloatBytes = 8 * bi.dim * m.Instances
+	}
+	return m
+}
+
+// Update brings the index in line with newDB, diffing by VS.Index:
+// instances of departed VSs are tombstoned, instances of new VSs are
+// inserted in place, and surviving bags are re-mapped to their new
+// positions — no rebuild, unless accumulated churn since the last
+// build exceeds Options.RebuildFraction of the instance count at that
+// build, in which case the structures are rebuilt (compacting
+// tombstones) with the same trained quantizer. Under the videodb
+// record-immutability contract a surviving VS.Index implies unchanged
+// feature content; callers replacing content under a reused index
+// must rebuild instead (the server detects this case by backing-array
+// identity and constructs a fresh index).
+//
+// After Update, probes return exactly what a fresh build over newDB
+// would return (given the same quantizer and, for IVF, the same
+// coarse centroids).
+func (bi *BagIndex) Update(newDB []window.VS) (UpdateResult, error) {
+	bi.mu.Lock()
+	defer bi.mu.Unlock()
+	var res UpdateResult
+
+	// Diff: departed VSs and their instance ids, arriving VSs.
+	inNew := make(map[int]bool, len(newDB))
+	for _, vs := range newDB {
+		inNew[vs.Index] = true
+	}
+	var delIDs []int
+	for vsIdx, ids := range bi.byVS {
+		if !inNew[vsIdx] {
+			delIDs = append(delIDs, ids...)
+		}
+	}
+	var added []window.VS
+	for _, vs := range newDB {
+		if _, ok := bi.byVS[vs.Index]; !ok {
+			added = append(added, vs)
+		}
+	}
+	// Validate the arriving instances before mutating anything.
+	addPts, _, addByVS, dim, err := flatten(added, bi.dim)
+	if err != nil {
+		return res, err
+	}
+	res.Inserted, res.Deleted = len(addPts), len(delIDs)
+
+	structure := bi.vp != nil || bi.ivf != nil
+	threshold := int(bi.opt.RebuildFraction * float64(bi.baseline))
+	if !structure || (bi.qz != nil && dim != -1 && bi.qz.Dim() != dim) ||
+		bi.churn+len(addPts)+len(delIDs) > threshold {
+		// Over-threshold churn (or no structure to amend yet): rebuild
+		// from newDB, compacting tombstones. The quantizer survives.
+		if err := bi.rebuildLocked(newDB); err != nil {
+			return res, err
+		}
+		bi.rebuilds++
+		res.Rebuilt = true
+		return res, nil
+	}
+
+	// Delta-apply: tombstone departures, thread in arrivals.
+	for _, id := range delIDs {
+		switch bi.kind {
+		case KindVPTree:
+			bi.vp.Delete(id)
+		case KindIVF:
+			bi.ivf.Delete(id)
+		}
+	}
+	for vsIdx, addIdx := range addByVS {
+		ids := make([]int, 0, len(addIdx))
+		for _, ai := range addIdx {
+			var id int
+			switch bi.kind {
+			case KindVPTree:
+				id = bi.vp.Insert(addPts[ai])
+			case KindIVF:
+				id = bi.ivf.Insert(addPts[ai])
+			}
+			ids = append(ids, id)
+			for id >= len(bi.owner) {
+				bi.owner = append(bi.owner, -1)
+			}
+		}
+		bi.byVS[vsIdx] = ids
+	}
+	for vsIdx := range bi.byVS {
+		if !inNew[vsIdx] {
+			delete(bi.byVS, vsIdx)
+		}
+	}
+	// Re-map every surviving bag to its position in newDB.
+	for pos, vs := range newDB {
+		for _, id := range bi.byVS[vs.Index] {
+			bi.owner[id] = pos
+		}
+	}
+	bi.bags = len(newDB)
+	if bi.dim == -1 {
+		bi.dim = dim
+	}
+	bi.churn += len(addPts) + len(delIDs)
+	bi.inserted += uint64(len(addPts))
+	bi.deleted += uint64(len(delIDs))
+	bi.applies++
+	return res, nil
+}
 
 // Candidates probes the index with each query vector and returns up
 // to c candidate bag positions, best first: bags are scored by the
@@ -128,8 +468,11 @@ func (bi *BagIndex) Instances() int { return len(bi.pts) }
 // (max-instance aggregation), ties broken by ascending position.
 // Probes whose dimension does not match the index are skipped.
 func (bi *BagIndex) Candidates(probes [][]float64, c int) ([]int, ProbeStats) {
+	bi.mu.RLock()
+	defer bi.mu.RUnlock()
 	var stats ProbeStats
-	if c <= 0 || len(bi.pts) == 0 {
+	live := bi.liveLocked()
+	if c <= 0 || live == 0 {
 		return nil, stats
 	}
 	k := bi.opt.PerProbeK
@@ -139,10 +482,16 @@ func (bi *BagIndex) Candidates(probes [][]float64, c int) ([]int, ProbeStats) {
 		// probes cheap without starving the aggregation.
 		k = c + 16
 	}
-	if k > len(bi.pts) {
-		k = len(bi.pts)
+	if k > live {
+		k = live
 	}
-	best := make(map[int]float64, 2*c)
+	sc := bi.scratches.Get().(*Scratch)
+	defer bi.scratches.Put(sc)
+	if sc.bags == nil {
+		sc.bags = make(map[int]float64, 2*c)
+	}
+	clear(sc.bags)
+	best := sc.bags
 	for _, q := range probes {
 		if len(q) != bi.dim {
 			continue
@@ -152,7 +501,7 @@ func (bi *BagIndex) Candidates(probes [][]float64, c int) ([]int, ProbeStats) {
 		var evals int
 		switch bi.kind {
 		case KindVPTree:
-			hits, evals = bi.vp.KNNBounded(q, k, bi.opt.MaxEvals)
+			hits, evals = bi.vp.KNNScratch(q, k, bi.opt.MaxEvals, sc)
 		case KindIVF:
 			nprobe := bi.opt.NProbe
 			if nprobe <= 0 {
@@ -164,7 +513,7 @@ func (bi *BagIndex) Candidates(probes [][]float64, c int) ([]int, ProbeStats) {
 					nprobe = 2
 				}
 			}
-			hits, evals = bi.ivf.Search(q, k, nprobe)
+			hits, evals = bi.ivf.SearchScratch(q, k, nprobe, sc)
 		}
 		stats.DistEvals += evals
 		for _, h := range hits {
@@ -174,7 +523,7 @@ func (bi *BagIndex) Candidates(probes [][]float64, c int) ([]int, ProbeStats) {
 			}
 		}
 	}
-	order := make([]int, 0, len(best))
+	order := sc.order[:0]
 	for bag := range best {
 		order = append(order, bag)
 	}
@@ -185,8 +534,10 @@ func (bi *BagIndex) Candidates(probes [][]float64, c int) ([]int, ProbeStats) {
 		}
 		return order[a] < order[b]
 	})
+	sc.order = order
 	if c < len(order) {
 		order = order[:c]
 	}
-	return order, stats
+	// The scratch's order buffer is recycled; hand the caller a copy.
+	return append([]int(nil), order...), stats
 }

@@ -16,11 +16,21 @@ import (
 // cost is O(clusters) centroid distances plus the scanned lists'
 // points; with clusters ≈ √n and nprobe ≪ clusters that is sublinear
 // in n.
+//
+// Point storage is columnar: a kernel.FeatureBlock of float rows, or
+// — with a Quantizer — a packed code buffer scanned through per-query
+// ADC tables (IVFADC: coarse lists probed with asymmetric distances).
+// List membership is always decided on the original float vector, at
+// build and at Insert alike, so incremental growth lands points in
+// exactly the lists a fresh build over the same centroids would.
 type IVF struct {
-	pts       [][]float64
+	blk       *kernel.FeatureBlock // float rows (nil when quantized)
+	codes     *codeStore           // packed codes (nil when unquantized)
 	dim       int
 	centroids [][]float64
 	lists     [][]int // point indices per centroid, ascending
+	dead      []bool
+	live      int
 }
 
 // IVFOptions tunes construction.
@@ -34,6 +44,21 @@ type IVFOptions struct {
 	// Seed drives the k-means++ initialization (default 1). Identical
 	// seeds yield identical indexes.
 	Seed int64
+	// TrainSamples caps the points the coarse k-means trains on
+	// (default 8192); larger sets are stride-subsampled
+	// deterministically. The list-assignment pass always covers every
+	// point.
+	TrainSamples int
+	// Centroids, when set, skips k-means and adopts these coarse
+	// centroids verbatim (deep-copied; Clusters/Iters/Seed are
+	// ignored). This pins the coarse partition, making builds over
+	// different point sets directly comparable — the incremental
+	// equivalence tests rebuild over survivors with the original
+	// centroids.
+	Centroids [][]float64
+	// Quantizer, when set, stores CodeLen-byte codes instead of float
+	// rows; list scans measure through per-query ADC tables.
+	Quantizer Quantizer
 }
 
 func (o IVFOptions) withDefaults(n int) IVFOptions {
@@ -52,11 +77,14 @@ func (o IVFOptions) withDefaults(n int) IVFOptions {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.TrainSamples <= 0 {
+		o.TrainSamples = 8192
+	}
 	return o
 }
 
-// BuildIVF constructs the index over pts. The slice is retained (not
-// copied); callers must not mutate the vectors afterwards.
+// BuildIVF constructs the index over pts (copied into the index's
+// columnar store; the input slice is not retained).
 func BuildIVF(pts [][]float64, opt IVFOptions) (*IVF, error) {
 	if len(pts) == 0 {
 		return nil, ErrNoPoints
@@ -68,14 +96,67 @@ func BuildIVF(pts [][]float64, opt IVFOptions) (*IVF, error) {
 		}
 	}
 	opt = opt.withDefaults(len(pts))
-	centroids := kmeansPP(pts, opt.Clusters, opt.Iters, opt.Seed)
-	f := &IVF{pts: pts, dim: dim, centroids: centroids, lists: make([][]int, len(centroids))}
+	if opt.Quantizer != nil && opt.Quantizer.Dim() != dim {
+		return nil, fmt.Errorf("%w: quantizer dim %d, points dim %d", ErrDim, opt.Quantizer.Dim(), dim)
+	}
+	var centroids [][]float64
+	if len(opt.Centroids) > 0 {
+		centroids = make([][]float64, len(opt.Centroids))
+		for i, c := range opt.Centroids {
+			if len(c) != dim {
+				return nil, fmt.Errorf("%w: centroid %d has dim %d, want %d", ErrDim, i, len(c), dim)
+			}
+			centroids[i] = clone(c)
+		}
+	} else {
+		centroids = kmeansPP(subsample(pts, opt.TrainSamples), opt.Clusters, opt.Iters, opt.Seed)
+	}
+	f := &IVF{
+		dim:       dim,
+		centroids: centroids,
+		lists:     make([][]int, len(centroids)),
+		dead:      make([]bool, len(pts)),
+		live:      len(pts),
+	}
+	if qz := opt.Quantizer; qz != nil {
+		f.codes = newCodeStore(qz, len(pts))
+		for _, p := range pts {
+			f.codes.add(p)
+		}
+	} else {
+		blk, err := kernel.FeatureBlockFromRows(pts)
+		if err != nil {
+			return nil, err
+		}
+		f.blk = blk
+	}
 	for i := range pts {
 		c := nearestCentroid(centroids, pts[i])
 		f.lists[c] = append(f.lists[c], i)
 	}
 	return f, nil
 }
+
+// subsample returns a deterministic stride subsample of at most limit
+// points (the input itself when it already fits).
+func subsample(pts [][]float64, limit int) [][]float64 {
+	if len(pts) <= limit {
+		return pts
+	}
+	stride := len(pts) / limit
+	out := make([][]float64, 0, limit+1)
+	for i := 0; i < len(pts); i += stride {
+		out = append(out, pts[i])
+	}
+	return out
+}
+
+// kmeansFastThreshold is the point count beyond which Lloyd
+// assignment switches to the columnar unrolled kernel: training
+// output feeds nothing that demands bitwise identity with the serial
+// path, so large builds take the throughput variant while small
+// (test-pinned) builds keep their historical results.
+const kmeansFastThreshold = 2048
 
 // kmeansPP runs seeded k-means++ initialization followed by Lloyd
 // iterations. Deterministic: the rng is seeded, assignment ties break
@@ -123,17 +204,56 @@ func kmeansPP(pts [][]float64, k, iters int, seed int64) [][]float64 {
 		}
 	}
 
+	// Columnar view for the fast assignment path on large inputs.
+	var blk *kernel.FeatureBlock
+	var fastD []float64
+	var fastBest []float64
+	if len(pts) >= kmeansFastThreshold {
+		if b, err := kernel.FeatureBlockFromRows(pts); err == nil {
+			blk = b
+			fastD = make([]float64, len(pts))
+			fastBest = make([]float64, len(pts))
+		}
+	}
+
 	assign := make([]int, len(pts))
 	for i := range assign {
 		assign[i] = -1
 	}
 	for it := 0; it < iters; it++ {
 		changed := false
-		for i, p := range pts {
-			c := nearestCentroid(centroids, p)
-			if c != assign[i] {
-				assign[i] = c
-				changed = true
+		if blk != nil {
+			// Centroid-major sweep: one unrolled streaming pass per
+			// centroid, argmin per point with ties to the lowest
+			// centroid index (strict < against earlier centroids).
+			best := fastBest[:len(pts)]
+			bestIdx := make([]int, len(pts))
+			for c := range centroids {
+				blk.SquaredDistsToFast(centroids[c], fastD)
+				if c == 0 {
+					copy(best, fastD)
+					continue
+				}
+				for i, d := range fastD {
+					if d < best[i] {
+						best[i] = d
+						bestIdx[i] = c
+					}
+				}
+			}
+			for i, c := range bestIdx {
+				if c != assign[i] {
+					assign[i] = c
+					changed = true
+				}
+			}
+		} else {
+			for i, p := range pts {
+				c := nearestCentroid(centroids, p)
+				if c != assign[i] {
+					assign[i] = c
+					changed = true
+				}
 			}
 		}
 		if !changed {
@@ -186,19 +306,95 @@ func nearestCentroid(centroids [][]float64, p []float64) int {
 	return best
 }
 
-// Len reports the indexed point count.
-func (f *IVF) Len() int { return len(f.pts) }
+// Len reports the stored point count, tombstones included.
+func (f *IVF) Len() int {
+	if f.codes != nil {
+		return f.codes.len()
+	}
+	return f.blk.Len()
+}
+
+// Live reports the non-tombstoned point count.
+func (f *IVF) Live() int { return f.live }
+
+// Tombstones reports the deleted-but-resident point count.
+func (f *IVF) Tombstones() int { return f.Len() - f.live }
 
 // Clusters reports the coarse codebook size.
 func (f *IVF) Clusters() int { return len(f.centroids) }
+
+// Centroids returns a deep copy of the coarse centroids (for
+// reproducible rebuilds).
+func (f *IVF) Centroids() [][]float64 {
+	out := make([][]float64, len(f.centroids))
+	for i, c := range f.centroids {
+		out[i] = clone(c)
+	}
+	return out
+}
+
+// PointBytes reports the resident bytes of the point store (codes or
+// float rows; centroids and the shared codebook are accounted by the
+// owner).
+func (f *IVF) PointBytes() int {
+	if f.codes != nil {
+		return f.codes.bytes()
+	}
+	return f.blk.Bytes()
+}
+
+// Insert appends v to the list of its nearest centroid — the same
+// float-vector assignment rule the build applies, so the grown index
+// is list-for-list identical to a fresh build over the extended point
+// set (given the same centroids). Returns the new point's index, or
+// -1 on dimension mismatch.
+func (f *IVF) Insert(v []float64) int {
+	if len(v) != f.dim {
+		return -1
+	}
+	var id int
+	if f.codes != nil {
+		id = f.codes.add(v)
+	} else {
+		id = f.blk.Append(v)
+	}
+	f.dead = append(f.dead, false)
+	f.live++
+	c := nearestCentroid(f.centroids, v)
+	// Appended ids exceed every stored id, so the list stays
+	// ascending.
+	f.lists[c] = append(f.lists[c], id)
+	return id
+}
+
+// Delete tombstones point id: it stays resident in its list but no
+// search returns it. Reports whether the id was live.
+func (f *IVF) Delete(id int) bool {
+	if id < 0 || id >= len(f.dead) || f.dead[id] {
+		return false
+	}
+	f.dead[id] = true
+	f.live--
+	return true
+}
 
 // Search returns the k nearest neighbors of q found in the nprobe
 // lists whose centroids are closest, in ascending distance (ties by
 // ascending index), plus the number of distance evaluations spent
 // (centroids + scanned points). nprobe is clamped to [1, Clusters];
-// nprobe == Clusters makes the search exact.
+// nprobe == Clusters makes the search exact over the live points.
 func (f *IVF) Search(q []float64, k, nprobe int) ([]Neighbor, int) {
-	if k <= 0 || len(q) != f.dim {
+	return f.search(q, k, nprobe, nil)
+}
+
+// SearchScratch is Search with caller-owned probe buffers: the
+// returned slice aliases sc and is valid until sc's next use.
+func (f *IVF) SearchScratch(q []float64, k, nprobe int, sc *Scratch) ([]Neighbor, int) {
+	return f.search(q, k, nprobe, sc)
+}
+
+func (f *IVF) search(q []float64, k, nprobe int, sc *Scratch) ([]Neighbor, int) {
+	if k <= 0 || len(q) != f.dim || f.live == 0 {
 		return nil, 0
 	}
 	if nprobe < 1 {
@@ -208,10 +404,13 @@ func (f *IVF) Search(q []float64, k, nprobe int) ([]Neighbor, int) {
 		nprobe = len(f.centroids)
 	}
 	evals := 0
-	order := make([]Neighbor, len(f.centroids))
+	var order []Neighbor
+	if sc != nil {
+		order = sc.cord[:0]
+	}
 	for c, cen := range f.centroids {
 		evals++
-		order[c] = Neighbor{Idx: c, Dist: kernel.SquaredDistance(q, cen)}
+		order = append(order, Neighbor{Idx: c, Dist: kernel.SquaredDistance(q, cen)})
 	}
 	sort.Slice(order, func(a, b int) bool {
 		if order[a].Dist != order[b].Dist {
@@ -219,11 +418,31 @@ func (f *IVF) Search(q []float64, k, nprobe int) ([]Neighbor, int) {
 		}
 		return order[a].Idx < order[b].Idx
 	})
+	var tab []float64
+	if f.codes != nil {
+		if sc != nil {
+			tab = sc.adcTab(f.codes.qz, q)
+		} else {
+			tab = make([]float64, f.codes.qz.TabLen())
+			f.codes.qz.FillADC(q, tab)
+		}
+	}
 	var res []Neighbor
+	if sc != nil {
+		res = sc.res[:0]
+	}
 	for _, cn := range order[:nprobe] {
 		for _, idx := range f.lists[cn.Idx] {
+			if f.dead[idx] {
+				continue
+			}
 			evals++
-			d := math.Sqrt(kernel.SquaredDistance(q, f.pts[idx]))
+			var d float64
+			if f.codes != nil {
+				d = math.Sqrt(f.codes.qz.ADCDist(tab, f.codes.at(idx)))
+			} else {
+				d = math.Sqrt(f.blk.SquaredDistTo(idx, q))
+			}
 			res = append(res, Neighbor{Idx: idx, Dist: d})
 		}
 	}
@@ -233,6 +452,10 @@ func (f *IVF) Search(q []float64, k, nprobe int) ([]Neighbor, int) {
 		}
 		return res[a].Idx < res[b].Idx
 	})
+	if sc != nil {
+		sc.cord = order[:0]
+		sc.res = res // return grown buffer to the scratch
+	}
 	if k < len(res) {
 		res = res[:k]
 	}

@@ -13,6 +13,14 @@
 // function of — so "near in the index" and "high kernel similarity"
 // agree exactly. All construction and search paths are deterministic
 // given the build seed, with ties broken by ascending point index.
+//
+// Storage is columnar: point vectors live in one kernel.FeatureBlock
+// (or, with a Quantizer, one packed code buffer), so probe scans
+// stream contiguous memory. Both structures also support incremental
+// maintenance — Insert appends a point, Delete tombstones one — with
+// searches over the mutated structure returning exactly what a fresh
+// build over the surviving points would (the BagIndex layers a
+// rebuild threshold on top so tombstones never accumulate unbounded).
 package index
 
 import (
@@ -40,17 +48,62 @@ type Neighbor struct {
 	Dist float64
 }
 
-// VPTree is a vantage-point tree over a fixed point set: a binary
-// metric tree where each node splits its subset by the median
-// distance to a vantage point, enabling triangle-inequality pruning.
-// Build is O(n log n) distance evaluations; an exact k-NN visits a
-// small fraction of the points when the intrinsic dimension is
-// moderate (the 9–27-dim TS feature vectors here).
+// Scratch holds per-query probe buffers (ADC tables, result heaps,
+// aggregation maps) so repeated probes allocate nothing. A Scratch
+// belongs to one search at a time; results returned by the
+// scratch-accepting searches alias its buffers and must be consumed
+// before the next search reuses it.
+type Scratch struct {
+	tab   []float64
+	best  []Neighbor
+	cord  []Neighbor
+	res   []Neighbor
+	bags  map[int]float64
+	order []int
+}
+
+// NewScratch returns an empty scratch; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// adcTab returns the scratch's ADC table sized for qz, filled for q.
+func (sc *Scratch) adcTab(qz Quantizer, q []float64) []float64 {
+	n := qz.TabLen()
+	if cap(sc.tab) < n {
+		sc.tab = make([]float64, n)
+	}
+	sc.tab = sc.tab[:n]
+	qz.FillADC(q, sc.tab)
+	return sc.tab
+}
+
+// VPTree is a vantage-point tree over a point set: a binary metric
+// tree where each node splits its subset by the median distance to a
+// vantage point, enabling triangle-inequality pruning. Build is
+// O(n log n) distance evaluations; an exact k-NN visits a small
+// fraction of the points when the intrinsic dimension is moderate
+// (the 9–27-dim TS feature vectors here).
+//
+// With a Quantizer the tree indexes the quantized reconstructions:
+// codes replace the float rows (CodeLen bytes per point instead of
+// 8·dim), radii are measured between reconstructions, and searches
+// measure through the per-query ADC table. Since the reconstructions
+// form an ordinary point set under the Euclidean metric, pruning
+// stays sound and searches stay exact — over the reconstructed
+// points; the quantization displacement is the only approximation,
+// and the retrieval layer's exact MIL re-rank absorbs it.
+//
+// Insert appends a point and threads it into the existing splits
+// (radii never move, so the tree stays search-exact at the cost of
+// gradually loosening balance); Delete tombstones one. The tree is
+// not internally synchronized — BagIndex serializes mutation.
 type VPTree struct {
-	pts   [][]float64
+	blk   *kernel.FeatureBlock // float rows (nil when quantized)
+	codes *codeStore           // packed codes (nil when unquantized)
 	dim   int
 	nodes []vpNode
 	root  int32
+	dead  []bool
+	live  int
 }
 
 // vpNode is one tree node. Leaves hold their points inline; inner
@@ -71,6 +124,9 @@ type VPOptions struct {
 	// Seed drives vantage-point selection (default 1). Any seed yields
 	// a correct tree; the seed only shapes balance.
 	Seed int64
+	// Quantizer, when set, stores CodeLen-byte codes instead of float
+	// rows and builds the tree over their reconstructions.
+	Quantizer Quantizer
 }
 
 func (o VPOptions) withDefaults() VPOptions {
@@ -83,8 +139,8 @@ func (o VPOptions) withDefaults() VPOptions {
 	return o
 }
 
-// BuildVPTree constructs the tree over pts. The slice is retained
-// (not copied); callers must not mutate the vectors afterwards.
+// BuildVPTree constructs the tree over pts (copied into the tree's
+// columnar store; the input slice is not retained).
 func BuildVPTree(pts [][]float64, opt VPOptions) (*VPTree, error) {
 	if len(pts) == 0 {
 		return nil, ErrNoPoints
@@ -96,7 +152,22 @@ func BuildVPTree(pts [][]float64, opt VPOptions) (*VPTree, error) {
 		}
 	}
 	opt = opt.withDefaults()
-	t := &VPTree{pts: pts, dim: dim}
+	if opt.Quantizer != nil && opt.Quantizer.Dim() != dim {
+		return nil, fmt.Errorf("%w: quantizer dim %d, points dim %d", ErrDim, opt.Quantizer.Dim(), dim)
+	}
+	t := &VPTree{dim: dim, dead: make([]bool, len(pts)), live: len(pts)}
+	if qz := opt.Quantizer; qz != nil {
+		t.codes = newCodeStore(qz, len(pts))
+		for _, p := range pts {
+			t.codes.add(p)
+		}
+	} else {
+		blk, err := kernel.FeatureBlockFromRows(pts)
+		if err != nil {
+			return nil, err
+		}
+		t.blk = blk
+	}
 	ids := make([]int, len(pts))
 	for i := range ids {
 		ids[i] = i
@@ -104,6 +175,17 @@ func BuildVPTree(pts [][]float64, opt VPOptions) (*VPTree, error) {
 	rng := rand.New(rand.NewSource(opt.Seed))
 	t.root = t.build(ids, opt.LeafSize, rng)
 	return t, nil
+}
+
+// ptDist returns the indexed-space distance between stored points i
+// and j: serial float distance when unquantized, code-to-code
+// reconstruction distance when quantized (the same grouping the ADC
+// search path measures in).
+func (t *VPTree) ptDist(i, j int) float64 {
+	if t.codes != nil {
+		return math.Sqrt(t.codes.qz.CodeDist(t.codes.at(i), t.codes.at(j)))
+	}
+	return math.Sqrt(t.blk.SquaredDistTo(i, t.blk.Row(j)))
 }
 
 // build recursively constructs the subtree over ids (which it may
@@ -126,7 +208,7 @@ func (t *VPTree) build(ids []int, leafSize int, rng *rand.Rand) int32 {
 	rest := ids[1:]
 	dists := make([]float64, len(rest))
 	for i, id := range rest {
-		dists[i] = math.Sqrt(kernel.SquaredDistance(t.pts[vantage], t.pts[id]))
+		dists[i] = t.ptDist(id, vantage)
 	}
 	order := make([]int, len(rest))
 	for i := range order {
@@ -154,14 +236,100 @@ func (t *VPTree) build(ids []int, leafSize int, rng *rand.Rand) int32 {
 	return self
 }
 
-// Len reports the indexed point count.
-func (t *VPTree) Len() int { return len(t.pts) }
+// Len reports the stored point count, tombstones included.
+func (t *VPTree) Len() int {
+	if t.codes != nil {
+		return t.codes.len()
+	}
+	return t.blk.Len()
+}
+
+// Live reports the non-tombstoned point count.
+func (t *VPTree) Live() int { return t.live }
+
+// Tombstones reports the deleted-but-resident point count.
+func (t *VPTree) Tombstones() int { return t.Len() - t.live }
+
+// PointBytes reports the resident bytes of the point store (codes or
+// float rows; the shared quantizer codebook is accounted by the
+// owner).
+func (t *VPTree) PointBytes() int {
+	if t.codes != nil {
+		return t.codes.bytes()
+	}
+	return t.blk.Bytes()
+}
+
+// Insert appends v and threads it down the existing splits: at each
+// inner node it takes the side its vantage distance dictates —
+// boundary-inclusive, matching the build's d <= radius rule — and
+// lands in a leaf (or becomes a new one where a child was empty).
+// Radii never move, so every search bound stays valid; only balance
+// degrades, which the BagIndex rebuild threshold caps. Returns the
+// new point's index, or -1 on dimension mismatch.
+func (t *VPTree) Insert(v []float64) int {
+	if len(v) != t.dim {
+		return -1
+	}
+	var id int
+	if t.codes != nil {
+		id = t.codes.add(v)
+	} else {
+		id = t.blk.Append(v)
+	}
+	t.dead = append(t.dead, false)
+	t.live++
+	if t.root < 0 {
+		t.nodes = append(t.nodes, vpNode{leaf: []int{id}})
+		t.root = int32(len(t.nodes) - 1)
+		return id
+	}
+	ni := t.root
+	for {
+		n := &t.nodes[ni]
+		if n.leaf != nil {
+			// Appended ids exceed every id already stored, so the
+			// leaf's ascending scan order is preserved.
+			n.leaf = append(n.leaf, id)
+			return id
+		}
+		d := t.ptDist(id, n.vantage)
+		child := &n.outer
+		if d <= n.radius {
+			child = &n.inner
+		}
+		if *child < 0 {
+			t.nodes = append(t.nodes, vpNode{leaf: []int{id}})
+			// Note: the append may have moved t.nodes; re-resolve the
+			// parent before writing the child link.
+			if d <= n.radius {
+				t.nodes[ni].inner = int32(len(t.nodes) - 1)
+			} else {
+				t.nodes[ni].outer = int32(len(t.nodes) - 1)
+			}
+			return id
+		}
+		ni = *child
+	}
+}
+
+// Delete tombstones point id: it stays resident (vantage geometry
+// must not move) but no search returns it. Reports whether the id was
+// live.
+func (t *VPTree) Delete(id int) bool {
+	if id < 0 || id >= len(t.dead) || t.dead[id] {
+		return false
+	}
+	t.dead[id] = true
+	t.live--
+	return true
+}
 
 // KNN returns the exact k nearest neighbors of q in ascending
 // distance (ties broken by ascending index) and the number of
-// distance evaluations spent. k is clamped to the point count.
+// distance evaluations spent. k is clamped to the live point count.
 func (t *VPTree) KNN(q []float64, k int) ([]Neighbor, int) {
-	return t.knn(q, k, 0)
+	return t.knn(q, k, 0, nil)
 }
 
 // KNNBounded is the approximate search: it follows the same
@@ -169,17 +337,34 @@ func (t *VPTree) KNN(q []float64, k int) ([]Neighbor, int) {
 // evaluations, returning the best k found so far. maxEvals <= 0 means
 // exact. Results are deterministic for a fixed tree.
 func (t *VPTree) KNNBounded(q []float64, k, maxEvals int) ([]Neighbor, int) {
-	return t.knn(q, k, maxEvals)
+	return t.knn(q, k, maxEvals, nil)
 }
 
-func (t *VPTree) knn(q []float64, k, maxEvals int) ([]Neighbor, int) {
-	if k <= 0 || len(q) != t.dim || len(t.pts) == 0 {
+// KNNScratch is KNNBounded with caller-owned probe buffers: the
+// returned slice aliases sc and is valid until sc's next use.
+func (t *VPTree) KNNScratch(q []float64, k, maxEvals int, sc *Scratch) ([]Neighbor, int) {
+	return t.knn(q, k, maxEvals, sc)
+}
+
+func (t *VPTree) knn(q []float64, k, maxEvals int, sc *Scratch) ([]Neighbor, int) {
+	if k <= 0 || len(q) != t.dim || t.live == 0 {
 		return nil, 0
 	}
-	if k > len(t.pts) {
-		k = len(t.pts)
+	if k > t.live {
+		k = t.live
 	}
 	s := &vpSearch{t: t, q: q, k: k, maxEvals: maxEvals, tau: math.Inf(1)}
+	if sc != nil {
+		s.best = sc.best[:0]
+	}
+	if t.codes != nil {
+		if sc != nil {
+			s.tab = sc.adcTab(t.codes.qz, q)
+		} else {
+			s.tab = make([]float64, t.codes.qz.TabLen())
+			t.codes.qz.FillADC(q, s.tab)
+		}
+	}
 	s.visit(t.root)
 	sort.Slice(s.best, func(a, b int) bool {
 		if s.best[a].Dist != s.best[b].Dist {
@@ -187,6 +372,9 @@ func (t *VPTree) knn(q []float64, k, maxEvals int) ([]Neighbor, int) {
 		}
 		return s.best[a].Idx < s.best[b].Idx
 	})
+	if sc != nil {
+		sc.best = s.best // return grown buffer to the scratch
+	}
 	return s.best, s.evals
 }
 
@@ -195,6 +383,7 @@ func (t *VPTree) knn(q []float64, k, maxEvals int) ([]Neighbor, int) {
 type vpSearch struct {
 	t        *VPTree
 	q        []float64
+	tab      []float64 // ADC table (quantized trees)
 	k        int
 	maxEvals int
 	evals    int
@@ -261,7 +450,10 @@ func (s *vpSearch) down(i int) {
 
 func (s *vpSearch) dist(idx int) float64 {
 	s.evals++
-	return math.Sqrt(kernel.SquaredDistance(s.q, s.t.pts[idx]))
+	if s.t.codes != nil {
+		return math.Sqrt(s.t.codes.qz.ADCDist(s.tab, s.t.codes.at(idx)))
+	}
+	return math.Sqrt(s.t.blk.SquaredDistTo(idx, s.q))
 }
 
 func (s *vpSearch) visit(ni int32) {
@@ -271,6 +463,9 @@ func (s *vpSearch) visit(ni int32) {
 	n := &s.t.nodes[ni]
 	if n.leaf != nil {
 		for _, idx := range n.leaf {
+			if s.t.dead[idx] {
+				continue
+			}
 			if s.spent() {
 				return
 			}
@@ -278,8 +473,12 @@ func (s *vpSearch) visit(ni int32) {
 		}
 		return
 	}
+	// A tombstoned vantage still routes — its position defines the
+	// split — but is never offered as a result.
 	d := s.dist(n.vantage)
-	s.offer(n.vantage, d)
+	if !s.t.dead[n.vantage] {
+		s.offer(n.vantage, d)
+	}
 	// Descend the side containing q first; the far side is visited
 	// only when the current kth distance still reaches across the
 	// median shell (boundary-inclusive, so exact ties never prune).

@@ -100,6 +100,38 @@ func (c *DistCache) FillSquaredDists(kus []int64, kv int64, us [][]float64, v []
 	c.mu.Unlock()
 }
 
+// FillSquaredDistsFromBlock is FillSquaredDists with the us side
+// resident in a FeatureBlock: out[i] = ‖b.Row(i)−v‖², kus[i] the
+// identity of row i. Misses are computed with the block's serial
+// kernel, so results are bitwise identical to FillSquaredDists over
+// the same rows — the MIL scoring path swaps its support-vector
+// [][]float64 for a block without perturbing a single ranking.
+func (c *DistCache) FillSquaredDistsFromBlock(kus []int64, kv int64, b *FeatureBlock, v []float64, out []float64) {
+	var missed []int
+	c.mu.RLock()
+	for i, ku := range kus {
+		if d, ok := c.m[normKey(ku, kv)]; ok {
+			out[i] = d
+		} else {
+			missed = append(missed, i)
+		}
+	}
+	c.mu.RUnlock()
+	c.hits.Add(uint64(len(kus) - len(missed)))
+	c.misses.Add(uint64(len(missed)))
+	if len(missed) == 0 {
+		return
+	}
+	for _, i := range missed {
+		out[i] = b.SquaredDistTo(i, v)
+	}
+	c.mu.Lock()
+	for _, i := range missed {
+		c.m[normKey(kus[i], kv)] = out[i]
+	}
+	c.mu.Unlock()
+}
+
 // Len returns the number of cached pairs.
 func (c *DistCache) Len() int {
 	c.mu.RLock()

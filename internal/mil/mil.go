@@ -139,7 +139,7 @@ type Learner struct {
 	cache  *kernel.DistCache
 	rbf    kernel.RBF
 	svKeys []int64
-	svX    [][]float64
+	svX    *kernel.FeatureBlock
 }
 
 // instKey folds a bag ID and an instance key into the stable identity
@@ -260,11 +260,14 @@ func trainCached(X [][]float64, keys []int64, h int, delta float64, cache *kerne
 	if err != nil {
 		return nil, fmt.Errorf("mil: training failed: %w", err)
 	}
+	// The support vectors are gathered into a columnar block: scoring
+	// touches every SV row per instance, and one contiguous buffer
+	// streams better than a pointer per vector.
 	svKeys := make([]int64, 0, m.NSupport())
-	svX := make([][]float64, 0, m.NSupport())
+	svX := kernel.NewFeatureBlock(m.Dim(), m.NSupport())
 	for si, ti := range m.SupportIndices() {
 		svKeys = append(svKeys, keys[ti])
-		svX = append(svX, m.SupportVector(si))
+		svX.Append(m.SupportVector(si))
 	}
 	return &Learner{
 		model: m, TrainingBags: h, TrainingInstances: n, Delta: delta,
@@ -317,7 +320,7 @@ func (l *Learner) bagScoreCached(b Bag) (score float64, ok bool, err error) {
 		ik := instKey(b.ID, b.Keys[i])
 		// One batched cache access for the whole SV row, then the RBF
 		// transform in place.
-		l.cache.FillSquaredDists(l.svKeys, ik, l.svX, inst, kvals)
+		l.cache.FillSquaredDistsFromBlock(l.svKeys, ik, l.svX, inst, kvals)
 		for si := range kvals {
 			kvals[si] = l.rbf.FromSquaredDist(kvals[si])
 		}

@@ -114,6 +114,20 @@ func (c *Client) Delete(ctx context.Context, session string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/session/"+session, nil, nil)
 }
 
+// CreateClip ingests a synthetic clip into the live catalog.
+func (c *Client) CreateClip(ctx context.Context, req CreateClipRequest) (*ClipResponse, error) {
+	var out ClipResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/clips", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteClip removes a clip from the catalog.
+func (c *Client) DeleteClip(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/clips/"+name, nil, nil)
+}
+
 // Stats fetches the service metrics.
 func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	var out StatsResponse

@@ -34,11 +34,12 @@ func recallAt10(got, want []int) float64 {
 
 // TestIndexSmokeRecall is the CI smoke gate for the candidate index:
 // on the demo catalog, a 5-round feedback session routed through
-// either index kind must keep recall@10 against the exact ranking at
-// 1.0 with C = N (identity by construction) and at ≥ 0.9 with C = N/4.
-// Recall is judged per round against the exact engine run on the very
-// same accumulated labels, so it isolates pruning error from feedback
-// drift.
+// either index kind — exact-probing or quantized — must keep
+// recall@10 against the exact ranking at 1.0 with C = N (identity by
+// construction: C ≥ N delegates to the exact engine) and at ≥ 0.9
+// with C = N/4. Recall is judged per round against the exact engine
+// run on the very same accumulated labels, so it isolates pruning
+// error from feedback drift.
 func TestIndexSmokeRecall(t *testing.T) {
 	rec := synthRecord(t, 1, 6, 6, 36) // the demo catalog mix
 	oracle, err := core.OracleFromRecord(rec, nil)
@@ -47,42 +48,44 @@ func TestIndexSmokeRecall(t *testing.T) {
 	}
 	db := rec.VSs
 	n := len(db)
-	for _, kind := range index.Kinds() {
-		bi, err := index.Build(db, kind, index.Options{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, tc := range []struct {
-			c     int
-			floor float64
-		}{
-			{n, 1.0},
-			{n / 4, 0.9},
-		} {
-			exact := retrieval.MILEngine{Opt: mil.DefaultOptions(), Cache: retrieval.NewMILCache()}
-			indexed := retrieval.CandidateEngine{
-				Inner: retrieval.MILEngine{Opt: mil.DefaultOptions(), Cache: retrieval.NewMILCache()},
-				Index: bi, C: tc.c,
+	for _, quant := range []index.QuantKind{index.QuantNone, index.QuantScalar, index.QuantPQ} {
+		for _, kind := range index.Kinds() {
+			bi, err := index.Build(db, kind, index.Options{Quant: quant})
+			if err != nil {
+				t.Fatal(err)
 			}
-			labels := make(map[int]mil.Label)
-			for round := 0; round < 5; round++ {
-				gotRank, gotTop, err := retrieval.RankRound(indexed, db, labels, 20)
-				if err != nil {
-					t.Fatalf("%s C=%d round %d: %v", kind, tc.c, round, err)
+			for _, tc := range []struct {
+				c     int
+				floor float64
+			}{
+				{n, 1.0},
+				{n / 4, 0.9},
+			} {
+				exact := retrieval.MILEngine{Opt: mil.DefaultOptions(), Cache: retrieval.NewMILCache()}
+				indexed := retrieval.CandidateEngine{
+					Inner: retrieval.MILEngine{Opt: mil.DefaultOptions(), Cache: retrieval.NewMILCache()},
+					Index: bi, C: tc.c,
 				}
-				wantRank, _, err := retrieval.RankRound(exact, db, labels, 20)
-				if err != nil {
-					t.Fatalf("%s C=%d round %d (exact): %v", kind, tc.c, round, err)
-				}
-				if r := recallAt10(gotRank, wantRank); r < tc.floor {
-					t.Fatalf("%s C=%d round %d: recall@10 %.2f below %.2f",
-						kind, tc.c, round, r, tc.floor)
-				}
-				for _, pos := range gotTop {
-					if oracle.Relevant(db[pos]) {
-						labels[db[pos].Index] = mil.Positive
-					} else {
-						labels[db[pos].Index] = mil.Negative
+				labels := make(map[int]mil.Label)
+				for round := 0; round < 5; round++ {
+					gotRank, gotTop, err := retrieval.RankRound(indexed, db, labels, 20)
+					if err != nil {
+						t.Fatalf("%s/%s C=%d round %d: %v", kind, quant, tc.c, round, err)
+					}
+					wantRank, _, err := retrieval.RankRound(exact, db, labels, 20)
+					if err != nil {
+						t.Fatalf("%s/%s C=%d round %d (exact): %v", kind, quant, tc.c, round, err)
+					}
+					if r := recallAt10(gotRank, wantRank); r < tc.floor {
+						t.Fatalf("%s/%s C=%d round %d: recall@10 %.2f below %.2f",
+							kind, quant, tc.c, round, r, tc.floor)
+					}
+					for _, pos := range gotTop {
+						if oracle.Relevant(db[pos]) {
+							labels[db[pos].Index] = mil.Positive
+						} else {
+							labels[db[pos].Index] = mil.Negative
+						}
 					}
 				}
 			}
@@ -184,8 +187,9 @@ func TestQueryIndexAPI(t *testing.T) {
 		}
 	}
 
-	// Ingest bumps the catalog generation: the next indexed session
-	// rebuilds rather than serving the superseded index.
+	// Ingest of an unrelated clip bumps the catalog generation, but
+	// the queried clip's content is untouched: the cached index
+	// absorbs the bump as an incremental apply instead of rebuilding.
 	rec2 := synthRecord(t, 10, 3, 3, 8)
 	rec2.Name = "other"
 	if err := catalog.Add(rec2); err != nil {
@@ -198,8 +202,38 @@ func TestQueryIndexAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.Index.Builds != 3 {
-		t.Fatalf("post-ingest session should rebuild: builds=%d, want 3", stats.Index.Builds)
+	if stats.Index.Builds != 2 {
+		t.Fatalf("post-ingest session rebuilt: builds=%d, want 2", stats.Index.Builds)
+	}
+	if stats.Index.IncrementalApplies != 1 {
+		t.Fatalf("post-ingest session applies=%d, want 1", stats.Index.IncrementalApplies)
+	}
+	if stats.Index.ForcedRebuilds != 0 {
+		t.Fatalf("post-ingest session forced rebuilds=%d, want 0", stats.Index.ForcedRebuilds)
+	}
+
+	// Replacing the queried clip itself (new backing array) forces the
+	// rebuild the content change requires.
+	if err := catalog.Remove(rec.Name); err != nil {
+		t.Fatal(err)
+	}
+	rec3 := synthRecord(t, 11, 4, 4, 10)
+	rec3.Name = rec.Name
+	if err := catalog.Add(rec3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Query(ctx, QueryRequest{Clip: rec.Name, TopK: 8, Index: "vptree", Candidates: 10}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Index.Builds != 2 || stats.Index.ForcedRebuilds != 1 {
+		t.Fatalf("replaced clip: builds=%d forced=%d, want 2/1", stats.Index.Builds, stats.Index.ForcedRebuilds)
+	}
+	if srv.indexes.len() != 2 {
+		t.Fatalf("index cache holds %d entries, want 2", srv.indexes.len())
 	}
 }
 
@@ -223,5 +257,120 @@ func TestQueryIndexDefaults(t *testing.T) {
 	}
 	if strings.Contains(resp.Engine, "candidate") {
 		t.Fatalf("exact override still indexed: %q", resp.Engine)
+	}
+}
+
+// TestQueryIndexQuantConfig: Config.Quant threads quantization into
+// every index the server builds, surfaces training time in stats, and
+// rejects unknown kinds at construction.
+func TestQueryIndexQuantConfig(t *testing.T) {
+	rec := synthRecord(t, 13, 4, 4, 12)
+	srv, client := newTestServer(t, Config{DB: testCatalog(t, rec), Quant: "scalar"})
+	ctx := context.Background()
+	if _, err := client.Query(ctx, QueryRequest{Clip: rec.Name, TopK: 5, Index: "vptree", Candidates: 6}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Index.Builds != 1 {
+		t.Fatalf("builds=%d, want 1", stats.Index.Builds)
+	}
+	if stats.Index.QuantizerTrainMs <= 0 {
+		t.Fatalf("quantizer_train_ms=%g, want > 0", stats.Index.QuantizerTrainMs)
+	}
+	_ = srv
+	if _, err := New(Config{DB: testCatalog(t, synthRecord(t, 14, 2, 2, 4)), Quant: "opq"}); err == nil {
+		t.Fatal("unknown quant kind accepted")
+	}
+}
+
+// TestQueryIndexChurnLoad drives the churn load mode end to end: a
+// priming session, a deterministic generation bump, concurrent
+// catalog writes under live query sessions — with zero dropped
+// rounds, at least one incremental apply, and no forced rebuilds
+// (churn clips never touch the queried clip's content).
+func TestQueryIndexChurnLoad(t *testing.T) {
+	rec := synthRecord(t, 15, 5, 5, 20)
+	judge, err := JudgeFromRecord(rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, client := newTestServer(t, Config{DB: testCatalog(t, rec)})
+	lg := &LoadGen{
+		Client: client, Clip: rec.Name, Sessions: 3, Rounds: 3,
+		TopK: 8, Index: "vptree", Candidates: 10, Judge: judge, Churn: true,
+	}
+	rep, err := lg.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DroppedRounds != 0 {
+		t.Fatalf("churn dropped %d rounds: %v", rep.DroppedRounds, rep.Errors)
+	}
+	if rep.MutationsApplied < 1 {
+		t.Fatalf("mutations_applied=%d, want ≥ 1", rep.MutationsApplied)
+	}
+	if rep.ServerStats == nil {
+		t.Fatal("report lacks server stats")
+	}
+	if rep.ServerStats.Index.IncrementalApplies < 1 {
+		t.Fatalf("incremental_applies=%d, want ≥ 1", rep.ServerStats.Index.IncrementalApplies)
+	}
+	if rep.ServerStats.Index.ForcedRebuilds != 0 {
+		t.Fatalf("forced_rebuilds=%d, want 0", rep.ServerStats.Index.ForcedRebuilds)
+	}
+	if rep.ServerStats.Index.Builds != 1 {
+		t.Fatalf("builds=%d, want 1 (churn must reuse the primed index)", rep.ServerStats.Index.Builds)
+	}
+}
+
+// TestClipEndpoints covers the catalog write API: synthetic ingest,
+// name validation, duplicate rejection, scale cap, and removal.
+func TestClipEndpoints(t *testing.T) {
+	rec := synthRecord(t, 16, 2, 2, 6)
+	catalog := testCatalog(t, rec)
+	_, client := newTestServer(t, Config{DB: catalog})
+	ctx := context.Background()
+
+	created, err := client.CreateClip(ctx, CreateClipRequest{Name: "extra", Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.Name != "extra" || created.VSCount != 48 {
+		t.Fatalf("created %+v, want 48-VS clip named extra", created)
+	}
+	if created.Generation == 0 {
+		t.Fatal("ingest did not report a generation")
+	}
+	if catalog.Len() != 2 {
+		t.Fatalf("catalog holds %d clips, want 2", catalog.Len())
+	}
+	// The ingested clip is immediately queryable.
+	if _, err := client.Query(ctx, QueryRequest{Clip: "extra", TopK: 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := client.CreateClip(ctx, CreateClipRequest{Name: "extra"}); err == nil {
+		t.Fatal("duplicate ingest accepted")
+	} else if apiErr := err.(*APIError); apiErr.Status != http.StatusConflict {
+		t.Fatalf("duplicate ingest got HTTP %d, want 409", apiErr.Status)
+	}
+	if _, err := client.CreateClip(ctx, CreateClipRequest{Name: ""}); err == nil {
+		t.Fatal("nameless ingest accepted")
+	}
+	if _, err := client.CreateClip(ctx, CreateClipRequest{Name: "big", Scale: 101}); err == nil {
+		t.Fatal("over-cap scale accepted")
+	}
+
+	if err := client.DeleteClip(ctx, "extra"); err != nil {
+		t.Fatal(err)
+	}
+	if catalog.Len() != 1 {
+		t.Fatalf("catalog holds %d clips after delete, want 1", catalog.Len())
+	}
+	if err := client.DeleteClip(ctx, "extra"); err == nil {
+		t.Fatal("double delete accepted")
 	}
 }

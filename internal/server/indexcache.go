@@ -6,60 +6,116 @@ import (
 
 	"milvideo/internal/index"
 	"milvideo/internal/videodb"
+	"milvideo/internal/window"
 )
 
-// indexCacheKey identifies one built candidate index: a clip at a
-// catalog generation, under one index structure. Ingest bumps the
-// generation, so indexes built over a superseded catalog state are
-// never served to new sessions.
+// indexCacheKey identifies one maintained candidate index: a clip
+// under one index structure. Unlike the earlier generation-keyed
+// design, a catalog generation bump no longer discards the entry —
+// the cached index is carried across generations by incremental
+// maintenance and only rebuilt when the clip's feature content
+// actually changed.
 type indexCacheKey struct {
 	clip string
 	kind index.Kind
-	gen  uint64
 }
 
-// indexCache builds candidate indexes lazily and shares them across
-// sessions. Entries are keyed to the snapshot generation they were
-// built from; when a newer generation of the same (clip, kind)
-// arrives, the stale entry is dropped (sessions already holding it
-// keep ranking their own snapshot's data — a BagIndex is immutable —
-// but no new session sees it).
+// cacheOutcome reports how get satisfied a lookup.
+type cacheOutcome int
+
+const (
+	// cacheHit: same generation, index returned as-is.
+	cacheHit cacheOutcome = iota
+	// cacheBuilt: first use, index constructed from scratch.
+	cacheBuilt
+	// cacheApplied: newer generation but the clip's VS backing is
+	// unchanged — the index absorbed the bump as an incremental
+	// (no-op) delta instead of rebuilding.
+	cacheApplied
+	// cacheRebuilt: the clip's VSs were replaced (different backing
+	// array), so VS-index-keyed diffing cannot be trusted and the
+	// index was rebuilt over the new content.
+	cacheRebuilt
+)
+
+// indexCacheEntry is one maintained index with the catalog state it
+// currently reflects.
+type indexCacheEntry struct {
+	bi  *index.BagIndex
+	gen uint64
+	vss []window.VS
+}
+
+// indexCache builds candidate indexes lazily, shares them across
+// sessions, and maintains them incrementally across catalog
+// generations. Ingest of unrelated clips bumps the generation without
+// touching a queried clip's VSs; videodb.SharesBacking detects that
+// and the entry applies a verified no-op delta (cheap, counted) where
+// the old design rebuilt from scratch. Only a genuine replacement of
+// the clip forces a rebuild.
 type indexCache struct {
 	mu      sync.Mutex
-	entries map[indexCacheKey]*index.BagIndex
+	entries map[indexCacheKey]*indexCacheEntry
 	opt     index.Options
 }
 
 func newIndexCache(opt index.Options) *indexCache {
-	return &indexCache{entries: make(map[indexCacheKey]*index.BagIndex), opt: opt}
+	return &indexCache{entries: make(map[indexCacheKey]*indexCacheEntry), opt: opt}
 }
 
-// get returns the index for (clip, kind) at the snapshot's
-// generation, building it on first use. built reports whether this
-// call constructed it (with the build duration), so the caller can
-// record build metrics exactly once per construction.
-func (c *indexCache) get(rec *videodb.ClipRecord, kind index.Kind, gen uint64) (bi *index.BagIndex, built bool, buildTime time.Duration, err error) {
-	key := indexCacheKey{clip: rec.Name, kind: kind, gen: gen}
+// get returns the index for (clip, kind), building it on first use
+// and reconciling it with the snapshot's generation otherwise. The
+// outcome tells the caller which metric to bump; buildTime is nonzero
+// only for cacheBuilt and cacheRebuilt.
+func (c *indexCache) get(rec *videodb.ClipRecord, kind index.Kind, gen uint64) (bi *index.BagIndex, outcome cacheOutcome, buildTime time.Duration, err error) {
+	key := indexCacheKey{clip: rec.Name, kind: kind}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if bi, ok := c.entries[key]; ok {
-		return bi, false, 0, nil
+	e, ok := c.entries[key]
+	switch {
+	case ok && e.gen == gen:
+		return e.bi, cacheHit, 0, nil
+	case ok && videodb.SharesBacking(e.vss, rec.VSs):
+		// Generation moved but this clip's content did not (stored VSs
+		// are immutable and the backing array is the same): absorb the
+		// bump as an incremental delta. The BagIndex verifies the diff
+		// itself; an unchanged bag set applies as a no-op.
+		if _, err := e.bi.Update(rec.VSs); err != nil {
+			return nil, cacheHit, 0, err
+		}
+		e.gen = gen
+		e.vss = rec.VSs
+		return e.bi, cacheApplied, 0, nil
 	}
 	start := time.Now()
 	bi, err = index.Build(rec.VSs, kind, c.opt)
 	if err != nil {
-		return nil, false, 0, err
+		return nil, cacheHit, 0, err
 	}
 	buildTime = time.Since(start)
-	// Invalidate superseded generations of the same clip+kind before
-	// inserting, so the cache never grows with catalog churn.
-	for k := range c.entries {
-		if k.clip == key.clip && k.kind == key.kind && k.gen != key.gen {
-			delete(c.entries, k)
-		}
+	c.entries[key] = &indexCacheEntry{bi: bi, gen: gen, vss: rec.VSs}
+	if ok {
+		return bi, cacheRebuilt, buildTime, nil
 	}
-	c.entries[key] = bi
-	return bi, true, buildTime, nil
+	return bi, cacheBuilt, buildTime, nil
+}
+
+// maintenance aggregates the resident indexes' maintenance and memory
+// state for /v1/stats: live tombstones, internal (threshold) rebuild
+// counts, and the total time spent training quantizers.
+func (c *indexCache) maintenance() (tombstones int, internalRebuilds uint64, trainTime time.Duration, pointBytes, floatBytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		m := e.bi.Maintenance()
+		tombstones += m.Tombstones
+		internalRebuilds += m.Rebuilds
+		trainTime += e.bi.TrainTime()
+		mem := e.bi.Memory()
+		pointBytes += mem.PointBytes
+		floatBytes += mem.FloatBytes
+	}
+	return
 }
 
 // len reports the cached index count (for tests).

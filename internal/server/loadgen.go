@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"milvideo/internal/core"
@@ -65,6 +66,15 @@ type LoadGen struct {
 	Candidates int
 	// Judge labels returned results; required.
 	Judge Judge
+	// Churn, when true, interleaves catalog writes with the query
+	// load: before the sessions start, one priming session builds the
+	// candidate index and one synthetic clip is ingested (so the very
+	// first main-session query must reconcile a newer catalog
+	// generation — deterministically exercising the incremental
+	// maintenance path), then a background mutator keeps adding and
+	// removing clips until the sessions finish. Queries rank against
+	// snapshots, so churn must never drop a round.
+	Churn bool
 }
 
 // OpStats are exact latency percentiles for one operation type.
@@ -91,6 +101,9 @@ type Report struct {
 	// Latency holds exact client-side percentiles per operation
 	// ("query", "feedback", "ranking").
 	Latency map[string]OpStats `json:"latency"`
+	// MutationsApplied counts catalog writes (clip ingests and
+	// removals) the churn mutator completed during the run.
+	MutationsApplied int `json:"mutations_applied"`
 	// ServerStats snapshots /v1/stats after the run.
 	ServerStats *StatsResponse `json:"server_stats,omitempty"`
 	// Errors samples failures (capped at 8).
@@ -183,6 +196,53 @@ func (lg *LoadGen) Run(ctx context.Context) (*Report, error) {
 
 	latencies := &lat{m: make(map[string][]time.Duration)}
 	start := time.Now()
+
+	var mutations atomic.Int64
+	churnStop := make(chan struct{})
+	churnDone := make(chan struct{})
+	if lg.Churn {
+		// Deterministic priming: build the index at the current
+		// generation, then bump the generation with an ingest the
+		// queried clip is not part of. The first main-session query now
+		// has to carry the cached index across a generation — the
+		// incremental-apply path — before any races begin.
+		if resp, err := lg.Client.Query(ctx, QueryRequest{
+			Clip: lg.Clip, Engine: lg.Engine, TopK: lg.TopK,
+			Index: lg.Index, Candidates: lg.Candidates,
+		}); err != nil {
+			fail(fmt.Errorf("churn priming query: %w", err))
+		} else {
+			_ = lg.Client.Delete(ctx, resp.Session)
+		}
+		if _, err := lg.Client.CreateClip(ctx, CreateClipRequest{Name: "churn-prime", Seed: 2}); err != nil {
+			fail(fmt.Errorf("churn priming ingest: %w", err))
+		} else {
+			mutations.Add(1)
+		}
+		go func() {
+			defer close(churnDone)
+			for i := 0; ; i++ {
+				select {
+				case <-churnStop:
+					return
+				case <-ctx.Done():
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+				name := fmt.Sprintf("churn-%d", i)
+				if _, err := lg.Client.CreateClip(ctx, CreateClipRequest{Name: name, Seed: int64(3 + i)}); err != nil {
+					continue
+				}
+				mutations.Add(1)
+				if lg.Client.DeleteClip(ctx, name) == nil {
+					mutations.Add(1)
+				}
+			}
+		}()
+	} else {
+		close(churnDone)
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < sessions; w++ {
 		wg.Add(1)
@@ -244,6 +304,8 @@ func (lg *LoadGen) Run(ctx context.Context) (*Report, error) {
 		}()
 	}
 	wg.Wait()
+	close(churnStop)
+	<-churnDone
 	elapsed := time.Since(start)
 
 	rep := &Report{
@@ -256,6 +318,7 @@ func (lg *LoadGen) Run(ctx context.Context) (*Report, error) {
 		Latency:       latencies.stats(),
 		Errors:        errs,
 	}
+	rep.MutationsApplied = int(mutations.Load())
 	if elapsed > 0 {
 		rep.RoundsPerSec = float64(served) / elapsed.Seconds()
 	}

@@ -37,9 +37,15 @@ type Metrics struct {
 	retiredMisses expvar.Int
 
 	// Candidate-index lifecycle: builds actually performed, cache hits
-	// that reused one, and the build latency distribution.
+	// that reused one, and the build latency distribution. Under
+	// incremental maintenance a generation bump that left the clip's
+	// content untouched lands in IndexApplies (a verified no-op delta)
+	// instead of a rebuild; IndexRebuilds counts the forced rebuilds
+	// where the clip's VSs were genuinely replaced.
 	IndexBuilds    expvar.Int
 	IndexCacheHits expvar.Int
+	IndexApplies   expvar.Int
+	IndexRebuilds  expvar.Int
 	IndexBuild     LatencyHistogram
 
 	Rerank LatencyHistogram
@@ -66,6 +72,8 @@ func (m *Metrics) publish() {
 		top.Set("rerank_latency", &m.Rerank)
 		top.Set("index_builds", &m.IndexBuilds)
 		top.Set("index_cache_hits", &m.IndexCacheHits)
+		top.Set("index_incremental_applies", &m.IndexApplies)
+		top.Set("index_forced_rebuilds", &m.IndexRebuilds)
 		top.Set("index_build_latency", &m.IndexBuild)
 		expvar.Publish("milserver", top)
 	})

@@ -11,6 +11,8 @@
 //	GET    /v1/session/{id}/ranking   latest round's ranking
 //	POST   /v1/session/{id}/feedback  user labels → SVM re-rank
 //	DELETE /v1/session/{id}           end the session
+//	POST   /v1/clips                  ingest a synthetic clip (churn)
+//	DELETE /v1/clips/{name}           remove a clip from the catalog
 //	GET    /v1/stats                  expvar-backed service metrics
 //
 // Concurrency model: each session owns a retrieval.MILCache, so Gram
@@ -72,8 +74,14 @@ type Config struct {
 	// DefaultCandidates is the candidate-set size C applied when a
 	// session uses an index without naming C. Default 64.
 	DefaultCandidates int
+	// Quant selects instance-feature quantization for candidate
+	// indexes ("scalar" or "pq"; empty or "none" keeps exact float
+	// probing). Quantization shrinks the probe structures ~8× and
+	// speeds list scans; the exact re-rank is unaffected either way.
+	Quant string
 	// IndexOptions tunes candidate-index construction and probes
-	// (zero values take the index package defaults).
+	// (zero values take the index package defaults). Config.Quant,
+	// when set, overrides IndexOptions.Quant.
 	IndexOptions index.Options
 	// MaxBodyBytes caps request-body size; oversized bodies are
 	// rejected with 413 before any parsing. Default 1 MiB.
@@ -146,6 +154,13 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	if cfg.Quant != "" {
+		qk, err := index.ParseQuantKind(cfg.Quant)
+		if err != nil {
+			return nil, err
+		}
+		cfg.IndexOptions.Quant = qk
+	}
 	s := &Server{
 		cfg:       cfg,
 		store:     newSessionStore(cfg.MaxSessions, cfg.SessionTTL, cfg.Clock),
@@ -162,6 +177,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/session/{id}/ranking", s.handleRanking)
 	s.mux.HandleFunc("POST /v1/session/{id}/feedback", s.handleFeedback)
 	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/clips", s.handleCreateClip)
+	s.mux.HandleFunc("DELETE /v1/clips/{name}", s.handleDeleteClip)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	go s.janitor()
 	return s, nil
@@ -301,6 +318,16 @@ type IndexStats struct {
 	// sessions that reused a cached one.
 	Builds    int64 `json:"builds"`
 	CacheHits int64 `json:"cache_hits"`
+	// IncrementalApplies counts catalog-generation bumps absorbed by
+	// incremental maintenance (no rebuild); ForcedRebuilds counts the
+	// bumps that replaced a queried clip's content and forced one.
+	IncrementalApplies int64 `json:"incremental_applies"`
+	ForcedRebuilds     int64 `json:"forced_rebuilds"`
+	// Tombstones is the current count of deleted-but-resident points
+	// across cached indexes; QuantizerTrainMs totals quantizer
+	// training time.
+	Tombstones       int64   `json:"tombstones"`
+	QuantizerTrainMs float64 `json:"quantizer_train_ms"`
 	// PrunedRounds ranked through a candidate set; FullRounds fell
 	// back to exact ranking (no feedback yet, or C ≥ N).
 	PrunedRounds int64 `json:"pruned_rounds"`
@@ -423,15 +450,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if kind != "" {
-		bi, built, buildTime, err := s.indexes.get(rec, kind, snap.Generation())
+		bi, outcome, buildTime, err := s.indexes.get(rec, kind, snap.Generation())
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
-		if built {
+		switch outcome {
+		case cacheBuilt:
 			s.metrics.IndexBuilds.Add(1)
 			s.metrics.IndexBuild.Observe(buildTime)
-		} else {
+		case cacheApplied:
+			s.metrics.IndexApplies.Add(1)
+		case cacheRebuilt:
+			s.metrics.IndexRebuilds.Add(1)
+			s.metrics.IndexBuild.Observe(buildTime)
+		default:
 			s.metrics.IndexCacheHits.Add(1)
 		}
 		engine = retrieval.CandidateEngine{Inner: engine, Index: bi, C: cand, Stats: s.candStats}
@@ -609,6 +642,75 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// CreateClipRequest ingests a synthetic clip into the live catalog —
+// the write half of churn testing. The server synthesizes the feature
+// content (same generator as the demo catalog) so the wire cost stays
+// constant however large the clip is.
+type CreateClipRequest struct {
+	// Name is the catalog name for the new clip (required; must not
+	// collide with an existing clip).
+	Name string `json:"name"`
+	// Seed drives the synthetic generator (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Scale multiplies the base 48-VS mix (default 1; capped at 100 to
+	// bound a single request's work).
+	Scale int `json:"scale,omitempty"`
+}
+
+// ClipResponse describes an ingested clip.
+type ClipResponse struct {
+	Name       string `json:"name"`
+	VSCount    int    `json:"vs_count"`
+	Generation uint64 `json:"generation"`
+}
+
+func (s *Server) handleCreateClip(w http.ResponseWriter, r *http.Request) {
+	var req CreateClipRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, errors.New("clip needs a name"))
+		return
+	}
+	if req.Scale > 100 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("scale %d exceeds the cap of 100", req.Scale))
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rec, err := ScaledDemoRecord(seed, req.Scale)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	rec.Name = req.Name
+	if err := s.cfg.DB.Add(rec); err != nil {
+		status := http.StatusConflict
+		if !errors.Is(err, videodb.ErrDuplicate) {
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, &ClipResponse{
+		Name:       rec.Name,
+		VSCount:    len(rec.VSs),
+		Generation: s.cfg.DB.Generation(),
+	})
+}
+
+func (s *Server) handleDeleteClip(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.cfg.DB.Remove(name); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sess, ok := s.store.remove(id)
@@ -645,16 +747,22 @@ func (s *Server) Stats() *StatsResponse {
 		},
 		RerankLatency: s.metrics.Rerank.Summary(),
 		Index: IndexStats{
-			Builds:           s.metrics.IndexBuilds.Value(),
-			CacheHits:        s.metrics.IndexCacheHits.Value(),
-			PrunedRounds:     s.candStats.PrunedRounds.Load(),
-			FullRounds:       s.candStats.FullRounds.Load(),
-			Probes:           s.candStats.Probes.Load(),
-			DistEvals:        s.candStats.DistEvals.Load(),
-			CandidatesRanked: s.candStats.CandidatesRanked.Load(),
-			BuildLatency:     s.metrics.IndexBuild.Summary(),
+			Builds:             s.metrics.IndexBuilds.Value(),
+			CacheHits:          s.metrics.IndexCacheHits.Value(),
+			IncrementalApplies: s.metrics.IndexApplies.Value(),
+			ForcedRebuilds:     s.metrics.IndexRebuilds.Value(),
+			PrunedRounds:       s.candStats.PrunedRounds.Load(),
+			FullRounds:         s.candStats.FullRounds.Load(),
+			Probes:             s.candStats.Probes.Load(),
+			DistEvals:          s.candStats.DistEvals.Load(),
+			CandidatesRanked:   s.candStats.CandidatesRanked.Load(),
+			BuildLatency:       s.metrics.IndexBuild.Summary(),
 		},
 	}
+	tombstones, internalRebuilds, trainTime, _, _ := s.indexes.maintenance()
+	resp.Index.Tombstones = int64(tombstones)
+	resp.Index.ForcedRebuilds += int64(internalRebuilds)
+	resp.Index.QuantizerTrainMs = ms(trainTime)
 	hits := uint64(s.metrics.retiredHits.Value())
 	misses := uint64(s.metrics.retiredMisses.Value())
 	var lastHits, lastMisses uint64

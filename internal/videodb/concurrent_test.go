@@ -175,3 +175,56 @@ func TestConcurrentAddBatch(t *testing.T) {
 		t.Fatalf("len %d, want 8", db.Len())
 	}
 }
+
+// TestSharesBacking pins the identity check incremental index
+// maintenance keys off: same backing array → true; copies, slices of
+// different arrays, and length mismatches → false; two empty slices
+// are trivially identical.
+func TestSharesBacking(t *testing.T) {
+	vss := []window.VS{{Index: 0}, {Index: 1}}
+	if !SharesBacking(vss, vss) {
+		t.Fatal("slice does not share backing with itself")
+	}
+	if !SharesBacking(vss, vss[:2]) {
+		t.Fatal("full reslice not recognized")
+	}
+	if SharesBacking(vss, append([]window.VS(nil), vss...)) {
+		t.Fatal("deep copy reported as shared")
+	}
+	if SharesBacking(vss, vss[:1]) {
+		t.Fatal("length mismatch reported as shared")
+	}
+	if !SharesBacking(nil, nil) || !SharesBacking([]window.VS{}, nil) {
+		t.Fatal("empty slices should be trivially shared")
+	}
+
+	// The property the server's delta path relies on: snapshots share
+	// VS backing with the stored record until the clip is replaced.
+	db := New()
+	r := rec("a")
+	if err := db.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	s1 := db.Snapshot()
+	c1, _ := s1.Clip("a")
+	if err := db.Add(rec("b")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := db.Snapshot()
+	c2, _ := s2.Clip("a")
+	if !SharesBacking(c1.VSs, c2.VSs) {
+		t.Fatal("unrelated ingest broke clip 'a' backing identity")
+	}
+	if err := db.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	r2 := rec("a")
+	r2.VSs = append([]window.VS(nil), r2.VSs...)
+	if err := db.Add(r2); err != nil {
+		t.Fatal(err)
+	}
+	c3, _ := db.Snapshot().Clip("a")
+	if SharesBacking(c1.VSs, c3.VSs) {
+		t.Fatal("replaced clip still reports shared backing")
+	}
+}

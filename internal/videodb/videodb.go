@@ -317,6 +317,22 @@ func (s Snapshot) Names() []string { return append([]string(nil), s.names...) }
 // Len returns the snapshot's clip count.
 func (s Snapshot) Len() int { return len(s.clips) }
 
+// SharesBacking reports whether two VS slices are views of the same
+// underlying array — the cheap identity check behind incremental
+// index maintenance. Catalog mutations are whole-clip (Add, AddBatch,
+// Remove) and stored VSs never mutate under the record-immutability
+// contract, so a snapshot whose VSs slice shares its backing array
+// with an index's build input is guaranteed to hold byte-identical
+// feature content: the index can absorb the generation bump as a
+// verified no-op delta instead of rebuilding. A replaced clip gets a
+// fresh slice and fails this check, forcing the rebuild it needs.
+func SharesBacking(a, b []window.VS) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}
+
 // namesLocked lists names without locking (callers hold the lock).
 func (db *DB) namesLocked() []string {
 	out := make([]string, 0, len(db.clips))

@@ -5,16 +5,19 @@
 # mutation and snapshots, pooled segmentation scratch, kernel Gram
 # workers and distance cache, the query-service session store and
 # load generator, the candidate-index build/probe paths), an explicit
-# candidate-index recall gate (both index kinds on the demo catalog:
-# recall@10 must be 1.0 at C=N and ≥ 0.9 at C=N/4), the chaos
-# conformance suite under -race (seeded fault schedules across
-# ingest, persistence and the query service), fuzz smoke legs for the
-# snapshot decoder and the HTTP API, a statement-coverage floor over
-# the internal packages, a one-iteration smoke of the ingest
-# benchmarks, and a live server smoke: cmd/serve on an ephemeral port
-# driven by cmd/loadgen sessions — exact and routed through the IVF
-# candidate index — asserting zero dropped rounds, non-empty rankings
-# and a clean drain.
+# candidate-index recall gate (both index kinds × quantization modes
+# on the demo catalog: recall@10 must be 1.0 at C=N and ≥ 0.9 at
+# C=N/4), the chaos conformance suite under -race (seeded fault
+# schedules across ingest, persistence and the query service), fuzz
+# smoke legs for the snapshot decoder and the HTTP API, a
+# statement-coverage floor over the internal packages, a
+# one-iteration smoke of the ingest benchmarks, an
+# incremental-maintenance smoke (20 whole-bag deltas, all absorbed
+# without a rebuild), and a live server smoke: cmd/serve (quantized
+# probing) on an ephemeral port driven by cmd/loadgen sessions —
+# exact, routed through the IVF candidate index, and under catalog
+# churn — asserting zero dropped rounds, non-empty rankings, at least
+# one incremental index apply, no forced rebuilds, and a clean drain.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -69,12 +72,33 @@ awk -v got="$total" -v floor="$COVERAGE_FLOOR" 'BEGIN { exit !(got+0 >= floor+0)
 echo "== bench smoke (ingest) =="
 go test -run xxx -bench Ingest -benchtime 1x .
 
+echo "== bench smoke (incremental index maintenance) =="
+# The maintenance benchmark drives a built index through 20 whole-bag
+# deltas; every one must take the incremental path (applies == 20,
+# zero rebuilds) for both index kinds.
+maintdir=$(mktemp -d)
+go run ./cmd/bench -maint -o "$maintdir/maint.json" >/dev/null
+[ "$(grep -c '"applies": 20' "$maintdir/maint.json")" -eq 2 ] || {
+    echo "maintenance smoke: incremental path not exercised" >&2
+    cat "$maintdir/maint.json" >&2
+    exit 1
+}
+[ "$(grep -c '"rebuilds": 0' "$maintdir/maint.json")" -eq 2 ] || {
+    echo "maintenance smoke: unexpected rebuilds" >&2
+    cat "$maintdir/maint.json" >&2
+    exit 1
+}
+rm -rf "$maintdir"
+
 echo "== server smoke (serve + loadgen) =="
 smokedir=$(mktemp -d)
 trap 'rm -rf "$smokedir"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
 go build -o "$smokedir/serve" ./cmd/serve
 go build -o "$smokedir/loadgen" ./cmd/loadgen
-"$smokedir/serve" -demo -addr 127.0.0.1:0 >"$smokedir/serve.log" 2>&1 &
+# -quant scalar makes every index the smoke server builds probe
+# through quantized codes, so the live path exercises the compressed
+# store end to end (the exact re-rank is unaffected).
+"$smokedir/serve" -demo -addr 127.0.0.1:0 -quant scalar >"$smokedir/serve.log" 2>&1 &
 serve_pid=$!
 url=""
 for _ in $(seq 1 50); do
@@ -85,9 +109,11 @@ for _ in $(seq 1 50); do
 done
 [ -n "$url" ] || { echo "serve never reported its address" >&2; cat "$smokedir/serve.log" >&2; exit 1; }
 # loadgen exits nonzero on any dropped round or empty ranking; the
-# second run routes every session through the IVF candidate index.
+# second run routes every session through the IVF candidate index,
+# and the third interleaves catalog churn with indexed sessions.
 "$smokedir/loadgen" -url "$url" -demo -sessions 4 -rounds 3 -o "$smokedir/smoke.json"
 "$smokedir/loadgen" -url "$url" -demo -sessions 4 -rounds 3 -index ivf -candidates 16 -o "$smokedir/smoke-ivf.json"
+"$smokedir/loadgen" -url "$url" -demo -sessions 4 -rounds 3 -index vptree -candidates 16 -churn -o "$smokedir/smoke-churn.json"
 kill -INT "$serve_pid"
 wait "$serve_pid"
 serve_pid=""
@@ -95,7 +121,7 @@ grep -q "drained, bye" "$smokedir/serve.log" || { echo "serve did not drain clea
 grep -q '"rounds_served": 12' "$smokedir/smoke.json" || { echo "smoke run served fewer rounds than expected" >&2; cat "$smokedir/smoke.json" >&2; exit 1; }
 # Both loadgen reports must show a loss-free run; on a drop, surface
 # the server log alongside the report so the failure is diagnosable.
-for report in "$smokedir/smoke.json" "$smokedir/smoke-ivf.json"; do
+for report in "$smokedir/smoke.json" "$smokedir/smoke-ivf.json" "$smokedir/smoke-churn.json"; do
     grep -q '"dropped_rounds": 0' "$report" || {
         echo "smoke run dropped rounds in $report" >&2
         cat "$report" >&2
@@ -104,5 +130,18 @@ for report in "$smokedir/smoke.json" "$smokedir/smoke-ivf.json"; do
         exit 1
     }
 done
+# The churn run must have exercised incremental maintenance: at least
+# one generation bump absorbed as a delta, and no forced rebuilds
+# (churn never touches the queried clip's content).
+grep -q '"incremental_applies": [1-9]' "$smokedir/smoke-churn.json" || {
+    echo "churn smoke never took the incremental-apply path" >&2
+    cat "$smokedir/smoke-churn.json" >&2
+    exit 1
+}
+grep -q '"forced_rebuilds": 0' "$smokedir/smoke-churn.json" || {
+    echo "churn smoke forced index rebuilds" >&2
+    cat "$smokedir/smoke-churn.json" >&2
+    exit 1
+}
 
 echo "CI OK"
