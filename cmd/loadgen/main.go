@@ -9,6 +9,7 @@
 //
 //	loadgen -url http://127.0.0.1:8080 -demo
 //	loadgen -url http://127.0.0.1:8080 -db db.gob -clip tunnel -sessions 32 -o BENCH_3.json
+//	loadgen -url http://coordinator -demo -coordinator -shards http://w0,http://w1
 //
 // The ground truth must describe the same clip the server ranks: pass
 // the catalog via -db, or -demo (with the matching -demo-seed) when
@@ -24,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"milvideo/internal/server"
@@ -33,17 +35,21 @@ import (
 // output is the BENCH_3.json shape: run metadata around the
 // generator's report.
 type output struct {
-	Generated  string         `json:"generated"`
-	GoVersion  string         `json:"go_version"`
-	NumCPU     int            `json:"num_cpu"`
-	URL        string         `json:"url"`
-	Clip       string         `json:"clip"`
-	Engine     string         `json:"engine"`
-	TopK       int            `json:"topk"`
-	Index      string         `json:"index,omitempty"`
-	Candidates int            `json:"candidates,omitempty"`
-	Churn      bool           `json:"churn,omitempty"`
-	Report     *server.Report `json:"report"`
+	Generated  string `json:"generated"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	URL        string `json:"url"`
+	Clip       string `json:"clip"`
+	Engine     string `json:"engine"`
+	TopK       int    `json:"topk"`
+	Index      string `json:"index,omitempty"`
+	Candidates int    `json:"candidates,omitempty"`
+	Churn      bool   `json:"churn,omitempty"`
+	// Coordinator marks a run against a cluster coordinator; Shards
+	// lists the worker URLs whose stats the report snapshots.
+	Coordinator bool           `json:"coordinator,omitempty"`
+	Shards      []string       `json:"shards,omitempty"`
+	Report      *server.Report `json:"report"`
 }
 
 func main() {
@@ -60,16 +66,24 @@ func main() {
 	rounds := flag.Int("rounds", 5, "rounds per session including the initial one")
 	topK := flag.Int("topk", 8, "results per round (0 = server default)")
 	churn := flag.Bool("churn", false, "interleave catalog ingests/removals with the query load (exercises incremental index maintenance)")
+	coordinator := flag.Bool("coordinator", false, "target is a cluster coordinator: print its per-shard scatter breakdown after the run")
+	shards := flag.String("shards", "", "comma-separated shard-worker URLs to snapshot per-shard stats from after the run")
 	out := flag.String("o", "BENCH_3.json", "output path ('-' for stdout)")
 	flag.Parse()
 
-	if err := run(*url, *dbPath, *demo, *demoSeed, *demoScale, *clip, *engine, *indexKind, *candidates, *sessions, *rounds, *topK, *churn, *out); err != nil {
+	var shardURLs []string
+	for _, u := range strings.Split(*shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			shardURLs = append(shardURLs, u)
+		}
+	}
+	if err := run(*url, *dbPath, *demo, *demoSeed, *demoScale, *clip, *engine, *indexKind, *candidates, *sessions, *rounds, *topK, *churn, *coordinator, shardURLs, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, engine, indexKind string, candidates, sessions, rounds, topK int, churn bool, out string) error {
+func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, engine, indexKind string, candidates, sessions, rounds, topK int, churn, coordinator bool, shardURLs []string, out string) error {
 	var rec *videodb.ClipRecord
 	var err error
 	switch {
@@ -109,6 +123,7 @@ func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, eng
 		Candidates: candidates,
 		Judge:      judge,
 		Churn:      churn,
+		ShardURLs:  shardURLs,
 	}
 	fmt.Fprintf(os.Stderr, "loadgen: %d sessions × %d rounds against %s (clip %q)\n",
 		sessions, rounds, url, clip)
@@ -118,17 +133,19 @@ func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, eng
 	}
 
 	res := output{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		NumCPU:     runtime.NumCPU(),
-		URL:        url,
-		Clip:       clip,
-		Engine:     engine,
-		TopK:       topK,
-		Index:      indexKind,
-		Candidates: candidates,
-		Churn:      churn,
-		Report:     rep,
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		URL:         url,
+		Clip:        clip,
+		Engine:      engine,
+		TopK:        topK,
+		Index:       indexKind,
+		Candidates:  candidates,
+		Churn:       churn,
+		Coordinator: coordinator,
+		Shards:      shardURLs,
+		Report:      rep,
 	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -154,6 +171,7 @@ func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, eng
 	if churn {
 		fmt.Fprintf(os.Stderr, "loadgen: churn applied %d catalog mutations during the run\n", rep.MutationsApplied)
 	}
+	printShardBreakdown(rep, coordinator, shardURLs)
 	if rep.DroppedRounds > 0 {
 		return fmt.Errorf("%d rounds dropped (first errors: %v)", rep.DroppedRounds, rep.Errors)
 	}
@@ -161,4 +179,40 @@ func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, eng
 		return fmt.Errorf("%d rounds returned empty rankings", rep.EmptyRankings)
 	}
 	return nil
+}
+
+// printShardBreakdown summarizes a cluster run on stderr: the
+// coordinator's scatter/merge accounting and per-shard scatter
+// latency, plus each polled worker's probe counters.
+func printShardBreakdown(rep *server.Report, coordinator bool, shardURLs []string) {
+	if coordinator && rep.ServerStats != nil && rep.ServerStats.Shard != nil {
+		sh := rep.ServerStats.Shard
+		fmt.Fprintf(os.Stderr, "loadgen: scatter %d rounds (%d full, %d partial) merged %d candidates  scatter %.1fms merge %.1fms total\n",
+			sh.ScatterRounds, sh.FullRounds, sh.PartialRounds, sh.MergedCandidates, sh.ScatterMsTotal, sh.MergeMsTotal)
+	}
+	if coordinator && rep.ServerStats != nil && rep.ServerStats.Cluster != nil {
+		cl := rep.ServerStats.Cluster
+		fmt.Fprintf(os.Stderr, "loadgen: cluster %d/%d shards reachable, %d scatter probes served\n",
+			cl.Reachable, cl.Shards, cl.ScatterServed)
+		for i, n := range cl.PerShard {
+			fmt.Fprintf(os.Stderr, "loadgen:   shard %d %-24s p50 %6.2fms  p90 %6.2fms  p99 %6.2fms  (n=%d, timeouts %d, errors %d)\n",
+				i, n.URL, n.Scatter.P50Ms, n.Scatter.P90Ms, n.Scatter.P99Ms, n.Scatter.Count, n.Timeouts, n.Errors)
+		}
+	}
+	for i, st := range rep.ShardStats {
+		u := ""
+		if i < len(shardURLs) {
+			u = shardURLs[i]
+		}
+		if st == nil {
+			fmt.Fprintf(os.Stderr, "loadgen:   worker %d %-24s unreachable\n", i, u)
+			continue
+		}
+		served := int64(0)
+		if st.Shard != nil {
+			served = st.Shard.ScatterServed
+		}
+		fmt.Fprintf(os.Stderr, "loadgen:   worker %d %-24s scatter_served %d  builds %d  applies %d  tombstones %d\n",
+			i, u, served, st.Index.Builds, st.Index.IncrementalApplies, st.Index.Tombstones)
+	}
 }

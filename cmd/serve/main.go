@@ -12,6 +12,12 @@
 //	                                       # candidate index by default
 //	serve -demo -index vptree -quant pq    # quantize the index's probe
 //	                                       # structures (exact re-rank)
+//	serve -demo -local-shards 4            # in-process sharded serving:
+//	                                       # scatter–gather over 4 shards
+//	serve -demo -shard 0/3                 # cluster worker: serve shard
+//	                                       # 0 of a 3-way partition
+//	serve -demo -shards u0,u1,u2           # cluster coordinator over
+//	                                       # three worker URLs
 //
 // The process drains in-flight re-ranks and exits cleanly on SIGINT /
 // SIGTERM.
@@ -26,11 +32,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"milvideo/internal/faults"
 	"milvideo/internal/server"
+	"milvideo/internal/shard"
 	"milvideo/internal/videodb"
 )
 
@@ -49,6 +57,16 @@ type options struct {
 	maxBody       int64
 	recover       bool
 
+	// Sharded serving: -local-shards partitions in-process; -shard
+	// "i/n" makes this process cluster worker i of n (its catalog is
+	// filtered to the partition it owns); -shards lists worker URLs
+	// and makes this process the cluster coordinator.
+	localShards   int
+	shardSpec     string
+	shardURLs     string
+	shardTimeout  time.Duration
+	savePartition string
+
 	// Chaos flags: deterministic fault injection for resilience
 	// drills. All rates zero (the default) leaves the server provably
 	// untouched.
@@ -56,6 +74,10 @@ type options struct {
 	faultSlowRate float64
 	faultSlowDur  time.Duration
 	faultFailRate float64
+
+	faultSlowShardRate float64
+	faultSlowShardDur  time.Duration
+	faultFailShardRate float64
 }
 
 func main() {
@@ -75,10 +97,18 @@ func main() {
 	flag.IntVar(&o.candidates, "candidates", 64, "default candidate-set size C for indexed sessions")
 	flag.Int64Var(&o.maxBody, "max-body", 1<<20, "request-body size cap in bytes (413 beyond it)")
 	flag.BoolVar(&o.recover, "recover", false, "load -db in recovery mode, skipping corrupt records")
+	flag.IntVar(&o.localShards, "local-shards", 0, "serve indexed sessions through S in-process shards (0/1 = unsharded)")
+	flag.StringVar(&o.shardSpec, "shard", "", `run as cluster shard worker "i/n" (serves partition i of an n-way split)`)
+	flag.StringVar(&o.shardURLs, "shards", "", "run as cluster coordinator over these comma-separated worker URLs")
+	flag.DurationVar(&o.shardTimeout, "shard-timeout", 10*time.Second, "per-shard probe deadline for scattered rounds")
+	flag.StringVar(&o.savePartition, "save-partition", "", "with -shard: write this worker's partitioned catalog to the path and exit")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "chaos: fault-schedule seed")
 	flag.Float64Var(&o.faultSlowRate, "fault-slow", 0, "chaos: injected slow re-rank rate [0,1]")
 	flag.DurationVar(&o.faultSlowDur, "fault-slow-dur", 50*time.Millisecond, "chaos: injected stall duration")
 	flag.Float64Var(&o.faultFailRate, "fault-fail", 0, "chaos: injected failed re-rank rate [0,1]")
+	flag.Float64Var(&o.faultSlowShardRate, "fault-slow-shard", 0, "chaos: injected slow shard-probe rate [0,1]")
+	flag.DurationVar(&o.faultSlowShardDur, "fault-slow-shard-dur", 50*time.Millisecond, "chaos: injected shard stall duration")
+	flag.Float64Var(&o.faultFailShardRate, "fault-fail-shard", 0, "chaos: injected failed shard-probe rate [0,1]")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -87,7 +117,36 @@ func main() {
 	}
 }
 
+// parseShardSpec parses "i/n" into (index, count).
+func parseShardSpec(spec string) (int, int, error) {
+	var idx, cnt int
+	if n, err := fmt.Sscanf(spec, "%d/%d", &idx, &cnt); n != 2 || err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q (want \"i/n\", e.g. 0/3)", spec)
+	}
+	if cnt < 2 || idx < 0 || idx >= cnt {
+		return 0, 0, fmt.Errorf("bad -shard %q: index must be in 0..n-1 with n >= 2", spec)
+	}
+	return idx, cnt, nil
+}
+
 func run(o options) error {
+	shardIdx, shardCnt := 0, 0
+	if o.shardSpec != "" {
+		if o.shardURLs != "" {
+			return errors.New("-shard and -shards are mutually exclusive (worker vs coordinator)")
+		}
+		if o.localShards > 1 {
+			return errors.New("-shard and -local-shards are mutually exclusive")
+		}
+		var err error
+		if shardIdx, shardCnt, err = parseShardSpec(o.shardSpec); err != nil {
+			return err
+		}
+	}
+	if o.savePartition != "" && shardCnt == 0 {
+		return errors.New("-save-partition requires -shard i/n")
+	}
+
 	var db *videodb.DB
 	var err error
 	switch {
@@ -121,16 +180,64 @@ func run(o options) error {
 		return errors.New("need -db <catalog> or -demo")
 	}
 
+	if shardCnt > 0 {
+		// Cluster worker: keep only the partition this shard owns.
+		// Each worker's catalog is its own videodb.DB behind the same
+		// v2 checksummed snapshot format, so -save-partition gives the
+		// shard a private recoverable persistence file for free.
+		ring := shard.NewRing(shardCnt)
+		part := videodb.New()
+		for _, name := range db.Names() {
+			rec, err := db.Clip(name)
+			if err != nil {
+				return err
+			}
+			if prec := shard.PartitionRecord(ring, rec, shardIdx); prec != nil {
+				if err := part.Add(prec); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Printf("serve: shard %d/%d owns %d of %d clips\n", shardIdx, shardCnt, part.Len(), db.Len())
+		db = part
+		if o.savePartition != "" {
+			if err := db.SaveFile(o.savePartition); err != nil {
+				return err
+			}
+			fmt.Printf("serve: wrote shard %d/%d partition to %s\n", shardIdx, shardCnt, o.savePartition)
+			return nil
+		}
+	}
+
 	var inj *faults.Injector
-	if o.faultSlowRate > 0 || o.faultFailRate > 0 {
+	if o.faultSlowRate > 0 || o.faultFailRate > 0 || o.faultSlowShardRate > 0 || o.faultFailShardRate > 0 {
 		inj = faults.New(faults.Config{
 			Seed:          o.faultSeed,
 			SlowRerank:    o.faultSlowRate,
 			SlowRerankDur: o.faultSlowDur,
 			FailRerank:    o.faultFailRate,
+			SlowShard:     o.faultSlowShardRate,
+			SlowShardDur:  o.faultSlowShardDur,
+			FailShard:     o.faultFailShardRate,
 		})
-		fmt.Printf("serve: chaos injector armed (seed %d, slow %g, fail %g)\n",
-			o.faultSeed, o.faultSlowRate, o.faultFailRate)
+		fmt.Printf("serve: chaos injector armed (seed %d, slow %g, fail %g, slow-shard %g, fail-shard %g)\n",
+			o.faultSeed, o.faultSlowRate, o.faultFailRate, o.faultSlowShardRate, o.faultFailShardRate)
+	}
+
+	var urls []string
+	if o.shardURLs != "" {
+		for _, u := range strings.Split(o.shardURLs, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			return errors.New("-shards given but no worker URLs parsed")
+		}
+		fmt.Printf("serve: coordinator over %d shard workers\n", len(urls))
+	}
+	if o.localShards > 1 {
+		fmt.Printf("serve: in-process sharding over %d shards\n", o.localShards)
 	}
 
 	srv, err := server.New(server.Config{
@@ -145,6 +252,11 @@ func run(o options) error {
 		Quant:             o.quant,
 		MaxBodyBytes:      o.maxBody,
 		Faults:            inj,
+		Shards:            o.localShards,
+		ShardTimeout:      o.shardTimeout,
+		ShardURLs:         urls,
+		PartitionIndex:    shardIdx,
+		PartitionCount:    shardCnt,
 	})
 	if err != nil {
 		return err

@@ -77,13 +77,27 @@ type Config struct {
 	// FailRerank is the probability a retrieval round fails outright
 	// (the service degrades to a typed 503 with Retry-After).
 	FailRerank float64
+
+	// --- shard scatter (per shard, per scattered round) ---
+
+	// SlowShard is the probability one shard's probe stalls for
+	// SlowShardDur in a scattered round (a long enough stall trips
+	// the per-shard deadline and the round degrades to partial
+	// results over the surviving shards).
+	SlowShard float64
+	// SlowShardDur is the injected shard stall; 0 means 50ms.
+	SlowShardDur time.Duration
+	// FailShard is the probability one shard's probe fails outright
+	// (the round continues without that shard, counted).
+	FailShard float64
 }
 
 // enabled reports whether any rate is non-zero.
 func (c Config) enabled() bool {
 	return c.FrameDrop > 0 || c.SaltPepper > 0 || c.Blackout > 0 ||
 		c.SegTransient > 0 || c.StageDelay > 0 ||
-		c.SlowRerank > 0 || c.FailRerank > 0
+		c.SlowRerank > 0 || c.FailRerank > 0 ||
+		c.SlowShard > 0 || c.FailShard > 0
 }
 
 // Injector makes fault decisions. The zero value and the nil pointer
@@ -105,6 +119,9 @@ func New(cfg Config) *Injector {
 	}
 	if cfg.SlowRerankDur <= 0 {
 		cfg.SlowRerankDur = 50 * time.Millisecond
+	}
+	if cfg.SlowShardDur <= 0 {
+		cfg.SlowShardDur = 50 * time.Millisecond
 	}
 	return &Injector{cfg: cfg}
 }
@@ -136,6 +153,8 @@ const (
 	pointFailRerank   = 0x07
 	pointPixel        = 0x08
 	pointByte         = 0x09
+	pointSlowShard    = 0x0a
+	pointFailShard    = 0x0b
 )
 
 // splitmix64 is the finalizer of the splitmix64 generator: a cheap,
@@ -269,6 +288,22 @@ func (in *Injector) RerankFault(seq uint64) (stall time.Duration, err error) {
 		stall = in.cfg.SlowRerankDur
 	}
 	if in.fires(in.Config().FailRerank, pointFailRerank, seq, 0) {
+		err = ErrTransient
+	}
+	return stall, err
+}
+
+// ShardFault decides the fate of one shard's probe in scattered
+// round seq: a stall duration (0 for none) and an injected failure
+// (nil for none, else wrapping ErrTransient). Keyed on (round,
+// shard), so each shard rolls independently within a round and the
+// schedule is a pure function of the seed — identical across
+// replays, whatever the goroutine interleaving of the scatter.
+func (in *Injector) ShardFault(shard int, seq uint64) (stall time.Duration, err error) {
+	if in.fires(in.Config().SlowShard, pointSlowShard, seq, uint64(shard)) {
+		stall = in.cfg.SlowShardDur
+	}
+	if in.fires(in.Config().FailShard, pointFailShard, seq, uint64(shard)) {
 		err = ErrTransient
 	}
 	return stall, err

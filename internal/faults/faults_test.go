@@ -31,6 +31,9 @@ func TestNilInjectorIsInert(t *testing.T) {
 	if stall, err := in.RerankFault(1); stall != 0 || err != nil {
 		t.Fatalf("nil injector rerank fault: %v %v", stall, err)
 	}
+	if stall, err := in.ShardFault(0, 1); stall != 0 || err != nil {
+		t.Fatalf("nil injector shard fault: %v %v", stall, err)
+	}
 	if in.Config() != (Config{}) {
 		t.Fatal("nil injector has non-zero config")
 	}
@@ -56,6 +59,9 @@ func TestZeroRatesNeverFire(t *testing.T) {
 			}
 			if stall, err := in.RerankFault(uint64(i)); stall != 0 || err != nil {
 				t.Fatal("rerank fault fired at rate 0")
+			}
+			if stall, err := in.ShardFault(i%5, uint64(i)); stall != 0 || err != nil {
+				t.Fatal("shard fault fired at rate 0")
 			}
 		}
 	}
@@ -106,6 +112,48 @@ func TestDeterminism(t *testing.T) {
 	}
 	if !differs {
 		t.Fatal("different seeds produced the identical frame schedule")
+	}
+}
+
+// TestShardFault: the scatter-layer fault point is a pure function of
+// (seed, round, shard) — per-shard independence within a round, exact
+// replay across injectors, defaulted stall duration, and rate-1
+// certainty.
+func TestShardFault(t *testing.T) {
+	cfg := Config{Seed: 21, SlowShard: 0.3, FailShard: 0.2}
+	a, b := New(cfg), New(cfg)
+	perShard := false
+	for seq := uint64(0); seq < 500; seq++ {
+		var first time.Duration
+		var firstErr error
+		for sh := 0; sh < 4; sh++ {
+			sa, ea := a.ShardFault(sh, seq)
+			sb, eb := b.ShardFault(sh, seq)
+			if sa != sb || (ea == nil) != (eb == nil) {
+				t.Fatalf("same seed disagrees at round %d shard %d", seq, sh)
+			}
+			if sa > 0 && sa != a.Config().SlowShardDur {
+				t.Fatalf("stall %v is not the configured duration", sa)
+			}
+			if ea != nil && !errors.Is(ea, ErrTransient) {
+				t.Fatalf("shard failure %v does not wrap ErrTransient", ea)
+			}
+			if sh == 0 {
+				first, firstErr = sa, ea
+			} else if sa != first || (ea == nil) != (firstErr == nil) {
+				perShard = true
+			}
+		}
+	}
+	if !perShard {
+		t.Fatal("every shard rolled identically — point is not keyed per shard")
+	}
+	certain := New(Config{Seed: 4, SlowShard: 1, FailShard: 1, SlowShardDur: 7 * time.Millisecond})
+	for sh := 0; sh < 3; sh++ {
+		stall, err := certain.ShardFault(sh, 9)
+		if stall != 7*time.Millisecond || !errors.Is(err, ErrTransient) {
+			t.Fatalf("rate 1 shard %d: stall=%v err=%v", sh, stall, err)
+		}
 	}
 }
 
@@ -224,10 +272,13 @@ func TestTransientClearsOnRetry(t *testing.T) {
 
 // TestConfigDefaults: durations and density resolve on New.
 func TestConfigDefaults(t *testing.T) {
-	in := New(Config{Seed: 1, StageDelay: 1, SlowRerank: 1, SaltPepper: 1})
+	in := New(Config{Seed: 1, StageDelay: 1, SlowRerank: 1, SaltPepper: 1, SlowShard: 1})
 	cfg := in.Config()
 	if cfg.StageDelayDur != 2*time.Millisecond {
 		t.Fatalf("StageDelayDur default %v", cfg.StageDelayDur)
+	}
+	if cfg.SlowShardDur != 50*time.Millisecond {
+		t.Fatalf("SlowShardDur default %v", cfg.SlowShardDur)
 	}
 	if cfg.SlowRerankDur != 50*time.Millisecond {
 		t.Fatalf("SlowRerankDur default %v", cfg.SlowRerankDur)

@@ -2,6 +2,7 @@ package index
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -462,18 +463,66 @@ func (bi *BagIndex) Update(newDB []window.VS) (UpdateResult, error) {
 	return res, nil
 }
 
+// BagHit is one candidate bag from a probe pass: its position in the
+// indexed database and the minimum squared distance from any probe to
+// any of its instances (the max-instance aggregate the candidate set
+// is ordered by).
+type BagHit struct {
+	Pos  int
+	Dist float64
+}
+
 // Candidates probes the index with each query vector and returns up
 // to c candidate bag positions, best first: bags are scored by the
 // minimum distance from any probe to any of their instances
 // (max-instance aggregation), ties broken by ascending position.
 // Probes whose dimension does not match the index are skipped.
 func (bi *BagIndex) Candidates(probes [][]float64, c int) ([]int, ProbeStats) {
+	hits, stats := bi.CandidatesDist(probes, c)
+	if hits == nil {
+		return nil, stats
+	}
+	out := make([]int, len(hits))
+	for i, h := range hits {
+		out[i] = h.Pos
+	}
+	return out, stats
+}
+
+// CandidatesDist probes like Candidates but keeps each candidate's
+// aggregated distance — the currency a scatter–gather merge needs to
+// order one shard's answers against another's.
+func (bi *BagIndex) CandidatesDist(probes [][]float64, c int) ([]BagHit, ProbeStats) {
+	hits, _, stats := bi.CandidatesDistBounded(probes, c, nil)
+	return hits, stats
+}
+
+// CandidatesDistBounded is CandidatesDist with per-probe pruning
+// radii and per-probe result-quality bounds back out, the two halves
+// of a scout-and-carry scatter. bounds[i], when positive and finite,
+// is an initial pruning radius for probe i: instances beyond it are
+// skipped (subtree-pruned in a VP-tree, filtered in IVF), so bags
+// whose best instance lies beyond bounds[i] for every probe may be
+// missing from the result — the caller holds candidates of that
+// quality from another shard already. nil (or an infinite entry)
+// means unbounded. The returned kth slice has one entry per probe:
+// the distance of the k-th instance neighbor that probe actually
+// retrieved, or +Inf when it retrieved fewer than k (dimension
+// mismatch, a tight incoming bound, or a small index). Each finite
+// kth[i] upper-bounds the true k-th neighbor distance of probe i over
+// this shard's instances, which is what makes it a sound carried
+// bound for another shard of the same quantile share.
+func (bi *BagIndex) CandidatesDistBounded(probes [][]float64, c int, bounds []float64) ([]BagHit, []float64, ProbeStats) {
 	bi.mu.RLock()
 	defer bi.mu.RUnlock()
 	var stats ProbeStats
+	kth := make([]float64, len(probes))
+	for i := range kth {
+		kth[i] = math.Inf(1)
+	}
 	live := bi.liveLocked()
 	if c <= 0 || live == 0 {
-		return nil, stats
+		return nil, kth, stats
 	}
 	k := bi.opt.PerProbeK
 	if k <= 0 {
@@ -492,16 +541,20 @@ func (bi *BagIndex) Candidates(probes [][]float64, c int) ([]int, ProbeStats) {
 	}
 	clear(sc.bags)
 	best := sc.bags
-	for _, q := range probes {
+	for qi, q := range probes {
 		if len(q) != bi.dim {
 			continue
 		}
 		stats.Probes++
+		bound := math.Inf(1)
+		if bounds != nil {
+			bound = bounds[qi]
+		}
 		var hits []Neighbor
 		var evals int
 		switch bi.kind {
 		case KindVPTree:
-			hits, evals = bi.vp.KNNScratch(q, k, bi.opt.MaxEvals, sc)
+			hits, evals = bi.vp.KNNScratchBound(q, k, bi.opt.MaxEvals, bound, sc)
 		case KindIVF:
 			nprobe := bi.opt.NProbe
 			if nprobe <= 0 {
@@ -513,9 +566,12 @@ func (bi *BagIndex) Candidates(probes [][]float64, c int) ([]int, ProbeStats) {
 					nprobe = 2
 				}
 			}
-			hits, evals = bi.ivf.SearchScratch(q, k, nprobe, sc)
+			hits, evals = bi.ivf.SearchScratchBound(q, k, nprobe, bound, sc)
 		}
 		stats.DistEvals += evals
+		if len(hits) >= k {
+			kth[qi] = hits[len(hits)-1].Dist
+		}
 		for _, h := range hits {
 			bag := bi.owner[h.Idx]
 			if d, ok := best[bag]; !ok || h.Dist < d {
@@ -538,6 +594,13 @@ func (bi *BagIndex) Candidates(probes [][]float64, c int) ([]int, ProbeStats) {
 	if c < len(order) {
 		order = order[:c]
 	}
-	// The scratch's order buffer is recycled; hand the caller a copy.
-	return append([]int(nil), order...), stats
+	if len(order) == 0 {
+		return nil, kth, stats
+	}
+	// The scratch buffers are recycled; hand the caller a copy.
+	hits := make([]BagHit, len(order))
+	for i, bag := range order {
+		hits[i] = BagHit{Pos: bag, Dist: best[bag]}
+	}
+	return hits, kth, stats
 }

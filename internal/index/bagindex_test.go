@@ -1,6 +1,7 @@
 package index
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -59,6 +60,111 @@ func TestBagIndexCandidates(t *testing.T) {
 				t.Fatalf("%s: candidates nondeterministic at %d", kind, i)
 			}
 		}
+	}
+}
+
+// TestCandidatesDist: the distance-carrying probe agrees with
+// Candidates on membership and order, distances are non-negative and
+// non-decreasing, and the empty cases return nil exactly like the
+// position-only form.
+func TestCandidatesDist(t *testing.T) {
+	db := synthVSs(8, 50)
+	for _, kind := range Kinds() {
+		bi, err := Build(db, kind, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		probes := [][]float64{db[3].TSs[0].Flat(), db[21].TSs[0].Flat()}
+		hits, hstats := bi.CandidatesDist(probes, 12)
+		cands, cstats := bi.Candidates(probes, 12)
+		if len(hits) != len(cands) {
+			t.Fatalf("%s: %d hits vs %d candidates", kind, len(hits), len(cands))
+		}
+		for i, h := range hits {
+			if h.Pos != cands[i] {
+				t.Fatalf("%s: hit %d is bag %d, Candidates has %d", kind, i, h.Pos, cands[i])
+			}
+			if h.Dist < 0 {
+				t.Fatalf("%s: negative distance %v", kind, h.Dist)
+			}
+			if i > 0 && h.Dist < hits[i-1].Dist {
+				t.Fatalf("%s: distances not sorted at %d: %v < %v", kind, i, h.Dist, hits[i-1].Dist)
+			}
+		}
+		if hstats.Probes != cstats.Probes {
+			t.Fatalf("%s: probe stats diverge: %+v vs %+v", kind, hstats, cstats)
+		}
+	}
+	empty := []window.VS{{Index: 0}}
+	bi, err := Build(empty, KindVPTree, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := bi.CandidatesDist([][]float64{{1, 2, 3}}, 4); hits != nil {
+		t.Fatalf("instanceless index returned hits %v", hits)
+	}
+}
+
+// TestCandidatesDistBounded: the scout/carry probe surface. Nil
+// bounds reproduce CandidatesDist exactly while exporting each
+// probe's achieved k-th instance distance, carrying those very
+// distances back as bounds changes no answer (a probe's own k-th
+// distance upper-bounds itself) and costs no extra evals, and the
+// instanceless index stays nil.
+func TestCandidatesDistBounded(t *testing.T) {
+	db := synthVSs(9, 60)
+	for _, kind := range Kinds() {
+		bi, err := Build(db, kind, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		probes := [][]float64{db[5].TSs[0].Flat(), db[40].TSs[0].Flat()}
+		want, wstats := bi.CandidatesDist(probes, 10)
+		hits, kth, stats := bi.CandidatesDistBounded(probes, 10, nil)
+		if len(hits) != len(want) {
+			t.Fatalf("%s: %d hits with nil bounds, CandidatesDist has %d", kind, len(hits), len(want))
+		}
+		for i := range want {
+			if hits[i] != want[i] {
+				t.Fatalf("%s: hit %d = %+v, CandidatesDist has %+v", kind, i, hits[i], want[i])
+			}
+		}
+		if stats.DistEvals != wstats.DistEvals {
+			t.Fatalf("%s: nil-bound evals %d, CandidatesDist %d", kind, stats.DistEvals, wstats.DistEvals)
+		}
+		if len(kth) != len(probes) {
+			t.Fatalf("%s: %d exported bounds for %d probes", kind, len(kth), len(probes))
+		}
+		for qi, d := range kth {
+			// +Inf is legal (a probe that found fewer than k neighbors
+			// promises nothing); a finite bound must be a distance.
+			if d < 0 || math.IsNaN(d) {
+				t.Fatalf("%s: probe %d exported bound %v", kind, qi, d)
+			}
+			if kind == KindVPTree && math.IsInf(d, 1) {
+				t.Fatalf("%s: probe %d found fewer than k of %d live instances", kind, qi, bi.Instances())
+			}
+		}
+		carried, _, cstats := bi.CandidatesDistBounded(probes, 10, kth)
+		if len(carried) != len(hits) {
+			t.Fatalf("%s: carrying own bounds changed the hit count: %d vs %d", kind, len(carried), len(hits))
+		}
+		for i := range hits {
+			if carried[i] != hits[i] {
+				t.Fatalf("%s: carried hit %d = %+v, want %+v", kind, i, carried[i], hits[i])
+			}
+		}
+		if cstats.DistEvals > stats.DistEvals {
+			t.Fatalf("%s: carried bounds cost more evals: %d vs %d", kind, cstats.DistEvals, stats.DistEvals)
+		}
+	}
+	empty := []window.VS{{Index: 0}}
+	bi, err := Build(empty, KindVPTree, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, kth, _ := bi.CandidatesDistBounded([][]float64{{1, 2, 3}}, 4, nil); hits != nil || len(kth) != 1 || !math.IsInf(kth[0], 1) {
+		t.Fatalf("instanceless index returned hits %v bounds %v", hits, kth)
 	}
 }
 

@@ -390,10 +390,24 @@ func (f *IVF) Search(q []float64, k, nprobe int) ([]Neighbor, int) {
 // SearchScratch is Search with caller-owned probe buffers: the
 // returned slice aliases sc and is valid until sc's next use.
 func (f *IVF) SearchScratch(q []float64, k, nprobe int, sc *Scratch) ([]Neighbor, int) {
-	return f.search(q, k, nprobe, sc)
+	return f.searchBound(q, k, nprobe, math.Inf(1), sc)
+}
+
+// SearchScratchBound is SearchScratch keeping only neighbors within
+// bound (non-positive or NaN means unbounded). The scanned lists are
+// unchanged — IVF cost is the scan — but the result sort and the
+// returned set shrink to the in-bound neighbors, which is what a
+// scatter–gather caller that already holds bound-quality candidates
+// elsewhere wants merged back.
+func (f *IVF) SearchScratchBound(q []float64, k, nprobe int, bound float64, sc *Scratch) ([]Neighbor, int) {
+	return f.searchBound(q, k, nprobe, bound, sc)
 }
 
 func (f *IVF) search(q []float64, k, nprobe int, sc *Scratch) ([]Neighbor, int) {
+	return f.searchBound(q, k, nprobe, math.Inf(1), sc)
+}
+
+func (f *IVF) searchBound(q []float64, k, nprobe int, bound float64, sc *Scratch) ([]Neighbor, int) {
 	if k <= 0 || len(q) != f.dim || f.live == 0 {
 		return nil, 0
 	}
@@ -402,6 +416,9 @@ func (f *IVF) search(q []float64, k, nprobe int, sc *Scratch) ([]Neighbor, int) 
 	}
 	if nprobe > len(f.centroids) {
 		nprobe = len(f.centroids)
+	}
+	if math.IsNaN(bound) || bound <= 0 {
+		bound = math.Inf(1)
 	}
 	evals := 0
 	var order []Neighbor
@@ -442,6 +459,9 @@ func (f *IVF) search(q []float64, k, nprobe int, sc *Scratch) ([]Neighbor, int) 
 				d = math.Sqrt(f.codes.qz.ADCDist(tab, f.codes.at(idx)))
 			} else {
 				d = math.Sqrt(f.blk.SquaredDistTo(idx, q))
+			}
+			if d > bound {
+				continue
 			}
 			res = append(res, Neighbor{Idx: idx, Dist: d})
 		}

@@ -329,7 +329,7 @@ func (t *VPTree) Delete(id int) bool {
 // distance (ties broken by ascending index) and the number of
 // distance evaluations spent. k is clamped to the live point count.
 func (t *VPTree) KNN(q []float64, k int) ([]Neighbor, int) {
-	return t.knn(q, k, 0, nil)
+	return t.knn(q, k, 0, math.Inf(1), nil)
 }
 
 // KNNBounded is the approximate search: it follows the same
@@ -337,23 +337,40 @@ func (t *VPTree) KNN(q []float64, k int) ([]Neighbor, int) {
 // evaluations, returning the best k found so far. maxEvals <= 0 means
 // exact. Results are deterministic for a fixed tree.
 func (t *VPTree) KNNBounded(q []float64, k, maxEvals int) ([]Neighbor, int) {
-	return t.knn(q, k, maxEvals, nil)
+	return t.knn(q, k, maxEvals, math.Inf(1), nil)
 }
 
 // KNNScratch is KNNBounded with caller-owned probe buffers: the
 // returned slice aliases sc and is valid until sc's next use.
 func (t *VPTree) KNNScratch(q []float64, k, maxEvals int, sc *Scratch) ([]Neighbor, int) {
-	return t.knn(q, k, maxEvals, sc)
+	return t.knn(q, k, maxEvals, math.Inf(1), sc)
 }
 
-func (t *VPTree) knn(q []float64, k, maxEvals int, sc *Scratch) ([]Neighbor, int) {
+// KNNScratchBound is KNNScratch with an initial pruning radius: the
+// search starts with tau = bound instead of +Inf, so subtrees and
+// points wholly beyond bound are skipped from the first descent. When
+// bound upper-bounds the true k-th neighbor distance the result is
+// the exact top k; a tighter bound returns only the neighbors within
+// it (possibly fewer than k) — the caller is trading completeness it
+// has already covered elsewhere for the skipped work. A non-positive
+// or NaN bound means unbounded. Results may include points slightly
+// beyond the bound (leaves reached before pruning engaged); they are
+// correct neighbors, just unpromised ones.
+func (t *VPTree) KNNScratchBound(q []float64, k, maxEvals int, bound float64, sc *Scratch) ([]Neighbor, int) {
+	return t.knn(q, k, maxEvals, bound, sc)
+}
+
+func (t *VPTree) knn(q []float64, k, maxEvals int, bound float64, sc *Scratch) ([]Neighbor, int) {
 	if k <= 0 || len(q) != t.dim || t.live == 0 {
 		return nil, 0
 	}
 	if k > t.live {
 		k = t.live
 	}
-	s := &vpSearch{t: t, q: q, k: k, maxEvals: maxEvals, tau: math.Inf(1)}
+	if math.IsNaN(bound) || bound <= 0 {
+		bound = math.Inf(1)
+	}
+	s := &vpSearch{t: t, q: q, k: k, maxEvals: maxEvals, tau: bound}
 	if sc != nil {
 		s.best = sc.best[:0]
 	}
@@ -405,7 +422,9 @@ func (s *vpSearch) offer(idx int, d float64) {
 		s.best[0] = Neighbor{Idx: idx, Dist: d}
 		s.down(0)
 	}
-	if len(s.best) == s.k {
+	// tau only ever tightens: with an initial bound the heap's worst
+	// member may still sit beyond it, and the bound must keep pruning.
+	if len(s.best) == s.k && s.best[0].Dist < s.tau {
 		s.tau = s.best[0].Dist
 	}
 }

@@ -114,6 +114,64 @@ func TestVPTreeBounded(t *testing.T) {
 	}
 }
 
+// TestVPTreeBoundCarry: the scout-and-carry initial radius. A bound
+// that upper-bounds the true k-th neighbor distance reproduces the
+// exact answer (in no more evals), a tighter bound misses nothing
+// within it while pruning more of the tree, and the non-positive/NaN
+// sentinels mean unbounded.
+func TestVPTreeBoundCarry(t *testing.T) {
+	pts := randPts(11, 400, 9)
+	tree, err := BuildVPTree(pts, VPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 10
+	var exactTotal, tightTotal int
+	for qi, q := range randPts(12, 6, 9) {
+		exact, exactEvals := tree.KNN(q, k)
+		exactTotal += exactEvals
+		kth := exact[len(exact)-1].Dist
+
+		// Any bound at or above the true k-th distance — including the
+		// unbounded sentinels — must reproduce the exact answer without
+		// extra work.
+		for _, bound := range []float64{kth, kth * 1.5, math.Inf(1), 0, -1, math.NaN()} {
+			got, evals := tree.KNNScratchBound(q, k, 0, bound, nil)
+			if len(got) != len(exact) {
+				t.Fatalf("q=%d bound=%v: %d results, want %d", qi, bound, len(got), len(exact))
+			}
+			for i := range exact {
+				if got[i] != exact[i] {
+					t.Fatalf("q=%d bound=%v: result %d = %+v, want %+v", qi, bound, i, got[i], exact[i])
+				}
+			}
+			if bound >= kth && evals > exactEvals {
+				t.Fatalf("q=%d bound=%v: %d evals, unbounded needed %d", qi, bound, evals, exactEvals)
+			}
+		}
+
+		// A bound below the k-th distance trades completeness for
+		// pruning, but must still surface every neighbor within it.
+		tight := exact[2].Dist
+		got, evals := tree.KNNScratchBound(q, k, 0, tight, nil)
+		tightTotal += evals
+		var within []Neighbor
+		for _, nb := range got {
+			if nb.Dist <= tight {
+				within = append(within, nb)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			if i >= len(within) || within[i] != exact[i] {
+				t.Fatalf("q=%d: tight bound lost in-bound neighbor %d (%+v); got %v", qi, i, exact[i], within)
+			}
+		}
+	}
+	if tightTotal >= exactTotal {
+		t.Fatalf("tight bounds pruned nothing: %d evals vs %d unbounded", tightTotal, exactTotal)
+	}
+}
+
 // TestVPTreeDegenerate: duplicate points and dimension mismatches.
 func TestVPTreeDegenerate(t *testing.T) {
 	if _, err := BuildVPTree(nil, VPOptions{}); err == nil {

@@ -98,9 +98,33 @@ func (e CandidateEngine) Rank(db []window.VS, labels map[int]mil.Label) ([]int, 
 		e.Stats.Probes.Add(int64(stats.Probes))
 		e.Stats.DistEvals.Add(int64(stats.DistEvals))
 	}
+	out, ranked, err := RerankUnion(e.Inner, db, labels, cands)
+	if err != nil {
+		return nil, err
+	}
+	if e.Stats != nil {
+		e.Stats.CandidatesRanked.Add(int64(ranked))
+	}
+	return out, nil
+}
+
+// RerankUnion produces a full ranking of db from a candidate set: the
+// candidate positions plus every labeled bag are re-ranked exactly by
+// inner, and the pruned remainder keeps the cheap §5.3 heuristic
+// ordering. It is the shared tail of CandidateEngine and the sharded
+// scatter–gather engine — both reduce their probe phase to "which
+// positions get the exact treatment" and defer here. Out-of-range
+// candidate positions are ignored. Returns the ranking and the size
+// of the exactly re-ranked union.
+func RerankUnion(inner Engine, db []window.VS, labels map[int]mil.Label, candPos []int) ([]int, int, error) {
+	if inner == nil {
+		return nil, 0, ErrNilEngine
+	}
 	in := make([]bool, len(db))
-	for _, pos := range cands {
-		in[pos] = true
+	for _, pos := range candPos {
+		if pos >= 0 && pos < len(db) {
+			in[pos] = true
+		}
 	}
 	// Labeled bags always survive pruning: the engine must see its own
 	// training set, and the user's judged results must stay exactly
@@ -110,30 +134,27 @@ func (e CandidateEngine) Rank(db []window.VS, labels map[int]mil.Label) ([]int, 
 			in[pos] = true
 		}
 	}
-	sub := make([]window.VS, 0, len(cands)+4)
-	subPos := make([]int, 0, len(cands)+4)
+	sub := make([]window.VS, 0, len(candPos)+4)
+	subPos := make([]int, 0, len(candPos)+4)
 	for pos := range db {
 		if in[pos] {
 			sub = append(sub, db[pos])
 			subPos = append(subPos, pos)
 		}
 	}
-	if e.Stats != nil {
-		e.Stats.CandidatesRanked.Add(int64(len(sub)))
-	}
-	subRank, err := e.Inner.Rank(sub, labels)
+	subRank, err := inner.Rank(sub, labels)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if len(subRank) != len(sub) {
-		return nil, fmt.Errorf("%w: %s returned %d of %d candidate indices",
-			ErrBadRanking, e.Inner.Name(), len(subRank), len(sub))
+		return nil, 0, fmt.Errorf("%w: %s returned %d of %d candidate indices",
+			ErrBadRanking, inner.Name(), len(subRank), len(sub))
 	}
 	out := make([]int, 0, len(db))
 	for _, r := range subRank {
 		if r < 0 || r >= len(subPos) {
-			return nil, fmt.Errorf("%w: %s returned out-of-range candidate index %d",
-				ErrBadRanking, e.Inner.Name(), r)
+			return nil, 0, fmt.Errorf("%w: %s returned out-of-range candidate index %d",
+				ErrBadRanking, inner.Name(), r)
 		}
 		out = append(out, subPos[r])
 	}
@@ -150,7 +171,7 @@ func (e CandidateEngine) Rank(db []window.VS, labels map[int]mil.Label) ([]int, 
 	for _, ri := range rankByScore(scores) {
 		out = append(out, rest[ri])
 	}
-	return out, nil
+	return out, len(sub), nil
 }
 
 // full delegates to the wrapped engine, counting the round.

@@ -6,6 +6,7 @@
 package retrieval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -57,6 +58,18 @@ func ValidateDB(db []window.VS) error {
 	return nil
 }
 
+// ContextEngine is an Engine whose ranking can honor cancellation
+// and deadlines. Engines that fan work out — the sharded
+// scatter–gather engine derives per-shard deadlines from the round's
+// context — implement it; RankRoundCtx dispatches to RankCtx when the
+// engine provides it. RankCtx with identical (db, labels) must return
+// the same ranking Rank would (the context only bounds time, never
+// changes results on the happy path).
+type ContextEngine interface {
+	Engine
+	RankCtx(ctx context.Context, db []window.VS, labels map[int]mil.Label) ([]int, error)
+}
+
 // RankRound executes one retrieval round: the engine orders the
 // database under the labels accumulated so far, and the first
 // min(topK, len(db)) indices are the round's returned results. It is
@@ -64,6 +77,14 @@ func ValidateDB(db []window.VS) error {
 // milquery tool and the HTTP query service — identical inputs yield
 // identical rankings everywhere.
 func RankRound(engine Engine, db []window.VS, labels map[int]mil.Label, topK int) (ranking, top []int, err error) {
+	return RankRoundCtx(context.Background(), engine, db, labels, topK)
+}
+
+// RankRoundCtx is RankRound bounded by a context: engines that
+// implement ContextEngine rank under ctx, everything else ranks as
+// before (the context is then only observed between rounds by the
+// caller).
+func RankRoundCtx(ctx context.Context, engine Engine, db []window.VS, labels map[int]mil.Label, topK int) (ranking, top []int, err error) {
 	if engine == nil {
 		return nil, nil, ErrNilEngine
 	}
@@ -73,7 +94,11 @@ func RankRound(engine Engine, db []window.VS, labels map[int]mil.Label, topK int
 	if err := ValidateDB(db); err != nil {
 		return nil, nil, err
 	}
-	ranking, err = engine.Rank(db, labels)
+	if ce, ok := engine.(ContextEngine); ok {
+		ranking, err = ce.RankCtx(ctx, db, labels)
+	} else {
+		ranking, err = engine.Rank(db, labels)
+	}
 	if err != nil {
 		return nil, nil, err
 	}

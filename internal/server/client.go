@@ -128,6 +128,16 @@ func (c *Client) DeleteClip(ctx context.Context, name string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/clips/"+name, nil, nil)
 }
 
+// Scatter issues one shard probe against a worker's /v1/scatter —
+// the coordinator's scatter leg.
+func (c *Client) Scatter(ctx context.Context, req ScatterRequest) (*ScatterResponse, error) {
+	var out ScatterResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/scatter", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Stats fetches the service metrics.
 func (c *Client) Stats(ctx context.Context) (*StatsResponse, error) {
 	var out StatsResponse

@@ -9,15 +9,21 @@ import (
 	"milvideo/internal/window"
 )
 
-// indexCacheKey identifies one maintained candidate index: a clip
-// under one index structure. Unlike the earlier generation-keyed
-// design, a catalog generation bump no longer discards the entry —
-// the cached index is carried across generations by incremental
-// maintenance and only rebuilt when the clip's feature content
-// actually changed.
+// wholeClipShard keys a clip's undivided index in the cache; shard
+// partitions use their 0-based shard number.
+const wholeClipShard = -1
+
+// indexCacheKey identifies one maintained candidate index: one shard
+// of one clip under one index structure (shard = wholeClipShard for
+// the unsharded whole-clip index). Unlike the earlier
+// generation-keyed design, a catalog generation bump no longer
+// discards the entry — the cached index is carried across
+// generations by incremental maintenance and only rebuilt when the
+// clip's feature content actually changed.
 type indexCacheKey struct {
-	clip string
-	kind index.Kind
+	clip  string
+	shard int
+	kind  index.Kind
 }
 
 // cacheOutcome reports how get satisfied a lookup.
@@ -28,19 +34,24 @@ const (
 	cacheHit cacheOutcome = iota
 	// cacheBuilt: first use, index constructed from scratch.
 	cacheBuilt
-	// cacheApplied: newer generation but the clip's VS backing is
-	// unchanged — the index absorbed the bump as an incremental
-	// (no-op) delta instead of rebuilding.
+	// cacheApplied: newer generation but the VS backing is unchanged —
+	// the index absorbed the bump as an incremental (no-op) delta
+	// instead of rebuilding.
 	cacheApplied
-	// cacheRebuilt: the clip's VSs were replaced (different backing
-	// array), so VS-index-keyed diffing cannot be trusted and the
-	// index was rebuilt over the new content.
+	// cacheRebuilt: the VSs were replaced (different backing array),
+	// so VS-index-keyed diffing cannot be trusted and the index was
+	// rebuilt over the new content.
 	cacheRebuilt
 )
 
 // indexCacheEntry is one maintained index with the catalog state it
-// currently reflects.
+// currently reflects. Entries serialize their own maintenance with
+// mu; the cache's map lock is never held across a build or delta, so
+// distinct (clip, shard, kind) entries build and update in parallel —
+// the property the sharded engine's concurrent per-part getShard
+// calls rely on.
 type indexCacheEntry struct {
+	mu  sync.Mutex
 	bi  *index.BagIndex
 	gen uint64
 	vss []window.VS
@@ -52,7 +63,7 @@ type indexCacheEntry struct {
 // touching a queried clip's VSs; videodb.SharesBacking detects that
 // and the entry applies a verified no-op delta (cheap, counted) where
 // the old design rebuilt from scratch. Only a genuine replacement of
-// the clip forces a rebuild.
+// the content forces a rebuild.
 type indexCache struct {
 	mu      sync.Mutex
 	entries map[indexCacheKey]*indexCacheEntry
@@ -63,41 +74,60 @@ func newIndexCache(opt index.Options) *indexCache {
 	return &indexCache{entries: make(map[indexCacheKey]*indexCacheEntry), opt: opt}
 }
 
-// get returns the index for (clip, kind), building it on first use
-// and reconciling it with the snapshot's generation otherwise. The
-// outcome tells the caller which metric to bump; buildTime is nonzero
-// only for cacheBuilt and cacheRebuilt.
-func (c *indexCache) get(rec *videodb.ClipRecord, kind index.Kind, gen uint64) (bi *index.BagIndex, outcome cacheOutcome, buildTime time.Duration, err error) {
-	key := indexCacheKey{clip: rec.Name, kind: kind}
+// get returns the index for (clip, shard, kind) over vss (the whole
+// clip's VSs, or one partition's), building it on first use and
+// reconciling it with the snapshot's generation otherwise. The
+// outcome tells the caller which metric to bump; buildTime is
+// nonzero only for cacheBuilt and cacheRebuilt. Only the entry's own
+// lock is held during index work, so concurrent gets for different
+// keys proceed in parallel.
+func (c *indexCache) get(clip string, shard int, vss []window.VS, kind index.Kind, gen uint64) (bi *index.BagIndex, outcome cacheOutcome, buildTime time.Duration, err error) {
+	key := indexCacheKey{clip: clip, shard: shard, kind: kind}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	e, ok := c.entries[key]
+	if !ok {
+		e = &indexCacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	first := e.bi == nil
 	switch {
-	case ok && e.gen == gen:
+	case !first && e.gen == gen:
 		return e.bi, cacheHit, 0, nil
-	case ok && videodb.SharesBacking(e.vss, rec.VSs):
-		// Generation moved but this clip's content did not (stored VSs
-		// are immutable and the backing array is the same): absorb the
+	case !first && videodb.SharesBacking(e.vss, vss):
+		// Generation moved but this content did not (stored VSs are
+		// immutable and the backing array is the same): absorb the
 		// bump as an incremental delta. The BagIndex verifies the diff
 		// itself; an unchanged bag set applies as a no-op.
-		if _, err := e.bi.Update(rec.VSs); err != nil {
+		if _, err := e.bi.Update(vss); err != nil {
 			return nil, cacheHit, 0, err
 		}
 		e.gen = gen
-		e.vss = rec.VSs
+		e.vss = vss
 		return e.bi, cacheApplied, 0, nil
 	}
 	start := time.Now()
-	bi, err = index.Build(rec.VSs, kind, c.opt)
+	bi, err = index.Build(vss, kind, c.opt)
 	if err != nil {
+		if first {
+			// Never leave an empty placeholder behind a failed build.
+			c.mu.Lock()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+		}
 		return nil, cacheHit, 0, err
 	}
 	buildTime = time.Since(start)
-	c.entries[key] = &indexCacheEntry{bi: bi, gen: gen, vss: rec.VSs}
-	if ok {
-		return bi, cacheRebuilt, buildTime, nil
+	e.bi, e.gen, e.vss = bi, gen, vss
+	if first {
+		return bi, cacheBuilt, buildTime, nil
 	}
-	return bi, cacheBuilt, buildTime, nil
+	return bi, cacheRebuilt, buildTime, nil
 }
 
 // maintenance aggregates the resident indexes' maintenance and memory
@@ -105,13 +135,23 @@ func (c *indexCache) get(rec *videodb.ClipRecord, kind index.Kind, gen uint64) (
 // counts, and the total time spent training quantizers.
 func (c *indexCache) maintenance() (tombstones int, internalRebuilds uint64, trainTime time.Duration, pointBytes, floatBytes int) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	entries := make([]*indexCacheEntry, 0, len(c.entries))
 	for _, e := range c.entries {
-		m := e.bi.Maintenance()
+		entries = append(entries, e)
+	}
+	c.mu.Unlock()
+	for _, e := range entries {
+		e.mu.Lock()
+		bi := e.bi
+		e.mu.Unlock()
+		if bi == nil {
+			continue
+		}
+		m := bi.Maintenance()
 		tombstones += m.Tombstones
 		internalRebuilds += m.Rebuilds
-		trainTime += e.bi.TrainTime()
-		mem := e.bi.Memory()
+		trainTime += bi.TrainTime()
+		mem := bi.Memory()
 		pointBytes += mem.PointBytes
 		floatBytes += mem.FloatBytes
 	}

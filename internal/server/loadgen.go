@@ -75,6 +75,12 @@ type LoadGen struct {
 	// removing clips until the sessions finish. Queries rank against
 	// snapshots, so churn must never drop a round.
 	Churn bool
+	// ShardURLs, when set, also snapshots each listed shard worker's
+	// /v1/stats after the run (the per-shard breakdown of a cluster
+	// run; the coordinator's own stats carry per-shard scatter
+	// latency already, this adds each worker's index and probe
+	// counters). An unreachable worker yields a null entry.
+	ShardURLs []string
 }
 
 // OpStats are exact latency percentiles for one operation type.
@@ -106,6 +112,10 @@ type Report struct {
 	MutationsApplied int `json:"mutations_applied"`
 	// ServerStats snapshots /v1/stats after the run.
 	ServerStats *StatsResponse `json:"server_stats,omitempty"`
+	// ShardStats snapshots each shard worker's /v1/stats after the
+	// run, parallel to LoadGen.ShardURLs (cluster runs only; null for
+	// an unreachable worker).
+	ShardStats []*StatsResponse `json:"shard_stats,omitempty"`
 	// Errors samples failures (capped at 8).
 	Errors []string `json:"errors,omitempty"`
 }
@@ -327,6 +337,14 @@ func (lg *LoadGen) Run(ctx context.Context) (*Report, error) {
 	}
 	if stats, err := lg.Client.Stats(ctx); err == nil {
 		rep.ServerStats = stats
+	}
+	for _, u := range lg.ShardURLs {
+		sc := &Client{BaseURL: u, HTTP: lg.Client.HTTP}
+		stats, err := sc.Stats(ctx)
+		if err != nil {
+			stats = nil
+		}
+		rep.ShardStats = append(rep.ShardStats, stats)
 	}
 	return rep, nil
 }

@@ -48,6 +48,12 @@ type Metrics struct {
 	IndexRebuilds  expvar.Int
 	IndexBuild     LatencyHistogram
 
+	// ScatterServed counts /v1/scatter probes answered (shard
+	// workers); ShardForwardErrors counts catalog writes a
+	// coordinator failed to relay to a worker.
+	ScatterServed      expvar.Int
+	ShardForwardErrors expvar.Int
+
 	Rerank LatencyHistogram
 }
 
@@ -75,6 +81,8 @@ func (m *Metrics) publish() {
 		top.Set("index_incremental_applies", &m.IndexApplies)
 		top.Set("index_forced_rebuilds", &m.IndexRebuilds)
 		top.Set("index_build_latency", &m.IndexBuild)
+		top.Set("scatter_served", &m.ScatterServed)
+		top.Set("shard_forward_errors", &m.ShardForwardErrors)
 		expvar.Publish("milserver", top)
 	})
 }

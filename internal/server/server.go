@@ -43,6 +43,7 @@ import (
 	"milvideo/internal/mil"
 	"milvideo/internal/query"
 	"milvideo/internal/retrieval"
+	"milvideo/internal/shard"
 	"milvideo/internal/videodb"
 	"milvideo/internal/window"
 )
@@ -91,10 +92,43 @@ type Config struct {
 	// and statuses are identical to an unconfigured server. Injected
 	// failures surface as 503 with Retry-After, never as corrupt
 	// rankings; both outcomes are counted in /v1/stats under
-	// "degraded".
+	// "degraded". SlowShard/FailShard rates degrade scattered rounds
+	// to partial results instead.
 	Faults *faults.Injector
 	// Clock overrides time.Now for TTL tests.
 	Clock func() time.Time
+
+	// Shards, when > 1, serves indexed sessions through the
+	// in-process sharded scatter–gather engine: each clip's VS
+	// database is partitioned across Shards consistent-hash shards,
+	// each shard maintains its own candidate index (per-(clip, shard,
+	// kind) cache entries, built and delta-maintained in parallel on
+	// generation bumps), and every indexed round scatters its probes
+	// across them. C >= N sessions still reproduce the exact
+	// unsharded ranking. 0 or 1 disables.
+	Shards int
+	// ShardTimeout bounds each shard's probe in a scattered round and
+	// each coordinator→worker catalog forward. A shard that misses it
+	// is dropped from the round (partial results, counted in
+	// /v1/stats). Default 10s.
+	ShardTimeout time.Duration
+	// ShardWorkers bounds concurrent shard probes per round (0 = all
+	// shards at once).
+	ShardWorkers int
+	// ShardURLs, when set, turns the server into a cluster
+	// coordinator: it owns the full catalog and re-ranks centrally,
+	// but indexed rounds scatter their probes to these shard workers'
+	// /v1/scatter endpoints (worker i must run with PartitionIndex=i,
+	// PartitionCount=len(ShardURLs) over the same catalog), and
+	// catalog writes are forwarded to every worker. Overrides Shards.
+	ShardURLs []string
+	// PartitionIndex/PartitionCount mark this server as shard worker
+	// i of n: clips ingested through POST /v1/clips are filtered down
+	// to the partition this worker owns before storage (cmd/serve
+	// -shard filters a loaded catalog the same way at startup), and
+	// /v1/scatter answers from the local partition.
+	PartitionIndex int
+	PartitionCount int
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +153,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 10 * time.Second
+	}
 	return c
 }
 
@@ -138,6 +175,16 @@ type Server struct {
 	// fault injector keys its per-round decisions to it, so a fault
 	// schedule is a deterministic function of (seed, arrival order).
 	roundSeq atomic.Uint64
+
+	// Sharded serving state: the memoized clip partitions (in-process
+	// mode), the partition-filter ring (worker mode), the scatter
+	// engine's shared counters, the optional per-shard chaos hook,
+	// and the coordinator's worker nodes (cluster mode).
+	partitions *partitionCache
+	partRing   *shard.Ring
+	shardStats *shard.Stats
+	shardFault func(shard int, seq uint64) (time.Duration, error)
+	shardNodes []*shardNode
 
 	stop    chan struct{}
 	stopped chan struct{}
@@ -161,6 +208,9 @@ func New(cfg Config) (*Server, error) {
 		}
 		cfg.IndexOptions.Quant = qk
 	}
+	if cfg.PartitionCount > 1 && (cfg.PartitionIndex < 0 || cfg.PartitionIndex >= cfg.PartitionCount) {
+		return nil, fmt.Errorf("server: partition index %d out of range 0..%d", cfg.PartitionIndex, cfg.PartitionCount-1)
+	}
 	s := &Server{
 		cfg:       cfg,
 		store:     newSessionStore(cfg.MaxSessions, cfg.SessionTTL, cfg.Clock),
@@ -172,6 +222,18 @@ func New(cfg Config) (*Server, error) {
 		stop:      make(chan struct{}),
 		stopped:   make(chan struct{}),
 	}
+	s.shardStats = &shard.Stats{}
+	s.shardFault = shardFaultHook(cfg.Faults)
+	if len(cfg.ShardURLs) > 0 {
+		for _, u := range cfg.ShardURLs {
+			s.shardNodes = append(s.shardNodes, &shardNode{url: u, client: &Client{BaseURL: u}})
+		}
+	} else if cfg.Shards > 1 {
+		s.partitions = newPartitionCache(shard.NewRing(cfg.Shards))
+	}
+	if cfg.PartitionCount > 1 {
+		s.partRing = shard.NewRing(cfg.PartitionCount)
+	}
 	s.metrics.publish()
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/session/{id}/ranking", s.handleRanking)
@@ -179,6 +241,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/clips", s.handleCreateClip)
 	s.mux.HandleFunc("DELETE /v1/clips/{name}", s.handleDeleteClip)
+	s.mux.HandleFunc("POST /v1/scatter", s.handleScatter)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	go s.janitor()
 	return s, nil
@@ -369,6 +432,12 @@ type StatsResponse struct {
 	KernelCacheLastRound KernelCacheStats `json:"kernel_cache_last_round"`
 	Index                IndexStats       `json:"index"`
 	RerankLatency        LatencySummary   `json:"rerank_latency"`
+	// Shard reports the scatter–gather subsystem when this server
+	// shards in-process, coordinates a cluster, or serves a worker
+	// partition; Cluster additionally aggregates the workers behind a
+	// coordinator. Both are absent on a plain single-catalog server.
+	Shard   *ShardStats   `json:"shard,omitempty"`
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // ErrorResponse is the JSON error envelope.
@@ -450,24 +519,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if kind != "" {
-		bi, outcome, buildTime, err := s.indexes.get(rec, kind, snap.Generation())
-		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, err)
-			return
-		}
-		switch outcome {
-		case cacheBuilt:
-			s.metrics.IndexBuilds.Add(1)
-			s.metrics.IndexBuild.Observe(buildTime)
-		case cacheApplied:
-			s.metrics.IndexApplies.Add(1)
-		case cacheRebuilt:
-			s.metrics.IndexRebuilds.Add(1)
-			s.metrics.IndexBuild.Observe(buildTime)
+		switch {
+		case len(s.shardNodes) > 0:
+			// Cluster mode: probes scatter to the shard workers over
+			// HTTP; the union re-ranks here against the full catalog.
+			engine = s.clusterEngine(engine, rec.Name, kind, cand)
+		case s.partitions != nil:
+			// In-process sharded mode: one maintained index per
+			// (clip, shard, kind), probed concurrently.
+			sharded, err := s.shardedEngine(engine, rec, snap.Generation(), kind, cand)
+			if err != nil {
+				writeError(w, http.StatusUnprocessableEntity, err)
+				return
+			}
+			engine = sharded
 		default:
-			s.metrics.IndexCacheHits.Add(1)
+			bi, err := s.indexFor(rec.Name, wholeClipShard, rec.VSs, kind, snap.Generation())
+			if err != nil {
+				writeError(w, http.StatusUnprocessableEntity, err)
+				return
+			}
+			engine = retrieval.CandidateEngine{Inner: engine, Index: bi, C: cand, Stats: s.candStats}
 		}
-		engine = retrieval.CandidateEngine{Inner: engine, Index: bi, C: cand, Stats: s.candStats}
 	}
 
 	id, err := newSessionID()
@@ -687,6 +760,19 @@ func (s *Server) handleCreateClip(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rec.Name = req.Name
+	if s.partRing != nil {
+		// Shard worker: keep only the partition this worker owns. An
+		// empty partition is acknowledged without storing — the clip
+		// simply has no bags here, and /v1/scatter answers empty.
+		rec = shard.PartitionRecord(s.partRing, rec, s.cfg.PartitionIndex)
+		if rec == nil {
+			writeJSON(w, http.StatusCreated, &ClipResponse{
+				Name:       req.Name,
+				Generation: s.cfg.DB.Generation(),
+			})
+			return
+		}
+	}
 	if err := s.cfg.DB.Add(rec); err != nil {
 		status := http.StatusConflict
 		if !errors.Is(err, videodb.ErrDuplicate) {
@@ -695,6 +781,15 @@ func (s *Server) handleCreateClip(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
+	// Coordinator: mirror the write to every shard worker (each
+	// synthesizes the same record from the seed and keeps its own
+	// partition). A failed forward leaves that worker without the
+	// clip's bags — scattered rounds degrade to partial candidates,
+	// counted, never corrupted.
+	s.forwardToShards(r.Context(), func(ctx context.Context, c *Client) error {
+		_, err := c.CreateClip(ctx, CreateClipRequest{Name: req.Name, Seed: seed, Scale: req.Scale})
+		return err
+	})
 	writeJSON(w, http.StatusCreated, &ClipResponse{
 		Name:       rec.Name,
 		VSCount:    len(rec.VSs),
@@ -708,6 +803,14 @@ func (s *Server) handleDeleteClip(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
+	s.forwardToShards(r.Context(), func(ctx context.Context, c *Client) error {
+		err := c.DeleteClip(ctx, name)
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+			return nil // the worker owned none of the clip's bags
+		}
+		return err
+	})
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -763,6 +866,12 @@ func (s *Server) Stats() *StatsResponse {
 	resp.Index.Tombstones = int64(tombstones)
 	resp.Index.ForcedRebuilds += int64(internalRebuilds)
 	resp.Index.QuantizerTrainMs = ms(trainTime)
+	if mode := s.shardMode(); mode != "" {
+		resp.Shard = s.shardStatsJSON(mode)
+	}
+	if len(s.shardNodes) > 0 {
+		resp.Cluster = s.clusterStats()
+	}
 	hits := uint64(s.metrics.retiredHits.Value())
 	misses := uint64(s.metrics.retiredMisses.Value())
 	var lastHits, lastMisses uint64
@@ -830,7 +939,7 @@ func (s *Server) runRound(ctx context.Context, sess *session, labels []FeedbackL
 		}
 	}
 	start := time.Now()
-	ranking, top, err := retrieval.RankRound(sess.engine, sess.db, sess.labels, sess.topK)
+	ranking, top, err := retrieval.RankRoundCtx(ctx, sess.engine, sess.db, sess.labels, sess.topK)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,354 @@
+package shard
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"milvideo/internal/index"
+	"milvideo/internal/mil"
+	"milvideo/internal/retrieval"
+	"milvideo/internal/rf"
+	"milvideo/internal/window"
+)
+
+// shardLabels labels the first few spike bags positive and a few
+// others negative, as accumulated feedback would.
+func shardLabels(db []window.VS, nPos, nNeg int) map[int]mil.Label {
+	labels := map[int]mil.Label{}
+	for _, vs := range db {
+		if vs.Index%7 == 0 && nPos > 0 {
+			labels[vs.Index] = mil.Positive
+			nPos--
+		} else if vs.Index%7 == 3 && nNeg > 0 {
+			labels[vs.Index] = mil.Negative
+			nNeg--
+		}
+	}
+	return labels
+}
+
+func shardEngines() []retrieval.Engine {
+	return []retrieval.Engine{
+		retrieval.MILEngine{Opt: mil.DefaultOptions()},
+		retrieval.WeightedEngine{Norm: rf.NormPercentage},
+		retrieval.RocchioEngine{},
+	}
+}
+
+// buildProbers partitions db across s shards and builds one index
+// per part.
+func buildProbers(t *testing.T, db []window.VS, s int, kind index.Kind, opt index.Options) []Prober {
+	t.Helper()
+	parts := PartitionVS(NewRing(s), "clip", db)
+	probers := make([]Prober, len(parts))
+	for i, p := range parts {
+		bi, err := index.Build(p.VSs, kind, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probers[i] = LocalProber{VSs: p.VSs, Index: bi}
+	}
+	return probers
+}
+
+// TestShardedFullCIdentity is the merge-contract property test: with
+// C = N, scatter–gather over any shard count S ∈ {1,2,3,5} must be
+// permutation-identical to the unsharded exact ranking — for all
+// three engines, both index kinds, and several label mixes. The
+// identity is proven through the real scatter path (every shard
+// returns its full partition, completion hits included), not by a
+// delegation shortcut.
+func TestShardedFullCIdentity(t *testing.T) {
+	db := shardSynthDB(1, 70)
+	labelSets := []map[int]mil.Label{
+		shardLabels(db, 3, 0),
+		shardLabels(db, 4, 4),
+		shardLabels(db, 100, 8),
+	}
+	for _, kind := range index.Kinds() {
+		for _, s := range []int{1, 2, 3, 5} {
+			probers := buildProbers(t, db, s, kind, index.Options{})
+			for _, inner := range shardEngines() {
+				eng := &Engine{Inner: inner, Probers: probers, C: len(db)}
+				for li, labels := range labelSets {
+					want, err := inner.Rank(db, labels)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := eng.RankCtx(context.Background(), db, labels)
+					if err != nil {
+						t.Fatalf("kind=%s S=%d engine=%s labels=%d: %v", kind, s, inner.Name(), li, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("kind=%s S=%d engine=%s labels=%d: sharded C=N ranking diverges\ngot  %v\nwant %v",
+							kind, s, inner.Name(), li, got, want)
+					}
+				}
+				// The identity must flow through the scatter path, not a
+				// full-rank delegation.
+				if eng.Stats != nil {
+					t.Fatal("unexpected stats")
+				}
+			}
+		}
+	}
+}
+
+// TestShardedScatterPathUsed pins that C=N rounds with positive
+// labels actually scatter (ScatterRounds, not FullRounds).
+func TestShardedScatterPathUsed(t *testing.T) {
+	db := shardSynthDB(2, 56)
+	probers := buildProbers(t, db, 3, index.KindVPTree, index.Options{})
+	st := &Stats{}
+	eng := &Engine{Inner: retrieval.RocchioEngine{}, Probers: probers, C: len(db), Stats: st}
+	if _, err := eng.Rank(db, shardLabels(db, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if st.ScatterRounds.Load() != 1 || st.FullRounds.Load() != 0 {
+		t.Fatalf("scatter=%d full=%d, want 1/0", st.ScatterRounds.Load(), st.FullRounds.Load())
+	}
+	if st.MergedCandidates.Load() != int64(len(db)) {
+		t.Fatalf("C=N merged %d candidates, want %d", st.MergedCandidates.Load(), len(db))
+	}
+	// Round 0 (no positives) must delegate to the inner engine.
+	if _, err := eng.Rank(db, map[int]mil.Label{}); err != nil {
+		t.Fatal(err)
+	}
+	if st.FullRounds.Load() != 1 {
+		t.Fatalf("round 0 did not delegate: full=%d", st.FullRounds.Load())
+	}
+}
+
+// demoMixDB mirrors the server demo catalog's feature distribution
+// (accident-spike relevant bags, deceleration-only distractors,
+// smooth normal traffic — the mix every recall gate in this repo is
+// calibrated on). Relevance ground truth is positional: the first
+// nRel bags are the accidents.
+func demoMixDB(seed int64, nRel, nDis, nNorm int) ([]window.VS, int) {
+	rng := rand.New(rand.NewSource(seed))
+	n3 := func(scale float64) []float64 {
+		return []float64{
+			math.Abs(rng.NormFloat64()) * 0.03 * scale,
+			math.Abs(rng.NormFloat64()) * 0.1 * scale,
+			math.Abs(rng.NormFloat64()) * 0.05 * scale,
+		}
+	}
+	normalTS := func(id int) window.TS {
+		s := 1 + rng.Float64()*5
+		return window.TS{TrackID: id, Vectors: [][]float64{n3(s), n3(s), n3(s)}}
+	}
+	var db []window.VS
+	idx := 0
+	add := func(tss ...window.TS) {
+		db = append(db, window.VS{Index: idx, StartFrame: idx * 15, EndFrame: idx*15 + 10, TSs: tss})
+		idx++
+	}
+	for i := 0; i < nRel; i++ {
+		peak := []float64{0.35 + rng.Float64()*0.1, 2.6 + rng.NormFloat64()*0.5, 1.1 + rng.NormFloat64()*0.2}
+		after := []float64{0.3 + rng.Float64()*0.1, 0.5 + rng.NormFloat64()*0.1, 0.25 + rng.NormFloat64()*0.08}
+		add(window.TS{TrackID: 100 + i, Vectors: [][]float64{n3(1), peak, after}})
+	}
+	for i := 0; i < nDis; i++ {
+		spike := []float64{0.02 + rng.Float64()*0.02, 2.3 + rng.NormFloat64()*0.5, 0.05 + math.Abs(rng.NormFloat64())*0.04}
+		add(window.TS{TrackID: 300 + i, Vectors: [][]float64{n3(1), spike, n3(1)}})
+	}
+	for i := 0; i < nNorm; i++ {
+		add(normalTS(400 + i))
+	}
+	return db, nRel
+}
+
+// TestShardedRecall: on the demo-mix catalog, a 5-round oracle-judged
+// feedback session through the sharded engine at C = N/4 must keep
+// recall@10 ≥ 0.9 against the exact engine run on the same
+// accumulated labels — for both index kinds and S ∈ {2,3,5}. This is
+// the gate that holds the per-shard budget heuristic (C/S plus
+// slack) to measurement: a budget cut too deep shows up here first.
+func TestShardedRecall(t *testing.T) {
+	db, nRel := demoMixDB(1, 12, 12, 72)
+	n := len(db)
+	for _, kind := range index.Kinds() {
+		for _, s := range []int{2, 3, 5} {
+			probers := buildProbers(t, db, s, kind, index.Options{})
+			inner := retrieval.MILEngine{Opt: mil.DefaultOptions()}
+			eng := &Engine{Inner: inner, Probers: probers, C: n / 4}
+			labels := make(map[int]mil.Label)
+			for round := 0; round < 5; round++ {
+				got, gotTop, err := retrieval.RankRound(eng, db, labels, 20)
+				if err != nil {
+					t.Fatalf("%s S=%d round %d: %v", kind, s, round, err)
+				}
+				want, _, err := retrieval.RankRound(inner, db, labels, 20)
+				if err != nil {
+					t.Fatal(err)
+				}
+				set := make(map[int]bool, 10)
+				for _, p := range want[:10] {
+					set[p] = true
+				}
+				hit := 0
+				for _, p := range got[:10] {
+					if set[p] {
+						hit++
+					}
+				}
+				if r := float64(hit) / 10; r < 0.9 {
+					t.Fatalf("%s S=%d round %d: recall@10 = %.2f at C=N/4, want >= 0.9", kind, s, round, r)
+				}
+				for _, pos := range gotTop {
+					if pos < nRel {
+						labels[db[pos].Index] = mil.Positive
+					} else {
+						labels[db[pos].Index] = mil.Negative
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedBoundCarry pins the scout-and-carry scatter: with local
+// probers and S > 1 the carried wave runs bounded (BoundedShardProbes
+// advances), the C=N merge stays permutation-identical to the
+// unsharded ranking even though the carried shards pruned against the
+// scout's radii (completion hits restore whatever pruning skipped),
+// and at a quarter budget a full feedback session still holds
+// recall@10 >= 0.9 against the exact engine.
+func TestShardedBoundCarry(t *testing.T) {
+	db, nRel := demoMixDB(23, 10, 10, 92)
+	n := len(db)
+	inner := retrieval.MILEngine{Opt: mil.DefaultOptions()}
+	for _, s := range []int{2, 4} {
+		probers := buildProbers(t, db, s, index.KindVPTree, index.Options{})
+		st := &Stats{}
+		eng := &Engine{Inner: inner, Probers: probers, C: n, Stats: st}
+		labels := shardLabels(db, 4, 2)
+		got, err := eng.Rank(db, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := inner.Rank(db, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("S=%d: C=N ranking diverged under carried bounds", s)
+		}
+		if carried := st.BoundedShardProbes.Load(); carried != int64(s-1) {
+			t.Fatalf("S=%d: %d bounded shard probes, want %d (every non-scout shard)", s, carried, s-1)
+		}
+
+		// A feedback session at C=N/4: the carried bounds must not cost
+		// recall the budget itself preserves.
+		eng = &Engine{Inner: inner, Probers: probers, C: n / 4, Stats: st}
+		sess := make(map[int]mil.Label)
+		for round := 0; round < 5; round++ {
+			got, gotTop, err := retrieval.RankRound(eng, db, sess, 20)
+			if err != nil {
+				t.Fatalf("S=%d round %d: %v", s, round, err)
+			}
+			want, _, err := retrieval.RankRound(inner, db, sess, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := make(map[int]bool, 10)
+			for _, p := range want[:10] {
+				set[p] = true
+			}
+			hit := 0
+			for _, p := range got[:10] {
+				if set[p] {
+					hit++
+				}
+			}
+			if r := float64(hit) / 10; r < 0.9 {
+				t.Fatalf("S=%d round %d: recall@10 = %.2f under carried bounds, want >= 0.9", s, round, r)
+			}
+			for _, pos := range gotTop {
+				if pos < nRel {
+					sess[db[pos].Index] = mil.Positive
+				} else {
+					sess[db[pos].Index] = mil.Negative
+				}
+			}
+		}
+	}
+}
+
+// TestShardedDeterminism: the merge order must not depend on the
+// goroutine schedule — repeated runs return identical rankings.
+func TestShardedDeterminism(t *testing.T) {
+	db := shardSynthDB(7, 63)
+	labels := shardLabels(db, 3, 2)
+	probers := buildProbers(t, db, 5, index.KindIVF, index.Options{})
+	eng := &Engine{Inner: retrieval.RocchioEngine{}, Probers: probers, C: 16, Workers: 2}
+	first, err := eng.Rank(db, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := eng.Rank(db, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d diverged from the first", i)
+		}
+	}
+}
+
+// TestPerShardBudget pins the budget policy: full C when C >= N or
+// S == 1 (the exactness path), a reduced C/S-plus-slack budget
+// otherwise, never exceeding C.
+func TestPerShardBudget(t *testing.T) {
+	mk := func(s, c int) *Engine {
+		return &Engine{C: c, Probers: make([]Prober, s)}
+	}
+	if got := mk(4, 100).perShardC(100); got != 100 {
+		t.Fatalf("C=N: got %d, want full 100", got)
+	}
+	if got := mk(1, 50).perShardC(1000); got != 50 {
+		t.Fatalf("S=1: got %d, want full 50", got)
+	}
+	// Small C: the 64 slack floor dominates, capped back at C.
+	if got := mk(4, 48).perShardC(1000); got != 48 {
+		t.Fatalf("small C: got %d, want 48", got)
+	}
+	// Large C: C/S + C/16.
+	if got := mk(4, 1600).perShardC(48000); got != 1600/4+1600/16 {
+		t.Fatalf("large C: got %d, want %d", got, 1600/4+1600/16)
+	}
+}
+
+// TestProbeLocalCompletion: a budget covering the partition returns
+// every bag exactly once, probed hits first with real distances,
+// completion hits marked with the negative sentinel.
+func TestProbeLocalCompletion(t *testing.T) {
+	db := shardSynthDB(9, 30)
+	bi, err := index.Build(db, index.KindVPTree, index.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := PositiveProbes(db, shardLabels(db, 2, 0))
+	hits, _, err := ProbeLocal(db, bi, probes, len(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != len(db) {
+		t.Fatalf("full-budget probe returned %d of %d bags", len(hits), len(db))
+	}
+	seen := map[int]bool{}
+	for _, h := range hits {
+		if seen[h.VS] {
+			t.Fatalf("VS %d returned twice", h.VS)
+		}
+		seen[h.VS] = true
+	}
+	// Mismatched index is rejected, not silently misaligned.
+	if _, _, err := ProbeLocal(db[:10], bi, probes, 5); err == nil {
+		t.Fatal("stale index accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package shard
+
+import (
+	"milvideo/internal/videodb"
+	"milvideo/internal/window"
+)
+
+// Part is one shard's slice of a clip's VS database: the VSs it owns
+// and their positions in the full database (parallel slices, both in
+// database order).
+type Part struct {
+	VSs []window.VS
+	Pos []int
+}
+
+// PartitionVS splits db into r.Shards() parts by ring ownership of
+// the (clip, VS index) keys. Every VS lands in exactly one part, and
+// parts preserve database order, so each part is a stable
+// sub-database a BagIndex can be built over — and, because a part's
+// backing array only changes when the partition is recomputed,
+// incrementally maintained across generations.
+func PartitionVS(r *Ring, clip string, db []window.VS) []Part {
+	parts := make([]Part, r.Shards())
+	for pos, vs := range db {
+		s := r.OwnerVS(clip, vs.Index)
+		parts[s].VSs = append(parts[s].VSs, vs)
+		parts[s].Pos = append(parts[s].Pos, pos)
+	}
+	return parts
+}
+
+// PartitionRecord filters rec down to the VSs shard s owns under the
+// ring: the record a shard worker stores, indexes and persists (the
+// v2 checksummed snapshot format applies to it unchanged, so
+// per-shard recovery is free). Returns nil when the shard owns none
+// of the clip's VSs — an empty record is not a valid catalog entry,
+// so workers skip the clip instead of storing a husk. Incidents and
+// annotations travel whole: they are per-clip metadata, not per-VS
+// content, and the coordinator's exact re-rank never reads them from
+// workers anyway.
+func PartitionRecord(r *Ring, rec *videodb.ClipRecord, s int) *videodb.ClipRecord {
+	if rec == nil {
+		return nil
+	}
+	var vss []window.VS
+	for _, vs := range rec.VSs {
+		if r.OwnerVS(rec.Name, vs.Index) == s {
+			vss = append(vss, vs)
+		}
+	}
+	if len(vss) == 0 {
+		return nil
+	}
+	out := *rec
+	out.VSs = vss
+	return &out
+}

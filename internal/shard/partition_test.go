@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"milvideo/internal/videodb"
+	"milvideo/internal/window"
+)
+
+// shardSynthDB builds a seeded synthetic VS database: mostly smooth
+// traffic, a few accident-like spikes, 1–3 TSs per bag (the same
+// shape the retrieval candidate tests use).
+func shardSynthDB(seed int64, n int) []window.VS {
+	rng := rand.New(rand.NewSource(seed))
+	db := make([]window.VS, n)
+	for i := range db {
+		vs := window.VS{Index: i, StartFrame: i * 15, EndFrame: i*15 + 10}
+		spike := i%7 == 0
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			ts := window.TS{TrackID: i*10 + k}
+			for p := 0; p < 3; p++ {
+				v := []float64{rng.Float64() * 0.1, rng.Float64() * 0.3, rng.Float64() * 0.1}
+				if spike && k == 0 && p == 1 {
+					v = []float64{0.4 + rng.Float64()*0.1, 2.5 + rng.Float64(), 1 + rng.Float64()*0.3}
+				}
+				ts.Vectors = append(ts.Vectors, v)
+			}
+			vs.TSs = append(vs.TSs, ts)
+		}
+		db[i] = vs
+	}
+	return db
+}
+
+// TestPartitionVSCovers: every database position lands in exactly
+// one part, parts preserve database order, and the parallel Pos
+// slice points back correctly.
+func TestPartitionVSCovers(t *testing.T) {
+	db := shardSynthDB(3, 90)
+	for _, s := range []int{1, 2, 3, 5} {
+		r := NewRing(s)
+		parts := PartitionVS(r, "clip", db)
+		if len(parts) != s {
+			t.Fatalf("S=%d: got %d parts", s, len(parts))
+		}
+		seen := make([]bool, len(db))
+		for _, p := range parts {
+			if len(p.VSs) != len(p.Pos) {
+				t.Fatalf("S=%d: VSs/Pos length mismatch", s)
+			}
+			last := -1
+			for i, pos := range p.Pos {
+				if seen[pos] {
+					t.Fatalf("S=%d: position %d in two parts", s, pos)
+				}
+				seen[pos] = true
+				if pos <= last {
+					t.Fatalf("S=%d: part out of database order", s)
+				}
+				last = pos
+				if p.VSs[i].Index != db[pos].Index {
+					t.Fatalf("S=%d: part VS %d mismatches db position %d", s, p.VSs[i].Index, pos)
+				}
+			}
+		}
+		for pos, ok := range seen {
+			if !ok {
+				t.Fatalf("S=%d: position %d unassigned", s, pos)
+			}
+		}
+	}
+}
+
+// TestPartitionRecord: the union of the per-shard records is the
+// original VS set, each record's VSs agree with ring ownership, and
+// a shard owning nothing gets nil.
+func TestPartitionRecord(t *testing.T) {
+	db := shardSynthDB(4, 60)
+	rec := &videodb.ClipRecord{Name: "clip", Frames: 900, FPS: 25, ModelName: "accident", VSs: db}
+	const s = 3
+	r := NewRing(s)
+	total := 0
+	for sh := 0; sh < s; sh++ {
+		prec := PartitionRecord(r, rec, sh)
+		if prec == nil {
+			continue
+		}
+		if prec.Name != rec.Name || prec.Frames != rec.Frames {
+			t.Fatalf("shard %d: clip metadata not carried", sh)
+		}
+		for _, vs := range prec.VSs {
+			if r.OwnerVS(rec.Name, vs.Index) != sh {
+				t.Fatalf("shard %d: does not own VS %d", sh, vs.Index)
+			}
+		}
+		total += len(prec.VSs)
+	}
+	if total != len(db) {
+		t.Fatalf("partitions cover %d of %d VSs", total, len(db))
+	}
+	// A ring with many shards and a tiny record leaves some shards
+	// empty → nil, not an empty record.
+	tiny := &videodb.ClipRecord{Name: "tiny", VSs: db[:1]}
+	big := NewRing(16)
+	owner := big.OwnerVS("tiny", db[0].Index)
+	for sh := 0; sh < 16; sh++ {
+		prec := PartitionRecord(big, tiny, sh)
+		if sh == owner && prec == nil {
+			t.Fatalf("owning shard %d got nil", sh)
+		}
+		if sh != owner && prec != nil {
+			t.Fatalf("non-owning shard %d got a record", sh)
+		}
+	}
+	if PartitionRecord(r, nil, 0) != nil {
+		t.Fatal("nil record should partition to nil")
+	}
+}

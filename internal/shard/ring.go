@@ -1,0 +1,97 @@
+// Package shard partitions a VS catalog across S shards by
+// consistent hashing and serves queries over the partition with a
+// scatter–gather engine: every shard probes its own candidate index,
+// the per-shard candidate sets merge by distance into a global top-C,
+// and the unchanged exact MIL re-rank runs on the union — the PR 4
+// C=N-exact contract, preserved across any shard count.
+package shard
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// ringReplicas is the virtual-node count per shard: enough points
+// that each shard's share of the keyspace concentrates near 1/S,
+// while NewRing stays trivially cheap (S·64 hashes, one sort).
+const ringReplicas = 64
+
+// Ring is a consistent-hash ring over S shards. It is a pure
+// function of S, so every process that builds NewRing(S) —
+// coordinator, each worker, tests — agrees on ownership with no
+// coordination. Growing S to S+1 moves only the keys the new shard's
+// points win (~1/(S+1) of the space); everything else stays put,
+// which is what makes resharding incremental rather than a full
+// reshuffle.
+type Ring struct {
+	shards int
+	points []ringPoint
+}
+
+type ringPoint struct {
+	h uint64
+	s int
+}
+
+// NewRing builds the ring for the given shard count (minimum 1).
+func NewRing(shards int) *Ring {
+	if shards < 1 {
+		shards = 1
+	}
+	r := &Ring{shards: shards, points: make([]ringPoint, 0, shards*ringReplicas)}
+	for s := 0; s < shards; s++ {
+		for rep := 0; rep < ringReplicas; rep++ {
+			key := "shard-" + strconv.Itoa(s) + "#" + strconv.Itoa(rep)
+			r.points = append(r.points, ringPoint{h: hash64(key), s: s})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].h != r.points[b].h {
+			return r.points[a].h < r.points[b].h
+		}
+		return r.points[a].s < r.points[b].s
+	})
+	return r
+}
+
+// Shards reports the ring's shard count.
+func (r *Ring) Shards() int { return r.shards }
+
+// Owner returns the shard owning key: the shard of the first ring
+// point at or clockwise after the key's hash, wrapping at the top.
+func (r *Ring) Owner(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].s
+}
+
+// OwnerVS returns the shard owning one VS of one clip. Hashing the
+// (clip, VS index) pair — not the clip name alone — spreads a single
+// clip's bags across every shard, so one session's scatter engages
+// the whole cluster instead of just the shard that owns its clip.
+func (r *Ring) OwnerVS(clip string, vsIndex int) int {
+	return r.Owner(clip + "#" + strconv.Itoa(vsIndex))
+}
+
+func hash64(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is a splitmix64-style finalizer. Raw FNV-1a of short,
+// near-identical keys ("shard-0#1", "shard-0#2", …) leaves the low
+// bits correlated, which skews ring shares badly at 64 replicas; the
+// avalanche pass restores a near-uniform point spread.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

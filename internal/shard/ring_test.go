@@ -1,0 +1,78 @@
+package shard
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestRingDeterminism: two independently built rings agree on every
+// key — the property workers and coordinator rely on to partition
+// without coordination.
+func TestRingDeterminism(t *testing.T) {
+	a, b := NewRing(5), NewRing(5)
+	for i := 0; i < 2000; i++ {
+		key := "clip#" + strconv.Itoa(i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("rings disagree on %q: %d vs %d", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingOwnerRange: ownership always lands in [0, S).
+func TestRingOwnerRange(t *testing.T) {
+	for _, s := range []int{1, 2, 3, 5, 8} {
+		r := NewRing(s)
+		if r.Shards() != s {
+			t.Fatalf("Shards() = %d, want %d", r.Shards(), s)
+		}
+		for i := 0; i < 500; i++ {
+			if o := r.OwnerVS("clip", i); o < 0 || o >= s {
+				t.Fatalf("S=%d: owner %d out of range for vs %d", s, o, i)
+			}
+		}
+	}
+}
+
+// TestRingBalance: over many VS keys, no shard owns a wildly
+// disproportionate share (virtual nodes keep shares near 1/S).
+func TestRingBalance(t *testing.T) {
+	const keys = 8000
+	for _, s := range []int{2, 4, 8} {
+		r := NewRing(s)
+		counts := make([]int, s)
+		for i := 0; i < keys; i++ {
+			counts[r.OwnerVS("clip-"+strconv.Itoa(i%13), i)]++
+		}
+		want := keys / s
+		for sh, c := range counts {
+			if c < want/3 || c > want*3 {
+				t.Fatalf("S=%d: shard %d owns %d of %d keys (expected near %d)", s, sh, c, keys, want)
+			}
+		}
+	}
+}
+
+// TestRingConsistency: growing S to S+1 must move only a bounded
+// fraction of keys — the consistent-hashing property that makes
+// resharding incremental.
+func TestRingConsistency(t *testing.T) {
+	const keys = 6000
+	for _, s := range []int{2, 4, 7} {
+		a, b := NewRing(s), NewRing(s+1)
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := "clip#" + strconv.Itoa(i)
+			oa, ob := a.Owner(key), b.Owner(key)
+			if oa != ob {
+				if ob != s {
+					t.Fatalf("S=%d→%d: key %q moved %d→%d, not to the new shard", s, s+1, key, oa, ob)
+				}
+				moved++
+			}
+		}
+		// The new shard should win ~1/(S+1); allow generous slack.
+		if frac := float64(moved) / keys; frac > 2.5/float64(s+1) {
+			t.Fatalf("S=%d→%d moved %.1f%% of keys (expected ~%.1f%%)", s, s+1, frac*100, 100/float64(s+1))
+		}
+	}
+}

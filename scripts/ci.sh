@@ -13,11 +13,16 @@
 # statement-coverage floor over the internal packages, a
 # one-iteration smoke of the ingest benchmarks, an
 # incremental-maintenance smoke (20 whole-bag deltas, all absorbed
-# without a rebuild), and a live server smoke: cmd/serve (quantized
+# without a rebuild), a live server smoke: cmd/serve (quantized
 # probing) on an ephemeral port driven by cmd/loadgen sessions —
 # exact, routed through the IVF candidate index, and under catalog
 # churn — asserting zero dropped rounds, non-empty rankings, at least
-# one incremental index apply, no forced rebuilds, and a clean drain.
+# one incremental index apply, no forced rebuilds, and a clean drain,
+# a sharded-serving gate (scatter–gather at C=N permutation-identical
+# to unsharded for every engine × index kind × shard count, plus
+# fault-injected shard degradation under -race), and a cluster smoke:
+# three shard workers plus a coordinator scattering over HTTP, driven
+# by loadgen, losing no rounds and draining all four processes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -53,6 +58,15 @@ go test -race -count=1 -run 'TestIndexSmokeRecall|TestQueryIndex|TestCandidate|T
 
 echo "== chaos conformance (seeded fault schedules, -race) =="
 go test -race -count=1 -run 'TestChaos' ./internal/testkit/
+
+echo "== sharded serving (C=N identity gate + shard chaos, -race) =="
+# The merge contract: scatter–gather at C=N must be permutation-
+# identical to the unsharded ranking for every engine × index kind ×
+# shard count, and fault-injected shards must degrade to partial
+# results with counters instead of failing queries.
+go test -race -count=1 \
+    -run 'TestSharded|TestRing|TestPartition|TestProbeLocal|TestPerShard|TestSlowShard|TestFailedShard|TestAllShards|TestInjector|TestShardFault|TestInProcessSharded|TestScatter|TestCluster|TestLoadGenShard' \
+    ./internal/shard/ ./internal/server/ ./internal/faults/
 
 echo "== fuzz smoke (snapshot decoder, HTTP API; 5s each) =="
 go test -run xxx -fuzz FuzzDBDecode -fuzztime 5s ./internal/videodb/
@@ -92,7 +106,8 @@ rm -rf "$maintdir"
 
 echo "== server smoke (serve + loadgen) =="
 smokedir=$(mktemp -d)
-trap 'rm -rf "$smokedir"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
+trap 'rm -rf "$smokedir"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null; for p in "${cluster_pids[@]:-}"; do [ -n "$p" ] && kill "$p" 2>/dev/null; done; true' EXIT
+cluster_pids=()
 go build -o "$smokedir/serve" ./cmd/serve
 go build -o "$smokedir/loadgen" ./cmd/loadgen
 # -quant scalar makes every index the smoke server builds probe
@@ -143,5 +158,59 @@ grep -q '"forced_rebuilds": 0' "$smokedir/smoke-churn.json" || {
     cat "$smokedir/smoke-churn.json" >&2
     exit 1
 }
+
+echo "== cluster smoke (3 shard workers + coordinator + loadgen) =="
+# The N-process topology end to end: three serve workers each own one
+# consistent-hash partition of the demo catalog, a coordinator
+# scatters /v1/query probes to them over HTTP and re-ranks centrally,
+# and a loadgen round trip through the coordinator must lose nothing.
+# All four processes must drain cleanly on SIGINT.
+cluster_pids=()
+worker_urls=""
+for i in 0 1 2; do
+    "$smokedir/serve" -demo -shard "$i/3" -addr 127.0.0.1:0 >"$smokedir/worker$i.log" 2>&1 &
+    cluster_pids+=($!)
+done
+for i in 0 1 2; do
+    wurl=""
+    for _ in $(seq 1 50); do
+        wurl=$(sed -n 's/^serve: listening on \(http:\/\/[^ ]*\).*/\1/p' "$smokedir/worker$i.log")
+        [ -n "$wurl" ] && break
+        kill -0 "${cluster_pids[$i]}" 2>/dev/null || { cat "$smokedir/worker$i.log" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$wurl" ] || { echo "worker $i never reported its address" >&2; cat "$smokedir/worker$i.log" >&2; exit 1; }
+    worker_urls="${worker_urls:+$worker_urls,}$wurl"
+done
+"$smokedir/serve" -demo -shards "$worker_urls" -index vptree -candidates 16 -addr 127.0.0.1:0 >"$smokedir/coord.log" 2>&1 &
+cluster_pids+=($!)
+coord_url=""
+for _ in $(seq 1 50); do
+    coord_url=$(sed -n 's/^serve: listening on \(http:\/\/[^ ]*\).*/\1/p' "$smokedir/coord.log")
+    [ -n "$coord_url" ] && break
+    kill -0 "${cluster_pids[3]}" 2>/dev/null || { cat "$smokedir/coord.log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$coord_url" ] || { echo "coordinator never reported its address" >&2; cat "$smokedir/coord.log" >&2; exit 1; }
+"$smokedir/loadgen" -url "$coord_url" -demo -sessions 4 -rounds 3 \
+    -coordinator -shards "$worker_urls" -o "$smokedir/smoke-cluster.json"
+grep -q '"dropped_rounds": 0' "$smokedir/smoke-cluster.json" || {
+    echo "cluster smoke dropped rounds" >&2
+    cat "$smokedir/smoke-cluster.json" >&2
+    echo "--- coordinator log ---" >&2
+    cat "$smokedir/coord.log" >&2
+    exit 1
+}
+grep -q '"scatter_rounds"' "$smokedir/smoke-cluster.json" || {
+    echo "cluster smoke report lacks scatter telemetry" >&2
+    cat "$smokedir/smoke-cluster.json" >&2
+    exit 1
+}
+for pid in "${cluster_pids[@]}"; do kill -INT "$pid"; done
+for pid in "${cluster_pids[@]}"; do wait "$pid"; done
+cluster_pids=()
+for log in "$smokedir/coord.log" "$smokedir/worker0.log" "$smokedir/worker1.log" "$smokedir/worker2.log"; do
+    grep -q "drained, bye" "$log" || { echo "$log did not drain cleanly" >&2; cat "$log" >&2; exit 1; }
+done
 
 echo "CI OK"
