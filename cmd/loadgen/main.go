@@ -10,6 +10,7 @@
 //	loadgen -url http://127.0.0.1:8080 -demo
 //	loadgen -url http://127.0.0.1:8080 -db db.gob -clip tunnel -sessions 32 -o BENCH_3.json
 //	loadgen -url http://coordinator -demo -coordinator -shards http://w0,http://w1
+//	loadgen -url http://127.0.0.1:8080 -live -duration 20s
 //
 // The ground truth must describe the same clip the server ranks: pass
 // the catalog via -db, or -demo (with the matching -demo-seed) when
@@ -45,6 +46,7 @@ type output struct {
 	Index      string `json:"index,omitempty"`
 	Candidates int    `json:"candidates,omitempty"`
 	Churn      bool   `json:"churn,omitempty"`
+	Live       bool   `json:"live,omitempty"`
 	// Coordinator marks a run against a cluster coordinator; Shards
 	// lists the worker URLs whose stats the report snapshots.
 	Coordinator bool           `json:"coordinator,omitempty"`
@@ -66,6 +68,8 @@ func main() {
 	rounds := flag.Int("rounds", 5, "rounds per session including the initial one")
 	topK := flag.Int("topk", 8, "results per round (0 = server default)")
 	churn := flag.Bool("churn", false, "interleave catalog ingests/removals with the query load (exercises incremental index maintenance)")
+	live := flag.Bool("live", false, "drive a server running -ingest: loop sessions over the live feed clip for -duration (no ground truth needed)")
+	duration := flag.Duration("duration", 20*time.Second, "live run length")
 	coordinator := flag.Bool("coordinator", false, "target is a cluster coordinator: print its per-shard scatter breakdown after the run")
 	shards := flag.String("shards", "", "comma-separated shard-worker URLs to snapshot per-shard stats from after the run")
 	out := flag.String("o", "BENCH_3.json", "output path ('-' for stdout)")
@@ -77,39 +81,56 @@ func main() {
 			shardURLs = append(shardURLs, u)
 		}
 	}
-	if err := run(*url, *dbPath, *demo, *demoSeed, *demoScale, *clip, *engine, *indexKind, *candidates, *sessions, *rounds, *topK, *churn, *coordinator, shardURLs, *out); err != nil {
+	if *live {
+		// The live feed is the default target unless -clip was given
+		// explicitly.
+		clipSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "clip" {
+				clipSet = true
+			}
+		})
+		if !clipSet {
+			*clip = "live"
+		}
+	}
+	if err := run(*url, *dbPath, *demo, *demoSeed, *demoScale, *clip, *engine, *indexKind, *candidates, *sessions, *rounds, *topK, *churn, *coordinator, *live, *duration, shardURLs, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, engine, indexKind string, candidates, sessions, rounds, topK int, churn, coordinator bool, shardURLs []string, out string) error {
-	var rec *videodb.ClipRecord
-	var err error
-	switch {
-	case demo && dbPath != "":
-		return errors.New("-db and -demo are mutually exclusive")
-	case demo:
-		if rec, err = server.ScaledDemoRecord(demoSeed, demoScale); err != nil {
+func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, engine, indexKind string, candidates, sessions, rounds, topK int, churn, coordinator, live bool, duration time.Duration, shardURLs []string, out string) error {
+	var judge server.Judge
+	if !live {
+		// A static run judges against stored ground truth; a live feed
+		// has none (the generator installs its stand-in).
+		var rec *videodb.ClipRecord
+		var err error
+		switch {
+		case demo && dbPath != "":
+			return errors.New("-db and -demo are mutually exclusive")
+		case demo:
+			if rec, err = server.ScaledDemoRecord(demoSeed, demoScale); err != nil {
+				return err
+			}
+			if rec.Name != clip {
+				return fmt.Errorf("demo catalog has clip %q, not %q", rec.Name, clip)
+			}
+		case dbPath != "":
+			db, err := videodb.LoadFile(dbPath)
+			if err != nil {
+				return err
+			}
+			if rec, err = db.Clip(clip); err != nil {
+				return err
+			}
+		default:
+			return errors.New("need -db <catalog> or -demo for the ground truth")
+		}
+		if judge, err = server.JudgeFromRecord(rec, nil); err != nil {
 			return err
 		}
-		if rec.Name != clip {
-			return fmt.Errorf("demo catalog has clip %q, not %q", rec.Name, clip)
-		}
-	case dbPath != "":
-		db, err := videodb.LoadFile(dbPath)
-		if err != nil {
-			return err
-		}
-		if rec, err = db.Clip(clip); err != nil {
-			return err
-		}
-	default:
-		return errors.New("need -db <catalog> or -demo for the ground truth")
-	}
-	judge, err := server.JudgeFromRecord(rec, nil)
-	if err != nil {
-		return err
 	}
 
 	lg := &server.LoadGen{
@@ -124,9 +145,16 @@ func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, eng
 		Judge:      judge,
 		Churn:      churn,
 		ShardURLs:  shardURLs,
+		Live:       live,
+		Duration:   duration,
 	}
-	fmt.Fprintf(os.Stderr, "loadgen: %d sessions × %d rounds against %s (clip %q)\n",
-		sessions, rounds, url, clip)
+	if live {
+		fmt.Fprintf(os.Stderr, "loadgen: %d live sessions against %s (feed clip %q) for %s\n",
+			sessions, url, clip, duration)
+	} else {
+		fmt.Fprintf(os.Stderr, "loadgen: %d sessions × %d rounds against %s (clip %q)\n",
+			sessions, rounds, url, clip)
+	}
 	rep, err := lg.Run(context.Background())
 	if err != nil {
 		return err
@@ -143,6 +171,7 @@ func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, eng
 		Index:       indexKind,
 		Candidates:  candidates,
 		Churn:       churn,
+		Live:        live,
 		Coordinator: coordinator,
 		Shards:      shardURLs,
 		Report:      rep,
@@ -171,12 +200,33 @@ func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, eng
 	if churn {
 		fmt.Fprintf(os.Stderr, "loadgen: churn applied %d catalog mutations during the run\n", rep.MutationsApplied)
 	}
+	if live {
+		st := rep.ServerStats
+		if st == nil || st.Ingest == nil {
+			return errors.New("live run but the server reported no ingest daemon stats")
+		}
+		ig := st.Ingest
+		fmt.Fprintf(os.Stderr, "loadgen: ingest committed %d segments (%d live, %d evicted in %d evictions, %d compactions)\n",
+			ig.Committed, ig.LiveSegments, ig.EvictedSegments, ig.Evictions, ig.Compactions)
+		fmt.Fprintf(os.Stderr, "loadgen: staleness p50 %.0fms  p99 %.0fms  max %.0fms  (bound %dms, %d violations)\n",
+			ig.Staleness.P50Ms, ig.Staleness.P99Ms, ig.Staleness.MaxMs, ig.MaxStalenessMs, ig.StalenessViolations)
+		if st.Live != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: live rounds %d (%d stale-race retries)\n", st.Live.Rounds, st.Live.Retries)
+		}
+	}
 	printShardBreakdown(rep, coordinator, shardURLs)
 	if rep.DroppedRounds > 0 {
 		return fmt.Errorf("%d rounds dropped (first errors: %v)", rep.DroppedRounds, rep.Errors)
 	}
 	if rep.EmptyRankings > 0 {
 		return fmt.Errorf("%d rounds returned empty rankings", rep.EmptyRankings)
+	}
+	if live {
+		ig := rep.ServerStats.Ingest
+		if ig.Staleness.P99Ms > float64(ig.MaxStalenessMs) {
+			return fmt.Errorf("queryable staleness p99 %.0fms exceeds the %dms bound",
+				ig.Staleness.P99Ms, ig.MaxStalenessMs)
+		}
 	}
 	return nil
 }

@@ -18,6 +18,8 @@
 //	                                       # 0 of a 3-way partition
 //	serve -demo -shards u0,u1,u2           # cluster coordinator over
 //	                                       # three worker URLs
+//	serve -ingest -snapshot live.db        # always-on: live ingest
+//	                                       # daemon feeds the catalog
 //
 // The process drains in-flight re-ranks and exits cleanly on SIGINT /
 // SIGTERM.
@@ -37,6 +39,7 @@ import (
 	"time"
 
 	"milvideo/internal/faults"
+	"milvideo/internal/ingestd"
 	"milvideo/internal/server"
 	"milvideo/internal/shard"
 	"milvideo/internal/videodb"
@@ -67,6 +70,22 @@ type options struct {
 	shardTimeout  time.Duration
 	savePartition string
 
+	// Always-on ingest: -ingest attaches a live ingest daemon whose
+	// feed clip is committed, indexed and retired while the server
+	// keeps serving sessions.
+	ingest         bool
+	ingestSource   string
+	ingestDir      string
+	ingestInterval time.Duration
+	ingestFrames   int
+	ingestSeed     int64
+	ingestWorkers  int
+	maxStaleness   time.Duration
+	retainSegments int
+	retainTTL      time.Duration
+	snapshotPath   string
+	snapshotEvery  time.Duration
+
 	// Chaos flags: deterministic fault injection for resilience
 	// drills. All rates zero (the default) leaves the server provably
 	// untouched.
@@ -78,6 +97,10 @@ type options struct {
 	faultSlowShardRate float64
 	faultSlowShardDur  time.Duration
 	faultFailShardRate float64
+
+	faultAdmitDrop    float64
+	faultCommitFail   float64
+	faultSnapshotFail float64
 }
 
 func main() {
@@ -102,6 +125,18 @@ func main() {
 	flag.StringVar(&o.shardURLs, "shards", "", "run as cluster coordinator over these comma-separated worker URLs")
 	flag.DurationVar(&o.shardTimeout, "shard-timeout", 10*time.Second, "per-shard probe deadline for scattered rounds")
 	flag.StringVar(&o.savePartition, "save-partition", "", "with -shard: write this worker's partitioned catalog to the path and exit")
+	flag.BoolVar(&o.ingest, "ingest", false, "run an always-on ingest daemon feeding the live clip (works with an empty catalog)")
+	flag.StringVar(&o.ingestSource, "ingest-source", "sim", `ingest clip source: "sim" (synthetic traffic) or "dir" (watch -ingest-dir)`)
+	flag.StringVar(&o.ingestDir, "ingest-dir", "", "directory the dir source watches for .gob clip segments")
+	flag.DurationVar(&o.ingestInterval, "ingest-interval", 2*time.Second, "sim source: delay between segments; dir source: scan interval")
+	flag.IntVar(&o.ingestFrames, "ingest-frames", 100, "sim source: frames per synthetic segment")
+	flag.Int64Var(&o.ingestSeed, "ingest-seed", 1, "sim source: scenario seed")
+	flag.IntVar(&o.ingestWorkers, "ingest-workers", 2, "concurrent segment-processing workers")
+	flag.DurationVar(&o.maxStaleness, "max-staleness", 5*time.Second, "queryable-staleness objective (arrival to index-applied)")
+	flag.IntVar(&o.retainSegments, "retain-segments", 16, "retention: live feed segments kept before eviction")
+	flag.DurationVar(&o.retainTTL, "retain-ttl", 0, "retention: evict segments older than this (0 = count-based only)")
+	flag.StringVar(&o.snapshotPath, "snapshot", "", "periodic checksummed catalog snapshot path (restart recovers from it)")
+	flag.DurationVar(&o.snapshotEvery, "snapshot-every", 10*time.Second, "snapshot interval")
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "chaos: fault-schedule seed")
 	flag.Float64Var(&o.faultSlowRate, "fault-slow", 0, "chaos: injected slow re-rank rate [0,1]")
 	flag.DurationVar(&o.faultSlowDur, "fault-slow-dur", 50*time.Millisecond, "chaos: injected stall duration")
@@ -109,6 +144,9 @@ func main() {
 	flag.Float64Var(&o.faultSlowShardRate, "fault-slow-shard", 0, "chaos: injected slow shard-probe rate [0,1]")
 	flag.DurationVar(&o.faultSlowShardDur, "fault-slow-shard-dur", 50*time.Millisecond, "chaos: injected shard stall duration")
 	flag.Float64Var(&o.faultFailShardRate, "fault-fail-shard", 0, "chaos: injected failed shard-probe rate [0,1]")
+	flag.Float64Var(&o.faultAdmitDrop, "fault-admit-drop", 0, "chaos: ingest admission shed rate [0,1]")
+	flag.Float64Var(&o.faultCommitFail, "fault-commit-fail", 0, "chaos: transient ingest commit failure rate [0,1]")
+	flag.Float64Var(&o.faultSnapshotFail, "fault-snapshot-fail", 0, "chaos: ingest snapshot failure rate [0,1]")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -146,6 +184,9 @@ func run(o options) error {
 	if o.savePartition != "" && shardCnt == 0 {
 		return errors.New("-save-partition requires -shard i/n")
 	}
+	if o.ingest && (o.shardSpec != "" || o.shardURLs != "" || o.localShards > 1) {
+		return errors.New("-ingest is incompatible with sharded serving (-shard/-shards/-local-shards)")
+	}
 
 	var db *videodb.DB
 	var err error
@@ -176,8 +217,12 @@ func run(o options) error {
 		if db, err = videodb.LoadFile(o.dbPath); err != nil {
 			return err
 		}
+	case o.ingest:
+		// An always-on deployment can start from nothing: the daemon's
+		// first commit publishes the feed clip.
+		db = videodb.New()
 	default:
-		return errors.New("need -db <catalog> or -demo")
+		return errors.New("need -db <catalog>, -demo, or -ingest")
 	}
 
 	if shardCnt > 0 {
@@ -210,7 +255,8 @@ func run(o options) error {
 	}
 
 	var inj *faults.Injector
-	if o.faultSlowRate > 0 || o.faultFailRate > 0 || o.faultSlowShardRate > 0 || o.faultFailShardRate > 0 {
+	if o.faultSlowRate > 0 || o.faultFailRate > 0 || o.faultSlowShardRate > 0 || o.faultFailShardRate > 0 ||
+		o.faultAdmitDrop > 0 || o.faultCommitFail > 0 || o.faultSnapshotFail > 0 {
 		inj = faults.New(faults.Config{
 			Seed:          o.faultSeed,
 			SlowRerank:    o.faultSlowRate,
@@ -219,9 +265,13 @@ func run(o options) error {
 			SlowShard:     o.faultSlowShardRate,
 			SlowShardDur:  o.faultSlowShardDur,
 			FailShard:     o.faultFailShardRate,
+			AdmitDrop:     o.faultAdmitDrop,
+			CommitFail:    o.faultCommitFail,
+			SnapshotFail:  o.faultSnapshotFail,
 		})
-		fmt.Printf("serve: chaos injector armed (seed %d, slow %g, fail %g, slow-shard %g, fail-shard %g)\n",
-			o.faultSeed, o.faultSlowRate, o.faultFailRate, o.faultSlowShardRate, o.faultFailShardRate)
+		fmt.Printf("serve: chaos injector armed (seed %d, slow %g, fail %g, slow-shard %g, fail-shard %g, admit-drop %g, commit-fail %g, snapshot-fail %g)\n",
+			o.faultSeed, o.faultSlowRate, o.faultFailRate, o.faultSlowShardRate, o.faultFailShardRate,
+			o.faultAdmitDrop, o.faultCommitFail, o.faultSnapshotFail)
 	}
 
 	var urls []string
@@ -238,6 +288,45 @@ func run(o options) error {
 	}
 	if o.localShards > 1 {
 		fmt.Printf("serve: in-process sharding over %d shards\n", o.localShards)
+	}
+
+	var daemon *ingestd.Daemon
+	if o.ingest {
+		var src ingestd.Source
+		switch o.ingestSource {
+		case "sim":
+			src = &ingestd.SimSource{
+				Frames:   o.ingestFrames,
+				Seed:     o.ingestSeed,
+				Interval: o.ingestInterval,
+			}
+		case "dir":
+			if o.ingestDir == "" {
+				return errors.New("-ingest-source dir needs -ingest-dir")
+			}
+			src = &ingestd.DirSource{Dir: o.ingestDir, Poll: o.ingestInterval}
+		default:
+			return fmt.Errorf("unknown -ingest-source %q (want sim or dir)", o.ingestSource)
+		}
+		daemon, err = ingestd.New(ingestd.Config{
+			DB:             db,
+			Source:         src,
+			Workers:        o.ingestWorkers,
+			MaxStaleness:   o.maxStaleness,
+			RetainSegments: o.retainSegments,
+			RetainTTL:      o.retainTTL,
+			SnapshotPath:   o.snapshotPath,
+			SnapshotEvery:  o.snapshotEvery,
+			Faults:         inj,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("serve: ingest: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("serve: ingest daemon feeding clip %q (source %s, max staleness %s, retain %d segments)\n",
+			daemon.FeedClip(), o.ingestSource, o.maxStaleness, o.retainSegments)
 	}
 
 	srv, err := server.New(server.Config{
@@ -257,9 +346,15 @@ func run(o options) error {
 		ShardURLs:         urls,
 		PartitionIndex:    shardIdx,
 		PartitionCount:    shardCnt,
+		Ingest:            daemon,
 	})
 	if err != nil {
 		return err
+	}
+	if daemon != nil {
+		if err := daemon.Start(context.Background(), srv); err != nil {
+			return err
+		}
 	}
 
 	ln, err := net.Listen("tcp", o.addr)
@@ -289,8 +384,12 @@ func run(o options) error {
 		fmt.Printf("serve: %v — shutting down\n", s)
 	}
 
-	// Stop accepting, finish in-flight HTTP, then drain the re-rank
+	// Stop the feed first (its final snapshot lands before we go),
+	// stop accepting, finish in-flight HTTP, then drain the re-rank
 	// pool so no SVM training is cut off mid-round.
+	if daemon != nil {
+		daemon.Stop()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {

@@ -90,6 +90,21 @@ type Config struct {
 	// FailShard is the probability one shard's probe fails outright
 	// (the round continues without that shard, counted).
 	FailShard float64
+
+	// --- ingest daemon (per segment / per snapshot) ---
+
+	// AdmitDrop is the probability an arriving segment is dropped at
+	// the daemon's admission queue (load shedding under simulated
+	// pressure; the segment never reaches the pipeline, counted).
+	AdmitDrop float64
+	// CommitFail is the per-attempt probability a processed segment's
+	// catalog commit fails with ErrTransient. Retries re-roll with the
+	// attempt number, so bounded commit retry is deterministic; a
+	// segment whose retries are exhausted is dropped and counted.
+	CommitFail float64
+	// SnapshotFail is the probability one periodic catalog snapshot
+	// fails (the daemon counts it and retries at the next tick).
+	SnapshotFail float64
 }
 
 // enabled reports whether any rate is non-zero.
@@ -97,7 +112,8 @@ func (c Config) enabled() bool {
 	return c.FrameDrop > 0 || c.SaltPepper > 0 || c.Blackout > 0 ||
 		c.SegTransient > 0 || c.StageDelay > 0 ||
 		c.SlowRerank > 0 || c.FailRerank > 0 ||
-		c.SlowShard > 0 || c.FailShard > 0
+		c.SlowShard > 0 || c.FailShard > 0 ||
+		c.AdmitDrop > 0 || c.CommitFail > 0 || c.SnapshotFail > 0
 }
 
 // Injector makes fault decisions. The zero value and the nil pointer
@@ -155,6 +171,9 @@ const (
 	pointByte         = 0x09
 	pointSlowShard    = 0x0a
 	pointFailShard    = 0x0b
+	pointAdmitDrop    = 0x0c
+	pointCommitFail   = 0x0d
+	pointSnapshotFail = 0x0e
 )
 
 // splitmix64 is the finalizer of the splitmix64 generator: a cheap,
@@ -291,6 +310,38 @@ func (in *Injector) RerankFault(seq uint64) (stall time.Duration, err error) {
 		err = ErrTransient
 	}
 	return stall, err
+}
+
+// AdmitDropAt reports whether the ingest daemon sheds segment seq at
+// its admission queue. Keyed on the segment's source sequence number,
+// so the admission schedule is a pure function of the seed — the same
+// segments are shed on every replay, whatever the worker
+// interleaving.
+func (in *Injector) AdmitDropAt(seq uint64) bool {
+	return in.fires(in.Config().AdmitDrop, pointAdmitDrop, seq, 0)
+}
+
+// CommitFaultErr reports whether segment seq's catalog commit fails
+// transiently on the given attempt (0 = first try). A non-nil result
+// wraps ErrTransient; the committer's bounded retry re-rolls per
+// attempt, so persistent and transient commit outages are both
+// expressible deterministically.
+func (in *Injector) CommitFaultErr(seq uint64, attempt int) error {
+	if in.fires(in.Config().CommitFail, pointCommitFail, seq, uint64(attempt)) {
+		return ErrTransient
+	}
+	return nil
+}
+
+// SnapshotFaultErr reports whether the daemon's n-th periodic catalog
+// snapshot fails (nil for none, else wrapping ErrTransient). The
+// daemon counts the failure and retries at the next tick — a lost
+// snapshot widens the recovery window, never corrupts the catalog.
+func (in *Injector) SnapshotFaultErr(n uint64) error {
+	if in.fires(in.Config().SnapshotFail, pointSnapshotFail, n, 0) {
+		return ErrTransient
+	}
+	return nil
 }
 
 // ShardFault decides the fate of one shard's probe in scattered

@@ -157,6 +157,78 @@ func TestShardFault(t *testing.T) {
 	}
 }
 
+// TestDaemonFaultPoints: the ingest-daemon points (admission shed,
+// commit failure, snapshot failure) are pure functions of the seed —
+// deterministic replay, rate-0 silence, rate-1 certainty, retry
+// re-roll per attempt, and nil-injector inertness.
+func TestDaemonFaultPoints(t *testing.T) {
+	var nilIn *Injector
+	if nilIn.AdmitDropAt(3) {
+		t.Fatal("nil injector shed a segment")
+	}
+	if err := nilIn.CommitFaultErr(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := nilIn.SnapshotFaultErr(3); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{Seed: 31, AdmitDrop: 0.3, CommitFail: 0.4, SnapshotFail: 0.3}
+	if !New(cfg).Enabled() {
+		t.Fatal("daemon-point rates do not enable the injector")
+	}
+	a, b := New(cfg), New(cfg)
+	admitFired, commitRecovered, snapFired := false, false, false
+	for seq := uint64(0); seq < 400; seq++ {
+		if a.AdmitDropAt(seq) != b.AdmitDropAt(seq) {
+			t.Fatalf("same seed disagrees on admission at seq %d", seq)
+		}
+		if a.AdmitDropAt(seq) {
+			admitFired = true
+		}
+		ea, eb := a.CommitFaultErr(seq, int(seq%3)), b.CommitFaultErr(seq, int(seq%3))
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("same seed disagrees on commit at seq %d", seq)
+		}
+		if ea != nil && !errors.Is(ea, ErrTransient) {
+			t.Fatalf("commit failure %v does not wrap ErrTransient", ea)
+		}
+		if a.CommitFaultErr(seq, 0) != nil && a.CommitFaultErr(seq, 1) == nil {
+			commitRecovered = true
+		}
+		sa, sb := a.SnapshotFaultErr(seq), b.SnapshotFaultErr(seq)
+		if (sa == nil) != (sb == nil) {
+			t.Fatalf("same seed disagrees on snapshot at tick %d", seq)
+		}
+		if sa != nil {
+			snapFired = true
+			if !errors.Is(sa, ErrTransient) {
+				t.Fatalf("snapshot failure %v does not wrap ErrTransient", sa)
+			}
+		}
+	}
+	if !admitFired || !snapFired {
+		t.Fatalf("mid rates never fired: admit=%v snapshot=%v", admitFired, snapFired)
+	}
+	if !commitRecovered {
+		t.Fatal("no commit recovered on retry at rate 0.4")
+	}
+
+	quiet := New(Config{Seed: 31})
+	certain := New(Config{Seed: 31, AdmitDrop: 1, CommitFail: 1, SnapshotFail: 1})
+	for seq := uint64(0); seq < 50; seq++ {
+		if quiet.AdmitDropAt(seq) || quiet.CommitFaultErr(seq, 0) != nil || quiet.SnapshotFaultErr(seq) != nil {
+			t.Fatalf("rate 0 fired at seq %d", seq)
+		}
+		if !certain.AdmitDropAt(seq) {
+			t.Fatalf("rate 1 admission passed seq %d", seq)
+		}
+		if certain.CommitFaultErr(seq, 5) == nil || certain.SnapshotFaultErr(seq) == nil {
+			t.Fatalf("rate 1 commit/snapshot passed seq %d", seq)
+		}
+	}
+}
+
 // TestRatesApproximate: observed fire frequency tracks the configured
 // rate within a loose tolerance.
 func TestRatesApproximate(t *testing.T) {

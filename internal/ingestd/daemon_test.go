@@ -1,0 +1,220 @@
+package ingestd
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"milvideo/internal/faults"
+	"milvideo/internal/videodb"
+	"milvideo/internal/window"
+)
+
+// recordingApplier captures every live-index application.
+type recordingApplier struct {
+	mu      sync.Mutex
+	applies []struct {
+		clip string
+		vss  int
+		gen  uint64
+	}
+	dropped []string
+}
+
+func (a *recordingApplier) ApplyLive(clip string, vss []window.VS, gen uint64) (ApplyOutcome, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.applies = append(a.applies, struct {
+		clip string
+		vss  int
+		gen  uint64
+	}{clip, len(vss), gen})
+	return ApplyOutcome{Entries: 1, Inserted: len(vss)}, nil
+}
+
+func (a *recordingApplier) DropClips(names []string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.dropped = append(a.dropped, names...)
+	return len(names)
+}
+
+// TestDaemonEndToEnd drains a finite simulated feed through the full
+// daemon: every segment commits in sequence order, retention holds
+// the cap, the feed record stays valid and monotonic, the applier
+// sees every commit at increasing generations, and the final snapshot
+// recovers into a daemon that resumes numbering.
+func TestDaemonEndToEnd(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "catalog.db")
+	db := videodb.New()
+	const limit = 6
+	d, err := New(Config{
+		DB:             db,
+		Source:         &SimSource{Frames: 50, Seed: 7, Limit: limit},
+		QueueDepth:     2,
+		Workers:        2,
+		RetainSegments: 3,
+		SnapshotPath:   snap,
+		SnapshotEvery:  time.Hour, // only the final snapshot matters here
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := &recordingApplier{}
+	if err := d.Start(context.Background(), ap); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(context.Background(), ap); err == nil {
+		t.Fatal("second Start accepted")
+	}
+	d.Wait()
+
+	s := d.Stats()
+	if s.State != "drained" {
+		t.Fatalf("state %q after source EOF", s.State)
+	}
+	if s.Arrived != limit || s.Committed != limit {
+		t.Fatalf("arrived %d committed %d, want %d", s.Arrived, s.Committed, limit)
+	}
+	if s.Shed != 0 || s.CommitsDropped != 0 || s.ProcessFailures != 0 {
+		t.Fatalf("fault-free run lost segments: %+v", s)
+	}
+	if s.LiveSegments != 3 || s.EvictedSegments != limit-3 || s.Evictions == 0 {
+		t.Fatalf("retention: live %d evicted %d batches %d, want 3/%d/>0",
+			s.LiveSegments, s.EvictedSegments, s.Evictions, limit-3)
+	}
+	if s.Staleness.Count != limit {
+		t.Fatalf("staleness observed %d commits, want %d", s.Staleness.Count, limit)
+	}
+
+	// Catalog: the feed plus the surviving segment records.
+	if db.Len() != 1+3 {
+		t.Fatalf("catalog holds %d clips, want 4", db.Len())
+	}
+	feed, err := db.Clip(d.FeedClip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := feed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(feed.VSs); i++ {
+		if feed.VSs[i].Index <= feed.VSs[i-1].Index {
+			t.Fatal("feed VS indices not strictly increasing")
+		}
+	}
+
+	// Applier saw every commit, at strictly increasing generations,
+	// and the evictions.
+	ap.mu.Lock()
+	if len(ap.applies) != limit {
+		t.Fatalf("applier saw %d applies, want %d", len(ap.applies), limit)
+	}
+	for i, call := range ap.applies {
+		if call.clip != d.FeedClip() {
+			t.Fatalf("apply %d targeted %q", i, call.clip)
+		}
+		if i > 0 && call.gen <= ap.applies[i-1].gen {
+			t.Fatalf("apply %d generation %d did not advance past %d", i, call.gen, ap.applies[i-1].gen)
+		}
+	}
+	if len(ap.dropped) != limit-3 {
+		t.Fatalf("applier saw %d dropped clips, want %d", len(ap.dropped), limit-3)
+	}
+	ap.mu.Unlock()
+
+	d.Stop()
+	if got := d.Stats().State; got != "stopped" {
+		t.Fatalf("state %q after Stop", got)
+	}
+
+	// Recovery: a fresh daemon over the snapshot resumes where this
+	// one stopped.
+	db2 := videodb.New()
+	d2, err := New(Config{
+		DB:           db2,
+		Source:       &SimSource{Frames: 50, Seed: 7, Limit: 1},
+		SnapshotPath: snap,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := d2.Stats()
+	if s2.NextSeq != limit {
+		t.Fatalf("recovered next seq %d, want %d", s2.NextSeq, limit)
+	}
+	if s2.LiveSegments != 3 || db2.Len() != 4 {
+		t.Fatalf("recovered %d segments over %d clips, want 3 over 4", s2.LiveSegments, db2.Len())
+	}
+
+	// The recovered daemon keeps committing under the old numbering:
+	// the next segment gets seq 6 and a fresh, higher VS range.
+	if err := d2.Start(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	d2.Wait()
+	if got := d2.Stats().Committed; got != 1 {
+		t.Fatalf("recovered daemon committed %d, want 1", got)
+	}
+	if _, err := db2.Clip("live-seg-000006"); err != nil {
+		t.Fatalf("post-recovery segment name: %v", err)
+	}
+	feed2, err := db2.Clip(d2.FeedClip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := feed2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if feed2.Frames <= feed.Frames {
+		t.Fatal("recovered feed did not extend the frame span")
+	}
+}
+
+// TestDaemonFaults runs the same finite feed under deterministic
+// admission, commit and snapshot faults and checks exact accounting:
+// every arrived segment is shed, dropped or committed — never lost.
+func TestDaemonFaults(t *testing.T) {
+	db := videodb.New()
+	const limit = 8
+	inj := faults.New(faults.Config{Seed: 99, AdmitDrop: 0.3, CommitFail: 0.5})
+	d, err := New(Config{
+		DB:             db,
+		Source:         &SimSource{Frames: 50, Seed: 3, Limit: limit},
+		Workers:        2,
+		RetainSegments: 4,
+		CommitRetries:  1,
+		Faults:         inj,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	d.Wait()
+	s := d.Stats()
+	if s.Arrived != limit {
+		t.Fatalf("arrived %d, want %d", s.Arrived, limit)
+	}
+	if s.Shed == 0 {
+		t.Fatal("admission shedding never fired at rate 0.3")
+	}
+	if s.Shed+s.Committed+s.CommitsDropped+s.EmptySegments != limit {
+		t.Fatalf("segments unaccounted for: %+v", s)
+	}
+	if s.Committed > 0 {
+		feed, err := db.Clip(d.FeedClip())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := feed.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package ingestd
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"milvideo/internal/sim"
+	"milvideo/internal/videodb"
+	"milvideo/internal/window"
+)
+
+// synthSeg builds a standalone segment record with nVS locally
+// numbered windows of random dim-dimensional instances.
+func synthSeg(rng *rand.Rand, name string, nVS, dim int) *videodb.ClipRecord {
+	vss := make([]window.VS, nVS)
+	for i := range vss {
+		vs := window.VS{Index: i, StartFrame: i * 15, EndFrame: i*15 + 10}
+		for tid := 0; tid < 1+rng.Intn(3); tid++ {
+			vec := make([]float64, dim)
+			for d := range vec {
+				vec[d] = rng.NormFloat64()
+			}
+			vs.TSs = append(vs.TSs, window.TS{TrackID: tid, Vectors: [][]float64{vec}})
+		}
+		vss[i] = vs
+	}
+	return &videodb.ClipRecord{
+		Name:      name,
+		Frames:    nVS*15 + 5,
+		FPS:       25,
+		ModelName: "accident",
+		Window:    window.Config{SampleRate: 5, WindowSize: 3},
+		VSs:       vss,
+		Incidents: []sim.Incident{{Type: sim.WallCrash, Start: 2, End: 9, Vehicles: []int{0}}},
+		Meta:      map[string]string{"source": "synth"},
+	}
+}
+
+// lookupMap adapts a record map to feedState's lookup signature.
+func lookupMap(recs map[string]*videodb.ClipRecord) func(string) (*videodb.ClipRecord, error) {
+	return func(name string) (*videodb.ClipRecord, error) {
+		rec, ok := recs[name]
+		if !ok {
+			return nil, fmt.Errorf("no record %q", name)
+		}
+		return rec, nil
+	}
+}
+
+// TestFeedStateOffsets pins the monotonic numbering: appended
+// segments take disjoint, ever-increasing frame and VS-index ranges,
+// and eviction never reclaims them.
+func TestFeedStateOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := newFeedState("live")
+	f.modelName, f.fps = "accident", 25
+	f.window = window.Config{SampleRate: 5, WindowSize: 3}
+	recs := map[string]*videodb.ClipRecord{}
+
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("live-seg-%06d", i)
+		rec := synthSeg(rng, name, 2+i%3, 4)
+		recs[name] = rec
+		sm := f.append(name, uint64(i), rec.Frames, len(rec.VSs))
+		if sm.VSBase != f.nextVS-len(rec.VSs) || sm.FrameBase != f.frameBase-rec.Frames {
+			t.Fatalf("segment %d offsets %+v inconsistent with high-water marks", i, sm)
+		}
+	}
+	if f.nextSeq != 5 {
+		t.Fatalf("nextSeq %d after 5 appends", f.nextSeq)
+	}
+
+	vss, err := f.buildVSs(lookupMap(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vss) != f.liveVSs() {
+		t.Fatalf("built %d VSs, bookkeeping says %d", len(vss), f.liveVSs())
+	}
+	for i := 1; i < len(vss); i++ {
+		if vss[i].Index <= vss[i-1].Index {
+			t.Fatalf("VS indices not strictly increasing at %d: %d then %d", i, vss[i-1].Index, vss[i].Index)
+		}
+		if vss[i].StartFrame < vss[i-1].StartFrame {
+			t.Fatalf("frame offsets regress at %d", i)
+		}
+	}
+
+	// Evict two; the survivors keep their indices and the feed record
+	// still validates against the full (never-shrinking) frame span.
+	beforeVS, beforeFrames := f.nextVS, f.frameBase
+	for i := 0; i < 2; i++ {
+		sm, ok := f.evictOldest()
+		if !ok {
+			t.Fatal("evictOldest on non-empty feed failed")
+		}
+		delete(recs, sm.Name)
+	}
+	if f.nextVS != beforeVS || f.frameBase != beforeFrames {
+		t.Fatal("eviction reclaimed offsets")
+	}
+	rec, err := f.buildRecord(lookupMap(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Frames != beforeFrames {
+		t.Fatalf("feed frames %d, want cumulative %d", rec.Frames, beforeFrames)
+	}
+	if len(rec.Incidents) != 3 {
+		t.Fatalf("feed carries %d incidents, want 3 surviving", len(rec.Incidents))
+	}
+	for _, inc := range rec.Incidents {
+		if inc.End >= rec.Frames || inc.Start < f.segs[0].FrameBase {
+			t.Fatalf("incident %v outside surviving feed span", inc)
+		}
+	}
+}
+
+// TestFeedStateRecoverRoundTrip: bookkeeping survives the
+// record → StateKey → recoverFeedState round trip, and segments whose
+// records were lost are dropped.
+func TestFeedStateRecoverRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := newFeedState("live")
+	f.modelName, f.fps = "accident", 25
+	f.window = window.Config{SampleRate: 5, WindowSize: 3}
+	recs := map[string]*videodb.ClipRecord{}
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("live-seg-%06d", i)
+		rec := synthSeg(rng, name, 2, 4)
+		recs[name] = rec
+		f.append(name, uint64(i), rec.Frames, len(rec.VSs))
+	}
+	f.evictOldest()
+	delete(recs, "live-seg-000000")
+
+	feedRec, err := f.buildRecord(lookupMap(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := recoverFeedState(feedRec, func(name string) bool {
+		_, ok := recs[name]
+		return ok
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.nextSeq != f.nextSeq || got.nextVS != f.nextVS || got.frameBase != f.frameBase {
+		t.Fatalf("recovered marks %d/%d/%d, want %d/%d/%d",
+			got.nextSeq, got.nextVS, got.frameBase, f.nextSeq, f.nextVS, f.frameBase)
+	}
+	if len(got.segs) != len(f.segs) {
+		t.Fatalf("recovered %d segments, want %d", len(got.segs), len(f.segs))
+	}
+	for i := range got.segs {
+		if got.segs[i] != f.segs[i] {
+			t.Fatalf("segment %d: %+v vs %+v", i, got.segs[i], f.segs[i])
+		}
+	}
+
+	// A segment record lost to corruption drops out of the feed.
+	partial, err := recoverFeedState(feedRec, func(name string) bool {
+		return name != "live-seg-000002"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partial.segs) != len(f.segs)-1 {
+		t.Fatalf("partial recovery kept %d segments, want %d", len(partial.segs), len(f.segs)-1)
+	}
+	for _, sm := range partial.segs {
+		if sm.Name == "live-seg-000002" {
+			t.Fatal("lost segment survived recovery")
+		}
+	}
+	if partial.nextVS != f.nextVS {
+		t.Fatal("partial recovery moved the VS high-water mark")
+	}
+
+	// A feed record without bookkeeping is an error, not a panic.
+	bad := *feedRec
+	bad.Meta = map[string]string{}
+	if _, err := recoverFeedState(&bad, func(string) bool { return true }); err == nil {
+		t.Fatal("recovery accepted a feed record without state")
+	}
+}
+
+// TestFeedStateEmpty pins the edge cases: no segments means no
+// record, and buildVSs mismatching bookkeeping is an error.
+func TestFeedStateEmpty(t *testing.T) {
+	f := newFeedState("live")
+	if _, ok := f.evictOldest(); ok {
+		t.Fatal("evicted from empty feed")
+	}
+	if _, err := f.buildRecord(lookupMap(nil)); err == nil {
+		t.Fatal("built a record over zero segments")
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	rec := synthSeg(rng, "live-seg-000000", 2, 4)
+	f.append(rec.Name, 0, rec.Frames, len(rec.VSs)+1) // bookkeeping lies
+	_, err := f.buildVSs(lookupMap(map[string]*videodb.ClipRecord{rec.Name: rec}))
+	if err == nil {
+		t.Fatal("buildVSs accepted a VS-count mismatch")
+	}
+}

@@ -1,0 +1,194 @@
+package ingestd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"milvideo/internal/sim"
+)
+
+// Source supplies the daemon with clip segments. Next blocks until
+// the next segment is available (honoring ctx cancellation) and
+// returns io.EOF when the feed is exhausted — a finite feed drains
+// the daemon's pipeline and lets it idle; an infinite feed runs until
+// the daemon stops. Next is called from a single goroutine.
+type Source interface {
+	Next(ctx context.Context) (*sim.Scene, error)
+}
+
+// SimSource generates an endless stream of simulated tunnel segments:
+// short clips with a deterministic, per-segment incident mix derived
+// from Seed. Segment n is the same scene on every run, whatever the
+// pacing — the chaos conformance suite leans on that to replay a
+// daemon run byte for byte.
+type SimSource struct {
+	// Frames is the per-segment clip length (0 means 100).
+	Frames int
+	// Seed derives every segment's scenario seed.
+	Seed int64
+	// Interval paces segment delivery: Next waits until Interval has
+	// elapsed since the previous segment (0 delivers flat out).
+	Interval time.Duration
+	// Limit caps the total segments delivered; 0 means unlimited.
+	// After the limit, Next returns io.EOF.
+	Limit int
+
+	n    int
+	last time.Time
+}
+
+// Next generates the next simulated segment.
+func (s *SimSource) Next(ctx context.Context) (*sim.Scene, error) {
+	if s.Limit > 0 && s.n >= s.Limit {
+		return nil, io.EOF
+	}
+	if s.Interval > 0 && !s.last.IsZero() {
+		wait := s.Interval - time.Since(s.last)
+		if wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	frames := s.Frames
+	if frames <= 0 {
+		frames = 100
+	}
+	n := s.n
+	s.n++
+	s.last = time.Now()
+
+	// Rotate the incident mix so consecutive segments differ (some
+	// carry accidents, some only distractors, some are quiet) while
+	// staying a pure function of (Seed, n).
+	cfg := sim.TunnelConfig{
+		Frames:     frames,
+		Seed:       s.Seed + int64(n)*7919,
+		SpawnEvery: 20,
+		FPS:        25,
+	}
+	switch n % 4 {
+	case 0:
+		cfg.WallCrash, cfg.HardBrake = 1, 1
+	case 1:
+		cfg.SuddenStop, cfg.Speeding = 1, 1
+	case 2:
+		cfg.HardBrake = 2
+	case 3:
+		cfg.WallCrash, cfg.SuddenStop = 1, 1
+	}
+	scene, err := sim.Tunnel(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("ingestd: simulate segment %d: %w", n, err)
+	}
+	scene.Name = fmt.Sprintf("sim-%06d", n)
+	return scene, nil
+}
+
+// DirSource watches a directory for scene files (*.scene.json, a
+// JSON-encoded sim.Scene) and delivers each exactly once, in
+// lexicographic name order within a poll. Files present at startup
+// are delivered first; new files are picked up within one poll
+// interval. A file that fails to decode or validate is reported once
+// and skipped thereafter.
+type DirSource struct {
+	// Dir is the watched directory.
+	Dir string
+	// Poll is the directory scan interval (0 means 500ms).
+	Poll time.Duration
+
+	seen  map[string]bool
+	queue []string
+}
+
+// Next delivers the next unseen scene file, polling until one
+// appears.
+func (d *DirSource) Next(ctx context.Context) (*sim.Scene, error) {
+	if d.seen == nil {
+		d.seen = make(map[string]bool)
+	}
+	poll := d.Poll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	for {
+		if len(d.queue) == 0 {
+			if err := d.scan(); err != nil {
+				return nil, err
+			}
+		}
+		for len(d.queue) > 0 {
+			path := d.queue[0]
+			d.queue = d.queue[1:]
+			scene, err := loadSceneFile(path)
+			if err != nil {
+				// Skip the bad file (it stays marked seen) and surface
+				// the error once; the feed continues with the next file.
+				return nil, err
+			}
+			return scene, nil
+		}
+		t := time.NewTimer(poll)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// scan enqueues unseen scene files in name order.
+func (d *DirSource) scan() error {
+	entries, err := os.ReadDir(d.Dir)
+	if err != nil {
+		return fmt.Errorf("ingestd: watch %s: %w", d.Dir, err)
+	}
+	var fresh []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".scene.json") {
+			continue
+		}
+		path := filepath.Join(d.Dir, e.Name())
+		if !d.seen[path] {
+			d.seen[path] = true
+			fresh = append(fresh, path)
+		}
+	}
+	sort.Strings(fresh)
+	d.queue = append(d.queue, fresh...)
+	return nil
+}
+
+// loadSceneFile decodes and validates one JSON scene file.
+func loadSceneFile(path string) (*sim.Scene, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ingestd: read %s: %w", path, err)
+	}
+	var scene sim.Scene
+	if err := json.Unmarshal(blob, &scene); err != nil {
+		return nil, fmt.Errorf("ingestd: decode %s: %w", path, err)
+	}
+	if scene.Name == "" {
+		scene.Name = strings.TrimSuffix(filepath.Base(path), ".scene.json")
+	}
+	if err := scene.Validate(); err != nil {
+		return nil, fmt.Errorf("ingestd: %s: %w", path, err)
+	}
+	return &scene, nil
+}

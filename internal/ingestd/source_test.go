@@ -1,0 +1,189 @@
+package ingestd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"milvideo/internal/sim"
+	"milvideo/internal/videodb"
+)
+
+// writeSceneFile marshals a small simulated scene into dir under
+// name, returning the scene for comparison.
+func writeSceneFile(t *testing.T, dir, name string, seed int64) *sim.Scene {
+	t.Helper()
+	scene, err := sim.Tunnel(sim.TunnelConfig{Frames: 30, Seed: seed, SpawnEvery: 20, FPS: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene.Name = ""
+	blob, err := json.Marshal(scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return scene
+}
+
+// TestDirSource pins the spool-directory contract: scene files are
+// delivered exactly once in name order, a corrupt file surfaces one
+// error and is skipped thereafter, non-scene files are ignored, and
+// files that appear later are picked up within a poll.
+func TestDirSource(t *testing.T) {
+	dir := t.TempDir()
+	want := writeSceneFile(t, dir, "a.scene.json", 11)
+	if err := os.WriteFile(filepath.Join(dir, "b.scene.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ignored.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	src := &DirSource{Dir: dir, Poll: 5 * time.Millisecond}
+	ctx := context.Background()
+	got, err := src.Next(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The name falls back to the file stem when the scene carries none.
+	if got.Name != "a" {
+		t.Fatalf("scene name %q, want %q", got.Name, "a")
+	}
+	if len(got.Frames) != len(want.Frames) {
+		t.Fatalf("decoded %d frames, want %d", len(got.Frames), len(want.Frames))
+	}
+	if _, err := src.Next(ctx); err == nil {
+		t.Fatal("corrupt scene file delivered without error")
+	}
+
+	// The bad file stays seen; the next file to appear is delivered
+	// on a later poll.
+	late := make(chan *sim.Scene, 1)
+	errc := make(chan error, 1)
+	go func() {
+		s, err := src.Next(ctx)
+		if err != nil {
+			errc <- err
+			return
+		}
+		late <- s
+	}()
+	time.Sleep(15 * time.Millisecond)
+	writeSceneFile(t, dir, "c.scene.json", 12)
+	select {
+	case s := <-late:
+		if s.Name != "c" {
+			t.Fatalf("late scene name %q, want %q", s.Name, "c")
+		}
+	case err := <-errc:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("late scene file never delivered")
+	}
+
+	// An exhausted spool blocks until cancellation.
+	cctx, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if _, err := src.Next(cctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("idle poll returned %v, want deadline", err)
+	}
+
+	// A vanished directory is a source error.
+	gone := &DirSource{Dir: filepath.Join(dir, "missing")}
+	if _, err := gone.Next(ctx); err == nil {
+		t.Fatal("missing spool directory delivered a scene")
+	}
+}
+
+// TestSimSourcePacing covers the paced-delivery branch: Interval
+// spaces segments, Limit ends the feed with io.EOF, and cancellation
+// interrupts the wait.
+func TestSimSourcePacing(t *testing.T) {
+	src := &SimSource{Frames: 10, Seed: 3, Interval: time.Millisecond, Limit: 2}
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		if _, err := src.Next(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < time.Millisecond {
+		t.Fatalf("two paced segments in %s, want >= interval", elapsed)
+	}
+	if _, err := src.Next(ctx); err != io.EOF {
+		t.Fatalf("past the limit got %v, want io.EOF", err)
+	}
+
+	slow := &SimSource{Frames: 10, Seed: 3, Interval: time.Hour}
+	if _, err := slow.Next(ctx); err != nil { // first segment is unpaced
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithTimeout(ctx, 10*time.Millisecond)
+	defer cancel()
+	if _, err := slow.Next(cctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancelled wait returned %v, want deadline", err)
+	}
+}
+
+// TestDaemonDirFeedAndPeriodicSnapshots drives the daemon from a
+// spool directory and a short snapshot interval: both spool scenes
+// commit, and at least one periodic (non-final) snapshot lands while
+// the daemon is still running.
+func TestDaemonDirFeedAndPeriodicSnapshots(t *testing.T) {
+	spool := t.TempDir()
+	writeSceneFile(t, spool, "s0.scene.json", 21)
+	snap := filepath.Join(t.TempDir(), "catalog.db")
+	db := videodb.New()
+	d, err := New(Config{
+		DB:            db,
+		Source:        &DirSource{Dir: spool, Poll: 5 * time.Millisecond},
+		SnapshotPath:  snap,
+		SnapshotEvery: 20 * time.Millisecond,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.MaxStaleness(), 5*time.Second; got != want {
+		t.Fatalf("default MaxStaleness %s, want %s", got, want)
+	}
+	if err := d.Start(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for d.Stats().Committed < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("spool scene never committed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	writeSceneFile(t, spool, "s1.scene.json", 22)
+	for d.Stats().Committed < 2 || d.Stats().Snapshots < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("late spool scene or periodic snapshot missing: %+v", d.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("periodic snapshot not on disk: %v", err)
+	}
+
+	d.Stop()
+	db2, err := videodb.LoadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.Clip(d.FeedClip()); err != nil {
+		t.Fatalf("snapshot lacks the feed clip: %v", err)
+	}
+}

@@ -69,9 +69,8 @@ func (e CandidateEngine) Rank(db []window.VS, labels map[int]mil.Label) ([]int, 
 	if e.Index == nil {
 		return e.full(db, labels)
 	}
-	if e.Index.Bags() != len(db) {
-		return nil, fmt.Errorf("retrieval: candidate index covers %d bags, database has %d (stale index?)",
-			e.Index.Bags(), len(db))
+	if bags := e.Index.Bags(); bags != len(db) {
+		return nil, fmt.Errorf("%w: index covers %d bags, database has %d", ErrStaleIndex, bags, len(db))
 	}
 	if e.C <= 0 || e.C >= len(db) {
 		return e.full(db, labels)

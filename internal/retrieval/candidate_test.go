@@ -1,6 +1,7 @@
 package retrieval
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -189,7 +190,16 @@ func TestCandidateStaleIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	cand := CandidateEngine{Inner: RocchioEngine{}, Index: bi, C: 5}
-	if _, err := cand.Rank(db, candLabels(db, 2, 0)); err == nil {
+	_, err = cand.Rank(db, candLabels(db, 2, 0))
+	if err == nil {
 		t.Fatal("stale index accepted")
+	}
+	// The typed sentinel is what lets live sessions distinguish a
+	// losable race from a real failure.
+	if !errors.Is(err, ErrStaleIndex) {
+		t.Fatalf("stale index error %v does not wrap ErrStaleIndex", err)
+	}
+	if name := cand.Name(); name == "" {
+		t.Fatal("empty engine name")
 	}
 }

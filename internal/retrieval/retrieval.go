@@ -33,6 +33,12 @@ var (
 	ErrBadTopK = errors.New("retrieval: TopK must be positive")
 	// ErrBadRounds is returned for non-positive round counts.
 	ErrBadRounds = errors.New("retrieval: rounds must be positive")
+	// ErrStaleIndex is returned when a candidate index covers a
+	// different bag count than the database being ranked. Against a
+	// live-ingested catalog this is a transient race (the index is
+	// maintained moments after the catalog commits); callers that
+	// track a live feed re-resolve and retry.
+	ErrStaleIndex = errors.New("retrieval: candidate index out of step with database")
 	// ErrDuplicateIndex is returned when two database VSs share an
 	// index (labels and rankings would silently alias).
 	ErrDuplicateIndex = errors.New("retrieval: duplicate VS index")

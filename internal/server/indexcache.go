@@ -68,10 +68,33 @@ type indexCache struct {
 	mu      sync.Mutex
 	entries map[indexCacheKey]*indexCacheEntry
 	opt     index.Options
+	// live marks clips whose content legitimately changes across
+	// generations (the ingest daemon's feed). A generation mismatch on
+	// a live clip is absorbed by incremental maintenance — diff by
+	// VS.Index, sound because feed indices are never reused — where a
+	// static clip's replacement forces a rebuild.
+	live map[string]bool
 }
 
 func newIndexCache(opt index.Options) *indexCache {
-	return &indexCache{entries: make(map[indexCacheKey]*indexCacheEntry), opt: opt}
+	return &indexCache{
+		entries: make(map[indexCacheKey]*indexCacheEntry),
+		opt:     opt,
+		live:    make(map[string]bool),
+	}
+}
+
+// setLive marks a clip as live-maintained (see indexCache.live).
+func (c *indexCache) setLive(clip string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.live[clip] = true
+}
+
+func (c *indexCache) isLive(clip string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.live[clip]
 }
 
 // get returns the index for (clip, shard, kind) over vss (the whole
@@ -108,6 +131,19 @@ func (c *indexCache) get(clip string, shard int, vss []window.VS, kind index.Kin
 		e.gen = gen
 		e.vss = vss
 		return e.bi, cacheApplied, 0, nil
+	case !first && c.isLive(clip):
+		// A live clip's backing changes on every feed commit, but its
+		// VS indices are monotonic and never reused, so the delta is
+		// exactly the appended and evicted windows — apply it instead
+		// of rebuilding. This also reconciles an entry the daemon
+		// already pushed ahead of this caller's snapshot: the entry
+		// converges to the snapshot being ranked either way.
+		if _, err := e.bi.Update(vss); err != nil {
+			return nil, cacheHit, 0, err
+		}
+		e.gen = gen
+		e.vss = vss
+		return e.bi, cacheApplied, 0, nil
 	}
 	start := time.Now()
 	bi, err = index.Build(vss, kind, c.opt)
@@ -128,6 +164,72 @@ func (c *indexCache) get(clip string, shard int, vss []window.VS, kind index.Kin
 		return bi, cacheBuilt, buildTime, nil
 	}
 	return bi, cacheRebuilt, buildTime, nil
+}
+
+// dropClip discards every cached entry for the named clip (all shards
+// and kinds), returning how many were dropped. Clip deletion and the
+// ingest daemon's retention evictions route through here so the cache
+// never holds indexes for clips the catalog no longer serves.
+func (c *indexCache) dropClip(clip string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key := range c.entries {
+		if key.clip == clip {
+			delete(c.entries, key)
+			n++
+		}
+	}
+	return n
+}
+
+// applyLive pushes a live clip's new VS database into every resident
+// entry for that clip. vssFor maps an entry's shard to its slice of
+// the new database (wholeClipShard gets the whole thing); a nil
+// return skips that entry. Entries are updated under their own locks,
+// so queries racing the push serialize per entry, not globally. The
+// aggregate delta totals are returned for the daemon's counters.
+func (c *indexCache) applyLive(clip string, gen uint64, vssFor func(shard int) []window.VS) (entries, inserted, deleted, rebuilds int, err error) {
+	type target struct {
+		shard int
+		e     *indexCacheEntry
+	}
+	c.mu.Lock()
+	var targets []target
+	for key, e := range c.entries {
+		if key.clip == clip {
+			targets = append(targets, target{key.shard, e})
+		}
+	}
+	c.mu.Unlock()
+	for _, t := range targets {
+		e := t.e
+		vss := vssFor(t.shard)
+		if vss == nil {
+			continue
+		}
+		e.mu.Lock()
+		if e.bi == nil {
+			e.mu.Unlock()
+			continue
+		}
+		res, uerr := e.bi.Update(vss)
+		if uerr != nil {
+			e.mu.Unlock()
+			err = uerr
+			continue
+		}
+		e.gen = gen
+		e.vss = vss
+		e.mu.Unlock()
+		entries++
+		inserted += res.Inserted
+		deleted += res.Deleted
+		if res.Rebuilt {
+			rebuilds++
+		}
+	}
+	return entries, inserted, deleted, rebuilds, err
 }
 
 // maintenance aggregates the resident indexes' maintenance and memory

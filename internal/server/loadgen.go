@@ -81,6 +81,21 @@ type LoadGen struct {
 	// latency already, this adds each worker's index and probe
 	// counters). An unreachable worker yields a null entry.
 	ShardURLs []string
+	// Live drives an always-on ingest deployment instead of a static
+	// catalog: the run first waits (up to LiveWait) for the server's
+	// ingest daemon to commit its first segment, then each of the
+	// Sessions workers loops full feedback sessions over the live
+	// feed back-to-back until Duration elapses. Judge may be nil in
+	// live mode — a deterministic stand-in labels multi-trajectory
+	// windows relevant, enough to exercise the probe path against a
+	// catalog that changes under the session. Zero DroppedRounds is
+	// the pass criterion: commits, evictions and compactions must
+	// never cost a round.
+	Live bool
+	// Duration bounds a live run (≤ 0 means 10s); LiveWait bounds the
+	// wait for the feed to become queryable (≤ 0 means 30s).
+	Duration time.Duration
+	LiveWait time.Duration
 }
 
 // OpStats are exact latency percentiles for one operation type.
@@ -118,6 +133,37 @@ type Report struct {
 	ShardStats []*StatsResponse `json:"shard_stats,omitempty"`
 	// Errors samples failures (capped at 8).
 	Errors []string `json:"errors,omitempty"`
+}
+
+// waitForFeed polls /v1/stats until the server's ingest daemon has
+// committed its first segment (the feed clip is then queryable), or
+// the wait budget runs out. A server without an ingest daemon fails
+// immediately — live load is meaningless against a static catalog.
+func (lg *LoadGen) waitForFeed(ctx context.Context) error {
+	wait := lg.LiveWait
+	if wait <= 0 {
+		wait = 30 * time.Second
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		st, err := lg.Client.Stats(ctx)
+		if err == nil {
+			if st.Ingest == nil {
+				return fmt.Errorf("server: live load needs a server with an ingest daemon")
+			}
+			if st.Ingest.Committed > 0 {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server: ingest feed not queryable within %s", wait)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
 }
 
 // lat collects per-op latencies under a mutex (exact percentiles beat
@@ -165,6 +211,18 @@ func (l *lat) stats() map[string]OpStats {
 func (lg *LoadGen) Run(ctx context.Context) (*Report, error) {
 	if lg.Client == nil {
 		return nil, fmt.Errorf("server: loadgen needs a client")
+	}
+	if lg.Live {
+		if err := lg.waitForFeed(ctx); err != nil {
+			return nil, err
+		}
+		if lg.Judge == nil {
+			// Deterministic stand-in for ground truth the client can't
+			// see: busy windows (several tracked vehicles) judged
+			// relevant. Enough positive feedback to exercise the
+			// candidate-probe path against the mutating feed.
+			lg.Judge = func(e RankingEntry) bool { return e.TSCount >= 2 }
+		}
 	}
 	if lg.Judge == nil {
 		return nil, fmt.Errorf("server: loadgen needs a judge")
@@ -253,63 +311,91 @@ func (lg *LoadGen) Run(ctx context.Context) (*Report, error) {
 		close(churnDone)
 	}
 
+	runSession := func() {
+		t0 := time.Now()
+		resp, err := lg.Client.Query(ctx, QueryRequest{
+			Clip: lg.Clip, Engine: lg.Engine, TopK: lg.TopK,
+			Index: lg.Index, Candidates: lg.Candidates, Live: lg.Live,
+		})
+		latencies.add("query", time.Since(t0))
+		if err != nil {
+			fail(fmt.Errorf("query: %w", err))
+			return
+		}
+		ok(resp)
+		id := resp.Session
+		for r := 1; r < rounds; r++ {
+			labels := make([]FeedbackLabel, len(resp.TopK))
+			for i, e := range resp.TopK {
+				labels[i] = FeedbackLabel{VS: e.VS, Relevant: lg.Judge(e)}
+			}
+			t0 = time.Now()
+			resp, err = lg.Client.Feedback(ctx, id, labels)
+			latencies.add("feedback", time.Since(t0))
+			if err != nil {
+				fail(fmt.Errorf("feedback round %d: %w", r, err))
+				return
+			}
+			if resp.Round != r {
+				fail(fmt.Errorf("feedback round %d came back as round %d", r, resp.Round))
+				return
+			}
+			ok(resp)
+		}
+		// Final accuracy of the last round, judged client-side.
+		if len(resp.TopK) > 0 {
+			rel := 0
+			for _, e := range resp.TopK {
+				if lg.Judge(e) {
+					rel++
+				}
+			}
+			mu.Lock()
+			accSum += float64(rel) / float64(len(resp.TopK))
+			accCount++
+			mu.Unlock()
+		}
+		t0 = time.Now()
+		if _, err := lg.Client.Ranking(ctx, id, 0); err != nil {
+			latencies.add("ranking", time.Since(t0))
+			fail(fmt.Errorf("ranking: %w", err))
+			return
+		}
+		latencies.add("ranking", time.Since(t0))
+		if err := lg.Client.Delete(ctx, id); err != nil {
+			fail(fmt.Errorf("delete: %w", err))
+		}
+	}
+
+	// Live runs loop sessions back-to-back until Duration elapses;
+	// static runs execute exactly one session per worker.
+	liveStop := make(chan struct{})
+	if lg.Live {
+		dur := lg.Duration
+		if dur <= 0 {
+			dur = 10 * time.Second
+		}
+		timer := time.AfterFunc(dur, func() { close(liveStop) })
+		defer timer.Stop()
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < sessions; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			t0 := time.Now()
-			resp, err := lg.Client.Query(ctx, QueryRequest{
-				Clip: lg.Clip, Engine: lg.Engine, TopK: lg.TopK,
-				Index: lg.Index, Candidates: lg.Candidates,
-			})
-			latencies.add("query", time.Since(t0))
-			if err != nil {
-				fail(fmt.Errorf("query: %w", err))
+			runSession()
+			if !lg.Live {
 				return
 			}
-			ok(resp)
-			id := resp.Session
-			for r := 1; r < rounds; r++ {
-				labels := make([]FeedbackLabel, len(resp.TopK))
-				for i, e := range resp.TopK {
-					labels[i] = FeedbackLabel{VS: e.VS, Relevant: lg.Judge(e)}
-				}
-				t0 = time.Now()
-				resp, err = lg.Client.Feedback(ctx, id, labels)
-				latencies.add("feedback", time.Since(t0))
-				if err != nil {
-					fail(fmt.Errorf("feedback round %d: %w", r, err))
+			for {
+				select {
+				case <-liveStop:
 					return
-				}
-				if resp.Round != r {
-					fail(fmt.Errorf("feedback round %d came back as round %d", r, resp.Round))
+				case <-ctx.Done():
 					return
+				default:
+					runSession()
 				}
-				ok(resp)
-			}
-			// Final accuracy of the last round, judged client-side.
-			if len(resp.TopK) > 0 {
-				rel := 0
-				for _, e := range resp.TopK {
-					if lg.Judge(e) {
-						rel++
-					}
-				}
-				mu.Lock()
-				accSum += float64(rel) / float64(len(resp.TopK))
-				accCount++
-				mu.Unlock()
-			}
-			t0 = time.Now()
-			if _, err := lg.Client.Ranking(ctx, id, 0); err != nil {
-				latencies.add("ranking", time.Since(t0))
-				fail(fmt.Errorf("ranking: %w", err))
-				return
-			}
-			latencies.add("ranking", time.Since(t0))
-			if err := lg.Client.Delete(ctx, id); err != nil {
-				fail(fmt.Errorf("delete: %w", err))
 			}
 		}()
 	}

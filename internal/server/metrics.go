@@ -48,6 +48,12 @@ type Metrics struct {
 	IndexRebuilds  expvar.Int
 	IndexBuild     LatencyHistogram
 
+	// LiveRounds counts rounds served by live sessions (per-round
+	// catalog re-resolution); LiveRetries counts rounds that re-ranked
+	// after losing the race with a concurrent live-index apply.
+	LiveRounds  expvar.Int
+	LiveRetries expvar.Int
+
 	// ScatterServed counts /v1/scatter probes answered (shard
 	// workers); ShardForwardErrors counts catalog writes a
 	// coordinator failed to relay to a worker.
@@ -81,6 +87,8 @@ func (m *Metrics) publish() {
 		top.Set("index_incremental_applies", &m.IndexApplies)
 		top.Set("index_forced_rebuilds", &m.IndexRebuilds)
 		top.Set("index_build_latency", &m.IndexBuild)
+		top.Set("live_rounds", &m.LiveRounds)
+		top.Set("live_retries", &m.LiveRetries)
 		top.Set("scatter_served", &m.ScatterServed)
 		top.Set("shard_forward_errors", &m.ShardForwardErrors)
 		expvar.Publish("milserver", top)

@@ -40,6 +40,7 @@ import (
 	"milvideo/internal/faults"
 	"milvideo/internal/geom"
 	"milvideo/internal/index"
+	"milvideo/internal/ingestd"
 	"milvideo/internal/mil"
 	"milvideo/internal/query"
 	"milvideo/internal/retrieval"
@@ -122,6 +123,15 @@ type Config struct {
 	// PartitionCount=len(ShardURLs) over the same catalog), and
 	// catalog writes are forwarded to every worker. Overrides Shards.
 	ShardURLs []string
+	// Ingest attaches an always-on ingest daemon: the daemon's feed
+	// clip is marked live in the index cache (generation bumps apply
+	// as incremental deltas, never rebuilds), sessions over the feed
+	// clip re-resolve the catalog every round, the daemon's lifecycle
+	// state is served under /v1/stats, and the server acts as the
+	// daemon's live-index Applier. The caller starts the daemon with
+	// the server as its Applier after New. Incompatible with cluster
+	// modes (ShardURLs, PartitionCount) — live applies don't forward.
+	Ingest *ingestd.Daemon
 	// PartitionIndex/PartitionCount mark this server as shard worker
 	// i of n: clips ingested through POST /v1/clips are filtered down
 	// to the partition this worker owns before storage (cmd/serve
@@ -211,6 +221,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.PartitionCount > 1 && (cfg.PartitionIndex < 0 || cfg.PartitionIndex >= cfg.PartitionCount) {
 		return nil, fmt.Errorf("server: partition index %d out of range 0..%d", cfg.PartitionIndex, cfg.PartitionCount-1)
 	}
+	if cfg.Ingest != nil && (len(cfg.ShardURLs) > 0 || cfg.PartitionCount > 1) {
+		return nil, errors.New("server: ingest daemon is incompatible with cluster modes")
+	}
 	s := &Server{
 		cfg:       cfg,
 		store:     newSessionStore(cfg.MaxSessions, cfg.SessionTTL, cfg.Clock),
@@ -233,6 +246,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.PartitionCount > 1 {
 		s.partRing = shard.NewRing(cfg.PartitionCount)
+	}
+	if cfg.Ingest != nil {
+		s.indexes.setLive(cfg.Ingest.FeedClip())
 	}
 	s.metrics.publish()
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
@@ -321,6 +337,13 @@ type QueryRequest struct {
 	// re-ranks per round (0 = server default; ignored without an
 	// index). The URL query parameter ?candidates= overrides it.
 	Candidates int `json:"candidates,omitempty"`
+	// Live re-resolves the clip from a fresh catalog snapshot every
+	// round instead of pinning the session to the snapshot it was
+	// created over — each ranking covers whatever the ingest daemon
+	// has committed and retained by then. Implied for the daemon's
+	// feed clip; mutually exclusive with example_vs and sketch seeds
+	// (their VS anchors can be evicted mid-session).
+	Live bool `json:"live,omitempty"`
 }
 
 // SketchQuery is a sketched trajectory: a polyline in image
@@ -438,6 +461,18 @@ type StatsResponse struct {
 	// coordinator. Both are absent on a plain single-catalog server.
 	Shard   *ShardStats   `json:"shard,omitempty"`
 	Cluster *ClusterStats `json:"cluster,omitempty"`
+	// Live reports live-session serving (rounds over a per-round
+	// re-resolved catalog and retries after losing a race with the
+	// ingest daemon's index applies); Ingest is the attached ingest
+	// daemon's lifecycle state. Both absent without an ingest daemon.
+	Live   *LiveStats     `json:"live,omitempty"`
+	Ingest *ingestd.Stats `json:"ingest,omitempty"`
+}
+
+// LiveStats reports live-session serving counters.
+type LiveStats struct {
+	Rounds  int64 `json:"rounds"`
+	Retries int64 `json:"retries"`
 }
 
 // ErrorResponse is the JSON error envelope.
@@ -479,6 +514,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("example_vs and sketch are mutually exclusive"))
 		return
 	}
+	if s.cfg.Ingest != nil && req.Clip == s.cfg.Ingest.FeedClip() {
+		req.Live = true
+	}
+	if req.Live {
+		if req.ExampleVS != nil || req.Sketch != nil {
+			writeError(w, http.StatusBadRequest, errors.New("live sessions cannot seed by example or sketch"))
+			return
+		}
+		if len(s.shardNodes) > 0 {
+			writeError(w, http.StatusBadRequest, errors.New("live sessions are not served in cluster mode"))
+			return
+		}
+	}
 	snap := s.cfg.DB.Snapshot()
 	rec, err := snap.Clip(req.Clip)
 	if err != nil {
@@ -518,29 +566,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if kind != "" {
-		switch {
-		case len(s.shardNodes) > 0:
-			// Cluster mode: probes scatter to the shard workers over
-			// HTTP; the union re-ranks here against the full catalog.
-			engine = s.clusterEngine(engine, rec.Name, kind, cand)
-		case s.partitions != nil:
-			// In-process sharded mode: one maintained index per
-			// (clip, shard, kind), probed concurrently.
-			sharded, err := s.shardedEngine(engine, rec, snap.Generation(), kind, cand)
-			if err != nil {
-				writeError(w, http.StatusUnprocessableEntity, err)
-				return
-			}
-			engine = sharded
-		default:
-			bi, err := s.indexFor(rec.Name, wholeClipShard, rec.VSs, kind, snap.Generation())
-			if err != nil {
-				writeError(w, http.StatusUnprocessableEntity, err)
-				return
-			}
-			engine = retrieval.CandidateEngine{Inner: engine, Index: bi, C: cand, Stats: s.candStats}
-		}
+	base := engine
+	engine, err = s.engineFor(base, rec, snap.Generation(), kind, cand)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
 	}
 
 	id, err := newSessionID()
@@ -557,6 +587,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		db:         rec.VSs,
 		topK:       topK,
 		labels:     make(map[int]mil.Label),
+		live:       req.Live,
+		base:       base,
+		kind:       kind,
+		cand:       cand,
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
@@ -609,6 +643,34 @@ func (s *Server) resolveIndex(r *http.Request, req *QueryRequest) (index.Kind, i
 		cand = s.cfg.DefaultCandidates
 	}
 	return kind, cand, nil
+}
+
+// engineFor wraps a session's base ranking engine in this server's
+// candidate-index machinery for one catalog snapshot: the cluster
+// scatter engine, the in-process sharded engine, or a plain
+// CandidateEngine over the cached whole-clip index. kind == ""
+// returns base unchanged (exact ranking). Live sessions call it
+// again every round with that round's snapshot.
+func (s *Server) engineFor(base retrieval.Engine, rec *videodb.ClipRecord, gen uint64, kind index.Kind, cand int) (retrieval.Engine, error) {
+	if kind == "" {
+		return base, nil
+	}
+	switch {
+	case len(s.shardNodes) > 0:
+		// Cluster mode: probes scatter to the shard workers over
+		// HTTP; the union re-ranks here against the full catalog.
+		return s.clusterEngine(base, rec.Name, kind, cand), nil
+	case s.partitions != nil:
+		// In-process sharded mode: one maintained index per
+		// (clip, shard, kind), probed concurrently.
+		return s.shardedEngine(base, rec, gen, kind, cand)
+	default:
+		bi, err := s.indexFor(rec.Name, wholeClipShard, rec.VSs, kind, gen)
+		if err != nil {
+			return nil, err
+		}
+		return retrieval.CandidateEngine{Inner: base, Index: bi, C: cand, Stats: s.candStats}, nil
+	}
 }
 
 // named overrides an engine's reported name: a sketch seed is a
@@ -674,9 +736,12 @@ func (s *Server) handleRanking(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.mu.Lock()
 	resp := *sess.last
+	// Live sessions swap db between rounds (under mu); last and db are
+	// updated together, so this pairing is self-consistent.
+	db := sess.db
 	sess.mu.Unlock()
 	if k > 0 {
-		resp.TopK = topEntries(sess.db, resp.Ranking, k)
+		resp.TopK = topEntries(db, resp.Ranking, k)
 	}
 	writeJSON(w, http.StatusOK, &resp)
 }
@@ -695,14 +760,23 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("feedback needs at least one label"))
 		return
 	}
-	known := make(map[int]bool, len(sess.db))
-	for _, vs := range sess.db {
-		known[vs.Index] = true
-	}
-	for _, l := range req.Labels {
-		if !known[l.VS] {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("label for unknown VS %d", l.VS))
-			return
+	// Live sessions skip the known-VS check: a label can legitimately
+	// name a window retention evicted after the client saw it ranked.
+	// Engines look labels up by VS index while walking the database,
+	// so labels on departed windows are harmlessly inert.
+	if !sess.live {
+		sess.mu.Lock()
+		db := sess.db
+		sess.mu.Unlock()
+		known := make(map[int]bool, len(db))
+		for _, vs := range db {
+			known[vs.Index] = true
+		}
+		for _, l := range req.Labels {
+			if !known[l.VS] {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("label for unknown VS %d", l.VS))
+				return
+			}
 		}
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
@@ -803,6 +877,10 @@ func (s *Server) handleDeleteClip(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
+	// Drop the deleted clip's cached index and partition state with
+	// it: a later clip of the same name must not inherit stale
+	// per-(clip, shard, kind) entries.
+	s.dropClipState(name)
 	s.forwardToShards(r.Context(), func(ctx context.Context, c *Client) error {
 		err := c.DeleteClip(ctx, name)
 		var apiErr *APIError
@@ -829,6 +907,58 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// dropClipState discards every piece of per-clip serving state the
+// server caches outside the catalog: candidate indexes (all shards
+// and kinds) and the memoized partition. Returns the number of index
+// entries dropped.
+func (s *Server) dropClipState(name string) int {
+	n := s.indexes.dropClip(name)
+	if s.partitions != nil {
+		s.partitions.drop(name)
+	}
+	return n
+}
+
+// ApplyLive implements ingestd.Applier: the daemon pushes the feed
+// clip's new VS database into every resident index entry for it the
+// moment a segment commits, so the feed is queryable without waiting
+// for the next session's pull-side reconciliation. Entries for shard
+// partitions get their own slice of the new database.
+func (s *Server) ApplyLive(clip string, vss []window.VS, gen uint64) (ingestd.ApplyOutcome, error) {
+	var parts []shard.Part
+	vssFor := func(sh int) []window.VS {
+		if sh == wholeClipShard {
+			return vss
+		}
+		if s.partitions == nil {
+			return nil
+		}
+		if parts == nil {
+			parts = s.partitions.getVSs(clip, vss)
+		}
+		if sh < 0 || sh >= len(parts) {
+			return nil
+		}
+		return parts[sh].VSs
+	}
+	entries, inserted, deleted, rebuilds, err := s.indexes.applyLive(clip, gen, vssFor)
+	return ingestd.ApplyOutcome{
+		Entries:  entries,
+		Inserted: inserted,
+		Deleted:  deleted,
+		Rebuilds: rebuilds,
+	}, err
+}
+
+// DropClips implements ingestd.Applier for retention evictions.
+func (s *Server) DropClips(names []string) int {
+	n := 0
+	for _, name := range names {
+		n += s.dropClipState(name)
+	}
+	return n
 }
 
 // Stats assembles the service metrics, aggregating kernel-cache
@@ -868,6 +998,14 @@ func (s *Server) Stats() *StatsResponse {
 	resp.Index.QuantizerTrainMs = ms(trainTime)
 	if mode := s.shardMode(); mode != "" {
 		resp.Shard = s.shardStatsJSON(mode)
+	}
+	if s.cfg.Ingest != nil {
+		ist := s.cfg.Ingest.Stats()
+		resp.Ingest = &ist
+		resp.Live = &LiveStats{
+			Rounds:  s.metrics.LiveRounds.Value(),
+			Retries: s.metrics.LiveRetries.Value(),
+		}
 	}
 	if len(s.shardNodes) > 0 {
 		resp.Cluster = s.clusterStats()
@@ -938,10 +1076,28 @@ func (s *Server) runRound(ctx context.Context, sess *session, labels []FeedbackL
 			sess.labels[l.VS] = mil.Negative
 		}
 	}
+	if err := s.refreshLive(sess); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	ranking, top, err := retrieval.RankRoundCtx(ctx, sess.engine, sess.db, sess.labels, sess.topK)
+	for sess.live && errors.Is(err, retrieval.ErrStaleIndex) && ctx.Err() == nil {
+		// The ingest daemon applied a commit to the shared live index
+		// between this round's snapshot resolution and its probe.
+		// Re-resolve against the now-current catalog and re-rank; the
+		// loop converges because commits are far slower than a refresh
+		// and is bounded by the round's deadline regardless.
+		s.metrics.LiveRetries.Add(1)
+		if err = s.refreshLive(sess); err != nil {
+			return nil, err
+		}
+		ranking, top, err = retrieval.RankRoundCtx(ctx, sess.engine, sess.db, sess.labels, sess.topK)
+	}
 	if err != nil {
 		return nil, err
+	}
+	if sess.live {
+		s.metrics.LiveRounds.Add(1)
 	}
 	s.metrics.Rerank.Observe(time.Since(start))
 	s.metrics.RoundsServed.Add(1)
@@ -973,6 +1129,28 @@ func (s *Server) runRound(ctx context.Context, sess *session, labels []FeedbackL
 	sess.round++
 	sess.last = resp
 	return resp, nil
+}
+
+// refreshLive re-resolves a live session's database and engine from a
+// fresh catalog snapshot, so the round about to run covers everything
+// the ingest daemon has committed and retained. A no-op for pinned
+// sessions. The caller holds sess.mu.
+func (s *Server) refreshLive(sess *session) error {
+	if !sess.live {
+		return nil
+	}
+	snap := s.cfg.DB.Snapshot()
+	rec, err := snap.Clip(sess.clip)
+	if err != nil {
+		return err
+	}
+	engine, err := s.engineFor(sess.base, rec, snap.Generation(), sess.kind, sess.cand)
+	if err != nil {
+		return err
+	}
+	sess.db = rec.VSs
+	sess.engine = engine
+	return nil
 }
 
 // topEntries rebuilds the first k ranking entries from a stored

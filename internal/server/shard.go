@@ -39,14 +39,28 @@ func newPartitionCache(ring *shard.Ring) *partitionCache {
 }
 
 func (c *partitionCache) get(rec *videodb.ClipRecord) []shard.Part {
+	return c.getVSs(rec.Name, rec.VSs)
+}
+
+// getVSs is get for callers holding a VS database without its record
+// (the ingest daemon's live apply path).
+func (c *partitionCache) getVSs(name string, vss []window.VS) []shard.Part {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e, ok := c.entries[rec.Name]; ok && videodb.SharesBacking(e.vss, rec.VSs) {
+	if e, ok := c.entries[name]; ok && videodb.SharesBacking(e.vss, vss) {
 		return e.parts
 	}
-	parts := shard.PartitionVS(c.ring, rec.Name, rec.VSs)
-	c.entries[rec.Name] = &partitionEntry{vss: rec.VSs, parts: parts}
+	parts := shard.PartitionVS(c.ring, name, vss)
+	c.entries[name] = &partitionEntry{vss: vss, parts: parts}
 	return parts
+}
+
+// drop discards the memoized partition for one clip (deletion or
+// retention eviction).
+func (c *partitionCache) drop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, name)
 }
 
 // indexFor fetches (building or maintaining) one cached index and

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"milvideo/internal/index"
 	"milvideo/internal/mil"
 	"milvideo/internal/retrieval"
 	"milvideo/internal/window"
@@ -34,6 +35,17 @@ type session struct {
 	cache *retrieval.MILCache
 	db    []window.VS
 	topK  int
+
+	// Live sessions track the ingest daemon's feed: every round
+	// re-resolves db (and rebuilds engine around base, for indexed
+	// sessions) from a fresh catalog snapshot, so the ranking covers
+	// whatever was committed and retained by then. base/kind/cand are
+	// the per-round reconstruction inputs; db is then mutable and read
+	// under mu (for pinned sessions it never changes after creation).
+	live bool
+	base retrieval.Engine
+	kind index.Kind
+	cand int
 
 	// mu serializes rounds within the session: feedback for one
 	// session is strictly ordered even when clients misbehave, while

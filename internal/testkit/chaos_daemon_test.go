@@ -1,0 +1,127 @@
+package testkit_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"milvideo/internal/faults"
+	"milvideo/internal/ingestd"
+	"milvideo/internal/videodb"
+)
+
+// daemonFrames shrinks the per-segment length under the race
+// detector, like chaosFrames for the ingest leg.
+func daemonFrames() int {
+	if raceDetectorOn {
+		return 40
+	}
+	return 50
+}
+
+// runChaosDaemon drains one finite simulated feed through an ingest
+// daemon under a seeded fault schedule and returns the resulting
+// catalog, its final snapshot bytes and the daemon's stats.
+func runChaosDaemon(t *testing.T, snap string) (*videodb.DB, []byte, ingestd.Stats) {
+	t.Helper()
+	db := videodb.New()
+	d, err := ingestd.New(ingestd.Config{
+		DB:     db,
+		Source: &ingestd.SimSource{Frames: daemonFrames(), Seed: 17, Limit: 10},
+		// Three workers race over the pipeline on purpose: the commit
+		// sequence (and therefore the catalog) must not depend on
+		// their interleaving.
+		Workers:        3,
+		RetainSegments: 3,
+		CommitRetries:  1,
+		RetryBackoff:   time.Microsecond,
+		SnapshotPath:   snap,
+		SnapshotEvery:  time.Hour, // only Stop's final snapshot matters
+		Faults:         faults.New(faults.Config{Seed: 4242, AdmitDrop: 0.25, CommitFail: 0.4}),
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	d.Wait()
+	d.Stop()
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, raw, d.Stats()
+}
+
+// TestChaosIngestDaemon is the daemon's conformance gate: the same
+// seeded schedule of admission-shedding and transient commit faults,
+// replayed over the same simulated feed, must produce byte-identical
+// catalog snapshots and identical lifecycle accounting — whatever the
+// worker pool's interleaving. Along the way it asserts the daemon's
+// loss ledger: every arrived segment is committed, shed, dropped or
+// empty, and every committed segment is either live or was evicted.
+func TestChaosIngestDaemon(t *testing.T) {
+	dir := t.TempDir()
+	db1, raw1, s1 := runChaosDaemon(t, filepath.Join(dir, "run1.db"))
+	_, raw2, s2 := runChaosDaemon(t, filepath.Join(dir, "run2.db"))
+
+	if s1.Arrived != 10 {
+		t.Fatalf("arrived %d, want 10", s1.Arrived)
+	}
+	if s1.Shed == 0 || s1.CommitRetries == 0 {
+		t.Fatalf("fault schedule never fired: %+v", s1)
+	}
+	if s1.Committed == 0 {
+		t.Fatal("every segment was lost — the schedule should let some through")
+	}
+	if s1.Shed+s1.Committed+s1.CommitsDropped+s1.EmptySegments != s1.Arrived {
+		t.Fatalf("segments unaccounted for: %+v", s1)
+	}
+	if uint64(s1.LiveSegments)+s1.EvictedSegments != s1.Committed {
+		t.Fatalf("committed clips lost: %d live + %d evicted != %d committed",
+			s1.LiveSegments, s1.EvictedSegments, s1.Committed)
+	}
+	if db1.Len() != 1+s1.LiveSegments {
+		t.Fatalf("catalog holds %d clips, want feed + %d segments", db1.Len(), s1.LiveSegments)
+	}
+	if s1.Staleness.Count != s1.Committed {
+		t.Fatalf("staleness observed %d commits of %d", s1.Staleness.Count, s1.Committed)
+	}
+	if s1.Staleness.MaxMs <= 0 {
+		t.Fatal("staleness histogram recorded nothing")
+	}
+
+	// Replay determinism: catalog bytes and every deterministic
+	// counter agree between the two runs.
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatalf("replayed catalog diverged: %d vs %d bytes", len(raw1), len(raw2))
+	}
+	if s1.Shed != s2.Shed || s1.Committed != s2.Committed ||
+		s1.CommitsDropped != s2.CommitsDropped || s1.CommitRetries != s2.CommitRetries ||
+		s1.Evictions != s2.Evictions || s1.EvictedSegments != s2.EvictedSegments ||
+		s1.LiveSegments != s2.LiveSegments || s1.NextSeq != s2.NextSeq {
+		t.Fatalf("replayed accounting diverged:\n run1: %+v\n run2: %+v", s1, s2)
+	}
+
+	// Recovery: a daemon constructed over the final snapshot resumes
+	// the exact feed bookkeeping.
+	db3 := videodb.New()
+	d3, err := ingestd.New(ingestd.Config{
+		DB:           db3,
+		Source:       &ingestd.SimSource{Frames: daemonFrames(), Seed: 17, Limit: 1},
+		SnapshotPath: filepath.Join(dir, "run1.db"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3 := d3.Stats()
+	if s3.NextSeq != s1.NextSeq || s3.LiveSegments != s1.LiveSegments {
+		t.Fatalf("recovered seq %d / %d segments, want %d / %d",
+			s3.NextSeq, s3.LiveSegments, s1.NextSeq, s1.LiveSegments)
+	}
+}

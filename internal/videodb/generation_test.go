@@ -1,0 +1,147 @@
+package videodb
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestGenerationContract audits every catalog mutation against the
+// package's mutation-counter contract: exactly one bump per
+// successful content-changing call (batches included), no bump on
+// failure, no bump from Annotate.
+func TestGenerationContract(t *testing.T) {
+	db := New()
+	gen := func() uint64 { return db.Generation() }
+	expect := func(step string, want uint64) {
+		t.Helper()
+		if got := gen(); got != want {
+			t.Fatalf("%s: generation %d, want %d", step, got, want)
+		}
+	}
+	expect("fresh db", 0)
+
+	if err := db.Add(clip("a")); err != nil {
+		t.Fatal(err)
+	}
+	expect("Add", 1)
+	if err := db.Add(clip("a")); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("dup add: %v", err)
+	}
+	expect("failed Add", 1)
+
+	if err := db.AddBatch([]*ClipRecord{clip("b"), clip("c"), clip("d")}); err != nil {
+		t.Fatal(err)
+	}
+	expect("AddBatch of 3", 2)
+	if err := db.AddBatch([]*ClipRecord{clip("e"), clip("b")}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("dup batch: %v", err)
+	}
+	expect("failed AddBatch", 2)
+	if _, err := db.Clip("e"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("rejected batch partially inserted")
+	}
+	if err := db.AddBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	expect("empty AddBatch", 2)
+
+	if err := db.Annotate("a", "camera", "north"); err != nil {
+		t.Fatal(err)
+	}
+	expect("Annotate", 2)
+
+	if err := db.Replace(clip("a")); err != nil {
+		t.Fatal(err)
+	}
+	expect("Replace existing", 3)
+	if err := db.Replace(clip("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	expect("Replace as insert", 4)
+	bad := clip("a")
+	bad.VSs = nil
+	if err := db.Replace(bad); err == nil {
+		t.Fatal("invalid Replace accepted")
+	}
+	expect("failed Replace", 4)
+
+	if err := db.Remove("fresh"); err != nil {
+		t.Fatal(err)
+	}
+	expect("Remove", 5)
+	if err := db.Remove("fresh"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double remove: %v", err)
+	}
+	expect("failed Remove", 5)
+
+	// The batch-eviction contract: one bump for the whole batch.
+	if err := db.RemoveBatch([]string{"b", "c", "d"}); err != nil {
+		t.Fatal(err)
+	}
+	expect("RemoveBatch of 3", 6)
+	if db.Len() != 1 {
+		t.Fatalf("len after batch eviction: %d", db.Len())
+	}
+	if err := db.RemoveBatch(nil); err != nil {
+		t.Fatal(err)
+	}
+	expect("empty RemoveBatch", 6)
+}
+
+// TestRemoveBatchAtomic pins that a rejected batch eviction deletes
+// nothing and bumps nothing — absent names and in-batch duplicates
+// are both rejections.
+func TestRemoveBatchAtomic(t *testing.T) {
+	db := New()
+	for _, n := range []string{"a", "b"} {
+		if err := db.Add(clip(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen := db.Generation()
+	if err := db.RemoveBatch([]string{"a", "zzz"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("absent name: %v", err)
+	}
+	if err := db.RemoveBatch([]string{"a", "a"}); err == nil {
+		t.Fatal("duplicate batch name accepted")
+	}
+	if db.Generation() != gen {
+		t.Fatalf("failed batches bumped generation %d -> %d", gen, db.Generation())
+	}
+	if db.Len() != 2 {
+		t.Fatalf("failed batch deleted clips: %d left", db.Len())
+	}
+}
+
+// TestReplaceKeepsOldRecordImmutable pins the live-feed commit
+// semantics: a snapshot taken before a Replace keeps serving the old
+// record, and the new record lands under a fresh VS slice.
+func TestReplaceKeepsOldRecordImmutable(t *testing.T) {
+	db := New()
+	if err := db.Add(clip("a")); err != nil {
+		t.Fatal(err)
+	}
+	snap := db.Snapshot()
+	old, err := snap.Clip("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := clip("a")
+	next.Frames = 200
+	if err := db.Replace(next); err != nil {
+		t.Fatal(err)
+	}
+	if old.Frames != 100 {
+		t.Fatalf("snapshot record mutated: %d frames", old.Frames)
+	}
+	cur, err := db.Clip("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Frames != 200 {
+		t.Fatalf("replace did not land: %d frames", cur.Frames)
+	}
+	if SharesBacking(old.VSs, cur.VSs) {
+		t.Fatal("replaced record shares the old VS backing array")
+	}
+}

@@ -8,6 +8,27 @@
 // database" after offline video analysis (Fig. 6); this package plays
 // that role so retrieval sessions, tools and benchmarks can share
 // preprocessed datasets instead of re-running the vision pipeline.
+//
+// # Mutation-counter contract
+//
+// The catalog carries a generation counter (Generation) that derived
+// structures — candidate indexes, partition caches — key their
+// entries to. The contract:
+//
+//   - Every successful call that can change feature content bumps the
+//     counter exactly once, however many clips it touches: Add,
+//     AddBatch, Replace, Remove, RemoveBatch and Load are all single
+//     bumps. A batch eviction of N clips is one mutation, not N —
+//     derived caches reconcile once per batch, not once per clip.
+//   - Failed calls never bump: validation and duplicate/not-found
+//     checks complete before any insertion or deletion, so a rejected
+//     batch leaves both the catalog and the counter untouched.
+//   - Annotate never bumps: metadata edits cannot change index
+//     contents.
+//   - Equal generations imply identical feature content. Two
+//     snapshots at the same generation may share generation-keyed
+//     caches; a bump tells caches to reconcile (by backing identity —
+//     see SharesBacking — or by rebuilding).
 package videodb
 
 import (
@@ -139,9 +160,11 @@ type DB struct {
 	mu    sync.RWMutex
 	clips map[string]*ClipRecord
 	// gen counts catalog mutations that can change feature content
-	// (Add, AddBatch, Remove, Load). Candidate indexes are keyed to it
-	// so an ingest invalidates them; Annotate does not bump it because
-	// metadata edits cannot change index contents.
+	// (Add, AddBatch, Replace, Remove, RemoveBatch, Load) — exactly
+	// one bump per successful call, see the package's mutation-counter
+	// contract. Candidate indexes are keyed to it so an ingest
+	// invalidates them; Annotate does not bump it because metadata
+	// edits cannot change index contents.
 	gen uint64
 }
 
@@ -163,9 +186,11 @@ func (db *DB) Add(c *ClipRecord) error {
 	return nil
 }
 
-// Generation reports the catalog's mutation counter: it advances on
-// every successful Add, AddBatch, Remove and Load. Derived structures
-// (candidate indexes) key their cache entries to it.
+// Generation reports the catalog's mutation counter: it advances
+// exactly once on every successful Add, AddBatch, Replace, Remove,
+// RemoveBatch and Load (see the package's mutation-counter contract).
+// Derived structures (candidate indexes) key their cache entries to
+// it.
 func (db *DB) Generation() uint64 {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -231,7 +256,9 @@ func (db *DB) Clip(name string) (*ClipRecord, error) {
 	return c, nil
 }
 
-// Remove deletes a clip; removing an absent clip is an error.
+// Remove deletes a clip; removing an absent clip is an error. One
+// successful Remove is one generation bump (see the package's
+// mutation-counter contract).
 func (db *DB) Remove(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -239,6 +266,55 @@ func (db *DB) Remove(name string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	delete(db.clips, name)
+	db.gen++
+	return nil
+}
+
+// RemoveBatch deletes a set of clips atomically with a single
+// generation bump: every name is checked — against the catalog and
+// for duplicates within the batch — before any is deleted, so a
+// rejected batch leaves the catalog and the counter untouched. The
+// retention controller evicts whole batches through it so derived
+// caches reconcile once per eviction pass, not once per clip. An
+// empty batch is a no-op (no bump).
+func (db *DB) RemoveBatch(names []string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	seen := make(map[string]bool, len(names))
+	for i, name := range names {
+		if _, ok := db.clips[name]; !ok {
+			return fmt.Errorf("%w: %q (batch name %d)", ErrNotFound, name, i)
+		}
+		if seen[name] {
+			return fmt.Errorf("videodb: batch name %d duplicates %q", i, name)
+		}
+		seen[name] = true
+	}
+	for _, name := range names {
+		delete(db.clips, name)
+	}
+	if len(names) > 0 {
+		db.gen++
+	}
+	return nil
+}
+
+// Replace atomically swaps a clip's record for a new one of the same
+// name — or stores it when absent — with a single generation bump.
+// It is the live-feed writer's commit operation: the old record stays
+// immutable (snapshots holding it keep serving it), the new record
+// takes its place under a fresh VS slice, and the bump tells derived
+// caches to reconcile. Under incremental index maintenance the
+// replacement is sound exactly when surviving VS indices keep their
+// feature content — the ingest daemon guarantees that by never
+// reusing a VS index.
+func (db *DB) Replace(c *ClipRecord) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.clips[c.Name] = c
 	db.gen++
 	return nil
 }

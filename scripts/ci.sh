@@ -20,9 +20,13 @@
 # one incremental index apply, no forced rebuilds, and a clean drain,
 # a sharded-serving gate (scatter–gather at C=N permutation-identical
 # to unsharded for every engine × index kind × shard count, plus
-# fault-injected shard degradation under -race), and a cluster smoke:
+# fault-injected shard degradation under -race), a cluster smoke:
 # three shard workers plus a coordinator scattering over HTTP, driven
-# by loadgen, losing no rounds and draining all four processes.
+# by loadgen, losing no rounds and draining all four processes, and a
+# daemon smoke: serve -ingest continuously committing, evicting,
+# compacting and snapshotting the live feed under loadgen -live
+# sessions that must lose no rounds and stay within the staleness
+# bound, then recover the feed from the snapshot on restart.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -212,5 +216,70 @@ cluster_pids=()
 for log in "$smokedir/coord.log" "$smokedir/worker0.log" "$smokedir/worker1.log" "$smokedir/worker2.log"; do
     grep -q "drained, bye" "$log" || { echo "$log did not drain cleanly" >&2; cat "$log" >&2; exit 1; }
 done
+
+echo "== daemon smoke (serve -ingest + loadgen -live) =="
+# The always-on loop in two processes: a serve with an attached ingest
+# daemon commits, evicts and snapshots the live feed while loadgen
+# drives concurrent feedback sessions over it for 15s. loadgen itself
+# exits nonzero on any dropped round, empty ranking, or a queryable-
+# staleness p99 above the daemon's -max-staleness bound; on top of
+# that the run must have aged segments out (>= 1 eviction), compacted
+# the feed clip (>= 1 compaction), written its snapshot, and a restart
+# over that snapshot must recover the feed before draining cleanly.
+"$smokedir/serve" -addr 127.0.0.1:0 -ingest -ingest-interval 450ms -ingest-frames 80 \
+    -retain-segments 6 -max-staleness 5s -snapshot "$smokedir/live.db" -snapshot-every 5s \
+    >"$smokedir/daemon.log" 2>&1 &
+serve_pid=$!
+url=""
+for _ in $(seq 1 50); do
+    url=$(sed -n 's/^serve: listening on \(http:\/\/[^ ]*\).*/\1/p' "$smokedir/daemon.log")
+    [ -n "$url" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$smokedir/daemon.log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$url" ] || { echo "ingest serve never reported its address" >&2; cat "$smokedir/daemon.log" >&2; exit 1; }
+"$smokedir/loadgen" -url "$url" -live -duration 15s -sessions 3 \
+    -index vptree -candidates 1048576 -o "$smokedir/smoke-live.json" || {
+    echo "--- serve log ---" >&2
+    cat "$smokedir/daemon.log" >&2
+    exit 1
+}
+grep -q '"dropped_rounds": 0' "$smokedir/smoke-live.json" || {
+    echo "live smoke dropped rounds" >&2
+    cat "$smokedir/smoke-live.json" >&2
+    exit 1
+}
+if grep -q '"evictions": 0,' "$smokedir/smoke-live.json"; then
+    echo "live smoke never evicted a segment (retention idle)" >&2
+    cat "$smokedir/smoke-live.json" >&2
+    exit 1
+fi
+if grep -q '"compactions": 0,' "$smokedir/smoke-live.json"; then
+    echo "live smoke never compacted the feed clip" >&2
+    cat "$smokedir/smoke-live.json" >&2
+    exit 1
+fi
+kill -INT "$serve_pid"
+wait "$serve_pid"
+serve_pid=""
+grep -q "drained, bye" "$smokedir/daemon.log" || { echo "ingest serve did not drain cleanly" >&2; cat "$smokedir/daemon.log" >&2; exit 1; }
+[ -s "$smokedir/live.db" ] || { echo "ingest serve left no snapshot" >&2; exit 1; }
+"$smokedir/serve" -addr 127.0.0.1:0 -ingest -snapshot "$smokedir/live.db" \
+    >"$smokedir/daemon-restart.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 50); do
+    grep -q "listening on" "$smokedir/daemon-restart.log" && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$smokedir/daemon-restart.log" >&2; exit 1; }
+    sleep 0.1
+done
+grep -q "recovered feed" "$smokedir/daemon-restart.log" || {
+    echo "restarted daemon did not recover from the snapshot" >&2
+    cat "$smokedir/daemon-restart.log" >&2
+    exit 1
+}
+kill -INT "$serve_pid"
+wait "$serve_pid"
+serve_pid=""
+grep -q "drained, bye" "$smokedir/daemon-restart.log" || { echo "restarted ingest serve did not drain" >&2; cat "$smokedir/daemon-restart.log" >&2; exit 1; }
 
 echo "CI OK"
