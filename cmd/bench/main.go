@@ -35,6 +35,8 @@ import (
 	"milvideo/internal/index"
 	"milvideo/internal/kernel"
 	"milvideo/internal/mil"
+	"milvideo/internal/predicate"
+	"milvideo/internal/query"
 	"milvideo/internal/render"
 	"milvideo/internal/retrieval"
 	"milvideo/internal/segment"
@@ -80,6 +82,39 @@ type Snapshot struct {
 	// 1000× catalog: per-shard build cost, session latency, merge
 	// overhead and recall at the fixed candidate budget.
 	Sharded []ShardScalingResult `json:"sharded,omitempty"`
+	// PredicateLeaves measures each predicate-language leaf (and the
+	// temporal operators) in isolation: AST compile cost and per-bag
+	// scoring cost over the 10× demo catalog.
+	PredicateLeaves []PredicateLeafResult `json:"predicate_leaves,omitempty"`
+	// PredicateSessions compares predicate-seeded against
+	// example-seeded 5-round feedback sessions on scaled catalogs:
+	// session latency side by side with recall@10 against the staged
+	// ground truth (the BENCH_7 acceptance evidence).
+	PredicateSessions []PredicateSessionResult `json:"predicate_sessions,omitempty"`
+}
+
+// PredicateLeafResult is one leaf's isolated cost: compiling its
+// one-node AST and scoring the compiled scorer over the catalog.
+type PredicateLeafResult struct {
+	Leaf          string  `json:"leaf"`
+	Expr          string  `json:"expr"`
+	CompileNs     float64 `json:"compile_ns"`
+	ScoreNsPerBag float64 `json:"score_ns_per_bag"`
+}
+
+// PredicateSessionResult is one seeded 5-round oracle session: round-0
+// recall@10 is what the seed alone retrieves, final recall@10 is where
+// MIL feedback leaves the session, and SessionSec prices the whole
+// loop — comparable across the "predicate" and "example" seeds at the
+// same scale.
+type PredicateSessionResult struct {
+	Scale        int     `json:"scale"`
+	Bags         int     `json:"bags"`
+	Seed         string  `json:"seed"`
+	Query        string  `json:"query"`
+	SessionSec   float64 `json:"session_sec"`
+	Round0Recall float64 `json:"round0_recall_at_10"`
+	FinalRecall  float64 `json:"final_recall_at_10"`
 }
 
 // CandidatePoint is one pruning level on a candidate curve: a full
@@ -214,7 +249,18 @@ func main() {
 	only := flag.String("stage", "", "run a single stage by name")
 	maintOnly := flag.Bool("maint", false, "run only the incremental-maintenance benchmark (fast; used by the CI smoke)")
 	shardedOnly := flag.Bool("sharded", false, "run only the shard-scaling benchmark (the sharded-serving acceptance evidence)")
+	predOnly := flag.Bool("predicate", false, "run only the predicate-language benchmarks: the predicate_session_5rounds stage, per-leaf compile/score latency, and predicate-vs-example sessions (BENCH_7 evidence)")
 	flag.Parse()
+
+	if *predOnly {
+		snap, err := predicateBench()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		writeSnapshot(*snap, *out)
+		return
+	}
 
 	if *shardedOnly {
 		sharded, err := shardScalingBench()
@@ -300,6 +346,13 @@ func main() {
 			os.Exit(1)
 		}
 		snap.Sharded = sharded
+		leaves, sessions, err := predicateSweeps()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		snap.PredicateLeaves = leaves
+		snap.PredicateSessions = sessions
 	}
 	writeSnapshot(snap, *out)
 }
@@ -411,6 +464,11 @@ func buildStages(only string) ([]stage, error) {
 	if err != nil {
 		return nil, err
 	}
+	penv, err := predicate.RecordEnv(demoRec)
+	if err != nil {
+		return nil, err
+	}
+	demoPred := server.DemoPredicates()[0]
 
 	// The candidate-index fixture: the demo catalog at 10× (480 VSs),
 	// its flattened instance set, prebuilt structures for the probe
@@ -454,7 +512,7 @@ func buildStages(only string) ([]stage, error) {
 		}
 	}
 
-	return []stage{
+	stages := []stage{
 		{"background_histogram", func(b *testing.B) {
 			benchErr(b, func() error { _, err := segment.LearnBackground(clip.Frames, 1); return err })
 		}},
@@ -583,7 +641,55 @@ func buildStages(only string) ([]stage, error) {
 		{"figure9_warm", func(b *testing.B) {
 			benchErr(b, func() error { _, err := experiments.Figure9(); return err })
 		}},
-	}, nil
+	}
+	return append(stages, predicateStageDefs(qclient, judge, penv, idxDB, demoPred)...), nil
+}
+
+// predicateStageDefs builds the predicate-language stages, shared by
+// the full run and the fast -predicate mode: compiling the composed
+// demo AST, scoring it over the 10× catalog, and the full HTTP session
+// it seeds.
+func predicateStageDefs(qclient *server.Client, judge server.Judge, env predicate.Env, scoreDB []window.VS, pred *predicate.Node) []stage {
+	return []stage{
+		{"predicate_compile", func(b *testing.B) {
+			// Compiling the composed demo AST — seq(stop∧region,
+			// go∧east∧region, 5s) — to its scorer tree.
+			benchErr(b, func() error { _, err := predicate.Compile(pred, env); return err })
+		}},
+		{"predicate_score_10x", func(b *testing.B) {
+			// Scoring the compiled composed predicate over the 10×
+			// catalog (480 bags) per op.
+			eng, err := predicate.Compile(pred, env)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchErr(b, func() error { _, err := eng.Scores(scoreDB); return err })
+		}},
+		{"predicate_session_5rounds", func(b *testing.B) {
+			// The predicate twin of server_session_5rounds: one full
+			// HTTP session seeded by the composed predicate, four
+			// judged MIL feedback re-ranks, delete.
+			benchErr(b, func() error {
+				ctx := context.Background()
+				resp, err := qclient.Query(ctx, server.QueryRequest{
+					Clip: server.DemoClip, TopK: 8, Predicate: pred,
+				})
+				if err != nil {
+					return err
+				}
+				for r := 1; r < 5; r++ {
+					fb := make([]server.FeedbackLabel, len(resp.TopK))
+					for i, e := range resp.TopK {
+						fb[i] = server.FeedbackLabel{VS: e.VS, Relevant: judge(e)}
+					}
+					if resp, err = qclient.Feedback(ctx, resp.Session, fb); err != nil {
+						return err
+					}
+				}
+				return qclient.Delete(ctx, resp.Session)
+			})
+		}},
+	}
 }
 
 // runOracleSession executes the paper's 5-round × top-20 feedback
@@ -647,6 +753,234 @@ func recallAt10(got, want []int) float64 {
 		}
 	}
 	return float64(hit) / float64(k)
+}
+
+// predicateLeafBench measures every predicate leaf op — and the three
+// temporal operators over stop/go operands — in isolation on the
+// given catalog: one-node AST compile cost and compiled per-bag
+// scoring cost.
+func predicateLeafBench(db []window.VS, env predicate.Env) ([]PredicateLeafResult, error) {
+	east := 0.0
+	stop := func() *predicate.Node { return &predicate.Node{Op: predicate.OpStop} }
+	goLeaf := func() *predicate.Node { return &predicate.Node{Op: predicate.OpGo} }
+	leaves := []struct {
+		name string
+		node *predicate.Node
+	}{
+		{"direction", &predicate.Node{Op: predicate.OpDirection, Heading: &east}},
+		{"speed", &predicate.Node{Op: predicate.OpSpeed, MinSpeed: 2, MaxSpeed: 8}},
+		{"stop", stop()},
+		{"go", goLeaf()},
+		{"turn", &predicate.Node{Op: predicate.OpTurn}},
+		{"class", &predicate.Node{Op: predicate.OpClass, Class: "car"}},
+		{"size", &predicate.Node{Op: predicate.OpSize, MinArea: 40, MaxArea: 100}},
+		{"region", &predicate.Node{Op: predicate.OpRegion, Rect: []float64{0.25, 0.25, 0.75, 0.75}}},
+		{"sketch", &predicate.Node{Op: predicate.OpSketch, Points: [][2]float64{{10, 120}, {160, 120}, {310, 120}}}},
+		{"seq", &predicate.Node{Op: predicate.OpSeq, A: stop(), B: goLeaf(), Within: 5}},
+		{"during", &predicate.Node{Op: predicate.OpDuring, A: stop(), B: goLeaf()}},
+		{"overlap", &predicate.Node{Op: predicate.OpOverlap, A: stop(), B: goLeaf()}},
+	}
+	out := make([]PredicateLeafResult, 0, len(leaves))
+	for _, l := range leaves {
+		eng, err := predicate.Compile(l.node, env)
+		if err != nil {
+			return nil, fmt.Errorf("leaf %s: %w", l.name, err)
+		}
+		comp := testing.Benchmark(func(b *testing.B) {
+			benchErr(b, func() error { _, err := predicate.Compile(l.node, env); return err })
+		})
+		score := testing.Benchmark(func(b *testing.B) {
+			benchErr(b, func() error { _, err := eng.Scores(db); return err })
+		})
+		r := PredicateLeafResult{
+			Leaf:          l.name,
+			Expr:          l.node.Summary(),
+			CompileNs:     float64(comp.T.Nanoseconds()) / float64(comp.N),
+			ScoreNsPerBag: float64(score.T.Nanoseconds()) / float64(score.N) / float64(len(db)),
+		}
+		fmt.Fprintf(os.Stderr, "predicate leaf %-9s compile %8.0f ns/op  score %9.1f ns/bag\n",
+			l.name, r.CompileNs, r.ScoreNsPerBag)
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// predicateSessionBench compares predicate-seeded against
+// example-seeded 5-round oracle sessions on scaled catalogs: each seed
+// engine runs round 0, then MIL takes over on positive feedback
+// (query.WithFeedback — exactly the served path), with recall@10
+// judged against the staged ground truth every round.
+func predicateSessionBench() ([]PredicateSessionResult, error) {
+	const rounds, topK = 5, 20
+	var out []PredicateSessionResult
+	for _, scale := range []int{10, 100} {
+		rec, err := server.ScaledDemoRecord(1, scale)
+		if err != nil {
+			return nil, err
+		}
+		oracle, err := core.OracleFromRecord(rec, nil)
+		if err != nil {
+			return nil, err
+		}
+		env, err := predicate.RecordEnv(rec)
+		if err != nil {
+			return nil, err
+		}
+		db := rec.VSs
+		relevant := 0
+		for _, vs := range db {
+			if oracle.Relevant(vs) {
+				relevant++
+			}
+		}
+		denom := relevant
+		if denom > 10 {
+			denom = 10
+		}
+		pe, err := predicate.Compile(server.DemoPredicates()[0], env)
+		if err != nil {
+			return nil, err
+		}
+		ex, err := query.ExampleFromVS(db[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, seed := range []struct {
+			name, q string
+			initial retrieval.Engine
+		}{
+			{"predicate", pe.Node().Summary(), pe},
+			{"example", "example(vs=0)", ex},
+		} {
+			engine := query.WithFeedback{
+				Initial: seed.initial,
+				Learner: retrieval.MILEngine{Opt: mil.DefaultOptions(), Cache: retrieval.NewMILCache()},
+			}
+			labels := make(map[int]mil.Label)
+			var elapsed time.Duration
+			var r0, rf float64
+			for round := 0; round < rounds; round++ {
+				t0 := time.Now()
+				ranking, top, err := retrieval.RankRound(engine, db, labels, topK)
+				elapsed += time.Since(t0)
+				if err != nil {
+					return nil, fmt.Errorf("%s session round %d: %w", seed.name, round, err)
+				}
+				hits := 0
+				for _, pos := range ranking[:10] {
+					if oracle.Relevant(db[pos]) {
+						hits++
+					}
+				}
+				recall := float64(hits) / float64(denom)
+				if round == 0 {
+					r0 = recall
+				}
+				rf = recall
+				for _, pos := range top {
+					if oracle.Relevant(db[pos]) {
+						labels[db[pos].Index] = mil.Positive
+					} else {
+						labels[db[pos].Index] = mil.Negative
+					}
+				}
+			}
+			res := PredicateSessionResult{
+				Scale: scale, Bags: len(db), Seed: seed.name, Query: seed.q,
+				SessionSec: elapsed.Seconds(), Round0Recall: r0, FinalRecall: rf,
+			}
+			fmt.Fprintf(os.Stderr, "predicate session %4dx %-9s recall@10 round0 %.2f final %.2f  session %7.1fms\n",
+				scale, seed.name, r0, rf, elapsed.Seconds()*1e3)
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// predicateSweeps runs both predicate evidence sweeps (the full-run
+// tail and the -predicate mode body share it).
+func predicateSweeps() ([]PredicateLeafResult, []PredicateSessionResult, error) {
+	rec, err := server.ScaledDemoRecord(1, 10)
+	if err != nil {
+		return nil, nil, err
+	}
+	env, err := predicate.RecordEnv(rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	leaves, err := predicateLeafBench(rec.VSs, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	sessions, err := predicateSessionBench()
+	if err != nil {
+		return nil, nil, err
+	}
+	return leaves, sessions, nil
+}
+
+// predicateBench is the -predicate mode: the three predicate stages
+// over a lightweight fixture (no render/segment warm-up) plus both
+// sweeps — a self-contained BENCH_7 snapshot.
+func predicateBench() (*Snapshot, error) {
+	demoDB, err := server.DemoDB(1)
+	if err != nil {
+		return nil, err
+	}
+	qsrv, err := server.New(server.Config{DB: demoDB})
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(qsrv.Handler())
+	defer ts.Close()
+	defer qsrv.Close()
+	qclient := &server.Client{BaseURL: ts.URL}
+	demoRec, err := demoDB.Clip(server.DemoClip)
+	if err != nil {
+		return nil, err
+	}
+	judge, err := server.JudgeFromRecord(demoRec, nil)
+	if err != nil {
+		return nil, err
+	}
+	penv, err := predicate.RecordEnv(demoRec)
+	if err != nil {
+		return nil, err
+	}
+	idxRec, err := server.ScaledDemoRecord(1, 10)
+	if err != nil {
+		return nil, err
+	}
+
+	parallelProcs := runtime.NumCPU()
+	if parallelProcs < 2 {
+		parallelProcs = 2
+	}
+	snap := &Snapshot{
+		Generated:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		ParallelProcs: parallelProcs,
+	}
+	prev := runtime.GOMAXPROCS(0)
+	for _, s := range predicateStageDefs(qclient, judge, penv, idxRec.VSs, server.DemoPredicates()[0]) {
+		r := Result{
+			Name:     s.name,
+			Serial:   measure(s.fn, 1),
+			Parallel: measure(s.fn, parallelProcs),
+		}
+		snap.Stages = append(snap.Stages, r)
+		fmt.Fprintf(os.Stderr, "%-28s serial %14.0f ns/op %10d allocs/op | parallel %14.0f ns/op\n",
+			s.name, r.Serial.NsPerOp, r.Serial.AllocsPerOp, r.Parallel.NsPerOp)
+	}
+	runtime.GOMAXPROCS(prev)
+	leaves, sessions, err := predicateSweeps()
+	if err != nil {
+		return nil, err
+	}
+	snap.PredicateLeaves = leaves
+	snap.PredicateSessions = sessions
+	return snap, nil
 }
 
 // candidateCurves sweeps the candidate index across catalog scales

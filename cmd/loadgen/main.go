@@ -11,6 +11,7 @@
 //	loadgen -url http://127.0.0.1:8080 -db db.gob -clip tunnel -sessions 32 -o BENCH_3.json
 //	loadgen -url http://coordinator -demo -coordinator -shards http://w0,http://w1
 //	loadgen -url http://127.0.0.1:8080 -live -duration 20s
+//	loadgen -url http://127.0.0.1:8080 -demo -predicate demo -topk 10
 //
 // The ground truth must describe the same clip the server ranks: pass
 // the catalog via -db, or -demo (with the matching -demo-seed) when
@@ -29,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"milvideo/internal/predicate"
 	"milvideo/internal/server"
 	"milvideo/internal/videodb"
 )
@@ -47,6 +49,9 @@ type output struct {
 	Candidates int    `json:"candidates,omitempty"`
 	Churn      bool   `json:"churn,omitempty"`
 	Live       bool   `json:"live,omitempty"`
+	// Predicates summarizes the structured queries a -predicate run
+	// seeded its sessions with.
+	Predicates []string `json:"predicates,omitempty"`
 	// Coordinator marks a run against a cluster coordinator; Shards
 	// lists the worker URLs whose stats the report snapshots.
 	Coordinator bool           `json:"coordinator,omitempty"`
@@ -67,6 +72,8 @@ func main() {
 	sessions := flag.Int("sessions", 32, "concurrent sessions")
 	rounds := flag.Int("rounds", 5, "rounds per session including the initial one")
 	topK := flag.Int("topk", 8, "results per round (0 = server default)")
+	pred := flag.String("predicate", "", `seed sessions with structured predicate queries: "demo" cycles the canned demo mix, anything else is one inline JSON AST`)
+	minRecall := flag.Float64("min-recall", 0, "with -predicate: fail unless round-0 recall reaches this and feedback never loses ground")
 	churn := flag.Bool("churn", false, "interleave catalog ingests/removals with the query load (exercises incremental index maintenance)")
 	live := flag.Bool("live", false, "drive a server running -ingest: loop sessions over the live feed clip for -duration (no ground truth needed)")
 	duration := flag.Duration("duration", 20*time.Second, "live run length")
@@ -94,14 +101,30 @@ func main() {
 			*clip = "live"
 		}
 	}
-	if err := run(*url, *dbPath, *demo, *demoSeed, *demoScale, *clip, *engine, *indexKind, *candidates, *sessions, *rounds, *topK, *churn, *coordinator, *live, *duration, shardURLs, *out); err != nil {
+	if err := run(*url, *dbPath, *demo, *demoSeed, *demoScale, *clip, *engine, *indexKind, *pred, *minRecall, *candidates, *sessions, *rounds, *topK, *churn, *coordinator, *live, *duration, shardURLs, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, engine, indexKind string, candidates, sessions, rounds, topK int, churn, coordinator, live bool, duration time.Duration, shardURLs []string, out string) error {
+func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, engine, indexKind, pred string, minRecall float64, candidates, sessions, rounds, topK int, churn, coordinator, live bool, duration time.Duration, shardURLs []string, out string) error {
+	var preds []*predicate.Node
+	if pred != "" {
+		if live {
+			return errors.New("-predicate needs a static catalog with ground truth, not -live")
+		}
+		if pred == "demo" {
+			preds = server.DemoPredicates()
+		} else {
+			n, err := predicate.Decode([]byte(pred))
+			if err != nil {
+				return fmt.Errorf("-predicate: %w", err)
+			}
+			preds = []*predicate.Node{n}
+		}
+	}
 	var judge server.Judge
+	totalRelevant := 0
 	if !live {
 		// A static run judges against stored ground truth; a live feed
 		// has none (the generator installs its stand-in).
@@ -131,22 +154,25 @@ func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, eng
 		if judge, err = server.JudgeFromRecord(rec, nil); err != nil {
 			return err
 		}
+		totalRelevant = server.RelevantVSCount(rec, judge)
 	}
 
 	lg := &server.LoadGen{
-		Client:     &server.Client{BaseURL: url},
-		Clip:       clip,
-		Engine:     engine,
-		Sessions:   sessions,
-		Rounds:     rounds,
-		TopK:       topK,
-		Index:      indexKind,
-		Candidates: candidates,
-		Judge:      judge,
-		Churn:      churn,
-		ShardURLs:  shardURLs,
-		Live:       live,
-		Duration:   duration,
+		Client:        &server.Client{BaseURL: url},
+		Clip:          clip,
+		Engine:        engine,
+		Sessions:      sessions,
+		Rounds:        rounds,
+		TopK:          topK,
+		Index:         indexKind,
+		Candidates:    candidates,
+		Judge:         judge,
+		Predicates:    preds,
+		TotalRelevant: totalRelevant,
+		Churn:         churn,
+		ShardURLs:     shardURLs,
+		Live:          live,
+		Duration:      duration,
 	}
 	if live {
 		fmt.Fprintf(os.Stderr, "loadgen: %d live sessions against %s (feed clip %q) for %s\n",
@@ -176,6 +202,9 @@ func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, eng
 		Shards:      shardURLs,
 		Report:      rep,
 	}
+	for _, p := range preds {
+		res.Predicates = append(res.Predicates, p.Summary())
+	}
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
@@ -191,6 +220,14 @@ func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, eng
 
 	fmt.Fprintf(os.Stderr, "loadgen: %d/%d rounds served in %.2fs (%.1f rounds/s), final accuracy %.1f%%\n",
 		rep.RoundsServed, sessions*rounds, rep.DurationSec, rep.RoundsPerSec, rep.FinalAccuracyMean*100)
+	if len(rep.RoundRecall) > 0 {
+		parts := make([]string, len(rep.RoundRecall))
+		for r, v := range rep.RoundRecall {
+			parts[r] = fmt.Sprintf("%.2f", v)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: round recall vs %d ground-truth incidents: %s\n",
+			totalRelevant, strings.Join(parts, " "))
+	}
 	for _, op := range []string{"query", "feedback", "ranking"} {
 		if st, ok := rep.Latency[op]; ok {
 			fmt.Fprintf(os.Stderr, "loadgen:   %-8s p50 %6.2fms  p90 %6.2fms  p99 %6.2fms  max %6.2fms  (n=%d)\n",
@@ -220,6 +257,23 @@ func run(url, dbPath string, demo bool, demoSeed int64, demoScale int, clip, eng
 	}
 	if rep.EmptyRankings > 0 {
 		return fmt.Errorf("%d rounds returned empty rankings", rep.EmptyRankings)
+	}
+	if minRecall > 0 {
+		if len(preds) == 0 {
+			return errors.New("-min-recall needs -predicate sessions to judge")
+		}
+		if len(rep.RoundRecall) == 0 {
+			return errors.New("-min-recall set but the run produced no recall series")
+		}
+		if rep.RoundRecall[0] < minRecall {
+			return fmt.Errorf("predicate round-0 recall %.2f below the %.2f floor", rep.RoundRecall[0], minRecall)
+		}
+		for r := 1; r < len(rep.RoundRecall); r++ {
+			if rep.RoundRecall[r] < rep.RoundRecall[r-1] {
+				return fmt.Errorf("feedback lost recall at round %d: %.2f -> %.2f",
+					r, rep.RoundRecall[r-1], rep.RoundRecall[r])
+			}
+		}
 	}
 	if live {
 		ig := rep.ServerStats.Ingest

@@ -170,6 +170,9 @@ func (c *Clip) Record(name string) (*videodb.ClipRecord, error) {
 		VSs:       c.VSs,
 		Meta:      map[string]string{},
 	}
+	if len(c.Video.Frames) > 0 {
+		rec.Width, rec.Height = c.Video.Frames[0].W, c.Video.Frames[0].H
+	}
 	if c.Scene != nil {
 		rec.Incidents = c.Scene.Incidents
 		rec.Meta["source"] = "simulated:" + c.Scene.Name

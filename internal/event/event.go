@@ -44,6 +44,10 @@ type Sample struct {
 	// MinDist is the distance to the nearest other tracked vehicle in
 	// this frame; +Inf when the vehicle is alone.
 	MinDist float64
+	// Area is the vehicle's segmented blob area in pixels² at this
+	// sampling point (0 when unknown — sketches, synthetic vectors,
+	// records persisted before the field existed).
+	Area float64
 }
 
 // Speed returns the vehicle speed at the sample, in pixels per frame,
@@ -202,7 +206,7 @@ func SampleTracks(tracks []*track.Track, rate int) (map[int][]Sample, error) {
 			if !ok {
 				continue
 			}
-			s := Sample{Frame: f, Pos: obs.Centroid, MinDist: math.Inf(1)}
+			s := Sample{Frame: f, Pos: obs.Centroid, MinDist: math.Inf(1), Area: float64(obs.Area)}
 			if !first {
 				s.Motion = obs.Centroid.Sub(prevPos)
 				s.PrevMotion = prevMotion

@@ -1,0 +1,338 @@
+// Package predicate implements a small composable query language for
+// structured incident retrieval: a typed JSON AST of motion,
+// attribute, spatial and temporal predicates over the trajectory
+// kinematics the window layer already extracts. An AST compiles to a
+// per-VS scorer (fuzzy truth values in [0, 1]) and slots into the
+// retrieval stack as an ordinary engine — the initial ranking of a
+// feedback session, fused with MIL learning through
+// query.WithFeedback exactly like example and sketch queries.
+//
+// The language deliberately has no parser: clients send the AST as
+// JSON ("no query-by-typing, query-by-structure"), which keeps the
+// wire format trivially fuzzable and the validation errors typed.
+//
+// # Semantics
+//
+// Every predicate evaluates, per trajectory sequence (TS), to a curve
+// of truth values over the window's sampling grid. Combinators are
+// pointwise fuzzy logic — and = min, or = max, not = 1−x — chosen
+// over product norms because min and max are exactly commutative and
+// associative in floating point, which is what makes compilation
+// deterministic (byte-identical score vectors) and the algebraic laws
+// (not(not(p)) ≡ p, and/or order invariance) hold exactly rather
+// than approximately.
+//
+// Plain (non-temporal) predicates bind all their leaves to the same
+// vehicle at the same instant: "heading east AND inside the
+// intersection" means one TS doing both at once. Temporal relations
+// lift their operands to the VS level first — A[t] = max over TSs —
+// so "A then B" may be satisfied by two different vehicles, which is
+// exactly the "a vehicle stops, then another arrives" query:
+//
+//	seq(A, B, within):  max over tA < tB, gap ≤ within, of min(A[tA], B[tB])
+//	overlap(A, B):      max over t of min(A[t], B[t])
+//	during(A, B):       min(peak of A, floor of B) — A occurs while B holds throughout
+//
+// A VS's final score is the max over its curve; the database ranking
+// is the stable descending order of scores.
+package predicate
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Ops of the language. Combinators take Args (and/or) or Arg (not);
+// temporal relations take A, B (and Within for seq); leaves take the
+// op-specific fields documented on Node.
+const (
+	OpAnd     = "and"
+	OpOr      = "or"
+	OpNot     = "not"
+	OpSeq     = "seq"
+	OpDuring  = "during"
+	OpOverlap = "overlap"
+
+	OpDirection = "direction"
+	OpSpeed     = "speed"
+	OpStop      = "stop"
+	OpGo        = "go"
+	OpTurn      = "turn"
+
+	OpClass  = "class"
+	OpSize   = "size"
+	OpRegion = "region"
+	OpSketch = "sketch"
+)
+
+// Typed validation errors. Everything structural wraps ErrBadAST so
+// the query service can map the whole family to one 400; ErrUnknownOp
+// additionally names the unrecognized operator.
+var (
+	ErrBadAST    = errors.New("predicate: invalid AST")
+	ErrUnknownOp = errors.New("predicate: unknown op")
+)
+
+// Validation bounds: a hostile AST must fail fast, not recurse or
+// allocate without limit.
+const (
+	maxDepth = 32
+	maxNodes = 512
+)
+
+// Node is one AST node. Which fields are meaningful depends on Op;
+// Validate rejects nodes whose required fields are missing or out of
+// range. All angles are degrees; speeds are pixels per frame on the
+// sampling grid (the unit event.Sample.Speed reports); region
+// coordinates are normalized to [0, 1] over the frame; sketch points
+// are image coordinates (matching the sketch query API); seq's Within
+// is seconds of video time.
+type Node struct {
+	Op string `json:"op"`
+
+	// Args are the operands of and/or (≥ 2).
+	Args []*Node `json:"args,omitempty"`
+	// Arg is the operand of not.
+	Arg *Node `json:"arg,omitempty"`
+
+	// A and B are the operands of seq/during/overlap; Within is seq's
+	// maximum gap in seconds (> 0).
+	A      *Node   `json:"a,omitempty"`
+	B      *Node   `json:"b,omitempty"`
+	Within float64 `json:"within,omitempty"`
+
+	// Heading (direction leaf) is the target heading in degrees —
+	// 0 = east (+x), 90 = south (+y, raster coordinates) — and
+	// Tolerance the full-credit-to-zero falloff width (default 45°).
+	Heading   *float64 `json:"heading,omitempty"`
+	Tolerance float64  `json:"tolerance,omitempty"`
+
+	// MinSpeed/MaxSpeed (speed leaf) bound the speed band in pixels
+	// per frame; MaxSpeed 0 means unbounded above.
+	MinSpeed float64 `json:"min_speed,omitempty"`
+	MaxSpeed float64 `json:"max_speed,omitempty"`
+
+	// MinTurn (turn leaf) is the direction change in degrees at which
+	// the predicate reaches full truth (default 45°).
+	MinTurn float64 `json:"min_turn,omitempty"`
+
+	// Class (class leaf) names the PCA body class to match
+	// (case-insensitive).
+	Class string `json:"class,omitempty"`
+
+	// MinArea/MaxArea (size leaf) bound the vehicle's mean segment
+	// area band in pixels²; MaxArea 0 means unbounded above.
+	MinArea float64 `json:"min_area,omitempty"`
+	MaxArea float64 `json:"max_area,omitempty"`
+
+	// Rect (region leaf) is [x0, y0, x1, y1] in normalized frame
+	// coordinates; Polygon is an alternative ≥ 3-point normalized
+	// polygon (even-odd rule). Exactly one of the two.
+	Rect    []float64    `json:"rect,omitempty"`
+	Polygon [][2]float64 `json:"polygon,omitempty"`
+
+	// Points (sketch leaf) is the drawn polyline in image coordinates
+	// (≥ 2 points); FramesPerSegment its traversal speed (≤ 0 = 5).
+	Points           [][2]float64 `json:"points,omitempty"`
+	FramesPerSegment int          `json:"frames_per_segment,omitempty"`
+}
+
+// Decode parses and validates a JSON AST. Any failure is a typed
+// error: json syntax/shape problems wrap ErrBadAST, unknown operators
+// ErrUnknownOp.
+func Decode(data []byte) (*Node, error) {
+	var n Node
+	if err := json.Unmarshal(data, &n); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadAST, err)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return &n, nil
+}
+
+// Validate checks the AST's structural invariants: known ops, correct
+// arity, in-range leaf parameters, bounded depth and size.
+func (n *Node) Validate() error {
+	count := 0
+	return n.validate(0, &count)
+}
+
+func (n *Node) validate(depth int, count *int) error {
+	if n == nil {
+		return fmt.Errorf("%w: nil node", ErrBadAST)
+	}
+	if depth > maxDepth {
+		return fmt.Errorf("%w: nesting deeper than %d", ErrBadAST, maxDepth)
+	}
+	*count++
+	if *count > maxNodes {
+		return fmt.Errorf("%w: more than %d nodes", ErrBadAST, maxNodes)
+	}
+	switch n.Op {
+	case OpAnd, OpOr:
+		if len(n.Args) < 2 {
+			return fmt.Errorf("%w: %s needs at least 2 args, got %d", ErrBadAST, n.Op, len(n.Args))
+		}
+		for i, a := range n.Args {
+			if a == nil {
+				return fmt.Errorf("%w: %s arg %d is null", ErrBadAST, n.Op, i)
+			}
+			if err := a.validate(depth+1, count); err != nil {
+				return err
+			}
+		}
+	case OpNot:
+		if n.Arg == nil {
+			return fmt.Errorf("%w: not needs an arg", ErrBadAST)
+		}
+		return n.Arg.validate(depth+1, count)
+	case OpSeq, OpDuring, OpOverlap:
+		if n.A == nil || n.B == nil {
+			return fmt.Errorf("%w: %s needs both a and b", ErrBadAST, n.Op)
+		}
+		if n.Op == OpSeq && !(n.Within > 0) {
+			return fmt.Errorf("%w: seq needs within > 0 seconds, got %v", ErrBadAST, n.Within)
+		}
+		if err := n.A.validate(depth+1, count); err != nil {
+			return err
+		}
+		return n.B.validate(depth+1, count)
+	case OpDirection:
+		if n.Heading == nil {
+			return fmt.Errorf("%w: direction needs a heading", ErrBadAST)
+		}
+		if !finite(*n.Heading) {
+			return fmt.Errorf("%w: direction heading %v is not finite", ErrBadAST, *n.Heading)
+		}
+		if n.Tolerance < 0 || !finite(n.Tolerance) || n.Tolerance > 180 {
+			return fmt.Errorf("%w: direction tolerance %v out of (0, 180]", ErrBadAST, n.Tolerance)
+		}
+	case OpSpeed:
+		if !finite(n.MinSpeed) || !finite(n.MaxSpeed) || n.MinSpeed < 0 || n.MaxSpeed < 0 {
+			return fmt.Errorf("%w: speed band [%v, %v] invalid", ErrBadAST, n.MinSpeed, n.MaxSpeed)
+		}
+		if n.MinSpeed == 0 && n.MaxSpeed == 0 {
+			return fmt.Errorf("%w: speed needs min_speed or max_speed", ErrBadAST)
+		}
+		if n.MaxSpeed > 0 && n.MaxSpeed <= n.MinSpeed {
+			return fmt.Errorf("%w: speed band [%v, %v] is empty", ErrBadAST, n.MinSpeed, n.MaxSpeed)
+		}
+	case OpStop, OpGo:
+		// No parameters.
+	case OpTurn:
+		if n.MinTurn < 0 || !finite(n.MinTurn) || n.MinTurn > 180 {
+			return fmt.Errorf("%w: turn min_turn %v out of (0, 180]", ErrBadAST, n.MinTurn)
+		}
+	case OpClass:
+		if strings.TrimSpace(n.Class) == "" {
+			return fmt.Errorf("%w: class needs a class name", ErrBadAST)
+		}
+	case OpSize:
+		if !finite(n.MinArea) || !finite(n.MaxArea) || n.MinArea < 0 || n.MaxArea < 0 {
+			return fmt.Errorf("%w: size band [%v, %v] invalid", ErrBadAST, n.MinArea, n.MaxArea)
+		}
+		if n.MinArea == 0 && n.MaxArea == 0 {
+			return fmt.Errorf("%w: size needs min_area or max_area", ErrBadAST)
+		}
+		if n.MaxArea > 0 && n.MaxArea <= n.MinArea {
+			return fmt.Errorf("%w: size band [%v, %v] is empty", ErrBadAST, n.MinArea, n.MaxArea)
+		}
+	case OpRegion:
+		if (len(n.Rect) == 0) == (len(n.Polygon) == 0) {
+			return fmt.Errorf("%w: region needs exactly one of rect or polygon", ErrBadAST)
+		}
+		if len(n.Rect) > 0 {
+			if len(n.Rect) != 4 {
+				return fmt.Errorf("%w: region rect needs [x0, y0, x1, y1], got %d values", ErrBadAST, len(n.Rect))
+			}
+			for _, v := range n.Rect {
+				if !finite(v) || v < 0 || v > 1 {
+					return fmt.Errorf("%w: region rect coordinate %v outside [0, 1]", ErrBadAST, v)
+				}
+			}
+			if n.Rect[0] >= n.Rect[2] || n.Rect[1] >= n.Rect[3] {
+				return fmt.Errorf("%w: region rect [%v, %v, %v, %v] is empty",
+					ErrBadAST, n.Rect[0], n.Rect[1], n.Rect[2], n.Rect[3])
+			}
+		}
+		if len(n.Polygon) > 0 {
+			if len(n.Polygon) < 3 {
+				return fmt.Errorf("%w: region polygon needs at least 3 points, got %d", ErrBadAST, len(n.Polygon))
+			}
+			for _, p := range n.Polygon {
+				if !finite(p[0]) || !finite(p[1]) || p[0] < 0 || p[0] > 1 || p[1] < 0 || p[1] > 1 {
+					return fmt.Errorf("%w: region polygon point (%v, %v) outside [0, 1]²", ErrBadAST, p[0], p[1])
+				}
+			}
+		}
+	case OpSketch:
+		if len(n.Points) < 2 {
+			return fmt.Errorf("%w: sketch needs at least 2 points, got %d", ErrBadAST, len(n.Points))
+		}
+		for _, p := range n.Points {
+			if !finite(p[0]) || !finite(p[1]) {
+				return fmt.Errorf("%w: sketch point (%v, %v) is not finite", ErrBadAST, p[0], p[1])
+			}
+		}
+		if n.FramesPerSegment < 0 {
+			return fmt.Errorf("%w: sketch frames_per_segment %d negative", ErrBadAST, n.FramesPerSegment)
+		}
+	case "":
+		return fmt.Errorf("%w: node has no op", ErrBadAST)
+	default:
+		return fmt.Errorf("%w: %q", ErrUnknownOp, n.Op)
+	}
+	return nil
+}
+
+// Summary renders the AST as a compact expression — the engine name a
+// session reports, e.g. "seq(and(stop,region),and(go,region))".
+func (n *Node) Summary() string {
+	if n == nil {
+		return "?"
+	}
+	switch n.Op {
+	case OpAnd, OpOr:
+		parts := make([]string, len(n.Args))
+		for i, a := range n.Args {
+			parts[i] = a.Summary()
+		}
+		return n.Op + "(" + strings.Join(parts, ",") + ")"
+	case OpNot:
+		return "not(" + n.Arg.Summary() + ")"
+	case OpSeq:
+		return fmt.Sprintf("seq(%s,%s,%gs)", n.A.Summary(), n.B.Summary(), n.Within)
+	case OpDuring, OpOverlap:
+		return n.Op + "(" + n.A.Summary() + "," + n.B.Summary() + ")"
+	default:
+		return n.Op
+	}
+}
+
+// hasTemporal reports whether the subtree contains a temporal
+// relation — the point below which evaluation lifts from per-TS to
+// VS-level curves.
+func (n *Node) hasTemporal() bool {
+	switch n.Op {
+	case OpSeq, OpDuring, OpOverlap:
+		return true
+	case OpAnd, OpOr:
+		for _, a := range n.Args {
+			if a.hasTemporal() {
+				return true
+			}
+		}
+		return false
+	case OpNot:
+		return n.Arg.hasTemporal()
+	default:
+		return false
+	}
+}
+
+func finite(v float64) bool {
+	return !(v != v || v > 1e308 || v < -1e308)
+}

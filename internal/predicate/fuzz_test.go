@@ -1,0 +1,72 @@
+package predicate
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzPredicateDecode: arbitrary bytes must never panic the decoder;
+// failures are always the typed sentinels, and anything that decodes
+// must also compile and score a small database without panicking.
+func FuzzPredicateDecode(f *testing.F) {
+	seeds := []string{
+		// Valid ASTs spanning every op.
+		`{"op":"stop"}`,
+		`{"op":"go"}`,
+		`{"op":"turn","min_turn":30}`,
+		`{"op":"direction","heading":90,"tolerance":30}`,
+		`{"op":"speed","min_speed":1,"max_speed":4}`,
+		`{"op":"class","class":"truck"}`,
+		`{"op":"size","min_area":100}`,
+		`{"op":"region","rect":[0.25,0.25,0.75,0.75]}`,
+		`{"op":"region","polygon":[[0,0],[1,0],[0.5,1]]}`,
+		`{"op":"sketch","points":[[10,120],[100,120]],"frames_per_segment":10}`,
+		`{"op":"not","arg":{"op":"stop"}}`,
+		`{"op":"and","args":[{"op":"stop"},{"op":"region","rect":[0.25,0.25,0.75,0.75]}]}`,
+		`{"op":"or","args":[{"op":"go"},{"op":"turn"}]}`,
+		`{"op":"seq","a":{"op":"stop"},"b":{"op":"go"},"within":5}`,
+		`{"op":"during","a":{"op":"stop"},"b":{"op":"region","rect":[0,0,1,1]}}`,
+		`{"op":"overlap","a":{"op":"go"},"b":{"op":"go"}}`,
+		// Invalid: malformed JSON, wrong shapes, bad parameters.
+		``,
+		`{`,
+		`null`,
+		`[]`,
+		`"stop"`,
+		`{"op":"warp"}`,
+		`{"op":"and","args":[]}`,
+		`{"op":"seq","a":{"op":"stop"},"b":{"op":"go"}}`,
+		`{"op":"direction"}`,
+		`{"op":"speed","min_speed":-1}`,
+		`{"op":"region","rect":[0,0,1]}`,
+		`{"op":"region","rect":[0,0,1,1e999]}`,
+		`{"op":"sketch","points":[[0,0]]}`,
+		`{"op":"not","arg":{"op":"not","arg":{"op":"not"}}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	db := testDB()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadAST) && !errors.Is(err, ErrUnknownOp) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		eng, err := Compile(n, Env{})
+		if err != nil {
+			// A validated AST may still fail compilation only through
+			// the sketch leaf's feature extraction; that too is typed.
+			if !errors.Is(err, ErrBadAST) && !errors.Is(err, ErrUnknownOp) {
+				t.Fatalf("untyped compile error: %v", err)
+			}
+			return
+		}
+		if _, err := eng.Scores(db); err != nil {
+			t.Fatalf("decoded AST %s failed scoring: %v", n.Summary(), err)
+		}
+		eng.SeedProbes(db)
+	})
+}

@@ -1,0 +1,482 @@
+package predicate
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"milvideo/internal/event"
+	"milvideo/internal/geom"
+	"milvideo/internal/videodb"
+	"milvideo/internal/window"
+)
+
+// recStub is a minimal persisted record from before Width/Height
+// existed (they decode as zero).
+var recStub = videodb.ClipRecord{
+	Name:      "stub",
+	Frames:    75,
+	FPS:       25,
+	ModelName: "accident",
+	Window:    window.Config{SampleRate: 5, WindowSize: 3},
+}
+
+// kinTS builds a TS from a position series on the rate-5 sampling
+// grid. The first pre positions are history from before the window
+// (they contribute motion context but no samples), so PrevValid can
+// be true from the first window sample — exactly what Extract
+// produces for a track older than the window.
+func kinTS(id int, class string, area float64, pre int, pos ...geom.Point) window.TS {
+	const rate = 5
+	model := event.AccidentModel{}
+	ts := window.TS{TrackID: id, Class: class}
+	for i := pre; i < len(pos); i++ {
+		s := event.Sample{Frame: i * rate, Pos: pos[i], MinDist: math.Inf(1), Area: area}
+		if i >= 1 {
+			s.Motion = pos[i].Sub(pos[i-1])
+		}
+		if i >= 2 {
+			s.PrevMotion = pos[i-1].Sub(pos[i-2])
+			s.PrevValid = true
+		}
+		ts.Samples = append(ts.Samples, s)
+		ts.Vectors = append(ts.Vectors, model.Vector(s, rate))
+	}
+	return ts
+}
+
+func pt(x, y float64) geom.Point { return geom.Point{X: x, Y: y} }
+
+// testDB: VS 0 holds the composed incident (a vehicle brakes to a
+// stop in the center region, another arrives eastbound); VS 1 a lone
+// eastbound cruiser; VS 2 a decelerating-but-never-stopped vehicle in
+// the region; VS 3 a southbound truck outside the region; VS 4 empty.
+func testDB() []window.VS {
+	stopper := kinTS(1, "car", 60, 2,
+		pt(55, 120), pt(100, 120), pt(100.5, 120), pt(101, 120), pt(101.3, 120))
+	arriver := kinTS(2, "car", 60, 0,
+		pt(40, 126), pt(85, 126), pt(130, 126))
+	cruiser := kinTS(3, "car", 60, 2,
+		pt(10, 210), pt(35, 210), pt(60, 210), pt(85, 210), pt(110, 210))
+	slowing := kinTS(4, "car", 60, 2,
+		pt(20, 120), pt(65, 120), pt(98, 120), pt(120, 120), pt(131, 120))
+	truck := kinTS(5, "truck", 160, 2,
+		pt(300, 10), pt(300, 35), pt(300, 60), pt(300, 85), pt(300, 110))
+	return []window.VS{
+		{Index: 0, StartFrame: 0, EndFrame: 10, TSs: []window.TS{stopper, arriver}},
+		{Index: 1, StartFrame: 15, EndFrame: 25, TSs: []window.TS{cruiser}},
+		{Index: 2, StartFrame: 30, EndFrame: 40, TSs: []window.TS{slowing}},
+		{Index: 3, StartFrame: 45, EndFrame: 55, TSs: []window.TS{truck}},
+		{Index: 4, StartFrame: 60, EndFrame: 70},
+	}
+}
+
+func centerRegion() *Node {
+	return &Node{Op: OpRegion, Rect: []float64{0.25, 0.25, 0.75, 0.75}}
+}
+
+func heading(deg float64) *Node {
+	h := deg
+	return &Node{Op: OpDirection, Heading: &h}
+}
+
+func mustCompile(t *testing.T, n *Node) *Engine {
+	t.Helper()
+	e, err := Compile(n, Env{})
+	if err != nil {
+		t.Fatalf("compile %s: %v", n.Summary(), err)
+	}
+	return e
+}
+
+func scoresOf(t *testing.T, n *Node, db []window.VS) []float64 {
+	t.Helper()
+	s, err := mustCompile(t, n).Scores(db)
+	if err != nil {
+		t.Fatalf("score %s: %v", n.Summary(), err)
+	}
+	return s
+}
+
+// TestLeafScores pins each leaf's behaviour on the hand-built
+// kinematics.
+func TestLeafScores(t *testing.T) {
+	db := testDB()
+	cases := []struct {
+		name string
+		ast  *Node
+		want []float64 // per VS, -1 = "strictly positive", -2 = "zero"
+	}{
+		{"stop fires only on a real stop", &Node{Op: OpStop},
+			[]float64{0.875, 0, 0, 0, 0}},
+		{"go fires on movers", &Node{Op: OpGo},
+			[]float64{1, 1, 1, 1, 0}},
+		{"east direction", heading(0),
+			[]float64{1, 1, 1, 0, 0}},
+		{"south direction", heading(90),
+			[]float64{0, 0, 0, 1, 0}},
+		{"center region", centerRegion(),
+			[]float64{1, -2, 1, -2, 0}},
+		{"class car", &Node{Op: OpClass, Class: "Car"},
+			[]float64{1, 1, 1, 0, 0}},
+		{"class truck", &Node{Op: OpClass, Class: "truck"},
+			[]float64{0, 0, 0, 1, 0}},
+		{"truck-sized", &Node{Op: OpSize, MinArea: 120},
+			[]float64{0, 0, 0, 1, 0}},
+		{"speed band around cruise", &Node{Op: OpSpeed, MinSpeed: 4, MaxSpeed: 6},
+			[]float64{-2, 1, -1, 1, 0}}, // VS 0's vehicles crawl (0.1) or speed (9) — both out of band
+		{"turn on straight movers", &Node{Op: OpTurn},
+			[]float64{0, 0, 0, 0, 0}},
+	}
+	for _, c := range cases {
+		got := scoresOf(t, c.ast, db)
+		for i, w := range c.want {
+			switch {
+			case w == -1:
+				if got[i] <= 0 {
+					t.Errorf("%s: VS %d scored %v, want > 0", c.name, i, got[i])
+				}
+			case w == -2:
+				if got[i] != 0 {
+					t.Errorf("%s: VS %d scored %v, want 0", c.name, i, got[i])
+				}
+			default:
+				if math.Abs(got[i]-w) > 1e-9 {
+					t.Errorf("%s: VS %d scored %v, want %v", c.name, i, got[i], w)
+				}
+			}
+		}
+	}
+}
+
+// TestSameVehicleConjunction: a temporal-free and binds its leaves to
+// one vehicle. VS 0's arriver is eastbound-and-moving in the region,
+// so and(go, east, region) fires there; but and(stop, east-at-speed)
+// cannot be satisfied by gluing the stopper's stop to the arriver's
+// motion.
+func TestSameVehicleConjunction(t *testing.T) {
+	db := testDB()
+	moving := &Node{Op: OpAnd, Args: []*Node{{Op: OpGo}, heading(0), centerRegion()}}
+	got := scoresOf(t, moving, db)
+	if got[0] != 1 {
+		t.Fatalf("and(go,east,region) on VS 0 = %v, want 1", got[0])
+	}
+	// The stopper stops; the truck moves south. No single vehicle does
+	// both, and the combinator must not mix vehicles.
+	mixed := &Node{Op: OpAnd, Args: []*Node{{Op: OpStop}, heading(90)}}
+	for i, s := range scoresOf(t, mixed, db) {
+		if s != 0 {
+			t.Fatalf("and(stop,south) VS %d = %v, want 0 everywhere", i, s)
+		}
+	}
+}
+
+// TestSeq: the composed incident — stop, then an eastbound arrival in
+// the region — fires only on VS 0, and only in the stated order.
+func TestSeq(t *testing.T) {
+	db := testDB()
+	stopHere := &Node{Op: OpAnd, Args: []*Node{{Op: OpStop}, centerRegion()}}
+	arrive := &Node{Op: OpAnd, Args: []*Node{{Op: OpGo}, heading(0), centerRegion()}}
+	seq := &Node{Op: OpSeq, A: stopHere, B: arrive, Within: 5}
+	got := scoresOf(t, seq, db)
+	if math.Abs(got[0]-0.875) > 1e-9 {
+		t.Fatalf("seq on VS 0 = %v, want 0.875", got[0])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != 0 {
+			t.Fatalf("seq on VS %d = %v, want 0", i, got[i])
+		}
+	}
+	// Reversed order barely fires on VS 0: the arrival follows the
+	// stop there, not the other way round. The semantics are fuzzy —
+	// the stopped car's residual creep leaves a sliver of stop-truth
+	// at later points — so the reversed score is a residue, far below
+	// the forward match.
+	rev := &Node{Op: OpSeq, A: arrive, B: stopHere, Within: 5}
+	if s := scoresOf(t, rev, db)[0]; s > 0.1 {
+		t.Fatalf("reversed seq on VS 0 = %v, want < 0.1", s)
+	}
+	// A gap bound smaller than the events' spacing kills the match:
+	// the stop peaks at t0 but the arriver only reaches x ≥ 0.4 of
+	// the frame at t2, two steps later — within 0.3 s allows one.
+	farEast := &Node{Op: OpAnd, Args: []*Node{{Op: OpGo}, {Op: OpRegion, Rect: []float64{0.4, 0.25, 0.75, 0.75}}}}
+	tight := &Node{Op: OpSeq, A: stopHere, B: farEast, Within: 0.3}
+	wide := &Node{Op: OpSeq, A: stopHere, B: farEast, Within: 5}
+	ts := scoresOf(t, tight, db)[0]
+	ws := scoresOf(t, wide, db)[0]
+	if ts > 0.1 {
+		t.Fatalf("out-of-window seq on VS 0 = %v, want < 0.1", ts)
+	}
+	if ws < 0.5 || ws <= ts {
+		t.Fatalf("in-window seq on VS 0 = %v (tight %v), want strong and above tight", ws, ts)
+	}
+}
+
+// TestDuringOverlap: during needs B to hold throughout; overlap needs
+// simultaneity.
+func TestDuringOverlap(t *testing.T) {
+	db := testDB()
+	// The stopper's stop peak and the arriver's eastbound motion never
+	// coincide (stop at t0, arrival from t1), so overlap retains only
+	// the stop's residual creep while seq fires at full strength —
+	// the two relations are genuinely different.
+	stopHere := &Node{Op: OpAnd, Args: []*Node{{Op: OpStop}, centerRegion()}}
+	arrive := &Node{Op: OpAnd, Args: []*Node{{Op: OpGo}, heading(0), centerRegion()}}
+	if s := scoresOf(t, &Node{Op: OpOverlap, A: stopHere, B: arrive}, db)[0]; s > 0.1 {
+		t.Fatalf("overlap(stop,arrive) on VS 0 = %v, want < 0.1", s)
+	}
+	// The cruiser moves east for the whole of VS 1: during(east, go)
+	// holds there.
+	during := &Node{Op: OpDuring, A: heading(0), B: &Node{Op: OpGo}}
+	if s := scoresOf(t, during, db)[1]; s != 1 {
+		t.Fatalf("during(east,go) on VS 1 = %v, want 1", s)
+	}
+	// VS 3's truck never goes east, so A never peaks.
+	if s := scoresOf(t, during, db)[3]; s != 0 {
+		t.Fatalf("during(east,go) on VS 3 = %v, want 0", s)
+	}
+}
+
+// TestDeterminism: scoring is byte-identical across repeated
+// compilations and evaluations (the property the C=N identity gates
+// lean on).
+func TestDeterminism(t *testing.T) {
+	db := testDB()
+	ast := &Node{Op: OpSeq,
+		A:      &Node{Op: OpAnd, Args: []*Node{{Op: OpStop}, centerRegion()}},
+		B:      &Node{Op: OpAnd, Args: []*Node{{Op: OpGo}, heading(0), centerRegion()}},
+		Within: 5}
+	ref := scoresOf(t, ast, db)
+	for run := 0; run < 5; run++ {
+		got := scoresOf(t, ast, db)
+		for i := range ref {
+			if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("run %d: VS %d score %x differs from %x", run, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestDoubleNegation: not(not(p)) compiles to exactly p — the
+// elimination makes the algebraic law bit-exact, not approximate.
+func TestDoubleNegation(t *testing.T) {
+	db := testDB()
+	for _, p := range []*Node{
+		{Op: OpStop},
+		centerRegion(),
+		{Op: OpSeq, A: &Node{Op: OpStop}, B: &Node{Op: OpGo}, Within: 5},
+	} {
+		want := scoresOf(t, p, db)
+		got := scoresOf(t, &Node{Op: OpNot, Arg: &Node{Op: OpNot, Arg: p}}, db)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("not(not(%s)) VS %d: %x vs %x", p.Summary(), i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAndOrOrderInvariance: min/max folding is exactly commutative,
+// so permuting combinator arguments changes neither scores nor the
+// final ranking.
+func TestAndOrOrderInvariance(t *testing.T) {
+	db := testDB()
+	args := []*Node{{Op: OpGo}, heading(0), centerRegion(), {Op: OpClass, Class: "car"}}
+	perms := [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}}
+	for _, op := range []string{OpAnd, OpOr} {
+		base := &Node{Op: op, Args: args}
+		wantScores := scoresOf(t, base, db)
+		want, err := mustCompile(t, base).Rank(db, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range perms {
+			shuffled := make([]*Node, len(args))
+			for i, j := range p {
+				shuffled[i] = args[j]
+			}
+			n := &Node{Op: op, Args: shuffled}
+			gotScores := scoresOf(t, n, db)
+			for i := range wantScores {
+				if math.Float64bits(gotScores[i]) != math.Float64bits(wantScores[i]) {
+					t.Fatalf("%s perm %v: VS %d score differs", op, p, i)
+				}
+			}
+			got, err := mustCompile(t, n).Rank(db, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s perm %v: ranking diverges at %d", op, p, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRank: the composed incident ranks its VS first; ties keep
+// database order (stable sort).
+func TestRank(t *testing.T) {
+	db := testDB()
+	e := mustCompile(t, &Node{Op: OpSeq,
+		A:      &Node{Op: OpAnd, Args: []*Node{{Op: OpStop}, centerRegion()}},
+		B:      &Node{Op: OpAnd, Args: []*Node{{Op: OpGo}, heading(0), centerRegion()}},
+		Within: 5})
+	rank, err := e.Rank(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rank) != len(db) || rank[0] != 0 {
+		t.Fatalf("rank = %v, want VS 0 first", rank)
+	}
+	for i, p := range rank[1:] {
+		if p != i+1 {
+			t.Fatalf("tied tail not in database order: %v", rank)
+		}
+	}
+}
+
+// TestSketchLeaf: a sketch composes as an ordinary leaf, and scores
+// the VS whose trajectory it imitates highest.
+func TestSketchLeaf(t *testing.T) {
+	db := testDB()
+	// An eastbound polyline at cruise speed, like VS 1's cruiser.
+	sk := &Node{Op: OpSketch, Points: [][2]float64{{10, 210}, {110, 210}}, FramesPerSegment: 20}
+	got := scoresOf(t, sk, db)
+	if got[1] <= 0 {
+		t.Fatalf("sketch score on its lookalike VS 1 = %v, want > 0", got[1])
+	}
+	if got[4] != 0 {
+		t.Fatalf("sketch score on empty VS = %v, want 0", got[4])
+	}
+	// Composition with other leaves.
+	comp := &Node{Op: OpAnd, Args: []*Node{sk, {Op: OpClass, Class: "car"}}}
+	if s := scoresOf(t, comp, db)[1]; s <= 0 {
+		t.Fatalf("and(sketch,class) on VS 1 = %v, want > 0", s)
+	}
+	// A catalog with mismatched feature dimensions surfaces a typed
+	// scoring error instead of garbage.
+	bad := []window.VS{{Index: 0, TSs: []window.TS{{TrackID: 1, Vectors: [][]float64{{1, 2}}}}}}
+	if _, err := mustCompile(t, sk).Scores(bad); err == nil {
+		t.Fatal("dimension mismatch scored silently")
+	}
+}
+
+// TestSeedProbes: a matching predicate seeds probes from its best
+// bags; a predicate matching nothing seeds none.
+func TestSeedProbes(t *testing.T) {
+	db := testDB()
+	e := mustCompile(t, &Node{Op: OpAnd, Args: []*Node{{Op: OpStop}, centerRegion()}})
+	probes := e.SeedProbes(db)
+	if len(probes) == 0 {
+		t.Fatal("matching predicate seeded no probes")
+	}
+	dim := len(db[0].TSs[0].Flat())
+	for _, p := range probes {
+		if len(p) != dim {
+			t.Fatalf("probe dimension %d, want %d", len(p), dim)
+		}
+	}
+	none := mustCompile(t, &Node{Op: OpClass, Class: "bicycle"})
+	if probes := none.SeedProbes(db); probes != nil {
+		t.Fatalf("no-match predicate seeded %d probes", len(probes))
+	}
+}
+
+// TestValidateRejects: structurally broken ASTs yield the typed
+// sentinel, unknown ops their own.
+func TestValidateRejects(t *testing.T) {
+	deep := &Node{Op: OpStop}
+	for i := 0; i < 40; i++ {
+		deep = &Node{Op: OpNot, Arg: deep}
+	}
+	wide := &Node{Op: OpAnd}
+	for i := 0; i < 600; i++ {
+		wide.Args = append(wide.Args, &Node{Op: OpGo})
+	}
+	bad := []*Node{
+		{},
+		{Op: "until", A: &Node{Op: OpStop}, B: &Node{Op: OpGo}},
+		{Op: OpAnd, Args: []*Node{{Op: OpStop}}},
+		{Op: OpAnd, Args: []*Node{{Op: OpStop}, nil}},
+		{Op: OpNot},
+		{Op: OpSeq, A: &Node{Op: OpStop}},
+		{Op: OpSeq, A: &Node{Op: OpStop}, B: &Node{Op: OpGo}}, // no within
+		{Op: OpSeq, A: &Node{Op: OpStop}, B: &Node{Op: OpGo}, Within: -1},
+		{Op: OpDirection}, // no heading
+		{Op: OpSpeed},     // empty band
+		{Op: OpSpeed, MinSpeed: 5, MaxSpeed: 2},
+		{Op: OpSize},
+		{Op: OpSize, MinArea: -1, MaxArea: 3},
+		{Op: OpClass},
+		{Op: OpRegion},
+		{Op: OpRegion, Rect: []float64{0, 0, 1, 1}, Polygon: [][2]float64{{0, 0}, {1, 0}, {1, 1}}},
+		{Op: OpRegion, Rect: []float64{0.5, 0.5, 0.5, 0.9}},
+		{Op: OpRegion, Rect: []float64{0, 0, 2, 1}},
+		{Op: OpRegion, Polygon: [][2]float64{{0, 0}, {1, 1}}},
+		{Op: OpSketch, Points: [][2]float64{{1, 1}}},
+		{Op: OpSketch, Points: [][2]float64{{1, 1}, {2, 2}}, FramesPerSegment: -1},
+		deep,
+		wide,
+	}
+	for i, n := range bad {
+		err := n.Validate()
+		if err == nil {
+			t.Fatalf("bad AST %d (%s) validated", i, n.Summary())
+		}
+		if !errors.Is(err, ErrBadAST) && !errors.Is(err, ErrUnknownOp) {
+			t.Fatalf("bad AST %d: untyped error %v", i, err)
+		}
+		if _, cerr := Compile(n, Env{}); cerr == nil {
+			t.Fatalf("bad AST %d compiled", i)
+		}
+	}
+}
+
+// TestDecode: the JSON wire format round-trips, and malformed JSON is
+// a typed error.
+func TestDecode(t *testing.T) {
+	body := `{"op":"seq","a":{"op":"and","args":[{"op":"stop"},{"op":"region","rect":[0.25,0.25,0.75,0.75]}]},"b":{"op":"go"},"within":5}`
+	n, err := Decode([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Summary() != "seq(and(stop,region),go,5s)" {
+		t.Fatalf("summary %q", n.Summary())
+	}
+	re, err := json.Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := Decode(re)
+	if err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	if n2.Summary() != n.Summary() {
+		t.Fatalf("round trip changed the AST: %q vs %q", n2.Summary(), n.Summary())
+	}
+	for _, bad := range []string{``, `{`, `[]`, `{"op":"and","args":"x"}`, `{"op":"warp"}`} {
+		if _, err := Decode([]byte(bad)); err == nil {
+			t.Fatalf("decoded %q", bad)
+		} else if !errors.Is(err, ErrBadAST) && !errors.Is(err, ErrUnknownOp) {
+			t.Fatalf("untyped decode error for %q: %v", bad, err)
+		}
+	}
+}
+
+// TestRecordEnv: environment derivation resolves the model and
+// defaults missing dimensions.
+func TestRecordEnv(t *testing.T) {
+	if _, err := RecordEnv(nil); err == nil {
+		t.Fatal("nil record accepted")
+	}
+	env, err := RecordEnv(&recStub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Width != 320 || env.Height != 240 || env.FPS != 25 || env.Model == nil {
+		t.Fatalf("defaulted env %+v", env)
+	}
+}

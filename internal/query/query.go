@@ -395,6 +395,17 @@ func (w WithFeedback) Name() string {
 	return w.Initial.Name() + "→" + w.Learner.Name()
 }
 
+// SeedProbes implements retrieval.ProbeSeeder by delegating to the
+// initial engine when it is itself a seeder (e.g. a compiled
+// predicate): before positive feedback exists, the initial engine is
+// the one ranking, so its probe nominations are the relevant ones.
+func (w WithFeedback) SeedProbes(db []window.VS) [][]float64 {
+	if s, ok := w.Initial.(retrieval.ProbeSeeder); ok {
+		return s.SeedProbes(db)
+	}
+	return nil
+}
+
 // Rank implements retrieval.Engine.
 func (w WithFeedback) Rank(db []window.VS, labels map[int]mil.Label) ([]int, error) {
 	if w.Initial == nil || w.Learner == nil {

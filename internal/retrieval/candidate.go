@@ -24,6 +24,9 @@ type CandidateStats struct {
 	// CandidatesRanked totals the bags the wrapped engine re-ranked
 	// in pruned rounds (candidate set plus labeled bags).
 	CandidatesRanked atomic.Int64
+	// SeededRounds counts pruned rounds whose probes came from a
+	// ProbeSeeder (no positive feedback yet) rather than labels.
+	SeededRounds atomic.Int64
 }
 
 // CandidateEngine makes any Engine sublinear in the database size: a
@@ -44,6 +47,12 @@ type CandidateEngine struct {
 	// C caps the candidate set handed to Inner. C <= 0 or C >= len(db)
 	// disables pruning.
 	C int
+	// Seeder, when non-nil, supplies index probes for rounds with no
+	// positive feedback (a predicate query's best-scoring instances),
+	// so even round 0 can be pruned. Left nil, Inner itself is
+	// consulted when it implements ProbeSeeder. Seeding only ever
+	// applies below C < len(db) — the C=N identity is unaffected.
+	Seeder ProbeSeeder
 	// Stats, when non-nil, accumulates probe counters.
 	Stats *CandidateStats
 }
@@ -87,12 +96,28 @@ func (e CandidateEngine) Rank(db []window.VS, labels map[int]mil.Label) ([]int, 
 			probes = append(probes, ts.Flat())
 		}
 	}
+	seeded := false
+	if len(probes) == 0 {
+		// No feedback yet: let the engine seed probes from the query
+		// itself, if it can.
+		seeder := e.Seeder
+		if seeder == nil {
+			seeder, _ = e.Inner.(ProbeSeeder)
+		}
+		if seeder != nil {
+			probes = seeder.SeedProbes(db)
+			seeded = len(probes) > 0
+		}
+	}
 	if len(probes) == 0 {
 		return e.full(db, labels)
 	}
 
 	cands, stats := e.Index.Candidates(probes, e.C)
 	if e.Stats != nil {
+		if seeded {
+			e.Stats.SeededRounds.Add(1)
+		}
 		e.Stats.PrunedRounds.Add(1)
 		e.Stats.Probes.Add(int64(stats.Probes))
 		e.Stats.DistEvals.Add(int64(stats.DistEvals))

@@ -203,3 +203,104 @@ func TestCandidateStaleIndex(t *testing.T) {
 		t.Fatal("empty engine name")
 	}
 }
+
+// seedingEngine wraps an Engine with canned round-0 probes, standing
+// in for a predicate query. (The identity test against the real
+// predicate engine lives in predicate_seed_test.go, outside this
+// package — predicate imports retrieval through query, so it cannot
+// be imported here.)
+type seedingEngine struct {
+	Engine
+	probes [][]float64
+}
+
+func (s seedingEngine) SeedProbes([]window.VS) [][]float64 { return s.probes }
+
+// TestCandidateSeededIdentity: the C=N identity extends to seeded
+// sessions — with no feedback at all, a probe-seeding engine at C=N
+// must reproduce its own unwrapped ranking, whether it seeds as the
+// inner engine or through the explicit Seeder field.
+func TestCandidateSeededIdentity(t *testing.T) {
+	db := candSynthDB(7, 60)
+	probes := [][]float64{db[0].TSs[0].Flat(), db[7].TSs[0].Flat()}
+	for _, kind := range index.Kinds() {
+		bi, err := index.Build(db, kind, index.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inner := range wrappedEngines() {
+			want, err := inner.Rank(db, map[int]mil.Label{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seeded := seedingEngine{Engine: inner, probes: probes}
+			for name, cand := range map[string]CandidateEngine{
+				"inner-seeder":    {Inner: seeded, Index: bi, C: len(db)},
+				"explicit-seeder": {Inner: inner, Seeder: seeded, Index: bi, C: len(db)},
+			} {
+				got, err := cand.Rank(db, map[int]mil.Label{})
+				if err != nil {
+					t.Fatalf("%s %s %s: %v", kind, inner.Name(), name, err)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s %s %s: seeded C=N rank diverges at %d: got %d want %d",
+							kind, inner.Name(), name, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCandidateSeededPrunes: below C=N a seeder turns the previously
+// full round 0 into a pruned one — counted as seeded, still a
+// permutation, with the probes' own bags surviving into the re-ranked
+// head.
+func TestCandidateSeededPrunes(t *testing.T) {
+	db := candSynthDB(8, 60)
+	bi, err := index.Build(db, index.KindVPTree, index.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := MILEngine{Opt: mil.DefaultOptions()}
+	stats := &CandidateStats{}
+	cand := CandidateEngine{
+		Inner:  inner,
+		Seeder: seedingEngine{Engine: inner, probes: [][]float64{db[0].TSs[0].Flat()}},
+		Index:  bi, C: 10, Stats: stats,
+	}
+	got, err := cand.Rank(db, map[int]mil.Label{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, len(db))
+	for _, p := range got {
+		if p < 0 || p >= len(db) || seen[p] {
+			t.Fatalf("seeded ranking not a permutation (pos %d)", p)
+		}
+		seen[p] = true
+	}
+	if stats.SeededRounds.Load() != 1 || stats.PrunedRounds.Load() != 1 || stats.FullRounds.Load() != 0 {
+		t.Fatalf("seeded round stats %+v, want one seeded pruned round", stats)
+	}
+	head := got[:10]
+	found := false
+	for _, p := range head {
+		if p == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("probe's own bag missing from the pruned head %v", head)
+	}
+	// A seeder returning nothing must leave the full-delegation
+	// behaviour untouched.
+	cand.Seeder = seedingEngine{Engine: inner}
+	if _, err := cand.Rank(db, map[int]mil.Label{}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.FullRounds.Load() != 1 {
+		t.Fatalf("empty seeder did not delegate: %+v", stats)
+	}
+}

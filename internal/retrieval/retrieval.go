@@ -184,6 +184,18 @@ type Engine interface {
 	Rank(db []window.VS, labels map[int]mil.Label) ([]int, error)
 }
 
+// ProbeSeeder is implemented by engines that can nominate index
+// probes before any positive feedback exists — e.g. a compiled
+// predicate query seeds the instance vectors of its highest-scoring
+// bags. Candidate pruning normally waits for the first positive
+// label (the probes are the positives' instances); a seeder lets the
+// index prune from round 0. SeedProbes returns instance-space vectors
+// (the ts.Flat() representation the index is built over), or nil when
+// the engine has nothing better than the full ranking.
+type ProbeSeeder interface {
+	SeedProbes(db []window.VS) [][]float64
+}
+
 // HeuristicScore computes the §5.3 initial-query score of a VS: the
 // squared sum of the feature vector at each sampling point, maximized
 // over points and over the contained TSs. Empty VSs score −Inf.

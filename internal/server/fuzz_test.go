@@ -57,6 +57,13 @@ func FuzzQueryRequest(f *testing.F) {
 	f.Add([]byte(`{`))
 	f.Add([]byte(``))
 	f.Add([]byte(`{"clip":"synth","index":"vptree","candidates":-1}`))
+	f.Add([]byte(`{"clip":"synth","predicate":{"op":"stop"}}`))
+	f.Add([]byte(`{"clip":"synth","predicate":{"op":"seq","a":{"op":"stop"},"b":{"op":"go"},"within":5}}`))
+	f.Add([]byte(`{"clip":"synth","predicate":{"op":"and","args":[{"op":"region","rect":[0.25,0.25,0.75,0.75]},{"op":"direction","heading":0}]}}`))
+	f.Add([]byte(`{"clip":"synth","predicate":{"op":"sketch","points":[[0,0],[50,50]]}}`))
+	f.Add([]byte(`{"clip":"synth","predicate":{"op":"speed"}}`))
+	f.Add([]byte(`{"clip":"synth","predicate":{"op":"teleport"}}`))
+	f.Add([]byte(`{"clip":"synth","example_vs":0,"predicate":{"op":"stop"}}`))
 
 	post := func(t *testing.T, path string, body []byte) (*http.Response, []byte) {
 		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"milvideo/internal/core"
+	"milvideo/internal/predicate"
 	"milvideo/internal/sim"
 	"milvideo/internal/videodb"
 )
@@ -41,6 +42,48 @@ func JudgeFromRecord(rec *videodb.ClipRecord, pred func(sim.IncidentType) bool) 
 	}, nil
 }
 
+// RelevantVSCount counts the clip's ground-truth-relevant windows
+// under judge — the recall denominator for LoadGen.TotalRelevant.
+func RelevantVSCount(rec *videodb.ClipRecord, judge Judge) int {
+	n := 0
+	for _, vs := range rec.VSs {
+		if judge(RankingEntry{VS: vs.Index, StartFrame: vs.StartFrame, EndFrame: vs.EndFrame, TSCount: len(vs.TSs)}) {
+			n++
+		}
+	}
+	return n
+}
+
+// DemoPredicates returns the canned structured queries the demo
+// catalog is staged for (see annotateKinematics): each matches
+// exactly the relevant VSs' crash choreography from a different
+// angle, so a seeded mix of them shares one ground truth. The first
+// is the fully composed acceptance query — a vehicle stops in the
+// frame-center region, then another arrives eastbound through it
+// within 5 seconds.
+func DemoPredicates() []*predicate.Node {
+	east := 0.0
+	region := func() *predicate.Node {
+		return &predicate.Node{Op: predicate.OpRegion, Rect: []float64{0.25, 0.25, 0.75, 0.75}}
+	}
+	return []*predicate.Node{
+		{
+			Op: predicate.OpSeq,
+			A: &predicate.Node{Op: predicate.OpAnd, Args: []*predicate.Node{
+				{Op: predicate.OpStop}, region(),
+			}},
+			B: &predicate.Node{Op: predicate.OpAnd, Args: []*predicate.Node{
+				{Op: predicate.OpGo}, {Op: predicate.OpDirection, Heading: &east}, region(),
+			}},
+			Within: 5,
+		},
+		{Op: predicate.OpAnd, Args: []*predicate.Node{{Op: predicate.OpStop}, region()}},
+		{Op: predicate.OpAnd, Args: []*predicate.Node{
+			{Op: predicate.OpStop}, {Op: predicate.OpClass, Class: "car"},
+		}},
+	}
+}
+
 // LoadGen is a closed-loop load generator: Sessions concurrent
 // clients each run a full relevance-feedback session (query, Rounds−1
 // feedback rounds judged by Judge, a ranking read, then delete),
@@ -66,6 +109,15 @@ type LoadGen struct {
 	Candidates int
 	// Judge labels returned results; required.
 	Judge Judge
+	// Predicates, when non-empty, seeds every session with a
+	// structured predicate query — session w uses Predicates[w mod
+	// len] — so round 0 ranks by the compiled predicate and feedback
+	// rounds hand over to the MIL learner.
+	Predicates []*predicate.Node
+	// TotalRelevant is the queried clip's ground-truth incident count.
+	// When > 0 the report carries RoundRecall: per-round recall of the
+	// judged top-k against it, averaged across sessions.
+	TotalRelevant int
 	// Churn, when true, interleaves catalog writes with the query
 	// load: before the sessions start, one priming session builds the
 	// candidate index and one synthetic clip is ingested (so the very
@@ -119,6 +171,11 @@ type Report struct {
 	// FinalAccuracyMean averages the last round's top-k precision
 	// across sessions — sanity that the loop actually learns.
 	FinalAccuracyMean float64 `json:"final_accuracy_mean"`
+	// RoundRecall is the per-round recall of the judged top-k against
+	// the clip's TotalRelevant incidents, averaged across sessions —
+	// present only when LoadGen.TotalRelevant is set. Feedback must
+	// not lose ground: CI asserts the series is non-decreasing.
+	RoundRecall []float64 `json:"round_recall,omitempty"`
 	// Latency holds exact client-side percentiles per operation
 	// ("query", "feedback", "ranking").
 	Latency map[string]OpStats `json:"latency"`
@@ -237,13 +294,15 @@ func (lg *LoadGen) Run(ctx context.Context) (*Report, error) {
 	}
 
 	var (
-		mu       sync.Mutex
-		served   int
-		dropped  int
-		empty    int
-		accSum   float64
-		accCount int
-		errs     []string
+		mu        sync.Mutex
+		served    int
+		dropped   int
+		empty     int
+		accSum    float64
+		accCount  int
+		recallSum = make([]float64, rounds)
+		recallN   = make([]int, rounds)
+		errs      []string
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -258,6 +317,20 @@ func (lg *LoadGen) Run(ctx context.Context) (*Report, error) {
 		served++
 		if len(resp.TopK) == 0 {
 			empty++
+		}
+		if lg.TotalRelevant > 0 && resp.Round >= 0 && resp.Round < rounds && len(resp.TopK) > 0 {
+			rel := 0
+			for _, e := range resp.TopK {
+				if lg.Judge(e) {
+					rel++
+				}
+			}
+			denom := lg.TotalRelevant
+			if len(resp.TopK) < denom {
+				denom = len(resp.TopK)
+			}
+			recallSum[resp.Round] += float64(rel) / float64(denom)
+			recallN[resp.Round]++
 		}
 		mu.Unlock()
 	}
@@ -311,11 +384,16 @@ func (lg *LoadGen) Run(ctx context.Context) (*Report, error) {
 		close(churnDone)
 	}
 
-	runSession := func() {
+	runSession := func(worker int) {
+		var pred *predicate.Node
+		if len(lg.Predicates) > 0 {
+			pred = lg.Predicates[worker%len(lg.Predicates)]
+		}
 		t0 := time.Now()
 		resp, err := lg.Client.Query(ctx, QueryRequest{
 			Clip: lg.Clip, Engine: lg.Engine, TopK: lg.TopK,
 			Index: lg.Index, Candidates: lg.Candidates, Live: lg.Live,
+			Predicate: pred,
 		})
 		latencies.add("query", time.Since(t0))
 		if err != nil {
@@ -381,9 +459,9 @@ func (lg *LoadGen) Run(ctx context.Context) (*Report, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < sessions; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
-			runSession()
+			runSession(worker)
 			if !lg.Live {
 				return
 			}
@@ -394,10 +472,10 @@ func (lg *LoadGen) Run(ctx context.Context) (*Report, error) {
 				case <-ctx.Done():
 					return
 				default:
-					runSession()
+					runSession(worker)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	close(churnStop)
@@ -420,6 +498,14 @@ func (lg *LoadGen) Run(ctx context.Context) (*Report, error) {
 	}
 	if accCount > 0 {
 		rep.FinalAccuracyMean = accSum / float64(accCount)
+	}
+	if lg.TotalRelevant > 0 {
+		rep.RoundRecall = make([]float64, rounds)
+		for r := 0; r < rounds; r++ {
+			if recallN[r] > 0 {
+				rep.RoundRecall[r] = recallSum[r] / float64(recallN[r])
+			}
+		}
 	}
 	if stats, err := lg.Client.Stats(ctx); err == nil {
 		rep.ServerStats = stats

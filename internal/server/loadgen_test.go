@@ -61,6 +61,51 @@ func TestLoadGen32Sessions(t *testing.T) {
 	}
 }
 
+// TestLoadGenPredicateMix drives the demo catalog with the canned
+// predicate mix: every session seeds from a structured query, no
+// round drops, round-0 recall against the staged incidents is already
+// ≥ 0.9, and MIL feedback never loses ground.
+func TestLoadGenPredicateMix(t *testing.T) {
+	const sessions, rounds = 6, 4
+	rec := synthRecord(t, 1, 6, 6, 36) // the demo catalog mix
+	judge, err := JudgeFromRecord(rec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, client := newTestServer(t, Config{DB: testCatalog(t, rec), MaxSessions: sessions})
+	lg := &LoadGen{
+		Client:        client,
+		Clip:          rec.Name,
+		Sessions:      sessions,
+		Rounds:        rounds,
+		TopK:          10,
+		Judge:         judge,
+		Predicates:    DemoPredicates(),
+		TotalRelevant: RelevantVSCount(rec, judge),
+	}
+	if lg.TotalRelevant != 6 {
+		t.Fatalf("demo catalog reports %d relevant VSs, want 6", lg.TotalRelevant)
+	}
+	rep, err := lg.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DroppedRounds != 0 || rep.EmptyRankings != 0 {
+		t.Fatalf("dropped %d, empty %d (errors: %v)", rep.DroppedRounds, rep.EmptyRankings, rep.Errors)
+	}
+	if len(rep.RoundRecall) != rounds {
+		t.Fatalf("round recall has %d entries, want %d: %v", len(rep.RoundRecall), rounds, rep.RoundRecall)
+	}
+	if rep.RoundRecall[0] < 0.9 {
+		t.Fatalf("predicate round-0 recall %.2f below 0.9: %v", rep.RoundRecall[0], rep.RoundRecall)
+	}
+	for r := 1; r < rounds; r++ {
+		if rep.RoundRecall[r] < rep.RoundRecall[r-1] {
+			t.Fatalf("feedback lost recall at round %d: %v", r, rep.RoundRecall)
+		}
+	}
+}
+
 // TestLoadGenValidation: the generator refuses to run without its
 // client or judge.
 func TestLoadGenValidation(t *testing.T) {

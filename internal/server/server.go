@@ -42,6 +42,7 @@ import (
 	"milvideo/internal/index"
 	"milvideo/internal/ingestd"
 	"milvideo/internal/mil"
+	"milvideo/internal/predicate"
 	"milvideo/internal/query"
 	"milvideo/internal/retrieval"
 	"milvideo/internal/shard"
@@ -328,6 +329,14 @@ type QueryRequest struct {
 	// Sketch, when set, seeds the initial ranking from a drawn
 	// trajectory (mutually exclusive with ExampleVS).
 	Sketch *SketchQuery `json:"sketch,omitempty"`
+	// Predicate, when set, seeds the initial ranking from a composed
+	// predicate AST (motion, attribute, region and temporal leaves —
+	// see internal/predicate). Mutually exclusive with ExampleVS and
+	// Sketch; a sketch composes with other predicates as the AST's
+	// "sketch" leaf. Unlike the VS-anchored seeds it is legal for
+	// live sessions: the predicate re-evaluates against whatever the
+	// catalog holds each round.
+	Predicate *predicate.Node `json:"predicate,omitempty"`
 	// Index selects a candidate index for this session ("vptree" or
 	// "ivf"; "exact" or "none" force exact ranking even when the
 	// server has a default index). The URL query parameter ?index=
@@ -416,8 +425,12 @@ type IndexStats struct {
 	QuantizerTrainMs float64 `json:"quantizer_train_ms"`
 	// PrunedRounds ranked through a candidate set; FullRounds fell
 	// back to exact ranking (no feedback yet, or C ≥ N).
+	// SeededRounds are the subset of pruned rounds whose probes came
+	// from the engine's own seeds (predicate sessions before any
+	// positive feedback) rather than positive-labeled bags.
 	PrunedRounds int64 `json:"pruned_rounds"`
 	FullRounds   int64 `json:"full_rounds"`
+	SeededRounds int64 `json:"seeded_rounds"`
 	// Probes and DistEvals total the index probe work;
 	// CandidatesRanked totals the bags exact-re-ranked.
 	Probes           int64          `json:"probes"`
@@ -510,8 +523,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("query needs a clip name"))
 		return
 	}
-	if req.ExampleVS != nil && req.Sketch != nil {
-		writeError(w, http.StatusBadRequest, errors.New("example_vs and sketch are mutually exclusive"))
+	seeds := 0
+	for _, set := range []bool{req.ExampleVS != nil, req.Sketch != nil, req.Predicate != nil} {
+		if set {
+			seeds++
+		}
+	}
+	if seeds > 1 {
+		writeError(w, http.StatusBadRequest, errors.New("example_vs, sketch and predicate are mutually exclusive"))
 		return
 	}
 	if s.cfg.Ingest != nil && req.Clip == s.cfg.Ingest.FeedClip() {
@@ -683,6 +702,15 @@ type named struct {
 // Name implements retrieval.Engine.
 func (n named) Name() string { return n.name }
 
+// SeedProbes forwards retrieval.ProbeSeeder through the rename, so a
+// wrapped seeding engine keeps seeding candidate probes.
+func (n named) SeedProbes(db []window.VS) [][]float64 {
+	if s, ok := n.Engine.(retrieval.ProbeSeeder); ok {
+		return s.SeedProbes(db)
+	}
+	return nil
+}
+
 // initialEngine builds the optional example/sketch initial ranking
 // engine from the request.
 func initialEngine(req QueryRequest, rec *videodb.ClipRecord) (retrieval.Engine, error) {
@@ -715,6 +743,15 @@ func initialEngine(req QueryRequest, rec *videodb.ClipRecord) (retrieval.Engine,
 			return nil, err
 		}
 		return named{Engine: ex, name: "query-by-sketch"}, nil
+	case req.Predicate != nil:
+		env, err := predicate.RecordEnv(rec)
+		if err != nil {
+			return nil, err
+		}
+		// Compile validates the AST; structural problems surface here
+		// as typed errors (predicate.ErrBadAST / ErrUnknownOp) and
+		// become 400s.
+		return predicate.Compile(req.Predicate, env)
 	default:
 		return nil, nil
 	}
@@ -986,6 +1023,7 @@ func (s *Server) Stats() *StatsResponse {
 			ForcedRebuilds:     s.metrics.IndexRebuilds.Value(),
 			PrunedRounds:       s.candStats.PrunedRounds.Load(),
 			FullRounds:         s.candStats.FullRounds.Load(),
+			SeededRounds:       s.candStats.SeededRounds.Load(),
 			Probes:             s.candStats.Probes.Load(),
 			DistEvals:          s.candStats.DistEvals.Load(),
 			CandidatesRanked:   s.candStats.CandidatesRanked.Load(),

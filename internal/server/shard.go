@@ -296,6 +296,7 @@ type ShardStats struct {
 	Shards           int    `json:"shards"`
 	ScatterRounds    int64  `json:"scatter_rounds"`
 	FullRounds       int64  `json:"full_rounds"`
+	SeededRounds     int64  `json:"seeded_rounds"`
 	PartialRounds    int64  `json:"partial_rounds"`
 	AllFailedRounds  int64  `json:"all_failed_rounds"`
 	ShardTimeouts    int64  `json:"shard_timeouts"`
@@ -373,6 +374,7 @@ func (s *Server) shardStatsJSON(mode string) *ShardStats {
 		Shards:           shards,
 		ScatterRounds:    st.ScatterRounds.Load(),
 		FullRounds:       st.FullRounds.Load(),
+		SeededRounds:     st.SeededRounds.Load(),
 		PartialRounds:    st.PartialRounds.Load(),
 		AllFailedRounds:  st.AllFailedRounds.Load(),
 		ShardTimeouts:    st.ShardTimeouts.Load(),
@@ -431,6 +433,7 @@ func addIndexStats(dst *IndexStats, src IndexStats) {
 	dst.QuantizerTrainMs += src.QuantizerTrainMs
 	dst.PrunedRounds += src.PrunedRounds
 	dst.FullRounds += src.FullRounds
+	dst.SeededRounds += src.SeededRounds
 	dst.Probes += src.Probes
 	dst.DistEvals += src.DistEvals
 	dst.CandidatesRanked += src.CandidatesRanked

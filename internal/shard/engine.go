@@ -165,6 +165,9 @@ type Stats struct {
 	// the bounded parallel probe fan-out vs the distance merge.
 	ScatterNs atomic.Int64
 	MergeNs   atomic.Int64
+	// SeededRounds counts scattered rounds whose probes came from a
+	// ProbeSeeder (no positive feedback yet) rather than labels.
+	SeededRounds atomic.Int64
 }
 
 // Engine fans a query's positive-instance probes across shards,
@@ -198,6 +201,14 @@ type Engine struct {
 	Timeout time.Duration
 	// Workers bounds concurrent shard probes (0 = all shards at once).
 	Workers int
+	// Seeder, when non-nil, supplies probes for rounds with no
+	// positive feedback (e.g. a predicate query's best-scoring
+	// instances), so the scatter path covers round 0 too. Left nil,
+	// Inner itself is consulted when it implements
+	// retrieval.ProbeSeeder. C ≥ len(db) identity is unaffected: a
+	// seeded full-budget scatter still reassembles every partition
+	// through completion hits.
+	Seeder retrieval.ProbeSeeder
 	// Stats, when non-nil, accumulates scatter counters.
 	Stats *Stats
 	// Fault, when non-nil, is consulted per (shard, round): a
@@ -239,6 +250,18 @@ func (e *Engine) RankCtx(ctx context.Context, db []window.VS, labels map[int]mil
 		return e.full(db, labels)
 	}
 	probes := PositiveProbes(db, labels)
+	if len(probes) == 0 {
+		// No feedback yet: let the query engine seed probes, if it can.
+		seeder := e.Seeder
+		if seeder == nil {
+			seeder, _ = e.Inner.(retrieval.ProbeSeeder)
+		}
+		if seeder != nil {
+			if probes = seeder.SeedProbes(db); len(probes) > 0 && e.Stats != nil {
+				e.Stats.SeededRounds.Add(1)
+			}
+		}
+	}
 	if len(probes) == 0 {
 		return e.full(db, labels)
 	}

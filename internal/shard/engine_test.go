@@ -352,3 +352,49 @@ func TestProbeLocalCompletion(t *testing.T) {
 		t.Fatal("stale index accepted")
 	}
 }
+
+// seedingInner wraps an engine with canned round-0 probes, standing
+// in for a predicate query.
+type seedingInner struct {
+	retrieval.Engine
+	probes [][]float64
+}
+
+func (s seedingInner) SeedProbes([]window.VS) [][]float64 { return s.probes }
+
+// TestShardedSeededIdentity: the sharded C=N identity extends to
+// probe-seeded sessions — with zero labels, a seeding engine's
+// scatter–gather ranking must equal its unsharded ranking, and it
+// must flow through the scatter path (a seeded round, not a full
+// delegation): the full budget still reassembles every partition via
+// completion hits.
+func TestShardedSeededIdentity(t *testing.T) {
+	db := shardSynthDB(9, 63)
+	probes := [][]float64{db[0].TSs[0].Flat(), db[21].TSs[0].Flat()}
+	for _, kind := range index.Kinds() {
+		for _, s := range []int{1, 3} {
+			probers := buildProbers(t, db, s, kind, index.Options{})
+			for _, inner := range shardEngines() {
+				seeded := seedingInner{Engine: inner, probes: probes}
+				want, err := inner.Rank(db, map[int]mil.Label{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				st := &Stats{}
+				eng := &Engine{Inner: seeded, Probers: probers, C: len(db), Stats: st}
+				got, err := eng.Rank(db, map[int]mil.Label{})
+				if err != nil {
+					t.Fatalf("kind=%s S=%d %s: %v", kind, s, inner.Name(), err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("kind=%s S=%d %s: seeded sharded C=N ranking diverges\ngot  %v\nwant %v",
+						kind, s, inner.Name(), got, want)
+				}
+				if st.ScatterRounds.Load() != 1 || st.SeededRounds.Load() != 1 || st.FullRounds.Load() != 0 {
+					t.Fatalf("kind=%s S=%d %s: stats scatter=%d seeded=%d full=%d, want 1/1/0",
+						kind, s, inner.Name(), st.ScatterRounds.Load(), st.SeededRounds.Load(), st.FullRounds.Load())
+				}
+			}
+		}
+	}
+}

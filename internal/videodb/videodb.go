@@ -59,6 +59,11 @@ type ClipRecord struct {
 	// Frames is the clip length; FPS its frame rate.
 	Frames int
 	FPS    float64
+	// Width and Height are the frame dimensions in pixels, used to
+	// normalize spatial predicates. 0 (records persisted before the
+	// fields existed) means unknown; consumers fall back to the
+	// simulator's 320×240 default.
+	Width, Height int
 	// ModelName names the event model whose features the VSs carry
 	// (resolvable via event.ModelByName).
 	ModelName string

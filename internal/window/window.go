@@ -59,6 +59,11 @@ func (c Config) Normalized() (Config, error) {
 type TS struct {
 	// TrackID identifies the source trajectory.
 	TrackID int
+	// Class is the vehicle's PCA body class ("car", "truck", …) when a
+	// classifier has annotated it; empty when unclassified. Old
+	// persisted records decode with the zero value, which predicate
+	// class leaves simply never match.
+	Class string
 	// Samples are the raw per-point samples, length == WindowSize.
 	Samples []event.Sample
 	// Vectors are the per-point event feature vectors, length ==
@@ -163,6 +168,23 @@ func Extract(tracks []*track.Track, model event.Model, totalFrames int, cfg Conf
 			totalFrames, cfg.WindowSize, cfg.SampleRate)
 	}
 	return out, nil
+}
+
+// AnnotateClasses stamps each TS with its track's vehicle class from
+// a classifier's trackID → class map (e.g. core.ClassifyTracks).
+// Tracks absent from the map keep an empty class. It mutates the VSs
+// in place and returns the number of TSs annotated.
+func AnnotateClasses(vss []VS, classes map[int]string) int {
+	n := 0
+	for i := range vss {
+		for j := range vss[i].TSs {
+			if c, ok := classes[vss[i].TSs[j].TrackID]; ok && c != "" {
+				vss[i].TSs[j].Class = c
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // NonEmpty filters to the VSs that contain at least one TS.

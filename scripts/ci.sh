@@ -15,9 +15,16 @@
 # incremental-maintenance smoke (20 whole-bag deltas, all absorbed
 # without a rebuild), a live server smoke: cmd/serve (quantized
 # probing) on an ephemeral port driven by cmd/loadgen sessions —
-# exact, routed through the IVF candidate index, and under catalog
-# churn — asserting zero dropped rounds, non-empty rankings, at least
-# one incremental index apply, no forced rebuilds, and a clean drain,
+# exact, routed through the IVF candidate index, seeded from the
+# canned predicate mix (round-0 recall@10 >= 0.9 against the staged
+# incidents, never losing ground under MIL feedback), and under
+# catalog churn — asserting zero dropped rounds, non-empty rankings,
+# at least one incremental index apply, no forced rebuilds, and a
+# clean drain, a predicate serving gate: the composed
+# seq(stop∧region, go∧east∧region) query POSTed straight at
+# /v1/query must put every staged incident in the top-10 and return
+# byte-identical rankings on the exact path, through the candidate
+# engine at C >= N, and scatter–gathered across 3 in-process shards,
 # a sharded-serving gate (scatter–gather at C=N permutation-identical
 # to unsharded for every engine × index kind × shard count, plus
 # fault-injected shard degradation under -race), a cluster smoke:
@@ -57,7 +64,7 @@ echo "== race (internal: server, streaming/ingest, videodb, pools, sweeps) =="
 go test -race ./internal/...
 
 echo "== index smoke (recall gates: C=N identity, C=N/4 >= 0.9) =="
-go test -race -count=1 -run 'TestIndexSmokeRecall|TestQueryIndex|TestCandidate|TestVPTree|TestIVF|TestBagIndex' \
+go test -race -count=1 -run 'TestIndexSmokeRecall|TestQueryIndex|TestQueryPredicate|TestCandidate|TestVPTree|TestIVF|TestBagIndex' \
     ./internal/server/ ./internal/retrieval/ ./internal/index/
 
 echo "== chaos conformance (seeded fault schedules, -race) =="
@@ -72,8 +79,9 @@ go test -race -count=1 \
     -run 'TestSharded|TestRing|TestPartition|TestProbeLocal|TestPerShard|TestSlowShard|TestFailedShard|TestAllShards|TestInjector|TestShardFault|TestInProcessSharded|TestScatter|TestCluster|TestLoadGenShard' \
     ./internal/shard/ ./internal/server/ ./internal/faults/
 
-echo "== fuzz smoke (snapshot decoder, HTTP API; 5s each) =="
+echo "== fuzz smoke (snapshot decoder, predicate decoder, HTTP API; 5s each) =="
 go test -run xxx -fuzz FuzzDBDecode -fuzztime 5s ./internal/videodb/
+go test -run xxx -fuzz FuzzPredicateDecode -fuzztime 5s ./internal/predicate/
 go test -run xxx -fuzz FuzzQueryRequest -fuzztime 5s ./internal/server/
 
 echo "== coverage floor (internal packages, >= ${COVERAGE_FLOOR}%) =="
@@ -132,6 +140,40 @@ done
 # and the third interleaves catalog churn with indexed sessions.
 "$smokedir/loadgen" -url "$url" -demo -sessions 4 -rounds 3 -o "$smokedir/smoke.json"
 "$smokedir/loadgen" -url "$url" -demo -sessions 4 -rounds 3 -index ivf -candidates 16 -o "$smokedir/smoke-ivf.json"
+# Predicate sessions: every worker seeds from the canned structured-
+# query mix; loadgen itself exits nonzero unless round-0 recall@10
+# against the staged incidents reaches 0.9 and feedback never loses
+# ground from there.
+"$smokedir/loadgen" -url "$url" -demo -sessions 6 -rounds 4 -topk 10 \
+    -predicate demo -min-recall 0.9 -o "$smokedir/smoke-predicate.json"
+# The composed acceptance query — seq(stop∧region, go∧east∧region,
+# within 5s) — POSTed straight at /v1/query: the staged incidents
+# (VSs 0–5 of the demo catalog) must all sit in the top-10, and the
+# ranking must be byte-identical when the same session is routed
+# through the candidate engine at C >= N (predicate-seeded probing).
+pred_query='"predicate":{"op":"seq","a":{"op":"and","args":[{"op":"stop"},{"op":"region","rect":[0.25,0.25,0.75,0.75]}]},"b":{"op":"and","args":[{"op":"go"},{"op":"direction","heading":0},{"op":"region","rect":[0.25,0.25,0.75,0.75]}]},"within":5}'
+curl -sf -H 'Content-Type: application/json' -d "{\"clip\":\"synth\",\"topk\":10,$pred_query}" \
+    "$url/v1/query" >"$smokedir/pred-exact.json"
+curl -sf -H 'Content-Type: application/json' \
+    -d "{\"clip\":\"synth\",\"topk\":10,\"index\":\"vptree\",\"candidates\":64,$pred_query}" \
+    "$url/v1/query" >"$smokedir/pred-cand.json"
+jq -e '.engine | startswith("predicate:seq(")' "$smokedir/pred-exact.json" >/dev/null || {
+    echo "predicate query was not served by a predicate engine" >&2
+    cat "$smokedir/pred-exact.json" >&2
+    exit 1
+}
+jq -e '.ranking[:10] as $head | all(range(0; 6); . as $vs | ($head | index($vs)) != null)' \
+    "$smokedir/pred-exact.json" >/dev/null || {
+    echo "composed predicate missed a staged incident in its top-10" >&2
+    cat "$smokedir/pred-exact.json" >&2
+    exit 1
+}
+[ "$(jq -c '.ranking' "$smokedir/pred-exact.json")" = "$(jq -c '.ranking' "$smokedir/pred-cand.json")" ] || {
+    echo "predicate ranking diverges between exact and candidate C=N paths" >&2
+    jq -c '.ranking' "$smokedir/pred-exact.json" >&2
+    jq -c '.ranking' "$smokedir/pred-cand.json" >&2
+    exit 1
+}
 "$smokedir/loadgen" -url "$url" -demo -sessions 4 -rounds 3 -index vptree -candidates 16 -churn -o "$smokedir/smoke-churn.json"
 kill -INT "$serve_pid"
 wait "$serve_pid"
@@ -140,7 +182,7 @@ grep -q "drained, bye" "$smokedir/serve.log" || { echo "serve did not drain clea
 grep -q '"rounds_served": 12' "$smokedir/smoke.json" || { echo "smoke run served fewer rounds than expected" >&2; cat "$smokedir/smoke.json" >&2; exit 1; }
 # Both loadgen reports must show a loss-free run; on a drop, surface
 # the server log alongside the report so the failure is diagnosable.
-for report in "$smokedir/smoke.json" "$smokedir/smoke-ivf.json" "$smokedir/smoke-churn.json"; do
+for report in "$smokedir/smoke.json" "$smokedir/smoke-ivf.json" "$smokedir/smoke-predicate.json" "$smokedir/smoke-churn.json"; do
     grep -q '"dropped_rounds": 0' "$report" || {
         echo "smoke run dropped rounds in $report" >&2
         cat "$report" >&2
@@ -162,6 +204,48 @@ grep -q '"forced_rebuilds": 0' "$smokedir/smoke-churn.json" || {
     cat "$smokedir/smoke-churn.json" >&2
     exit 1
 }
+# The predicate report must carry the per-round recall series the
+# -min-recall gate judged (its floor already ran inside loadgen).
+grep -q '"round_recall"' "$smokedir/smoke-predicate.json" || {
+    echo "predicate smoke report lacks the round-recall series" >&2
+    cat "$smokedir/smoke-predicate.json" >&2
+    exit 1
+}
+
+echo "== predicate smoke (in-process sharded serving identity) =="
+# Third serving path for the same composed query: 3 in-process shards
+# scatter predicate-seeded probes and the coordinator reassembles the
+# full catalog at C = N — the ranking must match the exact path byte
+# for byte, and the scatter must be accounted as seeded rounds.
+"$smokedir/serve" -demo -addr 127.0.0.1:0 -quant scalar -local-shards 3 \
+    -index vptree -candidates 64 >"$smokedir/serve-shard.log" 2>&1 &
+serve_pid=$!
+shard_url=""
+for _ in $(seq 1 50); do
+    shard_url=$(sed -n 's/^serve: listening on \(http:\/\/[^ ]*\).*/\1/p' "$smokedir/serve-shard.log")
+    [ -n "$shard_url" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$smokedir/serve-shard.log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$shard_url" ] || { echo "sharded serve never reported its address" >&2; cat "$smokedir/serve-shard.log" >&2; exit 1; }
+curl -sf -H 'Content-Type: application/json' -d "{\"clip\":\"synth\",\"topk\":10,$pred_query}" \
+    "$shard_url/v1/query" >"$smokedir/pred-shard.json"
+[ "$(jq -c '.ranking' "$smokedir/pred-exact.json")" = "$(jq -c '.ranking' "$smokedir/pred-shard.json")" ] || {
+    echo "predicate ranking diverges between exact and sharded paths" >&2
+    jq -c '.ranking' "$smokedir/pred-exact.json" >&2
+    jq -c '.ranking' "$smokedir/pred-shard.json" >&2
+    exit 1
+}
+curl -sf "$shard_url/v1/stats" >"$smokedir/pred-shard-stats.json"
+jq -e '.shard.seeded_rounds >= 1' "$smokedir/pred-shard-stats.json" >/dev/null || {
+    echo "sharded predicate round was not accounted as a seeded scatter" >&2
+    cat "$smokedir/pred-shard-stats.json" >&2
+    exit 1
+}
+kill -INT "$serve_pid"
+wait "$serve_pid"
+serve_pid=""
+grep -q "drained, bye" "$smokedir/serve-shard.log" || { echo "sharded serve did not drain cleanly" >&2; cat "$smokedir/serve-shard.log" >&2; exit 1; }
 
 echo "== cluster smoke (3 shard workers + coordinator + loadgen) =="
 # The N-process topology end to end: three serve workers each own one
