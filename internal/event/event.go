@@ -32,6 +32,12 @@ type Sample struct {
 	// Motion is the motion vector from the previous sampling point to
 	// this one (zero at the first point of a track).
 	Motion geom.Vec
+	// MotionValid reports whether Motion was actually observed: it is
+	// false at a track's first sampling point, where the zero Motion
+	// means "unknown", not "standing still". Models that key on low
+	// speed (the stalled-vehicle model) must not treat that unobserved
+	// zero as a real standstill.
+	MotionValid bool
 	// PrevMotion is the previous sampling point's motion vector (zero
 	// for the first two points).
 	PrevMotion geom.Vec
@@ -175,6 +181,16 @@ func ModelByName(name string) (Model, error) {
 		return SpeedingModel{RefSpeed: 2.5}, nil
 	case "u-turn":
 		return UTurnModel{}, nil
+	case "sudden-stop":
+		return SuddenStopModel{}, nil
+	case "wrong-way":
+		return WrongWayModel{}, nil
+	case "tailgating":
+		return TailgateModel{}, nil
+	case "near-miss":
+		return NearMissModel{}, nil
+	case "stalled":
+		return StalledModel{}, nil
 	default:
 		return nil, fmt.Errorf("event: unknown model %q", name)
 	}
@@ -209,6 +225,7 @@ func SampleTracks(tracks []*track.Track, rate int) (map[int][]Sample, error) {
 			s := Sample{Frame: f, Pos: obs.Centroid, MinDist: math.Inf(1), Area: float64(obs.Area)}
 			if !first {
 				s.Motion = obs.Centroid.Sub(prevPos)
+				s.MotionValid = true
 				s.PrevMotion = prevMotion
 				// The previous motion is only observed from the third
 				// sample on (the second sample's predecessor had none).

@@ -1,0 +1,169 @@
+package event
+
+// Event models for the retbench incident taxonomy, extending the
+// paper's accident/speeding/U-turn set along the lines of its §4
+// claim that the event model "may also be adjusted to detect … any
+// other event that involves the abnormal behavior of a vehicle". Each
+// follows the package convention: constant dimension, larger
+// components = more eventful, so the initial-query heuristic ranks
+// them without supervision.
+
+import "math"
+
+// SuddenStopModel targets abrupt speed loss: features are the
+// absolute speed change and the speed change normalized by the
+// current speed (a stop that ends near zero scores higher than the
+// same Δv at highway speed).
+type SuddenStopModel struct{}
+
+// Name implements Model.
+func (SuddenStopModel) Name() string { return "sudden-stop" }
+
+// Dim implements Model.
+func (SuddenStopModel) Dim() int { return 2 }
+
+// Vector implements Model.
+func (SuddenStopModel) Vector(s Sample, rate int) []float64 {
+	vd := s.VDiff(rate)
+	return []float64{vd, vd / (1 + s.Speed(rate))}
+}
+
+// WrongWayModel targets travel against the nominal flow direction:
+// features are the opposition of the motion vector to the flow
+// (cosine-based, zero for stationary or flow-aligned vehicles) and
+// the opposition weighted by speed — driving fast against traffic is
+// more salient than inching.
+type WrongWayModel struct {
+	// Flow is the nominal flow direction of the monitored lane; zero
+	// means the default eastbound (1, 0).
+	Flow [2]float64
+}
+
+// Name implements Model.
+func (WrongWayModel) Name() string { return "wrong-way" }
+
+// Dim implements Model.
+func (WrongWayModel) Dim() int { return 2 }
+
+// Vector implements Model.
+func (m WrongWayModel) Vector(s Sample, rate int) []float64 {
+	fx, fy := m.Flow[0], m.Flow[1]
+	if fx == 0 && fy == 0 {
+		fx = 1
+	}
+	fn := math.Hypot(fx, fy)
+	mn := s.Motion.Norm()
+	opp := 0.0
+	if mn > 0 {
+		cos := (s.Motion.X*fx + s.Motion.Y*fy) / (mn * fn)
+		if cos < 0 {
+			opp = -cos
+		}
+	}
+	return []float64{opp, opp * s.Speed(rate)}
+}
+
+// TailgateModel targets unsafe following distance: features are the
+// inverse distance to the nearest vehicle and the same inverse
+// weighted by speed — a close gap at speed is the dangerous case,
+// a close gap in a queue at rest is not.
+type TailgateModel struct {
+	// Eps bounds the inverse when centroids (nearly) coincide; 0 means
+	// the default of 1 pixel.
+	Eps float64
+}
+
+// Name implements Model.
+func (TailgateModel) Name() string { return "tailgating" }
+
+// Dim implements Model.
+func (TailgateModel) Dim() int { return 2 }
+
+// Vector implements Model.
+func (m TailgateModel) Vector(s Sample, rate int) []float64 {
+	eps := m.Eps
+	if eps <= 0 {
+		eps = 1
+	}
+	if math.IsInf(s.MinDist, 1) {
+		return []float64{0, 0}
+	}
+	d := s.MinDist
+	if d < eps {
+		d = eps
+	}
+	return []float64{1 / d, s.Speed(rate) / d}
+}
+
+// NearMissModel targets high-speed close passes: features are the
+// speed-to-distance ratio (closing fast on a nearby vehicle) and the
+// direction change weighted by speed (the evasive swerve). Either
+// component alone is ambiguous — queued traffic is close but slow,
+// lane changes swerve but far — so the model separates near misses by
+// scoring both.
+type NearMissModel struct {
+	// Eps bounds the distance denominator; 0 means the default of 1.
+	Eps float64
+}
+
+// Name implements Model.
+func (NearMissModel) Name() string { return "near-miss" }
+
+// Dim implements Model.
+func (NearMissModel) Dim() int { return 2 }
+
+// Vector implements Model.
+func (m NearMissModel) Vector(s Sample, rate int) []float64 {
+	eps := m.Eps
+	if eps <= 0 {
+		eps = 1
+	}
+	prox := 0.0
+	if !math.IsInf(s.MinDist, 1) {
+		d := s.MinDist
+		if d < eps {
+			d = eps
+		}
+		prox = s.Speed(rate) / d
+	}
+	return []float64{prox, s.Theta() * s.Speed(rate)}
+}
+
+// StalledModel targets vehicles at rest in a live lane: features are
+// the inverse speed (saturating at 1/Eps for a full stop) and the
+// shortfall below a reference cruising speed. Both are zero when the
+// motion vector is unobserved — a track's first sample is not a
+// standstill.
+type StalledModel struct {
+	// Eps bounds the inverse speed; 0 means the default of 0.1 px/frame.
+	Eps float64
+	// RefSpeed is the nominal cruising speed; 0 means the default 2.5.
+	RefSpeed float64
+}
+
+// Name implements Model.
+func (StalledModel) Name() string { return "stalled" }
+
+// Dim implements Model.
+func (StalledModel) Dim() int { return 2 }
+
+// Vector implements Model.
+func (m StalledModel) Vector(s Sample, rate int) []float64 {
+	if !s.MotionValid {
+		return []float64{0, 0}
+	}
+	eps := m.Eps
+	if eps <= 0 {
+		eps = 0.1
+	}
+	ref := m.RefSpeed
+	if ref <= 0 {
+		ref = 2.5
+	}
+	v := s.Speed(rate)
+	short := 1 - v/ref
+	if short < 0 {
+		short = 0
+	}
+	return []float64{eps / (v + eps), short}
+}

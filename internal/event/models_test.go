@@ -1,0 +1,187 @@
+package event
+
+// Tests for the retbench taxonomy's event models: feature semantics
+// (the eventful case scores strictly above the normal case in at
+// least one component), edge-case guards (lone vehicles, unobserved
+// motion, zero flow) and registry round-trips.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"milvideo/internal/geom"
+)
+
+// moving builds a sample cruising east at v px/frame (rate 5), with
+// observed motion history and the given nearest-neighbour distance.
+func moving(v, mindist float64) Sample {
+	return Sample{
+		Motion:      geom.V(v*5, 0),
+		MotionValid: true,
+		PrevMotion:  geom.V(v*5, 0),
+		PrevValid:   true,
+		MinDist:     mindist,
+	}
+}
+
+func TestSuddenStopModelSemantics(t *testing.T) {
+	m := SuddenStopModel{}
+	cruise := moving(2.5, 100)
+	stop := cruise
+	stop.Motion = geom.V(0.5, 0) // 2.5 → 0.1 px/frame between points
+	vStop := m.Vector(stop, 5)
+	vCruise := m.Vector(cruise, 5)
+	if len(vStop) != m.Dim() {
+		t.Fatalf("dim %d, want %d", len(vStop), m.Dim())
+	}
+	if vStop[0] <= vCruise[0] || vStop[1] <= vCruise[1] {
+		t.Fatalf("sudden stop %v must outscore steady cruise %v", vStop, vCruise)
+	}
+	// Unobserved previous motion must not fake a Δv spike.
+	second := Sample{Motion: geom.V(12.5, 0), MotionValid: true, MinDist: 100}
+	if v := m.Vector(second, 5); v[0] != 0 || v[1] != 0 {
+		t.Fatalf("second sample scored %v despite PrevValid=false", v)
+	}
+}
+
+func TestWrongWayModelSemantics(t *testing.T) {
+	m := WrongWayModel{} // default flow (1, 0)
+	with := moving(2.5, 100)
+	against := with
+	against.Motion = geom.V(-12.5, 0)
+	vW := m.Vector(with, 5)
+	vA := m.Vector(against, 5)
+	if vW[0] != 0 || vW[1] != 0 {
+		t.Fatalf("flow-aligned motion scored %v, want zeros", vW)
+	}
+	if vA[0] != 1 || vA[1] != 2.5 {
+		t.Fatalf("head-on opposition scored %v, want [1 2.5]", vA)
+	}
+	// Stationary vehicles have no direction to oppose.
+	still := Sample{MotionValid: true, MinDist: 100}
+	if v := m.Vector(still, 5); v[0] != 0 || v[1] != 0 {
+		t.Fatalf("stationary vehicle scored %v, want zeros", v)
+	}
+	// A slowed oncoming-lane vehicle keeps its heading: crossing flow
+	// (perpendicular) scores zero, only opposed components count.
+	perp := moving(2.5, 100)
+	perp.Motion = geom.V(0, 12.5)
+	if v := m.Vector(perp, 5); v[0] != 0 {
+		t.Fatalf("perpendicular motion scored %v, want zero opposition", v)
+	}
+}
+
+func TestTailgateModelSemantics(t *testing.T) {
+	m := TailgateModel{}
+	glued := moving(2.5, 12)  // the spawner's 11-14px gap
+	normal := moving(2.5, 45) // car-following equilibrium
+	vG := m.Vector(glued, 5)
+	vN := m.Vector(normal, 5)
+	if vG[0] <= vN[0] || vG[1] <= vN[1] {
+		t.Fatalf("glued gap %v must outscore equilibrium gap %v", vG, vN)
+	}
+	// A lone vehicle cannot tailgate.
+	lone := moving(2.5, math.Inf(1))
+	if v := m.Vector(lone, 5); v[0] != 0 || v[1] != 0 {
+		t.Fatalf("lone vehicle scored %v, want zeros", v)
+	}
+	// The speed weighting separates a moving tailgater from a queue at
+	// rest with the same gap.
+	queued := moving(0, 12)
+	if vq := m.Vector(queued, 5); vq[1] >= vG[1] {
+		t.Fatalf("queue at rest %v must score below a tailgater at speed %v", vq, vG)
+	}
+}
+
+func TestNearMissModelSemantics(t *testing.T) {
+	m := NearMissModel{}
+	// Fast and close: the overtake pass.
+	pass := moving(4.4, 15)
+	// Close but slow: a queue.
+	queue := moving(0.3, 15)
+	// Fast but far: normal cruising.
+	cruise := moving(4.4, 80)
+	vP := m.Vector(pass, 5)
+	if vP[0] <= m.Vector(queue, 5)[0] {
+		t.Fatalf("fast close pass %v must outscore a slow queue", vP)
+	}
+	if vP[0] <= m.Vector(cruise, 5)[0] {
+		t.Fatalf("fast close pass %v must outscore distant cruising", vP)
+	}
+	// The swerve component: direction change at speed.
+	swerve := moving(4.4, 15)
+	swerve.PrevMotion = geom.V(22, 0)
+	swerve.Motion = geom.V(21, 12) // veering off at speed
+	if v := m.Vector(swerve, 5); v[1] <= vP[1] {
+		t.Fatalf("swerve %v must add direction-change signal over straight pass %v", v, vP)
+	}
+	lone := moving(4.4, math.Inf(1))
+	if v := m.Vector(lone, 5); v[0] != 0 {
+		t.Fatalf("lone vehicle proximity scored %v, want zero", v)
+	}
+}
+
+func TestStalledModelSemantics(t *testing.T) {
+	m := StalledModel{}
+	dead := moving(0, 100)
+	crawl := moving(0.2, 100) // the cruise() congestion floor
+	cruise := moving(2.5, 100)
+	vD := m.Vector(dead, 5)
+	vCrawl := m.Vector(crawl, 5)
+	vCruise := m.Vector(cruise, 5)
+	if vD[0] != 1 {
+		t.Fatalf("full stop inverse-speed = %v, want saturation at 1", vD[0])
+	}
+	if vD[0] <= vCrawl[0] || vCrawl[0] <= vCruise[0] {
+		t.Fatalf("inverse speed must order dead %v > crawl %v > cruise %v", vD, vCrawl, vCruise)
+	}
+	// A track's first sample has no observed motion — that zero is
+	// "unknown", not a standstill, and must not score.
+	first := Sample{MinDist: 100}
+	if v := m.Vector(first, 5); v[0] != 0 || v[1] != 0 {
+		t.Fatalf("unobserved motion scored %v, want zeros", v)
+	}
+}
+
+// TestModelRegistryRoundTrip: every taxonomy model is reachable by its
+// persisted name, and Name() round-trips.
+func TestModelRegistryRoundTrip(t *testing.T) {
+	names := []string{
+		"accident", "speeding", "u-turn",
+		"sudden-stop", "wrong-way", "tailgating", "near-miss", "stalled",
+	}
+	for _, name := range names {
+		m, err := ModelByName(name)
+		if err != nil {
+			t.Fatalf("ModelByName(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Fatalf("ModelByName(%q).Name() = %q", name, m.Name())
+		}
+		if m.Dim() <= 0 {
+			t.Fatalf("%q has non-positive dim", name)
+		}
+		if got := len(m.Vector(moving(2.5, 30), 5)); got != m.Dim() {
+			t.Fatalf("%q Vector returned %d components, Dim says %d", name, got, m.Dim())
+		}
+	}
+}
+
+// TestModelVectorsDeterministic: same sample, same vector — models
+// hold no hidden state.
+func TestModelVectorsDeterministic(t *testing.T) {
+	models := []Model{
+		SuddenStopModel{}, WrongWayModel{}, TailgateModel{},
+		NearMissModel{}, StalledModel{},
+	}
+	s := moving(3.1, 17)
+	s.PrevMotion = geom.V(14, 3)
+	for _, m := range models {
+		a := m.Vector(s, 5)
+		b := m.Vector(s, 5)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s not deterministic: %v vs %v", m.Name(), a, b)
+		}
+	}
+}

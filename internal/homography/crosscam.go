@@ -1,0 +1,231 @@
+package homography
+
+// Cross-camera trajectory reconciliation — the paper's §6.2 future
+// work made concrete. A Camera is a simulated view of the common
+// road plane: a projective pose plus the plane region it covers.
+// Observe clips ground-truth road-plane tracks to that region and
+// re-expresses them in the camera's image plane with view-local IDs —
+// exactly what an independent per-camera vision pipeline would hand
+// us. Reconcile inverts each pose (NormalizeTracks), bringing every
+// view's fragments back into the shared road-plane frame, and
+// StitchTracks greedily merges fragments that agree on their shared
+// frames into single cross-camera trajectories.
+
+import (
+	"fmt"
+	"sort"
+
+	"milvideo/internal/geom"
+	"milvideo/internal/track"
+)
+
+// Camera is one simulated view of the road plane.
+type Camera struct {
+	// Name identifies the camera in errors and reports.
+	Name string
+	// Pose maps road-plane coordinates to this camera's image plane.
+	Pose Homography
+	// Region is the road-plane rectangle the camera covers; only
+	// observations inside it are visible in this view.
+	Region geom.Rect
+}
+
+// View is the per-camera observation product: image-plane track
+// fragments with IDs local to the view (cameras do not share an ID
+// space — re-association is the reconciler's job).
+type View struct {
+	Camera Camera
+	Tracks []*track.Track
+}
+
+// Observe clips the road-plane tracks to the camera's region and maps
+// the surviving contiguous runs into the image plane. Each run
+// becomes its own fragment with a fresh view-local ID (a vehicle that
+// leaves and re-enters the region is two fragments, as it would be
+// for a real tracker). Input tracks are not modified.
+func (c Camera) Observe(tracks []*track.Track) (View, error) {
+	v := View{Camera: c}
+	nextID := 0
+	for _, t := range tracks {
+		var run []track.Observation
+		flush := func() error {
+			if len(run) == 0 {
+				return nil
+			}
+			frag := &track.Track{ID: nextID, Confirmed: true, Observations: run}
+			mapped, err := NormalizeTracks([]*track.Track{frag}, c.Pose)
+			if err != nil {
+				return fmt.Errorf("camera %s: %w", c.Name, err)
+			}
+			v.Tracks = append(v.Tracks, mapped[0])
+			nextID++
+			run = nil
+			return nil
+		}
+		for _, o := range t.Observations {
+			if c.Region.Contains(o.Centroid) {
+				run = append(run, o)
+				continue
+			}
+			if err := flush(); err != nil {
+				return View{}, err
+			}
+		}
+		if err := flush(); err != nil {
+			return View{}, err
+		}
+	}
+	return v, nil
+}
+
+// StitchOptions tunes fragment merging.
+type StitchOptions struct {
+	// Tol is the maximum mean centroid distance (road-plane units)
+	// over shared frames for two fragments to be the same vehicle;
+	// 0 means the default of 5.
+	Tol float64
+	// MinShared is the minimum number of shared frames required to
+	// attempt a merge; 0 means the default of 3. Fragments observing
+	// fewer common frames are never merged — there is not enough
+	// evidence to associate them.
+	MinShared int
+}
+
+func (o StitchOptions) withDefaults() StitchOptions {
+	if o.Tol <= 0 {
+		o.Tol = 5
+	}
+	if o.MinShared <= 0 {
+		o.MinShared = 3
+	}
+	return o
+}
+
+// Reconcile normalizes every view back into the road plane through
+// the inverse of its camera pose and stitches the fragments into
+// cross-camera trajectories. It fails when a camera's pose is
+// singular (no invertible image→plane mapping exists) or a mapped
+// observation lands on the line at infinity.
+func Reconcile(views []View, opt StitchOptions) ([]*track.Track, error) {
+	var fragments []*track.Track
+	for _, v := range views {
+		inv, err := v.Camera.Pose.Inverse()
+		if err != nil {
+			return nil, fmt.Errorf("homography: camera %s: %w", v.Camera.Name, err)
+		}
+		normalized, err := NormalizeTracks(v.Tracks, inv)
+		if err != nil {
+			return nil, fmt.Errorf("homography: camera %s: %w", v.Camera.Name, err)
+		}
+		fragments = append(fragments, normalized...)
+	}
+	return StitchTracks(fragments, opt), nil
+}
+
+// stitchChain accumulates one cross-camera trajectory during
+// stitching: observations keyed by frame, first writer wins.
+type stitchChain struct {
+	obs    map[int]track.Observation
+	lo, hi int
+}
+
+// StitchTracks merges road-plane fragments that agree on their shared
+// frames into single trajectories. Fragments are processed in a
+// deterministic order (by start frame, then input order); each is
+// merged into the existing chain with the lowest mean centroid
+// distance over ≥ MinShared shared frames (within Tol), or starts a
+// new chain. Where two fragments cover the same frame the earlier
+// one's observation wins; frames covered by neither view are filled
+// by linear interpolation and marked Predicted, preserving the
+// Track.At contiguity invariant. Output tracks are renumbered 0..n-1
+// in chain-creation order.
+func StitchTracks(fragments []*track.Track, opt StitchOptions) []*track.Track {
+	opt = opt.withDefaults()
+	order := make([]int, len(fragments))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		fa, fb := fragments[order[a]], fragments[order[b]]
+		if fa.Len() == 0 || fb.Len() == 0 {
+			return fa.Len() > fb.Len()
+		}
+		return fa.Start() < fb.Start()
+	})
+	var chains []*stitchChain
+	for _, idx := range order {
+		f := fragments[idx]
+		if f.Len() == 0 {
+			continue
+		}
+		best, bestDist := -1, opt.Tol
+		for ci, ch := range chains {
+			shared, sum := 0, 0.0
+			for _, o := range f.Observations {
+				if co, ok := ch.obs[o.Frame]; ok {
+					shared++
+					sum += o.Centroid.Dist(co.Centroid)
+				}
+			}
+			if shared < opt.MinShared {
+				continue
+			}
+			if mean := sum / float64(shared); mean <= bestDist {
+				best, bestDist = ci, mean
+			}
+		}
+		if best < 0 {
+			ch := &stitchChain{obs: make(map[int]track.Observation, f.Len()), lo: f.Start(), hi: f.End()}
+			for _, o := range f.Observations {
+				ch.obs[o.Frame] = o
+			}
+			chains = append(chains, ch)
+			continue
+		}
+		ch := chains[best]
+		for _, o := range f.Observations {
+			if _, taken := ch.obs[o.Frame]; !taken {
+				ch.obs[o.Frame] = o
+			}
+		}
+		if f.Start() < ch.lo {
+			ch.lo = f.Start()
+		}
+		if f.End() > ch.hi {
+			ch.hi = f.End()
+		}
+	}
+	out := make([]*track.Track, 0, len(chains))
+	for id, ch := range chains {
+		t := &track.Track{ID: id, Confirmed: true}
+		var lastReal *track.Observation
+		var pending []int // frames awaiting interpolation
+		for f := ch.lo; f <= ch.hi; f++ {
+			o, ok := ch.obs[f]
+			if !ok {
+				pending = append(pending, f)
+				continue
+			}
+			if len(pending) > 0 && lastReal != nil {
+				span := float64(o.Frame - lastReal.Frame)
+				for _, pf := range pending {
+					alpha := float64(pf-lastReal.Frame) / span
+					t.Observations = append(t.Observations, track.Observation{
+						Frame:     pf,
+						Centroid:  lastReal.Centroid.Lerp(o.Centroid, alpha),
+						MBR:       geom.RectFromCenter(lastReal.Centroid.Lerp(o.Centroid, alpha), lastReal.MBR.Width(), lastReal.MBR.Height()),
+						Area:      lastReal.Area,
+						MeanShade: lastReal.MeanShade,
+						Predicted: true,
+					})
+				}
+			}
+			pending = nil
+			oc := o
+			t.Observations = append(t.Observations, oc)
+			lastReal = &oc
+		}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+package homography
+
+// Cross-camera handoff coverage: two overlapping views of one
+// simulated world, observed through distinct projective poses, must
+// reconcile into trajectories matching the single-view ground truth
+// within tolerance; plus the degenerate-pose error path and the
+// stitcher's merge/keep-apart discipline.
+
+import (
+	"math"
+	"testing"
+
+	"milvideo/internal/geom"
+	"milvideo/internal/sim"
+	"milvideo/internal/track"
+)
+
+// twoCameras covers the road plane with overlapping west and east
+// views: the x-ranges overlap by 80px around the scene center and
+// both span the full height (plus the off-scene margin the simulator
+// uses), so every vehicle is always visible somewhere and handoffs
+// share frames. Poses are mild projective warps estimated from
+// four-corner correspondences.
+func twoCameras(t *testing.T) []Camera {
+	t.Helper()
+	pose := func(dst [4]geom.Point, region geom.Rect) Homography {
+		src := [4]geom.Point{
+			region.Min,
+			geom.Pt(region.Max.X, region.Min.Y),
+			region.Max,
+			geom.Pt(region.Min.X, region.Max.Y),
+		}
+		var cs []Correspondence
+		for i := range src {
+			cs = append(cs, Correspondence{Image: src[i], World: dst[i]})
+		}
+		h, err := Estimate(cs)
+		if err != nil {
+			t.Fatalf("pose estimate: %v", err)
+		}
+		return h
+	}
+	// Regions cover x ∈ [-60, 200] and [120, 380] on y ∈ [-60, 300]:
+	// all of the scene plus the spawn margins.
+	west := geom.Rect{Min: geom.Pt(-60, -60), Max: geom.Pt(200, 300)}
+	east := geom.Rect{Min: geom.Pt(120, -60), Max: geom.Pt(380, 300)}
+	return []Camera{
+		{Name: "west", Region: west, Pose: pose([4]geom.Point{
+			geom.Pt(8, 12), geom.Pt(630, 0), geom.Pt(618, 470), geom.Pt(0, 478),
+		}, west)},
+		{Name: "east", Region: east, Pose: pose([4]geom.Point{
+			geom.Pt(0, 6), geom.Pt(638, 10), geom.Pt(628, 476), geom.Pt(6, 466),
+		}, east)},
+	}
+}
+
+// TestCrossCameraHandoffMatchesGroundTruth: reconciled two-view
+// trajectories reproduce the single-view ground-truth tracks within
+// tolerance — same vehicle count, and per-frame centroid error below
+// one pixel on every trajectory.
+func TestCrossCameraHandoffMatchesGroundTruth(t *testing.T) {
+	scene, err := sim.Tunnel(sim.TunnelConfig{Seed: 42, Frames: 400, SpawnEvery: 70, WallCrash: 1, Stalled: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := track.FromScene(scene)
+	if len(truth) == 0 {
+		t.Fatal("scene produced no ground-truth tracks")
+	}
+	var views []View
+	for _, cam := range twoCameras(t) {
+		v, err := cam.Observe(truth)
+		if err != nil {
+			t.Fatalf("observe %s: %v", cam.Name, err)
+		}
+		if len(v.Tracks) == 0 {
+			t.Fatalf("camera %s saw nothing", cam.Name)
+		}
+		views = append(views, v)
+	}
+	merged, err := Reconcile(views, StitchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != len(truth) {
+		t.Fatalf("reconciled %d trajectories, ground truth has %d vehicles", len(merged), len(truth))
+	}
+	// Match each ground-truth track to the reconciled trajectory
+	// covering its start position; verify per-frame agreement.
+	for _, gt := range truth {
+		g0, _ := gt.At(gt.Start())
+		var match *track.Track
+		for _, m := range merged {
+			if o, ok := m.At(gt.Start()); ok && o.Centroid.Dist(g0.Centroid) < 2 {
+				match = m
+				break
+			}
+		}
+		if match == nil {
+			t.Fatalf("no reconciled trajectory matches vehicle %d at frame %d", gt.ID, gt.Start())
+		}
+		if match.Start() != gt.Start() || match.End() != gt.End() {
+			t.Fatalf("vehicle %d spans [%d,%d], reconciled [%d,%d]",
+				gt.ID, gt.Start(), gt.End(), match.Start(), match.End())
+		}
+		worst := 0.0
+		for f := gt.Start(); f <= gt.End(); f++ {
+			g, _ := gt.At(f)
+			m, ok := match.At(f)
+			if !ok {
+				t.Fatalf("vehicle %d: reconciled trajectory misses frame %d", gt.ID, f)
+			}
+			if d := g.Centroid.Dist(m.Centroid); d > worst {
+				worst = d
+			}
+		}
+		if worst > 1.0 {
+			t.Fatalf("vehicle %d: worst centroid error %.3f px, want < 1", gt.ID, worst)
+		}
+	}
+}
+
+// TestReconcileDegeneratePose: a rank-deficient camera pose (all of
+// the plane projected onto a line) cannot be inverted — Reconcile
+// must fail loudly, naming the camera, not emit garbage trajectories.
+func TestReconcileDegeneratePose(t *testing.T) {
+	degenerate := Camera{
+		Name: "broken",
+		// Rows 0 and 1 identical: det = 0.
+		Pose:   Homography{M: [3][3]float64{{1, 2, 3}, {1, 2, 3}, {0, 0, 1}}},
+		Region: geom.Rect{Min: geom.Pt(0, 0), Max: geom.Pt(320, 240)},
+	}
+	frag := &track.Track{ID: 0, Confirmed: true, Observations: []track.Observation{
+		{Frame: 0, Centroid: geom.Pt(10, 10)},
+		{Frame: 1, Centroid: geom.Pt(12, 10)},
+		{Frame: 2, Centroid: geom.Pt(14, 10)},
+	}}
+	_, err := Reconcile([]View{{Camera: degenerate, Tracks: []*track.Track{frag}}}, StitchOptions{})
+	if err == nil {
+		t.Fatal("Reconcile accepted a singular camera pose")
+	}
+}
+
+// TestStitchKeepsDistinctVehiclesApart: fragments from two parallel
+// vehicles closer than nothing but farther than Tol must never merge,
+// and a vehicle seen by only one camera per interval with too few
+// shared frames stays split rather than guessing.
+func TestStitchKeepsDistinctVehiclesApart(t *testing.T) {
+	mk := func(id int, y float64, lo, hi int) *track.Track {
+		tr := &track.Track{ID: id, Confirmed: true}
+		for f := lo; f <= hi; f++ {
+			tr.Observations = append(tr.Observations, track.Observation{
+				Frame: f, Centroid: geom.Pt(float64(f)*2, y),
+				MBR: geom.RectFromCenter(geom.Pt(float64(f)*2, y), 16, 9),
+			})
+		}
+		return tr
+	}
+	// Two lanes 30px apart, both fully covered twice (two "views").
+	frags := []*track.Track{
+		mk(0, 100, 0, 50), mk(1, 130, 0, 50),
+		mk(2, 100, 20, 70), mk(3, 130, 20, 70),
+	}
+	out := StitchTracks(frags, StitchOptions{})
+	if len(out) != 2 {
+		t.Fatalf("stitched %d trajectories, want 2 (one per lane)", len(out))
+	}
+	for _, tr := range out {
+		if tr.Start() != 0 || tr.End() != 70 {
+			t.Fatalf("trajectory spans [%d,%d], want [0,70]", tr.Start(), tr.End())
+		}
+		y := tr.Observations[0].Centroid.Y
+		for _, o := range tr.Observations {
+			if o.Centroid.Y != y {
+				t.Fatalf("lanes cross-merged: y %v and %v in one trajectory", y, o.Centroid.Y)
+			}
+		}
+	}
+	// Fragments sharing fewer than MinShared frames never merge.
+	apart := StitchTracks([]*track.Track{mk(0, 100, 0, 20), mk(1, 100, 19, 40)}, StitchOptions{MinShared: 3})
+	if len(apart) != 2 {
+		t.Fatalf("merged on %d shared frames despite MinShared=3", 2)
+	}
+}
+
+// TestStitchFillsHandoffGap: a frame gap between two views (no camera
+// covering frames 21-24) is bridged by interpolation, marked
+// Predicted, and the contiguity invariant holds.
+func TestStitchFillsHandoffGap(t *testing.T) {
+	a := &track.Track{ID: 0, Confirmed: true}
+	for f := 0; f <= 20; f++ {
+		a.Observations = append(a.Observations, track.Observation{Frame: f, Centroid: geom.Pt(float64(f)*2, 100)})
+	}
+	b := &track.Track{ID: 1, Confirmed: true}
+	for f := 25; f <= 40; f++ {
+		b.Observations = append(b.Observations, track.Observation{Frame: f, Centroid: geom.Pt(float64(f)*2, 100)})
+	}
+	// Share no frames: with MinShared they stay apart...
+	if out := StitchTracks([]*track.Track{a, b}, StitchOptions{}); len(out) != 2 {
+		t.Fatalf("gap fragments merged without shared-frame evidence: %d trajectories", len(out))
+	}
+	// ...but a bridging fragment that re-acquires after an occlusion
+	// (observed 18-20, lost 21-24, observed 25-27 — a tracker gap no
+	// view covers) merges all three into one trajectory whose missing
+	// interior frames are interpolated and marked Predicted.
+	c := &track.Track{ID: 2, Confirmed: true}
+	for f := 18; f <= 27; f++ {
+		if f >= 21 && f <= 24 {
+			continue
+		}
+		c.Observations = append(c.Observations, track.Observation{Frame: f, Centroid: geom.Pt(float64(f)*2, 100)})
+	}
+	out := StitchTracks([]*track.Track{a, b, c}, StitchOptions{})
+	if len(out) != 1 {
+		t.Fatalf("bridged fragments stitched into %d trajectories, want 1", len(out))
+	}
+	tr := out[0]
+	if tr.Start() != 0 || tr.End() != 40 {
+		t.Fatalf("stitched span [%d,%d], want [0,40]", tr.Start(), tr.End())
+	}
+	for f := 0; f <= 40; f++ {
+		o, ok := tr.At(f)
+		if !ok {
+			t.Fatalf("contiguity broken at frame %d", f)
+		}
+		if want := geom.Pt(float64(f)*2, 100); o.Centroid.Dist(want) > 1e-9 {
+			t.Fatalf("frame %d at %v, want %v", f, o.Centroid, want)
+		}
+		if gap := f >= 21 && f <= 24; o.Predicted != gap {
+			t.Fatalf("frame %d Predicted=%v, want %v (interpolated gap frames only)", f, o.Predicted, gap)
+		}
+		if math.IsNaN(o.Centroid.X) || math.IsNaN(o.Centroid.Y) {
+			t.Fatalf("NaN leaked into stitched observation at frame %d", f)
+		}
+	}
+}

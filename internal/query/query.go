@@ -257,6 +257,7 @@ func (s Sketch) Samples(rate int) ([]event.Sample, error) {
 		sample := event.Sample{Frame: f, Pos: p, MinDist: math.Inf(1)}
 		if !first {
 			sample.Motion = p.Sub(prevPos)
+			sample.MotionValid = true
 			sample.PrevMotion = prevMotion
 			sample.PrevValid = len(out) >= 2
 		}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package retbench
+
+// raceDetectorOn mirrors race_on_test.go; see there.
+const raceDetectorOn = false

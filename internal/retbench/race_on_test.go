@@ -1,0 +1,8 @@
+//go:build race
+
+package retbench
+
+// raceDetectorOn skips the hard tier under the race detector, where
+// its full vision-pipeline scenarios are 10–20× slower; the easy-tier
+// gates (recall floors, rank identity, golden report) still run.
+const raceDetectorOn = true

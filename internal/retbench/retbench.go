@@ -1,0 +1,311 @@
+// Package retbench is the graded incident-retrieval benchmark: a
+// seeded generator of labeled scenario suites plus a scorer that runs
+// them through the retrieval stack and reports recall@k and mAP per
+// incident type per difficulty tier.
+//
+// The paper validates retrieval on two proprietary clips (§6); the
+// simulator lets us go further and measure per-category quality on
+// worlds of controlled difficulty, SOVABench-style: each suite is a
+// set of seeded scenarios with exact ground-truth incident labels
+// carried from the simulator, each scenario is scored under one or
+// more categories of an eight-type incident taxonomy, and every
+// category is retrieved through its own event model by the same
+// MIL feedback protocol the paper uses. Scores gate CI: a retrieval
+// or indexing change that silently trades recall away fails the
+// pinned easy-tier floors.
+//
+// Three tiers grade difficulty:
+//
+//   - easy: sparse traffic, ground-truth tracks (no vision noise) —
+//     isolates the learning and ranking stages. This is the pinned
+//     CI tier.
+//   - medium: dense traffic with cross-category distractor incidents
+//     in every scene, still ground-truth tracks — stresses ranking
+//     under confusable events.
+//   - hard: the full vision pipeline over night-noise renders with
+//     fault injection (sensor noise, illumination drift, salt-and-
+//     pepper frames) — end-to-end quality under degraded input.
+//
+// One scenario per suite is multi-camera: two overlapping projective
+// views of one world are reconciled through homography normalization
+// and cross-camera stitching (the paper's §6.2 future work) before
+// retrieval runs on the merged trajectories.
+package retbench
+
+import (
+	"fmt"
+
+	"milvideo/internal/core"
+	"milvideo/internal/event"
+	"milvideo/internal/faults"
+	"milvideo/internal/geom"
+	"milvideo/internal/homography"
+	"milvideo/internal/sim"
+	"milvideo/internal/track"
+)
+
+// Category is one incident type of the benchmark taxonomy: the
+// ground-truth predicate selecting its incidents and the event model
+// retrieval ranks under when querying for it.
+type Category struct {
+	Name  string
+	Model event.Model
+	Match func(sim.IncidentType) bool
+}
+
+// Taxonomy returns the benchmark's eight categories — the paper's
+// four (accidents split from sudden stops, which get their own
+// model, plus speeding and U-turns) and the four added by this
+// benchmark. Note "accident" here means crash-type incidents only:
+// sudden stops are scored as their own category so a model that only
+// retrieves crashes cannot hide behind them.
+func Taxonomy() []Category {
+	is := func(want sim.IncidentType) func(sim.IncidentType) bool {
+		return func(t sim.IncidentType) bool { return t == want }
+	}
+	return []Category{
+		{Name: "accident", Model: event.AccidentModel{}, Match: func(t sim.IncidentType) bool {
+			return t == sim.WallCrash || t == sim.Collision
+		}},
+		{Name: "sudden-stop", Model: event.SuddenStopModel{}, Match: is(sim.SuddenStop)},
+		{Name: "speeding", Model: event.SpeedingModel{RefSpeed: 2.5}, Match: is(sim.Speeding)},
+		{Name: "u-turn", Model: event.UTurnModel{}, Match: is(sim.UTurn)},
+		{Name: "wrong-way", Model: event.WrongWayModel{}, Match: is(sim.WrongWay)},
+		{Name: "tailgating", Model: event.TailgateModel{}, Match: is(sim.Tailgate)},
+		{Name: "near-miss", Model: event.NearMissModel{}, Match: is(sim.NearMiss)},
+		{Name: "stalled", Model: event.StalledModel{}, Match: is(sim.Stalled)},
+	}
+}
+
+// CategoryByName returns the taxonomy entry with the given name.
+func CategoryByName(name string) (Category, error) {
+	for _, c := range Taxonomy() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Category{}, fmt.Errorf("retbench: unknown category %q", name)
+}
+
+// Scenario is one labeled world of a suite: the ground-truth scene,
+// the trajectories retrieval runs over (ground-truth, reconciled
+// multi-camera, or vision-pipeline output depending on tier), and the
+// category names scored on it.
+type Scenario struct {
+	Name       string
+	Source     string // "tunnel", "intersection" or "crosscam"
+	Scene      *sim.Scene
+	Tracks     []*track.Track
+	Categories []string
+}
+
+// Suite is a generated benchmark tier.
+type Suite struct {
+	Tier      string
+	Seed      int64
+	Scenarios []Scenario
+}
+
+// Tiers lists the difficulty tiers Generate accepts.
+func Tiers() []string { return []string{"easy", "medium", "hard"} }
+
+// Generate builds the seeded suite for a tier. The same (tier, seed)
+// always generates the identical suite: scenes, tracks and labels are
+// pure functions of the configuration.
+func Generate(tier string, seed int64) (*Suite, error) {
+	switch tier {
+	case "easy":
+		return generateKinematic(tier, seed, 160, false)
+	case "medium":
+		return generateKinematic(tier, seed, 45, true)
+	case "hard":
+		return generateHard(seed)
+	default:
+		return nil, fmt.Errorf("retbench: unknown tier %q (have %v)", tier, Tiers())
+	}
+}
+
+// scenarioFrames is the per-scenario clip length: long enough for
+// several incidents plus quiet stretches, short enough that a full
+// suite stays a test-sized workload.
+const scenarioFrames = 640
+
+// generateKinematic builds the ground-truth-track tiers. spawnEvery
+// sets the background traffic density (the medium tier's density
+// waves come from tight spawn intervals); distract adds confusable
+// incidents of other categories to every scene.
+func generateKinematic(tier string, seed int64, spawnEvery int, distract bool) (*Suite, error) {
+	d := func(n int) int {
+		if distract {
+			return n
+		}
+		return 0
+	}
+	type spec struct {
+		name       string
+		tunnel     *sim.TunnelConfig
+		inter      *sim.IntersectionConfig
+		crosscam   bool
+		categories []string
+	}
+	specs := []spec{
+		// The accident scene carries hard brakes even on easy — the
+		// phantom-stop distractor is the paper's core difficulty and
+		// removing it would benchmark a strawman.
+		{name: "accident", categories: []string{"accident"},
+			tunnel: &sim.TunnelConfig{WallCrash: 3, HardBrake: 2, Speeding: d(2), Tailgate: d(1)}},
+		{name: "sudden-stop", categories: []string{"sudden-stop"},
+			tunnel: &sim.TunnelConfig{SuddenStop: 3, HardBrake: d(2), Stalled: d(1)}},
+		{name: "speeding", categories: []string{"speeding"},
+			tunnel: &sim.TunnelConfig{Speeding: 3, WallCrash: d(1), NearMiss: d(1)}},
+		{name: "wrong-way", categories: []string{"wrong-way"},
+			tunnel: &sim.TunnelConfig{WrongWay: 3, Speeding: d(2), SuddenStop: d(1)}},
+		{name: "tailgating", categories: []string{"tailgating"},
+			tunnel: &sim.TunnelConfig{Tailgate: 3, Speeding: d(2), HardBrake: d(1)}},
+		{name: "near-miss", categories: []string{"near-miss"},
+			tunnel: &sim.TunnelConfig{NearMiss: 3, Speeding: d(2), Tailgate: d(1)}},
+		{name: "stalled", categories: []string{"stalled"},
+			tunnel: &sim.TunnelConfig{Stalled: 2, SuddenStop: d(1), HardBrake: d(1)}},
+		{name: "u-turn", categories: []string{"u-turn"},
+			inter: &sim.IntersectionConfig{UTurns: 3, Speeding: d(2), Collisions: d(1)}},
+		// The multi-camera scenario: two overlapping views of one
+		// intersection, reconciled into cross-camera trajectories.
+		{name: "crosscam", categories: []string{"accident", "u-turn"}, crosscam: true,
+			inter: &sim.IntersectionConfig{Collisions: 2, UTurns: 1, Speeding: d(1)}},
+	}
+	suite := &Suite{Tier: tier, Seed: seed}
+	for i, sp := range specs {
+		scenSeed := seed*100 + int64(i)
+		var scene *sim.Scene
+		var err error
+		source := "tunnel"
+		if sp.tunnel != nil {
+			cfg := *sp.tunnel
+			cfg.Seed, cfg.Frames, cfg.SpawnEvery = scenSeed, scenarioFrames, spawnEvery
+			scene, err = sim.Tunnel(cfg)
+		} else {
+			cfg := *sp.inter
+			cfg.Seed, cfg.Frames, cfg.SpawnEvery = scenSeed, scenarioFrames, spawnEvery
+			scene, err = sim.Intersection(cfg)
+			source = "intersection"
+		}
+		if err != nil {
+			return nil, fmt.Errorf("retbench: scenario %s: %w", sp.name, err)
+		}
+		tracks := track.FromScene(scene)
+		if sp.crosscam {
+			source = "crosscam"
+			tracks, err = reconcileTwoViews(tracks)
+			if err != nil {
+				return nil, fmt.Errorf("retbench: scenario %s: %w", sp.name, err)
+			}
+		}
+		suite.Scenarios = append(suite.Scenarios, Scenario{
+			Name: sp.name, Source: source, Scene: scene, Tracks: tracks,
+			Categories: sp.categories,
+		})
+	}
+	return suite, nil
+}
+
+// generateHard builds the vision-pipeline tier: night renders (low
+// shades, heavy sensor noise, illumination drift) with fault
+// injection, so tracks come from the real segment/track stages over
+// degraded pixels. A reduced scenario set keeps the tier a
+// minutes-not-hours workload.
+func generateHard(seed int64) (*Suite, error) {
+	type spec struct {
+		name       string
+		tunnel     sim.TunnelConfig
+		categories []string
+	}
+	specs := []spec{
+		{name: "accident-night", categories: []string{"accident"},
+			tunnel: sim.TunnelConfig{WallCrash: 3, HardBrake: 2, Speeding: 1}},
+		{name: "wrong-way-night", categories: []string{"wrong-way"},
+			tunnel: sim.TunnelConfig{WrongWay: 3, Speeding: 1}},
+		{name: "stalled-night", categories: []string{"stalled"},
+			tunnel: sim.TunnelConfig{Stalled: 2, HardBrake: 1}},
+	}
+	suite := &Suite{Tier: "hard", Seed: seed}
+	for i, sp := range specs {
+		scenSeed := seed*100 + int64(i)
+		cfg := sp.tunnel
+		cfg.Seed, cfg.Frames, cfg.SpawnEvery = scenSeed, scenarioFrames, 120
+		scene, err := sim.Tunnel(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("retbench: scenario %s: %w", sp.name, err)
+		}
+		pipe := core.DefaultConfig()
+		// Night with a drifting light source and a noisy sensor:
+		// occlusion-heavy contrast for the segmentation stage.
+		pipe.Render.NoiseAmp = 14
+		pipe.Render.LightDrift = 8
+		pipe.Render.RoadShade = 70
+		pipe.Render.WallShade = 30
+		pipe.Render.Seed = scenSeed
+		pipe.Faults = faults.New(faults.Config{
+			Seed:       scenSeed,
+			SaltPepper: 0.04,
+			FrameDrop:  0.01,
+		})
+		clip, err := core.ProcessScene(scene, pipe)
+		if err != nil {
+			return nil, fmt.Errorf("retbench: scenario %s: %w", sp.name, err)
+		}
+		suite.Scenarios = append(suite.Scenarios, Scenario{
+			Name: sp.name, Source: "tunnel", Scene: scene, Tracks: clip.Tracks,
+			Categories: sp.categories,
+		})
+	}
+	return suite, nil
+}
+
+// reconcileTwoViews runs the multi-camera path: ground-truth tracks
+// are observed by two overlapping projective cameras (west and east
+// halves of the road plane, 80px of shared coverage) and reconciled
+// back into cross-camera trajectories. What retrieval sees went
+// through a real world→image→world round trip and a stitch across
+// the handoff.
+func reconcileTwoViews(truth []*track.Track) ([]*track.Track, error) {
+	pose := func(region geom.Rect, dst [4]geom.Point) (homography.Homography, error) {
+		src := [4]geom.Point{
+			region.Min,
+			geom.Pt(region.Max.X, region.Min.Y),
+			region.Max,
+			geom.Pt(region.Min.X, region.Max.Y),
+		}
+		cs := make([]homography.Correspondence, 4)
+		for i := range src {
+			cs[i] = homography.Correspondence{Image: src[i], World: dst[i]}
+		}
+		return homography.Estimate(cs)
+	}
+	westRegion := geom.Rect{Min: geom.Pt(-60, -60), Max: geom.Pt(200, 300)}
+	eastRegion := geom.Rect{Min: geom.Pt(120, -60), Max: geom.Pt(380, 300)}
+	westPose, err := pose(westRegion, [4]geom.Point{
+		geom.Pt(8, 12), geom.Pt(630, 0), geom.Pt(618, 470), geom.Pt(0, 478),
+	})
+	if err != nil {
+		return nil, err
+	}
+	eastPose, err := pose(eastRegion, [4]geom.Point{
+		geom.Pt(0, 6), geom.Pt(638, 10), geom.Pt(628, 476), geom.Pt(6, 466),
+	})
+	if err != nil {
+		return nil, err
+	}
+	cams := []homography.Camera{
+		{Name: "west", Pose: westPose, Region: westRegion},
+		{Name: "east", Pose: eastPose, Region: eastRegion},
+	}
+	var views []homography.View
+	for _, cam := range cams {
+		v, err := cam.Observe(truth)
+		if err != nil {
+			return nil, err
+		}
+		views = append(views, v)
+	}
+	return homography.Reconcile(views, homography.StitchOptions{})
+}

@@ -1,0 +1,227 @@
+package retbench
+
+// The benchmark's own quality gates: the pinned easy tier must
+// retrieve every category nearly perfectly on the exactness paths,
+// the whole pipeline must be deterministic, and a golden report pins
+// the scores so drift fails `go test ./...` — not only the ci.sh
+// gate.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// pinnedSeed is the suite seed the CI gate and the golden test share.
+const pinnedSeed = 1
+
+// TestEasyTierRecallFloors is the acceptance gate: on the pinned easy
+// suite, recall@10 ≥ 0.9 for every one of the eight categories under
+// both the exact and the candidate C=N paths, with identical rankings
+// between the two, and no failed sessions.
+func TestEasyTierRecallFloors(t *testing.T) {
+	suite, err := Generate("easy", pinnedSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(suite, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedSessions != 0 {
+		t.Fatalf("%d failed sessions, want 0", rep.FailedSessions)
+	}
+	if !rep.RankIdentical {
+		t.Fatal("candidate C=N ranking diverged from exact — the exactness identity is broken")
+	}
+	if len(rep.Categories) != len(Taxonomy()) {
+		t.Fatalf("report covers %d categories, want %d", len(rep.Categories), len(Taxonomy()))
+	}
+	for _, cr := range rep.Categories {
+		for _, path := range []string{PathExact, PathCandidate} {
+			r, ok := cr.MinRecall[path]
+			if !ok {
+				t.Fatalf("category %s missing %s recall", cr.Name, path)
+			}
+			if r < 0.9 {
+				t.Fatalf("category %s %s recall@10 = %.3f, floor is 0.9", cr.Name, path, r)
+			}
+		}
+	}
+}
+
+// TestRunDeterministic: generating and running the same (tier, seed)
+// twice yields deeply equal reports — scene generation, cross-camera
+// reconciliation, windowing, indexing, MIL training and scoring are
+// all pure functions of the seed.
+func TestRunDeterministic(t *testing.T) {
+	reports := make([]*Report, 2)
+	for i := range reports {
+		suite, err := Generate("easy", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(suite, RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports[i] = rep
+	}
+	if !reflect.DeepEqual(reports[0], reports[1]) {
+		t.Fatal("same suite produced different reports")
+	}
+}
+
+// TestGoldenEasyReport pins the pinned suite's full report JSON. Any
+// drift in scenario content, feature models, ranking or scoring shows
+// up as a diff here. Regenerate deliberately with:
+//
+//	go test ./internal/retbench/ -run TestGoldenEasyReport -update
+func TestGoldenEasyReport(t *testing.T) {
+	suite, err := Generate("easy", pinnedSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(suite, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "golden_easy.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("easy-tier report drifted from golden %s.\nRe-run with -update if the change is intended.\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+// TestHardTierRuns pushes the hard tier — night rendering, sensor
+// noise and frame drops through the full vision pipeline — end to
+// end. Degradation is expected; silent emptiness is not: every
+// category must still retrieve something and the exactness identity
+// must survive the noisy features.
+func TestHardTierRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hard tier in -short mode")
+	}
+	if raceDetectorOn {
+		t.Skip("hard tier under the race detector (vision pipeline 10-20x slower)")
+	}
+	suite, err := Generate("hard", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Scenarios) == 0 {
+		t.Fatal("hard tier generated no scenarios")
+	}
+	for _, scen := range suite.Scenarios {
+		if len(scen.Tracks) == 0 {
+			t.Fatalf("hard scenario %s tracked nothing through the degraded pipeline", scen.Name)
+		}
+	}
+	rep, err := Run(suite, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedSessions != 0 {
+		t.Fatalf("%d failed sessions on hard", rep.FailedSessions)
+	}
+	if !rep.RankIdentical {
+		t.Fatal("exactness identity must hold regardless of tier")
+	}
+	for _, cr := range rep.Categories {
+		if cr.MinRecall[PathExact] <= 0 {
+			t.Fatalf("category %s retrieved nothing on hard", cr.Name)
+		}
+	}
+}
+
+// TestGenerateRejectsUnknownTier: the tier argument is validated.
+func TestGenerateRejectsUnknownTier(t *testing.T) {
+	if _, err := Generate("nightmare", 1); err == nil {
+		t.Fatal("Generate accepted an unknown tier")
+	}
+}
+
+// TestBuildEngineRejectsUnknownPath: the path argument is validated.
+func TestBuildEngineRejectsUnknownPath(t *testing.T) {
+	if _, err := buildEngine("teleport", "clip", nil, RunConfig{}.withDefaults()); err == nil {
+		t.Fatal("buildEngine accepted an unknown path")
+	}
+}
+
+// TestRunRejectsUnknownCategory: a suite naming a category outside
+// the taxonomy fails loudly instead of scoring nothing.
+func TestRunRejectsUnknownCategory(t *testing.T) {
+	suite, err := Generate("easy", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite.Scenarios[0].Categories = []string{"ufo-landing"}
+	if _, err := Run(suite, RunConfig{}); err == nil {
+		t.Fatal("Run accepted an unknown category")
+	}
+}
+
+func TestEqualInts(t *testing.T) {
+	if !equalInts([]int{1, 2}, []int{1, 2}) {
+		t.Fatal("equal slices reported unequal")
+	}
+	if equalInts([]int{1, 2}, []int{1}) {
+		t.Fatal("length mismatch reported equal")
+	}
+	if equalInts([]int{1, 2}, []int{1, 3}) {
+		t.Fatal("content mismatch reported equal")
+	}
+}
+
+// TestMediumTierRuns: the medium tier generates, runs, and degrades
+// gracefully rather than failing — scores exist for every category
+// and no session errors out.
+func TestMediumTierRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium tier in -short mode")
+	}
+	suite, err := Generate("medium", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(suite, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedSessions != 0 {
+		t.Fatalf("%d failed sessions on medium", rep.FailedSessions)
+	}
+	if !rep.RankIdentical {
+		t.Fatal("exactness identity must hold regardless of tier")
+	}
+	for _, cr := range rep.Categories {
+		if cr.MinRecall[PathExact] <= 0 {
+			t.Fatalf("category %s retrieved nothing on medium", cr.Name)
+		}
+	}
+}

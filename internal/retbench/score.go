@@ -1,0 +1,50 @@
+package retbench
+
+// Ranking quality measures. Rankings are permutations of database
+// positions; relevance is a position set derived from the scenario's
+// ground-truth oracle.
+
+// RecallAtK returns |relevant ∩ top-k| / min(|relevant|, k): the
+// fraction of the retrievable relevant set found in the first k
+// results. The min-denominator follows SOVABench-style evaluation —
+// when more than k items are relevant, a perfect system still fills
+// all k slots. Returns 0 when the relevant set is empty.
+func RecallAtK(ranking []int, relevant map[int]bool, k int) float64 {
+	if len(relevant) == 0 || k <= 0 {
+		return 0
+	}
+	if k > len(ranking) {
+		k = len(ranking)
+	}
+	hits := 0
+	for _, pos := range ranking[:k] {
+		if relevant[pos] {
+			hits++
+		}
+	}
+	denom := len(relevant)
+	if k < denom {
+		denom = k
+	}
+	return float64(hits) / float64(denom)
+}
+
+// MAP returns the average precision of the full ranking: the mean,
+// over relevant items, of the precision at each relevant item's rank.
+// (For a single query, average precision and mean average precision
+// coincide; the report averages these per category.) Returns 0 when
+// the relevant set is empty.
+func MAP(ranking []int, relevant map[int]bool) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	hits := 0
+	sum := 0.0
+	for i, pos := range ranking {
+		if relevant[pos] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	return sum / float64(len(relevant))
+}

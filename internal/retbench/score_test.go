@@ -1,0 +1,74 @@
+package retbench
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRecallAtK(t *testing.T) {
+	rel := map[int]bool{2: true, 5: true, 7: true}
+	ranking := []int{5, 0, 2, 1, 3, 7, 4, 6}
+	if got := RecallAtK(ranking, rel, 3); got != 2.0/3.0 {
+		t.Fatalf("recall@3 = %v, want 2/3", got)
+	}
+	if got := RecallAtK(ranking, rel, 8); got != 1 {
+		t.Fatalf("recall@8 = %v, want 1", got)
+	}
+	// More relevant than k: denominator is k, so a full top-k scores 1.
+	allRel := map[int]bool{5: true, 0: true, 2: true, 1: true}
+	if got := RecallAtK(ranking, allRel, 2); got != 1 {
+		t.Fatalf("recall@2 with 4 relevant = %v, want 1 (denominator min(|R|,k))", got)
+	}
+	// k beyond the ranking is clamped, not out-of-range.
+	if got := RecallAtK(ranking, rel, 100); got != 1 {
+		t.Fatalf("recall@100 = %v, want 1", got)
+	}
+	if got := RecallAtK(ranking, map[int]bool{}, 3); got != 0 {
+		t.Fatalf("empty relevant set scored %v, want 0", got)
+	}
+	if got := RecallAtK(ranking, rel, 0); got != 0 {
+		t.Fatalf("k=0 scored %v, want 0", got)
+	}
+}
+
+func TestMAP(t *testing.T) {
+	rel := map[int]bool{0: true, 2: true}
+	// Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+	if got, want := MAP([]int{0, 1, 2, 3}, rel), (1.0+2.0/3.0)/2; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MAP = %v, want %v", got, want)
+	}
+	// Perfect ranking: AP = 1.
+	if got := MAP([]int{0, 2, 1, 3}, rel); got != 1 {
+		t.Fatalf("perfect MAP = %v, want 1", got)
+	}
+	// A relevant item missing from the ranking still divides: AP < 1.
+	if got := MAP([]int{0, 1, 3}, rel); got != 0.5 {
+		t.Fatalf("truncated MAP = %v, want 0.5", got)
+	}
+	if got := MAP([]int{0, 1}, map[int]bool{}); got != 0 {
+		t.Fatalf("empty relevant MAP = %v, want 0", got)
+	}
+}
+
+func TestTaxonomyCoversEightCategories(t *testing.T) {
+	cats := Taxonomy()
+	if len(cats) != 8 {
+		t.Fatalf("taxonomy has %d categories, want 8", len(cats))
+	}
+	seen := map[string]bool{}
+	for _, c := range cats {
+		if seen[c.Name] {
+			t.Fatalf("duplicate category %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Model == nil || c.Match == nil {
+			t.Fatalf("category %q missing model or predicate", c.Name)
+		}
+		if _, err := CategoryByName(c.Name); err != nil {
+			t.Fatalf("CategoryByName(%q): %v", c.Name, err)
+		}
+	}
+	if _, err := CategoryByName("no-such"); err == nil {
+		t.Fatal("CategoryByName accepted an unknown name")
+	}
+}

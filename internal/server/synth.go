@@ -131,13 +131,14 @@ func annotateKinematics(vss []window.VS) {
 		out := make([]event.Sample, 0, len(pos)-2)
 		for i := 2; i < len(pos); i++ {
 			out = append(out, event.Sample{
-				Frame:      startFrame + (i-2)*5,
-				Pos:        pos[i],
-				Motion:     pos[i].Sub(pos[i-1]),
-				PrevMotion: pos[i-1].Sub(pos[i-2]),
-				PrevValid:  true,
-				MinDist:    math.Inf(1),
-				Area:       area,
+				Frame:       startFrame + (i-2)*5,
+				Pos:         pos[i],
+				Motion:      pos[i].Sub(pos[i-1]),
+				MotionValid: true,
+				PrevMotion:  pos[i-1].Sub(pos[i-2]),
+				PrevValid:   true,
+				MinDist:     math.Inf(1),
+				Area:        area,
 			})
 		}
 		return out

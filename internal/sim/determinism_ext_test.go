@@ -1,0 +1,116 @@
+package sim_test
+
+// Byte-identity determinism properties for the scenario generators,
+// in an external test package so they can use testkit (which imports
+// sim). reflect.DeepEqual-style checks live with the generators;
+// these go further — gob byte identity over the full scene, the
+// retbench taxonomy configurations included — and run under -race in
+// CI.
+
+import (
+	"bytes"
+	"testing"
+
+	"milvideo/internal/sim"
+	"milvideo/internal/testkit"
+)
+
+// TestTunnelSceneSignatureStable: every tunnel configuration carrying
+// the new taxonomy spawners regenerates byte-identically from its
+// seed.
+func TestTunnelSceneSignatureStable(t *testing.T) {
+	configs := []sim.TunnelConfig{
+		{Seed: 1, Frames: 300, SpawnEvery: 60, WrongWay: 2},
+		{Seed: 2, Frames: 300, SpawnEvery: 60, Tailgate: 2},
+		{Seed: 3, Frames: 300, SpawnEvery: 60, NearMiss: 2},
+		{Seed: 4, Frames: 300, SpawnEvery: 60, Stalled: 2},
+		{Seed: 5, Frames: 400, SpawnEvery: 40,
+			WallCrash: 1, SuddenStop: 1, Speeding: 1, HardBrake: 1,
+			WrongWay: 1, Tailgate: 1, NearMiss: 1, Stalled: 1},
+	}
+	for _, cfg := range configs {
+		sigs := make([][]byte, 2)
+		for i := range sigs {
+			s, err := sim.Tunnel(cfg)
+			if err != nil {
+				t.Fatalf("%+v: %v", cfg, err)
+			}
+			sig, err := testkit.SceneSignature(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sigs[i] = sig
+		}
+		if !bytes.Equal(sigs[0], sigs[1]) {
+			t.Fatalf("tunnel %+v: same seed, different scene bytes", cfg)
+		}
+	}
+}
+
+// TestIntersectionSceneSignatureStable: same property for the
+// intersection generator's taxonomy configurations.
+func TestIntersectionSceneSignatureStable(t *testing.T) {
+	configs := []sim.IntersectionConfig{
+		{Seed: 1, Frames: 300, SpawnEvery: 50, WrongWay: 2},
+		{Seed: 2, Frames: 300, SpawnEvery: 50, Tailgate: 2},
+		{Seed: 3, Frames: 300, SpawnEvery: 50, NearMiss: 2},
+		{Seed: 4, Frames: 300, SpawnEvery: 50, Stalled: 2},
+		{Seed: 5, Frames: 400, SpawnEvery: 40,
+			Collisions: 1, UTurns: 1, Speeding: 1,
+			WrongWay: 1, Tailgate: 1, NearMiss: 1, Stalled: 1},
+	}
+	for _, cfg := range configs {
+		sigs := make([][]byte, 2)
+		for i := range sigs {
+			s, err := sim.Intersection(cfg)
+			if err != nil {
+				t.Fatalf("%+v: %v", cfg, err)
+			}
+			sig, err := testkit.SceneSignature(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sigs[i] = sig
+		}
+		if !bytes.Equal(sigs[0], sigs[1]) {
+			t.Fatalf("intersection %+v: same seed, different scene bytes", cfg)
+		}
+	}
+}
+
+// TestTaxonomyAddsIncidentsNotNoise: adding taxonomy incidents to a
+// base configuration leaves the background-traffic RNG stream alone —
+// the base scene's vehicles reappear in the extended scene with the
+// same IDs, classes and spawn kinematics (the taxonomy spawners only
+// append new actors and draw their randomness at their own spawn
+// frames).
+func TestTaxonomyAddsIncidentsNotNoise(t *testing.T) {
+	base, err := sim.Tunnel(sim.TunnelConfig{Seed: 9, Frames: 350, SpawnEvery: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := sim.Tunnel(sim.TunnelConfig{Seed: 9, Frames: 350, SpawnEvery: 50, WrongWay: 1, Stalled: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.VehicleCount() <= base.VehicleCount() {
+		t.Fatalf("extended scene has %d vehicles, base %d — taxonomy spawners added nothing",
+			ext.VehicleCount(), base.VehicleCount())
+	}
+	// The background spawn schedule draws from the same RNG stream in
+	// the same order, so frame 0..first-incident-frame kinematics of
+	// base vehicles must coincide.
+	for f := 0; f < 10; f++ {
+		bf, ef := base.Frames[f], ext.Frames[f]
+		if len(bf.Vehicles) != len(ef.Vehicles) {
+			t.Fatalf("frame %d: base %d vehicles, extended %d — background schedule disturbed",
+				f, len(bf.Vehicles), len(ef.Vehicles))
+		}
+		for i := range bf.Vehicles {
+			if bf.Vehicles[i] != ef.Vehicles[i] {
+				t.Fatalf("frame %d vehicle %d diverged: %+v vs %+v",
+					f, i, bf.Vehicles[i], ef.Vehicles[i])
+			}
+		}
+	}
+}

@@ -29,7 +29,17 @@ type TunnelConfig struct {
 	// negatives that give the initial heuristic its realistic error
 	// rate (a single-point velocity spike without an accident).
 	HardBrake int
-	FPS       float64
+	// WrongWay, Tailgate, NearMiss and Stalled count the retbench
+	// taxonomy's additional incident kinds (all default 0, which
+	// leaves historical scenes byte-identical): wrong-way transits
+	// against the flow, glued-to-the-leader following, overtake
+	// swerves that miss by a hair, and engine-failure stops in a live
+	// lane.
+	WrongWay int
+	Tailgate int
+	NearMiss int
+	Stalled  int
+	FPS      float64
 }
 
 // DefaultTunnel returns the configuration used by the paper-scale
@@ -75,36 +85,18 @@ func Tunnel(cfg TunnelConfig) (*Scene, error) {
 
 	// Schedule: normal spawns at jittered intervals, incident vehicles
 	// at evenly spread trigger frames.
-	type spawnEvent struct {
-		frame int
-		kind  string // "normal", "wallcrash", "suddenstop", "speeding"
-	}
-	var schedule []spawnEvent
-	for f := 5; f < cfg.Frames; {
-		schedule = append(schedule, spawnEvent{frame: f, kind: "normal"})
-		// Always advance at least one frame: SpawnEvery 1 would
-		// otherwise jitter to a zero step and loop forever.
-		step := cfg.SpawnEvery/2 + w.rng.Intn(cfg.SpawnEvery)
-		if step < 1 {
-			step = 1
-		}
-		f += step
-	}
+	schedule := appendJitterSpawns(nil, w.rng, 5, cfg.Frames, cfg.SpawnEvery, 0)
 	spread := func(n int, kind string, phase float64) {
-		for i := 0; i < n; i++ {
-			// Spread across the clip, offset by phase so different
-			// incident kinds do not collide on the same frame.
-			f := int((float64(i) + phase) / float64(n) * float64(cfg.Frames) * 0.85)
-			if f < 10 {
-				f = 10
-			}
-			schedule = append(schedule, spawnEvent{frame: f, kind: kind})
-		}
+		schedule = appendSpreadSpawns(schedule, n, kind, phase, n, 0.85, 10, cfg.Frames)
 	}
 	spread(cfg.WallCrash, "wallcrash", 0.35)
 	spread(cfg.SuddenStop, "suddenstop", 0.65)
 	spread(cfg.Speeding, "speeding", 0.85)
 	spread(cfg.HardBrake, "hardbrake", 0.15)
+	spread(cfg.WrongWay, "wrongway", 0.5)
+	spread(cfg.Tailgate, "tailgate", 0.25)
+	spread(cfg.NearMiss, "nearmiss", 0.75)
+	spread(cfg.Stalled, "stalled", 0.45)
 
 	lane := func() float64 {
 		if w.rng.Float64() < 0.5 {
@@ -113,44 +105,45 @@ func Tunnel(cfg TunnelConfig) (*Scene, error) {
 		return laneBottom
 	}
 
-	frames := make([]FrameState, 0, cfg.Frames)
-	for f := 0; f < cfg.Frames; f++ {
-		for _, ev := range schedule {
-			if ev.frame != f {
-				continue
-			}
-			switch ev.kind {
-			case "normal":
-				speed := 2.0 + w.rng.Float64()*1.0
-				w.spawn(&actor{
-					class:  pickClass(w.rng),
-					pos:    geom.Pt(-15, lane()+w.rng.Float64()*4-2),
-					vel:    east.Scale(speed),
-					shade:  pickShade(w.rng),
-					update: cruise(speed, east, off),
-				})
-			case "speeding":
-				speed := 4.8 + w.rng.Float64()*0.8
-				w.spawn(&actor{
-					class:  Car,
-					pos:    geom.Pt(-15, lane()),
-					vel:    east.Scale(speed),
-					shade:  pickShade(w.rng),
-					update: cruise(speed, east, off),
-				})
-				// Speeding is abnormal for the whole transit.
-				transit := int(float64(SceneW+30) / speed)
-				w.record(Speeding, f, f+transit, w.nextID-1)
-			case "wallcrash":
-				spawnWallCrash(w, off, wallTopY, wallBotY, lane())
-			case "suddenstop":
-				spawnSuddenStop(w, off, lane())
-			case "hardbrake":
-				spawnHardBrake(w, off, lane())
-			}
+	frames := runSchedule(w, cfg.Frames, schedule, func(ev spawnEvent) {
+		switch ev.kind {
+		case "normal":
+			speed := 2.0 + w.rng.Float64()*1.0
+			w.spawn(&actor{
+				class:  pickClass(w.rng),
+				pos:    geom.Pt(-15, lane()+w.rng.Float64()*4-2),
+				vel:    east.Scale(speed),
+				shade:  pickShade(w.rng),
+				update: cruise(speed, east, off),
+			})
+		case "speeding":
+			speed := 4.8 + w.rng.Float64()*0.8
+			w.spawn(&actor{
+				class:  Car,
+				pos:    geom.Pt(-15, lane()),
+				vel:    east.Scale(speed),
+				shade:  pickShade(w.rng),
+				update: cruise(speed, east, off),
+			})
+			// Speeding is abnormal for the whole transit.
+			transit := int(float64(SceneW+30) / speed)
+			w.record(Speeding, w.frame, w.frame+transit, w.nextID-1)
+		case "wallcrash":
+			spawnWallCrash(w, off, wallTopY, wallBotY, lane())
+		case "suddenstop":
+			spawnSuddenStop(w, off, lane())
+		case "hardbrake":
+			spawnHardBrake(w, off, lane())
+		case "wrongway":
+			spawnWrongWay(w, off, lane())
+		case "tailgate":
+			spawnTailgate(w, off, lane())
+		case "nearmiss":
+			spawnNearMiss(w, off, lane())
+		case "stalled":
+			spawnStalled(w, off, lane())
 		}
-		frames = append(frames, w.step())
-	}
+	})
 
 	s := &Scene{
 		Name: "tunnel",
@@ -334,7 +327,16 @@ type IntersectionConfig struct {
 	Collisions int // number of two-vehicle collision incidents
 	UTurns     int // number of U-turn (non-accident) events
 	Speeding   int // number of speeding (non-accident) distractors
-	FPS        float64
+	// WrongWay, Tailgate, NearMiss and Stalled mirror the tunnel's
+	// additional incident kinds (all default 0, keeping historical
+	// scenes byte-identical). Near misses here are crossing-geometry:
+	// a red-light runner threading the box just ahead of cross
+	// traffic.
+	WrongWay int
+	Tailgate int
+	NearMiss int
+	Stalled  int
+	FPS      float64
 }
 
 // DefaultIntersection returns the paper-scale configuration: the
@@ -400,73 +402,60 @@ func Intersection(cfg IntersectionConfig) (*Scene, error) {
 		{geom.Pt(northX, SceneH+15), geom.V(0, -1), func(p geom.Point) float64 { return p.Y - (boxY1 + 6) }, vGreen},
 	}
 
-	type spawnEvent struct {
-		frame    int
-		kind     string
-		approach int
-	}
 	var schedule []spawnEvent
 	for ai := range approaches {
-		for f := 3 + w.rng.Intn(cfg.SpawnEvery); f < cfg.Frames; {
-			schedule = append(schedule, spawnEvent{frame: f, kind: "normal", approach: ai})
-			// Always advance at least one frame (see Tunnel).
-			step := cfg.SpawnEvery/2 + w.rng.Intn(cfg.SpawnEvery)
-			if step < 1 {
-				step = 1
-			}
-			f += step
-		}
+		schedule = appendJitterSpawns(schedule, w.rng, 3+w.rng.Intn(cfg.SpawnEvery), cfg.Frames, cfg.SpawnEvery, ai)
 	}
-	for i := 0; i < cfg.Collisions; i++ {
-		f := int(float64(i+1) / float64(cfg.Collisions+1) * float64(cfg.Frames) * 0.9)
-		schedule = append(schedule, spawnEvent{frame: f, kind: "collision"})
-	}
-	for i := 0; i < cfg.UTurns; i++ {
-		f := int((float64(i) + 0.4) / float64(cfg.UTurns) * float64(cfg.Frames) * 0.8)
-		schedule = append(schedule, spawnEvent{frame: f, kind: "uturn"})
-	}
-	for i := 0; i < cfg.Speeding; i++ {
-		f := int((float64(i) + 0.7) / float64(cfg.Speeding) * float64(cfg.Frames) * 0.8)
-		schedule = append(schedule, spawnEvent{frame: f, kind: "speeding"})
-	}
+	schedule = appendSpreadSpawns(schedule, cfg.Collisions, "collision", 1, cfg.Collisions+1, 0.9, 0, cfg.Frames)
+	schedule = appendSpreadSpawns(schedule, cfg.UTurns, "uturn", 0.4, cfg.UTurns, 0.8, 0, cfg.Frames)
+	schedule = appendSpreadSpawns(schedule, cfg.Speeding, "speeding", 0.7, cfg.Speeding, 0.8, 0, cfg.Frames)
+	schedule = appendSpreadSpawns(schedule, cfg.WrongWay, "wrongway", 0.15, cfg.WrongWay, 0.8, 10, cfg.Frames)
+	schedule = appendSpreadSpawns(schedule, cfg.Tailgate, "tailgate", 0.55, cfg.Tailgate, 0.8, 10, cfg.Frames)
+	schedule = appendSpreadSpawns(schedule, cfg.NearMiss, "nearmiss", 0.3, cfg.NearMiss, 0.8, 10, cfg.Frames)
+	schedule = appendSpreadSpawns(schedule, cfg.Stalled, "stalled", 0.85, cfg.Stalled, 0.8, 10, cfg.Frames)
 
-	frames := make([]FrameState, 0, cfg.Frames)
-	for f := 0; f < cfg.Frames; f++ {
-		for _, ev := range schedule {
-			if ev.frame != f {
-				continue
-			}
-			switch ev.kind {
-			case "normal":
-				ap := approaches[ev.approach]
-				speed := 2.0 + w.rng.Float64()*0.8
-				w.spawn(&actor{
-					class:  pickClass(w.rng),
-					pos:    ap.start,
-					vel:    ap.heading.Scale(speed),
-					shade:  pickShade(w.rng),
-					update: signalCruise(speed, ap.heading, off, ap.stop, ap.green),
-				})
-			case "collision":
-				spawnCollision(w, off, eastY, southX, geom.Pt((boxX0+boxX1)/2, (boxY0+boxY1)/2))
-			case "uturn":
-				spawnUTurn(w, off, eastY)
-			case "speeding":
-				ap := approaches[0]
-				speed := 5.0 + w.rng.Float64()*0.8
-				w.spawn(&actor{
-					class:  Car,
-					pos:    ap.start,
-					vel:    ap.heading.Scale(speed),
-					shade:  pickShade(w.rng),
-					update: cruise(speed, ap.heading, off), // ignores the light
-				})
-				transit := int(float64(SceneW+30) / speed)
-				w.record(Speeding, f, f+transit, w.nextID-1)
-			}
+	frames := runSchedule(w, cfg.Frames, schedule, func(ev spawnEvent) {
+		switch ev.kind {
+		case "normal":
+			ap := approaches[ev.approach]
+			speed := 2.0 + w.rng.Float64()*0.8
+			w.spawn(&actor{
+				class:  pickClass(w.rng),
+				pos:    ap.start,
+				vel:    ap.heading.Scale(speed),
+				shade:  pickShade(w.rng),
+				update: signalCruise(speed, ap.heading, off, ap.stop, ap.green),
+			})
+		case "collision":
+			spawnCollision(w, off, eastY, southX, geom.Pt((boxX0+boxX1)/2, (boxY0+boxY1)/2))
+		case "uturn":
+			spawnUTurn(w, off, eastY)
+		case "speeding":
+			ap := approaches[0]
+			speed := 5.0 + w.rng.Float64()*0.8
+			w.spawn(&actor{
+				class:  Car,
+				pos:    ap.start,
+				vel:    ap.heading.Scale(speed),
+				shade:  pickShade(w.rng),
+				update: cruise(speed, ap.heading, off), // ignores the light
+			})
+			transit := int(float64(SceneW+30) / speed)
+			w.record(Speeding, w.frame, w.frame+transit, w.nextID-1)
+		case "wrongway":
+			// Against the eastbound lane, entering from the east edge.
+			spawnWrongWay(w, off, eastY)
+		case "tailgate":
+			// A glued pair running the eastbound approach.
+			spawnTailgate(w, off, eastY)
+		case "nearmiss":
+			spawnNearMissCross(w, off, eastY, southX, geom.Pt((boxX0+boxX1)/2, (boxY0+boxY1)/2))
+		case "stalled":
+			// Engine failure on the eastbound lane at (or short of) the
+			// box.
+			spawnStalled(w, off, eastY)
 		}
-		frames = append(frames, w.step())
-	}
+	})
 
 	s := &Scene{
 		Name: "intersection",

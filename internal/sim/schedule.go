@@ -1,0 +1,71 @@
+package sim
+
+import "math/rand"
+
+// spawnEvent is one scheduled actor entry: the frame it fires on, the
+// kind of maneuver it spawns, and (for the intersection) the approach
+// it arrives from. Both scenario generators build a schedule of these
+// up front and then replay it through runSchedule, so the per-world
+// RNG stream is consumed in one deterministic order: schedule
+// construction first, spawn-time draws second, strictly by frame.
+type spawnEvent struct {
+	frame    int
+	kind     string
+	approach int
+}
+
+// appendJitterSpawns schedules background-traffic spawns at jittered
+// intervals: the first at frame `first`, each next one `every/2 +
+// rand(every)` frames later. The step is clamped to at least one
+// frame — SpawnEvery 1 would otherwise jitter to a zero step and loop
+// forever (the PR 5 fix, now shared by both worlds). The caller draws
+// `first` itself when it is random (the intersection staggers its
+// approaches), which keeps the RNG call order identical to the
+// historical per-world loops.
+func appendJitterSpawns(sched []spawnEvent, rng *rand.Rand, first, frames, every, approach int) []spawnEvent {
+	for f := first; f < frames; {
+		sched = append(sched, spawnEvent{frame: f, kind: "normal", approach: approach})
+		step := every/2 + rng.Intn(every)
+		if step < 1 {
+			step = 1
+		}
+		f += step
+	}
+	return sched
+}
+
+// appendSpreadSpawns schedules n incident spawns of one kind at
+// evenly spread trigger frames: spawn i fires at
+// ((i+phase)/den)·frames·span, clamped to at least minFrame. Distinct
+// phases keep different incident kinds off the same frame. It draws
+// no randomness, so adding kinds with n = 0 leaves existing scenes
+// byte-identical.
+func appendSpreadSpawns(sched []spawnEvent, n int, kind string, phase float64, den int, span float64, minFrame, frames int) []spawnEvent {
+	for i := 0; i < n; i++ {
+		f := int((float64(i) + phase) / float64(den) * float64(frames) * span)
+		if f < minFrame {
+			f = minFrame
+		}
+		sched = append(sched, spawnEvent{frame: f, kind: kind})
+	}
+	return sched
+}
+
+// runSchedule replays a spawn schedule through the world: at every
+// frame it fires the due events (in schedule order — the order they
+// were appended) and then steps the world, returning the per-frame
+// ground-truth states. spawn receives each due event with w.frame
+// equal to the event's frame.
+func runSchedule(w *world, frames int, schedule []spawnEvent, spawn func(ev spawnEvent)) []FrameState {
+	out := make([]FrameState, 0, frames)
+	for f := 0; f < frames; f++ {
+		for _, ev := range schedule {
+			if ev.frame != f {
+				continue
+			}
+			spawn(ev)
+		}
+		out = append(out, w.step())
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package sim
+
+// Tests for the shared spawn-schedule helpers that both scenario
+// generators are built on: jitter-interval termination (including the
+// SpawnEvery=1 edge case fixed in PR 5, now covered at the helper
+// level), the determinism of the spread formula, and the fire-order
+// guarantees of runSchedule.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestJitterSpawnsSpawnEveryOne: with SpawnEvery=1 the jitter formula
+// every/2 + rand(every) can produce a zero step; the helper must clamp
+// it to one frame per spawn and terminate rather than loop forever.
+func TestJitterSpawnsSpawnEveryOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sched := appendJitterSpawns(nil, rng, 0, 50, 1, 0)
+	if len(sched) != 50 {
+		t.Fatalf("SpawnEvery=1 scheduled %d spawns over 50 frames, want one per frame", len(sched))
+	}
+	for i, ev := range sched {
+		if ev.frame != i {
+			t.Fatalf("spawn %d scheduled at frame %d, want strictly advancing by 1", i, ev.frame)
+		}
+		if ev.kind != "normal" {
+			t.Fatalf("jitter spawns must be background traffic, got kind %q", ev.kind)
+		}
+	}
+}
+
+// TestJitterSpawnsRespectsFirstAndBounds: the first spawn lands
+// exactly on the caller's frame, every later one strictly after it,
+// and none at or past the clip end.
+func TestJitterSpawnsRespectsFirstAndBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sched := appendJitterSpawns(nil, rng, 7, 200, 40, 2)
+	if len(sched) == 0 || sched[0].frame != 7 {
+		t.Fatalf("first spawn at %v, want frame 7", sched)
+	}
+	prev := -1
+	for _, ev := range sched {
+		if ev.frame <= prev {
+			t.Fatalf("spawn frames must strictly increase, got %d after %d", ev.frame, prev)
+		}
+		if ev.frame >= 200 {
+			t.Fatalf("spawn scheduled at frame %d, past the %d-frame clip", ev.frame, 200)
+		}
+		if ev.approach != 2 {
+			t.Fatalf("approach not threaded through: got %d, want 2", ev.approach)
+		}
+		prev = ev.frame
+	}
+}
+
+// TestSpreadSpawnsFormula: the spread formula is pure arithmetic — no
+// RNG — so two calls agree exactly, the minFrame clamp holds, and
+// trigger frames are non-decreasing in i.
+func TestSpreadSpawnsFormula(t *testing.T) {
+	a := appendSpreadSpawns(nil, 4, "stalled", 0.45, 4, 0.85, 10, 600)
+	b := appendSpreadSpawns(nil, 4, "stalled", 0.45, 4, 0.85, 10, 600)
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("want 4 spawns, got %d and %d", len(a), len(b))
+	}
+	prev := -1
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("spread schedule not deterministic: %v vs %v", a[i], b[i])
+		}
+		if a[i].frame < 10 {
+			t.Fatalf("spawn %d at frame %d violates minFrame 10", i, a[i].frame)
+		}
+		if a[i].frame < prev {
+			t.Fatalf("spread frames must be non-decreasing, got %d after %d", a[i].frame, prev)
+		}
+		if a[i].kind != "stalled" {
+			t.Fatalf("kind not threaded through: %q", a[i].kind)
+		}
+		prev = a[i].frame
+	}
+	// Zero-count kinds contribute nothing (and draw nothing), which is
+	// what keeps historical scenes byte-identical.
+	if got := appendSpreadSpawns(nil, 0, "x", 0.5, 1, 0.8, 0, 600); len(got) != 0 {
+		t.Fatalf("n=0 scheduled %d spawns, want none", len(got))
+	}
+}
+
+// TestRunScheduleFireOrder: events due on the same frame fire in
+// append order, each spawn sees w.frame equal to its scheduled frame,
+// and the world steps exactly once per frame.
+func TestRunScheduleFireOrder(t *testing.T) {
+	w := newWorld(SceneW, SceneH, 1)
+	sched := []spawnEvent{
+		{frame: 2, kind: "a"},
+		{frame: 0, kind: "b"},
+		{frame: 2, kind: "c"},
+	}
+	var fired []string
+	frames := runSchedule(w, 4, sched, func(ev spawnEvent) {
+		fired = append(fired, ev.kind)
+		if w.frame != ev.frame {
+			t.Fatalf("spawn %q saw w.frame=%d, want %d", ev.kind, w.frame, ev.frame)
+		}
+	})
+	want := []string{"b", "a", "c"}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v (append order within a frame)", fired, want)
+		}
+	}
+	if len(frames) != 4 {
+		t.Fatalf("runSchedule produced %d frames, want 4", len(frames))
+	}
+	for i, f := range frames {
+		if f.Index != i {
+			t.Fatalf("frame %d has index %d", i, f.Index)
+		}
+	}
+}

@@ -81,6 +81,20 @@ const (
 	// (the paper's initial heuristic confuses them) but not an
 	// accident: the vehicle drives on within a couple of seconds.
 	HardBrake
+	// WrongWay is a vehicle traveling against the nominal flow of its
+	// lane for its whole transit.
+	WrongWay
+	// Tailgate is a vehicle gluing itself to its leader at an unsafe
+	// following distance for the whole transit.
+	Tailgate
+	// NearMiss is two vehicles passing within a hair of a collision —
+	// an overtake swerve in the tunnel, a red-light runner missing a
+	// crossing car at the intersection — without contact.
+	NearMiss
+	// Stalled is a vehicle coasting to a dead stop in a live lane
+	// (engine failure: a gentle deceleration, not a braking spike) and
+	// blocking traffic until towed.
+	Stalled
 )
 
 // String implements fmt.Stringer.
@@ -98,6 +112,14 @@ func (t IncidentType) String() string {
 		return "speeding"
 	case HardBrake:
 		return "hard-brake"
+	case WrongWay:
+		return "wrong-way"
+	case Tailgate:
+		return "tailgating"
+	case NearMiss:
+		return "near-miss"
+	case Stalled:
+		return "stalled"
 	default:
 		return fmt.Sprintf("incident(%d)", int(t))
 	}

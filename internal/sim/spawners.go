@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"math"
+
+	"milvideo/internal/geom"
+)
+
+// This file holds the spawners for the retbench taxonomy's additional
+// incident kinds. All of them are shared by the tunnel and the
+// intersection: the maneuvers are lane-local (a lane center y is their
+// only geometric input), except the crossing-geometry near miss, which
+// is intersection-specific. Like the original spawners, every one
+// draws its randomness from the world RNG at spawn time only, so
+// configurations that schedule zero of them leave the RNG stream — and
+// therefore existing scenes — byte-identical.
+
+// spawnWrongWay creates a vehicle entering at the east edge and
+// driving west against the lane's nominal eastbound flow. It is
+// scripted straight (a wrong-way driver does not yield to oncoming
+// traffic), so its transit time — and the recorded incident interval —
+// is exact.
+func spawnWrongWay(w *world, off geom.Rect, laneY float64) {
+	speed := 2.4 + w.rng.Float64()*0.6
+	a := w.spawn(&actor{
+		class: pickClass(w.rng),
+		pos:   geom.Pt(SceneW+15, laneY),
+		vel:   geom.V(-speed, 0),
+		shade: pickShade(w.rng),
+		update: func(a *actor, wd *world) {
+			a.pos = a.pos.Add(a.vel)
+			if !off.Contains(a.pos) {
+				a.done = true
+			}
+		},
+	})
+	transit := int(float64(SceneW+30) / speed)
+	w.record(WrongWay, w.frame, w.frame+transit, a.id)
+}
+
+// spawnTailgate creates a leader–follower pair: the leader cruises
+// normally while the follower glues itself to the leader's bumper at
+// an unsafe gap (a third of the car-following equilibrium) for the
+// whole transit.
+func spawnTailgate(w *world, off geom.Rect, laneY float64) {
+	speed := 2.4 + w.rng.Float64()*0.4
+	gap := 11 + w.rng.Float64()*3
+	east := geom.V(1, 0)
+	lead := w.spawn(&actor{
+		class:  pickClass(w.rng),
+		pos:    geom.Pt(-15, laneY),
+		vel:    east.Scale(speed),
+		shade:  pickShade(w.rng),
+		update: cruise(speed, east, off),
+	})
+	tail := w.spawn(&actor{
+		class: Car,
+		pos:   geom.Pt(-15-gap, laneY),
+		vel:   east.Scale(speed),
+		shade: pickShade(w.rng),
+	})
+	// The leader updates first (spawn order), so gluing to its
+	// current position keeps the gap exact every frame.
+	tail.update = func(a *actor, wd *world) {
+		if lead.done {
+			a.pos = a.pos.Add(a.vel)
+		} else {
+			a.pos = geom.Pt(lead.pos.X-gap, lead.pos.Y)
+			a.vel = lead.vel
+		}
+		if !off.Contains(a.pos) {
+			a.done = true
+		}
+	}
+	transit := int((float64(SceneW+30) + gap) / speed)
+	w.record(Tailgate, w.frame, w.frame+transit, lead.id, tail.id)
+}
+
+// spawnNearMiss creates an overtake near miss: a slow vehicle holds
+// the lane while a much faster one approaches from behind, swerves
+// out at the last moment, passes within a few pixels of lateral
+// clearance and swerves back — no contact, but closing speed and
+// clearance a hair from a collision.
+func spawnNearMiss(w *world, off geom.Rect, laneY float64) {
+	slow := 1.6
+	fast := 4.4 + w.rng.Float64()*0.4
+	// Swerve toward the tunnel/road center, away from the nearer wall.
+	dir := 1.0
+	if laneY > 120 {
+		dir = -1
+	}
+	// Lateral offset at the closest approach: just past the worst-case
+	// sum of MBR half-heights (truck 6.5 + car 4.5), so the pass is as
+	// close as the geometry allows without contact.
+	const clearance = 14.0
+	slowA := w.spawn(&actor{
+		class: pickClass(w.rng),
+		pos:   geom.Pt(60, laneY),
+		vel:   geom.V(slow, 0),
+		shade: pickShade(w.rng),
+		update: func(a *actor, wd *world) {
+			a.pos = a.pos.Add(a.vel)
+			if !off.Contains(a.pos) {
+				a.done = true
+			}
+		},
+	})
+	phase := 0
+	fastA := w.spawn(&actor{
+		class: Car,
+		pos:   geom.Pt(-15, laneY),
+		vel:   geom.V(fast, 0),
+		shade: pickShade(w.rng),
+	})
+	ids := [2]int{slowA.id, fastA.id}
+	fastA.update = func(a *actor, wd *world) {
+		switch phase {
+		case 0: // bear down on the slow vehicle
+			a.pos = a.pos.Add(a.vel)
+			if !slowA.done && slowA.pos.X-a.pos.X < 40 && slowA.pos.X > a.pos.X {
+				phase = 1
+				wd.record(NearMiss, wd.frame, wd.frame+20, ids[0], ids[1])
+				a.vel = geom.V(fast*0.96, dir*2.5)
+			}
+		case 1: // swerve out
+			a.pos = a.pos.Add(a.vel)
+			if math.Abs(a.pos.Y-laneY) >= clearance {
+				a.vel = geom.V(fast, 0)
+				phase = 2
+			}
+		case 2: // pass alongside
+			a.pos = a.pos.Add(a.vel)
+			if slowA.done || a.pos.X > slowA.pos.X+40 {
+				a.vel = geom.V(fast*0.96, -dir*2.5)
+				phase = 3
+			}
+		case 3: // swerve back into the lane
+			a.pos = a.pos.Add(a.vel)
+			if (dir > 0 && a.pos.Y <= laneY) || (dir < 0 && a.pos.Y >= laneY) {
+				a.pos.Y = laneY
+				a.vel = geom.V(fast, 0)
+				phase = 4
+			}
+		case 4:
+			a.pos = a.pos.Add(a.vel)
+		}
+		if !off.Contains(a.pos) {
+			a.done = true
+		}
+	}
+}
+
+// spawnNearMissCross creates the intersection's near miss: a
+// southbound red-light runner clears the meeting point a beat before
+// an eastbound vehicle arrives — the same timed geometry as
+// spawnCollision, offset so the two miss by roughly a car length.
+func spawnNearMissCross(w *world, off geom.Rect, eastY, southX float64, meet geom.Point) {
+	vE := 2.4
+	vS := 2.6
+	framesS := (meet.Y + 15) / vS
+	// The eastbound vehicle is `lead` frames behind the runner at the
+	// meeting point: a near miss, not a collision. 15 frames puts the
+	// runner ~39px past the meeting point when the eastbound arrives —
+	// just clear of the worst-case vertical truck extent (30px long).
+	const lead = 15.0
+	startXE := meet.X - vE*(framesS+lead)
+	straight := func(a *actor, wd *world) {
+		a.pos = a.pos.Add(a.vel)
+		if !off.Contains(a.pos) {
+			a.done = true
+		}
+	}
+	east := w.spawn(&actor{
+		class:  Car,
+		pos:    geom.Pt(startXE, eastY),
+		vel:    geom.V(vE, 0),
+		shade:  pickShade(w.rng),
+		update: straight,
+	})
+	south := w.spawn(&actor{
+		class:  pickClass(w.rng),
+		pos:    geom.Pt(southX, -15),
+		vel:    geom.V(0, vS),
+		shade:  pickShade(w.rng),
+		update: straight,
+	})
+	mid := w.frame + int(framesS)
+	w.record(NearMiss, mid-10, mid+10, east.id, south.id)
+}
+
+// spawnStalled creates an engine-failure stop: the vehicle coasts
+// down gently (no braking spike — the signature that separates a
+// stall from a sudden stop), sits dead in the lane blocking traffic,
+// and is towed away after stallFor frames.
+func spawnStalled(w *world, off geom.Rect, laneY float64) {
+	speed := 2.2 + w.rng.Float64()*0.4
+	stallX := 110 + w.rng.Float64()*100
+	const stallFor = 80
+	phase := 0
+	wait := 0
+	a := w.spawn(&actor{
+		class: pickClass(w.rng),
+		pos:   geom.Pt(-15, laneY),
+		vel:   geom.V(speed, 0),
+		shade: pickShade(w.rng),
+	})
+	id := a.id
+	a.update = func(a *actor, wd *world) {
+		switch phase {
+		case 0:
+			a.pos = a.pos.Add(a.vel)
+			if a.pos.X >= stallX {
+				phase = 1
+			}
+		case 1:
+			// Coast-down: lose a tenth of the speed per frame.
+			a.vel = a.vel.Scale(0.9)
+			a.pos = a.pos.Add(a.vel)
+			if a.vel.Norm() < 0.05 {
+				a.vel = geom.V(0, 0)
+				phase = 2
+				wd.record(Stalled, wd.frame, wd.frame+stallFor, id)
+			}
+		case 2:
+			wait++
+			if wait > stallFor {
+				a.done = true // towed away
+			}
+		}
+		if !off.Contains(a.pos) {
+			a.done = true
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 
+	"milvideo/internal/sim"
 	"milvideo/internal/track"
 	"milvideo/internal/videodb"
 	"milvideo/internal/window"
@@ -173,6 +174,19 @@ func Signature(tracks []*track.Track, vss []window.VS) ([]byte, error) {
 	}
 	if err := enc.Encode(vss); err != nil {
 		return nil, fmt.Errorf("testkit: signature: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// SceneSignature gob-encodes a simulated scene — frames, incident log
+// and walls — into a comparable byte string. It is the determinism
+// primitive for scenario generators: byte-equal signatures mean the
+// same kinematics and the same ground-truth labels, not merely
+// equal-looking summaries.
+func SceneSignature(s *sim.Scene) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("testkit: scene signature: %w", err)
 	}
 	return buf.Bytes(), nil
 }

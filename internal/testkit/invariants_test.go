@@ -5,9 +5,11 @@ package testkit
 // nothing).
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
+	"milvideo/internal/sim"
 	"milvideo/internal/track"
 	"milvideo/internal/videodb"
 	"milvideo/internal/window"
@@ -115,5 +117,33 @@ func TestCheckDBRoundTrip(t *testing.T) {
 	}
 	if err := CheckDBRoundTrip(db); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSceneSignature(t *testing.T) {
+	gen := func(wallCrash int) *sim.Scene {
+		s, err := sim.Tunnel(sim.TunnelConfig{Seed: 11, Frames: 120, SpawnEvery: 40, WallCrash: wallCrash})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, err := SceneSignature(gen(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SceneSignature(gen(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical scenes produced different signatures")
+	}
+	c, err := SceneSignature(gen(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("different scenes produced equal signatures")
 	}
 }

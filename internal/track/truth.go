@@ -1,0 +1,46 @@
+package track
+
+import (
+	"sort"
+
+	"milvideo/internal/geom"
+	"milvideo/internal/sim"
+)
+
+// FromScene converts a simulated scene's ground-truth vehicle states
+// into perfect tracks — one per vehicle, observations contiguous over
+// the vehicle's visible span, centroids and MBRs taken straight from
+// the simulator. It is the oracle tracker the retrieval benchmark
+// feeds through the trajectory-modeling stage when it wants to
+// measure retrieval quality in isolation from vision-stage noise
+// (the hard tier runs the real pipeline instead). Tracks are returned
+// sorted by vehicle ID, all confirmed.
+//
+// Vehicles are visible in every frame the simulator reports them
+// (sim actors despawn rather than coast), so each vehicle's frame run
+// is contiguous and the Track.At contiguity invariant holds.
+func FromScene(s *sim.Scene) []*Track {
+	byID := make(map[int]*Track)
+	for _, f := range s.Frames {
+		for _, v := range f.Vehicles {
+			t := byID[v.ID]
+			if t == nil {
+				t = &Track{ID: v.ID, Confirmed: true}
+				byID[v.ID] = t
+			}
+			t.Observations = append(t.Observations, Observation{
+				Frame:     f.Index,
+				Centroid:  v.Pos,
+				MBR:       geom.RectFromCenter(v.Pos, v.W, v.H),
+				Area:      int(v.W * v.H),
+				MeanShade: float64(v.Shade),
+			})
+		}
+	}
+	out := make([]*Track, 0, len(byID))
+	for _, t := range byID {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,63 @@
+package track
+
+import (
+	"testing"
+
+	"milvideo/internal/sim"
+)
+
+// TestFromSceneOracleTracks: the ground-truth converter yields one
+// confirmed, contiguous track per simulated vehicle, with centroids
+// and areas lifted straight from the simulator states.
+func TestFromSceneOracleTracks(t *testing.T) {
+	scene, err := sim.Tunnel(sim.TunnelConfig{Seed: 3, Frames: 200, SpawnEvery: 40, WallCrash: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracks := FromScene(scene)
+	if len(tracks) != scene.VehicleCount() {
+		t.Fatalf("%d tracks for %d vehicles", len(tracks), scene.VehicleCount())
+	}
+	for i, tr := range tracks {
+		if !tr.Confirmed {
+			t.Fatalf("track %d unconfirmed", tr.ID)
+		}
+		if i > 0 && tracks[i-1].ID >= tr.ID {
+			t.Fatalf("tracks not sorted by ID: %d then %d", tracks[i-1].ID, tr.ID)
+		}
+		for j, o := range tr.Observations {
+			if o.Frame != tr.Start()+j {
+				t.Fatalf("track %d observation %d at frame %d, want contiguous %d",
+					tr.ID, j, o.Frame, tr.Start()+j)
+			}
+			if o.Predicted {
+				t.Fatalf("track %d frame %d marked predicted — ground truth has no coasting", tr.ID, o.Frame)
+			}
+		}
+	}
+	// Spot-check one frame: every simulated vehicle state appears on
+	// its track with the exact centroid.
+	f := len(scene.Frames) / 2
+	for _, v := range scene.Frames[f].Vehicles {
+		var tr *Track
+		for _, c := range tracks {
+			if c.ID == v.ID {
+				tr = c
+				break
+			}
+		}
+		if tr == nil {
+			t.Fatalf("vehicle %d visible at frame %d has no track", v.ID, f)
+		}
+		o, ok := tr.At(f)
+		if !ok {
+			t.Fatalf("track %d missing frame %d", v.ID, f)
+		}
+		if o.Centroid != v.Pos {
+			t.Fatalf("track %d frame %d centroid %v, want %v", v.ID, f, o.Centroid, v.Pos)
+		}
+		if o.Area != int(v.W*v.H) {
+			t.Fatalf("track %d frame %d area %d, want %d", v.ID, f, o.Area, int(v.W*v.H))
+		}
+	}
+}
